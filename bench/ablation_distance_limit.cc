@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Ablation: STRAIGHT's maximum reference distance M. Section 2.2.3 shows
+ * relay count ~ O(log P / M); sweeping M on the trace analyzer makes that
+ * trade-off concrete (larger M means fewer relays but a bigger register
+ * file and wider operand fields).
+ */
+
+#include "bench_util.h"
+#include "trace/analyzers.h"
+
+using namespace ch;
+
+int
+main()
+{
+    benchHeader("Ablation", "STRAIGHT max reference distance (M) sweep");
+    const uint64_t cap = benchMaxInsts(~0ull);
+    const int ms[] = {16, 32, 64, 126, 256, 512};
+
+    TextTable t;
+    std::vector<std::string> head = {"benchmark"};
+    for (int m : ms)
+        head.push_back("M=" + std::to_string(m));
+    t.header(head);
+
+    for (const auto& w : workloads()) {
+        std::vector<std::string> row = {w.name};
+        const Program& p = compiledWorkload(w.name, Isa::Riscv);
+        for (int m : ms) {
+            RelayAnalyzer ra(p, m);
+            runProgram(p, cap, &ra);
+            RelayReport rep = ra.finish();
+            row.push_back(fmtPercent(
+                static_cast<double>(rep.mvMaxDistance) / rep.totalInsts));
+        }
+        t.row(row);
+    }
+    t.print();
+    std::printf("\nmax-distance relay fraction of executed instructions; "
+                "expectation: roughly halves as M doubles (the paper's "
+                "O(1/M) analysis), motivating Clockhands' per-hand "
+                "lifetime classes over one bigger ring\n");
+    return 0;
+}

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Ablation: sensitivity to rename-stage depth. The paper credits part of
+ * Clockhands' performance to faster misprediction recovery (5-cycle vs
+ * 7-cycle front end). Here the same RISC binary runs with 0..4 extra
+ * rename stages, isolating the per-squash cost from all ISA differences.
+ */
+
+#include "bench_util.h"
+#include "uarch/sim.h"
+
+using namespace ch;
+
+int
+main()
+{
+    benchHeader("Ablation", "front-end (rename) depth vs performance");
+    const uint64_t cap = benchMaxInsts(3'000'000);
+
+    TextTable t;
+    t.header({"benchmark", "+0", "+1", "+2 (RISC)", "+3", "+4",
+              "mispred/Kinst"});
+    for (const auto& w : workloads()) {
+        std::vector<std::string> row = {w.name};
+        double baseCycles = 0;
+        double mpki = 0;
+        for (int extra = 0; extra <= 4; ++extra) {
+            MachineConfig cfg = MachineConfig::preset(8);
+            cfg.renameStagesOverride = extra;
+            SimResult r =
+                simulate(compiledWorkload(w.name, Isa::Riscv), cfg, cap);
+            if (extra == 0) {
+                baseCycles = static_cast<double>(r.cycles);
+                mpki = 1000.0 *
+                       static_cast<double>(
+                           r.stats.value("branch.mispredicts")) /
+                       static_cast<double>(r.insts);
+            }
+            row.push_back(fmtDouble(r.cycles / baseCycles, 3));
+        }
+        row.push_back(fmtDouble(mpki, 2));
+        t.row(row);
+    }
+    t.print();
+    std::printf("\nexpectation: cycles grow with depth, steeper for "
+                "benchmarks with higher mispredict rates -- the recovery "
+                "advantage the rename-free ISAs enjoy\n");
+    return 0;
+}

@@ -1,0 +1,56 @@
+#ifndef CH_BENCH_BENCH_UTIL_H
+#define CH_BENCH_BENCH_UTIL_H
+
+/**
+ * @file
+ * Shared helpers for the figure/table regeneration harness. Each bench
+ * binary reproduces one table or figure of the paper (see EXPERIMENTS.md
+ * for the index and the paper-vs-measured record).
+ *
+ * The environment variable CH_BENCH_MAXINSTS caps the per-run instruction
+ * count (default: full workload for analyzers, a few million for the
+ * timing sweeps) so the whole harness finishes in minutes.
+ */
+
+#include <cstdint>
+#include <cstdlib>
+#include <cstdio>
+#include <string>
+
+#include "common/table.h"
+#include "emu/emulator.h"
+#include "workloads/workloads.h"
+
+namespace ch {
+
+inline uint64_t
+benchMaxInsts(uint64_t fallback)
+{
+    const char* env = std::getenv("CH_BENCH_MAXINSTS");
+    if (env && *env)
+        return std::strtoull(env, nullptr, 0);
+    return fallback;
+}
+
+inline void
+benchHeader(const char* figure, const char* what)
+{
+    std::printf("==================================================\n");
+    std::printf("%s: %s\n", figure, what);
+    std::printf("==================================================\n");
+}
+
+inline const char*
+shortIsa(Isa isa)
+{
+    switch (isa) {
+      case Isa::Riscv: return "R";
+      case Isa::Straight: return "S";
+      case Isa::Clockhands: return "C";
+    }
+    return "?";
+}
+
+} // namespace ch
+
+#endif // CH_BENCH_BENCH_UTIL_H

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Fig. 3: lower bound of the inevitable STRAIGHT instruction increase
+ * when converting RISC traces, split into the paper's three causes:
+ * nop at convergence points, mv for max-distance relays, and mv for loop
+ * constants. The paper reports ~35% on average over SPEC (14% loop
+ * constants + 14% max distance + 6% nop).
+ */
+
+#include "bench_util.h"
+#include "trace/analyzers.h"
+
+using namespace ch;
+
+int
+main()
+{
+    benchHeader("Fig 3", "inevitable STRAIGHT instruction increase "
+                         "(lower bound from RISC traces)");
+    TextTable t;
+    t.header({"benchmark", "nop", "mv-MaxDist", "mv-LoopConst", "total"});
+
+    double sumFrac = 0;
+    const uint64_t cap = benchMaxInsts(~0ull);
+    for (const auto& w : workloads()) {
+        const Program& p = compiledWorkload(w.name, Isa::Riscv);
+        RelayAnalyzer ra(p);
+        runProgram(p, cap, &ra);
+        RelayReport rep = ra.finish();
+        const double n = static_cast<double>(rep.totalInsts);
+        t.row({w.name, fmtPercent(rep.nopConvergence / n),
+               fmtPercent(rep.mvMaxDistance / n),
+               fmtPercent(rep.mvLoopConstant / n),
+               fmtPercent(rep.increaseFraction())});
+        sumFrac += rep.increaseFraction();
+    }
+    t.row({"average", "", "", "",
+           fmtPercent(sumFrac / workloads().size())});
+    t.print();
+    std::printf("\npaper: average ~35%% (6%% nop + 14%% mv-MaxDistance "
+                "+ 14%% mv-LoopConstant) over SPEC CPU\n");
+    return 0;
+}

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Fig. 4: definition frequency of registers with lifetime >= k
+ * instructions, measured on RISC traces. The paper shows an ~1/N power
+ * law: lifetimes >= 1000 occur with frequency ~1e-3.
+ */
+
+#include <cmath>
+
+#include "bench_util.h"
+#include "trace/analyzers.h"
+
+using namespace ch;
+
+int
+main()
+{
+    benchHeader("Fig 4", "register lifetime power law (RISC traces)");
+    TextTable t;
+    std::vector<std::string> head = {"lifetime >="};
+    for (const auto& w : workloads())
+        head.push_back(w.name);
+    t.header(head);
+
+    std::vector<LifetimeAnalyzer> analyzers;
+    std::vector<uint64_t> totals;
+    const uint64_t cap = benchMaxInsts(~0ull);
+    for (const auto& w : workloads()) {
+        LifetimeAnalyzer lt(Isa::Riscv);
+        const Program& p = compiledWorkload(w.name, Isa::Riscv);
+        runProgram(p, cap, &lt);
+        lt.finish();
+        totals.push_back(lt.totalInsts());
+        analyzers.push_back(std::move(lt));
+    }
+
+    for (int k = 0; k <= 22; k += 2) {
+        std::vector<std::string> row = {"2^" + std::to_string(k)};
+        for (size_t i = 0; i < analyzers.size(); ++i) {
+            const double f = analyzers[i].overall().ccdf(k, totals[i]);
+            char buf[32];
+            std::snprintf(buf, sizeof(buf), "%.2e", f);
+            row.push_back(buf);
+        }
+        t.row(row);
+    }
+    t.print();
+
+    // Power-law slope check: log-log slope between 2^6 and 2^16.
+    std::printf("\nlog-log slope between 2^6 and 2^16 (paper: ~ -1):\n");
+    for (size_t i = 0; i < analyzers.size(); ++i) {
+        const double f6 = analyzers[i].overall().ccdf(6, totals[i]);
+        const double f16 = analyzers[i].overall().ccdf(16, totals[i]);
+        if (f6 > 0 && f16 > 0) {
+            const double slope =
+                (std::log2(f16) - std::log2(f6)) / (16.0 - 6.0);
+            std::printf("  %-10s %.2f\n", workloads()[i].name.c_str(),
+                        slope);
+        }
+    }
+    return 0;
+}

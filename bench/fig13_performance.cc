@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Fig. 13: relative performance (1 / cycles) of RISC-V, STRAIGHT, and
+ * Clockhands across the 4/6/8/12/16-fetch machines of Table 2, per
+ * benchmark, normalized to the 4-fetch RISC-V model. The paper reports
+ * Clockhands at 97.3..101.6% of RISC-V and 6.5..9.9% above STRAIGHT.
+ */
+
+#include <cmath>
+
+#include "bench_util.h"
+#include "uarch/sim.h"
+
+using namespace ch;
+
+int
+main()
+{
+    benchHeader("Fig 13", "relative performance, 3 ISAs x 5 widths");
+    const int widths[] = {4, 6, 8, 12, 16};
+    const uint64_t cap = benchMaxInsts(~0ull);
+    if (cap != ~0ull) {
+        std::printf("WARNING: CH_BENCH_MAXINSTS caps runs at equal "
+                    "instruction counts, which is not equal work across "
+                    "ISAs; ratios will be skewed.\n");
+    }
+
+    // perf[wl][isa][width] = 1/cycles, normalized per workload.
+    TextTable t;
+    t.header({"benchmark", "isa", "4f", "6f", "8f", "12f", "16f"});
+
+    double geoC[5] = {1, 1, 1, 1, 1};
+    double geoS[5] = {1, 1, 1, 1, 1};
+    for (const auto& w : workloads()) {
+        double cycles[3][5];
+        for (int wi = 0; wi < 5; ++wi) {
+            MachineConfig cfg = MachineConfig::preset(widths[wi]);
+            int ii = 0;
+            for (Isa isa :
+                 {Isa::Riscv, Isa::Straight, Isa::Clockhands}) {
+                SimResult r =
+                    simulate(compiledWorkload(w.name, isa), cfg, cap);
+                cycles[ii++][wi] = static_cast<double>(r.cycles);
+            }
+        }
+        const double base = cycles[0][0];
+        const char* names[3] = {"R", "S", "C"};
+        for (int ii = 0; ii < 3; ++ii) {
+            std::vector<std::string> row = {w.name, names[ii]};
+            for (int wi = 0; wi < 5; ++wi)
+                row.push_back(fmtDouble(base / cycles[ii][wi], 3));
+            t.row(row);
+        }
+        for (int wi = 0; wi < 5; ++wi) {
+            geoC[wi] *= cycles[0][wi] / cycles[2][wi];
+            geoS[wi] *= cycles[1][wi] / cycles[2][wi];
+        }
+    }
+    t.print();
+
+    const double n = static_cast<double>(workloads().size());
+    std::printf("\nClockhands vs RISC-V (geomean %%, paper: 97.9/97.3/"
+                "98.9/100.0/101.6):\n  ");
+    for (int wi = 0; wi < 5; ++wi)
+        std::printf("%.1f%% ", 100.0 * std::pow(geoC[wi], 1.0 / n));
+    std::printf("\nClockhands vs STRAIGHT (geomean speedup %%, paper: "
+                "+9.9/+7.6/+6.6/+6.5/+7.2):\n  ");
+    for (int wi = 0; wi < 5; ++wi) {
+        std::printf("%+.1f%% ",
+                    100.0 * (std::pow(geoS[wi], 1.0 / n) - 1.0));
+    }
+    std::printf("\n");
+    return 0;
+}

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Fig. 14: energy relative to the 4-fetch RISC-V model, with the
+ * per-component stack. The paper's headline: Clockhands saves 7.4% at
+ * 8-fetch, 17.5% at 12-fetch, and 24.4% at 16-fetch, and RISC-V's total
+ * grows to 7.83x from 4-fetch to 16-fetch.
+ */
+
+#include "bench_util.h"
+#include "energy/energy_model.h"
+#include "uarch/sim.h"
+
+using namespace ch;
+
+int
+main()
+{
+    benchHeader("Fig 14", "energy vs 4-fetch RISC-V, component stack");
+    const int widths[] = {4, 6, 8, 12, 16};
+    const uint64_t cap = benchMaxInsts(~0ull);
+    if (cap != ~0ull) {
+        std::printf("WARNING: CH_BENCH_MAXINSTS caps runs at equal "
+                    "instruction counts, which is not equal work across "
+                    "ISAs; ratios will be skewed.\n");
+    }
+
+    // Sum energies across the corpus (the paper aggregates similarly).
+    double total[3][5] = {};
+    EnergyBreakdown comp[3][5] = {};
+    for (const auto& w : workloads()) {
+        for (int wi = 0; wi < 5; ++wi) {
+            MachineConfig cfg = MachineConfig::preset(widths[wi]);
+            int ii = 0;
+            for (Isa isa :
+                 {Isa::Riscv, Isa::Straight, Isa::Clockhands}) {
+                SimResult r =
+                    simulate(compiledWorkload(w.name, isa), cfg, cap);
+                EnergyBreakdown e = computeEnergy(cfg, isa, r.stats);
+                total[ii][wi] += e.total();
+                for (int c = 0; c < static_cast<int>(EnergyComp::kCount);
+                     ++c) {
+                    comp[ii][wi].comp[c] += e.comp[c];
+                }
+                ++ii;
+            }
+        }
+    }
+
+    const double base = total[0][0];
+    TextTable t;
+    t.header({"isa", "4f", "6f", "8f", "12f", "16f"});
+    const char* names[3] = {"RISC-V", "STRAIGHT", "Clockhands"};
+    for (int ii = 0; ii < 3; ++ii) {
+        std::vector<std::string> row = {names[ii]};
+        for (int wi = 0; wi < 5; ++wi)
+            row.push_back(fmtDouble(total[ii][wi] / base, 2));
+        t.row(row);
+    }
+    t.print();
+    std::printf("paper:    R 1.00/1.97/2.86/4.94/7.83   "
+                "S 1.21/2.19/3.02/4.62/6.70   C 1.06/1.93/2.65/4.08/5.92\n");
+
+    std::printf("\nClockhands saving vs RISC-V (paper: 7.4%% @8f, "
+                "17.5%% @12f, 24.4%% @16f):\n");
+    for (int wi = 2; wi < 5; ++wi) {
+        std::printf("  %df: %.1f%%\n", widths[wi],
+                    100.0 * (1.0 - total[2][wi] / total[0][wi]));
+    }
+
+    std::printf("\ncomponent stack at 8-fetch (share of each ISA's "
+                "total):\n");
+    TextTable ct;
+    ct.header({"component", "RISC-V", "STRAIGHT", "Clockhands"});
+    for (int c = 0; c < static_cast<int>(EnergyComp::kCount); ++c) {
+        std::vector<std::string> row = {
+            std::string(energyCompName(static_cast<EnergyComp>(c)))};
+        for (int ii = 0; ii < 3; ++ii)
+            row.push_back(fmtPercent(comp[ii][2].comp[c] / total[ii][2]));
+        ct.row(row);
+    }
+    ct.print();
+    return 0;
+}

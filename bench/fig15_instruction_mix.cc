@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Fig. 15: executed-instruction breakdown by type, normalized to RISC-V,
+ * per benchmark. The paper's totals: CoreMark R/S/C = 1.000/1.371/1.096,
+ * bzip2 1.000/1.272/1.121, mcf 1.000/1.562/1.169, lbm 1.000/1.330/0.984,
+ * xz 1.000/1.078/1.074 -- Clockhands eliminates most of STRAIGHT's mv and
+ * nop overhead.
+ */
+
+#include "bench_util.h"
+#include "trace/analyzers.h"
+
+using namespace ch;
+
+int
+main()
+{
+    benchHeader("Fig 15", "executed instruction mix, normalized to RISC-V");
+    const uint64_t cap = benchMaxInsts(~0ull);
+
+    for (const auto& w : workloads()) {
+        MixAnalyzer mix[3];
+        uint64_t riscTotal = 0;
+        int ii = 0;
+        for (Isa isa : {Isa::Riscv, Isa::Straight, Isa::Clockhands}) {
+            runProgram(compiledWorkload(w.name, isa), cap, &mix[ii]);
+            if (isa == Isa::Riscv)
+                riscTotal = mix[ii].total();
+            ++ii;
+        }
+        std::printf("\n%s (totals R/S/C = 1.000/%.3f/%.3f):\n",
+                    w.name.c_str(),
+                    static_cast<double>(mix[1].total()) / riscTotal,
+                    static_cast<double>(mix[2].total()) / riscTotal);
+        TextTable t;
+        t.header({"category", "RISC-V", "STRAIGHT", "Clockhands"});
+        for (int c = 0; c < static_cast<int>(MixCat::kCount); ++c) {
+            const auto cat = static_cast<MixCat>(c);
+            std::vector<std::string> row = {std::string(mixCatName(cat))};
+            for (int i = 0; i < 3; ++i) {
+                row.push_back(fmtDouble(
+                    static_cast<double>(mix[i].count(cat)) / riscTotal,
+                    3));
+            }
+            t.row(row);
+        }
+        t.print();
+    }
+    std::printf("\npaper totals: coremark 1.371/1.096, bzip2 1.272/1.121, "
+                "mcf 1.562/1.169, lbm 1.330/0.984, xz 1.078/1.074\n");
+    return 0;
+}

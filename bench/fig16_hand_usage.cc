@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Fig. 16: how often each Clockhands hand is read and written, normalized
+ * by executed instructions. The paper observes: t is written most; v is
+ * written rarely but read often (loop constants); s is written very
+ * rarely but read a lot (SP/arguments), except in call-heavy mcf.
+ */
+
+#include "bench_util.h"
+#include "trace/analyzers.h"
+
+using namespace ch;
+
+int
+main()
+{
+    benchHeader("Fig 16", "Clockhands per-hand read/write breakdown");
+    const uint64_t cap = benchMaxInsts(~0ull);
+
+    TextTable t;
+    t.header({"benchmark", "s rd", "s wr", "t rd", "t wr", "u rd", "u wr",
+              "v rd", "v wr", "no-dst"});
+    for (const auto& w : workloads()) {
+        HandUsageAnalyzer hu;
+        runProgram(compiledWorkload(w.name, Isa::Clockhands), cap, &hu);
+        const double n = static_cast<double>(hu.total());
+        auto pct = [&](uint64_t v) { return fmtPercent(v / n); };
+        t.row({w.name, pct(hu.reads(HandS)), pct(hu.writes(HandS)),
+               pct(hu.reads(HandT)), pct(hu.writes(HandT)),
+               pct(hu.reads(HandU)), pct(hu.writes(HandU)),
+               pct(hu.reads(HandV)), pct(hu.writes(HandV)),
+               pct(hu.noDst())});
+    }
+    t.print();
+    std::printf("\npaper: t written most; v written rarely / read often "
+                "(loop constants); s read-heavy, written most in mcf "
+                "(function arguments)\n");
+    return 0;
+}

@@ -1,0 +1,146 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks for the infrastructure itself: the
+ * TAGE predictor, BTB, cache model, encoders, the functional emulator,
+ * and the compiler. These guard the simulation throughput that makes the
+ * figure harness practical.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "asm/assembler.h"
+#include "backend/backend.h"
+#include "common/prng.h"
+#include "emu/emulator.h"
+#include "isa/encoding.h"
+#include "uarch/branch_pred.h"
+#include "uarch/cache.h"
+
+namespace ch {
+namespace {
+
+void
+BM_TagePredictUpdate(benchmark::State& state)
+{
+    Tage tage;
+    Prng prng(1);
+    uint64_t pc = 0x1000;
+    for (auto _ : state) {
+        const bool taken = (prng.next() & 7) != 0;
+        benchmark::DoNotOptimize(tage.predict(pc));
+        tage.update(pc, taken);
+        pc = 0x1000 + (prng.next() & 0xff) * 4;
+    }
+}
+BENCHMARK(BM_TagePredictUpdate);
+
+void
+BM_BtbLookupInsert(benchmark::State& state)
+{
+    Btb btb(8192, 4);
+    Prng prng(2);
+    for (auto _ : state) {
+        const uint64_t pc = (prng.next() & 0xffff) * 4;
+        if (btb.lookup(pc) == 0)
+            btb.insert(pc, pc + 16);
+    }
+}
+BENCHMARK(BM_BtbLookupInsert);
+
+void
+BM_CacheAccess(benchmark::State& state)
+{
+    Cache cache(128, 8, 64);
+    Prng prng(3);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(cache.access(prng.next() & 0x3ffff));
+    }
+}
+BENCHMARK(BM_CacheAccess);
+
+void
+BM_EncodeDecodeRoundTrip(benchmark::State& state)
+{
+    const Isa isa = static_cast<Isa>(state.range(0));
+    Inst inst;
+    inst.op = Op::ADDI;
+    inst.dst = isa == Isa::Clockhands ? HandT : 10;
+    inst.src1 = isa == Isa::Riscv ? 11 : 1;
+    inst.src1Hand = HandT;
+    inst.imm = 42;
+    for (auto _ : state) {
+        const uint32_t w = encode(isa, inst);
+        benchmark::DoNotOptimize(decode(isa, w));
+    }
+}
+BENCHMARK(BM_EncodeDecodeRoundTrip)->Arg(0)->Arg(1)->Arg(2);
+
+void
+BM_EmulatorThroughput(benchmark::State& state)
+{
+    const Isa isa = static_cast<Isa>(state.range(0));
+    Program p = compileMiniC(R"(
+        int main() {
+            long acc = 0;
+            long i;
+            for (i = 0; i < 1000000000; i = i + 1)
+                acc = acc + (i ^ (i >> 3));
+            return (int)(acc & 63);
+        }
+    )", isa);
+    Emulator emu(p);
+    for (auto _ : state) {
+        emu.run(10000, nullptr);
+    }
+    state.SetItemsProcessed(state.iterations() * 10000);
+}
+BENCHMARK(BM_EmulatorThroughput)->Arg(0)->Arg(1)->Arg(2);
+
+void
+BM_CompileMiniC(benchmark::State& state)
+{
+    const char* src = R"(
+        long fib(long n) {
+            if (n < 2) return n;
+            return fib(n - 1) + fib(n - 2);
+        }
+        int main() {
+            long acc = 0;
+            for (long i = 0; i < 10; ++i) acc += fib(i);
+            return (int)acc;
+        }
+    )";
+    const Isa isa = static_cast<Isa>(state.range(0));
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(compileMiniC(src, isa));
+    }
+}
+BENCHMARK(BM_CompileMiniC)->Arg(0)->Arg(1)->Arg(2);
+
+void
+BM_AssembleText(benchmark::State& state)
+{
+    const std::string src = R"(
+        .data
+    arr: .zero 40
+        .text
+        la a0, arr
+        li a1, 10
+        addi a5, zero, 0
+    loop:
+        sw a5, 0(a0)
+        addiw a5, a5, 1
+        addi a0, a0, 4
+        bne a1, a5, loop
+        ecall zero, zero, 0
+    )";
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(assemble(Isa::Riscv, src));
+    }
+}
+BENCHMARK(BM_AssembleText);
+
+} // namespace
+} // namespace ch
+
+BENCHMARK_MAIN();

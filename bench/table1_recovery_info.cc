@@ -1,0 +1,28 @@
+/**
+ * @file
+ * Table 1: recovery-information (checkpoint) size per architecture. The
+ * paper: RISC ~570 bits (63 mappings x ~9 bits), STRAIGHT ~70 bits (one
+ * RP + 64-bit SP), Clockhands ~36 bits (four RPs).
+ */
+
+#include "bench_util.h"
+#include "energy/energy_model.h"
+
+using namespace ch;
+
+int
+main()
+{
+    benchHeader("Table 1", "checkpoint (recovery information) size");
+    TextTable t;
+    t.header({"architecture", "formula", "bits"});
+    t.row({"Conventional RISC", "63 x ~9 bits",
+           std::to_string(checkpointBits(Isa::Riscv))});
+    t.row({"STRAIGHT", "~9 bits + 64 bits (SP)",
+           std::to_string(checkpointBits(Isa::Straight))});
+    t.row({"Clockhands", "4 x ~9 bits",
+           std::to_string(checkpointBits(Isa::Clockhands))});
+    t.print();
+    std::printf("\npaper: ~570 / ~70 / ~36 bits\n");
+    return 0;
+}

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Widths explorer: run one benchmark through the cycle-level model on
+ * every Table 2 machine and print IPC, misprediction rate, and the
+ * energy breakdown -- a miniature of the paper's Figs. 13/14 for a single
+ * workload. Pass a workload name (coremark/bzip2/mcf/lbm/xz) as argv[1].
+ */
+
+#include <cstdio>
+#include <cstring>
+
+#include "energy/energy_model.h"
+#include "uarch/sim.h"
+#include "workloads/workloads.h"
+
+using namespace ch;
+
+int
+main(int argc, char** argv)
+{
+    const char* name = argc > 1 ? argv[1] : "coremark";
+    const auto& w = workload(name);
+    std::printf("workload: %s -- %s\n\n", w.name.c_str(),
+                w.description.c_str());
+
+    std::printf("%-11s %5s %10s %8s %7s %9s %12s\n", "isa", "width",
+                "cycles", "IPC", "MPKI", "energy", "renamer-share");
+    double base = 0;
+    for (int width : {4, 6, 8, 12, 16}) {
+        MachineConfig cfg = MachineConfig::preset(width);
+        for (Isa isa : {Isa::Riscv, Isa::Straight, Isa::Clockhands}) {
+            SimResult r =
+                simulate(compiledWorkload(w.name, isa), cfg);
+            EnergyBreakdown e = computeEnergy(cfg, isa, r.stats);
+            if (base == 0)
+                base = e.total();
+            const double mpki =
+                1000.0 *
+                static_cast<double>(r.stats.value("branch.mispredicts")) /
+                static_cast<double>(r.insts);
+            std::printf("%-11s %5d %10lu %8.2f %7.2f %8.2fx %11.1f%%\n",
+                        std::string(isaName(isa)).c_str(), width,
+                        (unsigned long)r.cycles, r.ipc(), mpki,
+                        e.total() / base,
+                        100.0 * e.at(EnergyComp::Renamer) / e.total());
+        }
+        std::printf("\n");
+    }
+    std::printf("energy is normalized to the first row (4-fetch "
+                "RISC-V)\n");
+    return 0;
+}

@@ -1,0 +1,667 @@
+#include "asm/assembler.h"
+
+#include <cctype>
+#include <map>
+#include <optional>
+
+#include "asm/module_builder.h"
+#include "common/logging.h"
+#include "common/strutil.h"
+#include "isa/encoding.h"
+
+namespace ch {
+
+int
+parseRiscReg(std::string_view name)
+{
+    static const std::map<std::string_view, int> abi = {
+        {"zero", 0}, {"ra", 1}, {"sp", 2}, {"gp", 3}, {"tp", 4},
+        {"t0", 5}, {"t1", 6}, {"t2", 7}, {"s0", 8}, {"fp", 8}, {"s1", 9},
+        {"a0", 10}, {"a1", 11}, {"a2", 12}, {"a3", 13}, {"a4", 14},
+        {"a5", 15}, {"a6", 16}, {"a7", 17}, {"s2", 18}, {"s3", 19},
+        {"s4", 20}, {"s5", 21}, {"s6", 22}, {"s7", 23}, {"s8", 24},
+        {"s9", 25}, {"s10", 26}, {"s11", 27}, {"t3", 28}, {"t4", 29},
+        {"t5", 30}, {"t6", 31},
+    };
+    auto it = abi.find(name);
+    if (it != abi.end())
+        return it->second;
+    if ((name[0] == 'x' || name[0] == 'f') && name.size() >= 2) {
+        int n = 0;
+        for (size_t i = 1; i < name.size(); ++i) {
+            if (!std::isdigit(static_cast<unsigned char>(name[i])))
+                return -1;
+            n = n * 10 + (name[i] - '0');
+        }
+        if (n >= 32)
+            return -1;
+        return name[0] == 'x' ? n : 32 + n;
+    }
+    return -1;
+}
+
+namespace {
+
+/** Parsed source-operand: a register/distance reference. */
+struct SrcRef {
+    uint8_t dist = 0;   // RISC: reg number; others: distance
+    uint8_t hand = 0;   // Clockhands only
+};
+
+class Assembler
+{
+  public:
+    Assembler(Isa isa, std::string_view source)
+        : isa_(isa), source_(source), builder_(isa)
+    {
+    }
+
+    Program
+    run()
+    {
+        size_t start = 0;
+        line_ = 0;
+        while (start <= source_.size()) {
+            size_t end = source_.find('\n', start);
+            if (end == std::string_view::npos)
+                end = source_.size();
+            ++line_;
+            handleLine(source_.substr(start, end - start));
+            start = end + 1;
+        }
+        return builder_.finalize();
+    }
+
+  private:
+    [[noreturn]] void
+    err(const std::string& msg)
+    {
+        fatal("asm line ", line_, ": ", msg);
+    }
+
+    // --- lexical helpers ------------------------------------------------
+
+    static std::string_view
+    stripComment(std::string_view s)
+    {
+        for (size_t i = 0; i < s.size(); ++i) {
+            if (s[i] == '#' || (s[i] == '/' && i + 1 < s.size() &&
+                                s[i + 1] == '/')) {
+                return s.substr(0, i);
+            }
+        }
+        return s;
+    }
+
+    std::optional<int64_t>
+    tryParseInt(std::string_view s) const
+    {
+        s = trim(s);
+        if (s.empty())
+            return std::nullopt;
+        bool neg = false;
+        size_t i = 0;
+        if (s[0] == '-' || s[0] == '+') {
+            neg = s[0] == '-';
+            i = 1;
+        }
+        if (i >= s.size())
+            return std::nullopt;
+        int64_t v = 0;
+        if (s.size() > i + 1 && s[i] == '0' &&
+            (s[i + 1] == 'x' || s[i + 1] == 'X')) {
+            for (i += 2; i < s.size(); ++i) {
+                const char c = std::tolower(static_cast<unsigned char>(s[i]));
+                if (c >= '0' && c <= '9')
+                    v = v * 16 + (c - '0');
+                else if (c >= 'a' && c <= 'f')
+                    v = v * 16 + (c - 'a' + 10);
+                else
+                    return std::nullopt;
+            }
+        } else {
+            for (; i < s.size(); ++i) {
+                if (!std::isdigit(static_cast<unsigned char>(s[i])))
+                    return std::nullopt;
+                v = v * 10 + (s[i] - '0');
+            }
+        }
+        return neg ? -v : v;
+    }
+
+    int64_t
+    parseInt(std::string_view s)
+    {
+        auto v = tryParseInt(s);
+        if (!v)
+            err(concat("expected integer, got '", std::string(s), "'"));
+        return *v;
+    }
+
+    // --- operand parsing --------------------------------------------------
+
+    /** Parse a source register reference in the current ISA's syntax. */
+    SrcRef
+    parseSrc(std::string_view s)
+    {
+        s = trim(s);
+        if (s.empty())
+            err("empty operand");
+        SrcRef ref;
+        switch (isa_) {
+          case Isa::Riscv: {
+            int reg = parseRiscReg(s);
+            if (reg < 0)
+                err(concat("bad register '", std::string(s), "'"));
+            ref.dist = static_cast<uint8_t>(reg);
+            return ref;
+          }
+          case Isa::Straight: {
+            if (s == "zero") {
+                ref.dist = kStraightZeroDist;
+                return ref;
+            }
+            if (s == "sp") {
+                ref.dist = kStraightSpBase;
+                return ref;
+            }
+            if (s.front() == '[' && s.back() == ']') {
+                int64_t d = parseInt(s.substr(1, s.size() - 2));
+                if (d < 1 || d > kStraightMaxDist)
+                    err(concat("distance out of range: ", d));
+                ref.dist = static_cast<uint8_t>(d);
+                return ref;
+            }
+            err(concat("bad STRAIGHT operand '", std::string(s), "'"));
+          }
+          case Isa::Clockhands: {
+            if (s == "zero") {
+                ref.hand = HandS;
+                ref.dist = kHandZeroDist;
+                return ref;
+            }
+            int hand = handIndex(s[0]);
+            if (hand < 0 || s.size() < 4 || s[1] != '[' || s.back() != ']')
+                err(concat("bad Clockhands operand '", std::string(s), "'"));
+            int64_t d = parseInt(s.substr(2, s.size() - 3));
+            const int maxDist = hand == HandS ? kHandDepth - 2
+                                              : kHandDepth - 1;
+            if (d < 0 || d > maxDist)
+                err(concat("distance out of range: ", d));
+            ref.hand = static_cast<uint8_t>(hand);
+            ref.dist = static_cast<uint8_t>(d);
+            return ref;
+          }
+        }
+        err("unreachable");
+    }
+
+    static int
+    handIndex(char c)
+    {
+        switch (c) {
+          case 't': return HandT;
+          case 'u': return HandU;
+          case 'v': return HandV;
+          case 's': return HandS;
+          default: return -1;
+        }
+    }
+
+    /** Parse a destination operand (register / hand). */
+    uint8_t
+    parseDst(std::string_view s)
+    {
+        s = trim(s);
+        switch (isa_) {
+          case Isa::Riscv: {
+            int reg = parseRiscReg(s);
+            if (reg < 0)
+                err(concat("bad register '", std::string(s), "'"));
+            return static_cast<uint8_t>(reg);
+          }
+          case Isa::Straight:
+            err("STRAIGHT instructions have no destination operand");
+          case Isa::Clockhands: {
+            if (s.size() != 1 || handIndex(s[0]) < 0)
+                err(concat("bad hand '", std::string(s), "'"));
+            return static_cast<uint8_t>(handIndex(s[0]));
+          }
+        }
+        err("unreachable");
+    }
+
+    /** Parse "disp(base)" or "(base)" or "disp". */
+    void
+    parseMem(std::string_view s, int64_t* disp, SrcRef* base)
+    {
+        s = trim(s);
+        auto open = s.find('(');
+        if (open == std::string_view::npos) {
+            *disp = parseInt(s);
+            *base = SrcRef{};
+            if (isa_ == Isa::Riscv)
+                base->dist = kRegZero;
+            else if (isa_ == Isa::Straight)
+                base->dist = kStraightZeroDist;
+            else {
+                base->hand = HandS;
+                base->dist = kHandZeroDist;
+            }
+            return;
+        }
+        if (s.back() != ')')
+            err("expected ')'");
+        auto head = trim(s.substr(0, open));
+        *disp = head.empty() ? 0 : parseInt(head);
+        *base = parseSrc(s.substr(open + 1, s.size() - open - 2));
+    }
+
+    // --- line handling ----------------------------------------------------
+
+    void
+    handleLine(std::string_view raw)
+    {
+        std::string_view s = trim(stripComment(raw));
+        while (!s.empty()) {
+            // Leading labels.
+            size_t colon = std::string_view::npos;
+            for (size_t i = 0; i < s.size(); ++i) {
+                char c = s[i];
+                if (c == ':') {
+                    colon = i;
+                    break;
+                }
+                if (!(std::isalnum(static_cast<unsigned char>(c)) ||
+                      c == '_' || c == '.' || c == '$')) {
+                    break;
+                }
+            }
+            if (colon == std::string_view::npos)
+                break;
+            std::string name(trim(s.substr(0, colon)));
+            if (name.empty())
+                err("empty label");
+            if (inData_)
+                builder_.defineDataLabel(name);
+            else
+                builder_.defineLabel(name);
+            s = trim(s.substr(colon + 1));
+        }
+        if (s.empty())
+            return;
+        if (s[0] == '.')
+            handleDirectiveOrInst(s);
+        else
+            handleInst(s);
+    }
+
+    void
+    handleDirectiveOrInst(std::string_view s)
+    {
+        size_t sp = s.find_first_of(" \t");
+        std::string head(s.substr(0, sp));
+        std::string_view rest =
+            sp == std::string_view::npos ? std::string_view{} : trim(s.substr(sp));
+        if (head == ".text") {
+            inData_ = false;
+        } else if (head == ".data") {
+            inData_ = true;
+        } else if (head == ".globl" || head == ".global" ||
+                   head == ".type" || head == ".size" || head == ".option") {
+            // accepted and ignored
+        } else if (head == ".entry") {
+            builder_.setEntry(std::string(rest));
+        } else if (head == ".align") {
+            const int64_t n = parseInt(rest);
+            if (inData_)
+                builder_.dataAlign(size_t{1} << n);
+        } else if (head == ".byte" || head == ".half" || head == ".word" ||
+                   head == ".dword") {
+            for (const auto& part : split(rest, ',')) {
+                const int64_t v = parseInt(part);
+                if (head == ".byte")
+                    builder_.dataByte(static_cast<uint8_t>(v));
+                else if (head == ".half")
+                    builder_.dataHalf(static_cast<uint16_t>(v));
+                else if (head == ".word")
+                    builder_.dataWord(static_cast<uint32_t>(v));
+                else
+                    builder_.dataDword(static_cast<uint64_t>(v));
+            }
+        } else if (head == ".zero" || head == ".space") {
+            builder_.dataZero(static_cast<size_t>(parseInt(rest)));
+        } else if (head == ".asciz" || head == ".ascii") {
+            appendString(rest, head == ".asciz");
+        } else if (head == ".equ" || head == ".set") {
+            auto parts = split(rest, ',');
+            if (parts.size() != 2)
+                err(".equ needs name, value");
+            builder_.defineAbsolute(parts[0], parseInt(parts[1]));
+        } else {
+            // Labels like ".L3" parsed elsewhere; anything else here is an
+            // instruction with a dotted mnemonic (none exist) or an error.
+            err(concat("unknown directive '", head, "'"));
+        }
+    }
+
+    void
+    appendString(std::string_view rest, bool zeroTerminate)
+    {
+        rest = trim(rest);
+        if (rest.size() < 2 || rest.front() != '"' || rest.back() != '"')
+            err("expected quoted string");
+        for (size_t i = 1; i + 1 < rest.size(); ++i) {
+            char c = rest[i];
+            if (c == '\\' && i + 2 < rest.size()) {
+                ++i;
+                switch (rest[i]) {
+                  case 'n': c = '\n'; break;
+                  case 't': c = '\t'; break;
+                  case '0': c = '\0'; break;
+                  case '\\': c = '\\'; break;
+                  case '"': c = '"'; break;
+                  default: err("bad escape");
+                }
+            }
+            builder_.dataByte(static_cast<uint8_t>(c));
+        }
+        if (zeroTerminate)
+            builder_.dataByte(0);
+    }
+
+    // --- instruction assembly ----------------------------------------------
+
+    static const std::map<std::string_view, Op>&
+    mnemonicMap()
+    {
+        static const std::map<std::string_view, Op> m = [] {
+            std::map<std::string_view, Op> out;
+            for (int i = 0; i < kNumOps; ++i) {
+                const Op op = static_cast<Op>(i);
+                out[opInfo(op).mnemonic] = op;
+            }
+            return out;
+        }();
+        return m;
+    }
+
+    /** Split the operand list on commas that are not inside (). */
+    std::vector<std::string>
+    splitOperands(std::string_view s)
+    {
+        std::vector<std::string> out;
+        int depth = 0;
+        size_t start = 0;
+        for (size_t i = 0; i <= s.size(); ++i) {
+            if (i == s.size() || (s[i] == ',' && depth == 0)) {
+                auto piece = trim(s.substr(start, i - start));
+                if (!piece.empty())
+                    out.emplace_back(piece);
+                start = i + 1;
+            } else if (s[i] == '(') {
+                ++depth;
+            } else if (s[i] == ')') {
+                --depth;
+            }
+        }
+        return out;
+    }
+
+    void
+    handleInst(std::string_view s)
+    {
+        size_t sp = s.find_first_of(" \t");
+        std::string mnem(s.substr(0, sp));
+        std::vector<std::string> ops =
+            sp == std::string_view::npos
+                ? std::vector<std::string>{}
+                : splitOperands(trim(s.substr(sp)));
+
+        if (handlePseudo(mnem, ops))
+            return;
+
+        auto it = mnemonicMap().find(mnem);
+        if (it == mnemonicMap().end())
+            err(concat("unknown mnemonic '", mnem, "'"));
+        assembleOp(it->second, ops);
+    }
+
+    bool
+    handlePseudo(const std::string& mnem, std::vector<std::string>& ops)
+    {
+        if (mnem == "li") {
+            // li dst, imm   (STRAIGHT: li imm)
+            if (isa_ == Isa::Straight) {
+                need(ops, 1);
+                emitLoadImm(builder_, 0, parseInt(ops[0]));
+            } else {
+                need(ops, 2);
+                emitLoadImm(builder_, parseDst(ops[0]), parseInt(ops[1]));
+            }
+            return true;
+        }
+        if (mnem == "la") {
+            // la dst, symbol (STRAIGHT: la symbol)
+            uint8_t dst = 0;
+            std::string sym;
+            if (isa_ == Isa::Straight) {
+                need(ops, 1);
+                sym = ops[0];
+            } else {
+                need(ops, 2);
+                dst = parseDst(ops[0]);
+                sym = ops[1];
+            }
+            Inst lui;
+            lui.op = Op::LUI;
+            lui.dst = dst;
+            builder_.emitFixup(lui, FixupKind::AbsHi20, sym);
+            Inst addi;
+            addi.op = Op::ADDI;
+            addi.dst = dst;
+            switch (isa_) {
+              case Isa::Riscv: addi.src1 = dst; break;
+              case Isa::Straight: addi.src1 = 1; break;
+              case Isa::Clockhands:
+                addi.src1Hand = dst;
+                addi.src1 = 0;
+                break;
+            }
+            builder_.emitFixup(addi, FixupKind::AbsLo12, sym);
+            return true;
+        }
+        if (mnem == "call") {
+            // call symbol: jal to symbol with the conventional link target.
+            need(ops, 1);
+            Inst jal;
+            jal.op = Op::JAL;
+            jal.dst = isa_ == Isa::Riscv ? kRegRa : uint8_t{HandS};
+            builder_.emitFixup(jal, FixupKind::PcRel, ops[0]);
+            return true;
+        }
+        if (mnem == "ret") {
+            Inst jr;
+            jr.op = Op::JR;
+            if (isa_ == Isa::Riscv) {
+                need(ops, 0);
+                jr.src1 = kRegRa;
+            } else {
+                need(ops, 1);
+                SrcRef src = parseSrc(ops[0]);
+                jr.src1 = src.dist;
+                jr.src1Hand = src.hand;
+            }
+            builder_.emit(jr);
+            return true;
+        }
+        if (mnem == "beqz" || mnem == "bnez") {
+            need(ops, 2);
+            Inst br;
+            br.op = mnem == "beqz" ? Op::BEQ : Op::BNE;
+            SrcRef src = parseSrc(ops[0]);
+            br.src1 = src.dist;
+            br.src1Hand = src.hand;
+            if (isa_ == Isa::Riscv) {
+                br.src2 = kRegZero;
+            } else if (isa_ == Isa::Straight) {
+                br.src2 = kStraightZeroDist;
+            } else {
+                br.src2Hand = HandS;
+                br.src2 = kHandZeroDist;
+            }
+            emitBranchTarget(br, ops[1]);
+            return true;
+        }
+        return false;
+    }
+
+    void
+    need(const std::vector<std::string>& ops, size_t n)
+    {
+        if (ops.size() != n)
+            err(concat("expected ", n, " operands, got ", ops.size()));
+    }
+
+    void
+    emitBranchTarget(Inst inst, const std::string& target)
+    {
+        if (auto v = tryParseInt(target)) {
+            inst.imm = *v;
+            builder_.emit(inst);
+        } else {
+            builder_.emitFixup(inst, FixupKind::PcRel, target);
+        }
+    }
+
+    void
+    assembleOp(Op op, const std::vector<std::string>& ops)
+    {
+        const OpInfo& info = opInfo(op);
+        Inst inst;
+        inst.op = op;
+
+        // Operand list shape per ISA: STRAIGHT drops the dst operand.
+        const bool hasDstOperand = info.hasDst && isa_ != Isa::Straight;
+        size_t i = 0;
+        auto nextOp = [&]() -> const std::string& {
+            if (i >= ops.size())
+                err("missing operand");
+            return ops[i++];
+        };
+
+        switch (info.fmt) {
+          case Fmt::R: {
+            if (hasDstOperand)
+                inst.dst = parseDst(nextOp());
+            if (info.numSrcs >= 1) {
+                SrcRef s1 = parseSrc(nextOp());
+                inst.src1 = s1.dist;
+                inst.src1Hand = s1.hand;
+            }
+            if (info.numSrcs >= 2) {
+                SrcRef s2 = parseSrc(nextOp());
+                inst.src2 = s2.dist;
+                inst.src2Hand = s2.hand;
+            }
+            break;
+          }
+          case Fmt::I: {
+            if (hasDstOperand)
+                inst.dst = parseDst(nextOp());
+            if (info.isLoad() || op == Op::JALR || op == Op::JR) {
+                int64_t disp;
+                SrcRef base;
+                parseMem(nextOp(), &disp, &base);
+                inst.imm = disp;
+                inst.src1 = base.dist;
+                inst.src1Hand = base.hand;
+            } else if (op == Op::MV) {
+                SrcRef s1 = parseSrc(nextOp());
+                inst.src1 = s1.dist;
+                inst.src1Hand = s1.hand;
+            } else {
+                SrcRef s1 = parseSrc(nextOp());
+                inst.src1 = s1.dist;
+                inst.src1Hand = s1.hand;
+                inst.imm = parseInt(nextOp());
+            }
+            break;
+          }
+          case Fmt::S: {
+            // op data, disp(base)
+            SrcRef data = parseSrc(nextOp());
+            inst.src2 = data.dist;
+            inst.src2Hand = data.hand;
+            int64_t disp;
+            SrcRef base;
+            parseMem(nextOp(), &disp, &base);
+            inst.imm = disp;
+            inst.src1 = base.dist;
+            inst.src1Hand = base.hand;
+            break;
+          }
+          case Fmt::B: {
+            SrcRef s1 = parseSrc(nextOp());
+            inst.src1 = s1.dist;
+            inst.src1Hand = s1.hand;
+            SrcRef s2 = parseSrc(nextOp());
+            inst.src2 = s2.dist;
+            inst.src2Hand = s2.hand;
+            emitBranchTarget(inst, nextOp());
+            if (i != ops.size())
+                err("extra operands");
+            return;
+          }
+          case Fmt::U: {
+            if (hasDstOperand)
+                inst.dst = parseDst(nextOp());
+            inst.imm = parseInt(nextOp());
+            break;
+          }
+          case Fmt::J: {
+            if (op == Op::SPADDI) {
+                if (isa_ != Isa::Straight)
+                    err("spaddi is STRAIGHT-only");
+                inst.imm = parseInt(nextOp());
+                break;
+            }
+            if (hasDstOperand) {
+                // "jal target" sugar: default link register/hand.
+                if (ops.size() == 1) {
+                    inst.dst =
+                        isa_ == Isa::Riscv ? kRegRa : uint8_t{HandS};
+                } else {
+                    inst.dst = parseDst(nextOp());
+                }
+            }
+            emitBranchTarget(inst, nextOp());
+            if (i != ops.size())
+                err("extra operands");
+            return;
+          }
+          case Fmt::None:
+            break;
+        }
+        if (i != ops.size())
+            err("extra operands");
+        builder_.emit(inst);
+    }
+
+    Isa isa_;
+    std::string_view source_;
+    ModuleBuilder builder_;
+    size_t line_ = 0;
+    bool inData_ = false;
+};
+
+} // namespace
+
+Program
+assemble(Isa isa, std::string_view source)
+{
+    Assembler assembler(isa, source);
+    return assembler.run();
+}
+
+} // namespace ch

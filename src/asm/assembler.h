@@ -1,0 +1,37 @@
+#ifndef CH_ASM_ASSEMBLER_H
+#define CH_ASM_ASSEMBLER_H
+
+/**
+ * @file
+ * Text assemblers for the three ISAs, accepting the paper's assembly
+ * syntax (Fig. 1):
+ *
+ *   RISC:        addi a5, zero, 0      sw a5, 0(a0)     bne a1, a5, .L3
+ *   STRAIGHT:    addi zero, 0          sw [5], 0([3])   bne [1], [4], .L2
+ *   Clockhands:  addi t, zero, 0       sw t[1], 0(t[0]) bne t[0], v[1], .L3
+ *
+ * Supported directives: .text .data .globl .entry .align .byte .half
+ * .word .dword .zero .asciz .equ. Supported pseudo-instructions:
+ * li, la, call, ret, beqz, bnez. Comments start with '#' or "//".
+ */
+
+#include <string>
+#include <string_view>
+
+#include "mem/program.h"
+
+namespace ch {
+
+/**
+ * Assemble @p source for @p isa. fatal() with a line-numbered message on
+ * any syntax or range error. The program entry point defaults to the
+ * first instruction and can be set with `.entry symbol`.
+ */
+Program assemble(Isa isa, std::string_view source);
+
+/** Parse a RISC register name ("a0", "x7", "f3", ...); -1 when invalid. */
+int parseRiscReg(std::string_view name);
+
+} // namespace ch
+
+#endif // CH_ASM_ASSEMBLER_H

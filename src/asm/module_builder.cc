@@ -1,0 +1,230 @@
+#include "asm/module_builder.h"
+
+#include "common/bitutil.h"
+#include "common/logging.h"
+#include "isa/encoding.h"
+
+namespace ch {
+
+void
+ModuleBuilder::defineLabel(const std::string& name)
+{
+    if (symbols_.count(name))
+        fatal("duplicate label: ", name);
+    symbols_[name] = nextTextAddr();
+}
+
+void
+ModuleBuilder::emit(const Inst& inst)
+{
+    insts_.push_back(inst);
+}
+
+void
+ModuleBuilder::emitFixup(const Inst& inst, FixupKind kind,
+                         const std::string& symbol, int64_t addend)
+{
+    fixups_.push_back({insts_.size(), kind, symbol, addend});
+    insts_.push_back(inst);
+}
+
+void
+ModuleBuilder::defineDataLabel(const std::string& name)
+{
+    if (symbols_.count(name))
+        fatal("duplicate label: ", name);
+    symbols_[name] = dataAddr();
+}
+
+void
+ModuleBuilder::dataBytes(const void* bytes, size_t len)
+{
+    const auto* p = static_cast<const uint8_t*>(bytes);
+    data_.insert(data_.end(), p, p + len);
+}
+
+void
+ModuleBuilder::dataZero(size_t len)
+{
+    data_.insert(data_.end(), len, 0);
+}
+
+void
+ModuleBuilder::dataAlign(size_t align)
+{
+    CH_ASSERT(isPowerOf2(align), "alignment must be a power of two");
+    while (data_.size() & (align - 1))
+        data_.push_back(0);
+}
+
+void
+ModuleBuilder::defineAbsolute(const std::string& name, uint64_t value)
+{
+    if (symbols_.count(name))
+        fatal("duplicate symbol: ", name);
+    symbols_[name] = value;
+}
+
+bool
+ModuleBuilder::hasSymbol(const std::string& name) const
+{
+    return symbols_.count(name) != 0;
+}
+
+Program
+ModuleBuilder::finalize()
+{
+    for (const auto& fx : fixups_) {
+        auto it = symbols_.find(fx.symbol);
+        if (it == symbols_.end())
+            fatal("undefined symbol: ", fx.symbol);
+        const int64_t target = static_cast<int64_t>(it->second) + fx.addend;
+        Inst& inst = insts_[fx.index];
+        const int64_t pc =
+            static_cast<int64_t>(layout::kTextBase) + 4 * fx.index;
+        switch (fx.kind) {
+          case FixupKind::PcRel:
+            inst.imm = target - pc;
+            break;
+          case FixupKind::AbsHi20:
+            inst.imm = (target + 0x800) >> 12;
+            break;
+          case FixupKind::AbsLo12:
+            inst.imm = signExtend(static_cast<uint64_t>(target) & 0xfff, 12);
+            break;
+          case FixupKind::None:
+            break;
+        }
+    }
+
+    Program prog;
+    prog.isa = isa_;
+    prog.textBase = layout::kTextBase;
+    prog.text.reserve(insts_.size());
+    for (size_t i = 0; i < insts_.size(); ++i) {
+        if (!encodable(isa_, insts_[i])) {
+            fatal("instruction ", i, " (pc ", layout::kTextBase + 4 * i,
+                  ") not encodable for ", isaName(isa_), ": ",
+                  disassemble(isa_, insts_[i]));
+        }
+        prog.text.push_back(encode(isa_, insts_[i]));
+    }
+    prog.decoded = insts_;
+    if (!data_.empty())
+        prog.data.push_back({layout::kDataBase, data_});
+    prog.symbols = symbols_;
+    prog.entry = entrySymbol_.empty() ? prog.textBase
+                                      : prog.symbol(entrySymbol_);
+    return prog;
+}
+
+namespace {
+
+/** Make a source operand reading the architectural zero. */
+void
+setZeroSrc1(Isa isa, Inst& inst)
+{
+    switch (isa) {
+      case Isa::Riscv:
+        inst.src1 = kRegZero;
+        break;
+      case Isa::Straight:
+        inst.src1 = kStraightZeroDist;
+        break;
+      case Isa::Clockhands:
+        inst.src1Hand = HandS;
+        inst.src1 = kHandZeroDist;
+        break;
+    }
+}
+
+/** Make src1 reference the result of the previous instruction / @p dst. */
+void
+setPrevSrc1(Isa isa, uint8_t dst, Inst& inst)
+{
+    switch (isa) {
+      case Isa::Riscv:
+        inst.src1 = dst;
+        break;
+      case Isa::Straight:
+        inst.src1 = 1;
+        break;
+      case Isa::Clockhands:
+        inst.src1Hand = dst;
+        inst.src1 = 0;
+        break;
+    }
+}
+
+int
+loadImmRec(ModuleBuilder& b, uint8_t dst, int64_t value)
+{
+    const Isa isa = b.isa();
+    // Small constants: one addi from zero. Use the narrowest I-format
+    // immediate of the three ISAs so behaviour matches across targets.
+    if (fitsSigned(value, 12)) {
+        Inst inst;
+        inst.op = Op::ADDI;
+        inst.dst = dst;
+        inst.imm = value;
+        setZeroSrc1(isa, inst);
+        b.emit(inst);
+        return 1;
+    }
+    // 32-bit signed constants: lui (+ addiw). The high part wraps modulo
+    // 2^20 and addiw re-truncates to 32 bits, so values near 2^31 (whose
+    // hi+0x800 carries out of the 20-bit field) still materialize exactly.
+    if (fitsSigned(value, 32)) {
+        const int64_t hi =
+            signExtend(static_cast<uint64_t>((value + 0x800) >> 12) & 0xfffff,
+                       20);
+        const int64_t lo = signExtend(static_cast<uint64_t>(value) & 0xfff,
+                                      12);
+        Inst lui;
+        lui.op = Op::LUI;
+        lui.dst = dst;
+        lui.imm = hi;
+        b.emit(lui);
+        if (lo == 0)
+            return 1;
+        Inst addi;
+        addi.op = Op::ADDIW;
+        addi.dst = dst;
+        addi.imm = lo;
+        setPrevSrc1(isa, dst, addi);
+        b.emit(addi);
+        return 2;
+    }
+    // Wide constants: materialize the upper part, shift, then or-in the
+    // low 12 bits, recursively (standard RV64 expansion).
+    const int64_t lo = signExtend(static_cast<uint64_t>(value) & 0xfff, 12);
+    const int64_t rest = (value - lo) >> 12;
+    int n = loadImmRec(b, dst, rest);
+    Inst slli;
+    slli.op = Op::SLLI;
+    slli.dst = dst;
+    slli.imm = 12;
+    setPrevSrc1(isa, dst, slli);
+    b.emit(slli);
+    ++n;
+    if (lo != 0) {
+        Inst addi;
+        addi.op = Op::ADDI;
+        addi.dst = dst;
+        addi.imm = lo;
+        setPrevSrc1(isa, dst, addi);
+        b.emit(addi);
+        ++n;
+    }
+    return n;
+}
+
+} // namespace
+
+int
+emitLoadImm(ModuleBuilder& b, uint8_t dst, int64_t value)
+{
+    return loadImmRec(b, dst, value);
+}
+
+} // namespace ch

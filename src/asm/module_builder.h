@@ -1,0 +1,122 @@
+#ifndef CH_ASM_MODULE_BUILDER_H
+#define CH_ASM_MODULE_BUILDER_H
+
+/**
+ * @file
+ * Incremental program construction with symbolic label references. Both
+ * the text assemblers and the compiler backends emit through this class;
+ * finalize() resolves fixups, range-checks every field, encodes the text,
+ * and returns a runnable Program.
+ */
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "isa/isa.h"
+#include "mem/program.h"
+
+namespace ch {
+
+/** How an unresolved symbol patches into an instruction's immediate. */
+enum class FixupKind : uint8_t {
+    None,
+    PcRel,    ///< imm = symbol + addend - pc (branches, jal, j)
+    AbsHi20,  ///< imm = high 20 bits of (symbol + addend), lui-style
+    AbsLo12,  ///< imm = low 12 bits of (symbol + addend), signed
+};
+
+/** Builder for one executable image. */
+class ModuleBuilder
+{
+  public:
+    explicit ModuleBuilder(Isa isa) : isa_(isa) {}
+
+    Isa isa() const { return isa_; }
+
+    // --- text -----------------------------------------------------------
+
+    /** Bind @p name to the current end of text. */
+    void defineLabel(const std::string& name);
+
+    /** Append an instruction with no symbolic reference. */
+    void emit(const Inst& inst);
+
+    /** Append an instruction whose immediate refers to @p symbol. */
+    void emitFixup(const Inst& inst, FixupKind kind, const std::string& symbol,
+                   int64_t addend = 0);
+
+    /** Address the next emitted instruction will occupy. */
+    uint64_t
+    nextTextAddr() const
+    {
+        return layout::kTextBase + 4 * insts_.size();
+    }
+
+    /** Number of instructions emitted so far. */
+    size_t numInsts() const { return insts_.size(); }
+
+    // --- data -----------------------------------------------------------
+
+    /** Bind @p name to the current end of the data segment. */
+    void defineDataLabel(const std::string& name);
+
+    void dataBytes(const void* bytes, size_t len);
+    void dataByte(uint8_t v) { dataBytes(&v, 1); }
+    void dataHalf(uint16_t v) { dataBytes(&v, 2); }
+    void dataWord(uint32_t v) { dataBytes(&v, 4); }
+    void dataDword(uint64_t v) { dataBytes(&v, 8); }
+    void dataZero(size_t len);
+    void dataAlign(size_t align);
+
+    /** Current absolute address of the end of the data segment. */
+    uint64_t dataAddr() const { return layout::kDataBase + data_.size(); }
+
+    // --- symbols --------------------------------------------------------
+
+    /** Define an absolute symbol (e.g. .equ). */
+    void defineAbsolute(const std::string& name, uint64_t value);
+
+    bool hasSymbol(const std::string& name) const;
+
+    /** Set the entry point to @p symbol (default: first instruction). */
+    void setEntry(const std::string& symbol) { entrySymbol_ = symbol; }
+
+    // --- finalize -------------------------------------------------------
+
+    /**
+     * Resolve all fixups, encode the text, and produce a Program.
+     * fatal() on undefined symbols or out-of-range immediates.
+     */
+    Program finalize();
+
+  private:
+    struct PendingFixup {
+        size_t index;       ///< instruction index in insts_
+        FixupKind kind;
+        std::string symbol;
+        int64_t addend;
+    };
+
+    Isa isa_;
+    std::vector<Inst> insts_;
+    std::vector<PendingFixup> fixups_;
+    std::vector<uint8_t> data_;
+    std::map<std::string, uint64_t> symbols_;
+    std::string entrySymbol_;
+};
+
+/**
+ * Emit a "load 64-bit constant" sequence ending with the constant in
+ * @p dst (RISC: register; Clockhands: hand; STRAIGHT: @p dst ignored and
+ * the constant lands in the newest ring slot). Returns the number of
+ * instructions emitted. Intermediate steps of a multi-instruction
+ * expansion reference their immediate predecessor, so distance-based ISAs
+ * stay self-consistent.
+ */
+int emitLoadImm(ModuleBuilder& b, uint8_t dst, int64_t value);
+
+} // namespace ch
+
+#endif // CH_ASM_MODULE_BUILDER_H

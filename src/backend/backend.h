@@ -1,0 +1,55 @@
+#ifndef CH_BACKEND_BACKEND_H
+#define CH_BACKEND_BACKEND_H
+
+/**
+ * @file
+ * Compiler backends: VCode -> executable Program for each of the three
+ * ISAs (Fig. 10's right-hand side). All backends share the driver that
+ * lays out globals and emits the _start stub; they differ exactly in the
+ * register assignment phase:
+ *
+ *  - RISC: linear-scan allocation onto the RV64 integer/FP files with
+ *    callee-saved preference across calls and frame spilling.
+ *  - STRAIGHT: distance scheduling: every value gets a ring position;
+ *    canonical frames at join points / loop headers are re-established
+ *    with relay `mv`s, max-distance relays keep references encodable,
+ *    values live across calls are spilled (the three overheads of
+ *    Fig. 2 arise here naturally).
+ *  - Clockhands: hand assignment (Section 6.2: s = SP/args/ret,
+ *    v = loop constants via the greedy maximal-independent-set of
+ *    Algorithm 1 + callee-saved, t = short-lived, u = the rest) followed
+ *    by the same distance scheduler run per hand.
+ */
+
+#include <string_view>
+
+#include "ir/vcode.h"
+#include "mem/program.h"
+
+namespace ch {
+
+/** Compile a VCode module to an executable image for @p isa. */
+Program compileVModule(const VModule& mod, Isa isa);
+
+/** MiniC source -> executable, end to end. */
+Program compileMiniC(std::string_view source, Isa isa);
+
+/** Per-vreg hand assignment result (exposed for tests / Fig. 16). */
+struct HandPlan {
+    /** Hand per vreg (HandT/HandU/HandV/HandS). */
+    std::vector<uint8_t> handOf;
+    /** Vregs demoted to stack memory (capacity overflow). */
+    std::vector<bool> inMemory;
+    /** Vregs recognized as loop constants assigned to v. */
+    std::vector<bool> isLoopConstant;
+};
+
+/**
+ * Run the Clockhands hand-assignment pass (Algorithm 1) in isolation.
+ * Exposed so tests can check the classification directly.
+ */
+HandPlan assignHands(const VFunc& f);
+
+} // namespace ch
+
+#endif // CH_BACKEND_BACKEND_H

@@ -1,0 +1,40 @@
+#ifndef CH_BACKEND_COMMON_H
+#define CH_BACKEND_COMMON_H
+
+/**
+ * @file
+ * Backend-internal shared helpers: per-function emission interface and
+ * linearization utilities.
+ */
+
+#include <string>
+
+#include "asm/module_builder.h"
+#include "backend/backend.h"
+#include "ir/analysis.h"
+#include "ir/vcode.h"
+
+namespace ch {
+
+/** Label naming shared by all backends. */
+inline std::string
+blockLabel(const std::string& fn, int block)
+{
+    return ".L" + fn + "_" + std::to_string(block);
+}
+
+/** Compile one function into @p builder (per-ISA implementations). */
+void emitRiscvFunc(ModuleBuilder& builder, const VFunc& f);
+void emitDistanceFunc(ModuleBuilder& builder, const VFunc& f, Isa isa);
+
+/**
+ * STRAIGHT analogue of the Clockhands hand plan: every value lives in the
+ * single result ring (hand 0); values live across calls are demoted to
+ * stack memory, since a callee's dynamic instruction count makes their
+ * ring distance unknowable (the paper's load/store increase).
+ */
+HandPlan straightPlan(const VFunc& f);
+
+} // namespace ch
+
+#endif // CH_BACKEND_COMMON_H

@@ -1,0 +1,1307 @@
+#include <algorithm>
+#include <array>
+#include <climits>
+#include <map>
+
+#include "backend/common.h"
+#include "common/bitutil.h"
+#include "common/logging.h"
+
+namespace ch {
+
+namespace {
+
+// Pseudo-value ids tracked alongside virtual registers in the position
+// map. Negative so they never collide with vreg ids.
+constexpr int kSpVal = -10;        ///< current SP (Clockhands: s hand)
+constexpr int kRaVal = -11;        ///< return address (leaf functions)
+constexpr int kCallerSpVal = -12;  ///< caller SP at function entry
+constexpr int kTmp1 = -20;         ///< per-instruction reload temporaries
+constexpr int kTmp2 = -21;
+
+/**
+ * Emits one function for STRAIGHT or Clockhands by tracking, for every
+ * live value, the hand-relative write position of its producer. See
+ * backend.h for the big picture. The key invariants:
+ *
+ *  - STRAIGHT: every emitted instruction advances the single ring by one
+ *    write; a value written as the P-th write is referenced at distance
+ *    (cnt - P + 1), which must stay within [1, kStraightMaxDist].
+ *  - Clockhands: only value-producing instructions advance their
+ *    destination hand; distance is (cnt[h] - P) in [0, 15] (s: [0, 14]).
+ *  - Every basic block that is not a straight-line continuation of its
+ *    single predecessor has a canonical entry frame: the most recent
+ *    writes of each hand are exactly the block's live-in values of that
+ *    hand in ascending vreg order (STRAIGHT additionally has one newest
+ *    "junk" slot written by the arriving control transfer -- re-created
+ *    by a nop on fall-through edges, the paper's Fig. 2(c) overhead).
+ *    Predecessors re-establish the frame with relay mv instructions,
+ *    which is where the Fig. 2(a) loop-constant and Fig. 2(b)
+ *    max-distance overheads appear for STRAIGHT and disappear for
+ *    Clockhands.
+ */
+class DistanceEmitter
+{
+  public:
+    DistanceEmitter(ModuleBuilder& b, const VFunc& f, Isa isa)
+        : b_(b),
+          f_(f),
+          isa_(isa),
+          straight_(isa == Isa::Straight),
+          plan_(straight_ ? straightPlan(f) : assignHands(f)),
+          live_(f)
+    {
+    }
+
+    void
+    run()
+    {
+        analyze();
+        layoutFrame();
+        buildFrames();
+        b_.defineLabel(f_.name);
+        emitPrologue();
+        // If something branches back to block 0 (rare), establish its
+        // canonical frame explicitly before entering it.
+        if (!inherits_[0])
+            reconcileTo(0, /*transferWrites=*/0);
+        for (size_t bi = 0; bi < f_.blocks.size(); ++bi)
+            emitBlock(static_cast<int>(bi));
+    }
+
+  private:
+    // =====================================================================
+    // Position accounting
+    // =====================================================================
+
+    /** Where a value currently resides (values can sit temporarily in a
+     *  hand other than their assigned one, e.g. call results in s). */
+    struct Track {
+        int64_t pos;
+        int hand;
+    };
+
+    /** The hand a value is *assigned* to (destination of its writes). */
+    int
+    handOf(int v) const
+    {
+        if (straight_)
+            return 0;
+        if (v == kSpVal || v == kRaVal || v == kCallerSpVal)
+            return HandS;
+        if (v == kTmp1 || v == kTmp2)
+            return HandT;
+        CH_ASSERT(v >= 0, "bad tracked id");
+        return plan_.handOf[v];
+    }
+
+    /**
+     * The hand a value is kept in at canonical points: leaf-function
+     * parameters stay in s (where the convention delivered them); all
+     * other values use their assigned hand.
+     */
+    int
+    homeHand(int v) const
+    {
+        if (!straight_ && leaf_ && v >= 0 && v < f_.numParams)
+            return HandS;
+        return handOf(v);
+    }
+
+    /** The hand a tracked value currently lives in. */
+    int
+    curHandOf(int v) const
+    {
+        auto it = pos_.find(v);
+        CH_ASSERT(it != pos_.end(), "untracked value ", v);
+        return straight_ ? 0 : it->second.hand;
+    }
+
+    int
+    limitOf(int hand) const
+    {
+        if (straight_)
+            return kStraightMaxDist;
+        return hand == HandS ? kHandDepth - 2 : kHandDepth - 1;
+    }
+
+    bool tracked(int v) const { return pos_.count(v) != 0; }
+
+    int64_t
+    dist(int v) const
+    {
+        auto it = pos_.find(v);
+        CH_ASSERT(it != pos_.end(), "untracked value ", v, " in ", f_.name);
+        const int h = straight_ ? 0 : it->second.hand;
+        return cnt_[h] - it->second.pos + (straight_ ? 1 : 0);
+    }
+
+    /** Account the ring/hand write of an emitted instruction. */
+    void
+    accountWrite(const Inst& inst, int dstV)
+    {
+        if (straight_) {
+            ++cnt_[0];
+            if (dstV != INT_MIN)
+                pos_[dstV] = {cnt_[0], 0};
+        } else if (inst.info().hasDst) {
+            ++cnt_[inst.dst];
+            if (dstV != INT_MIN)
+                pos_[dstV] = {cnt_[inst.dst], inst.dst};
+        }
+    }
+
+    /** Relay @p v with a mv so its distance resets to the minimum. */
+    void
+    relayRaw(int v)
+    {
+        Inst mv;
+        mv.op = Op::MV;
+        setSrc1(mv, v);
+        if (!straight_)
+            mv.dst = static_cast<uint8_t>(homeHand(v));
+        b_.emit(mv);
+        accountWrite(mv, v);  // re-homes v
+        ++relayCount_;
+    }
+
+    /** Relay any tracked value about to fall out of reach of @p hand. */
+    void
+    fixAging(int hand)
+    {
+        for (int guard = 0; guard < 4096; ++guard) {
+            int worst = INT_MIN;
+            int64_t worstDist = -1;
+            for (const auto& [v, t] : pos_) {
+                if ((straight_ ? 0 : t.hand) != hand)
+                    continue;
+                const int64_t d = cnt_[hand] - t.pos + (straight_ ? 1 : 0);
+                if (d >= limitOf(hand) && d > worstDist) {
+                    worstDist = d;
+                    worst = v;
+                }
+            }
+            if (worst == INT_MIN)
+                return;
+            CH_ASSERT(worstDist <= limitOf(hand),
+                      "value escaped reach in ", f_.name);
+            relayRaw(worst);
+        }
+        panic("fixAging did not converge in ", f_.name);
+    }
+
+    /** Emit + account + keep every tracked value reachable. */
+    void
+    emitI(const Inst& inst, int dstV = INT_MIN)
+    {
+        b_.emit(inst);
+        accountWrite(inst, dstV);
+        if (straight_)
+            fixAging(0);
+        else if (inst.info().hasDst)
+            fixAging(inst.dst);
+    }
+
+    void
+    emitFixI(const Inst& inst, FixupKind kind, const std::string& sym,
+             int dstV = INT_MIN)
+    {
+        b_.emitFixup(inst, kind, sym);
+        accountWrite(inst, dstV);
+        if (straight_)
+            fixAging(0);
+        else if (inst.info().hasDst)
+            fixAging(inst.dst);
+    }
+
+    // --- source operand construction -------------------------------------
+
+    void
+    setSrcField(Inst& inst, int which, int hand, int64_t d)
+    {
+        if (which == 1) {
+            inst.src1 = static_cast<uint8_t>(d);
+            inst.src1Hand = static_cast<uint8_t>(hand);
+        } else {
+            inst.src2 = static_cast<uint8_t>(d);
+            inst.src2Hand = static_cast<uint8_t>(hand);
+        }
+    }
+
+    void
+    setSrc(Inst& inst, int which, int v)
+    {
+        if (v == kVZero) {
+            if (straight_) {
+                setSrcField(inst, which, 0, kStraightZeroDist);
+            } else {
+                setSrcField(inst, which, HandS, kHandZeroDist);
+            }
+            return;
+        }
+        const int h = curHandOf(v);
+        const int64_t d = dist(v);
+        CH_ASSERT(d >= (straight_ ? 1 : 0) && d <= limitOf(h),
+                  "operand out of reach: v", v, " d", d, " in ", f_.name);
+        setSrcField(inst, which, h, d);
+    }
+
+    void setSrc1(Inst& inst, int v) { setSrc(inst, 1, v); }
+    void setSrc2(Inst& inst, int v) { setSrc(inst, 2, v); }
+
+    /** STRAIGHT: make src1 the special SP base. */
+    void
+    setSrc1Sp(Inst& inst)
+    {
+        if (straight_) {
+            inst.src1 = kStraightSpBase;
+        } else {
+            setSrc1(inst, kSpVal);
+        }
+    }
+
+    /** Relay sources until each is reachable with @p headroom to spare. */
+    void
+    ensureReachable(std::initializer_list<int> vals, int headroom = 0)
+    {
+        for (int guard = 0; guard < 4096; ++guard) {
+            bool again = false;
+            for (int v : vals) {
+                if (v == kVZero || v == INT_MIN || !tracked(v))
+                    continue;
+                if (dist(v) + headroom > limitOf(curHandOf(v))) {
+                    relayRaw(v);
+                    again = true;
+                }
+            }
+            if (!again)
+                return;
+        }
+        panic("ensureReachable did not converge in ", f_.name);
+    }
+
+    // =====================================================================
+    // Analyses, frame layout
+    // =====================================================================
+
+    void
+    analyze()
+    {
+        leaf_ = true;
+        for (const auto& blk : f_.blocks) {
+            for (const auto& inst : blk.insts) {
+                if (inst.vop == VOp::Call)
+                    leaf_ = false;
+            }
+        }
+        // Clockhands: a function that writes the v hand at all shifts the
+        // caller's v distances, so it must save/restore the eight
+        // callee-saved v positions (Section 4.4).
+        usesV_ = false;
+        if (!straight_) {
+            for (int v = 0; v < f_.numVRegs; ++v) {
+                if (homeHand(v) == HandV) {
+                    usesV_ = true;
+                    break;
+                }
+            }
+        }
+        CfgInfo cfg = buildCfg(f_);
+
+        // A block inherits its single layout-predecessor's exit state when
+        // that predecessor's final emitted path flows into it. The entry
+        // block inherits the prologue's state (whose argument layout does
+        // not match the generic frame order).
+        inherits_.assign(f_.blocks.size(), false);
+        if (!f_.blocks.empty())
+            inherits_[0] = cfg.preds[0].empty();
+        for (size_t bi = 1; bi < f_.blocks.size(); ++bi) {
+            const int prev = static_cast<int>(bi) - 1;
+            if (cfg.preds[bi].size() != 1 || cfg.preds[bi][0] != prev)
+                continue;
+            const VBlock& pb = f_.blocks[prev];
+            bool finalEdge = false;
+            if (pb.fallThrough == static_cast<int>(bi)) {
+                finalEdge = true;
+            } else if (!pb.insts.empty()) {
+                const VInst& last = pb.insts.back();
+                if (last.isMachine() &&
+                    last.info().brKind == BrKind::Jump &&
+                    last.target == static_cast<int>(bi)) {
+                    finalEdge = true;
+                }
+            } else if (pb.fallThrough < 0 && pb.insts.empty()) {
+                finalEdge = true;
+            }
+            // Plain unterminated block flowing into bi.
+            if (!finalEdge && pb.fallThrough < 0 &&
+                (pb.insts.empty() || !(pb.insts.back().vop == VOp::Ret ||
+                                       pb.insts.back().isTerminatorBranch()))) {
+                finalEdge = true;
+            }
+            inherits_[bi] = finalEdge;
+        }
+
+    }
+
+    void
+    buildFrames()
+    {
+        // Canonical frames, per hand, ordered oldest-to-newest. Ordinary
+        // values sort ascending by vreg id. Leaf functions keep their
+        // parameters where the calling convention delivered them (the s
+        // hand / the entry ring positions), in arrival order
+        // [argN .. arg1], so straight-line leaves reconcile for free.
+        frames_.resize(f_.blocks.size());
+        for (const auto& blk : f_.blocks) {
+            auto& frame = frames_[blk.id];
+            std::vector<int> paramsLive;
+            for (int v : live_.liveInRegs(blk.id)) {
+                if (plan_.inMemory[v])
+                    continue;
+                if (leaf_ && v < f_.numParams)
+                    continue;  // added below, dead or alive
+                frame[homeHand(v)].push_back(v);
+            }
+            if (leaf_) {
+                // Keep every parameter in the frame (even dead ones):
+                // placeholders preserve the entry layout's contiguity, so
+                // untouched s states reconcile with zero moves.
+                for (int p = 0; p < f_.numParams; ++p) {
+                    if (!plan_.inMemory[p])
+                        paramsLive.push_back(p);
+                }
+            }
+            // Arrival order: argN (oldest) .. arg1 (newest) = descending.
+            std::sort(paramsLive.begin(), paramsLive.end(),
+                      std::greater<int>());
+
+            if (straight_) {
+                std::vector<int> ring = paramsLive;
+                if (leaf_)
+                    ring.push_back(kRaVal);
+                ring.insert(ring.end(), frame[0].begin(), frame[0].end());
+                frame[0] = std::move(ring);
+            } else {
+                std::vector<int> sHand;
+                if (lightFrame_)
+                    sHand.push_back(kCallerSpVal);
+                sHand.insert(sHand.end(), paramsLive.begin(),
+                             paramsLive.end());
+                if (leaf_)
+                    sHand.push_back(kRaVal);
+                if (!lightFrame_)
+                    sHand.push_back(kSpVal);
+                frame[HandS] = std::move(sHand);
+            }
+        }
+    }
+
+    void
+    layoutFrame()
+    {
+        int64_t off = 0;
+        for (const auto& slot : f_.frameSlots) {
+            off = alignUp(off, static_cast<uint64_t>(slot.align));
+            slotOffset_.push_back(off);
+            off += slot.size;
+        }
+        off = alignUp(off, 8);
+        memSlot_.assign(f_.numVRegs, -1);
+        for (int v = 0; v < f_.numVRegs; ++v) {
+            if (plan_.inMemory[v]) {
+                memSlot_[v] = off;
+                off += 8;
+            }
+        }
+        if (usesV_) {
+            vSaveOffset_ = off;
+            off += 64;
+        }
+        if (!leaf_) {
+            raOffset_ = off;
+            off += 8;
+        }
+        frameSize_ = static_cast<int64_t>(alignUp(off, 16));
+        lightFrame_ = !straight_ && leaf_ && frameSize_ == 0 && !usesV_;
+    }
+
+    // =====================================================================
+    // Memory-resident values
+    // =====================================================================
+
+    /** Load memory vreg @p v, tracked under temp id @p tmpId. */
+    void
+    reload(int v, int tmpId)
+    {
+        Inst ld;
+        ld.op = Op::LD;
+        setSrc1Sp(ld);
+        ld.imm = memSlot_[v];
+        if (!straight_)
+            ld.dst = HandT;
+        emitI(ld, tmpId);
+    }
+
+    /** Largest store offset encodable in the target's S format. */
+    int64_t
+    storeImmLimit() const
+    {
+        return straight_ ? 1023 : 4095;
+    }
+
+    /**
+     * SP-relative 8-byte store with an offset that may exceed the store
+     * format's immediate: falls back to materializing the address.
+     */
+    void
+    storeToFrame(int64_t offset, int srcV)
+    {
+        if (offset <= storeImmLimit()) {
+            Inst st;
+            st.op = Op::SD;
+            setSrc1Sp(st);
+            setSrc2(st, srcV);
+            st.imm = offset;
+            emitI(st);
+            return;
+        }
+        Inst addr;
+        addr.op = Op::ADDI;
+        setSrc1Sp(addr);
+        addr.imm = offset;
+        if (!straight_)
+            addr.dst = HandT;
+        emitI(addr, kTmp2);
+        Inst st;
+        st.op = Op::SD;
+        setSrc1(st, kTmp2);
+        setSrc2(st, srcV);
+        st.imm = 0;
+        emitI(st);
+        pos_.erase(kTmp2);
+    }
+
+    /** Store the just-produced value of memory vreg @p v to its slot. */
+    void
+    spillStore(int v)
+    {
+        storeToFrame(memSlot_[v], v);
+    }
+
+    // =====================================================================
+    // Reconciliation
+    // =====================================================================
+
+    /**
+     * Re-establish @p block's canonical frame, assuming the edge will be
+     * completed by @p transferWrites ring writes (STRAIGHT: 1 for j /
+     * branch, 0 for plain fall-through). Emits relay mvs (and, for a
+     * STRAIGHT fall-through, the Fig. 2(c) nop).
+     */
+    void
+    reconcileTo(int block, int transferWrites)
+    {
+        if (!straight_) {
+            for (int h = 0; h < kNumHands; ++h)
+                reconcileHand(frames_[block][h], h);
+            return;
+        }
+        const auto& frame = frames_[block][0];
+        // Fall-through edges may need an explicit junk slot (nop).
+        if (transferWrites == 0) {
+            if (framePlaced(frame, 0, /*junkWrites=*/0))
+                return;  // the state happens to match exactly
+            reconcileHand(frame, 0);
+            Inst nop;
+            nop.op = Op::NOP;
+            emitI(nop);
+            ++nopCount_;
+        } else {
+            reconcileHand(frame, 0);
+            // The caller emits the transfer, providing the junk slot.
+        }
+    }
+
+    /**
+     * True when the whole frame already sits at its target positions with
+     * zero mvs and zero extra junk writes (STRAIGHT fall-through check).
+     */
+    bool
+    framePlaced(const std::vector<int>& frame, size_t k, int junkWrites)
+    {
+        const int h = 0;
+        const int64_t n = static_cast<int64_t>(frame.size());
+        const int64_t c = cnt_[h] + static_cast<int64_t>(k) + junkWrites;
+        for (size_t i = 0; i + k < frame.size(); ++i) {
+            auto it = pos_.find(frame[i]);
+            if (it == pos_.end())
+                return false;
+            if (it->second.pos != c - n + static_cast<int64_t>(i))
+                return false;
+        }
+        return true;
+    }
+
+    /**
+     * Emit the mv suffix that re-establishes @p frame for hand @p h.
+     *
+     * Target positions (C = entry count after all pre-entry writes):
+     *   Clockhands: frame[i] at C - n + 1 + i      (frame[n-1] newest)
+     *   STRAIGHT:   frame[i] at C - n + i          (junk slot at C)
+     * where C = cnt + k (+1 junk, STRAIGHT) after k suffix mvs.
+     *
+     * A safety pre-pass relays any tracked value of this hand whose
+     * distance could exceed the limit during the worst-case write burst
+     * (all frame mvs plus all pre-pass relays); the per-hand capacity
+     * budgets in hand assignment guarantee that burst fits the limit.
+     */
+    void
+    reconcileHand(const std::vector<int>& frame, int h)
+    {
+        const int64_t n = static_cast<int64_t>(frame.size());
+        if (n == 0)
+            return;
+
+        // Safety pre-pass: W = worst-case number of writes this hand may
+        // see before any given value is read again during reconciliation.
+        int m = 0;
+        for (const auto& [v, t] : pos_) {
+            if ((straight_ ? 0 : t.hand) == h)
+                ++m;
+        }
+        const int64_t w = n + m;
+        // Frame members first (canonical order), then the rest.
+        std::vector<int> order = frame;
+        for (const auto& [v, t] : pos_) {
+            if ((straight_ ? 0 : t.hand) != h)
+                continue;
+            if (std::find(frame.begin(), frame.end(), v) == frame.end())
+                order.push_back(v);
+        }
+        for (int v : order) {
+            if (!tracked(v))
+                panic("frame value v", v, " untracked in ", f_.name);
+            if (dist(v) + w > limitOf(h))
+                relayRaw(v);
+        }
+
+        // Max kept prefix: smallest k whose kept values are in place.
+        const int64_t junk = straight_ ? 1 : 0;
+        size_t k = frame.size();
+        for (size_t tryK = 0; tryK <= frame.size(); ++tryK) {
+            const int64_t c = cnt_[h] + static_cast<int64_t>(tryK) + junk;
+            bool ok = true;
+            for (size_t i = 0; i + tryK < frame.size(); ++i) {
+                auto it = pos_.find(frame[i]);
+                const int64_t target =
+                    straight_ ? c - n + static_cast<int64_t>(i)
+                              : c - n + 1 + static_cast<int64_t>(i);
+                if (it == pos_.end() || it->second.pos != target ||
+                    (!straight_ && it->second.hand != h)) {
+                    ok = false;
+                    break;
+                }
+            }
+            if (ok) {
+                k = tryK;
+                break;
+            }
+        }
+        for (size_t j = 0; j < k; ++j)
+            relayRaw(frame[frame.size() - k + j]);
+    }
+
+    /** Reset tracking to @p block's canonical entry frame. */
+    void
+    canonicalizeEntry(int block)
+    {
+        std::map<int, Track> fresh;
+        for (int h = 0; h < (straight_ ? 1 : kNumHands); ++h) {
+            const auto& frame = frames_[block][h];
+            const int64_t n = static_cast<int64_t>(frame.size());
+            for (int64_t i = 0; i < n; ++i) {
+                const int64_t posv =
+                    straight_ ? cnt_[h] - (n + 1) + i + 1
+                              : cnt_[h] - n + i + 1;
+                fresh[frame[i]] = {posv, h};
+            }
+        }
+        pos_ = std::move(fresh);
+    }
+
+    /** Drop tracked entries that are dead at @p block entry. */
+    void
+    pruneToLiveIn(int block)
+    {
+        std::map<int, Track> kept;
+        for (const auto& [v, t] : pos_) {
+            if (v == kTmp1 || v == kTmp2)
+                continue;
+            if (v < 0 || (leaf_ && v < f_.numParams)) {
+                kept.emplace(v, t);
+                continue;
+            }
+            if (live_.liveIn(block, v))
+                kept.emplace(v, t);
+        }
+        pos_ = std::move(kept);
+    }
+
+    // =====================================================================
+    // Prologue / epilogue
+    // =====================================================================
+
+    void
+    emitPrologue()
+    {
+        const int nargs = f_.numParams;
+        pos_.clear();
+        for (auto& c : cnt_)
+            c = 0;
+
+        if (!straight_ && nargs > 10) {
+            fatal("function ", f_.name, " has ", nargs,
+                  " parameters; the Clockhands s hand supports at most 10");
+        }
+        if (straight_) {
+            // Entry ring state: [argN .. arg1, ra].
+            cnt_[0] = nargs + 1;
+            for (int i = 1; i <= nargs; ++i)
+                pos_[i - 1] = {nargs + 1 - i, 0};
+            pos_[kRaVal] = {nargs + 1, 0};
+            if (frameSize_ > 0) {
+                Inst sp;
+                sp.op = Op::SPADDI;
+                sp.imm = -frameSize_;
+                emitI(sp);
+            }
+        } else {
+            // Entry s state: [callerSP, argN .. arg1, ra].
+            cnt_[HandS] = nargs + 2;
+            pos_[kCallerSpVal] = {1, HandS};
+            for (int i = 1; i <= nargs; ++i)
+                pos_[i - 1] = {nargs + 2 - i, HandS};
+            pos_[kRaVal] = {nargs + 2, HandS};
+            if (lightFrame_) {
+                // Frameless leaf: never establish a local SP; the
+                // epilogue re-exposes the caller's SP at s[0].
+            } else {
+                // Establish our SP at s[0] (Section 4.4):
+                //   addi s, s[nargs+1], -frameSize
+                Inst sp;
+                sp.op = Op::ADDI;
+                sp.dst = HandS;
+                setSrc1(sp, kCallerSpVal);
+                sp.imm = -frameSize_;
+                emitI(sp, kSpVal);
+                pos_.erase(kCallerSpVal);
+            }
+        }
+
+        if (!leaf_) {
+            storeToFrame(raOffset_, kRaVal);
+            pos_.erase(kRaVal);
+        }
+
+        if (usesV_) {
+            // Save the caller's v[0..7] before any v write.
+            for (int k = 0; k < 8; ++k) {
+                Inst st;
+                st.op = Op::SD;
+                setSrc1Sp(st);
+                st.src2Hand = HandV;
+                st.src2 = static_cast<uint8_t>(k);
+                st.imm = vSaveOffset_ + 8 * k;
+                CH_ASSERT(st.imm <= storeImmLimit(),
+                          "v save area out of reach");
+                emitI(st);
+            }
+        }
+
+        // Home the parameters. Leaf functions write s only in the
+        // epilogue, so their parameters can stay s-resident and be read
+        // at constant distances (the reconciler migrates any that later
+        // frames need in their assigned hands).
+        for (int p = 0; p < nargs; ++p) {
+            if (!tracked(p))
+                continue;
+            if (plan_.inMemory[p]) {
+                spillStore(p);
+                pos_.erase(p);
+            } else if (!straight_ && !leaf_ && handOf(p) != HandS) {
+                Inst mv;
+                mv.op = Op::MV;
+                setSrc1(mv, p);
+                mv.dst = static_cast<uint8_t>(handOf(p));
+                emitI(mv, p);
+            }
+            // STRAIGHT parameters simply stay in the ring.
+        }
+        // In Clockhands, drop any parameter still keyed to s positions
+        // (unused or s-resident copies are re-homed above).
+    }
+
+    void
+    emitRet(const VInst& ret)
+    {
+        // Load the return address first (while SP still addresses our
+        // frame), then the value, restore SP, and jump.
+        int raRef = kRaVal;
+        if (!leaf_) {
+            Inst ld;
+            ld.op = Op::LD;
+            setSrc1Sp(ld);
+            ld.imm = raOffset_;
+            if (!straight_)
+                ld.dst = HandT;
+            emitI(ld, kTmp2);
+            raRef = kTmp2;
+        }
+
+        if (straight_) {
+            int retRef = ret.src1;
+            if (ret.src1 >= 0 && plan_.inMemory[ret.src1]) {
+                reload(ret.src1, kTmp1);
+                retRef = kTmp1;
+            }
+            if (frameSize_ > 0) {
+                Inst sp;
+                sp.op = Op::SPADDI;
+                sp.imm = frameSize_;
+                emitI(sp);
+            }
+            if (ret.src1 >= 0) {
+                // Return value must be the second-to-last write (the jr
+                // provides the final slot): callers read it at [2].
+                Inst mv;
+                mv.op = Op::MV;
+                setSrc1(mv, retRef);
+                emitI(mv);
+            }
+            Inst jr;
+            jr.op = Op::JR;
+            setSrc1(jr, raRef);
+            emitI(jr);
+        } else {
+            // Write the return value to s (always before the SP restore,
+            // so callers find SP at s[0] and the value at s[1]).
+            if (ret.src1 >= 0) {
+                if (plan_.inMemory[ret.src1]) {
+                    Inst ld;
+                    ld.op = Op::LD;
+                    setSrc1Sp(ld);
+                    ld.imm = memSlot_[ret.src1];
+                    ld.dst = HandS;
+                    emitI(ld);
+                } else {
+                    Inst mv;
+                    mv.op = Op::MV;
+                    setSrc1(mv, ret.src1);
+                    mv.dst = HandS;
+                    emitI(mv);
+                }
+            }
+            if (usesV_) {
+                // Re-create the caller's v[0..7]: write v[7] first so the
+                // final eight v writes are the saved values in order.
+                for (auto it = pos_.begin(); it != pos_.end();) {
+                    it = (!straight_ && it->second.hand == HandV)
+                             ? pos_.erase(it)
+                             : std::next(it);
+                }
+                for (int k = 7; k >= 0; --k) {
+                    Inst ld;
+                    ld.op = Op::LD;
+                    setSrc1Sp(ld);
+                    ld.imm = vSaveOffset_ + 8 * k;
+                    ld.dst = HandV;
+                    emitI(ld);
+                }
+            }
+
+            // Restore the caller SP to s[0]: either undo our frame
+            // adjustment or (frameless leaf) copy the still-live caller
+            // SP forward.
+            Inst sp;
+            if (lightFrame_) {
+                sp.op = Op::MV;
+                sp.dst = HandS;
+                setSrc1(sp, kCallerSpVal);
+                emitI(sp, kCallerSpVal);
+            } else {
+                sp.op = Op::ADDI;
+                sp.dst = HandS;
+                setSrc1(sp, kSpVal);
+                sp.imm = frameSize_;
+                emitI(sp, kSpVal);
+            }
+
+            Inst jr;
+            jr.op = Op::JR;
+            setSrc1(jr, raRef);
+            emitI(jr);
+        }
+    }
+
+    // =====================================================================
+    // Calls
+    // =====================================================================
+
+    void
+    emitCall(const VInst& call)
+    {
+        if (!straight_) {
+            // Live v values must sit within the callee-saved window
+            // v[0..7] (Section 4.4).
+            for (int guard = 0; guard < 1024; ++guard) {
+                int worst = INT_MIN;
+                int64_t worstDist = -1;
+                for (const auto& [v, t] : pos_) {
+                    if (v < 0 || t.hand != HandV)
+                        continue;
+                    const int64_t d = cnt_[HandV] - t.pos;
+                    if (d > 7 && d > worstDist) {
+                        worstDist = d;
+                        worst = v;
+                    }
+                }
+                if (worst == INT_MIN)
+                    break;
+                relayRaw(worst);
+            }
+        }
+
+        // Marshal arguments: argN first, arg1 last, into the ring / s.
+        for (int i = static_cast<int>(call.args.size()) - 1; i >= 0; --i) {
+            const int arg = call.args[i];
+            if (arg >= 0 && plan_.inMemory[arg]) {
+                Inst ld;
+                ld.op = Op::LD;
+                setSrc1Sp(ld);
+                ld.imm = memSlot_[arg];
+                if (!straight_)
+                    ld.dst = HandS;
+                emitI(ld);
+            } else {
+                ensureReachable({arg});
+                Inst mv;
+                mv.op = Op::MV;
+                setSrc1(mv, arg);
+                if (!straight_)
+                    mv.dst = HandS;
+                emitI(mv);
+            }
+        }
+
+        Inst jal;
+        jal.op = Op::JAL;
+        if (!straight_)
+            jal.dst = HandS;
+        emitFixI(jal, FixupKind::PcRel, call.sym);
+
+        // Post-call state.
+        if (straight_) {
+            // Everything in the ring is stale; the callee's last two
+            // writes are [return value, jr slot].
+            pos_.clear();
+            cnt_[0] += 2;
+            if (call.dst >= 0) {
+                pos_[call.dst] = {cnt_[0] - 1, 0};
+                if (plan_.inMemory[call.dst]) {
+                    spillStore(call.dst);
+                    pos_.erase(call.dst);
+                }
+            }
+        } else {
+            // t, u, s are clobbered; v values within the callee-saved
+            // window keep their exact distances.
+            for (auto it = pos_.begin(); it != pos_.end();) {
+                bool keep = false;
+                if (it->second.hand == HandV &&
+                    cnt_[HandV] - it->second.pos <= 7) {
+                    keep = true;
+                }
+                it = keep ? std::next(it) : pos_.erase(it);
+            }
+            cnt_[HandS] += 2;
+            pos_[kSpVal] = {cnt_[HandS], HandS};
+            if (call.dst >= 0) {
+                // Return value arrives at s[1]; move it home.
+                pos_[call.dst] = {cnt_[HandS] - 1, HandS};
+                if (plan_.inMemory[call.dst]) {
+                    spillStore(call.dst);
+                    pos_.erase(call.dst);
+                } else {
+                    Inst mv;
+                    mv.op = Op::MV;
+                    setSrc1(mv, call.dst);
+                    mv.dst = static_cast<uint8_t>(handOf(call.dst));
+                    emitI(mv, call.dst);
+                }
+            }
+        }
+    }
+
+    // =====================================================================
+    // Instruction emission
+    // =====================================================================
+
+    void
+    emitMachine(const VInst& vinst)
+    {
+        const OpInfo& info = opInfo(vinst.op);
+        // Reload memory-resident sources into temporaries first.
+        int src1 = vinst.src1;
+        int src2 = vinst.src2;
+        if (src1 >= 0 && plan_.inMemory[src1]) {
+            reload(src1, kTmp1);
+            src1 = kTmp1;
+        }
+        if (src2 >= 0 && plan_.inMemory[src2]) {
+            if (src2 == vinst.src1) {
+                src2 = src1;  // same value, reuse the reload
+            } else {
+                reload(src2, kTmp2);
+                src2 = kTmp2;
+            }
+        }
+        ensureReachable({info.numSrcs >= 1 ? src1 : INT_MIN,
+                         info.numSrcs >= 2 ? src2 : INT_MIN});
+
+        Inst inst;
+        inst.op = vinst.op;
+        inst.imm = vinst.imm;
+        if (info.numSrcs >= 1)
+            setSrc1(inst, src1);
+        if (info.numSrcs >= 2)
+            setSrc2(inst, src2);
+
+        int dstV = INT_MIN;
+        if (info.hasDst && vinst.dst >= 0) {
+            dstV = vinst.dst;
+            if (!straight_)
+                inst.dst = static_cast<uint8_t>(homeHand(vinst.dst));
+        } else if (info.hasDst && !straight_) {
+            inst.dst = HandT;  // discarded result
+        }
+        emitI(inst, dstV);
+        if (dstV != INT_MIN && plan_.inMemory[dstV]) {
+            spillStore(dstV);
+            pos_.erase(dstV);
+        }
+        pos_.erase(kTmp1);
+        pos_.erase(kTmp2);
+    }
+
+    void
+    emitLoadImmSeq(const VInst& vinst)
+    {
+        const int dstV = vinst.dst;
+        const int hand = straight_ ? 0 : homeHand(dstV);
+        loadImmRec(vinst.imm, hand, dstV);
+        if (plan_.inMemory[dstV]) {
+            spillStore(dstV);
+            pos_.erase(dstV);
+        }
+    }
+
+    void
+    loadImmRec(int64_t value, int hand, int dstV)
+    {
+        // Chained steps reference the previous step through the tracked
+        // position of dstV (NOT a hardcoded distance 1): aging relays may
+        // interleave between steps and shift raw distances.
+        auto prevRef = [&](Inst& inst) { setSrc1(inst, dstV); };
+        auto zeroRef = [&](Inst& inst) {
+            if (straight_) {
+                inst.src1 = kStraightZeroDist;
+            } else {
+                inst.src1Hand = HandS;
+                inst.src1 = kHandZeroDist;
+            }
+        };
+        if (fitsSigned(value, 12)) {
+            Inst addi;
+            addi.op = Op::ADDI;
+            addi.dst = static_cast<uint8_t>(hand);
+            zeroRef(addi);
+            addi.imm = value;
+            emitI(addi, dstV);
+            return;
+        }
+        if (fitsSigned(value, 32)) {
+            const int64_t hi = signExtend(
+                static_cast<uint64_t>((value + 0x800) >> 12) & 0xfffff, 20);
+            const int64_t lo =
+                signExtend(static_cast<uint64_t>(value) & 0xfff, 12);
+            Inst lui;
+            lui.op = Op::LUI;
+            lui.dst = static_cast<uint8_t>(hand);
+            lui.imm = hi;
+            emitI(lui, dstV);
+            if (lo == 0)
+                return;
+            Inst addi;
+            addi.op = Op::ADDIW;
+            addi.dst = static_cast<uint8_t>(hand);
+            prevRef(addi);
+            addi.imm = lo;
+            emitI(addi, dstV);
+            return;
+        }
+        const int64_t lo = signExtend(static_cast<uint64_t>(value) & 0xfff,
+                                      12);
+        const int64_t rest = (value - lo) >> 12;
+        loadImmRec(rest, hand, dstV);
+        Inst slli;
+        slli.op = Op::SLLI;
+        slli.dst = static_cast<uint8_t>(hand);
+        prevRef(slli);
+        slli.imm = 12;
+        emitI(slli, dstV);
+        if (lo != 0) {
+            Inst addi;
+            addi.op = Op::ADDI;
+            addi.dst = static_cast<uint8_t>(hand);
+            prevRef(addi);
+            addi.imm = lo;
+            emitI(addi, dstV);
+        }
+    }
+
+    void
+    emitLoadAddr(const VInst& vinst)
+    {
+        const int dstV = vinst.dst;
+        const int hand = straight_ ? 0 : homeHand(dstV);
+        Inst lui;
+        lui.op = Op::LUI;
+        lui.dst = static_cast<uint8_t>(hand);
+        emitFixI(lui, FixupKind::AbsHi20, vinst.sym, dstV);
+        Inst addi;
+        addi.op = Op::ADDI;
+        addi.dst = static_cast<uint8_t>(hand);
+        setSrc1(addi, dstV);  // tracked: survives interleaved relays
+        emitFixI(addi, FixupKind::AbsLo12, vinst.sym, dstV);
+        if (plan_.inMemory[dstV]) {
+            spillStore(dstV);
+            pos_.erase(dstV);
+        }
+    }
+
+    void
+    emitFrameAddr(const VInst& vinst)
+    {
+        const int dstV = vinst.dst;
+        Inst addi;
+        addi.op = Op::ADDI;
+        if (!straight_)
+            addi.dst = static_cast<uint8_t>(homeHand(dstV));
+        setSrc1Sp(addi);
+        addi.imm = slotOffset_[vinst.frameSlot];
+        emitI(addi, dstV);
+        if (plan_.inMemory[dstV]) {
+            spillStore(dstV);
+            pos_.erase(dstV);
+        }
+    }
+
+    // =====================================================================
+    // Block emission and terminators
+    // =====================================================================
+
+    void
+    emitBlock(int bi)
+    {
+        const VBlock& blk = f_.blocks[bi];
+        b_.defineLabel(blockLabel(f_.name, bi));
+        if (inherits_[bi])
+            pruneToLiveIn(bi);
+        else
+            canonicalizeEntry(bi);
+
+        // Last in-block use index per vreg, so dead values stop being
+        // tracked (and relayed) as soon as possible.
+        std::map<int, size_t> lastUse;
+        for (size_t i = 0; i < blk.insts.size(); ++i) {
+            for (int u : vinstUses(blk.insts[i]))
+                lastUse[u] = i;
+        }
+        auto pruneDead = [&](size_t i) {
+            const VInst& vinst = blk.insts[i];
+            for (int u : vinstUses(vinst)) {
+                if (leaf_ && u >= 0 && u < f_.numParams)
+                    continue;  // leaf params stay as frame placeholders
+                if (u >= 0 && lastUse[u] == i && !live_.liveOut(bi, u))
+                    pos_.erase(u);
+            }
+            const int d = vinst.dst;
+            if (d >= 0 && !live_.liveOut(bi, d)) {
+                auto it = lastUse.find(d);
+                if (it == lastUse.end() || it->second <= i)
+                    pos_.erase(d);
+            }
+        };
+
+        bool terminated = false;
+        for (size_t i = 0; i < blk.insts.size(); ++i) {
+            const VInst& inst = blk.insts[i];
+            if (inst.isTerminatorBranch()) {
+                emitTerminator(inst, blk, bi);
+                terminated = true;
+                break;
+            }
+            switch (inst.vop) {
+              case VOp::Machine:
+                emitMachine(inst);
+                break;
+              case VOp::LoadImm:
+                emitLoadImmSeq(inst);
+                break;
+              case VOp::LoadAddr:
+                emitLoadAddr(inst);
+                break;
+              case VOp::FrameAddr:
+                emitFrameAddr(inst);
+                break;
+              case VOp::Call:
+                emitCall(inst);
+                break;
+              case VOp::Ret:
+                emitRet(inst);
+                terminated = true;
+                break;
+            }
+            if (terminated)
+                break;
+            pruneDead(i);
+        }
+        if (!terminated) {
+            // Plain flow into the next block.
+            const int next = bi + 1;
+            if (next < static_cast<int>(f_.blocks.size()))
+                finishEdge(bi, next, /*mustJump=*/false);
+        }
+    }
+
+    void
+    emitTerminator(const VInst& term, const VBlock& blk, int bi)
+    {
+        const OpInfo& info = opInfo(term.op);
+        if (info.brKind == BrKind::Jump) {
+            finishEdge(bi, term.target, /*mustJump=*/true);
+            return;
+        }
+        // Conditional branch: sources must survive the taken-frame mvs.
+        CH_ASSERT(info.brKind == BrKind::Cond, "bad terminator");
+        const int taken = term.target;
+        const int fall = blk.fallThrough;
+
+        int src1 = term.src1;
+        int src2 = term.src2;
+        if (src1 >= 0 && plan_.inMemory[src1]) {
+            reload(src1, kTmp1);
+            src1 = kTmp1;
+        }
+        if (src2 >= 0 && plan_.inMemory[src2]) {
+            if (src2 == term.src1) {
+                src2 = src1;
+            } else {
+                reload(src2, kTmp2);
+                src2 = kTmp2;
+            }
+        }
+        // Headroom: the taken-frame reconcile emits at most |frame| mvs
+        // into each source's hand before the branch reads its operands.
+        int maxFrame = 0;
+        if (!inheritsEdge(bi, taken)) {
+            for (int h = 0; h < kNumHands; ++h) {
+                maxFrame = std::max(
+                    maxFrame, static_cast<int>(frames_[taken][h].size()));
+            }
+        }
+        ensureReachable({src1, src2}, maxFrame + 1);
+
+        // Taken-path frame first; the branch itself completes that edge.
+        if (!inheritsEdge(bi, taken))
+            reconcileTo(taken, /*transferWrites=*/1);
+
+        Inst br;
+        br.op = term.op;
+        setSrc1(br, src1);
+        setSrc2(br, src2);
+        emitFixI(br, FixupKind::PcRel, blockLabel(f_.name, taken));
+        pos_.erase(kTmp1);
+        pos_.erase(kTmp2);
+
+        // Fall path.
+        if (fall >= 0)
+            finishEdge(bi, fall, /*mustJump=*/false);
+    }
+
+    bool
+    inheritsEdge(int from, int to) const
+    {
+        return inherits_[to] && to == from + 1;
+    }
+
+    /** Complete the current path's edge into @p to. */
+    void
+    finishEdge(int from, int to, bool mustJump)
+    {
+        const bool adjacent = to == from + 1;
+        if (inheritsEdge(from, to) && !mustJump) {
+            return;  // straight-line continuation, no frame needed
+        }
+        if (inheritsEdge(from, to) && mustJump && adjacent) {
+            return;  // jump to the adjacent inheriting block: elide it
+        }
+        if (adjacent && !mustJump) {
+            reconcileTo(to, /*transferWrites=*/0);
+            return;
+        }
+        reconcileTo(to, /*transferWrites=*/1);
+        Inst j;
+        j.op = Op::J;
+        emitFixI(j, FixupKind::PcRel, blockLabel(f_.name, to));
+    }
+
+    // =====================================================================
+
+    ModuleBuilder& b_;
+    const VFunc& f_;
+    Isa isa_;
+    bool straight_;
+    HandPlan plan_;
+    LiveSets live_;
+
+    bool leaf_ = true;
+    bool usesV_ = false;
+    bool lightFrame_ = false;
+    std::vector<bool> inherits_;
+    std::vector<std::array<std::vector<int>, kNumHands>> frames_;
+
+    int64_t cnt_[kNumHands] = {0, 0, 0, 0};
+    std::map<int, Track> pos_;
+
+    std::vector<int64_t> slotOffset_;
+    std::vector<int64_t> memSlot_;
+    int64_t vSaveOffset_ = 0;
+    int64_t raOffset_ = 0;
+    int64_t frameSize_ = 0;
+
+    uint64_t relayCount_ = 0;
+    uint64_t nopCount_ = 0;
+};
+
+} // namespace
+
+void
+emitDistanceFunc(ModuleBuilder& builder, const VFunc& f, Isa isa)
+{
+    DistanceEmitter emitter(builder, f, isa);
+    emitter.run();
+}
+
+} // namespace ch

@@ -1,0 +1,106 @@
+#include "backend/backend.h"
+
+#include "backend/common.h"
+#include "common/logging.h"
+#include "frontc/codegen.h"
+
+namespace ch {
+
+namespace {
+
+/** Emit the _start stub: call main, then exit(main's return value). */
+void
+emitStart(ModuleBuilder& b, Isa isa)
+{
+    b.defineLabel("_start");
+    switch (isa) {
+      case Isa::Riscv: {
+        Inst jal;
+        jal.op = Op::JAL;
+        jal.dst = kRegRa;
+        b.emitFixup(jal, FixupKind::PcRel, "main");
+        Inst ec;
+        ec.op = Op::ECALL;
+        ec.dst = kRegZero;
+        ec.src1 = 10;  // a0 = return value
+        ec.imm = 0;    // Sys::Exit
+        b.emit(ec);
+        break;
+      }
+      case Isa::Straight: {
+        // main entry frame: [1] = return address. On return:
+        // [1] = jr slot, [2] = return value.
+        Inst jal;
+        jal.op = Op::JAL;
+        b.emitFixup(jal, FixupKind::PcRel, "main");
+        Inst ec;
+        ec.op = Op::ECALL;
+        ec.src1 = 2;
+        ec.imm = 0;
+        b.emit(ec);
+        break;
+      }
+      case Isa::Clockhands: {
+        // The emulator pre-writes SP into s, so s[0] = SP here; main
+        // takes no arguments, so its prologue uses s[1] for the SP.
+        Inst jal;
+        jal.op = Op::JAL;
+        jal.dst = HandS;
+        b.emitFixup(jal, FixupKind::PcRel, "main");
+        // After return: s[0] = our SP, s[1] = return value.
+        Inst ec;
+        ec.op = Op::ECALL;
+        ec.dst = HandT;
+        ec.src1Hand = HandS;
+        ec.src1 = 1;
+        ec.imm = 0;
+        b.emit(ec);
+        break;
+      }
+    }
+}
+
+} // namespace
+
+Program
+compileVModule(const VModule& mod, Isa isa)
+{
+    if (!mod.findFunc("main"))
+        fatal("module has no main()");
+
+    ModuleBuilder b(isa);
+
+    // Data segment.
+    for (const auto& g : mod.globals) {
+        b.dataAlign(static_cast<size_t>(g.align));
+        b.defineDataLabel(g.name);
+        if (!g.init.empty()) {
+            b.dataBytes(g.init.data(), g.init.size());
+            if (static_cast<int64_t>(g.init.size()) < g.size)
+                b.dataZero(g.size - g.init.size());
+        } else {
+            b.dataZero(static_cast<size_t>(g.size));
+        }
+    }
+
+    emitStart(b, isa);
+
+    for (const auto& f : mod.funcs) {
+        if (isa == Isa::Riscv)
+            emitRiscvFunc(b, f);
+        else
+            emitDistanceFunc(b, f, isa);
+    }
+
+    b.setEntry("_start");
+    return b.finalize();
+}
+
+Program
+compileMiniC(std::string_view source, Isa isa)
+{
+    VModule mod = compileToVCode(source);
+    return compileVModule(mod, isa);
+}
+
+} // namespace ch

@@ -1,0 +1,307 @@
+#include <algorithm>
+#include <set>
+
+#include "backend/backend.h"
+#include "backend/common.h"
+#include "common/logging.h"
+
+namespace ch {
+
+namespace {
+
+/** Linearized live range of a vreg (same scheme as the RISC allocator). */
+struct Range {
+    int start = 1 << 30;
+    int end = -1;
+    bool crossesCall = false;
+    bool used = false;
+};
+
+/** Per-hand capacity budget usable by allocatable values. The scheduler
+ *  needs slack under the architectural depth for relay/reconcile traffic. */
+// The distance scheduler's reconcile pre-pass needs cap + tracked-entry
+// slack to fit the reference-distance limit (see distance_sched.cc), so
+// the budgets sit well under the architectural depth of 16.
+constexpr int kHandCap[kNumHands] = {6, 6, 6, 0};  // t, u, v, s
+
+/** Live-range length below which a value is considered short-lived (t). */
+constexpr int kShortRange = 12;
+
+std::vector<Range>
+buildRanges(const VFunc& f, std::vector<int>* callPositions,
+            std::vector<int>* blockStart, std::vector<int>* blockEnd)
+{
+    std::vector<Range> ranges(f.numVRegs);
+    auto touch = [&](int v, int pos) {
+        ranges[v].start = std::min(ranges[v].start, pos);
+        ranges[v].end = std::max(ranges[v].end, pos);
+        ranges[v].used = true;
+    };
+    int pos = 0;
+    blockStart->resize(f.blocks.size());
+    blockEnd->resize(f.blocks.size());
+    for (const auto& blk : f.blocks) {
+        (*blockStart)[blk.id] = pos;
+        for (const auto& inst : blk.insts) {
+            if (inst.vop == VOp::Call)
+                callPositions->push_back(pos);
+            for (int u : vinstUses(inst))
+                touch(u, pos);
+            if (inst.dst >= 0)
+                touch(inst.dst, pos);
+            ++pos;
+        }
+        (*blockEnd)[blk.id] = pos;
+    }
+    for (int p = 0; p < f.numParams; ++p)
+        touch(p, 0);
+
+    LiveSets live(f);
+    for (const auto& blk : f.blocks) {
+        for (int v : live.liveInRegs(blk.id))
+            touch(v, (*blockStart)[blk.id]);
+        for (int v : live.liveOutRegs(blk.id))
+            touch(v, (*blockEnd)[blk.id]);
+    }
+    for (auto& r : ranges) {
+        for (int cp : *callPositions) {
+            if (r.start < cp && cp < r.end) {
+                r.crossesCall = true;
+                break;
+            }
+        }
+    }
+    return ranges;
+}
+
+} // namespace
+
+HandPlan
+assignHands(const VFunc& f)
+{
+    HandPlan plan;
+    plan.handOf.assign(f.numVRegs, HandU);
+    plan.inMemory.assign(f.numVRegs, false);
+    plan.isLoopConstant.assign(f.numVRegs, false);
+
+    CfgInfo cfg = buildCfg(f);
+    DomTree dom = buildDomTree(f, cfg);
+    LoopInfo loops = findLoops(f, cfg, dom);
+    LiveSets live(f);
+
+    std::vector<int> callPositions, blockStart, blockEnd;
+    std::vector<Range> ranges =
+        buildRanges(f, &callPositions, &blockStart, &blockEnd);
+
+    // ------------------------------------------------------------------
+    // Loop constants (Section 6.2): live into a loop header, not defined
+    // in the loop, and used inside it. Candidate x is associated with the
+    // outermost loop for which it is constant.
+    // ------------------------------------------------------------------
+    std::vector<std::set<int>> defsIn(loops.loops.size());
+    std::vector<std::set<int>> usesIn(loops.loops.size());
+    for (size_t li = 0; li < loops.loops.size(); ++li) {
+        for (int blk : loops.loops[li].blocks) {
+            for (const auto& inst : f.blocks[blk].insts) {
+                if (inst.dst >= 0)
+                    defsIn[li].insert(inst.dst);
+                for (int u : vinstUses(inst))
+                    usesIn[li].insert(u);
+            }
+        }
+    }
+
+    struct Candidate {
+        int vreg;
+        int loop;  ///< outermost loop it is constant for
+        int depth;
+    };
+    std::vector<Candidate> candidates;
+    std::set<int> candidateVregs;
+    for (size_t li = 0; li < loops.loops.size(); ++li) {
+        const auto& loop = loops.loops[li];
+        for (int v : live.liveInRegs(loop.header)) {
+            if (defsIn[li].count(v) || !usesIn[li].count(v))
+                continue;
+            bool better = false;
+            for (auto& c : candidates) {
+                if (c.vreg == v) {
+                    // Prefer the outermost (shallowest) qualifying loop.
+                    if (loop.depth < c.depth) {
+                        c.loop = static_cast<int>(li);
+                        c.depth = loop.depth;
+                    }
+                    better = true;
+                    break;
+                }
+            }
+            if (!better) {
+                candidates.push_back({v, static_cast<int>(li), loop.depth});
+                candidateVregs.insert(v);
+            }
+        }
+    }
+
+    // Algorithm 1 (greedy maximal independent set): drop x when some
+    // other candidate y's definition lies inside x's associated loop.
+    std::vector<int> defBlockOf(f.numVRegs, -1);
+    for (const auto& blk : f.blocks) {
+        for (const auto& inst : blk.insts) {
+            if (inst.dst >= 0)
+                defBlockOf[inst.dst] = blk.id;
+        }
+    }
+    std::set<int> vAssigned;
+    for (const auto& x : candidates) {
+        bool conflict = false;
+        for (const auto& y : candidates) {
+            if (y.vreg == x.vreg)
+                continue;
+            const int defBlk = defBlockOf[y.vreg];
+            if (defBlk >= 0 &&
+                std::binary_search(loops.loops[x.loop].blocks.begin(),
+                                   loops.loops[x.loop].blocks.end(),
+                                   defBlk)) {
+                conflict = true;
+                break;
+            }
+        }
+        if (!conflict)
+            vAssigned.insert(x.vreg);
+    }
+
+    // ------------------------------------------------------------------
+    // Classification: v for surviving loop constants, t for short-lived
+    // values that do not cross calls, u for the rest (Section 4.3).
+    // ------------------------------------------------------------------
+    std::vector<int> defBlock(f.numVRegs, -1);
+    for (const auto& blk : f.blocks) {
+        for (const auto& inst : blk.insts) {
+            if (inst.dst >= 0)
+                defBlock[inst.dst] = blk.id;
+        }
+    }
+    for (int v = 0; v < f.numVRegs; ++v) {
+        if (!ranges[v].used)
+            continue;
+        if (vAssigned.count(v)) {
+            plan.handOf[v] = HandV;
+            plan.isLoopConstant[v] = true;
+        } else if (ranges[v].crossesCall) {
+            // Only v survives calls (callee-saved v[0..7], Section 4.4).
+            // Values redefined inside a loop would force a v-frame
+            // reconcile every iteration, defeating the quiet-v property
+            // that lets loop constants sit still; spill those to memory
+            // instead (exactly what STRAIGHT must do for everything).
+            const int db = defBlock[v];
+            if (db >= 0 && loops.innermost[db] >= 0) {
+                plan.handOf[v] = HandU;
+                plan.inMemory[v] = true;
+            } else {
+                plan.handOf[v] = HandV;
+            }
+        } else if (ranges[v].end - ranges[v].start <= kShortRange) {
+            plan.handOf[v] = HandT;
+        } else {
+            plan.handOf[v] = HandU;
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Capacity enforcement: per hand, the maximum number of concurrently
+    // live values must leave slack for relays (and the v hand is limited
+    // to the eight callee-saved positions); overflow is demoted to stack
+    // memory, longest live ranges first.
+    // ------------------------------------------------------------------
+    for (int hand = 0; hand < kNumHands; ++hand) {
+        if (hand == HandS)
+            continue;
+        while (true) {
+            // Event sweep for maximum overlap among non-demoted members.
+            std::vector<std::pair<int, int>> events;  // pos, +1/-1
+            std::vector<int> members;
+            for (int v = 0; v < f.numVRegs; ++v) {
+                if (!ranges[v].used || plan.handOf[v] != hand ||
+                    plan.inMemory[v]) {
+                    continue;
+                }
+                members.push_back(v);
+                events.push_back({ranges[v].start, 1});
+                events.push_back({ranges[v].end + 1, -1});
+            }
+            std::sort(events.begin(), events.end());
+            int cur = 0, peak = 0;
+            for (const auto& [pos, delta] : events) {
+                cur += delta;
+                peak = std::max(peak, cur);
+            }
+            if (peak <= kHandCap[hand])
+                break;
+            // Demote the member with the longest range.
+            int worst = -1, worstLen = -1;
+            for (int v : members) {
+                const int len = ranges[v].end - ranges[v].start;
+                if (len > worstLen) {
+                    worstLen = len;
+                    worst = v;
+                }
+            }
+            plan.inMemory[worst] = true;
+        }
+    }
+    return plan;
+}
+
+HandPlan
+straightPlan(const VFunc& f)
+{
+    HandPlan plan;
+    plan.handOf.assign(f.numVRegs, 0);
+    plan.inMemory.assign(f.numVRegs, false);
+    plan.isLoopConstant.assign(f.numVRegs, false);
+
+    std::vector<int> callPositions, blockStart, blockEnd;
+    std::vector<Range> ranges =
+        buildRanges(f, &callPositions, &blockStart, &blockEnd);
+
+    // Values live across a call cannot stay in the ring.
+    for (int v = 0; v < f.numVRegs; ++v) {
+        if (ranges[v].used && ranges[v].crossesCall)
+            plan.inMemory[v] = true;
+    }
+
+    // Ring capacity: demote longest live ranges until the peak number of
+    // concurrently live ring values leaves relay headroom.
+    constexpr int kRingCap = 55;
+    while (true) {
+        std::vector<std::pair<int, int>> events;
+        std::vector<int> members;
+        for (int v = 0; v < f.numVRegs; ++v) {
+            if (!ranges[v].used || plan.inMemory[v])
+                continue;
+            members.push_back(v);
+            events.push_back({ranges[v].start, 1});
+            events.push_back({ranges[v].end + 1, -1});
+        }
+        std::sort(events.begin(), events.end());
+        int cur = 0, peak = 0;
+        for (const auto& [pos, delta] : events) {
+            cur += delta;
+            peak = std::max(peak, cur);
+        }
+        if (peak <= kRingCap)
+            break;
+        int worst = -1, worstLen = -1;
+        for (int v : members) {
+            const int len = ranges[v].end - ranges[v].start;
+            if (len > worstLen) {
+                worstLen = len;
+                worst = v;
+            }
+        }
+        plan.inMemory[worst] = true;
+    }
+    return plan;
+}
+
+} // namespace ch

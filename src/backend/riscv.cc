@@ -1,0 +1,612 @@
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "backend/common.h"
+#include "common/bitutil.h"
+#include "common/logging.h"
+
+namespace ch {
+
+namespace {
+
+// Register pools (RV64 ABI roles). x5..x7/x10..x17/x28..x29 caller-saved;
+// x8..x9/x18..x27 callee-saved; x30/x31 (t5/t6) reserved as spill scratch.
+const uint8_t kIntCaller[] = {5, 6, 7, 10, 11, 12, 13, 14, 15, 16, 17, 28,
+                              29};
+const uint8_t kIntCallee[] = {8, 9, 18, 19, 20, 21, 22, 23, 24, 25, 26, 27};
+const uint8_t kIntScratch0 = 30, kIntScratch1 = 31;
+
+// FP: ft0-7 / fa0-7 / ft8-9 caller-saved; fs0-11 callee-saved;
+// ft10/ft11 reserved as scratch.
+const uint8_t kFpCaller[] = {32, 33, 34, 35, 36, 37, 38, 39,
+                             42, 43, 44, 45, 46, 47, 48, 49, 60, 61};
+const uint8_t kFpCallee[] = {40, 41, 50, 51, 52, 53, 54, 55, 56, 57, 58, 59};
+const uint8_t kFpScratch0 = 62, kFpScratch1 = 63;
+
+const uint8_t kIntArgRegs[] = {10, 11, 12, 13, 14, 15, 16, 17};
+const uint8_t kFpArgRegs[] = {42, 43, 44, 45, 46, 47, 48, 49};
+
+struct Interval {
+    int vreg = -1;
+    int start = 0;
+    int end = 0;
+    bool fp = false;
+    bool crossesCall = false;
+};
+
+/** Where a vreg lives after allocation. */
+struct Loc {
+    enum Kind { None, Reg, Spill } kind = None;
+    uint8_t reg = 0;
+    int slot = -1;  ///< spill frame-slot index
+};
+
+class RiscvFuncEmitter
+{
+  public:
+    RiscvFuncEmitter(ModuleBuilder& b, const VFunc& f) : b_(b), f_(f) {}
+
+    void
+    run()
+    {
+        number();
+        buildIntervals();
+        allocate();
+        layoutFrame();
+        emitAll();
+    }
+
+  private:
+    // =====================================================================
+    // Instruction numbering and live intervals
+    // =====================================================================
+
+    void
+    number()
+    {
+        int pos = 0;
+        blockStart_.resize(f_.blocks.size());
+        blockEnd_.resize(f_.blocks.size());
+        for (const auto& blk : f_.blocks) {
+            blockStart_[blk.id] = pos;
+            for (const auto& inst : blk.insts) {
+                if (inst.vop == VOp::Call)
+                    callPositions_.push_back(pos);
+                ++pos;
+            }
+            blockEnd_[blk.id] = pos;  // exclusive
+        }
+        numPositions_ = pos;
+    }
+
+    void
+    buildIntervals()
+    {
+        const int n = f_.numVRegs;
+        std::vector<int> start(n, numPositions_ + 1);
+        std::vector<int> end(n, -1);
+        auto touch = [&](int v, int pos) {
+            start[v] = std::min(start[v], pos);
+            end[v] = std::max(end[v], pos);
+        };
+        // Parameters are live from function entry.
+        for (int p = 0; p < f_.numParams; ++p)
+            touch(p, -1);
+
+        int pos = 0;
+        for (const auto& blk : f_.blocks) {
+            for (const auto& inst : blk.insts) {
+                for (int u : vinstUses(inst))
+                    touch(u, pos);
+                if (inst.dst >= 0)
+                    touch(inst.dst, pos);
+                ++pos;
+            }
+        }
+        LiveSets live(f_);
+        for (const auto& blk : f_.blocks) {
+            for (int v : live.liveInRegs(blk.id))
+                touch(v, blockStart_[blk.id]);
+            for (int v : live.liveOutRegs(blk.id))
+                touch(v, blockEnd_[blk.id]);
+        }
+        for (int v = 0; v < n; ++v) {
+            if (end[v] < 0)
+                continue;  // never used
+            Interval iv;
+            iv.vreg = v;
+            iv.start = start[v];
+            iv.end = end[v];
+            iv.fp = f_.isFp(v);
+            for (int cp : callPositions_) {
+                if (iv.start < cp && cp < iv.end) {
+                    iv.crossesCall = true;
+                    break;
+                }
+            }
+            intervals_.push_back(iv);
+        }
+        std::sort(intervals_.begin(), intervals_.end(),
+                  [](const Interval& a, const Interval& b) {
+                      return a.start < b.start;
+                  });
+    }
+
+    // =====================================================================
+    // Linear scan
+    // =====================================================================
+
+    void
+    allocate()
+    {
+        loc_.resize(f_.numVRegs);
+        std::vector<bool> busy(64, false);
+        // Active intervals sorted incrementally by end.
+        std::vector<Interval> active;
+
+        auto expire = [&](int pos) {
+            for (size_t i = 0; i < active.size();) {
+                if (active[i].end < pos) {
+                    busy[loc_[active[i].vreg].reg] = false;
+                    active.erase(active.begin() + i);
+                } else {
+                    ++i;
+                }
+            }
+        };
+
+        auto tryPool = [&](const uint8_t* pool, size_t n) -> int {
+            for (size_t i = 0; i < n; ++i) {
+                if (!busy[pool[i]])
+                    return pool[i];
+            }
+            return -1;
+        };
+
+        for (const Interval& iv : intervals_) {
+            expire(iv.start);
+            int reg = -1;
+            if (iv.fp) {
+                if (!iv.crossesCall)
+                    reg = tryPool(kFpCaller, std::size(kFpCaller));
+                if (reg < 0)
+                    reg = tryPool(kFpCallee, std::size(kFpCallee));
+            } else {
+                if (!iv.crossesCall)
+                    reg = tryPool(kIntCaller, std::size(kIntCaller));
+                if (reg < 0)
+                    reg = tryPool(kIntCallee, std::size(kIntCallee));
+            }
+            if (reg < 0) {
+                loc_[iv.vreg].kind = Loc::Spill;
+                loc_[iv.vreg].slot = newSpillSlot();
+                continue;
+            }
+            busy[reg] = true;
+            loc_[iv.vreg].kind = Loc::Reg;
+            loc_[iv.vreg].reg = static_cast<uint8_t>(reg);
+            active.push_back(iv);
+            if (reg >= 32 ? isCallee(kFpCallee, std::size(kFpCallee), reg)
+                          : isCallee(kIntCallee, std::size(kIntCallee), reg)) {
+                usedCallee_.insert(static_cast<uint8_t>(reg));
+            }
+        }
+    }
+
+    static bool
+    isCallee(const uint8_t* pool, size_t n, int reg)
+    {
+        for (size_t i = 0; i < n; ++i)
+            if (pool[i] == reg)
+                return true;
+        return false;
+    }
+
+    int
+    newSpillSlot()
+    {
+        spillSlots_.push_back(8);
+        return static_cast<int>(spillSlots_.size()) - 1;
+    }
+
+    // =====================================================================
+    // Frame layout
+    // =====================================================================
+    //
+    //   sp + 0                : VCode frame slots (arrays, locals)
+    //   ...                   : spill slots
+    //   ...                   : saved callee regs
+    //   frameSize - 8         : saved ra (if the function makes calls)
+
+    void
+    layoutFrame()
+    {
+        int64_t off = 0;
+        for (const auto& slot : f_.frameSlots) {
+            off = alignUp(off, static_cast<uint64_t>(slot.align));
+            slotOffset_.push_back(off);
+            off += slot.size;
+        }
+        off = alignUp(off, 8);
+        for (size_t i = 0; i < spillSlots_.size(); ++i) {
+            spillOffset_.push_back(off);
+            off += 8;
+        }
+        for (uint8_t reg : usedCallee_) {
+            calleeOffset_[reg] = off;
+            off += 8;
+        }
+        makesCalls_ = !callPositions_.empty();
+        if (makesCalls_) {
+            raOffset_ = off;
+            off += 8;
+        }
+        frameSize_ = static_cast<int64_t>(alignUp(off, 16));
+    }
+
+    // =====================================================================
+    // Emission
+    // =====================================================================
+
+    void
+    emitAll()
+    {
+        b_.defineLabel(f_.name);
+        emitPrologue();
+        for (size_t bi = 0; bi < f_.blocks.size(); ++bi) {
+            const VBlock& blk = f_.blocks[bi];
+            b_.defineLabel(blockLabel(f_.name, blk.id));
+            for (const auto& inst : blk.insts)
+                emitInst(inst, blk);
+            // Fall-through to a non-adjacent block needs a jump.
+            if (blk.fallThrough >= 0 || !endsWithJumpOrRet(blk)) {
+                int next = blk.fallThrough;
+                if (next < 0)
+                    next = static_cast<int>(bi) + 1;  // plain fallthrough
+                if (next != static_cast<int>(bi) + 1 &&
+                    next < static_cast<int>(f_.blocks.size())) {
+                    emitJump(next);
+                }
+            }
+        }
+    }
+
+    static bool
+    endsWithJumpOrRet(const VBlock& blk)
+    {
+        if (blk.insts.empty())
+            return false;
+        const VInst& last = blk.insts.back();
+        if (last.vop == VOp::Ret)
+            return true;
+        return last.isMachine() && last.info().brKind == BrKind::Jump;
+    }
+
+    void
+    emitPrologue()
+    {
+        if (frameSize_ > 0) {
+            Inst adj;
+            adj.op = Op::ADDI;
+            adj.dst = kRegSp;
+            adj.src1 = kRegSp;
+            adj.imm = -frameSize_;
+            b_.emit(adj);
+        }
+        if (makesCalls_)
+            emitStoreReg(kRegRa, raOffset_, false);
+        for (const auto& [reg, off] : calleeOffset_)
+            emitStoreReg(reg, off, reg >= 32);
+
+        // Copy incoming arguments to their allocated homes.
+        std::vector<std::pair<uint8_t, uint8_t>> moves;  // src, dst
+        int intIdx = 0, fpIdx = 0;
+        for (int p = 0; p < f_.numParams; ++p) {
+            const bool fp = f_.isFp(p);
+            const uint8_t src = fp ? kFpArgRegs[fpIdx++]
+                                   : kIntArgRegs[intIdx++];
+            if (loc_[p].kind == Loc::Reg) {
+                if (loc_[p].reg != src)
+                    moves.push_back({src, loc_[p].reg});
+            } else if (loc_[p].kind == Loc::Spill) {
+                emitStoreReg(src, spillOffset_[loc_[p].slot], fp);
+            }
+        }
+        emitParallelMoves(moves);
+    }
+
+    /** Resolve a set of register-to-register moves that may conflict. */
+    void
+    emitParallelMoves(std::vector<std::pair<uint8_t, uint8_t>> moves)
+    {
+        // Emit moves whose destination is not a pending source; break
+        // cycles through the scratch register.
+        while (!moves.empty()) {
+            bool progress = false;
+            for (size_t i = 0; i < moves.size(); ++i) {
+                const uint8_t dst = moves[i].second;
+                bool dstIsSrc = false;
+                for (size_t j = 0; j < moves.size(); ++j) {
+                    if (j != i && moves[j].first == dst) {
+                        dstIsSrc = true;
+                        break;
+                    }
+                }
+                if (!dstIsSrc) {
+                    emitMove(moves[i].second, moves[i].first);
+                    moves.erase(moves.begin() + i);
+                    progress = true;
+                    break;
+                }
+            }
+            if (!progress) {
+                // Cycle: rotate through scratch.
+                const bool fp = moves[0].first >= 32;
+                const uint8_t scratch = fp ? kFpScratch0 : kIntScratch0;
+                emitMove(scratch, moves[0].first);
+                // Redirect the move that consumed moves[0].first.
+                for (auto& m : moves) {
+                    if (m.first == moves[0].first && &m != &moves[0])
+                        m.first = scratch;
+                }
+                moves[0].first = scratch;
+            }
+        }
+    }
+
+    void
+    emitMove(uint8_t dst, uint8_t src)
+    {
+        Inst mv;
+        if (dst >= 32) {
+            mv.op = Op::FMV_D;
+        } else {
+            mv.op = Op::MV;
+        }
+        mv.dst = dst;
+        mv.src1 = src;
+        b_.emit(mv);
+    }
+
+    void
+    emitStoreReg(uint8_t reg, int64_t off, bool fp)
+    {
+        Inst st;
+        st.op = fp ? Op::FSD : Op::SD;
+        st.src1 = kRegSp;
+        st.src2 = reg;
+        st.imm = off;
+        b_.emit(st);
+    }
+
+    void
+    emitLoadReg(uint8_t reg, int64_t off, bool fp)
+    {
+        Inst ld;
+        ld.op = fp ? Op::FLD : Op::LD;
+        ld.dst = reg;
+        ld.src1 = kRegSp;
+        ld.imm = off;
+        b_.emit(ld);
+    }
+
+    void
+    emitJump(int block)
+    {
+        Inst j;
+        j.op = Op::J;
+        b_.emitFixup(j, FixupKind::PcRel, blockLabel(f_.name, block));
+    }
+
+    /** Register currently holding vreg source @p v (loading spills). */
+    uint8_t
+    srcReg(int v, bool second)
+    {
+        if (v == kVZero)
+            return kRegZero;
+        CH_ASSERT(v >= 0, "bad source vreg");
+        const Loc& loc = loc_[v];
+        if (loc.kind == Loc::Reg)
+            return loc.reg;
+        CH_ASSERT(loc.kind == Loc::Spill, "use of unallocated vreg");
+        const bool fp = f_.isFp(v);
+        const uint8_t scratch =
+            fp ? (second ? kFpScratch1 : kFpScratch0)
+               : (second ? kIntScratch1 : kIntScratch0);
+        emitLoadReg(scratch, spillOffset_[loc.slot], fp);
+        return scratch;
+    }
+
+    /** Register to compute vreg @p v's result into. */
+    uint8_t
+    dstReg(int v)
+    {
+        const Loc& loc = loc_[v];
+        if (loc.kind == Loc::Reg)
+            return loc.reg;
+        return f_.isFp(v) ? kFpScratch0 : kIntScratch0;
+    }
+
+    /** Store the scratch back if @p v is spilled. */
+    void
+    finishDst(int v)
+    {
+        const Loc& loc = loc_[v];
+        if (loc.kind == Loc::Spill) {
+            const bool fp = f_.isFp(v);
+            emitStoreReg(fp ? kFpScratch0 : kIntScratch0,
+                         spillOffset_[loc.slot], fp);
+        }
+    }
+
+    void
+    emitInst(const VInst& inst, const VBlock& blk)
+    {
+        switch (inst.vop) {
+          case VOp::Machine:
+            emitMachine(inst);
+            break;
+          case VOp::LoadImm: {
+            const uint8_t dst = dstReg(inst.dst);
+            emitLoadImm(b_, dst, inst.imm);
+            finishDst(inst.dst);
+            break;
+          }
+          case VOp::LoadAddr: {
+            const uint8_t dst = dstReg(inst.dst);
+            Inst lui;
+            lui.op = Op::LUI;
+            lui.dst = dst;
+            b_.emitFixup(lui, FixupKind::AbsHi20, inst.sym);
+            Inst addi;
+            addi.op = Op::ADDI;
+            addi.dst = dst;
+            addi.src1 = dst;
+            b_.emitFixup(addi, FixupKind::AbsLo12, inst.sym);
+            finishDst(inst.dst);
+            break;
+          }
+          case VOp::FrameAddr: {
+            const uint8_t dst = dstReg(inst.dst);
+            Inst addi;
+            addi.op = Op::ADDI;
+            addi.dst = dst;
+            addi.src1 = kRegSp;
+            addi.imm = slotOffset_[inst.frameSlot];
+            b_.emit(addi);
+            finishDst(inst.dst);
+            break;
+          }
+          case VOp::Call:
+            emitCall(inst);
+            break;
+          case VOp::Ret:
+            emitRet(inst);
+            break;
+        }
+        (void)blk;
+    }
+
+    void
+    emitMachine(const VInst& vinst)
+    {
+        const OpInfo& info = opInfo(vinst.op);
+        Inst inst;
+        inst.op = vinst.op;
+        inst.imm = vinst.imm;
+        if (info.numSrcs >= 1)
+            inst.src1 = srcReg(vinst.src1, false);
+        if (info.numSrcs >= 2)
+            inst.src2 = srcReg(vinst.src2, true);
+        if (info.hasDst && vinst.dst >= 0)
+            inst.dst = dstReg(vinst.dst);
+        else if (info.hasDst)
+            inst.dst = kRegZero;
+
+        if (vinst.target >= 0) {
+            b_.emitFixup(inst, FixupKind::PcRel,
+                         blockLabel(f_.name, vinst.target));
+        } else {
+            b_.emit(inst);
+        }
+        if (info.hasDst && vinst.dst >= 0)
+            finishDst(vinst.dst);
+    }
+
+    void
+    emitCall(const VInst& call)
+    {
+        // Marshal arguments into the ABI registers. Register sources may
+        // conflict with argument registers, so use a parallel move for
+        // register-resident values and direct loads for spilled ones.
+        std::vector<std::pair<uint8_t, uint8_t>> moves;
+        int intIdx = 0, fpIdx = 0;
+        for (int argVreg : call.args) {
+            const bool fp = f_.isFp(argVreg);
+            CH_ASSERT(fp ? fpIdx < 8 : intIdx < 8, "too many call args");
+            const uint8_t target = fp ? kFpArgRegs[fpIdx++]
+                                      : kIntArgRegs[intIdx++];
+            const Loc& loc = loc_[argVreg];
+            if (loc.kind == Loc::Reg) {
+                if (loc.reg != target)
+                    moves.push_back({loc.reg, target});
+            } else {
+                emitLoadReg(target, spillOffset_[loc.slot], fp);
+            }
+        }
+        emitParallelMoves(moves);
+
+        Inst jal;
+        jal.op = Op::JAL;
+        jal.dst = kRegRa;
+        b_.emitFixup(jal, FixupKind::PcRel, call.sym);
+
+        if (call.dst >= 0) {
+            const bool fp = f_.isFp(call.dst);
+            const uint8_t retReg = fp ? kFpArgRegs[0] : kIntArgRegs[0];
+            const uint8_t dst = dstReg(call.dst);
+            if (dst != retReg)
+                emitMove(dst, retReg);
+            finishDst(call.dst);
+        }
+    }
+
+    void
+    emitRet(const VInst& ret)
+    {
+        if (ret.src1 >= 0) {
+            const bool fp = f_.isFp(ret.src1);
+            const uint8_t retReg = fp ? kFpArgRegs[0] : kIntArgRegs[0];
+            const uint8_t src = srcReg(ret.src1, false);
+            if (src != retReg)
+                emitMove(retReg, src);
+        }
+        for (const auto& [reg, off] : calleeOffset_)
+            emitLoadReg(reg, off, reg >= 32);
+        if (makesCalls_)
+            emitLoadReg(kRegRa, raOffset_, false);
+        if (frameSize_ > 0) {
+            Inst adj;
+            adj.op = Op::ADDI;
+            adj.dst = kRegSp;
+            adj.src1 = kRegSp;
+            adj.imm = frameSize_;
+            b_.emit(adj);
+        }
+        Inst jr;
+        jr.op = Op::JR;
+        jr.src1 = kRegRa;
+        b_.emit(jr);
+    }
+
+    ModuleBuilder& b_;
+    const VFunc& f_;
+
+    std::vector<int> blockStart_, blockEnd_;
+    std::vector<int> callPositions_;
+    int numPositions_ = 0;
+
+    std::vector<Interval> intervals_;
+    std::vector<Loc> loc_;
+    std::vector<int64_t> spillSlots_;
+
+    std::vector<int64_t> slotOffset_;
+    std::vector<int64_t> spillOffset_;
+    std::map<uint8_t, int64_t> calleeOffset_;
+    std::set<uint8_t> usedCallee_;
+    int64_t raOffset_ = 0;
+    int64_t frameSize_ = 0;
+    bool makesCalls_ = false;
+};
+
+} // namespace
+
+void
+emitRiscvFunc(ModuleBuilder& builder, const VFunc& f)
+{
+    RiscvFuncEmitter emitter(builder, f);
+    emitter.run();
+}
+
+} // namespace ch

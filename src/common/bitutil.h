@@ -1,0 +1,96 @@
+#ifndef CH_COMMON_BITUTIL_H
+#define CH_COMMON_BITUTIL_H
+
+/**
+ * @file
+ * Bit-manipulation helpers shared by the encoders, decoders, and the
+ * microarchitectural models.
+ */
+
+#include <cstdint>
+
+#include "common/logging.h"
+
+namespace ch {
+
+/** Extract bits [hi:lo] (inclusive) of a 64-bit value. */
+constexpr uint64_t
+bits(uint64_t value, unsigned hi, unsigned lo)
+{
+    return (value >> lo) & ((hi - lo >= 63) ? ~0ull : ((1ull << (hi - lo + 1)) - 1));
+}
+
+/** Extract a single bit. */
+constexpr uint64_t
+bit(uint64_t value, unsigned pos)
+{
+    return (value >> pos) & 1ull;
+}
+
+/** Sign-extend the low @p width bits of @p value to 64 bits. */
+constexpr int64_t
+signExtend(uint64_t value, unsigned width)
+{
+    const uint64_t m = 1ull << (width - 1);
+    value &= (width >= 64) ? ~0ull : ((1ull << width) - 1);
+    return static_cast<int64_t>((value ^ m) - m);
+}
+
+/** True when @p value fits in a signed immediate of @p width bits. */
+constexpr bool
+fitsSigned(int64_t value, unsigned width)
+{
+    const int64_t lo = -(1ll << (width - 1));
+    const int64_t hi = (1ll << (width - 1)) - 1;
+    return value >= lo && value <= hi;
+}
+
+/** True when @p value fits in an unsigned immediate of @p width bits. */
+constexpr bool
+fitsUnsigned(uint64_t value, unsigned width)
+{
+    return width >= 64 || value < (1ull << width);
+}
+
+/** Insert @p value into bits [hi:lo] of @p word (value must fit). */
+constexpr uint32_t
+insertBits(uint32_t word, unsigned hi, unsigned lo, uint32_t value)
+{
+    const uint32_t mask = ((hi - lo + 1 >= 32) ? ~0u : ((1u << (hi - lo + 1)) - 1));
+    return (word & ~(mask << lo)) | ((value & mask) << lo);
+}
+
+/** Integer log2 rounded down; value must be nonzero. */
+constexpr unsigned
+floorLog2(uint64_t value)
+{
+    unsigned r = 0;
+    while (value >>= 1)
+        ++r;
+    return r;
+}
+
+/** Integer log2 rounded up; value must be nonzero. */
+constexpr unsigned
+ceilLog2(uint64_t value)
+{
+    return (value <= 1) ? 0 : floorLog2(value - 1) + 1;
+}
+
+/** True when @p value is a power of two (and nonzero). */
+constexpr bool
+isPowerOf2(uint64_t value)
+{
+    return value != 0 && (value & (value - 1)) == 0;
+}
+
+/** Round @p value up to the next multiple of @p align (a power of two). */
+constexpr uint64_t
+alignUp(uint64_t value, uint64_t align)
+{
+    return (value + align - 1) & ~(align - 1);
+}
+
+} // namespace ch
+
+#endif // CH_COMMON_BITUTIL_H

@@ -1,0 +1,104 @@
+#ifndef CH_COMMON_LOGGING_H
+#define CH_COMMON_LOGGING_H
+
+/**
+ * @file
+ * Error reporting helpers in the gem5 spirit: panic() for internal
+ * invariant violations (a bug in this library), fatal() for conditions
+ * caused by user input (bad assembly, bad configuration), and warn() /
+ * inform() for status messages that never stop execution.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace ch {
+
+/** Exception thrown by fatal(): a user-caused, recoverable-by-caller error. */
+class FatalError : public std::runtime_error
+{
+  public:
+    explicit FatalError(const std::string& msg) : std::runtime_error(msg) {}
+};
+
+/** Exception thrown by panic(): an internal invariant was violated. */
+class PanicError : public std::logic_error
+{
+  public:
+    explicit PanicError(const std::string& msg) : std::logic_error(msg) {}
+};
+
+namespace detail {
+
+inline void
+appendAll(std::ostringstream&)
+{
+}
+
+template <typename T, typename... Rest>
+void
+appendAll(std::ostringstream& os, const T& v, const Rest&... rest)
+{
+    os << v;
+    appendAll(os, rest...);
+}
+
+} // namespace detail
+
+/** Build a message string from a list of streamable parts. */
+template <typename... Parts>
+std::string
+concat(const Parts&... parts)
+{
+    std::ostringstream os;
+    detail::appendAll(os, parts...);
+    return os.str();
+}
+
+/** Report an unrecoverable condition caused by user input. */
+template <typename... Parts>
+[[noreturn]] void
+fatal(const Parts&... parts)
+{
+    throw FatalError(concat(parts...));
+}
+
+/** Report a broken internal invariant (a bug in this library). */
+template <typename... Parts>
+[[noreturn]] void
+panic(const Parts&... parts)
+{
+    throw PanicError(concat(parts...));
+}
+
+/** Print a warning that does not stop execution. */
+template <typename... Parts>
+void
+warn(const Parts&... parts)
+{
+    std::fprintf(stderr, "warn: %s\n", concat(parts...).c_str());
+}
+
+/** Print an informational status message. */
+template <typename... Parts>
+void
+inform(const Parts&... parts)
+{
+    std::fprintf(stderr, "info: %s\n", concat(parts...).c_str());
+}
+
+} // namespace ch
+
+/** Assert an internal invariant; active in all build types. */
+#define CH_ASSERT(cond, ...)                                                 \
+    do {                                                                     \
+        if (!(cond)) {                                                       \
+            ::ch::panic("assertion failed: ", #cond, " at ", __FILE__, ":", \
+                        __LINE__, " ", ::ch::concat(__VA_ARGS__));           \
+        }                                                                    \
+    } while (0)
+
+#endif // CH_COMMON_LOGGING_H

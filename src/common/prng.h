@@ -1,0 +1,56 @@
+#ifndef CH_COMMON_PRNG_H
+#define CH_COMMON_PRNG_H
+
+/**
+ * @file
+ * Deterministic pseudo-random number generator (xorshift64*), used by the
+ * workload generators and tests so every run of the harness is exactly
+ * reproducible.
+ */
+
+#include <cstdint>
+
+namespace ch {
+
+/** Small, fast, seedable PRNG with reproducible cross-platform output. */
+class Prng
+{
+  public:
+    explicit Prng(uint64_t seed = 0x9e3779b97f4a7c15ull)
+        : state_(seed ? seed : 1)
+    {
+    }
+
+    /** Next raw 64-bit sample. */
+    uint64_t
+    next()
+    {
+        uint64_t x = state_;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        state_ = x;
+        return x * 0x2545f4914f6cdd1dull;
+    }
+
+    /** Uniform value in [0, bound). @p bound must be nonzero. */
+    uint64_t
+    nextBelow(uint64_t bound)
+    {
+        return next() % bound;
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    nextDouble()
+    {
+        return static_cast<double>(next() >> 11) * (1.0 / 9007199254740992.0);
+    }
+
+  private:
+    uint64_t state_;
+};
+
+} // namespace ch
+
+#endif // CH_COMMON_PRNG_H

@@ -1,0 +1,82 @@
+#ifndef CH_COMMON_STATS_H
+#define CH_COMMON_STATS_H
+
+/**
+ * @file
+ * Lightweight named-counter registry, in the spirit of the gem5 stats
+ * package. Models register Counter objects with a StatGroup; the harness
+ * dumps them by name. Counters are plain uint64_t underneath, so hot-path
+ * increments stay cheap.
+ */
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace ch {
+
+/** A single named statistic. */
+class Counter
+{
+  public:
+    Counter() = default;
+
+    void operator+=(uint64_t delta) { value_ += delta; }
+    void operator++() { ++value_; }
+    void operator++(int) { ++value_; }
+    void set(uint64_t v) { value_ = v; }
+    void reset() { value_ = 0; }
+
+    uint64_t value() const { return value_; }
+
+  private:
+    uint64_t value_ = 0;
+};
+
+/** A collection of named counters owned by one model instance. */
+class StatGroup
+{
+  public:
+    /** Register (or fetch an existing) counter under @p name. */
+    Counter&
+    counter(const std::string& name)
+    {
+        return counters_[name];
+    }
+
+    /** Read-only lookup; returns 0 for counters never touched. */
+    uint64_t
+    value(const std::string& name) const
+    {
+        auto it = counters_.find(name);
+        return it == counters_.end() ? 0 : it->second.value();
+    }
+
+    /** All counters, sorted by name for stable output. */
+    std::vector<std::pair<std::string, uint64_t>>
+    dump() const
+    {
+        std::vector<std::pair<std::string, uint64_t>> out;
+        out.reserve(counters_.size());
+        for (const auto& [name, c] : counters_)
+            out.emplace_back(name, c.value());
+        return out;
+    }
+
+    void
+    reset()
+    {
+        for (auto& [name, c] : counters_)
+            c.reset();
+    }
+
+  private:
+    std::map<std::string, Counter> counters_;
+};
+
+} // namespace ch
+
+#endif // CH_COMMON_STATS_H

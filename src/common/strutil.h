@@ -1,0 +1,62 @@
+#ifndef CH_COMMON_STRUTIL_H
+#define CH_COMMON_STRUTIL_H
+
+/**
+ * @file
+ * Small string helpers used by the assemblers and the MiniC front end.
+ */
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ch {
+
+/** Strip leading and trailing whitespace. */
+inline std::string_view
+trim(std::string_view s)
+{
+    const char* ws = " \t\r\n";
+    auto b = s.find_first_not_of(ws);
+    if (b == std::string_view::npos)
+        return {};
+    auto e = s.find_last_not_of(ws);
+    return s.substr(b, e - b + 1);
+}
+
+/** Split @p s on @p sep, trimming each piece; empty pieces are kept. */
+inline std::vector<std::string>
+split(std::string_view s, char sep)
+{
+    std::vector<std::string> out;
+    size_t start = 0;
+    while (true) {
+        size_t pos = s.find(sep, start);
+        if (pos == std::string_view::npos) {
+            out.emplace_back(trim(s.substr(start)));
+            break;
+        }
+        out.emplace_back(trim(s.substr(start, pos - start)));
+        start = pos + 1;
+    }
+    return out;
+}
+
+/** True when @p s starts with @p prefix. */
+inline bool
+startsWith(std::string_view s, std::string_view prefix)
+{
+    return s.substr(0, prefix.size()) == prefix;
+}
+
+/** True when @p s ends with @p suffix. */
+inline bool
+endsWith(std::string_view s, std::string_view suffix)
+{
+    return s.size() >= suffix.size() &&
+           s.substr(s.size() - suffix.size()) == suffix;
+}
+
+} // namespace ch
+
+#endif // CH_COMMON_STRUTIL_H

@@ -1,0 +1,93 @@
+#ifndef CH_COMMON_TABLE_H
+#define CH_COMMON_TABLE_H
+
+/**
+ * @file
+ * Plain-text table formatter used by the benchmark harness to print the
+ * rows and series of each paper table/figure.
+ */
+
+#include <algorithm>
+#include <iostream>
+#include <string>
+#include <vector>
+
+namespace ch {
+
+/** Accumulates rows of cells and prints them with aligned columns. */
+class TextTable
+{
+  public:
+    /** Add a header row; printed with a separator line underneath. */
+    void
+    header(std::vector<std::string> cells)
+    {
+        header_ = std::move(cells);
+    }
+
+    /** Append one data row. */
+    void
+    row(std::vector<std::string> cells)
+    {
+        rows_.push_back(std::move(cells));
+    }
+
+    /** Render the table to @p os (stdout by default). */
+    void
+    print(std::ostream& os = std::cout) const
+    {
+        std::vector<size_t> width;
+        auto grow = [&](const std::vector<std::string>& cells) {
+            if (width.size() < cells.size())
+                width.resize(cells.size(), 0);
+            for (size_t i = 0; i < cells.size(); ++i)
+                width[i] = std::max(width[i], cells[i].size());
+        };
+        grow(header_);
+        for (const auto& r : rows_)
+            grow(r);
+
+        auto emit = [&](const std::vector<std::string>& cells) {
+            for (size_t i = 0; i < cells.size(); ++i) {
+                os << cells[i]
+                   << std::string(width[i] - cells[i].size() + 2, ' ');
+            }
+            os << '\n';
+        };
+        if (!header_.empty()) {
+            emit(header_);
+            size_t total = 0;
+            for (size_t w : width)
+                total += w + 2;
+            os << std::string(total, '-') << '\n';
+        }
+        for (const auto& r : rows_)
+            emit(r);
+    }
+
+  private:
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/** Format a double with @p digits decimal places. */
+inline std::string
+fmtDouble(double v, int digits = 3)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", digits, v);
+    return buf;
+}
+
+/** Format a ratio as a percentage string. */
+inline std::string
+fmtPercent(double v, int digits = 1)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f%%", digits, v * 100.0);
+    return buf;
+}
+
+} // namespace ch
+
+#endif // CH_COMMON_TABLE_H

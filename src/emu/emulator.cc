@@ -1,0 +1,409 @@
+#include "emu/emulator.h"
+
+#include <bit>
+#include <cmath>
+#include <limits>
+
+#include "common/bitutil.h"
+#include "common/logging.h"
+#include "isa/encoding.h"
+
+namespace ch {
+
+namespace {
+
+uint64_t
+sext32(uint64_t v)
+{
+    return static_cast<uint64_t>(static_cast<int64_t>(static_cast<int32_t>(v)));
+}
+
+double
+asD(uint64_t v)
+{
+    return std::bit_cast<double>(v);
+}
+
+uint64_t
+asU(double v)
+{
+    return std::bit_cast<uint64_t>(v);
+}
+
+int64_t
+fcvtLD(double d)
+{
+    if (std::isnan(d))
+        return 0;
+    if (d >= 9.2233720368547758e18)
+        return std::numeric_limits<int64_t>::max();
+    if (d <= -9.2233720368547758e18)
+        return std::numeric_limits<int64_t>::min();
+    return static_cast<int64_t>(d);
+}
+
+int64_t
+sdiv(int64_t a, int64_t b)
+{
+    if (b == 0)
+        return -1;
+    if (a == std::numeric_limits<int64_t>::min() && b == -1)
+        return a;
+    return a / b;
+}
+
+int64_t
+srem(int64_t a, int64_t b)
+{
+    if (b == 0)
+        return a;
+    if (a == std::numeric_limits<int64_t>::min() && b == -1)
+        return 0;
+    return a % b;
+}
+
+int32_t
+sdiv32(int32_t a, int32_t b)
+{
+    if (b == 0)
+        return -1;
+    if (a == std::numeric_limits<int32_t>::min() && b == -1)
+        return a;
+    return a / b;
+}
+
+int32_t
+srem32(int32_t a, int32_t b)
+{
+    if (b == 0)
+        return a;
+    if (a == std::numeric_limits<int32_t>::min() && b == -1)
+        return 0;
+    return a % b;
+}
+
+constexpr uint64_t kSignBit = 0x8000000000000000ull;
+
+/** Compute a non-memory, non-branch result value. */
+uint64_t
+aluResult(Op op, uint64_t a, uint64_t b, int64_t imm, uint64_t pc)
+{
+    const auto sa = static_cast<int64_t>(a);
+    const auto sb = static_cast<int64_t>(b);
+    switch (op) {
+      case Op::ADD: return a + b;
+      case Op::SUB: return a - b;
+      case Op::SLL: return a << (b & 63);
+      case Op::SLT: return sa < sb;
+      case Op::SLTU: return a < b;
+      case Op::XOR: return a ^ b;
+      case Op::SRL: return a >> (b & 63);
+      case Op::SRA: return static_cast<uint64_t>(sa >> (b & 63));
+      case Op::OR: return a | b;
+      case Op::AND: return a & b;
+      case Op::ADDW: return sext32(a + b);
+      case Op::SUBW: return sext32(a - b);
+      case Op::SLLW: return sext32(static_cast<uint32_t>(a) << (b & 31));
+      case Op::SRLW: return sext32(static_cast<uint32_t>(a) >> (b & 31));
+      case Op::SRAW:
+        return sext32(
+            static_cast<uint32_t>(static_cast<int32_t>(a) >> (b & 31)));
+      case Op::MUL: return a * b;
+      case Op::MULH:
+        return static_cast<uint64_t>(
+            (static_cast<__int128>(sa) * static_cast<__int128>(sb)) >> 64);
+      case Op::MULHU:
+        return static_cast<uint64_t>(
+            (static_cast<unsigned __int128>(a) *
+             static_cast<unsigned __int128>(b)) >> 64);
+      case Op::DIV: return static_cast<uint64_t>(sdiv(sa, sb));
+      case Op::DIVU: return b == 0 ? ~0ull : a / b;
+      case Op::REM: return static_cast<uint64_t>(srem(sa, sb));
+      case Op::REMU: return b == 0 ? a : a % b;
+      case Op::MULW: return sext32(a * b);
+      case Op::DIVW:
+        return sext32(static_cast<uint32_t>(
+            sdiv32(static_cast<int32_t>(a), static_cast<int32_t>(b))));
+      case Op::DIVUW: {
+        const auto ua = static_cast<uint32_t>(a);
+        const auto ub = static_cast<uint32_t>(b);
+        return sext32(ub == 0 ? ~0u : ua / ub);
+      }
+      case Op::REMW:
+        return sext32(static_cast<uint32_t>(
+            srem32(static_cast<int32_t>(a), static_cast<int32_t>(b))));
+      case Op::REMUW: {
+        const auto ua = static_cast<uint32_t>(a);
+        const auto ub = static_cast<uint32_t>(b);
+        return sext32(ub == 0 ? ua : ua % ub);
+      }
+      case Op::ADDI: return a + static_cast<uint64_t>(imm);
+      case Op::SLTI: return sa < imm;
+      case Op::SLTIU: return a < static_cast<uint64_t>(imm);
+      case Op::XORI: return a ^ static_cast<uint64_t>(imm);
+      case Op::ORI: return a | static_cast<uint64_t>(imm);
+      case Op::ANDI: return a & static_cast<uint64_t>(imm);
+      case Op::SLLI: return a << (imm & 63);
+      case Op::SRLI: return a >> (imm & 63);
+      case Op::SRAI: return static_cast<uint64_t>(sa >> (imm & 63));
+      case Op::ADDIW: return sext32(a + static_cast<uint64_t>(imm));
+      case Op::SLLIW: return sext32(static_cast<uint32_t>(a) << (imm & 31));
+      case Op::SRLIW: return sext32(static_cast<uint32_t>(a) >> (imm & 31));
+      case Op::SRAIW:
+        return sext32(
+            static_cast<uint32_t>(static_cast<int32_t>(a) >> (imm & 31)));
+      case Op::LUI:
+        return sext32(static_cast<uint64_t>(imm) << 12);
+      case Op::MV: return a;
+      case Op::FMV_D: return a;
+      case Op::FMV_X_D: return a;
+      case Op::FMV_D_X: return a;
+      case Op::FADD_D: return asU(asD(a) + asD(b));
+      case Op::FSUB_D: return asU(asD(a) - asD(b));
+      case Op::FMUL_D: return asU(asD(a) * asD(b));
+      case Op::FDIV_D: return asU(asD(a) / asD(b));
+      case Op::FSQRT_D: return asU(std::sqrt(asD(a)));
+      case Op::FMIN_D: return asU(std::fmin(asD(a), asD(b)));
+      case Op::FMAX_D: return asU(std::fmax(asD(a), asD(b)));
+      case Op::FSGNJ_D: return (a & ~kSignBit) | (b & kSignBit);
+      case Op::FSGNJN_D: return (a & ~kSignBit) | (~b & kSignBit);
+      case Op::FSGNJX_D: return a ^ (b & kSignBit);
+      case Op::FEQ_D: return asD(a) == asD(b);
+      case Op::FLT_D: return asD(a) < asD(b);
+      case Op::FLE_D: return asD(a) <= asD(b);
+      case Op::FCVT_D_L: return asU(static_cast<double>(sa));
+      case Op::FCVT_L_D: return static_cast<uint64_t>(fcvtLD(asD(a)));
+      case Op::JAL:
+      case Op::JALR:
+        return pc + 4;
+      case Op::NOP:
+        return 0;
+      default:
+        panic("aluResult: unhandled op ", opName(op));
+    }
+}
+
+bool
+branchTaken(Op op, uint64_t a, uint64_t b)
+{
+    const auto sa = static_cast<int64_t>(a);
+    const auto sb = static_cast<int64_t>(b);
+    switch (op) {
+      case Op::BEQ: return a == b;
+      case Op::BNE: return a != b;
+      case Op::BLT: return sa < sb;
+      case Op::BGE: return sa >= sb;
+      case Op::BLTU: return a < b;
+      case Op::BGEU: return a >= b;
+      default: panic("not a conditional branch");
+    }
+}
+
+} // namespace
+
+Emulator::Emulator(const Program& prog) : prog_(prog), isa_(prog.isa)
+{
+    prog.load(mem_);
+    pc_ = prog.entry;
+    regWriter_.fill(kNoProducer);
+    ringWriter_.fill(kNoProducer);
+    for (auto& h : handWriter_)
+        h.fill(kNoProducer);
+
+    switch (isa_) {
+      case Isa::Riscv:
+        regs_[kRegSp] = layout::kStackTop;
+        regs_[kRegRa] = 0;
+        break;
+      case Isa::Straight:
+        sp_ = layout::kStackTop;
+        break;
+      case Isa::Clockhands:
+        // Convention: the initial SP is pre-written into the s hand so
+        // that s[0] reads it at the entry point.
+        hands_[HandS][0] = layout::kStackTop;
+        handCount_[HandS] = 1;
+        break;
+    }
+}
+
+Emulator::SrcVal
+Emulator::readSrc(uint8_t dist, uint8_t hand) const
+{
+    switch (isa_) {
+      case Isa::Riscv:
+        if (dist == kRegZero)
+            return {0, kNoProducer};
+        return {regs_[dist], regWriter_[dist]};
+      case Isa::Straight: {
+        if (dist == kStraightZeroDist)
+            return {0, kNoProducer};
+        if (dist == kStraightSpBase)
+            return {sp_, spWriter_};
+        if (dist > ringCount_)
+            return {0, kNoProducer};
+        const uint64_t w = ringCount_ - dist;
+        return {ring_[w % 128], ringWriter_[w % 128]};
+      }
+      case Isa::Clockhands: {
+        if (hand == HandS && dist == kHandZeroDist)
+            return {0, kNoProducer};
+        if (dist >= handCount_[hand])
+            return {0, kNoProducer};
+        const uint64_t w = handCount_[hand] - 1 - dist;
+        return {hands_[hand][w % kHandDepth], handWriter_[hand][w % kHandDepth]};
+      }
+    }
+    return {0, kNoProducer};
+}
+
+void
+Emulator::writeResult(const Inst& inst, uint64_t value)
+{
+    const bool hasDst = inst.info().hasDst;
+    switch (isa_) {
+      case Isa::Riscv:
+        if (hasDst && inst.dst != kRegZero) {
+            regs_[inst.dst] = value;
+            regWriter_[inst.dst] = instCount_;
+        }
+        break;
+      case Isa::Straight: {
+        // Every STRAIGHT instruction allocates one ring slot; slots of
+        // valueless instructions hold zero (Section 2.2.1).
+        const uint64_t w = ringCount_ % 128;
+        ring_[w] = hasDst ? value : 0;
+        ringWriter_[w] = instCount_;
+        ++ringCount_;
+        break;
+      }
+      case Isa::Clockhands:
+        if (hasDst) {
+            const uint64_t w = handCount_[inst.dst] % kHandDepth;
+            hands_[inst.dst][w] = value;
+            handWriter_[inst.dst][w] = instCount_;
+            ++handCount_[inst.dst];
+        }
+        break;
+    }
+}
+
+uint64_t
+Emulator::handValue(uint8_t hand, uint8_t dist) const
+{
+    return readSrc(dist, hand).value;
+}
+
+uint64_t
+Emulator::ringValue(uint8_t dist) const
+{
+    return readSrc(dist, 0).value;
+}
+
+void
+Emulator::step(TraceSink* sink)
+{
+    if (!prog_.validPc(pc_))
+        fatal("pc out of text segment: ", pc_, " after ", instCount_,
+              " instructions");
+    const Inst& inst = prog_.instAt(pc_);
+    const OpInfo& info = inst.info();
+
+    SrcVal s1{0, kNoProducer}, s2{0, kNoProducer};
+    if (info.numSrcs >= 1)
+        s1 = readSrc(inst.src1, inst.src1Hand);
+    if (info.numSrcs >= 2)
+        s2 = readSrc(inst.src2, inst.src2Hand);
+
+    DynInst di;
+    di.seq = instCount_;
+    di.pc = pc_;
+    di.op = inst.op;
+    di.dst = inst.dst;
+    di.src1 = inst.src1;
+    di.src2 = inst.src2;
+    di.src1Hand = inst.src1Hand;
+    di.src2Hand = inst.src2Hand;
+    di.imm = inst.imm;
+    di.prod1 = s1.producer;
+    di.prod2 = s2.producer;
+
+    uint64_t value = 0;
+    uint64_t nextPc = pc_ + 4;
+
+    if (info.isLoad()) {
+        di.memAddr = s1.value + static_cast<uint64_t>(inst.imm);
+        value = mem_.read(di.memAddr, info.memBytes);
+        if (info.isSignedLoad())
+            value = signExtend(value, 8 * info.memBytes);
+    } else if (info.isStore()) {
+        di.memAddr = s1.value + static_cast<uint64_t>(inst.imm);
+        mem_.write(di.memAddr, info.memBytes, s2.value);
+    } else if (info.brKind == BrKind::Cond) {
+        di.taken = branchTaken(inst.op, s1.value, s2.value);
+        if (di.taken)
+            nextPc = pc_ + static_cast<uint64_t>(inst.imm);
+    } else if (info.brKind == BrKind::Jump || info.brKind == BrKind::Call) {
+        di.taken = true;
+        nextPc = pc_ + static_cast<uint64_t>(inst.imm);
+        value = pc_ + 4;
+    } else if (info.brKind == BrKind::IndCall || info.brKind == BrKind::Ret) {
+        di.taken = true;
+        nextPc = (s1.value + static_cast<uint64_t>(inst.imm)) & ~1ull;
+        value = pc_ + 4;
+    } else if (inst.op == Op::ECALL) {
+        switch (static_cast<Sys>(inst.imm)) {
+          case Sys::Exit:
+            exited_ = true;
+            exitCode_ = static_cast<int64_t>(s1.value);
+            break;
+          case Sys::Putchar:
+            output_.push_back(static_cast<char>(s1.value));
+            break;
+          default:
+            fatal("unknown syscall ", inst.imm);
+        }
+    } else if (inst.op == Op::SPADDI) {
+        CH_ASSERT(isa_ == Isa::Straight, "spaddi outside STRAIGHT");
+        sp_ += static_cast<uint64_t>(inst.imm);
+        spWriter_ = instCount_;
+        value = sp_;
+    } else {
+        value = aluResult(inst.op, s1.value, s2.value, inst.imm, pc_);
+    }
+
+    writeResult(inst, value);
+    di.nextPc = nextPc;
+    if (sink)
+        sink->onInst(di);
+
+    ++instCount_;
+    pc_ = nextPc;
+    if (nextPc == 0)
+        exited_ = true;  // returned past the entry point
+}
+
+RunResult
+Emulator::run(uint64_t maxInsts, TraceSink* sink)
+{
+    uint64_t executed = 0;
+    while (!exited_ && executed < maxInsts) {
+        step(sink);
+        ++executed;
+    }
+    RunResult res;
+    res.exited = exited_;
+    res.exitCode = exitCode_;
+    res.instCount = instCount_;
+    res.output = output_;
+    return res;
+}
+
+RunResult
+runProgram(const Program& prog, uint64_t maxInsts, TraceSink* sink)
+{
+    Emulator emu(prog);
+    return emu.run(maxInsts, sink);
+}
+
+} // namespace ch

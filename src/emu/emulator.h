@@ -1,0 +1,119 @@
+#ifndef CH_EMU_EMULATOR_H
+#define CH_EMU_EMULATOR_H
+
+/**
+ * @file
+ * Functional (architectural-state) emulator for all three ISAs. One
+ * implementation interprets the shared micro-ops; only the register
+ * operand model differs per ISA, exactly as the paper's Fig. 5/8 argue:
+ *
+ *  - RISC: 32 integer + 32 FP logical registers,
+ *  - STRAIGHT: one 128-deep result ring plus a special SP register,
+ *  - Clockhands: four 16-deep hands (s reaches 15 values + zero).
+ *
+ * The emulator streams a DynInst record per executed instruction to an
+ * optional TraceSink, annotated with dynamic producer indices, effective
+ * addresses, and branch outcomes.
+ */
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "mem/memory.h"
+#include "mem/program.h"
+#include "trace/dyninst.h"
+
+namespace ch {
+
+/** Syscall numbers accepted by ECALL (imm field). */
+enum class Sys : int64_t {
+    Exit = 0,     ///< terminate; arg = exit code
+    Putchar = 1,  ///< write one byte to the program's output stream
+};
+
+/** Outcome of an emulator run. */
+struct RunResult {
+    bool exited = false;      ///< program called Sys::Exit
+    int64_t exitCode = 0;
+    uint64_t instCount = 0;   ///< executed instructions
+    std::string output;       ///< bytes written via Sys::Putchar
+};
+
+/** Interprets a Program; see file comment. */
+class Emulator
+{
+  public:
+    /** Prepare to run @p prog; loads text/data into a fresh memory. */
+    explicit Emulator(const Program& prog);
+
+    /**
+     * Execute until Sys::Exit, a return to the initial link address, or
+     * @p maxInsts instructions. Streams to @p sink when non-null.
+     * Can be called again to continue a paused run.
+     */
+    RunResult run(uint64_t maxInsts = ~0ull, TraceSink* sink = nullptr);
+
+    /** True once the program has terminated. */
+    bool done() const { return exited_; }
+
+    uint64_t pc() const { return pc_; }
+    uint64_t instCount() const { return instCount_; }
+    Memory& memory() { return mem_; }
+
+    /** Read the current architectural value of a RISC register (tests). */
+    uint64_t riscReg(uint8_t reg) const { return regs_[reg]; }
+
+    /** Read hand value at distance (tests); Clockhands only. */
+    uint64_t handValue(uint8_t hand, uint8_t dist) const;
+
+    /** STRAIGHT ring value at distance (tests). */
+    uint64_t ringValue(uint8_t dist) const;
+
+    /** STRAIGHT special SP (tests). */
+    uint64_t straightSp() const { return sp_; }
+
+  private:
+    struct SrcVal {
+        uint64_t value;
+        uint64_t producer;
+    };
+
+    SrcVal readSrc(uint8_t dist, uint8_t hand) const;
+    void writeResult(const Inst& inst, uint64_t value);
+    void step(TraceSink* sink);
+
+    const Program& prog_;
+    Memory mem_;
+    Isa isa_;
+
+    uint64_t pc_ = 0;
+    uint64_t instCount_ = 0;
+    bool exited_ = false;
+    int64_t exitCode_ = 0;
+    std::string output_;
+
+    // RISC state.
+    std::array<uint64_t, 64> regs_{};
+    std::array<uint64_t, 64> regWriter_;
+
+    // STRAIGHT state.
+    std::array<uint64_t, 128> ring_{};
+    std::array<uint64_t, 128> ringWriter_;
+    uint64_t ringCount_ = 0;
+    uint64_t sp_ = 0;
+    uint64_t spWriter_ = kNoProducer;
+
+    // Clockhands state.
+    std::array<std::array<uint64_t, kHandDepth>, kNumHands> hands_{};
+    std::array<std::array<uint64_t, kHandDepth>, kNumHands> handWriter_;
+    std::array<uint64_t, kNumHands> handCount_{};
+};
+
+/** Convenience: run @p prog to completion and return the result. */
+RunResult runProgram(const Program& prog, uint64_t maxInsts = ~0ull,
+                     TraceSink* sink = nullptr);
+
+} // namespace ch
+
+#endif // CH_EMU_EMULATOR_H

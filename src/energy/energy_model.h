@@ -1,0 +1,81 @@
+#ifndef CH_ENERGY_ENERGY_MODEL_H
+#define CH_ENERGY_ENERGY_MODEL_H
+
+/**
+ * @file
+ * McPAT-style analytic energy model. Event counts come from the timing
+ * model's StatGroup; per-access energies derive from structure geometry
+ * (entries, width, ports), with the quadratic port/width terms the paper
+ * cites for the rename path:
+ *
+ *  - the RISC register map table is a RAM with ~3W ports (2 read + 1
+ *    write per renamed instruction), whose area grows with ports^2 and
+ *    per-access energy roughly linearly in ports;
+ *  - the dependency-check logic needs O(W^2) comparators per group;
+ *  - every branch checkpoints the rename state: ~570 bits for RISC,
+ *    ~70 for STRAIGHT, ~36 for Clockhands (Table 1);
+ *  - the STRAIGHT/Clockhands RP-calculation stage is a handful of small
+ *    adders (a Brent-Kung prefix tree), O(W) area and near-constant
+ *    per-instruction energy.
+ *
+ * Everything outside the physical-register-allocation stage uses
+ * identical parameters for all three ISAs, so energy differences outside
+ * the renamer come only from executed-instruction and event counts.
+ * Absolute units are arbitrary (normalized in the figures).
+ */
+
+#include <array>
+#include <string>
+
+#include "common/stats.h"
+#include "isa/isa.h"
+#include "uarch/config.h"
+
+namespace ch {
+
+/** Fig. 14 component stack. */
+enum class EnergyComp : int {
+    BrPred, ICache, Fetcher, Decoder, Renamer, Scheduler, ExUnitRf, Lsq,
+    Rob, DCache, L2, kCount
+};
+
+std::string_view energyCompName(EnergyComp comp);
+
+/** Energy per component plus the total, in arbitrary units. */
+struct EnergyBreakdown {
+    std::array<double, static_cast<int>(EnergyComp::kCount)> comp{};
+
+    double&
+    operator[](EnergyComp c)
+    {
+        return comp[static_cast<int>(c)];
+    }
+    double
+    at(EnergyComp c) const
+    {
+        return comp[static_cast<int>(c)];
+    }
+
+    double
+    total() const
+    {
+        double t = 0;
+        for (double v : comp)
+            t += v;
+        return t;
+    }
+};
+
+/**
+ * Recovery-information (checkpoint) size in bits for each architecture
+ * (Table 1), assuming @p physRegBits bits per physical register number.
+ */
+int checkpointBits(Isa isa, int physRegBits = 9);
+
+/** Compute the per-component energy of one simulated run. */
+EnergyBreakdown computeEnergy(const MachineConfig& cfg, Isa isa,
+                              const StatGroup& stats);
+
+} // namespace ch
+
+#endif // CH_ENERGY_ENERGY_MODEL_H

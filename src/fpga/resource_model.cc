@@ -1,0 +1,86 @@
+#include "fpga/resource_model.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace ch {
+
+namespace {
+
+/**
+ * Calibration anchors from the paper's Table 3 (RSD on XCVU440), indexed
+ * by width {4, 8, 16}: {lutAlloc, ffAlloc, lutTotal, ffTotal}.
+ */
+struct Anchor {
+    int width;
+    long lutAlloc, ffAlloc, lutTotal, ffTotal;
+};
+
+const Anchor kRiscAnchors[] = {
+    {4, 2310, 998, 101483, 31081},
+    {8, 12309, 7521, 190380, 45708},
+    {16, 30230, 14938, 350377, 63338},
+};
+const Anchor kStraightAnchors[] = {
+    {4, 442, 572, 96631, 28769},
+    {8, 787, 1092, 188118, 43928},
+    {16, 1641, 2132, 354105, 57214},
+};
+const Anchor kClockhandsAnchors[] = {
+    {4, 401, 560, 99913, 30968},
+    {8, 761, 1086, 185701, 42254},
+    {16, 1432, 2162, 349074, 55220},
+};
+
+const Anchor*
+anchorsFor(Isa isa)
+{
+    switch (isa) {
+      case Isa::Riscv: return kRiscAnchors;
+      case Isa::Straight: return kStraightAnchors;
+      case Isa::Clockhands: return kClockhandsAnchors;
+    }
+    return kRiscAnchors;
+}
+
+/** Power-law interpolation/extrapolation through the nearest anchors. */
+long
+interp(const Anchor* a, int width, long Anchor::*field)
+{
+    auto value = [&](const Anchor& x) {
+        return static_cast<double>(x.*field);
+    };
+    // Clamp to a sane range, then pick the bracketing pair.
+    const Anchor *lo = &a[0], *hi = &a[1];
+    if (width >= 8) {
+        lo = &a[1];
+        hi = &a[2];
+    }
+    const double exponent =
+        std::log(value(*hi) / value(*lo)) /
+        std::log(static_cast<double>(hi->width) / lo->width);
+    const double scale =
+        value(*lo) / std::pow(static_cast<double>(lo->width), exponent);
+    return static_cast<long>(
+        std::llround(scale * std::pow(static_cast<double>(width),
+                                      exponent)));
+}
+
+} // namespace
+
+FpgaResources
+estimateFpga(Isa isa, int width)
+{
+    CH_ASSERT(width >= 1 && width <= 64, "width out of range");
+    const Anchor* a = anchorsFor(isa);
+    FpgaResources r;
+    r.width = width;
+    r.lutAllocStage = interp(a, width, &Anchor::lutAlloc);
+    r.ffAllocStage = interp(a, width, &Anchor::ffAlloc);
+    r.lutTotal = interp(a, width, &Anchor::lutTotal);
+    r.ffTotal = interp(a, width, &Anchor::ffTotal);
+    return r;
+}
+
+} // namespace ch

@@ -1,0 +1,45 @@
+#ifndef CH_FPGA_RESOURCE_MODEL_H
+#define CH_FPGA_RESOURCE_MODEL_H
+
+/**
+ * @file
+ * Analytic FPGA resource model for the physical-register-allocation
+ * stage and the overall core (paper Table 3; the paper synthesized
+ * modified RSD soft processors for a Xilinx XCVU440).
+ *
+ * Without the FPGA toolchain, we substitute a structural model:
+ *
+ *  - RISC rename: a 64-entry x ~9-bit RMT needs LUT-RAM replication for
+ *    its 2W read + W write ports (copies ~ W^2), plus O(W^2) 6-bit
+ *    dependency-check comparators and W x 570-bit checkpoint copy
+ *    muxing. Flip-flops hold checkpoints and pipeline registers.
+ *  - STRAIGHT/Clockhands RP calculation: 1 or 4 register pointers with a
+ *    Brent-Kung prefix-sum tree, O(W) LUTs and O(W) pipeline FFs.
+ *
+ * Technology coefficients (LUTs per comparator bit, LUT-RAM packing,
+ * routing overhead growth) are calibrated against the RSD synthesis
+ * results the paper reports at widths 4/8/16, and the model interpolates
+ * power-law-wise between those calibration points. Overall-core numbers
+ * add a common back-end estimate that is identical across ISAs except
+ * for the allocation stage.
+ */
+
+#include "isa/isa.h"
+
+namespace ch {
+
+/** LUT/FF estimates for one soft-core configuration. */
+struct FpgaResources {
+    int width = 0;
+    long lutAllocStage = 0;  ///< physical-register-allocation stage
+    long ffAllocStage = 0;
+    long lutTotal = 0;       ///< whole core
+    long ffTotal = 0;
+};
+
+/** Estimate resources for @p isa at front-end @p width (>= 1). */
+FpgaResources estimateFpga(Isa isa, int width);
+
+} // namespace ch
+
+#endif // CH_FPGA_RESOURCE_MODEL_H

@@ -1,0 +1,89 @@
+#include "frontc/ast.h"
+
+#include "common/bitutil.h"
+#include "common/logging.h"
+
+namespace ch {
+
+int64_t
+CType::size() const
+{
+    switch (kind) {
+      case Void: return 0;
+      case Char: return 1;
+      case Int: return 4;
+      case Long: return 8;
+      case Double: return 8;
+      case Ptr: return 8;
+      case Array: return base->size() * arrayLen;
+      case Struct: return strct->size;
+    }
+    return 0;
+}
+
+int64_t
+CType::align() const
+{
+    switch (kind) {
+      case Void: return 1;
+      case Char: return 1;
+      case Int: return 4;
+      case Long: return 8;
+      case Double: return 8;
+      case Ptr: return 8;
+      case Array: return base->align();
+      case Struct: return strct->align;
+    }
+    return 1;
+}
+
+const StructDef::Field*
+StructDef::findField(const std::string& n) const
+{
+    for (const auto& f : fields)
+        if (f.name == n)
+            return &f;
+    return nullptr;
+}
+
+Ast::Ast()
+{
+    auto make = [&](CType::Kind k) {
+        typeArena.push_back(CType{k, nullptr, 0, nullptr});
+        return &typeArena.back();
+    };
+    voidTy = make(CType::Void);
+    charTy = make(CType::Char);
+    intTy = make(CType::Int);
+    longTy = make(CType::Long);
+    doubleTy = make(CType::Double);
+}
+
+const CType*
+Ast::ptrTo(const CType* base) const
+{
+    for (const auto& t : typeArena) {
+        if (t.kind == CType::Ptr && t.base == base)
+            return &t;
+    }
+    typeArena.push_back(CType{CType::Ptr, base, 0, nullptr});
+    return &typeArena.back();
+}
+
+const CType*
+Ast::arrayOf(const CType* base, int64_t len) const
+{
+    typeArena.push_back(CType{CType::Array, base, len, nullptr});
+    return &typeArena.back();
+}
+
+const FuncDecl*
+Ast::findFunc(const std::string& name) const
+{
+    for (const auto& f : funcs)
+        if (f.name == name)
+            return &f;
+    return nullptr;
+}
+
+} // namespace ch

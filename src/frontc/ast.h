@@ -1,0 +1,168 @@
+#ifndef CH_FRONTC_AST_H
+#define CH_FRONTC_AST_H
+
+/**
+ * @file
+ * Abstract syntax tree and type representation for MiniC. Types are
+ * arena-allocated and owned by the Ast object; nodes reference them by
+ * pointer. Semantic typing happens during codegen (frontc/codegen.cc),
+ * which annotates nothing back into the tree.
+ */
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace ch {
+
+struct StructDef;
+
+/** A MiniC type. */
+struct CType {
+    enum Kind { Void, Char, Int, Long, Double, Ptr, Array, Struct } kind;
+    const CType* base = nullptr;   ///< Ptr/Array element type
+    int64_t arrayLen = 0;
+    const StructDef* strct = nullptr;
+
+    bool isInteger() const
+    {
+        return kind == Char || kind == Int || kind == Long;
+    }
+    bool isArith() const { return isInteger() || kind == Double; }
+    bool isPtr() const { return kind == Ptr; }
+    bool isScalar() const { return isArith() || isPtr(); }
+
+    int64_t size() const;
+    int64_t align() const;
+};
+
+/** A struct definition: ordered fields with computed offsets. */
+struct StructDef {
+    std::string name;
+    struct Field {
+        std::string name;
+        const CType* type;
+        int64_t offset;
+    };
+    std::vector<Field> fields;
+    int64_t size = 0;
+    int64_t align = 1;
+
+    const Field* findField(const std::string& n) const;
+};
+
+// ---------------------------------------------------------------------
+// Expressions
+// ---------------------------------------------------------------------
+
+struct Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+
+struct Expr {
+    enum Kind {
+        IntLit, FloatLit, StrLit, Ident,
+        Unary,     // op: - ! ~ * & preinc predec
+        Postfix,   // op: postinc postdec
+        Binary,    // op: + - * / % & | ^ << >> < > <= >= == != && ||
+        Assign,    // op: = += -= *= /= %= &= |= ^= <<= >>=
+        Cond,      // a ? b : c
+        Call,
+        Index,     // a[b]
+        Member,    // a.f (dot=true) / a->f (dot=false)
+        Cast,
+        SizeofTy,  // sizeof(type)
+        SizeofEx,  // sizeof expr
+    } kind;
+
+    int line = 0;
+    std::string op;        ///< operator spelling / callee / field name
+    int64_t intValue = 0;
+    double floatValue = 0.0;
+    std::string strValue;
+    const CType* castType = nullptr;  ///< Cast / SizeofTy
+    ExprPtr a, b, c;
+    std::vector<ExprPtr> args;
+};
+
+// ---------------------------------------------------------------------
+// Statements
+// ---------------------------------------------------------------------
+
+struct Stmt;
+using StmtPtr = std::unique_ptr<Stmt>;
+
+struct Stmt {
+    enum Kind {
+        ExprStmt, DeclStmt, If, While, DoWhile, For, Return, Break,
+        Continue, Block, Empty,
+    } kind;
+
+    int line = 0;
+    ExprPtr expr;          ///< ExprStmt / condition / return value
+    ExprPtr init, step;    ///< For clauses (init may be a DeclStmt body)
+    StmtPtr body, elseBody;
+    std::vector<StmtPtr> stmts;  ///< Block
+    StmtPtr declInit;            ///< For: declaration-style init
+
+    /** Block only: true for multi-declarator groups ("long a, b;"),
+     *  which must not open a new scope. */
+    bool declGroup = false;
+
+    // DeclStmt:
+    const CType* declType = nullptr;
+    std::string declName;
+    ExprPtr declValue;           ///< optional initializer
+};
+
+// ---------------------------------------------------------------------
+// Top level
+// ---------------------------------------------------------------------
+
+struct FuncDecl {
+    std::string name;
+    const CType* retType;
+    std::vector<std::pair<std::string, const CType*>> params;
+    StmtPtr body;
+    int line = 0;
+};
+
+struct GlobalDecl {
+    std::string name;
+    const CType* type;
+    /** Scalar initializers or brace list; empty = zero-init. */
+    std::vector<ExprPtr> init;
+    std::string strInit;  ///< for char arrays initialized from a string
+    bool hasStrInit = false;
+    int line = 0;
+};
+
+/** A parsed translation unit; owns all types and struct definitions. */
+struct Ast {
+    std::vector<FuncDecl> funcs;
+    std::vector<GlobalDecl> globals;
+
+    // Type arena (mutable: type lookups during codegen may intern new
+    // pointer/array types on a logically-const Ast).
+    mutable std::deque<CType> typeArena;
+    std::deque<StructDef> structArena;
+    std::map<std::string, StructDef*> structs;
+
+    const CType* voidTy;
+    const CType* charTy;
+    const CType* intTy;
+    const CType* longTy;
+    const CType* doubleTy;
+
+    Ast();
+    const CType* ptrTo(const CType* base) const;
+    const CType* arrayOf(const CType* base, int64_t len) const;
+
+    const FuncDecl* findFunc(const std::string& name) const;
+};
+
+} // namespace ch
+
+#endif // CH_FRONTC_AST_H

@@ -1,0 +1,1471 @@
+#include "frontc/codegen.h"
+
+#include <bit>
+#include <map>
+#include <set>
+
+#include "common/bitutil.h"
+#include "common/logging.h"
+#include "frontc/parser.h"
+
+namespace ch {
+
+namespace {
+
+/** How a named variable is stored. */
+struct VarInfo {
+    enum Kind { Reg, Frame, Global } kind;
+    int vreg = -1;
+    int frameSlot = -1;
+    std::string globalName;
+    const CType* type = nullptr;
+};
+
+/** An rvalue during expression generation. */
+struct Value {
+    int vreg = -1;
+    const CType* type = nullptr;
+};
+
+/** An assignable location. */
+struct LValue {
+    enum Kind { Reg, Mem } kind;
+    int vreg = -1;  ///< Reg: the variable's vreg; Mem: address vreg
+    const CType* type = nullptr;
+};
+
+class FuncGen
+{
+  public:
+    FuncGen(const Ast& ast, const FuncDecl& decl, VModule& mod,
+            const std::map<std::string, const CType*>& globalTypes)
+        : ast_(ast), decl_(decl), mod_(mod), globalTypes_(globalTypes)
+    {
+    }
+
+    VFunc
+    run()
+    {
+        fn_.name = decl_.name;
+        fn_.numParams = static_cast<int>(decl_.params.size());
+
+        collectAddressTaken(*decl_.body);
+
+        switchTo(newBlock());
+        pushScope();
+        // Bind parameters. Params occupy vregs 0..n-1 by convention;
+        // address-taken parameters are copied into a frame slot.
+        for (const auto& [pname, pty] : decl_.params) {
+            const int v = fn_.newVReg(pty->kind == CType::Double);
+            VarInfo info;
+            info.type = pty;
+            if (addressTaken_.count(pname)) {
+                info.kind = VarInfo::Frame;
+                info.frameSlot = newFrameSlot(pty, pname);
+                const int addr = frameAddr(info.frameSlot);
+                storeTo(addr, 0, pty, v);
+            } else {
+                info.kind = VarInfo::Reg;
+                info.vreg = v;
+            }
+            declare(pname, info);
+        }
+
+        genStmt(*decl_.body);
+
+        // Implicit return for functions that fall off the end.
+        if (!blockTerminated()) {
+            if (decl_.retType->kind == CType::Void) {
+                emitRet(-1);
+            } else {
+                emitRet(loadImm(0, false));
+            }
+        }
+        popScope();
+        return std::move(fn_);
+    }
+
+  private:
+    // =====================================================================
+    // Block and emission machinery
+    // =====================================================================
+
+    int
+    newBlock(const std::string& name = {})
+    {
+        VBlock b;
+        b.id = static_cast<int>(fn_.blocks.size());
+        b.name = name;
+        fn_.blocks.push_back(std::move(b));
+        return fn_.blocks.back().id;
+    }
+
+    void switchTo(int b) { cur_ = b; }
+
+    VBlock& curBlock() { return fn_.blocks[cur_]; }
+
+    void
+    emit(VInst inst)
+    {
+        CH_ASSERT(!blockTerminated(), "emitting into terminated block");
+        curBlock().insts.push_back(std::move(inst));
+    }
+
+    bool
+    blockTerminated()
+    {
+        const auto& insts = curBlock().insts;
+        if (!insts.empty()) {
+            const VInst& last = insts.back();
+            if (last.vop == VOp::Ret || last.isTerminatorBranch())
+                return true;
+        }
+        return curBlock().fallThrough >= 0;
+    }
+
+    /** Unconditional jump terminator. */
+    void
+    jump(int target)
+    {
+        VInst j;
+        j.op = Op::J;
+        j.target = target;
+        emit(std::move(j));
+    }
+
+    /** Conditional branch terminator. */
+    void
+    condBranch(Op op, int s1, int s2, int taken, int fall)
+    {
+        VInst br;
+        br.op = op;
+        br.src1 = s1;
+        br.src2 = s2;
+        br.target = taken;
+        emit(std::move(br));
+        curBlock().fallThrough = fall;
+    }
+
+    /** The branch with the opposite outcome, same operand order. */
+    static Op
+    invertBr(Op op)
+    {
+        switch (op) {
+          case Op::BEQ: return Op::BNE;
+          case Op::BNE: return Op::BEQ;
+          case Op::BLT: return Op::BGE;
+          case Op::BGE: return Op::BLT;
+          case Op::BLTU: return Op::BGEU;
+          case Op::BGEU: return Op::BLTU;
+          default: panic("not an invertible branch");
+        }
+    }
+
+    /**
+     * Emit a conditional branch choosing the orientation that lets the
+     * true block (created first, laid out next) be entered by fall-
+     * through: branch-if-false to @p falseB, fall into @p trueB.
+     */
+    void
+    condBranchTo(Op opIfTrue, int s1, int s2, int trueB, int falseB)
+    {
+        condBranch(invertBr(opIfTrue), s1, s2, falseB, trueB);
+    }
+
+    void
+    emitRet(int src)
+    {
+        VInst r;
+        r.vop = VOp::Ret;
+        r.src1 = src;
+        emit(std::move(r));
+    }
+
+    // --- small emission helpers -----------------------------------------
+
+    int
+    newReg(bool fp = false)
+    {
+        return fn_.newVReg(fp);
+    }
+
+    /** dst = imm (64-bit). */
+    int
+    loadImm(int64_t imm, bool fp)
+    {
+        VInst li;
+        li.vop = VOp::LoadImm;
+        li.dst = newReg(false);
+        li.imm = imm;
+        const int tmp = li.dst;
+        emit(std::move(li));
+        if (!fp)
+            return tmp;
+        VInst mv;
+        mv.op = Op::FMV_D_X;
+        mv.dst = newReg(true);
+        mv.src1 = tmp;
+        const int out = mv.dst;
+        emit(std::move(mv));
+        return out;
+    }
+
+    int
+    loadDouble(double v)
+    {
+        return loadImm(static_cast<int64_t>(std::bit_cast<uint64_t>(v)),
+                       true);
+    }
+
+    /** dst = op(src1, src2). */
+    int
+    emitRR(Op op, int s1, int s2, bool fpDst = false)
+    {
+        VInst i;
+        i.op = op;
+        i.dst = newReg(fpDst);
+        i.src1 = s1;
+        i.src2 = s2;
+        const int d = i.dst;
+        emit(std::move(i));
+        return d;
+    }
+
+    /** dst = op(src1, imm). */
+    int
+    emitRI(Op op, int s1, int64_t imm, bool fpDst = false)
+    {
+        VInst i;
+        i.op = op;
+        i.dst = newReg(fpDst);
+        i.src1 = s1;
+        i.imm = imm;
+        const int d = i.dst;
+        emit(std::move(i));
+        return d;
+    }
+
+    /** Copy value into an existing vreg (variable assignment). */
+    void
+    copyInto(int dstVreg, int srcVreg, bool fp)
+    {
+        VInst mv;
+        mv.op = fp ? Op::FMV_D : Op::MV;
+        mv.dst = dstVreg;
+        mv.src1 = srcVreg;
+        emit(std::move(mv));
+    }
+
+    int
+    frameAddr(int slot)
+    {
+        VInst fa;
+        fa.vop = VOp::FrameAddr;
+        fa.dst = newReg(false);
+        fa.frameSlot = slot;
+        const int d = fa.dst;
+        emit(std::move(fa));
+        return d;
+    }
+
+    int
+    globalAddr(const std::string& name)
+    {
+        VInst la;
+        la.vop = VOp::LoadAddr;
+        la.dst = newReg(false);
+        la.sym = name;
+        const int d = la.dst;
+        emit(std::move(la));
+        return d;
+    }
+
+    /** Memory load of @p type from addr+off. */
+    int
+    loadFrom(int addrVreg, int64_t off, const CType* ty)
+    {
+        Op op;
+        bool fp = false;
+        switch (ty->kind) {
+          case CType::Char: op = Op::LB; break;
+          case CType::Int: op = Op::LW; break;
+          case CType::Long: op = Op::LD; break;
+          case CType::Ptr: op = Op::LD; break;
+          case CType::Double: op = Op::FLD; fp = true; break;
+          default:
+            fatal("cannot load value of this type");
+        }
+        VInst ld;
+        ld.op = op;
+        ld.dst = newReg(fp);
+        ld.src1 = addrVreg;
+        ld.imm = off;
+        const int d = ld.dst;
+        emit(std::move(ld));
+        return d;
+    }
+
+    /** Memory store of @p type to addr+off. */
+    void
+    storeTo(int addrVreg, int64_t off, const CType* ty, int valueVreg)
+    {
+        Op op;
+        switch (ty->kind) {
+          case CType::Char: op = Op::SB; break;
+          case CType::Int: op = Op::SW; break;
+          case CType::Long: op = Op::SD; break;
+          case CType::Ptr: op = Op::SD; break;
+          case CType::Double: op = Op::FSD; break;
+          default:
+            fatal("cannot store value of this type");
+        }
+        VInst st;
+        st.op = op;
+        st.src1 = addrVreg;  // base
+        st.src2 = valueVreg; // data
+        st.imm = off;
+        emit(std::move(st));
+    }
+
+    // =====================================================================
+    // Scopes
+    // =====================================================================
+
+    void pushScope() { scopes_.emplace_back(); }
+    void popScope() { scopes_.pop_back(); }
+
+    void
+    declare(const std::string& name, VarInfo info)
+    {
+        scopes_.back()[name] = std::move(info);
+    }
+
+    const VarInfo*
+    lookup(const std::string& name)
+    {
+        for (auto it = scopes_.rbegin(); it != scopes_.rend(); ++it) {
+            auto f = it->find(name);
+            if (f != it->end())
+                return &f->second;
+        }
+        auto g = globalTypes_.find(name);
+        if (g != globalTypes_.end()) {
+            VarInfo& info = globalCache_[name];
+            info.kind = VarInfo::Global;
+            info.globalName = name;
+            info.type = g->second;
+            return &info;
+        }
+        return nullptr;
+    }
+
+    int
+    newFrameSlot(const CType* ty, const std::string& name)
+    {
+        FrameSlot slot;
+        slot.size = std::max<int64_t>(ty->size(), 1);
+        slot.align = ty->align();
+        slot.name = name;
+        fn_.frameSlots.push_back(slot);
+        return static_cast<int>(fn_.frameSlots.size()) - 1;
+    }
+
+    // =====================================================================
+    // Address-taken pre-pass
+    // =====================================================================
+
+    void
+    collectAddressTaken(const Stmt& s)
+    {
+        if (s.expr)
+            collectAddressTakenExpr(*s.expr);
+        if (s.init)
+            collectAddressTakenExpr(*s.init);
+        if (s.step)
+            collectAddressTakenExpr(*s.step);
+        if (s.declValue)
+            collectAddressTakenExpr(*s.declValue);
+        if (s.declInit)
+            collectAddressTaken(*s.declInit);
+        if (s.body)
+            collectAddressTaken(*s.body);
+        if (s.elseBody)
+            collectAddressTaken(*s.elseBody);
+        for (const auto& sub : s.stmts)
+            collectAddressTaken(*sub);
+    }
+
+    void
+    collectAddressTakenExpr(const Expr& e)
+    {
+        if (e.kind == Expr::Unary && e.op == "&" &&
+            e.a->kind == Expr::Ident) {
+            addressTaken_.insert(e.a->op);
+        }
+        if (e.a)
+            collectAddressTakenExpr(*e.a);
+        if (e.b)
+            collectAddressTakenExpr(*e.b);
+        if (e.c)
+            collectAddressTakenExpr(*e.c);
+        for (const auto& arg : e.args)
+            collectAddressTakenExpr(*arg);
+    }
+
+    // =====================================================================
+    // Statements
+    // =====================================================================
+
+    void
+    genStmt(const Stmt& s)
+    {
+        switch (s.kind) {
+          case Stmt::Block: {
+            if (!s.declGroup)
+                pushScope();
+            for (const auto& sub : s.stmts) {
+                if (blockTerminated()) {
+                    // Unreachable code after break/return: start a fresh
+                    // (dangling) block so emission remains well formed.
+                    switchTo(newBlock("dead"));
+                }
+                genStmt(*sub);
+            }
+            if (!s.declGroup)
+                popScope();
+            break;
+          }
+          case Stmt::Empty:
+            break;
+          case Stmt::ExprStmt:
+            genExpr(*s.expr);
+            break;
+          case Stmt::DeclStmt:
+            genDecl(s);
+            break;
+          case Stmt::Return: {
+            if (s.expr) {
+                Value v = genExpr(*s.expr);
+                v = convert(v, decl_.retType, s.line);
+                emitRet(v.vreg);
+            } else {
+                emitRet(-1);
+            }
+            break;
+          }
+          case Stmt::If: {
+            const int thenB = newBlock("then");
+            const int elseB = s.elseBody ? newBlock("else") : -1;
+            const int joinB = newBlock("endif");
+            genCond(*s.expr, thenB, s.elseBody ? elseB : joinB);
+            switchTo(thenB);
+            genStmt(*s.body);
+            if (!blockTerminated())
+                jump(joinB);
+            if (s.elseBody) {
+                switchTo(elseB);
+                genStmt(*s.elseBody);
+                if (!blockTerminated())
+                    jump(joinB);
+            }
+            switchTo(joinB);
+            break;
+          }
+          case Stmt::While: {
+            const int condB = newBlock("while.cond");
+            const int bodyB = newBlock("while.body");
+            const int exitB = newBlock("while.end");
+            jump(condB);
+            switchTo(condB);
+            genCond(*s.expr, bodyB, exitB);
+            loops_.push_back({exitB, condB});
+            switchTo(bodyB);
+            genStmt(*s.body);
+            if (!blockTerminated())
+                jump(condB);
+            loops_.pop_back();
+            switchTo(exitB);
+            break;
+          }
+          case Stmt::DoWhile: {
+            const int bodyB = newBlock("do.body");
+            const int condB = newBlock("do.cond");
+            const int exitB = newBlock("do.end");
+            jump(bodyB);
+            loops_.push_back({exitB, condB});
+            switchTo(bodyB);
+            genStmt(*s.body);
+            if (!blockTerminated())
+                jump(condB);
+            switchTo(condB);
+            genCond(*s.expr, bodyB, exitB);
+            loops_.pop_back();
+            switchTo(exitB);
+            break;
+          }
+          case Stmt::For: {
+            pushScope();
+            if (s.declInit)
+                genStmt(*s.declInit);
+            else if (s.init)
+                genExpr(*s.init);
+            const int condB = newBlock("for.cond");
+            const int bodyB = newBlock("for.body");
+            const int stepB = newBlock("for.step");
+            const int exitB = newBlock("for.end");
+            jump(condB);
+            switchTo(condB);
+            if (s.expr)
+                genCond(*s.expr, bodyB, exitB);
+            else
+                jump(bodyB);
+            loops_.push_back({exitB, stepB});
+            switchTo(bodyB);
+            genStmt(*s.body);
+            if (!blockTerminated())
+                jump(stepB);
+            switchTo(stepB);
+            if (s.step)
+                genExpr(*s.step);
+            if (!blockTerminated())
+                jump(condB);
+            loops_.pop_back();
+            popScope();
+            switchTo(exitB);
+            break;
+          }
+          case Stmt::Break:
+            if (loops_.empty())
+                fatal("minic line ", s.line, ": break outside loop");
+            jump(loops_.back().breakTarget);
+            break;
+          case Stmt::Continue:
+            if (loops_.empty())
+                fatal("minic line ", s.line, ": continue outside loop");
+            jump(loops_.back().continueTarget);
+            break;
+        }
+    }
+
+    void
+    genDecl(const Stmt& s)
+    {
+        const CType* ty = s.declType;
+        VarInfo info;
+        info.type = ty;
+        const bool needsMemory = ty->kind == CType::Array ||
+                                 ty->kind == CType::Struct ||
+                                 addressTaken_.count(s.declName);
+        if (needsMemory) {
+            info.kind = VarInfo::Frame;
+            info.frameSlot = newFrameSlot(ty, s.declName);
+            if (s.declValue) {
+                if (!ty->isScalar()) {
+                    fatal("minic line ", s.line,
+                          ": local aggregate initializers not supported");
+                }
+                Value v = convert(genExpr(*s.declValue), ty, s.line);
+                storeTo(frameAddr(info.frameSlot), 0, ty, v.vreg);
+            }
+        } else {
+            info.kind = VarInfo::Reg;
+            info.vreg = newReg(ty->kind == CType::Double);
+            if (s.declValue) {
+                Value v = convert(genExpr(*s.declValue), ty, s.line);
+                copyInto(info.vreg, v.vreg, ty->kind == CType::Double);
+            } else {
+                // Deterministic zero init keeps runs reproducible.
+                VInst li;
+                li.vop = VOp::LoadImm;
+                li.dst = info.vreg;
+                li.imm = 0;
+                if (ty->kind == CType::Double) {
+                    const int tmp = loadImm(0, false);
+                    VInst mv;
+                    mv.op = Op::FMV_D_X;
+                    mv.dst = info.vreg;
+                    mv.src1 = tmp;
+                    emit(std::move(mv));
+                } else {
+                    emit(std::move(li));
+                }
+            }
+        }
+        declare(s.declName, std::move(info));
+    }
+
+    // =====================================================================
+    // Conditions (control-flow generation)
+    // =====================================================================
+
+    void
+    genCond(const Expr& e, int trueB, int falseB)
+    {
+        if (e.kind == Expr::Binary && e.op == "&&") {
+            const int mid = newBlock("and.rhs");
+            genCond(*e.a, mid, falseB);
+            switchTo(mid);
+            genCond(*e.b, trueB, falseB);
+            return;
+        }
+        if (e.kind == Expr::Binary && e.op == "||") {
+            const int mid = newBlock("or.rhs");
+            genCond(*e.a, trueB, mid);
+            switchTo(mid);
+            genCond(*e.b, trueB, falseB);
+            return;
+        }
+        if (e.kind == Expr::Unary && e.op == "!") {
+            genCond(*e.a, falseB, trueB);
+            return;
+        }
+        if (e.kind == Expr::Binary && isComparison(e.op)) {
+            Value a = genExpr(*e.a);
+            Value b = genExpr(*e.b);
+            const CType* common = usualArith(a.type, b.type, e.line);
+            a = convert(a, common, e.line);
+            b = convert(b, common, e.line);
+            if (common->kind == CType::Double) {
+                const int flag = fpCompare(e.op, a.vreg, b.vreg);
+                condBranchTo(Op::BNE, flag, kVZero, trueB, falseB);
+                return;
+            }
+            const bool unsignedCmp = common->isPtr();
+            Op op;
+            int s1 = a.vreg, s2 = b.vreg;
+            if (e.op == "==") {
+                op = Op::BEQ;
+            } else if (e.op == "!=") {
+                op = Op::BNE;
+            } else if (e.op == "<") {
+                op = unsignedCmp ? Op::BLTU : Op::BLT;
+            } else if (e.op == ">=") {
+                op = unsignedCmp ? Op::BGEU : Op::BGE;
+            } else if (e.op == ">") {
+                op = unsignedCmp ? Op::BLTU : Op::BLT;
+                std::swap(s1, s2);
+            } else {  // "<="
+                op = unsignedCmp ? Op::BGEU : Op::BGE;
+                std::swap(s1, s2);
+            }
+            condBranchTo(op, s1, s2, trueB, falseB);
+            return;
+        }
+        // Generic: value != 0.
+        Value v = genExpr(e);
+        if (v.type->kind == CType::Double) {
+            const int zero = loadDouble(0.0);
+            const int flag = emitRR(Op::FEQ_D, v.vreg, zero);
+            condBranchTo(Op::BEQ, flag, kVZero, trueB, falseB);
+        } else {
+            condBranchTo(Op::BNE, v.vreg, kVZero, trueB, falseB);
+        }
+    }
+
+    static bool
+    isComparison(const std::string& op)
+    {
+        return op == "==" || op == "!=" || op == "<" || op == ">" ||
+               op == "<=" || op == ">=";
+    }
+
+    /** FP comparison producing a 0/1 integer vreg. */
+    int
+    fpCompare(const std::string& op, int a, int b)
+    {
+        if (op == "==")
+            return emitRR(Op::FEQ_D, a, b);
+        if (op == "!=")
+            return emitRI(Op::XORI, emitRR(Op::FEQ_D, a, b), 1);
+        if (op == "<")
+            return emitRR(Op::FLT_D, a, b);
+        if (op == "<=")
+            return emitRR(Op::FLE_D, a, b);
+        if (op == ">")
+            return emitRR(Op::FLT_D, b, a);
+        return emitRR(Op::FLE_D, b, a);  // >=
+    }
+
+    // =====================================================================
+    // Type handling
+    // =====================================================================
+
+    /** Usual arithmetic conversions (MiniC flavour). */
+    const CType*
+    usualArith(const CType* a, const CType* b, int line)
+    {
+        if (a->kind == CType::Double || b->kind == CType::Double)
+            return ast_.doubleTy;
+        if (a->isPtr() || b->isPtr()) {
+            // Pointer comparisons / subtraction handled by callers;
+            // here both being pointers means an unsigned comparison.
+            if (a->isPtr() && b->isPtr())
+                return a;
+            return a->isPtr() ? a : b;
+        }
+        if (a->kind == CType::Long || b->kind == CType::Long)
+            return ast_.longTy;
+        return ast_.intTy;
+    }
+
+    /** Convert a value to @p to. */
+    Value
+    convert(Value v, const CType* to, int line)
+    {
+        const CType* from = v.type;
+        if (from == to || (from->kind == to->kind &&
+                           from->kind != CType::Ptr))
+            return {v.vreg, to};
+        if (from->kind == CType::Ptr && to->kind == CType::Ptr)
+            return {v.vreg, to};
+        if (from->isInteger() && to->kind == CType::Double) {
+            return {emitRR(Op::FCVT_D_L, v.vreg, -1, true), to};
+        }
+        if (from->kind == CType::Double && to->isInteger()) {
+            int r = emitRR(Op::FCVT_L_D, v.vreg, -1, false);
+            return {narrowInt(r, to), to};
+        }
+        if (from->isInteger() && to->isInteger())
+            return {narrowInt(v.vreg, to), to};
+        if (from->isInteger() && to->isPtr())
+            return {v.vreg, to};
+        if (from->isPtr() && to->isInteger())
+            return {narrowInt(v.vreg, to), to};
+        if (from->kind == CType::Array && to->isPtr())
+            return {v.vreg, to};
+        fatal("minic line ", line, ": unsupported conversion");
+    }
+
+    /** Re-canonicalize an integer value into @p to's range (sign-extend). */
+    int
+    narrowInt(int vreg, const CType* to)
+    {
+        switch (to->kind) {
+          case CType::Char: {
+            const int t = emitRI(Op::SLLI, vreg, 56);
+            return emitRI(Op::SRAI, t, 56);
+          }
+          case CType::Int:
+            return emitRI(Op::ADDIW, vreg, 0);
+          default:
+            return vreg;
+        }
+    }
+
+    // =====================================================================
+    // Expressions
+    // =====================================================================
+
+    Value
+    genExpr(const Expr& e)
+    {
+        switch (e.kind) {
+          case Expr::IntLit: {
+            const CType* ty = fitsSigned(e.intValue, 32) ? ast_.intTy
+                                                         : ast_.longTy;
+            return {loadImm(e.intValue, false), ty};
+          }
+          case Expr::FloatLit:
+            return {loadDouble(e.floatValue), ast_.doubleTy};
+          case Expr::StrLit: {
+            const std::string name = internString(e.strValue);
+            return {globalAddr(name), ast_.ptrTo(ast_.charTy)};
+          }
+          case Expr::Ident: {
+            const VarInfo* var = lookup(e.op);
+            if (!var)
+                fatal("minic line ", e.line, ": unknown variable '", e.op,
+                      "'");
+            return loadVar(*var);
+          }
+          case Expr::Unary:
+            return genUnary(e);
+          case Expr::Postfix:
+            return genIncDec(e, /*pre=*/false,
+                             e.op == "postinc" ? 1 : -1);
+          case Expr::Binary:
+            return genBinary(e);
+          case Expr::Assign:
+            return genAssign(e);
+          case Expr::Cond:
+            return genTernary(e);
+          case Expr::Call:
+            return genCall(e);
+          case Expr::Index:
+          case Expr::Member: {
+            LValue lv = genLValue(e);
+            return loadLValue(lv, e.line);
+          }
+          case Expr::Cast: {
+            Value v = genExpr(*e.a);
+            return convert(v, e.castType, e.line);
+          }
+          case Expr::SizeofTy:
+            return {loadImm(e.castType->size(), false), ast_.longTy};
+          case Expr::SizeofEx: {
+            const CType* ty = typeOf(*e.a);
+            return {loadImm(ty->size(), false), ast_.longTy};
+          }
+        }
+        fatal("minic line ", e.line, ": unhandled expression");
+    }
+
+    /** Static type of an expression without generating code (sizeof). */
+    const CType*
+    typeOf(const Expr& e)
+    {
+        switch (e.kind) {
+          case Expr::IntLit: return ast_.intTy;
+          case Expr::FloatLit: return ast_.doubleTy;
+          case Expr::Ident: {
+            const VarInfo* var = lookup(e.op);
+            if (!var)
+                fatal("minic line ", e.line, ": unknown variable '", e.op,
+                      "'");
+            return var->type;
+          }
+          case Expr::Index: {
+            const CType* base = typeOf(*e.a);
+            if (base->kind == CType::Array || base->kind == CType::Ptr)
+                return base->base;
+            fatal("minic line ", e.line, ": indexing non-array");
+          }
+          case Expr::Unary:
+            if (e.op == "*") {
+                const CType* p = typeOf(*e.a);
+                if (p->kind != CType::Ptr && p->kind != CType::Array)
+                    fatal("minic line ", e.line, ": deref of non-pointer");
+                return p->base;
+            }
+            return typeOf(*e.a);
+          case Expr::Member: {
+            const CType* base = typeOf(*e.a);
+            const StructDef* sd = nullptr;
+            if (e.intValue) {  // dot
+                if (base->kind != CType::Struct)
+                    fatal("minic line ", e.line, ": '.' on non-struct");
+                sd = base->strct;
+            } else {
+                if (base->kind != CType::Ptr ||
+                    base->base->kind != CType::Struct) {
+                    fatal("minic line ", e.line,
+                          ": '->' on non-struct-pointer");
+                }
+                sd = base->base->strct;
+            }
+            const auto* f = sd->findField(e.op);
+            if (!f)
+                fatal("minic line ", e.line, ": no field '", e.op, "'");
+            return f->type;
+          }
+          default:
+            return ast_.longTy;
+        }
+    }
+
+    Value
+    loadVar(const VarInfo& var)
+    {
+        if (var.kind == VarInfo::Reg)
+            return {var.vreg, var.type};
+        // Memory-resident: arrays decay to their address.
+        int addr = var.kind == VarInfo::Frame ? frameAddr(var.frameSlot)
+                                              : globalAddr(var.globalName);
+        if (var.type->kind == CType::Array)
+            return {addr, ast_.ptrTo(var.type->base)};
+        if (var.type->kind == CType::Struct)
+            return {addr, ast_.ptrTo(var.type)};
+        return {loadFrom(addr, 0, var.type), var.type};
+    }
+
+    Value
+    loadLValue(const LValue& lv, int line)
+    {
+        if (lv.kind == LValue::Reg)
+            return {lv.vreg, lv.type};
+        if (lv.type->kind == CType::Array)
+            return {lv.vreg, ast_.ptrTo(lv.type->base)};
+        if (lv.type->kind == CType::Struct)
+            return {lv.vreg, ast_.ptrTo(lv.type)};
+        return {loadFrom(lv.vreg, 0, lv.type), lv.type};
+    }
+
+    LValue
+    genLValue(const Expr& e)
+    {
+        switch (e.kind) {
+          case Expr::Ident: {
+            const VarInfo* var = lookup(e.op);
+            if (!var)
+                fatal("minic line ", e.line, ": unknown variable '", e.op,
+                      "'");
+            if (var->kind == VarInfo::Reg)
+                return {LValue::Reg, var->vreg, var->type};
+            const int addr = var->kind == VarInfo::Frame
+                                 ? frameAddr(var->frameSlot)
+                                 : globalAddr(var->globalName);
+            return {LValue::Mem, addr, var->type};
+          }
+          case Expr::Unary:
+            if (e.op == "*") {
+                Value p = genExpr(*e.a);
+                if (p.type->kind != CType::Ptr)
+                    fatal("minic line ", e.line, ": deref of non-pointer");
+                return {LValue::Mem, p.vreg, p.type->base};
+            }
+            break;
+          case Expr::Index: {
+            Value base = genExpr(*e.a);
+            if (base.type->kind != CType::Ptr)
+                fatal("minic line ", e.line, ": indexing non-pointer");
+            Value idx = convert(genExpr(*e.b), ast_.longTy, e.line);
+            const int64_t esize = base.type->base->size();
+            int scaled = idx.vreg;
+            if (esize != 1) {
+                if (isPowerOf2(static_cast<uint64_t>(esize))) {
+                    scaled = emitRI(Op::SLLI, idx.vreg,
+                                    floorLog2(esize));
+                } else {
+                    const int sz = loadImm(esize, false);
+                    scaled = emitRR(Op::MUL, idx.vreg, sz);
+                }
+            }
+            const int addr = emitRR(Op::ADD, base.vreg, scaled);
+            return {LValue::Mem, addr, base.type->base};
+          }
+          case Expr::Member: {
+            const StructDef* sd;
+            int addr;
+            if (e.intValue) {  // a.f
+                LValue base = genLValue(*e.a);
+                if (base.kind != LValue::Mem ||
+                    base.type->kind != CType::Struct) {
+                    fatal("minic line ", e.line, ": '.' on non-struct");
+                }
+                sd = base.type->strct;
+                addr = base.vreg;
+            } else {  // a->f
+                Value p = genExpr(*e.a);
+                if (p.type->kind != CType::Ptr ||
+                    p.type->base->kind != CType::Struct) {
+                    fatal("minic line ", e.line,
+                          ": '->' on non-struct-pointer");
+                }
+                sd = p.type->base->strct;
+                addr = p.vreg;
+            }
+            const auto* f = sd->findField(e.op);
+            if (!f)
+                fatal("minic line ", e.line, ": no field '", e.op, "'");
+            const int faddr =
+                f->offset ? emitRI(Op::ADDI, addr, f->offset) : addr;
+            return {LValue::Mem, faddr, f->type};
+          }
+          default:
+            break;
+        }
+        fatal("minic line ", e.line, ": expression is not assignable");
+    }
+
+    void
+    storeLValue(const LValue& lv, Value v, int line)
+    {
+        Value cv = convert(v, lv.type, line);
+        if (lv.kind == LValue::Reg) {
+            copyInto(lv.vreg, cv.vreg, lv.type->kind == CType::Double);
+        } else {
+            storeTo(lv.vreg, 0, lv.type, cv.vreg);
+        }
+    }
+
+    Value
+    genUnary(const Expr& e)
+    {
+        if (e.op == "&") {
+            LValue lv = genLValue(*e.a);
+            if (lv.kind != LValue::Mem)
+                fatal("minic line ", e.line, ": cannot take address");
+            return {lv.vreg, ast_.ptrTo(lv.type)};
+        }
+        if (e.op == "*") {
+            LValue lv = genLValue(e);
+            return loadLValue(lv, e.line);
+        }
+        if (e.op == "preinc" || e.op == "predec") {
+            return genIncDec(e, /*pre=*/true, e.op == "preinc" ? 1 : -1);
+        }
+        Value v = genExpr(*e.a);
+        if (e.op == "-") {
+            if (v.type->kind == CType::Double)
+                return {emitRR(Op::FSGNJN_D, v.vreg, v.vreg, true), v.type};
+            const Op op = v.type->kind == CType::Int ? Op::SUBW : Op::SUB;
+            VInst i;
+            i.op = op;
+            i.dst = newReg(false);
+            i.src1 = kVZero;
+            i.src2 = v.vreg;
+            const int d = i.dst;
+            emit(std::move(i));
+            return {d, v.type->isInteger() ? v.type : ast_.longTy};
+        }
+        if (e.op == "~") {
+            return {emitRI(Op::XORI, v.vreg, -1), v.type};
+        }
+        if (e.op == "!") {
+            if (v.type->kind == CType::Double) {
+                const int zero = loadDouble(0.0);
+                return {emitRR(Op::FEQ_D, v.vreg, zero), ast_.intTy};
+            }
+            return {emitRI(Op::SLTIU, v.vreg, 1), ast_.intTy};
+        }
+        fatal("minic line ", e.line, ": unhandled unary '", e.op, "'");
+    }
+
+    Value
+    genIncDec(const Expr& e, bool pre, int dir)
+    {
+        LValue lv = genLValue(*e.a);
+        Value old = loadLValue(lv, e.line);
+        if (!pre && lv.kind == LValue::Reg) {
+            // Post-inc/dec of a register variable: the "old" value must be
+            // snapshotted, since the update below writes the same vreg.
+            const bool fp = lv.type->kind == CType::Double;
+            const int copy = newReg(fp);
+            copyInto(copy, old.vreg, fp);
+            old.vreg = copy;
+        }
+        int64_t delta = dir;
+        if (lv.type->isPtr())
+            delta = dir * lv.type->base->size();
+        int updated;
+        if (lv.type->kind == CType::Double) {
+            const int one = loadDouble(static_cast<double>(dir));
+            updated = emitRR(Op::FADD_D, old.vreg, one, true);
+        } else {
+            const Op op =
+                lv.type->kind == CType::Int ? Op::ADDIW : Op::ADDI;
+            updated = emitRI(op, old.vreg, delta);
+        }
+        storeLValue(lv, {updated, lv.type}, e.line);
+        return pre ? Value{updated, lv.type} : old;
+    }
+
+    Value
+    genBinary(const Expr& e)
+    {
+        if (e.op == "&&" || e.op == "||" || isComparison(e.op))
+            return materializeBool(e);
+
+        Value a = genExpr(*e.a);
+        Value b = genExpr(*e.b);
+
+        // Pointer arithmetic.
+        if (e.op == "+" || e.op == "-") {
+            if (a.type->isPtr() && b.type->isInteger())
+                return ptrOffset(a, b, e.op == "-" ? -1 : 1, e.line);
+            if (b.type->isPtr() && a.type->isInteger() && e.op == "+")
+                return ptrOffset(b, a, 1, e.line);
+            if (a.type->isPtr() && b.type->isPtr() && e.op == "-") {
+                const int diff = emitRR(Op::SUB, a.vreg, b.vreg);
+                const int64_t esize = a.type->base->size();
+                int out = diff;
+                if (esize > 1) {
+                    if (isPowerOf2(static_cast<uint64_t>(esize)))
+                        out = emitRI(Op::SRAI, diff, floorLog2(esize));
+                    else
+                        out = emitRR(Op::DIV, diff, loadImm(esize, false));
+                }
+                return {out, ast_.longTy};
+            }
+        }
+
+        const CType* common = usualArith(a.type, b.type, e.line);
+        a = convert(a, common, e.line);
+        b = convert(b, common, e.line);
+
+        if (common->kind == CType::Double) {
+            Op op;
+            if (e.op == "+") op = Op::FADD_D;
+            else if (e.op == "-") op = Op::FSUB_D;
+            else if (e.op == "*") op = Op::FMUL_D;
+            else if (e.op == "/") op = Op::FDIV_D;
+            else
+                fatal("minic line ", e.line, ": bad double operator '",
+                      e.op, "'");
+            return {emitRR(op, a.vreg, b.vreg, true), common};
+        }
+
+        const bool w = common->kind == CType::Int;
+        Op op;
+        if (e.op == "+") op = w ? Op::ADDW : Op::ADD;
+        else if (e.op == "-") op = w ? Op::SUBW : Op::SUB;
+        else if (e.op == "*") op = w ? Op::MULW : Op::MUL;
+        else if (e.op == "/") op = w ? Op::DIVW : Op::DIV;
+        else if (e.op == "%") op = w ? Op::REMW : Op::REM;
+        else if (e.op == "&") op = Op::AND;
+        else if (e.op == "|") op = Op::OR;
+        else if (e.op == "^") op = Op::XOR;
+        else if (e.op == "<<") op = w ? Op::SLLW : Op::SLL;
+        else if (e.op == ">>") op = w ? Op::SRAW : Op::SRA;
+        else
+            fatal("minic line ", e.line, ": bad operator '", e.op, "'");
+        return {emitRR(op, a.vreg, b.vreg), common};
+    }
+
+    Value
+    ptrOffset(Value ptr, Value idx, int sign, int line)
+    {
+        idx = convert(idx, ast_.longTy, line);
+        const int64_t esize = ptr.type->base->size();
+        int scaled = idx.vreg;
+        if (esize != 1) {
+            if (isPowerOf2(static_cast<uint64_t>(esize)))
+                scaled = emitRI(Op::SLLI, idx.vreg, floorLog2(esize));
+            else
+                scaled = emitRR(Op::MUL, idx.vreg, loadImm(esize, false));
+        }
+        const Op op = sign > 0 ? Op::ADD : Op::SUB;
+        return {emitRR(op, ptr.vreg, scaled), ptr.type};
+    }
+
+    /** Comparison / logical expression used as a data value (0 or 1). */
+    Value
+    materializeBool(const Expr& e)
+    {
+        if (e.kind == Expr::Binary && isComparison(e.op)) {
+            Value a = genExpr(*e.a);
+            Value b = genExpr(*e.b);
+            const CType* common = usualArith(a.type, b.type, e.line);
+            a = convert(a, common, e.line);
+            b = convert(b, common, e.line);
+            if (common->kind == CType::Double)
+                return {fpCompare(e.op, a.vreg, b.vreg), ast_.intTy};
+            const bool u = common->isPtr();
+            if (e.op == "<")
+                return {emitRR(u ? Op::SLTU : Op::SLT, a.vreg, b.vreg),
+                        ast_.intTy};
+            if (e.op == ">")
+                return {emitRR(u ? Op::SLTU : Op::SLT, b.vreg, a.vreg),
+                        ast_.intTy};
+            if (e.op == "<=") {
+                const int gt = emitRR(u ? Op::SLTU : Op::SLT, b.vreg, a.vreg);
+                return {emitRI(Op::XORI, gt, 1), ast_.intTy};
+            }
+            if (e.op == ">=") {
+                const int lt = emitRR(u ? Op::SLTU : Op::SLT, a.vreg, b.vreg);
+                return {emitRI(Op::XORI, lt, 1), ast_.intTy};
+            }
+            const int x = emitRR(Op::XOR, a.vreg, b.vreg);
+            if (e.op == "==")
+                return {emitRI(Op::SLTIU, x, 1), ast_.intTy};
+            // "!=": 0 < x (unsigned)
+            VInst i;
+            i.op = Op::SLTU;
+            i.dst = newReg(false);
+            i.src1 = kVZero;
+            i.src2 = x;
+            const int d = i.dst;
+            emit(std::move(i));
+            return {d, ast_.intTy};
+        }
+        // Short-circuit logicals (and any other condition): route through
+        // control flow into a result register.
+        const int result = newReg(false);
+        const int trueB = newBlock("bool.true");
+        const int falseB = newBlock("bool.false");
+        const int joinB = newBlock("bool.join");
+        genCond(e, trueB, falseB);
+        switchTo(trueB);
+        {
+            VInst li;
+            li.vop = VOp::LoadImm;
+            li.dst = result;
+            li.imm = 1;
+            emit(std::move(li));
+        }
+        jump(joinB);
+        switchTo(falseB);
+        {
+            VInst li;
+            li.vop = VOp::LoadImm;
+            li.dst = result;
+            li.imm = 0;
+            emit(std::move(li));
+        }
+        jump(joinB);
+        switchTo(joinB);
+        return {result, ast_.intTy};
+    }
+
+    Value
+    genTernary(const Expr& e)
+    {
+        const int thenB = newBlock("sel.then");
+        const int elseB = newBlock("sel.else");
+        const int joinB = newBlock("sel.join");
+        genCond(*e.a, thenB, elseB);
+
+        // Generate both arms into a common vreg; types must agree after
+        // the usual conversions (computed from a dry type pass).
+        switchTo(thenB);
+        Value tv = genExpr(*e.b);
+        const int thenEnd = cur_;
+        switchTo(elseB);
+        Value fv = genExpr(*e.c);
+        const int elseEnd = cur_;
+
+        const CType* common =
+            tv.type->isPtr() ? tv.type : usualArith(tv.type, fv.type, e.line);
+        const int result = newReg(common->kind == CType::Double);
+
+        switchTo(thenEnd);
+        Value tc = convert(tv, common, e.line);
+        copyInto(result, tc.vreg, common->kind == CType::Double);
+        jump(joinB);
+        switchTo(elseEnd);
+        Value fc = convert(fv, common, e.line);
+        copyInto(result, fc.vreg, common->kind == CType::Double);
+        jump(joinB);
+        switchTo(joinB);
+        return {result, common};
+    }
+
+    Value
+    genAssign(const Expr& e)
+    {
+        if (e.op == "=") {
+            LValue lv = genLValue(*e.a);
+            Value v = genExpr(*e.b);
+            storeLValue(lv, v, e.line);
+            return {convert(v, lv.type, e.line).vreg, lv.type};
+        }
+        // Compound assignment: load, op, store.
+        LValue lv = genLValue(*e.a);
+        Value old = loadLValue(lv, e.line);
+        Value rhs = genExpr(*e.b);
+
+        const std::string binOp = e.op.substr(0, e.op.size() - 1);
+        Value result = applyBinary(binOp, old, rhs, e.line);
+        storeLValue(lv, result, e.line);
+        return {convert(result, lv.type, e.line).vreg, lv.type};
+    }
+
+    Value
+    applyBinary(const std::string& op, Value a, Value b, int line)
+    {
+        // Pointer += / -=.
+        if (a.type->isPtr() && (op == "+" || op == "-"))
+            return ptrOffset(a, b, op == "-" ? -1 : 1, line);
+        const CType* common = usualArith(a.type, b.type, line);
+        Value ca = convert(a, common, line);
+        Value cb = convert(b, common, line);
+        if (common->kind == CType::Double) {
+            Op fop;
+            if (op == "+") fop = Op::FADD_D;
+            else if (op == "-") fop = Op::FSUB_D;
+            else if (op == "*") fop = Op::FMUL_D;
+            else if (op == "/") fop = Op::FDIV_D;
+            else
+                fatal("minic line ", line, ": bad double operator");
+            return {emitRR(fop, ca.vreg, cb.vreg, true), common};
+        }
+        const bool w = common->kind == CType::Int;
+        Op iop;
+        if (op == "+") iop = w ? Op::ADDW : Op::ADD;
+        else if (op == "-") iop = w ? Op::SUBW : Op::SUB;
+        else if (op == "*") iop = w ? Op::MULW : Op::MUL;
+        else if (op == "/") iop = w ? Op::DIVW : Op::DIV;
+        else if (op == "%") iop = w ? Op::REMW : Op::REM;
+        else if (op == "&") iop = Op::AND;
+        else if (op == "|") iop = Op::OR;
+        else if (op == "^") iop = Op::XOR;
+        else if (op == "<<") iop = w ? Op::SLLW : Op::SLL;
+        else if (op == ">>") iop = w ? Op::SRAW : Op::SRA;
+        else
+            fatal("minic line ", line, ": bad operator '", op, "'");
+        return {emitRR(iop, ca.vreg, cb.vreg), common};
+    }
+
+    Value
+    genCall(const Expr& e)
+    {
+        // Builtins lower to ECALL.
+        if (e.op == "putchar" || e.op == "exit") {
+            if (e.args.size() != 1)
+                fatal("minic line ", e.line, ": ", e.op, " takes 1 arg");
+            Value arg = convert(genExpr(*e.args[0]), ast_.longTy, e.line);
+            VInst ec;
+            ec.op = Op::ECALL;
+            ec.dst = newReg(false);
+            ec.src1 = arg.vreg;
+            ec.imm = e.op == "exit" ? 0 : 1;
+            const int d = ec.dst;
+            emit(std::move(ec));
+            return {d, ast_.intTy};
+        }
+
+        const FuncDecl* callee = ast_.findFunc(e.op);
+        if (!callee)
+            fatal("minic line ", e.line, ": unknown function '", e.op, "'");
+        if (callee->params.size() != e.args.size())
+            fatal("minic line ", e.line, ": wrong arity calling '", e.op,
+                  "'");
+        VInst call;
+        call.vop = VOp::Call;
+        call.sym = e.op;
+        for (size_t i = 0; i < e.args.size(); ++i) {
+            Value a = convert(genExpr(*e.args[i]), callee->params[i].second,
+                              e.line);
+            call.args.push_back(a.vreg);
+        }
+        const CType* retTy = callee->retType;
+        if (retTy->kind != CType::Void)
+            call.dst = newReg(retTy->kind == CType::Double);
+        const int d = call.dst;
+        emit(std::move(call));
+        return {d, retTy->kind == CType::Void ? ast_.intTy : retTy};
+    }
+
+    // =====================================================================
+    // String literals
+    // =====================================================================
+
+    std::string
+    internString(const std::string& s)
+    {
+        VGlobal g;
+        g.name = "__str" + std::to_string(mod_.globals.size());
+        g.size = static_cast<int64_t>(s.size()) + 1;
+        g.align = 1;
+        g.init.assign(s.begin(), s.end());
+        g.init.push_back(0);
+        mod_.globals.push_back(std::move(g));
+        return mod_.globals.back().name;
+    }
+
+    // =====================================================================
+
+    struct LoopCtx {
+        int breakTarget;
+        int continueTarget;
+    };
+
+    const Ast& ast_;
+    const FuncDecl& decl_;
+    VModule& mod_;
+    const std::map<std::string, const CType*>& globalTypes_;
+    std::map<std::string, VarInfo> globalCache_;
+    VFunc fn_;
+    int cur_ = 0;
+    std::vector<std::map<std::string, VarInfo>> scopes_;
+    std::set<std::string> addressTaken_;
+    std::vector<LoopCtx> loops_;
+};
+
+/** Evaluate a constant initializer expression to raw bytes. */
+int64_t
+constIntValue(const Expr& e)
+{
+    switch (e.kind) {
+      case Expr::IntLit:
+        return e.intValue;
+      case Expr::FloatLit:
+        return static_cast<int64_t>(std::bit_cast<uint64_t>(e.floatValue));
+      case Expr::Unary:
+        if (e.op == "-")
+            return -constIntValue(*e.a);
+        break;
+      default:
+        break;
+    }
+    fatal("minic line ", e.line, ": global initializer must be constant");
+}
+
+double
+constDoubleValue(const Expr& e)
+{
+    switch (e.kind) {
+      case Expr::FloatLit:
+        return e.floatValue;
+      case Expr::IntLit:
+        return static_cast<double>(e.intValue);
+      case Expr::Unary:
+        if (e.op == "-")
+            return -constDoubleValue(*e.a);
+        break;
+      default:
+        break;
+    }
+    fatal("minic line ", e.line, ": global initializer must be constant");
+}
+
+void
+writeScalar(std::vector<uint8_t>& bytes, int64_t off, const CType* ty,
+            const Expr& e)
+{
+    uint64_t v;
+    if (ty->kind == CType::Double)
+        v = std::bit_cast<uint64_t>(constDoubleValue(e));
+    else
+        v = static_cast<uint64_t>(constIntValue(e));
+    const int64_t n = ty->size();
+    for (int64_t i = 0; i < n; ++i)
+        bytes[off + i] = static_cast<uint8_t>(v >> (8 * i));
+}
+
+} // namespace
+
+VModule
+generateVCode(const Ast& ast)
+{
+    VModule mod;
+
+    // Globals first so codegen can reference them.
+    std::set<std::string> globalNames;
+    for (const auto& g : ast.globals) {
+        VGlobal vg;
+        vg.name = g.name;
+        vg.size = std::max<int64_t>(g.type->size(), 1);
+        vg.align = g.type->align();
+        if (g.hasStrInit) {
+            vg.init.assign(g.strInit.begin(), g.strInit.end());
+            vg.init.push_back(0);
+            vg.init.resize(vg.size, 0);
+        } else if (!g.init.empty()) {
+            vg.init.assign(vg.size, 0);
+            if (g.type->kind == CType::Array) {
+                const CType* elem = g.type->base;
+                const int64_t es = elem->size();
+                if (static_cast<int64_t>(g.init.size()) >
+                    g.type->arrayLen) {
+                    fatal("too many initializers for '", g.name, "'");
+                }
+                for (size_t i = 0; i < g.init.size(); ++i)
+                    writeScalar(vg.init, i * es, elem, *g.init[i]);
+            } else {
+                writeScalar(vg.init, 0, g.type, *g.init[0]);
+            }
+        }
+        globalNames.insert(g.name);
+        mod.globals.push_back(std::move(vg));
+    }
+
+    // Compile each function with globals visible.
+    std::map<std::string, const CType*> globalTypes;
+    for (const auto& g : ast.globals)
+        globalTypes[g.name] = g.type;
+    for (const auto& f : ast.funcs) {
+        FuncGen gen(ast, f, mod, globalTypes);
+        mod.funcs.push_back(gen.run());
+    }
+    return mod;
+}
+
+VModule
+compileToVCode(std::string_view source)
+{
+    Ast ast = parseMiniC(source);
+    return generateVCode(ast);
+}
+
+} // namespace ch

@@ -1,0 +1,28 @@
+#ifndef CH_FRONTC_CODEGEN_H
+#define CH_FRONTC_CODEGEN_H
+
+/**
+ * @file
+ * MiniC AST -> VCode generation: the ISA-independent front half of the
+ * compiler (Fig. 10's "compiler front end" + "instruction select"). Type
+ * checking happens here; scalar locals become virtual registers (so the
+ * register-lifetime phenomena the paper studies are real), while arrays,
+ * structs, and address-taken locals live in frame slots.
+ */
+
+#include <string_view>
+
+#include "frontc/ast.h"
+#include "ir/vcode.h"
+
+namespace ch {
+
+/** Lower a parsed unit to VCode; fatal() on semantic errors. */
+VModule generateVCode(const Ast& ast);
+
+/** Parse + lower in one step. */
+VModule compileToVCode(std::string_view source);
+
+} // namespace ch
+
+#endif // CH_FRONTC_CODEGEN_H

@@ -1,0 +1,206 @@
+#include "frontc/lexer.h"
+
+#include <cctype>
+#include <set>
+
+#include "common/logging.h"
+
+namespace ch {
+
+bool
+isMiniCKeyword(std::string_view name)
+{
+    static const std::set<std::string_view> kw = {
+        "void", "char", "int", "long", "double", "struct",
+        "if", "else", "while", "for", "do", "return", "break",
+        "continue", "sizeof",
+    };
+    return kw.count(name) != 0;
+}
+
+namespace {
+
+/** Multi-character punctuators, longest first within each first-char. */
+const char* kPuncts[] = {
+    "<<=", ">>=", "...",
+    "==", "!=", "<=", ">=", "&&", "||", "<<", ">>", "++", "--",
+    "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "->",
+    "+", "-", "*", "/", "%", "&", "|", "^", "~", "!", "<", ">",
+    "=", "(", ")", "{", "}", "[", "]", ",", ";", ":", "?", ".",
+};
+
+char
+decodeEscape(char c, int line)
+{
+    switch (c) {
+      case 'n': return '\n';
+      case 't': return '\t';
+      case 'r': return '\r';
+      case '0': return '\0';
+      case '\\': return '\\';
+      case '\'': return '\'';
+      case '"': return '"';
+      default:
+        fatal("line ", line, ": bad escape '\\", c, "'");
+    }
+}
+
+} // namespace
+
+std::vector<Token>
+lexMiniC(std::string_view src)
+{
+    std::vector<Token> out;
+    size_t i = 0;
+    int line = 1;
+
+    auto peek = [&](size_t off = 0) -> char {
+        return i + off < src.size() ? src[i + off] : '\0';
+    };
+
+    while (i < src.size()) {
+        const char c = src[i];
+        if (c == '\n') {
+            ++line;
+            ++i;
+            continue;
+        }
+        if (std::isspace(static_cast<unsigned char>(c))) {
+            ++i;
+            continue;
+        }
+        if (c == '/' && peek(1) == '/') {
+            while (i < src.size() && src[i] != '\n')
+                ++i;
+            continue;
+        }
+        if (c == '/' && peek(1) == '*') {
+            i += 2;
+            while (i + 1 < src.size() &&
+                   !(src[i] == '*' && src[i + 1] == '/')) {
+                if (src[i] == '\n')
+                    ++line;
+                ++i;
+            }
+            if (i + 1 >= src.size())
+                fatal("line ", line, ": unterminated comment");
+            i += 2;
+            continue;
+        }
+
+        Token tok;
+        tok.line = line;
+
+        if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+            size_t start = i;
+            while (i < src.size() &&
+                   (std::isalnum(static_cast<unsigned char>(src[i])) ||
+                    src[i] == '_')) {
+                ++i;
+            }
+            tok.text = std::string(src.substr(start, i - start));
+            tok.kind = isMiniCKeyword(tok.text) ? Tok::Keyword : Tok::Ident;
+            out.push_back(std::move(tok));
+            continue;
+        }
+
+        if (std::isdigit(static_cast<unsigned char>(c))) {
+            size_t start = i;
+            bool isFloat = false;
+            if (c == '0' && (peek(1) == 'x' || peek(1) == 'X')) {
+                i += 2;
+                while (std::isxdigit(static_cast<unsigned char>(peek())))
+                    ++i;
+            } else {
+                while (std::isdigit(static_cast<unsigned char>(peek())))
+                    ++i;
+                if (peek() == '.') {
+                    isFloat = true;
+                    ++i;
+                    while (std::isdigit(static_cast<unsigned char>(peek())))
+                        ++i;
+                }
+                if (peek() == 'e' || peek() == 'E') {
+                    isFloat = true;
+                    ++i;
+                    if (peek() == '+' || peek() == '-')
+                        ++i;
+                    while (std::isdigit(static_cast<unsigned char>(peek())))
+                        ++i;
+                }
+            }
+            const std::string text(src.substr(start, i - start));
+            if (isFloat) {
+                tok.kind = Tok::FloatLit;
+                tok.floatValue = std::stod(text);
+            } else {
+                tok.kind = Tok::IntLit;
+                tok.intValue =
+                    static_cast<int64_t>(std::stoull(text, nullptr, 0));
+            }
+            out.push_back(std::move(tok));
+            continue;
+        }
+
+        if (c == '\'') {
+            ++i;
+            char v = peek();
+            if (v == '\\') {
+                ++i;
+                v = decodeEscape(peek(), line);
+            }
+            ++i;
+            if (peek() != '\'')
+                fatal("line ", line, ": unterminated char literal");
+            ++i;
+            tok.kind = Tok::CharLit;
+            tok.intValue = v;
+            out.push_back(std::move(tok));
+            continue;
+        }
+
+        if (c == '"') {
+            ++i;
+            std::string s;
+            while (i < src.size() && src[i] != '"') {
+                char v = src[i];
+                if (v == '\\') {
+                    ++i;
+                    v = decodeEscape(peek(), line);
+                }
+                s.push_back(v);
+                ++i;
+            }
+            if (i >= src.size())
+                fatal("line ", line, ": unterminated string literal");
+            ++i;
+            tok.kind = Tok::StrLit;
+            tok.strValue = std::move(s);
+            out.push_back(std::move(tok));
+            continue;
+        }
+
+        bool matched = false;
+        for (const char* p : kPuncts) {
+            const size_t len = std::char_traits<char>::length(p);
+            if (src.substr(i, len) == p) {
+                tok.kind = Tok::Punct;
+                tok.text = p;
+                i += len;
+                out.push_back(std::move(tok));
+                matched = true;
+                break;
+            }
+        }
+        if (!matched)
+            fatal("line ", line, ": unexpected character '", c, "'");
+    }
+
+    Token end;
+    end.kind = Tok::End;
+    end.line = line;
+    out.push_back(std::move(end));
+    return out;
+}
+
+} // namespace ch

@@ -1,0 +1,41 @@
+#ifndef CH_FRONTC_LEXER_H
+#define CH_FRONTC_LEXER_H
+
+/**
+ * @file
+ * Lexer for MiniC, the C subset used to author this repository's
+ * benchmark workloads. Supports decimal/hex integer literals, floating
+ * literals, character and string literals, all C operators used by the
+ * grammar, and '//' and slash-star comments.
+ */
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ch {
+
+enum class Tok : uint8_t {
+    End, Ident, IntLit, FloatLit, CharLit, StrLit, Punct, Keyword,
+};
+
+/** One token with source position for diagnostics. */
+struct Token {
+    Tok kind = Tok::End;
+    std::string text;       ///< identifier / punctuator / keyword spelling
+    int64_t intValue = 0;
+    double floatValue = 0.0;
+    std::string strValue;   ///< decoded string literal bytes
+    int line = 0;
+};
+
+/** Tokenize MiniC source; fatal() with a line number on bad input. */
+std::vector<Token> lexMiniC(std::string_view source);
+
+/** True when @p name is a MiniC keyword. */
+bool isMiniCKeyword(std::string_view name);
+
+} // namespace ch
+
+#endif // CH_FRONTC_LEXER_H

@@ -1,0 +1,685 @@
+#include "frontc/parser.h"
+
+#include "common/bitutil.h"
+#include "common/logging.h"
+#include "frontc/lexer.h"
+
+namespace ch {
+
+namespace {
+
+class Parser
+{
+  public:
+    explicit Parser(std::string_view source)
+        : toks_(lexMiniC(source))
+    {
+    }
+
+    Ast
+    run()
+    {
+        while (!at(Tok::End))
+            topLevel();
+        return std::move(ast_);
+    }
+
+  private:
+    // --- token helpers ----------------------------------------------------
+
+    const Token& cur() const { return toks_[pos_]; }
+    const Token& ahead(int n = 1) const
+    {
+        return toks_[std::min(pos_ + n, toks_.size() - 1)];
+    }
+
+    bool at(Tok k) const { return cur().kind == k; }
+
+    bool
+    atText(const char* text) const
+    {
+        return (cur().kind == Tok::Punct || cur().kind == Tok::Keyword) &&
+               cur().text == text;
+    }
+
+    void advance() { if (!at(Tok::End)) ++pos_; }
+
+    bool
+    accept(const char* text)
+    {
+        if (atText(text)) {
+            advance();
+            return true;
+        }
+        return false;
+    }
+
+    void
+    expect(const char* text)
+    {
+        if (!accept(text))
+            err(concat("expected '", text, "', got '", cur().text, "'"));
+    }
+
+    std::string
+    expectIdent()
+    {
+        if (!at(Tok::Ident))
+            err("expected identifier");
+        std::string name = cur().text;
+        advance();
+        return name;
+    }
+
+    [[noreturn]] void
+    err(const std::string& msg)
+    {
+        fatal("minic line ", cur().line, ": ", msg);
+    }
+
+    // --- types -------------------------------------------------------------
+
+    bool
+    atTypeStart() const
+    {
+        if (cur().kind != Tok::Keyword)
+            return false;
+        const std::string& t = cur().text;
+        return t == "void" || t == "char" || t == "int" || t == "long" ||
+               t == "double" || t == "struct";
+    }
+
+    /** Parse a type specifier plus pointer stars. */
+    const CType*
+    parseTypeSpec()
+    {
+        const CType* ty = nullptr;
+        if (accept("void")) {
+            ty = ast_.voidTy;
+        } else if (accept("char")) {
+            ty = ast_.charTy;
+        } else if (accept("int")) {
+            ty = ast_.intTy;
+        } else if (accept("long")) {
+            accept("long");  // "long long" accepted as long
+            accept("int");
+            ty = ast_.longTy;
+        } else if (accept("double")) {
+            ty = ast_.doubleTy;
+        } else if (accept("struct")) {
+            std::string name = expectIdent();
+            auto it = ast_.structs.find(name);
+            if (it == ast_.structs.end())
+                err(concat("unknown struct '", name, "'"));
+            ast_.typeArena.push_back(
+                CType{CType::Struct, nullptr, 0, it->second});
+            ty = &ast_.typeArena.back();
+        } else {
+            err("expected type");
+        }
+        while (accept("*"))
+            ty = ast_.ptrTo(ty);
+        return ty;
+    }
+
+    /** Array dimensions after a declarator name; outermost first. */
+    const CType*
+    parseArrayDims(const CType* base, bool allowEmptyFirst, bool* wasEmpty)
+    {
+        std::vector<int64_t> dims;
+        bool empty = false;
+        bool first = true;
+        while (accept("[")) {
+            if (first && allowEmptyFirst && atText("]")) {
+                empty = true;
+                dims.push_back(0);
+            } else {
+                dims.push_back(parseConstExpr());
+            }
+            expect("]");
+            first = false;
+        }
+        if (wasEmpty)
+            *wasEmpty = empty;
+        const CType* ty = base;
+        for (auto it = dims.rbegin(); it != dims.rend(); ++it)
+            ty = ast_.arrayOf(ty, *it);
+        return ty;
+    }
+
+    /** Constant integer expression (array dims, initializer elements). */
+    int64_t
+    parseConstExpr()
+    {
+        ExprPtr e = parseExpr();
+        return evalConst(*e);
+    }
+
+    int64_t
+    evalConst(const Expr& e)
+    {
+        switch (e.kind) {
+          case Expr::IntLit:
+            return e.intValue;
+          case Expr::Unary:
+            if (e.op == "-")
+                return -evalConst(*e.a);
+            if (e.op == "~")
+                return ~evalConst(*e.a);
+            if (e.op == "!")
+                return !evalConst(*e.a);
+            break;
+          case Expr::Binary: {
+            const int64_t a = evalConst(*e.a);
+            const int64_t b = evalConst(*e.b);
+            if (e.op == "+") return a + b;
+            if (e.op == "-") return a - b;
+            if (e.op == "*") return a * b;
+            if (e.op == "/") return b ? a / b : 0;
+            if (e.op == "%") return b ? a % b : 0;
+            if (e.op == "<<") return a << (b & 63);
+            if (e.op == ">>") return a >> (b & 63);
+            if (e.op == "&") return a & b;
+            if (e.op == "|") return a | b;
+            if (e.op == "^") return a ^ b;
+            break;
+          }
+          case Expr::SizeofTy:
+            return e.castType->size();
+          default:
+            break;
+        }
+        fatal("minic line ", e.line, ": expected constant expression");
+    }
+
+    // --- top level ----------------------------------------------------------
+
+    void
+    topLevel()
+    {
+        // struct definition?
+        if (atText("struct") && ahead().kind == Tok::Ident &&
+            ahead(2).text == "{") {
+            parseStructDef();
+            return;
+        }
+        const CType* base = parseTypeSpec();
+        std::string name = expectIdent();
+        if (atText("(")) {
+            parseFunction(base, std::move(name));
+        } else {
+            parseGlobal(base, std::move(name));
+            while (accept(",")) {
+                std::string next = expectIdent();
+                parseGlobal(base, std::move(next));
+            }
+            expect(";");
+        }
+    }
+
+    void
+    parseStructDef()
+    {
+        expect("struct");
+        std::string name = expectIdent();
+        expect("{");
+        ast_.structArena.emplace_back();
+        StructDef* def = &ast_.structArena.back();
+        def->name = name;
+        if (ast_.structs.count(name))
+            err(concat("duplicate struct '", name, "'"));
+        ast_.structs[name] = def;
+
+        int64_t offset = 0;
+        while (!accept("}")) {
+            const CType* base = parseTypeSpec();
+            do {
+                std::string fname = expectIdent();
+                const CType* fty = parseArrayDims(base, false, nullptr);
+                offset = alignUp(offset, fty->align());
+                def->fields.push_back({fname, fty, offset});
+                offset += fty->size();
+                def->align = std::max(def->align, fty->align());
+            } while (accept(","));
+            expect(";");
+        }
+        expect(";");
+        def->size = alignUp(std::max<int64_t>(offset, 1), def->align);
+    }
+
+    void
+    parseFunction(const CType* retType, std::string name)
+    {
+        FuncDecl fn;
+        fn.name = std::move(name);
+        fn.retType = retType;
+        fn.line = cur().line;
+        expect("(");
+        if (!accept(")")) {
+            if (atText("void") && ahead().text == ")") {
+                advance();
+            } else {
+                do {
+                    const CType* pty = parseTypeSpec();
+                    std::string pname = expectIdent();
+                    // Array parameters decay to pointers.
+                    bool dummy;
+                    const CType* full =
+                        parseArrayDims(pty, true, &dummy);
+                    if (full->kind == CType::Array)
+                        full = ast_.ptrTo(full->base);
+                    fn.params.emplace_back(std::move(pname), full);
+                } while (accept(","));
+            }
+            expect(")");
+        }
+        if (accept(";"))
+            return;  // forward declaration: ignored (single-unit model)
+        fn.body = parseBlock();
+        ast_.funcs.push_back(std::move(fn));
+    }
+
+    void
+    parseGlobal(const CType* base, std::string name)
+    {
+        GlobalDecl g;
+        g.name = std::move(name);
+        g.line = cur().line;
+        bool emptyDim = false;
+        const CType* ty = parseArrayDims(base, true, &emptyDim);
+        if (accept("=")) {
+            if (atText("{")) {
+                expect("{");
+                if (!atText("}")) {
+                    do {
+                        g.init.push_back(parseAssign());
+                    } while (accept(","));
+                }
+                expect("}");
+            } else if (at(Tok::StrLit)) {
+                g.hasStrInit = true;
+                g.strInit = cur().strValue;
+                advance();
+            } else {
+                g.init.push_back(parseAssign());
+            }
+        }
+        if (emptyDim) {
+            int64_t len = 0;
+            if (g.hasStrInit)
+                len = static_cast<int64_t>(g.strInit.size()) + 1;
+            else if (!g.init.empty())
+                len = static_cast<int64_t>(g.init.size());
+            else
+                err("array of unknown size needs an initializer");
+            // Rebuild the array type with the inferred outermost length.
+            const CType* elem =
+                ty->kind == CType::Array ? ty->base : ty;
+            ty = ast_.arrayOf(elem, len);
+        }
+        g.type = ty;
+        ast_.globals.push_back(std::move(g));
+    }
+
+    // --- statements ----------------------------------------------------------
+
+    StmtPtr
+    makeStmt(Stmt::Kind k)
+    {
+        auto s = std::make_unique<Stmt>();
+        s->kind = k;
+        s->line = cur().line;
+        return s;
+    }
+
+    StmtPtr
+    parseBlock()
+    {
+        auto blk = makeStmt(Stmt::Block);
+        expect("{");
+        while (!accept("}"))
+            blk->stmts.push_back(parseStmt());
+        return blk;
+    }
+
+    /** One or more declarations: `type name [dims] (= init)? (, ...)* ;` */
+    StmtPtr
+    parseDecl()
+    {
+        const CType* base = parseTypeSpec();
+        auto list = makeStmt(Stmt::Block);
+        do {
+            auto d = makeStmt(Stmt::DeclStmt);
+            d->declName = expectIdent();
+            d->declType = parseArrayDims(base, false, nullptr);
+            if (accept("="))
+                d->declValue = parseAssign();
+            list->stmts.push_back(std::move(d));
+        } while (accept(","));
+        expect(";");
+        if (list->stmts.size() == 1)
+            return std::move(list->stmts[0]);
+        list->declGroup = true;
+        return list;
+    }
+
+    StmtPtr
+    parseStmt()
+    {
+        if (atText("{"))
+            return parseBlock();
+        if (atTypeStart())
+            return parseDecl();
+        if (accept(";"))
+            return makeStmt(Stmt::Empty);
+        if (accept("if")) {
+            auto s = makeStmt(Stmt::If);
+            expect("(");
+            s->expr = parseExpr();
+            expect(")");
+            s->body = parseStmt();
+            if (accept("else"))
+                s->elseBody = parseStmt();
+            return s;
+        }
+        if (accept("while")) {
+            auto s = makeStmt(Stmt::While);
+            expect("(");
+            s->expr = parseExpr();
+            expect(")");
+            s->body = parseStmt();
+            return s;
+        }
+        if (accept("do")) {
+            auto s = makeStmt(Stmt::DoWhile);
+            s->body = parseStmt();
+            expect("while");
+            expect("(");
+            s->expr = parseExpr();
+            expect(")");
+            expect(";");
+            return s;
+        }
+        if (accept("for")) {
+            auto s = makeStmt(Stmt::For);
+            expect("(");
+            if (!atText(";")) {
+                if (atTypeStart())
+                    s->declInit = parseDecl();  // consumes the ';'
+                else {
+                    s->init = parseExpr();
+                    expect(";");
+                }
+            } else {
+                expect(";");
+            }
+            if (!atText(";"))
+                s->expr = parseExpr();
+            expect(";");
+            if (!atText(")"))
+                s->step = parseExpr();
+            expect(")");
+            s->body = parseStmt();
+            return s;
+        }
+        if (accept("return")) {
+            auto s = makeStmt(Stmt::Return);
+            if (!atText(";"))
+                s->expr = parseExpr();
+            expect(";");
+            return s;
+        }
+        if (accept("break")) {
+            expect(";");
+            return makeStmt(Stmt::Break);
+        }
+        if (accept("continue")) {
+            expect(";");
+            return makeStmt(Stmt::Continue);
+        }
+        auto s = makeStmt(Stmt::ExprStmt);
+        s->expr = parseExpr();
+        expect(";");
+        return s;
+    }
+
+    // --- expressions -----------------------------------------------------------
+
+    ExprPtr
+    makeExpr(Expr::Kind k)
+    {
+        auto e = std::make_unique<Expr>();
+        e->kind = k;
+        e->line = cur().line;
+        return e;
+    }
+
+    ExprPtr
+    parseExpr()
+    {
+        return parseAssign();
+    }
+
+    ExprPtr
+    parseAssign()
+    {
+        ExprPtr lhs = parseCond();
+        static const char* assignOps[] = {"=", "+=", "-=", "*=", "/=", "%=",
+                                          "&=", "|=", "^=", "<<=", ">>="};
+        for (const char* op : assignOps) {
+            if (atText(op)) {
+                auto e = makeExpr(Expr::Assign);
+                e->op = op;
+                advance();
+                e->a = std::move(lhs);
+                e->b = parseAssign();
+                return e;
+            }
+        }
+        return lhs;
+    }
+
+    ExprPtr
+    parseCond()
+    {
+        ExprPtr c = parseBinary(0);
+        if (accept("?")) {
+            auto e = makeExpr(Expr::Cond);
+            e->a = std::move(c);
+            e->b = parseExpr();
+            expect(":");
+            e->c = parseCond();
+            return e;
+        }
+        return c;
+    }
+
+    /** Binary operator precedence levels, low to high. */
+    ExprPtr
+    parseBinary(int level)
+    {
+        static const std::vector<std::vector<const char*>> levels = {
+            {"||"},
+            {"&&"},
+            {"|"},
+            {"^"},
+            {"&"},
+            {"==", "!="},
+            {"<", ">", "<=", ">="},
+            {"<<", ">>"},
+            {"+", "-"},
+            {"*", "/", "%"},
+        };
+        if (level >= static_cast<int>(levels.size()))
+            return parseUnary();
+        ExprPtr lhs = parseBinary(level + 1);
+        while (true) {
+            bool matched = false;
+            for (const char* op : levels[level]) {
+                if (atText(op)) {
+                    auto e = makeExpr(Expr::Binary);
+                    e->op = op;
+                    advance();
+                    e->a = std::move(lhs);
+                    e->b = parseBinary(level + 1);
+                    lhs = std::move(e);
+                    matched = true;
+                    break;
+                }
+            }
+            if (!matched)
+                return lhs;
+        }
+    }
+
+    ExprPtr
+    parseUnary()
+    {
+        static const char* unaryOps[] = {"-", "!", "~", "*", "&"};
+        for (const char* op : unaryOps) {
+            if (atText(op)) {
+                auto e = makeExpr(Expr::Unary);
+                e->op = op;
+                advance();
+                e->a = parseUnary();
+                return e;
+            }
+        }
+        if (atText("++") || atText("--")) {
+            auto e = makeExpr(Expr::Unary);
+            e->op = cur().text == "++" ? "preinc" : "predec";
+            advance();
+            e->a = parseUnary();
+            return e;
+        }
+        if (accept("sizeof")) {
+            if (atText("(") && isTypeAhead(1)) {
+                expect("(");
+                auto e = makeExpr(Expr::SizeofTy);
+                e->castType = parseTypeSpec();
+                expect(")");
+                return e;
+            }
+            auto e = makeExpr(Expr::SizeofEx);
+            e->a = parseUnary();
+            return e;
+        }
+        // Cast: "(type)" followed by a unary expression.
+        if (atText("(") && isTypeAhead(1)) {
+            expect("(");
+            auto e = makeExpr(Expr::Cast);
+            e->castType = parseTypeSpec();
+            expect(")");
+            e->a = parseUnary();
+            return e;
+        }
+        return parsePostfix();
+    }
+
+    bool
+    isTypeAhead(int off) const
+    {
+        const Token& t = toks_[std::min(pos_ + off, toks_.size() - 1)];
+        if (t.kind != Tok::Keyword)
+            return false;
+        return t.text == "void" || t.text == "char" || t.text == "int" ||
+               t.text == "long" || t.text == "double" || t.text == "struct";
+    }
+
+    ExprPtr
+    parsePostfix()
+    {
+        ExprPtr e = parsePrimary();
+        while (true) {
+            if (accept("[")) {
+                auto idx = makeExpr(Expr::Index);
+                idx->a = std::move(e);
+                idx->b = parseExpr();
+                expect("]");
+                e = std::move(idx);
+            } else if (accept(".")) {
+                auto m = makeExpr(Expr::Member);
+                m->op = expectIdent();
+                m->intValue = 1;  // dot access
+                m->a = std::move(e);
+                e = std::move(m);
+            } else if (accept("->")) {
+                auto m = makeExpr(Expr::Member);
+                m->op = expectIdent();
+                m->intValue = 0;  // arrow access
+                m->a = std::move(e);
+                e = std::move(m);
+            } else if (atText("++") || atText("--")) {
+                auto p = makeExpr(Expr::Postfix);
+                p->op = cur().text == "++" ? "postinc" : "postdec";
+                advance();
+                p->a = std::move(e);
+                e = std::move(p);
+            } else {
+                return e;
+            }
+        }
+    }
+
+    ExprPtr
+    parsePrimary()
+    {
+        if (at(Tok::IntLit) || at(Tok::CharLit)) {
+            auto e = makeExpr(Expr::IntLit);
+            e->intValue = cur().intValue;
+            advance();
+            return e;
+        }
+        if (at(Tok::FloatLit)) {
+            auto e = makeExpr(Expr::FloatLit);
+            e->floatValue = cur().floatValue;
+            advance();
+            return e;
+        }
+        if (at(Tok::StrLit)) {
+            auto e = makeExpr(Expr::StrLit);
+            e->strValue = cur().strValue;
+            advance();
+            return e;
+        }
+        if (at(Tok::Ident)) {
+            std::string name = cur().text;
+            advance();
+            if (accept("(")) {
+                auto call = makeExpr(Expr::Call);
+                call->op = std::move(name);
+                if (!accept(")")) {
+                    do {
+                        call->args.push_back(parseAssign());
+                    } while (accept(","));
+                    expect(")");
+                }
+                return call;
+            }
+            auto e = makeExpr(Expr::Ident);
+            e->op = std::move(name);
+            return e;
+        }
+        if (accept("(")) {
+            ExprPtr e = parseExpr();
+            expect(")");
+            return e;
+        }
+        err(concat("unexpected token '", cur().text, "'"));
+    }
+
+    Ast ast_;
+    std::vector<Token> toks_;
+    size_t pos_ = 0;
+};
+
+} // namespace
+
+Ast
+parseMiniC(std::string_view source)
+{
+    Parser parser(source);
+    return parser.run();
+}
+
+} // namespace ch

@@ -1,0 +1,25 @@
+#ifndef CH_FRONTC_PARSER_H
+#define CH_FRONTC_PARSER_H
+
+/**
+ * @file
+ * Recursive-descent parser for MiniC producing an Ast. MiniC covers the
+ * C subset the benchmark corpus needs: char/int/long/double scalars,
+ * pointers, multi-dimensional arrays, structs (by pointer/member access),
+ * all arithmetic/logical/bitwise operators, the full statement set
+ * (if/else, while, do-while, for, break, continue, return), function
+ * definitions, and globals with constant initializers.
+ */
+
+#include <string_view>
+
+#include "frontc/ast.h"
+
+namespace ch {
+
+/** Parse a translation unit; fatal() with line info on syntax errors. */
+Ast parseMiniC(std::string_view source);
+
+} // namespace ch
+
+#endif // CH_FRONTC_PARSER_H

@@ -1,0 +1,282 @@
+#include "ir/analysis.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace ch {
+
+std::vector<int>
+vinstUses(const VInst& inst)
+{
+    std::vector<int> out;
+    if (inst.src1 >= 0)
+        out.push_back(inst.src1);
+    if (inst.src2 >= 0)
+        out.push_back(inst.src2);
+    for (int a : inst.args)
+        out.push_back(a);
+    return out;
+}
+
+int
+vinstDef(const VInst& inst)
+{
+    return inst.dst;
+}
+
+CfgInfo
+buildCfg(const VFunc& f)
+{
+    CfgInfo cfg;
+    const int n = static_cast<int>(f.blocks.size());
+    cfg.succs.resize(n);
+    cfg.preds.resize(n);
+    for (const auto& b : f.blocks)
+        cfg.succs[b.id] = b.successors();
+    for (int b = 0; b < n; ++b)
+        for (int s : cfg.succs[b])
+            cfg.preds[s].push_back(b);
+
+    // Reverse postorder via iterative DFS from the entry block.
+    cfg.rpoIndex.assign(n, -1);
+    std::vector<int> post;
+    std::vector<int> state(n, 0);  // 0 unvisited, 1 on stack, 2 done
+    std::vector<std::pair<int, size_t>> stack;
+    if (n > 0) {
+        stack.push_back({0, 0});
+        state[0] = 1;
+    }
+    while (!stack.empty()) {
+        auto& [blk, idx] = stack.back();
+        if (idx < cfg.succs[blk].size()) {
+            const int s = cfg.succs[blk][idx++];
+            if (state[s] == 0) {
+                state[s] = 1;
+                stack.push_back({s, 0});
+            }
+        } else {
+            state[blk] = 2;
+            post.push_back(blk);
+            stack.pop_back();
+        }
+    }
+    cfg.rpo.assign(post.rbegin(), post.rend());
+    for (size_t i = 0; i < cfg.rpo.size(); ++i)
+        cfg.rpoIndex[cfg.rpo[i]] = static_cast<int>(i);
+    return cfg;
+}
+
+DomTree
+buildDomTree(const VFunc& f, const CfgInfo& cfg)
+{
+    const int n = static_cast<int>(f.blocks.size());
+    DomTree dom;
+    dom.idom.assign(n, -1);
+    if (n == 0)
+        return dom;
+    dom.idom[0] = 0;
+
+    auto intersect = [&](int a, int b) {
+        while (a != b) {
+            while (cfg.rpoIndex[a] > cfg.rpoIndex[b])
+                a = dom.idom[a];
+            while (cfg.rpoIndex[b] > cfg.rpoIndex[a])
+                b = dom.idom[b];
+        }
+        return a;
+    };
+
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (int b : cfg.rpo) {
+            if (b == 0)
+                continue;
+            int newIdom = -1;
+            for (int p : cfg.preds[b]) {
+                if (!cfg.reachable(p) || dom.idom[p] < 0)
+                    continue;
+                newIdom = newIdom < 0 ? p : intersect(newIdom, p);
+            }
+            if (newIdom >= 0 && dom.idom[b] != newIdom) {
+                dom.idom[b] = newIdom;
+                changed = true;
+            }
+        }
+    }
+    return dom;
+}
+
+LoopInfo
+findLoops(const VFunc& f, const CfgInfo& cfg, const DomTree& dom)
+{
+    const int n = static_cast<int>(f.blocks.size());
+    LoopInfo info;
+    info.innermost.assign(n, -1);
+
+    // Find back edges and collect each natural loop's body.
+    struct RawLoop {
+        int header;
+        std::vector<int> blocks;
+    };
+    std::vector<RawLoop> raw;
+    std::vector<int> headerLoop(n, -1);  // header block -> raw index
+
+    for (int b = 0; b < n; ++b) {
+        if (!cfg.reachable(b))
+            continue;
+        for (int s : cfg.succs[b]) {
+            if (!dom.dominates(s, b))
+                continue;  // not a back edge
+            // Natural loop of back edge b -> s.
+            int li = headerLoop[s];
+            if (li < 0) {
+                li = static_cast<int>(raw.size());
+                headerLoop[s] = li;
+                raw.push_back({s, {s}});
+            }
+            // Walk predecessors from the latch up to the header.
+            std::vector<bool> inLoop(n, false);
+            for (int blk : raw[li].blocks)
+                inLoop[blk] = true;
+            std::vector<int> work;
+            if (!inLoop[b]) {
+                inLoop[b] = true;
+                raw[li].blocks.push_back(b);
+                work.push_back(b);
+            }
+            while (!work.empty()) {
+                const int x = work.back();
+                work.pop_back();
+                for (int p : cfg.preds[x]) {
+                    if (!cfg.reachable(p) || inLoop[p])
+                        continue;
+                    inLoop[p] = true;
+                    raw[li].blocks.push_back(p);
+                    work.push_back(p);
+                }
+            }
+        }
+    }
+
+    // Sort loops by body size so inner (smaller) loops come first; assign
+    // innermost-loop indices in that order, then derive parents/depths.
+    std::vector<int> order(raw.size());
+    for (size_t i = 0; i < raw.size(); ++i)
+        order[i] = static_cast<int>(i);
+    std::sort(order.begin(), order.end(), [&](int a, int b) {
+        return raw[a].blocks.size() < raw[b].blocks.size();
+    });
+
+    info.loops.resize(raw.size());
+    std::vector<int> rawToFinal(raw.size());
+    for (size_t pos = 0; pos < order.size(); ++pos) {
+        const int r = order[pos];
+        rawToFinal[r] = static_cast<int>(pos);
+        auto& loop = info.loops[pos];
+        loop.header = raw[r].header;
+        loop.blocks = raw[r].blocks;
+        std::sort(loop.blocks.begin(), loop.blocks.end());
+        for (int blk : loop.blocks) {
+            if (info.innermost[blk] < 0)
+                info.innermost[blk] = static_cast<int>(pos);
+        }
+    }
+    // Parent: the innermost strictly-larger loop containing the header.
+    for (size_t i = 0; i < info.loops.size(); ++i) {
+        auto& loop = info.loops[i];
+        for (size_t j = i + 1; j < info.loops.size(); ++j) {
+            const auto& outer = info.loops[j];
+            if (std::binary_search(outer.blocks.begin(), outer.blocks.end(),
+                                   loop.header) &&
+                outer.header != loop.header) {
+                loop.parent = static_cast<int>(j);
+                break;
+            }
+        }
+    }
+    // Depths via parent chains.
+    for (auto& loop : info.loops) {
+        int d = 1;
+        for (int p = loop.parent; p >= 0; p = info.loops[p].parent)
+            ++d;
+        loop.depth = d;
+    }
+    return info;
+}
+
+LiveSets::LiveSets(const VFunc& f) : numVRegs_(f.numVRegs)
+{
+    const int n = static_cast<int>(f.blocks.size());
+    const int words = (numVRegs_ + 63) / 64;
+    liveIn_.assign(n, Row(words, 0));
+    liveOut_.assign(n, Row(words, 0));
+
+    // Per-block use (upward-exposed) and def sets.
+    std::vector<Row> use(n, Row(words, 0));
+    std::vector<Row> def(n, Row(words, 0));
+    auto setBit = [&](Row& row, int v) { row[v / 64] |= 1ull << (v % 64); };
+    auto testBit = [&](const Row& row, int v) {
+        return (row[v / 64] >> (v % 64)) & 1;
+    };
+    for (const auto& b : f.blocks) {
+        for (const auto& inst : b.insts) {
+            for (int u : vinstUses(inst)) {
+                if (!testBit(def[b.id], u))
+                    setBit(use[b.id], u);
+            }
+            const int d = vinstDef(inst);
+            if (d >= 0)
+                setBit(def[b.id], d);
+        }
+    }
+
+    CfgInfo cfg = buildCfg(f);
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        // Iterate in postorder (reverse of rpo) for fast convergence.
+        for (auto it = cfg.rpo.rbegin(); it != cfg.rpo.rend(); ++it) {
+            const int b = *it;
+            Row out(words, 0);
+            for (int s : cfg.succs[b]) {
+                for (int w = 0; w < words; ++w)
+                    out[w] |= liveIn_[s][w];
+            }
+            Row in = out;
+            for (int w = 0; w < words; ++w)
+                in[w] = use[b][w] | (out[w] & ~def[b][w]);
+            if (in != liveIn_[b] || out != liveOut_[b]) {
+                liveIn_[b] = std::move(in);
+                liveOut_[b] = std::move(out);
+                changed = true;
+            }
+        }
+    }
+}
+
+std::vector<int>
+LiveSets::regsOf(const Row& row) const
+{
+    std::vector<int> out;
+    for (int v = 0; v < numVRegs_; ++v) {
+        if (test(row, v))
+            out.push_back(v);
+    }
+    return out;
+}
+
+std::vector<int>
+LiveSets::liveInRegs(int block) const
+{
+    return regsOf(liveIn_[block]);
+}
+
+std::vector<int>
+LiveSets::liveOutRegs(int block) const
+{
+    return regsOf(liveOut_[block]);
+}
+
+} // namespace ch

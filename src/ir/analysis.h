@@ -1,0 +1,134 @@
+#ifndef CH_IR_ANALYSIS_H
+#define CH_IR_ANALYSIS_H
+
+/**
+ * @file
+ * Control-flow and dataflow analyses over VCode: predecessor/successor
+ * maps, iterative dominators (Cooper-Harvey-Kennedy), natural-loop
+ * discovery with nesting depths, and per-block virtual-register liveness.
+ * The Clockhands hand-assignment pass (Section 6.2) and both distance
+ * schedulers are built on these.
+ */
+
+#include <cstdint>
+#include <vector>
+
+#include "ir/vcode.h"
+
+namespace ch {
+
+/** Predecessor/successor adjacency for a VFunc. */
+struct CfgInfo {
+    std::vector<std::vector<int>> succs;
+    std::vector<std::vector<int>> preds;
+    std::vector<int> rpo;        ///< reverse postorder of reachable blocks
+    std::vector<int> rpoIndex;   ///< block id -> position in rpo (-1 dead)
+
+    bool reachable(int block) const { return rpoIndex[block] >= 0; }
+};
+
+CfgInfo buildCfg(const VFunc& f);
+
+/** Immediate-dominator tree (entry dominates everything reachable). */
+struct DomTree {
+    std::vector<int> idom;  ///< per block; entry's idom is itself
+
+    /** True when @p a dominates @p b (both reachable). */
+    bool
+    dominates(int a, int b) const
+    {
+        while (true) {
+            if (a == b)
+                return true;
+            if (idom[b] == b)
+                return false;
+            b = idom[b];
+        }
+    }
+};
+
+DomTree buildDomTree(const VFunc& f, const CfgInfo& cfg);
+
+/** Natural loops found from back edges (latch -> dominating header). */
+struct LoopInfo {
+    struct Loop {
+        int header = -1;
+        int parent = -1;            ///< enclosing loop index or -1
+        int depth = 1;              ///< 1 = outermost
+        std::vector<int> blocks;    ///< member block ids (incl. header)
+    };
+
+    std::vector<Loop> loops;
+    /** Innermost loop index containing each block (-1 = none). */
+    std::vector<int> innermost;
+
+    int
+    depthOf(int block) const
+    {
+        return innermost[block] < 0 ? 0 : loops[innermost[block]].depth;
+    }
+
+    /** True when @p block belongs to loop @p loopIdx (any nesting). */
+    bool
+    contains(int loopIdx, int block) const
+    {
+        int l = innermost[block];
+        while (l >= 0) {
+            if (l == loopIdx)
+                return true;
+            l = loops[l].parent;
+        }
+        return false;
+    }
+};
+
+LoopInfo findLoops(const VFunc& f, const CfgInfo& cfg, const DomTree& dom);
+
+/** Per-block live-in/live-out virtual-register sets (bitset rows). */
+class LiveSets
+{
+  public:
+    explicit LiveSets(const VFunc& f);
+
+    bool
+    liveIn(int block, int vreg) const
+    {
+        return test(liveIn_[block], vreg);
+    }
+
+    bool
+    liveOut(int block, int vreg) const
+    {
+        return test(liveOut_[block], vreg);
+    }
+
+    /** All vregs live into @p block. */
+    std::vector<int> liveInRegs(int block) const;
+    /** All vregs live out of @p block. */
+    std::vector<int> liveOutRegs(int block) const;
+
+  private:
+    using Row = std::vector<uint64_t>;
+
+    static bool
+    test(const Row& row, int vreg)
+    {
+        return (row[vreg / 64] >> (vreg % 64)) & 1;
+    }
+
+    std::vector<int> regsOf(const Row& row) const;
+
+    int numVRegs_;
+    std::vector<Row> liveIn_;
+    std::vector<Row> liveOut_;
+};
+
+/** Virtual registers read by @p inst (including call arguments). */
+std::vector<int> vinstUses(const VInst& inst);
+
+/** Virtual register written by @p inst, or -1. */
+int vinstDef(const VInst& inst);
+
+} // namespace ch
+
+#endif // CH_IR_ANALYSIS_H

@@ -1,0 +1,72 @@
+#include "ir/vcode.h"
+
+#include <sstream>
+
+namespace ch {
+
+std::string
+dumpVFunc(const VFunc& f)
+{
+    std::ostringstream os;
+    os << "func " << f.name << " (params " << f.numParams << ", vregs "
+       << f.numVRegs << ", slots " << f.frameSlots.size() << ")\n";
+    for (const auto& b : f.blocks) {
+        os << "  bb" << b.id;
+        if (!b.name.empty())
+            os << " <" << b.name << ">";
+        os << ":";
+        if (b.fallThrough >= 0)
+            os << "  (fallthrough bb" << b.fallThrough << ")";
+        os << "\n";
+        for (const auto& inst : b.insts) {
+            os << "    ";
+            switch (inst.vop) {
+              case VOp::Machine:
+                os << opName(inst.op);
+                if (inst.dst >= 0)
+                    os << " v" << inst.dst;
+                if (inst.src1 >= 0)
+                    os << (inst.dst >= 0 ? ", v" : " v") << inst.src1;
+                if (inst.src2 >= 0)
+                    os << ", v" << inst.src2;
+                if (inst.imm != 0 || inst.info().fmt == Fmt::I ||
+                    inst.info().fmt == Fmt::S || inst.info().fmt == Fmt::U) {
+                    os << ", " << inst.imm;
+                }
+                if (inst.target >= 0)
+                    os << " -> bb" << inst.target;
+                if (inst.frameSlot >= 0)
+                    os << " [slot " << inst.frameSlot << "]";
+                break;
+              case VOp::LoadImm:
+                os << "loadimm v" << inst.dst << ", " << inst.imm;
+                break;
+              case VOp::LoadAddr:
+                os << "loadaddr v" << inst.dst << ", " << inst.sym;
+                break;
+              case VOp::FrameAddr:
+                os << "frameaddr v" << inst.dst << ", slot "
+                   << inst.frameSlot;
+                break;
+              case VOp::Call:
+                os << "call ";
+                if (inst.dst >= 0)
+                    os << "v" << inst.dst << " = ";
+                os << inst.sym << "(";
+                for (size_t i = 0; i < inst.args.size(); ++i)
+                    os << (i ? ", v" : "v") << inst.args[i];
+                os << ")";
+                break;
+              case VOp::Ret:
+                os << "ret";
+                if (inst.src1 >= 0)
+                    os << " v" << inst.src1;
+                break;
+            }
+            os << "\n";
+        }
+    }
+    return os.str();
+}
+
+} // namespace ch

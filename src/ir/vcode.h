@@ -1,0 +1,152 @@
+#ifndef CH_IR_VCODE_H
+#define CH_IR_VCODE_H
+
+/**
+ * @file
+ * VCode: the machine-generic intermediate representation shared by the
+ * three compiler backends. Mirroring the paper's Fig. 10, the front end
+ * and instruction selection are common; VCode is their output. It is a
+ * CFG of basic blocks holding instructions over an unbounded set of
+ * virtual registers, using the shared micro-op vocabulary plus a few
+ * pseudo-ops (constants, addresses, frame slots, calls) that each backend
+ * expands according to its own register model and calling convention.
+ *
+ * VCode is not SSA: a virtual register may be assigned repeatedly (loop
+ * induction variables). Backends run liveness/loop analyses as needed.
+ */
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "isa/isa.h"
+
+namespace ch {
+
+/**
+ * Source-operand marker meaning "the architectural zero register" (x0 /
+ * STRAIGHT distance 0 / Clockhands s[15]). Usable wherever a vreg id is.
+ */
+constexpr int kVZero = -2;
+
+/** Pseudo-operations that exist only at the VCode level. */
+enum class VOp : uint8_t {
+    Machine,    ///< a real shared-ISA op (VInst::op)
+    LoadImm,    ///< dst = 64-bit constant imm
+    LoadAddr,   ///< dst = address of global symbol sym
+    FrameAddr,  ///< dst = address of frame slot `frameSlot`
+    Call,       ///< call sym(args...) -> optional dst
+    Ret,        ///< return optional src1
+};
+
+/** One VCode instruction. Operands are virtual register ids (-1 = none). */
+struct VInst {
+    VOp vop = VOp::Machine;
+    Op op = Op::NOP;       ///< meaningful when vop == Machine
+    int dst = -1;
+    int src1 = -1;
+    int src2 = -1;
+    int64_t imm = 0;
+    std::string sym;       ///< LoadAddr / Call target
+    int target = -1;       ///< successor block id for branch machine ops
+    int frameSlot = -1;    ///< FrameAddr slot; or folded base for mem ops
+    std::vector<int> args; ///< Call arguments
+
+    bool isMachine() const { return vop == VOp::Machine; }
+    const OpInfo& info() const { return opInfo(op); }
+
+    /** True for machine branches that end a block (Cond / Jump). */
+    bool
+    isTerminatorBranch() const
+    {
+        if (vop != VOp::Machine)
+            return false;
+        return info().brKind == BrKind::Cond || info().brKind == BrKind::Jump;
+    }
+};
+
+/** Frame slot: stack storage for arrays and address-taken locals. */
+struct FrameSlot {
+    int64_t size = 8;
+    int64_t align = 8;
+    std::string name;  ///< debugging aid
+};
+
+/**
+ * A basic block. The last instruction may be a conditional branch (taken
+ * successor in `inst.target`, fall-through in `fallThrough`) or an
+ * unconditional jump; a block whose terminator is VOp::Ret has no
+ * successors. Otherwise control falls through to `fallThrough`.
+ */
+struct VBlock {
+    int id = 0;
+    std::string name;
+    std::vector<VInst> insts;
+    int fallThrough = -1;  ///< -1 for return blocks / unconditional jumps
+
+    /** Successor block ids (taken target first). */
+    std::vector<int>
+    successors() const
+    {
+        std::vector<int> out;
+        if (!insts.empty() && insts.back().isTerminatorBranch()) {
+            out.push_back(insts.back().target);
+            if (insts.back().info().brKind == BrKind::Cond &&
+                fallThrough >= 0) {
+                out.push_back(fallThrough);
+            }
+        } else if (fallThrough >= 0) {
+            out.push_back(fallThrough);
+        }
+        return out;
+    }
+};
+
+/** A function in VCode form. Block 0 is the entry. */
+struct VFunc {
+    std::string name;
+    int numParams = 0;           ///< params are vregs 0..numParams-1
+    int numVRegs = 0;
+    std::vector<bool> vregIsFp;  ///< per-vreg: FP (double) class
+    std::vector<VBlock> blocks;
+    std::vector<FrameSlot> frameSlots;
+
+    int
+    newVReg(bool fp)
+    {
+        vregIsFp.push_back(fp);
+        return numVRegs++;
+    }
+
+    bool isFp(int vreg) const { return vregIsFp[vreg]; }
+};
+
+/** Global variable image. */
+struct VGlobal {
+    std::string name;
+    std::vector<uint8_t> init;  ///< zero-filled if all zero
+    int64_t size = 0;
+    int64_t align = 8;
+};
+
+/** A whole translation unit. */
+struct VModule {
+    std::vector<VFunc> funcs;
+    std::vector<VGlobal> globals;
+
+    const VFunc*
+    findFunc(const std::string& name) const
+    {
+        for (const auto& f : funcs)
+            if (f.name == name)
+                return &f;
+        return nullptr;
+    }
+};
+
+/** Human-readable dump (tests, debugging). */
+std::string dumpVFunc(const VFunc& f);
+
+} // namespace ch
+
+#endif // CH_IR_VCODE_H

@@ -1,0 +1,458 @@
+#include "isa/encoding.h"
+
+#include <cstdio>
+
+#include "common/bitutil.h"
+#include "common/logging.h"
+
+namespace ch {
+
+namespace {
+
+/** Immediate field width (bits) for @p isa and @p fmt. */
+unsigned
+immWidth(Isa isa, Fmt fmt)
+{
+    switch (isa) {
+      case Isa::Riscv:
+        switch (fmt) {
+          case Fmt::I: case Fmt::S: case Fmt::B: return 15;
+          case Fmt::U: case Fmt::J: return 20;
+          default: return 0;
+        }
+      case Isa::Straight:
+        switch (fmt) {
+          case Fmt::I: return 18;
+          case Fmt::S: case Fmt::B: return 11;
+          case Fmt::U: return 20;
+          case Fmt::J: return 25;
+          default: return 0;
+        }
+      case Isa::Clockhands:
+        switch (fmt) {
+          case Fmt::I: return 17;
+          case Fmt::S: case Fmt::B: return 13;
+          case Fmt::U: return 20;
+          case Fmt::J: return 23;
+          default: return 0;
+        }
+    }
+    return 0;
+}
+
+/** Branch-format immediates are stored scaled down by 4. */
+bool
+isScaled(const OpInfo& info)
+{
+    return info.brKind != BrKind::None;
+}
+
+/** Range-check the immediate; returns the raw field value. */
+bool
+immField(Isa isa, const Inst& inst, int64_t* field)
+{
+    const OpInfo& info = inst.info();
+    const unsigned width = immWidth(isa, info.fmt);
+    int64_t value = inst.imm;
+    if (isScaled(info)) {
+        if (value & 3)
+            return false;
+        value >>= 2;
+    }
+    if (width == 0)
+        return inst.imm == 0;
+    if (!fitsSigned(value, width))
+        return false;
+    *field = value;
+    return true;
+}
+
+bool
+checkDistance(Isa isa, uint8_t dist)
+{
+    if (isa == Isa::Straight)
+        return dist <= kStraightMaxDist || dist == kStraightSpBase;
+    return dist < kHandDepth;
+}
+
+} // namespace
+
+bool
+encodable(Isa isa, const Inst& inst)
+{
+    int64_t field;
+    if (!immField(isa, inst, &field))
+        return false;
+    const OpInfo& info = inst.info();
+    switch (isa) {
+      case Isa::Riscv: {
+        // Register fields are 5 bits; the op's class flags select the
+        // integer (0..31) or FP (32..63) file, as in real RISC-V.
+        auto classOk = [](uint8_t reg, bool fp) {
+            return fp ? (reg >= 32 && reg < 64) : reg < 32;
+        };
+        if (info.hasDst && !classOk(inst.dst, info.fpDst()))
+            return false;
+        if (info.numSrcs >= 1 && !classOk(inst.src1, info.fpSrc1()))
+            return false;
+        if (info.numSrcs >= 2 && !classOk(inst.src2, info.fpSrc2()))
+            return false;
+        return true;
+      }
+      case Isa::Straight:
+        if (info.numSrcs >= 1 && !checkDistance(isa, inst.src1))
+            return false;
+        if (info.numSrcs >= 2 && !checkDistance(isa, inst.src2))
+            return false;
+        return true;
+      case Isa::Clockhands:
+        if (info.hasDst && inst.dst >= kNumHands)
+            return false;
+        if (info.numSrcs >= 1 &&
+            (inst.src1Hand >= kNumHands || !checkDistance(isa, inst.src1))) {
+            return false;
+        }
+        if (info.numSrcs >= 2 &&
+            (inst.src2Hand >= kNumHands || !checkDistance(isa, inst.src2))) {
+            return false;
+        }
+        return true;
+    }
+    return false;
+}
+
+uint32_t
+encode(Isa isa, const Inst& inst)
+{
+    if (!encodable(isa, inst)) {
+        fatal("unencodable instruction for ", isaName(isa), ": ",
+              disassemble(isa, inst));
+    }
+    const OpInfo& info = inst.info();
+    int64_t imm = 0;
+    immField(isa, inst, &imm);
+    const auto uimm = static_cast<uint32_t>(imm);
+
+    uint32_t w = static_cast<uint32_t>(inst.op) & 0x7f;
+    switch (isa) {
+      case Isa::Riscv:
+        switch (info.fmt) {
+          case Fmt::R:
+            w = insertBits(w, 11, 7, inst.dst & 31);
+            w = insertBits(w, 16, 12, inst.src1 & 31);
+            w = insertBits(w, 21, 17, inst.src2 & 31);
+            break;
+          case Fmt::I:
+            w = insertBits(w, 11, 7, inst.dst & 31);
+            w = insertBits(w, 16, 12, inst.src1 & 31);
+            w = insertBits(w, 31, 17, uimm);
+            break;
+          case Fmt::S:
+          case Fmt::B:
+            w = insertBits(w, 11, 7, inst.src1 & 31);
+            w = insertBits(w, 16, 12, inst.src2 & 31);
+            w = insertBits(w, 31, 17, uimm);
+            break;
+          case Fmt::U:
+          case Fmt::J:
+            w = insertBits(w, 11, 7, inst.dst & 31);
+            w = insertBits(w, 31, 12, uimm);
+            break;
+          case Fmt::None:
+            break;
+        }
+        break;
+      case Isa::Straight:
+        switch (info.fmt) {
+          case Fmt::R:
+            w = insertBits(w, 13, 7, inst.src1);
+            w = insertBits(w, 20, 14, inst.src2);
+            break;
+          case Fmt::I:
+            w = insertBits(w, 13, 7, inst.src1);
+            w = insertBits(w, 31, 14, uimm);
+            break;
+          case Fmt::S:
+          case Fmt::B:
+            w = insertBits(w, 13, 7, inst.src1);
+            w = insertBits(w, 20, 14, inst.src2);
+            w = insertBits(w, 31, 21, uimm);
+            break;
+          case Fmt::U:
+            w = insertBits(w, 26, 7, uimm);
+            break;
+          case Fmt::J:
+            w = insertBits(w, 31, 7, uimm);
+            break;
+          case Fmt::None:
+            break;
+        }
+        break;
+      case Isa::Clockhands:
+        switch (info.fmt) {
+          case Fmt::R:
+            w = insertBits(w, 8, 7, inst.dst);
+            w = insertBits(w, 10, 9, inst.src1Hand);
+            w = insertBits(w, 14, 11, inst.src1);
+            w = insertBits(w, 16, 15, inst.src2Hand);
+            w = insertBits(w, 20, 17, inst.src2);
+            break;
+          case Fmt::I:
+            w = insertBits(w, 8, 7, inst.dst);
+            w = insertBits(w, 10, 9, inst.src1Hand);
+            w = insertBits(w, 14, 11, inst.src1);
+            w = insertBits(w, 31, 15, uimm);
+            break;
+          case Fmt::S:
+          case Fmt::B:
+            w = insertBits(w, 8, 7, inst.src1Hand);
+            w = insertBits(w, 12, 9, inst.src1);
+            w = insertBits(w, 14, 13, inst.src2Hand);
+            w = insertBits(w, 18, 15, inst.src2);
+            w = insertBits(w, 31, 19, uimm);
+            break;
+          case Fmt::U:
+            w = insertBits(w, 8, 7, inst.dst);
+            w = insertBits(w, 28, 9, uimm);
+            break;
+          case Fmt::J:
+            w = insertBits(w, 8, 7, inst.dst);
+            w = insertBits(w, 31, 9, uimm);
+            break;
+          case Fmt::None:
+            break;
+        }
+        break;
+    }
+    return w;
+}
+
+Inst
+decode(Isa isa, uint32_t word)
+{
+    const uint32_t opIdx = bits(word, 6, 0);
+    if (opIdx >= static_cast<uint32_t>(kNumOps))
+        fatal("bad opcode ", opIdx, " in word ", word);
+
+    Inst inst;
+    inst.op = static_cast<Op>(opIdx);
+    const OpInfo& info = inst.info();
+    const unsigned width = immWidth(isa, info.fmt);
+
+    auto takeImm = [&](unsigned hi, unsigned lo) {
+        int64_t v = signExtend(bits(word, hi, lo), width);
+        if (isScaled(info))
+            v <<= 2;
+        inst.imm = v;
+    };
+
+    switch (isa) {
+      case Isa::Riscv: {
+        const uint8_t dstClass = info.fpDst() ? 32 : 0;
+        const uint8_t s1Class = info.fpSrc1() ? 32 : 0;
+        const uint8_t s2Class = info.fpSrc2() ? 32 : 0;
+        switch (info.fmt) {
+          case Fmt::R:
+            inst.dst = bits(word, 11, 7) | dstClass;
+            inst.src1 = bits(word, 16, 12) | s1Class;
+            inst.src2 = bits(word, 21, 17) | s2Class;
+            break;
+          case Fmt::I:
+            inst.dst = bits(word, 11, 7) | dstClass;
+            inst.src1 = bits(word, 16, 12) | s1Class;
+            takeImm(31, 17);
+            break;
+          case Fmt::S:
+          case Fmt::B:
+            inst.src1 = bits(word, 11, 7) | s1Class;
+            inst.src2 = bits(word, 16, 12) | s2Class;
+            takeImm(31, 17);
+            break;
+          case Fmt::U:
+          case Fmt::J:
+            inst.dst = bits(word, 11, 7) | dstClass;
+            takeImm(31, 12);
+            break;
+          case Fmt::None:
+            break;
+        }
+        break;
+      }
+      case Isa::Straight:
+        switch (info.fmt) {
+          case Fmt::R:
+            inst.src1 = bits(word, 13, 7);
+            inst.src2 = bits(word, 20, 14);
+            break;
+          case Fmt::I:
+            inst.src1 = bits(word, 13, 7);
+            takeImm(31, 14);
+            break;
+          case Fmt::S:
+          case Fmt::B:
+            inst.src1 = bits(word, 13, 7);
+            inst.src2 = bits(word, 20, 14);
+            takeImm(31, 21);
+            break;
+          case Fmt::U:
+            takeImm(26, 7);
+            break;
+          case Fmt::J:
+            takeImm(31, 7);
+            break;
+          case Fmt::None:
+            break;
+        }
+        break;
+      case Isa::Clockhands:
+        switch (info.fmt) {
+          case Fmt::R:
+            inst.dst = bits(word, 8, 7);
+            inst.src1Hand = bits(word, 10, 9);
+            inst.src1 = bits(word, 14, 11);
+            inst.src2Hand = bits(word, 16, 15);
+            inst.src2 = bits(word, 20, 17);
+            break;
+          case Fmt::I:
+            inst.dst = bits(word, 8, 7);
+            inst.src1Hand = bits(word, 10, 9);
+            inst.src1 = bits(word, 14, 11);
+            takeImm(31, 15);
+            break;
+          case Fmt::S:
+          case Fmt::B:
+            inst.src1Hand = bits(word, 8, 7);
+            inst.src1 = bits(word, 12, 9);
+            inst.src2Hand = bits(word, 14, 13);
+            inst.src2 = bits(word, 18, 15);
+            takeImm(31, 19);
+            break;
+          case Fmt::U:
+            inst.dst = bits(word, 8, 7);
+            takeImm(28, 9);
+            break;
+          case Fmt::J:
+            inst.dst = bits(word, 8, 7);
+            takeImm(31, 9);
+            break;
+          case Fmt::None:
+            break;
+        }
+        break;
+    }
+    return inst;
+}
+
+std::string
+riscRegName(uint8_t reg)
+{
+    static const char* names[32] = {
+        "zero", "ra", "sp", "gp", "tp", "t0", "t1", "t2",
+        "s0", "s1", "a0", "a1", "a2", "a3", "a4", "a5",
+        "a6", "a7", "s2", "s3", "s4", "s5", "s6", "s7",
+        "s8", "s9", "s10", "s11", "t3", "t4", "t5", "t6",
+    };
+    if (reg < 32)
+        return names[reg];
+    return "f" + std::to_string(reg - 32);
+}
+
+namespace {
+
+/** Render one source operand in the target ISA's syntax. */
+std::string
+srcText(Isa isa, uint8_t dist, uint8_t hand)
+{
+    switch (isa) {
+      case Isa::Riscv:
+        return riscRegName(dist);
+      case Isa::Straight:
+        if (dist == kStraightZeroDist)
+            return "zero";
+        if (dist == kStraightSpBase)
+            return "sp";
+        return "[" + std::to_string(dist) + "]";
+      case Isa::Clockhands:
+        if (hand == HandS && dist == kHandZeroDist)
+            return "zero";
+        return std::string(1, handName(hand)) + "[" + std::to_string(dist) +
+               "]";
+    }
+    return "?";
+}
+
+std::string
+dstText(Isa isa, const Inst& inst)
+{
+    switch (isa) {
+      case Isa::Riscv:
+        return riscRegName(inst.dst);
+      case Isa::Straight:
+        return {};
+      case Isa::Clockhands:
+        return std::string(1, handName(inst.dst));
+    }
+    return "?";
+}
+
+} // namespace
+
+std::string
+disassemble(Isa isa, const Inst& inst)
+{
+    const OpInfo& info = inst.info();
+    std::string out(info.mnemonic);
+    auto sep = [&] { out += out.size() > info.mnemonic.size() ? ", " : " "; };
+
+    const std::string dst = dstText(isa, inst);
+    const std::string s1 = srcText(isa, inst.src1, inst.src1Hand);
+    const std::string s2 = srcText(isa, inst.src2, inst.src2Hand);
+
+    switch (info.fmt) {
+      case Fmt::R:
+        if (info.hasDst && !dst.empty()) { sep(); out += dst; }
+        if (info.numSrcs >= 1) { sep(); out += s1; }
+        if (info.numSrcs >= 2) { sep(); out += s2; }
+        break;
+      case Fmt::I:
+        if (info.hasDst && !dst.empty()) { sep(); out += dst; }
+        if (info.isLoad() || info.brKind == BrKind::IndCall ||
+            info.brKind == BrKind::Ret) {
+            sep();
+            out += std::to_string(inst.imm) + "(" + s1 + ")";
+        } else {
+            if (info.numSrcs >= 1) { sep(); out += s1; }
+            if (inst.op != Op::MV) {
+                sep();
+                out += std::to_string(inst.imm);
+            }
+        }
+        break;
+      case Fmt::S:
+        sep();
+        out += s2;
+        sep();
+        out += std::to_string(inst.imm) + "(" + s1 + ")";
+        break;
+      case Fmt::B:
+        sep(); out += s1;
+        sep(); out += s2;
+        sep(); out += std::to_string(inst.imm);
+        break;
+      case Fmt::U:
+        if (info.hasDst && !dst.empty()) { sep(); out += dst; }
+        sep();
+        out += std::to_string(inst.imm);
+        break;
+      case Fmt::J:
+        if (info.hasDst && !dst.empty()) { sep(); out += dst; }
+        sep();
+        out += std::to_string(inst.imm);
+        break;
+      case Fmt::None:
+        break;
+    }
+    return out;
+}
+
+} // namespace ch

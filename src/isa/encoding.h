@@ -1,0 +1,60 @@
+#ifndef CH_ISA_ENCODING_H
+#define CH_ISA_ENCODING_H
+
+/**
+ * @file
+ * 32-bit binary instruction encodings for the three ISAs.
+ *
+ * All three share a 7-bit opcode in bits [6:0] (the shared Op enum) and
+ * differ only in their operand fields, mirroring the paper's Fig. 5:
+ *
+ *  RISC        R: rd[11:7]  rs1[16:12] rs2[21:17]            (15 operand bits)
+ *              I: rd[11:7]  rs1[16:12] imm[31:17] (15b)
+ *              S/B: rs1[11:7] rs2[16:12] imm[31:17] (15b; B scaled x4)
+ *              U: rd[11:7]  imm[31:12] (20b)   J: rd[11:7] imm[31:12] (x4)
+ *
+ *  STRAIGHT    R: d1[13:7] d2[20:14]                         (14 operand bits)
+ *              I: d1[13:7] imm[31:14] (18b)
+ *              S/B: d1[13:7] d2[20:14] imm[31:21] (11b; B scaled x4)
+ *              U: imm[26:7] (20b)              J: imm[31:7] (25b, x4)
+ *
+ *  Clockhands  R: dh[8:7] s1h[10:9] s1d[14:11] s2h[16:15] s2d[20:17] (14 bits)
+ *              I: dh[8:7] s1h[10:9] s1d[14:11] imm[31:15] (17b)
+ *              S/B: s1h[8:7] s1d[12:9] s2h[14:13] s2d[18:15] imm[31:19]
+ *                   (13b; B scaled x4)
+ *              U: dh[8:7] imm[28:9] (20b)      J: dh[8:7] imm[31:9] (23b, x4)
+ *
+ * Branch/jump immediates are byte offsets relative to the branch PC and
+ * must be multiples of 4. Distances use the conventions of isa.h
+ * (STRAIGHT: 0 = zero register; Clockhands: s[15] = zero register).
+ */
+
+#include <cstdint>
+#include <string>
+
+#include "isa/isa.h"
+
+namespace ch {
+
+/** Serialize @p inst to a 32-bit word; fatal() if a field overflows. */
+uint32_t encode(Isa isa, const Inst& inst);
+
+/** Decode a 32-bit word; fatal() on an unknown opcode. */
+Inst decode(Isa isa, uint32_t word);
+
+/** True when every field of @p inst fits its encoding. */
+bool encodable(Isa isa, const Inst& inst);
+
+/**
+ * Disassemble one instruction in the paper's assembly syntax
+ * (e.g. "addi t, t[1], 4" / "sw [5], 0(sp)" / "bne a1, a5, -16").
+ * Branch targets are printed as signed byte offsets.
+ */
+std::string disassemble(Isa isa, const Inst& inst);
+
+/** ABI-style RISC register name (zero, ra, sp, a0.., s0.., t0.., f0..). */
+std::string riscRegName(uint8_t reg);
+
+} // namespace ch
+
+#endif // CH_ISA_ENCODING_H

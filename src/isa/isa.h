@@ -1,0 +1,144 @@
+#ifndef CH_ISA_ISA_H
+#define CH_ISA_ISA_H
+
+/**
+ * @file
+ * The three instruction set architectures and the decoded instruction
+ * record shared by the assemblers, emulators, and the timing model.
+ *
+ * Operand conventions (paper Sections 2-4):
+ *
+ *  - RISC (RV64-flavoured): `dst`, `src1`, `src2` are logical register
+ *    numbers. 0..31 are integer registers (x0 reads as zero and discards
+ *    writes); 32..63 are FP registers f0..f31.
+ *
+ *  - STRAIGHT: every executed instruction implicitly allocates one
+ *    destination slot from a single ring of logical registers, whether or
+ *    not it produces a value (slots of valueless instructions read as 0).
+ *    `src1`/`src2` hold inter-instruction distances: k >= 1 means "the
+ *    result of the k-th previous instruction"; the encoding 0 means the
+ *    constant zero. The architectural stack pointer is a separate special
+ *    register manipulated by SPADDI and usable as a memory base (the
+ *    `kStraightSpBase` operand encoding).
+ *
+ *  - Clockhands: four register groups ("hands") named t, u, v, s. `dst`
+ *    holds a hand id for value-producing ops; valueless ops rotate no
+ *    hand. Sources pair a hand id (`src1Hand`/`src2Hand`) with an
+ *    inter-register distance (`src1`/`src2`): distance k refers to the
+ *    value written to that hand k+1 writes ago, i.e. t[0] is the newest
+ *    value in t. The encoding s[15] reads as the constant zero, matching
+ *    the paper's 63-register + zero architectural state.
+ */
+
+#include <cstdint>
+#include <string_view>
+
+#include "isa/op.h"
+
+namespace ch {
+
+/** Which instruction set a program or machine uses. */
+enum class Isa : uint8_t { Riscv, Straight, Clockhands };
+
+/** Human-readable ISA name. */
+inline std::string_view
+isaName(Isa isa)
+{
+    switch (isa) {
+      case Isa::Riscv: return "RISC-V";
+      case Isa::Straight: return "STRAIGHT";
+      case Isa::Clockhands: return "Clockhands";
+    }
+    return "?";
+}
+
+// ---------------------------------------------------------------------
+// Architectural constants (paper Section 4).
+// ---------------------------------------------------------------------
+
+/** Clockhands: number of hands (H = 4, Section 4.1). */
+constexpr int kNumHands = 4;
+
+/** Clockhands hand ids, in the paper's naming. */
+enum Hand : uint8_t { HandT = 0, HandU = 1, HandV = 2, HandS = 3 };
+
+/** Clockhands: maximum reference distance per hand (D = 16). */
+constexpr int kHandDepth = 16;
+
+/**
+ * Clockhands: the s-hand reaches only 15 values; the encoding s[15] is
+ * the architectural zero register.
+ */
+constexpr uint8_t kHandZeroDist = 15;
+
+/**
+ * STRAIGHT: maximum reference distance. The paper's configuration has 127
+ * uniform logical registers; our 7-bit distance field reserves encoding 0
+ * for the zero register and encoding 127 for the special SP, leaving
+ * distances 1..126.
+ */
+constexpr int kStraightMaxDist = 126;
+
+/** STRAIGHT: source-distance encoding 0 reads the constant zero. */
+constexpr uint8_t kStraightZeroDist = 0;
+
+/**
+ * STRAIGHT: source encoding that reads the special stack pointer, used
+ * both as a memory base and as a plain operand (the real STRAIGHT ISA has
+ * SP-relative memory ops; see Fig. 1(c) "sd [4], 0(sp)").
+ */
+constexpr uint8_t kStraightSpBase = 0x7f;
+
+/** RISC: number of integer / FP logical registers. */
+constexpr int kNumIntRegs = 32;
+constexpr int kNumFpRegs = 32;
+
+/** RISC logical register numbering helpers. */
+constexpr uint8_t kRegZero = 0;
+constexpr uint8_t kRegRa = 1;
+constexpr uint8_t kRegSp = 2;
+constexpr uint8_t
+fpReg(int n)
+{
+    return static_cast<uint8_t>(32 + n);
+}
+constexpr bool
+isFpRegNum(uint8_t r)
+{
+    return r >= 32;
+}
+
+/** Hand name for disassembly. */
+inline char
+handName(uint8_t hand)
+{
+    constexpr char names[kNumHands] = {'t', 'u', 'v', 's'};
+    return hand < kNumHands ? names[hand] : '?';
+}
+
+// ---------------------------------------------------------------------
+// Decoded instruction record.
+// ---------------------------------------------------------------------
+
+/**
+ * One decoded instruction. Field meaning depends on the program's ISA as
+ * described in the file comment. The record is the working currency of
+ * the whole stack: the assemblers produce it, the encoders serialize it
+ * to 32-bit words, the emulators execute it, and the compiler backends
+ * emit it.
+ */
+struct Inst {
+    Op op = Op::NOP;
+    uint8_t dst = 0;       ///< RISC: reg; Clockhands: hand; STRAIGHT: unused
+    uint8_t src1 = 0;      ///< RISC: reg; STRAIGHT/CH: distance
+    uint8_t src2 = 0;      ///< RISC: reg; STRAIGHT/CH: distance
+    uint8_t src1Hand = 0;  ///< Clockhands only
+    uint8_t src2Hand = 0;  ///< Clockhands only
+    int64_t imm = 0;
+
+    const OpInfo& info() const { return opInfo(op); }
+};
+
+} // namespace ch
+
+#endif // CH_ISA_ISA_H

@@ -1,0 +1,229 @@
+#ifndef CH_ISA_OP_H
+#define CH_ISA_OP_H
+
+/**
+ * @file
+ * The shared micro-operation vocabulary used by all three instruction set
+ * architectures in this repository (conventional RISC, STRAIGHT, and
+ * Clockhands). Following the paper's Fig. 5, the three ISAs share opcode
+ * and funct semantics and differ *only* in how register operands are
+ * specified; this header captures the shared part.
+ *
+ * The operation set is an RV64G-flavoured subset: full 64-bit integer
+ * ALU/multiply/divide including the *W 32-bit variants, double-precision
+ * floating point, sized loads/stores, conditional branches, and
+ * jump-and-link control transfer. A handful of explicit ops (MV, NOP,
+ * ECALL, SPADDI) exist so that the paper's instruction-mix breakdowns
+ * (Fig. 15) can be measured identically across ISAs.
+ */
+
+#include <cstdint>
+#include <string_view>
+
+namespace ch {
+
+/** Coarse operation classes: functional-unit binding and Fig. 15 rows. */
+enum class OpClass : uint8_t {
+    IntAlu,   ///< single-cycle integer ALU
+    IntMul,   ///< integer multiplier
+    IntDiv,   ///< integer divider
+    FpAlu,    ///< FP add/mul/compare/convert
+    FpDiv,    ///< FP divide / sqrt
+    Load,     ///< memory read
+    Store,    ///< memory write
+    CondBr,   ///< conditional branch
+    Jump,     ///< unconditional direct jump (no link)
+    Call,     ///< jump-and-link (direct or indirect)
+    Ret,      ///< indirect jump without link (function return)
+    Move,     ///< register-to-register copy
+    Nop,      ///< no operation
+    Syscall,  ///< environment call
+};
+
+/** Control-transfer kind; None for non-branches. */
+enum class BrKind : uint8_t {
+    None,
+    Cond,     ///< conditional, PC-relative
+    Jump,     ///< unconditional direct, no link
+    Call,     ///< direct jump-and-link
+    IndCall,  ///< indirect jump-and-link (JALR)
+    Ret,      ///< indirect jump, no link (JR)
+};
+
+/** Instruction word format family (operand field layout). */
+enum class Fmt : uint8_t {
+    R,    ///< two register sources
+    I,    ///< one register source + immediate
+    S,    ///< store / compare-style: two sources + immediate
+    B,    ///< conditional branch: two sources + pc-relative offset
+    U,    ///< destination + 20-bit upper immediate
+    J,    ///< jump: optional link destination + pc-relative offset
+    None, ///< no operands (NOP)
+};
+
+/** Per-op boolean property bits. */
+enum OpFlags : uint8_t {
+    FlagLoad = 1 << 0,
+    FlagStore = 1 << 1,
+    FlagSignedLoad = 1 << 2,
+    FlagFpDst = 1 << 3,   ///< RISC destination is an FP register
+    FlagFpSrc1 = 1 << 4,  ///< RISC src1 is an FP register
+    FlagFpSrc2 = 1 << 5,  ///< RISC src2 is an FP register
+};
+
+// X-macro table of every operation.
+// Columns: op, mnemonic, class, format, #srcs, hasDst, memBytes, flags, brkind
+#define CH_OP_LIST(X)                                                         \
+    X(ADD,      "add",      IntAlu, R, 2, 1, 0, 0, None)                      \
+    X(SUB,      "sub",      IntAlu, R, 2, 1, 0, 0, None)                      \
+    X(SLL,      "sll",      IntAlu, R, 2, 1, 0, 0, None)                      \
+    X(SLT,      "slt",      IntAlu, R, 2, 1, 0, 0, None)                      \
+    X(SLTU,     "sltu",     IntAlu, R, 2, 1, 0, 0, None)                      \
+    X(XOR,      "xor",      IntAlu, R, 2, 1, 0, 0, None)                      \
+    X(SRL,      "srl",      IntAlu, R, 2, 1, 0, 0, None)                      \
+    X(SRA,      "sra",      IntAlu, R, 2, 1, 0, 0, None)                      \
+    X(OR,       "or",       IntAlu, R, 2, 1, 0, 0, None)                      \
+    X(AND,      "and",      IntAlu, R, 2, 1, 0, 0, None)                      \
+    X(ADDW,     "addw",     IntAlu, R, 2, 1, 0, 0, None)                      \
+    X(SUBW,     "subw",     IntAlu, R, 2, 1, 0, 0, None)                      \
+    X(SLLW,     "sllw",     IntAlu, R, 2, 1, 0, 0, None)                      \
+    X(SRLW,     "srlw",     IntAlu, R, 2, 1, 0, 0, None)                      \
+    X(SRAW,     "sraw",     IntAlu, R, 2, 1, 0, 0, None)                      \
+    X(MUL,      "mul",      IntMul, R, 2, 1, 0, 0, None)                      \
+    X(MULH,     "mulh",     IntMul, R, 2, 1, 0, 0, None)                      \
+    X(MULHU,    "mulhu",    IntMul, R, 2, 1, 0, 0, None)                      \
+    X(DIV,      "div",      IntDiv, R, 2, 1, 0, 0, None)                      \
+    X(DIVU,     "divu",     IntDiv, R, 2, 1, 0, 0, None)                      \
+    X(REM,      "rem",      IntDiv, R, 2, 1, 0, 0, None)                      \
+    X(REMU,     "remu",     IntDiv, R, 2, 1, 0, 0, None)                      \
+    X(MULW,     "mulw",     IntMul, R, 2, 1, 0, 0, None)                      \
+    X(DIVW,     "divw",     IntDiv, R, 2, 1, 0, 0, None)                      \
+    X(DIVUW,    "divuw",    IntDiv, R, 2, 1, 0, 0, None)                      \
+    X(REMW,     "remw",     IntDiv, R, 2, 1, 0, 0, None)                      \
+    X(REMUW,    "remuw",    IntDiv, R, 2, 1, 0, 0, None)                      \
+    X(ADDI,     "addi",     IntAlu, I, 1, 1, 0, 0, None)                      \
+    X(SLTI,     "slti",     IntAlu, I, 1, 1, 0, 0, None)                      \
+    X(SLTIU,    "sltiu",    IntAlu, I, 1, 1, 0, 0, None)                      \
+    X(XORI,     "xori",     IntAlu, I, 1, 1, 0, 0, None)                      \
+    X(ORI,      "ori",      IntAlu, I, 1, 1, 0, 0, None)                      \
+    X(ANDI,     "andi",     IntAlu, I, 1, 1, 0, 0, None)                      \
+    X(SLLI,     "slli",     IntAlu, I, 1, 1, 0, 0, None)                      \
+    X(SRLI,     "srli",     IntAlu, I, 1, 1, 0, 0, None)                      \
+    X(SRAI,     "srai",     IntAlu, I, 1, 1, 0, 0, None)                      \
+    X(ADDIW,    "addiw",    IntAlu, I, 1, 1, 0, 0, None)                      \
+    X(SLLIW,    "slliw",    IntAlu, I, 1, 1, 0, 0, None)                      \
+    X(SRLIW,    "srliw",    IntAlu, I, 1, 1, 0, 0, None)                      \
+    X(SRAIW,    "sraiw",    IntAlu, I, 1, 1, 0, 0, None)                      \
+    X(LUI,      "lui",      IntAlu, U, 0, 1, 0, 0, None)                      \
+    X(LB,       "lb",       Load, I, 1, 1, 1, FlagLoad | FlagSignedLoad, None)\
+    X(LH,       "lh",       Load, I, 1, 1, 2, FlagLoad | FlagSignedLoad, None)\
+    X(LW,       "lw",       Load, I, 1, 1, 4, FlagLoad | FlagSignedLoad, None)\
+    X(LD,       "ld",       Load, I, 1, 1, 8, FlagLoad | FlagSignedLoad, None)\
+    X(LBU,      "lbu",      Load, I, 1, 1, 1, FlagLoad, None)                 \
+    X(LHU,      "lhu",      Load, I, 1, 1, 2, FlagLoad, None)                 \
+    X(LWU,      "lwu",      Load, I, 1, 1, 4, FlagLoad, None)                 \
+    X(FLD,      "fld",      Load, I, 1, 1, 8, FlagLoad | FlagFpDst, None)     \
+    X(SB,       "sb",       Store, S, 2, 0, 1, FlagStore, None)               \
+    X(SH,       "sh",       Store, S, 2, 0, 2, FlagStore, None)               \
+    X(SW,       "sw",       Store, S, 2, 0, 4, FlagStore, None)               \
+    X(SD,       "sd",       Store, S, 2, 0, 8, FlagStore, None)               \
+    X(FSD,      "fsd",      Store, S, 2, 0, 8, FlagStore | FlagFpSrc2, None)  \
+    X(BEQ,      "beq",      CondBr, B, 2, 0, 0, 0, Cond)                      \
+    X(BNE,      "bne",      CondBr, B, 2, 0, 0, 0, Cond)                      \
+    X(BLT,      "blt",      CondBr, B, 2, 0, 0, 0, Cond)                      \
+    X(BGE,      "bge",      CondBr, B, 2, 0, 0, 0, Cond)                      \
+    X(BLTU,     "bltu",     CondBr, B, 2, 0, 0, 0, Cond)                      \
+    X(BGEU,     "bgeu",     CondBr, B, 2, 0, 0, 0, Cond)                      \
+    X(JAL,      "jal",      Call, J, 0, 1, 0, 0, Call)                        \
+    X(J,        "j",        Jump, J, 0, 0, 0, 0, Jump)                        \
+    X(JALR,     "jalr",     Call, I, 1, 1, 0, 0, IndCall)                     \
+    X(JR,       "jr",       Ret, I, 1, 0, 0, 0, Ret)                          \
+    X(FADD_D,   "fadd.d",   FpAlu, R, 2, 1, 0,                                \
+      FlagFpDst | FlagFpSrc1 | FlagFpSrc2, None)                              \
+    X(FSUB_D,   "fsub.d",   FpAlu, R, 2, 1, 0,                                \
+      FlagFpDst | FlagFpSrc1 | FlagFpSrc2, None)                              \
+    X(FMUL_D,   "fmul.d",   FpAlu, R, 2, 1, 0,                                \
+      FlagFpDst | FlagFpSrc1 | FlagFpSrc2, None)                              \
+    X(FDIV_D,   "fdiv.d",   FpDiv, R, 2, 1, 0,                                \
+      FlagFpDst | FlagFpSrc1 | FlagFpSrc2, None)                              \
+    X(FSQRT_D,  "fsqrt.d",  FpDiv, R, 1, 1, 0, FlagFpDst | FlagFpSrc1, None)  \
+    X(FMIN_D,   "fmin.d",   FpAlu, R, 2, 1, 0,                                \
+      FlagFpDst | FlagFpSrc1 | FlagFpSrc2, None)                              \
+    X(FMAX_D,   "fmax.d",   FpAlu, R, 2, 1, 0,                                \
+      FlagFpDst | FlagFpSrc1 | FlagFpSrc2, None)                              \
+    X(FSGNJ_D,  "fsgnj.d",  FpAlu, R, 2, 1, 0,                                \
+      FlagFpDst | FlagFpSrc1 | FlagFpSrc2, None)                              \
+    X(FSGNJN_D, "fsgnjn.d", FpAlu, R, 2, 1, 0,                                \
+      FlagFpDst | FlagFpSrc1 | FlagFpSrc2, None)                              \
+    X(FSGNJX_D, "fsgnjx.d", FpAlu, R, 2, 1, 0,                                \
+      FlagFpDst | FlagFpSrc1 | FlagFpSrc2, None)                              \
+    X(FEQ_D,    "feq.d",    FpAlu, R, 2, 1, 0, FlagFpSrc1 | FlagFpSrc2, None) \
+    X(FLT_D,    "flt.d",    FpAlu, R, 2, 1, 0, FlagFpSrc1 | FlagFpSrc2, None) \
+    X(FLE_D,    "fle.d",    FpAlu, R, 2, 1, 0, FlagFpSrc1 | FlagFpSrc2, None) \
+    X(FCVT_D_L, "fcvt.d.l", FpAlu, R, 1, 1, 0, FlagFpDst, None)               \
+    X(FCVT_L_D, "fcvt.l.d", FpAlu, R, 1, 1, 0, FlagFpSrc1, None)              \
+    X(FMV_X_D,  "fmv.x.d",  Move, R, 1, 1, 0, FlagFpSrc1, None)               \
+    X(FMV_D_X,  "fmv.d.x",  Move, R, 1, 1, 0, FlagFpDst, None)                \
+    X(FMV_D,    "fmv.d",    Move, R, 1, 1, 0, FlagFpDst | FlagFpSrc1, None)   \
+    X(MV,       "mv",       Move, I, 1, 1, 0, 0, None)                        \
+    X(NOP,      "nop",      Nop, None, 0, 0, 0, 0, None)                      \
+    X(ECALL,    "ecall",    Syscall, I, 1, 1, 0, 0, None)                     \
+    X(SPADDI,   "spaddi",   IntAlu, J, 0, 0, 0, 0, None)
+
+/** All shared micro-operations. */
+enum class Op : uint8_t {
+#define X(op, str, cls, fmt, nsrc, hasdst, mem, flags, br) op,
+    CH_OP_LIST(X)
+#undef X
+};
+
+/** Number of distinct ops. */
+constexpr int kNumOps = 0
+#define X(op, str, cls, fmt, nsrc, hasdst, mem, flags, br) +1
+    CH_OP_LIST(X)
+#undef X
+    ;
+
+/** Static properties of one op. */
+struct OpInfo {
+    std::string_view mnemonic;
+    OpClass cls;
+    Fmt fmt;
+    uint8_t numSrcs;    ///< register sources actually read (0..2)
+    bool hasDst;        ///< produces a register value
+    uint8_t memBytes;   ///< access size for loads/stores, else 0
+    uint8_t flags;      ///< OpFlags bitmask
+    BrKind brKind;
+
+    bool isLoad() const { return flags & FlagLoad; }
+    bool isStore() const { return flags & FlagStore; }
+    bool isMem() const { return flags & (FlagLoad | FlagStore); }
+    bool isSignedLoad() const { return flags & FlagSignedLoad; }
+    bool fpDst() const { return flags & FlagFpDst; }
+    bool fpSrc1() const { return flags & FlagFpSrc1; }
+    bool fpSrc2() const { return flags & FlagFpSrc2; }
+    bool isBranch() const { return brKind != BrKind::None; }
+    /** Direct control transfer (target known from the instruction word). */
+    bool
+    isDirectBranch() const
+    {
+        return brKind == BrKind::Cond || brKind == BrKind::Jump ||
+               brKind == BrKind::Call;
+    }
+    /** Indirect control transfer (target from a register). */
+    bool
+    isIndirectBranch() const
+    {
+        return brKind == BrKind::IndCall || brKind == BrKind::Ret;
+    }
+};
+
+/** Properties lookup for @p op. */
+const OpInfo& opInfo(Op op);
+
+/** Mnemonic for @p op. */
+std::string_view opName(Op op);
+
+} // namespace ch
+
+#endif // CH_ISA_OP_H

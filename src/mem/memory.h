@@ -1,0 +1,111 @@
+#ifndef CH_MEM_MEMORY_H
+#define CH_MEM_MEMORY_H
+
+/**
+ * @file
+ * Sparse, paged, little-endian flat memory used by the functional
+ * emulators. Pages are allocated on first touch and zero-filled, so
+ * uninitialized reads are deterministic.
+ */
+
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace ch {
+
+/** Byte-addressable 64-bit sparse memory. */
+class Memory
+{
+  public:
+    static constexpr unsigned kPageBits = 12;
+    static constexpr uint64_t kPageSize = 1ull << kPageBits;
+    static constexpr uint64_t kPageMask = kPageSize - 1;
+
+    /** Read @p size bytes (1/2/4/8) at @p addr, zero-extended. */
+    uint64_t
+    read(uint64_t addr, unsigned size)
+    {
+        CH_ASSERT(size == 1 || size == 2 || size == 4 || size == 8,
+                  "bad access size");
+        if ((addr & kPageMask) + size <= kPageSize) {
+            const uint8_t* p = pageFor(addr) + (addr & kPageMask);
+            uint64_t v = 0;
+            std::memcpy(&v, p, size);
+            return v;
+        }
+        // Page-straddling access: assemble byte by byte.
+        uint64_t v = 0;
+        for (unsigned i = 0; i < size; ++i)
+            v |= static_cast<uint64_t>(readByte(addr + i)) << (8 * i);
+        return v;
+    }
+
+    /** Write the low @p size bytes of @p value at @p addr. */
+    void
+    write(uint64_t addr, unsigned size, uint64_t value)
+    {
+        CH_ASSERT(size == 1 || size == 2 || size == 4 || size == 8,
+                  "bad access size");
+        if ((addr & kPageMask) + size <= kPageSize) {
+            uint8_t* p = pageFor(addr) + (addr & kPageMask);
+            std::memcpy(p, &value, size);
+            return;
+        }
+        for (unsigned i = 0; i < size; ++i)
+            writeByte(addr + i, static_cast<uint8_t>(value >> (8 * i)));
+    }
+
+    uint8_t readByte(uint64_t addr) { return pageFor(addr)[addr & kPageMask]; }
+
+    void
+    writeByte(uint64_t addr, uint8_t value)
+    {
+        pageFor(addr)[addr & kPageMask] = value;
+    }
+
+    /** Bulk copy into memory (program loading). */
+    void
+    writeBlock(uint64_t addr, const void* src, size_t len)
+    {
+        const auto* bytes = static_cast<const uint8_t*>(src);
+        for (size_t i = 0; i < len; ++i)
+            writeByte(addr + i, bytes[i]);
+    }
+
+    /** Bulk copy out of memory. */
+    void
+    readBlock(uint64_t addr, void* dst, size_t len)
+    {
+        auto* bytes = static_cast<uint8_t*>(dst);
+        for (size_t i = 0; i < len; ++i)
+            bytes[i] = readByte(addr + i);
+    }
+
+    /** Number of resident pages (for tests / footprint reporting). */
+    size_t residentPages() const { return pages_.size(); }
+
+  private:
+    uint8_t*
+    pageFor(uint64_t addr)
+    {
+        const uint64_t key = addr >> kPageBits;
+        auto it = pages_.find(key);
+        if (it == pages_.end()) {
+            auto page = std::make_unique<uint8_t[]>(kPageSize);
+            std::memset(page.get(), 0, kPageSize);
+            it = pages_.emplace(key, std::move(page)).first;
+        }
+        return it->second.get();
+    }
+
+    std::unordered_map<uint64_t, std::unique_ptr<uint8_t[]>> pages_;
+};
+
+} // namespace ch
+
+#endif // CH_MEM_MEMORY_H

@@ -1,0 +1,104 @@
+#ifndef CH_MEM_PROGRAM_H
+#define CH_MEM_PROGRAM_H
+
+/**
+ * @file
+ * Executable program image produced by the assemblers and compiler
+ * backends and consumed by the emulators: encoded text, predecoded
+ * instructions, initialized data segments, and the symbol table.
+ */
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "isa/encoding.h"
+#include "isa/isa.h"
+#include "mem/memory.h"
+
+namespace ch {
+
+/** Standard address-space layout shared by all programs in this repo. */
+namespace layout {
+constexpr uint64_t kTextBase = 0x10000;
+constexpr uint64_t kDataBase = 0x100000;
+constexpr uint64_t kHeapBase = 0x4000000;   // 64 MiB
+constexpr uint64_t kStackTop = 0x8000000;   // 128 MiB, grows down
+} // namespace layout
+
+/** A loadable, runnable program for one of the three ISAs. */
+struct Program {
+    Isa isa = Isa::Riscv;
+    uint64_t textBase = layout::kTextBase;
+    uint64_t entry = layout::kTextBase;
+
+    /** Encoded 32-bit instruction words, textBase onward. */
+    std::vector<uint32_t> text;
+
+    /** Predecoded view of `text` (index i is PC textBase + 4*i). */
+    std::vector<Inst> decoded;
+
+    /** Initialized data segments. */
+    struct DataSeg {
+        uint64_t base;
+        std::vector<uint8_t> bytes;
+    };
+    std::vector<DataSeg> data;
+
+    /** Label/symbol addresses. */
+    std::map<std::string, uint64_t> symbols;
+
+    /** Number of instructions in the text segment. */
+    size_t numInsts() const { return decoded.size(); }
+
+    /** True when @p pc addresses an instruction of this program. */
+    bool
+    validPc(uint64_t pc) const
+    {
+        return pc >= textBase && pc < textBase + 4 * text.size() &&
+               (pc & 3) == 0;
+    }
+
+    /** Predecoded instruction at @p pc. */
+    const Inst&
+    instAt(uint64_t pc) const
+    {
+        CH_ASSERT(validPc(pc), "pc out of text: ", pc);
+        return decoded[(pc - textBase) / 4];
+    }
+
+    /** Rebuild the predecoded view from `text`. */
+    void
+    redecode()
+    {
+        decoded.clear();
+        decoded.reserve(text.size());
+        for (uint32_t w : text)
+            decoded.push_back(decode(isa, w));
+    }
+
+    /** Copy text and data into @p mem for execution. */
+    void
+    load(Memory& mem) const
+    {
+        for (size_t i = 0; i < text.size(); ++i)
+            mem.write(textBase + 4 * i, 4, text[i]);
+        for (const auto& seg : data)
+            mem.writeBlock(seg.base, seg.bytes.data(), seg.bytes.size());
+    }
+
+    /** Address of a symbol; fatal() when undefined. */
+    uint64_t
+    symbol(const std::string& name) const
+    {
+        auto it = symbols.find(name);
+        if (it == symbols.end())
+            fatal("undefined symbol: ", name);
+        return it->second;
+    }
+};
+
+} // namespace ch
+
+#endif // CH_MEM_PROGRAM_H

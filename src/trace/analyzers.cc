@@ -1,0 +1,339 @@
+#include "trace/analyzers.h"
+
+#include "common/logging.h"
+
+namespace ch {
+
+// ---------------------------------------------------------------------
+// LifetimeAnalyzer
+// ---------------------------------------------------------------------
+
+void
+LifetimeAnalyzer::def(Slot& s, uint64_t seq, uint8_t hand)
+{
+    close(s);
+    s.live = true;
+    s.defSeq = seq;
+    s.lastUse = seq;
+    s.hand = hand;
+}
+
+void
+LifetimeAnalyzer::use(Slot& s, uint64_t seq)
+{
+    if (s.live)
+        s.lastUse = seq;
+}
+
+void
+LifetimeAnalyzer::close(Slot& s)
+{
+    if (!s.live)
+        return;
+    const uint64_t lifetime = s.lastUse - s.defSeq;
+    overall_.record(lifetime);
+    if (isa_ == Isa::Clockhands)
+        hand_[s.hand].record(lifetime);
+    s.live = false;
+}
+
+void
+LifetimeAnalyzer::onInst(const DynInst& di)
+{
+    ++total_;
+    const OpInfo& info = di.info();
+    const uint64_t seq = di.seq;
+
+    // Source reads mark last-use times.
+    auto useSrc = [&](uint8_t dist, uint8_t hand) {
+        switch (isa_) {
+          case Isa::Riscv:
+            if (dist != kRegZero)
+                use(regs_[dist], seq);
+            break;
+          case Isa::Straight:
+            if (dist == kStraightZeroDist)
+                return;
+            if (dist == kStraightSpBase) {
+                use(sp_, seq);
+                return;
+            }
+            if (dist <= ringCount_)
+                use(ring_[(ringCount_ - dist) % 128], seq);
+            break;
+          case Isa::Clockhands:
+            if (hand == HandS && dist == kHandZeroDist)
+                return;
+            if (dist < handCount_[hand]) {
+                use(hands_[hand][(handCount_[hand] - 1 - dist) % kHandDepth],
+                    seq);
+            }
+            break;
+        }
+    };
+    if (info.numSrcs >= 1)
+        useSrc(di.src1, di.src1Hand);
+    if (info.numSrcs >= 2)
+        useSrc(di.src2, di.src2Hand);
+
+    // Destination writes open (and close overwritten) definitions.
+    switch (isa_) {
+      case Isa::Riscv:
+        if (info.hasDst && di.dst != kRegZero)
+            def(regs_[di.dst], seq, 0);
+        break;
+      case Isa::Straight: {
+        Slot& s = ring_[ringCount_ % 128];
+        if (info.hasDst) {
+            def(s, seq, 0);
+        } else {
+            close(s);  // slot consumed by a valueless instruction
+        }
+        ++ringCount_;
+        if (di.op == Op::SPADDI)
+            def(sp_, seq, 0);
+        break;
+      }
+      case Isa::Clockhands:
+        if (info.hasDst) {
+            def(hands_[di.dst][handCount_[di.dst] % kHandDepth], seq,
+                di.dst);
+            ++handCount_[di.dst];
+        }
+        break;
+    }
+}
+
+void
+LifetimeAnalyzer::finish()
+{
+    for (auto& s : regs_)
+        close(s);
+    for (auto& s : ring_)
+        close(s);
+    close(sp_);
+    for (auto& h : hands_)
+        for (auto& s : h)
+            close(s);
+}
+
+// ---------------------------------------------------------------------
+// MixAnalyzer
+// ---------------------------------------------------------------------
+
+std::string_view
+mixCatName(MixCat cat)
+{
+    switch (cat) {
+      case MixCat::CallRet: return "Call+Ret";
+      case MixCat::Jump: return "Jump";
+      case MixCat::CondBr: return "CondBr";
+      case MixCat::Load: return "Load";
+      case MixCat::Store: return "Store";
+      case MixCat::Alu: return "ALU";
+      case MixCat::MulDiv: return "Mul+Div";
+      case MixCat::Flops: return "FLOPs";
+      case MixCat::Move: return "Move";
+      case MixCat::Nop: return "NOP";
+      case MixCat::Others: return "Others";
+      default: return "?";
+    }
+}
+
+MixCat
+mixCategory(Op op)
+{
+    switch (opInfo(op).cls) {
+      case OpClass::IntAlu: return MixCat::Alu;
+      case OpClass::IntMul:
+      case OpClass::IntDiv: return MixCat::MulDiv;
+      case OpClass::FpAlu:
+      case OpClass::FpDiv: return MixCat::Flops;
+      case OpClass::Load: return MixCat::Load;
+      case OpClass::Store: return MixCat::Store;
+      case OpClass::CondBr: return MixCat::CondBr;
+      case OpClass::Jump: return MixCat::Jump;
+      case OpClass::Call:
+      case OpClass::Ret: return MixCat::CallRet;
+      case OpClass::Move: return MixCat::Move;
+      case OpClass::Nop: return MixCat::Nop;
+      case OpClass::Syscall: return MixCat::Others;
+    }
+    return MixCat::Others;
+}
+
+// ---------------------------------------------------------------------
+// HandUsageAnalyzer
+// ---------------------------------------------------------------------
+
+void
+HandUsageAnalyzer::onInst(const DynInst& di)
+{
+    ++total_;
+    const OpInfo& info = di.info();
+    auto read = [&](uint8_t dist, uint8_t hand) {
+        if (hand == HandS && dist == kHandZeroDist)
+            return;  // zero register, not a hand read
+        ++reads_[hand];
+    };
+    if (info.numSrcs >= 1)
+        read(di.src1, di.src1Hand);
+    if (info.numSrcs >= 2)
+        read(di.src2, di.src2Hand);
+    if (info.hasDst)
+        ++writes_[di.dst];
+    else
+        ++noDst_;
+}
+
+// ---------------------------------------------------------------------
+// RelayAnalyzer
+// ---------------------------------------------------------------------
+
+RelayAnalyzer::RelayAnalyzer(const Program& prog, int maxDist)
+    : prog_(prog), maxDist_(maxDist)
+{
+    CH_ASSERT(prog.isa == Isa::Riscv,
+              "RelayAnalyzer expects a RISC trace (Section 2.2.3)");
+    // Convergence points: static targets of conditional branches and
+    // unconditional jumps (function entries via JAL are not fall-through
+    // convergence points).
+    for (size_t i = 0; i < prog.decoded.size(); ++i) {
+        const Inst& inst = prog.decoded[i];
+        const BrKind k = inst.info().brKind;
+        if (k == BrKind::Cond || k == BrKind::Jump) {
+            convergencePcs_.insert(prog.textBase + 4 * i +
+                                   static_cast<uint64_t>(inst.imm));
+        }
+    }
+    frames_.emplace_back();
+}
+
+int
+RelayAnalyzer::crossingDepth(const Frame& f, uint64_t prodSeq) const
+{
+    int depth = 0;
+    for (auto it = f.loops.rbegin(); it != f.loops.rend(); ++it) {
+        if (it->entrySeq > prodSeq)
+            ++depth;
+        else
+            break;
+    }
+    return depth;
+}
+
+void
+RelayAnalyzer::noteUse(uint64_t prodSeq)
+{
+    if (prodSeq == kNoProducer || frames_.empty())
+        return;
+    Frame& f = frames_.back();
+    if (f.loops.empty())
+        return;
+    const int depth = crossingDepth(f, prodSeq);
+    if (depth >= 1)
+        f.loops.back().constRefs.emplace(prodSeq, depth);
+}
+
+void
+RelayAnalyzer::closeIteration(Loop& loop)
+{
+    report_.mvLoopConstant += loop.constRefs.size();
+    for (const auto& [prod, depth] : loop.constRefs)
+        ++report_.crossDepth[std::min(depth, 31)];
+    loop.constRefs.clear();
+}
+
+void
+RelayAnalyzer::onInst(const DynInst& di)
+{
+    const OpInfo& info = di.info();
+    ++report_.totalInsts;
+
+    // --- Fig 3 "nop": fall-through arrival at a convergence point.
+    if (prevPc_ + 4 == di.pc && convergencePcs_.count(di.pc))
+        ++report_.nopConvergence;
+    prevPc_ = di.pc;
+
+    // --- leave loops whose PC range we are no longer inside.
+    Frame& f = frames_.back();
+    while (!f.loops.empty() && (di.pc < f.loops.back().headerPc ||
+                                di.pc > f.loops.back().backEdgePc)) {
+        f.loops.pop_back();
+    }
+
+    lastArrival_[di.pc] = di.seq;
+
+    // --- loop-constant references (values defined before loop entry).
+    noteUse(di.prod1);
+    noteUse(di.prod2);
+
+    // --- architectural lifetimes for Fig 3 "mv-MaxDistance".
+    auto useReg = [&](uint8_t r) {
+        if (r != kRegZero && regs_[r].live)
+            regs_[r].lastUse = di.seq;
+    };
+    if (info.numSrcs >= 1)
+        useReg(di.src1);
+    if (info.numSrcs >= 2)
+        useReg(di.src2);
+    if (info.hasDst && di.dst != kRegZero) {
+        Slot& s = regs_[di.dst];
+        if (s.live)
+            report_.mvMaxDistance += (s.lastUse - s.defSeq) / maxDist_;
+        s.live = true;
+        s.defSeq = di.seq;
+        s.lastUse = di.seq;
+    }
+
+    // --- control transfers: loop and call structure.
+    if (info.brKind == BrKind::Call || info.brKind == BrKind::IndCall) {
+        frames_.emplace_back();
+        return;
+    }
+    if (info.brKind == BrKind::Ret) {
+        if (frames_.size() > 1)
+            frames_.pop_back();
+        return;
+    }
+    const bool takenBackward =
+        di.taken && info.brKind != BrKind::None && di.nextPc <= di.pc;
+    if (!takenBackward)
+        return;
+
+    Frame& fr = frames_.back();
+    const uint64_t target = di.nextPc;
+    // Back edge of an active loop?
+    for (size_t idx = fr.loops.size(); idx-- > 0;) {
+        if (fr.loops[idx].headerPc == target) {
+            // Inner loops (if any) ended with this jump.
+            while (fr.loops.size() > idx + 1)
+                fr.loops.pop_back();
+            Loop& loop = fr.loops.back();
+            loop.backEdgePc = std::max(loop.backEdgePc, di.pc);
+            closeIteration(loop);
+            return;
+        }
+    }
+    // New loop: iteration 1 already ran without tracking (lower bound).
+    Loop loop;
+    loop.headerPc = target;
+    loop.backEdgePc = di.pc;
+    auto it = lastArrival_.find(target);
+    loop.entrySeq = it != lastArrival_.end() ? it->second : di.seq;
+    fr.loops.push_back(std::move(loop));
+}
+
+RelayReport
+RelayAnalyzer::finish()
+{
+    for (auto& s : regs_) {
+        if (s.live) {
+            report_.mvMaxDistance += (s.lastUse - s.defSeq) / maxDist_;
+            s.live = false;
+        }
+    }
+    return report_;
+}
+
+} // namespace ch

@@ -1,0 +1,322 @@
+#ifndef CH_TRACE_ANALYZERS_H
+#define CH_TRACE_ANALYZERS_H
+
+/**
+ * @file
+ * Trace analyzers reproducing the paper's measurement methodology:
+ *
+ *  - LifetimeAnalyzer: register-lifetime complementary distribution
+ *    (Figs 4, 17, 18), tracked architecturally (a value's lifetime ends
+ *    at its last read before being overwritten).
+ *  - MixAnalyzer: executed-instruction breakdown by type (Fig 15).
+ *  - HandUsageAnalyzer: per-hand read/write counts (Fig 16).
+ *  - RelayAnalyzer: conservative lower bound of the instructions STRAIGHT
+ *    must add to a RISC trace (Fig 3: nop at convergence points,
+ *    mv for max-distance relays, mv for loop constants) plus the
+ *    loop-nesting-depth histogram behind the hand-count sweep (Fig 7).
+ */
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "mem/program.h"
+#include "trace/dyninst.h"
+
+namespace ch {
+
+// ---------------------------------------------------------------------
+// Lifetime distribution (Figs 4, 17, 18).
+// ---------------------------------------------------------------------
+
+/** Power-of-two bucketed histogram of per-definition lifetimes. */
+class LifetimeHistogram
+{
+  public:
+    static constexpr int kBuckets = 64;
+
+    /** Record one definition whose lifetime is @p lifetime instructions. */
+    void
+    record(uint64_t lifetime)
+    {
+        ++defs_;
+        if (lifetime == 0) {
+            ++unused_;
+            return;
+        }
+        ++buckets_[floorLog2(lifetime)];
+    }
+
+    uint64_t definitions() const { return defs_; }
+
+    /** Number of definitions with lifetime >= 2^k. */
+    uint64_t
+    atLeast(int k) const
+    {
+        uint64_t n = 0;
+        for (int i = k; i < kBuckets; ++i)
+            n += buckets_[i];
+        return n;
+    }
+
+    /**
+     * Complementary distribution point: fraction of executed instructions
+     * that define a register living >= 2^k instructions.
+     */
+    double
+    ccdf(int k, uint64_t totalInsts) const
+    {
+        return totalInsts == 0
+                   ? 0.0
+                   : static_cast<double>(atLeast(k)) / totalInsts;
+    }
+
+    void
+    merge(const LifetimeHistogram& other)
+    {
+        defs_ += other.defs_;
+        unused_ += other.unused_;
+        for (int i = 0; i < kBuckets; ++i)
+            buckets_[i] += other.buckets_[i];
+    }
+
+  private:
+    static int
+    floorLog2(uint64_t v)
+    {
+        int r = 0;
+        while (v >>= 1)
+            ++r;
+        return r;
+    }
+
+    uint64_t defs_ = 0;
+    uint64_t unused_ = 0;
+    std::array<uint64_t, kBuckets> buckets_{};
+};
+
+/**
+ * Tracks per-architectural-location definitions and finalizes each
+ * definition's lifetime when the location is overwritten (or when the
+ * trace ends). ISA-aware: RISC registers, the STRAIGHT ring + SP, or the
+ * four Clockhands hands (Fig 18 reports per-hand histograms).
+ */
+class LifetimeAnalyzer : public TraceSink
+{
+  public:
+    explicit LifetimeAnalyzer(Isa isa) : isa_(isa) {}
+
+    void onInst(const DynInst& di) override;
+
+    /** Flush still-live definitions; call once after the run. */
+    void finish();
+
+    const LifetimeHistogram& overall() const { return overall_; }
+    const LifetimeHistogram& perHand(int hand) const { return hand_[hand]; }
+    uint64_t totalInsts() const { return total_; }
+
+  private:
+    struct Slot {
+        bool live = false;
+        uint64_t defSeq = 0;
+        uint64_t lastUse = 0;
+        uint8_t hand = 0;
+    };
+
+    void def(Slot& s, uint64_t seq, uint8_t hand);
+    void use(Slot& s, uint64_t seq);
+    void close(Slot& s);
+
+    Isa isa_;
+    uint64_t total_ = 0;
+    LifetimeHistogram overall_;
+    std::array<LifetimeHistogram, kNumHands> hand_;
+
+    std::array<Slot, 64> regs_{};                    // RISC
+    std::array<Slot, 128> ring_{};                   // STRAIGHT
+    Slot sp_{};                                      // STRAIGHT SP
+    uint64_t ringCount_ = 0;
+    std::array<std::array<Slot, kHandDepth>, kNumHands> hands_{};  // CH
+    std::array<uint64_t, kNumHands> handCount_{};
+};
+
+// ---------------------------------------------------------------------
+// Instruction mix (Fig 15).
+// ---------------------------------------------------------------------
+
+/** Fig 15 instruction categories. */
+enum class MixCat : int {
+    CallRet, Jump, CondBr, Load, Store, Alu, MulDiv, Flops, Move, Nop,
+    Others, kCount
+};
+
+/** Category display name. */
+std::string_view mixCatName(MixCat cat);
+
+/** Category of one op. */
+MixCat mixCategory(Op op);
+
+/** Counts executed instructions per Fig 15 category. */
+class MixAnalyzer : public TraceSink
+{
+  public:
+    void
+    onInst(const DynInst& di) override
+    {
+        ++counts_[static_cast<int>(mixCategory(di.op))];
+        ++total_;
+    }
+
+    uint64_t count(MixCat cat) const
+    {
+        return counts_[static_cast<int>(cat)];
+    }
+    uint64_t total() const { return total_; }
+
+  private:
+    std::array<uint64_t, static_cast<int>(MixCat::kCount)> counts_{};
+    uint64_t total_ = 0;
+};
+
+// ---------------------------------------------------------------------
+// Hand usage (Fig 16). Clockhands traces only.
+// ---------------------------------------------------------------------
+
+/** Counts per-hand source reads and destination writes. */
+class HandUsageAnalyzer : public TraceSink
+{
+  public:
+    void onInst(const DynInst& di) override;
+
+    uint64_t reads(int hand) const { return reads_[hand]; }
+    uint64_t writes(int hand) const { return writes_[hand]; }
+    uint64_t noDst() const { return noDst_; }
+    uint64_t total() const { return total_; }
+
+  private:
+    std::array<uint64_t, kNumHands> reads_{};
+    std::array<uint64_t, kNumHands> writes_{};
+    uint64_t noDst_ = 0;
+    uint64_t total_ = 0;
+};
+
+// ---------------------------------------------------------------------
+// STRAIGHT inevitable-increase lower bound (Fig 3) and the loop-constant
+// nesting-depth histogram behind the hand sweep (Fig 7).
+// ---------------------------------------------------------------------
+
+/** Results of RelayAnalyzer over a RISC trace. */
+struct RelayReport {
+    uint64_t totalInsts = 0;
+
+    /** Fig 3 "nop": fall-through arrivals at branch-convergence points. */
+    uint64_t nopConvergence = 0;
+
+    /** Fig 3 "mv-MaxDistance": sum over defs of floor(lifetime / M). */
+    uint64_t mvMaxDistance = 0;
+
+    /** Fig 3 "mv-LoopConstant": per-iteration relays of loop constants. */
+    uint64_t mvLoopConstant = 0;
+
+    /**
+     * mvLoopConstant broken down by how many nested active loops the
+     * referenced value's definition lies outside of (1 = constant of the
+     * innermost loop only). Drives Fig 7.
+     */
+    std::array<uint64_t, 32> crossDepth{};
+
+    /**
+     * Fig 7: loop-constant relays remaining with @p hands hands.
+     * @p spReserved reserves one hand for SP/args (the paper's second
+     * series). With h general-purpose hands, constants spanning up to
+     * h - 1 nesting levels get a dedicated hand; deeper ones still need
+     * relays. hands=1 equals STRAIGHT (everything relayed).
+     */
+    uint64_t
+    remainingWithHands(int hands, bool spReserved) const
+    {
+        const int general = hands - (spReserved ? 1 : 0);
+        const int covered = general - 1;  // one hand rotates with the loop
+        uint64_t n = 0;
+        for (int d = 0; d < 32; ++d) {
+            if (d > covered)
+                n += crossDepth[d];
+        }
+        return n;
+    }
+
+    /** Total Fig 3 increase as a fraction of executed instructions. */
+    double
+    increaseFraction() const
+    {
+        return totalInsts == 0
+                   ? 0.0
+                   : static_cast<double>(nopConvergence + mvMaxDistance +
+                                         mvLoopConstant) /
+                         totalInsts;
+    }
+};
+
+/**
+ * Conservative (lower-bound) count of the extra instructions a STRAIGHT
+ * conversion of a RISC trace must execute, following Section 2.2.3. Needs
+ * the static Program to know direct-branch targets (convergence points).
+ */
+class RelayAnalyzer : public TraceSink
+{
+  public:
+    /** @p maxDist is the STRAIGHT maximum reference distance M. */
+    explicit RelayAnalyzer(const Program& prog,
+                           int maxDist = kStraightMaxDist);
+
+    void onInst(const DynInst& di) override;
+
+    /** Flush live lifetimes; call once after the run. */
+    RelayReport finish();
+
+  private:
+    struct Loop {
+        uint64_t headerPc;
+        uint64_t backEdgePc;
+        uint64_t entrySeq;      ///< first arrival at the header
+        /** Outside-defined producers referenced in the current iteration,
+         *  with the crossing depth recorded at first reference. */
+        std::unordered_map<uint64_t, int> constRefs;
+    };
+
+    struct Frame {
+        std::vector<Loop> loops;  ///< active loop nest in this function
+    };
+
+    void closeIteration(Loop& loop);
+    int crossingDepth(const Frame& f, uint64_t prodSeq) const;
+    void noteUse(uint64_t prodSeq);
+
+    const Program& prog_;
+    const int maxDist_;
+
+    std::unordered_set<uint64_t> convergencePcs_;
+    uint64_t prevPc_ = ~0ull;
+    bool prevWasBranch_ = false;
+
+    std::vector<Frame> frames_;
+    std::unordered_map<uint64_t, uint64_t> lastArrival_;  // pc -> seq
+
+    // Architectural lifetime tracking for mv-MaxDistance (RISC regs).
+    struct Slot {
+        bool live = false;
+        uint64_t defSeq = 0;
+        uint64_t lastUse = 0;
+    };
+    std::array<Slot, 64> regs_{};
+
+    RelayReport report_;
+};
+
+} // namespace ch
+
+#endif // CH_TRACE_ANALYZERS_H

@@ -1,0 +1,78 @@
+#ifndef CH_TRACE_DYNINST_H
+#define CH_TRACE_DYNINST_H
+
+/**
+ * @file
+ * Dynamic (executed) instruction record streamed from the functional
+ * emulators to trace analyzers and the timing model. The emulator
+ * annotates each record with the dynamic sequence numbers of the
+ * instructions that produced its source operands, so lifetime/loop
+ * analyses can stay ISA-generic.
+ */
+
+#include <cstdint>
+#include <vector>
+
+#include "isa/isa.h"
+
+namespace ch {
+
+/** Producer marker for operands with no dynamic producer (zero, imm). */
+constexpr uint64_t kNoProducer = ~0ull;
+
+/** One executed instruction. */
+struct DynInst {
+    uint64_t seq = 0;       ///< dynamic instruction index, from 0
+    uint64_t pc = 0;
+    Op op = Op::NOP;
+
+    // Static operand fields, copied from the decoded instruction.
+    uint8_t dst = 0;
+    uint8_t src1 = 0, src2 = 0;
+    uint8_t src1Hand = 0, src2Hand = 0;
+    int64_t imm = 0;
+
+    /** Dynamic seq of the producer of each register source operand. */
+    uint64_t prod1 = kNoProducer;
+    uint64_t prod2 = kNoProducer;
+
+    /** Effective address for loads/stores. */
+    uint64_t memAddr = 0;
+
+    /** Architectural next PC (branch resolution ground truth). */
+    uint64_t nextPc = 0;
+
+    /** Conditional-branch outcome. */
+    bool taken = false;
+
+    const OpInfo& info() const { return opInfo(op); }
+};
+
+/** Consumer of the dynamic instruction stream. */
+class TraceSink
+{
+  public:
+    virtual ~TraceSink() = default;
+    virtual void onInst(const DynInst& di) = 0;
+};
+
+/** Fan-out sink feeding several analyzers in one emulator pass. */
+class TeeSink : public TraceSink
+{
+  public:
+    void add(TraceSink* sink) { sinks_.push_back(sink); }
+
+    void
+    onInst(const DynInst& di) override
+    {
+        for (auto* s : sinks_)
+            s->onInst(di);
+    }
+
+  private:
+    std::vector<TraceSink*> sinks_;
+};
+
+} // namespace ch
+
+#endif // CH_TRACE_DYNINST_H

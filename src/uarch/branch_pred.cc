@@ -1,0 +1,180 @@
+#include "uarch/branch_pred.h"
+
+#include "common/bitutil.h"
+
+namespace ch {
+
+// ---------------------------------------------------------------------
+// TAGE
+// ---------------------------------------------------------------------
+
+Tage::Tage()
+    : base_(1 << kBaseBits, 0),
+      histLen_{4, 8, 16, 32, 64, 96, 130}
+{
+    for (auto& t : tables_)
+        t.assign(1 << kIdxBits, Entry{});
+}
+
+int
+Tage::index(uint64_t pc, int table) const
+{
+    const uint64_t folded = history_.fold(histLen_[table], kIdxBits);
+    return static_cast<int>(
+        ((pc >> 2) ^ (pc >> (kIdxBits + 2)) ^ folded ^
+         static_cast<uint64_t>(table) * 0x9e3779b9u) &
+        ((1u << kIdxBits) - 1));
+}
+
+uint16_t
+Tage::tag(uint64_t pc, int table) const
+{
+    const uint64_t folded = history_.fold(histLen_[table], kTagBits);
+    return static_cast<uint16_t>(
+        ((pc >> 2) ^ (pc >> (kTagBits + 2)) ^ (folded << 1) ^
+         static_cast<uint64_t>(table) * 0x45d9f3bu) &
+        ((1u << kTagBits) - 1));
+}
+
+Tage::Lookup
+Tage::look(uint64_t pc) const
+{
+    Lookup lk;
+    const int baseIdx =
+        static_cast<int>((pc >> 2) & ((1u << kBaseBits) - 1));
+    lk.pred = base_[baseIdx] >= 0;
+    lk.altPred = lk.pred;
+    for (int t = kTables - 1; t >= 0; --t) {
+        const int idx = index(pc, t);
+        if (tables_[t][idx].tag == tag(pc, t)) {
+            if (lk.provider < 0) {
+                lk.provider = t;
+                lk.providerIdx = idx;
+                lk.altPred = lk.pred;
+                lk.pred = tables_[t][idx].ctr >= 0;
+            } else {
+                lk.altPred = tables_[t][idx].ctr >= 0;
+                break;
+            }
+        }
+    }
+    return lk;
+}
+
+bool
+Tage::predict(uint64_t pc)
+{
+    return look(pc).pred;
+}
+
+void
+Tage::update(uint64_t pc, bool taken)
+{
+    Lookup lk = look(pc);
+    const int baseIdx =
+        static_cast<int>((pc >> 2) & ((1u << kBaseBits) - 1));
+
+    auto bump = [](int8_t& ctr, bool up, int lo, int hi) {
+        if (up && ctr < hi)
+            ++ctr;
+        else if (!up && ctr > lo)
+            --ctr;
+    };
+
+    if (lk.provider >= 0) {
+        Entry& e = tables_[lk.provider][lk.providerIdx];
+        bump(e.ctr, taken, -4, 3);
+        if (lk.pred != lk.altPred) {
+            if (lk.pred == taken && e.useful < 3)
+                ++e.useful;
+            else if (lk.pred != taken && e.useful > 0)
+                --e.useful;
+        }
+    } else {
+        bump(base_[baseIdx], taken, -2, 1);
+    }
+
+    // Allocate a longer-history entry on a misprediction.
+    if (lk.pred != taken && lk.provider < kTables - 1) {
+        rng_ = rng_ * 6364136223846793005ull + 1442695040888963407ull;
+        const int start = lk.provider + 1;
+        bool allocated = false;
+        for (int t = start; t < kTables && !allocated; ++t) {
+            const int idx = index(pc, t);
+            Entry& e = tables_[t][idx];
+            if (e.useful == 0) {
+                e.tag = tag(pc, t);
+                e.ctr = taken ? 0 : -1;
+                allocated = true;
+            }
+        }
+        if (!allocated) {
+            // Decay a useful bit somewhere to make room eventually.
+            const int t = start + static_cast<int>((rng_ >> 33) %
+                                                   (kTables - start));
+            const int idx = index(pc, t);
+            if (tables_[t][idx].useful > 0)
+                --tables_[t][idx].useful;
+        }
+    }
+
+    history_.push(taken);
+}
+
+// ---------------------------------------------------------------------
+// BTB
+// ---------------------------------------------------------------------
+
+Btb::Btb(int entries, int ways)
+    : sets_(entries / ways), ways_(ways), entries_(entries)
+{
+    // Unique LRU ranks per set (0 = MRU .. ways-1 = LRU victim).
+    for (int set = 0; set < sets_; ++set) {
+        for (int w = 0; w < ways_; ++w)
+            entries_[static_cast<size_t>(set) * ways_ + w].lru =
+                static_cast<uint8_t>(w);
+    }
+}
+
+uint64_t
+Btb::lookup(uint64_t pc)
+{
+    const int set = static_cast<int>((pc >> 2) % sets_);
+    Entry* base = &entries_[static_cast<size_t>(set) * ways_];
+    for (int w = 0; w < ways_; ++w) {
+        if (base[w].tag == pc) {
+            for (int x = 0; x < ways_; ++x) {
+                if (base[x].lru < base[w].lru)
+                    ++base[x].lru;
+            }
+            base[w].lru = 0;
+            return base[w].target;
+        }
+    }
+    return 0;
+}
+
+void
+Btb::insert(uint64_t pc, uint64_t target)
+{
+    const int set = static_cast<int>((pc >> 2) % sets_);
+    Entry* base = &entries_[static_cast<size_t>(set) * ways_];
+    Entry* victim = &base[0];
+    for (int w = 0; w < ways_; ++w) {
+        if (base[w].tag == pc) {
+            victim = &base[w];
+            break;
+        }
+        if (base[w].lru >= victim->lru)
+            victim = &base[w];
+    }
+    for (int x = 0; x < ways_; ++x) {
+        if (base[x].lru < victim->lru)
+            ++base[x].lru;
+    }
+    victim->tag = pc;
+    victim->target = target;
+    victim->lru = 0;
+}
+
+} // namespace ch

@@ -1,0 +1,154 @@
+#ifndef CH_UARCH_BRANCH_PRED_H
+#define CH_UARCH_BRANCH_PRED_H
+
+/**
+ * @file
+ * Branch prediction for the cycle-level model (Table 2): an 8-component
+ * TAGE direction predictor with up to 130 bits of global history and an
+ * 8 KiB budget, a 4-way 8192-entry BTB, and a 16-entry return address
+ * stack. All three ISAs share the same front-end predictors, as in the
+ * paper's machine models.
+ */
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "uarch/config.h"
+
+namespace ch {
+
+/** Folded global branch history (up to 192 bits kept). */
+class GlobalHistory
+{
+  public:
+    void
+    push(bool taken)
+    {
+        const uint64_t carry1 = bits_[0] >> 63;
+        const uint64_t carry2 = bits_[1] >> 63;
+        bits_[0] = (bits_[0] << 1) | (taken ? 1 : 0);
+        bits_[1] = (bits_[1] << 1) | carry1;
+        bits_[2] = (bits_[2] << 1) | carry2;
+    }
+
+    /** XOR-fold the newest @p len history bits down to @p outBits. */
+    uint64_t
+    fold(int len, int outBits) const
+    {
+        uint64_t acc = 0;
+        int taken = 0;
+        for (int w = 0; w < 3 && taken < len; ++w) {
+            const int take = std::min(64, len - taken);
+            uint64_t v = bits_[w];
+            if (take < 64)
+                v &= (1ull << take) - 1;
+            acc ^= v;
+            taken += take;
+        }
+        // Reduce 64 bits to outBits.
+        uint64_t out = 0;
+        for (int i = 0; i < 64; i += outBits)
+            out ^= (acc >> i);
+        return out & ((1ull << outBits) - 1);
+    }
+
+  private:
+    std::array<uint64_t, 3> bits_{};
+};
+
+/** 8-component TAGE direction predictor. */
+class Tage
+{
+  public:
+    Tage();
+
+    /** Predict the direction of the conditional branch at @p pc. */
+    bool predict(uint64_t pc);
+
+    /** Update with the architectural outcome, then advance history. */
+    void update(uint64_t pc, bool taken);
+
+  private:
+    static constexpr int kTables = 7;     ///< tagged tables (+1 base)
+    static constexpr int kBaseBits = 12;  ///< 4K-entry bimodal base
+    static constexpr int kIdxBits = 9;    ///< 512 entries per tagged table
+    static constexpr int kTagBits = 9;
+
+    struct Entry {
+        uint16_t tag = 0;
+        int8_t ctr = 0;     ///< -4..3, taken when >= 0
+        uint8_t useful = 0;
+    };
+
+    int index(uint64_t pc, int table) const;
+    uint16_t tag(uint64_t pc, int table) const;
+
+    // Prediction bookkeeping between predict() and update().
+    struct Lookup {
+        int provider = -1;   ///< -1 = base
+        int providerIdx = 0;
+        bool pred = false;
+        bool altPred = false;
+    };
+    Lookup look(uint64_t pc) const;
+
+    std::vector<int8_t> base_;                       ///< 2-bit counters
+    std::array<std::vector<Entry>, kTables> tables_;
+    std::array<int, kTables> histLen_;
+    GlobalHistory history_;
+    uint64_t rng_ = 0x853c49e6748fea9bull;
+};
+
+/** Set-associative branch target buffer. */
+class Btb
+{
+  public:
+    Btb(int entries, int ways);
+
+    /** Predicted target for @p pc; 0 when absent. */
+    uint64_t lookup(uint64_t pc);
+
+    void insert(uint64_t pc, uint64_t target);
+
+  private:
+    struct Entry {
+        uint64_t tag = ~0ull;
+        uint64_t target = 0;
+        uint8_t lru = 0;
+    };
+
+    int sets_;
+    int ways_;
+    std::vector<Entry> entries_;
+};
+
+/** Return address stack. */
+class Ras
+{
+  public:
+    explicit Ras(int entries) : stack_(entries, 0) {}
+
+    void
+    push(uint64_t addr)
+    {
+        top_ = (top_ + 1) % stack_.size();
+        stack_[top_] = addr;
+    }
+
+    uint64_t
+    pop()
+    {
+        const uint64_t addr = stack_[top_];
+        top_ = (top_ + stack_.size() - 1) % stack_.size();
+        return addr;
+    }
+
+  private:
+    std::vector<uint64_t> stack_;
+    size_t top_ = 0;
+};
+
+} // namespace ch
+
+#endif // CH_UARCH_BRANCH_PRED_H

@@ -1,0 +1,195 @@
+#include "uarch/cache.h"
+
+#include "common/bitutil.h"
+#include "common/logging.h"
+
+namespace ch {
+
+// ---------------------------------------------------------------------
+// Cache
+// ---------------------------------------------------------------------
+
+Cache::Cache(int sizeKiB, int ways, int lineBytes)
+    : ways_(ways), lineShift_(static_cast<int>(floorLog2(lineBytes)))
+{
+    const int64_t lines = int64_t{sizeKiB} * 1024 / lineBytes;
+    sets_ = static_cast<int>(lines / ways);
+    CH_ASSERT(sets_ > 0 && isPowerOf2(static_cast<uint64_t>(sets_)),
+              "cache sets must be a power of two");
+    lines_.assign(static_cast<size_t>(sets_) * ways_, Line{});
+    // Unique LRU ranks per set (0 = MRU .. ways-1 = LRU victim).
+    for (int set = 0; set < sets_; ++set) {
+        for (int w = 0; w < ways_; ++w)
+            lines_[static_cast<size_t>(set) * ways_ + w].lru = w;
+    }
+}
+
+size_t
+Cache::lineIndex(uint64_t addr, int* setOut) const
+{
+    const uint64_t line = addr >> lineShift_;
+    const int set = static_cast<int>(line & (sets_ - 1));
+    *setOut = set;
+    return static_cast<size_t>(set) * ways_;
+}
+
+bool
+Cache::access(uint64_t addr)
+{
+    int set;
+    const size_t base = lineIndex(addr, &set);
+    const uint64_t tag = addr >> lineShift_;
+    for (int w = 0; w < ways_; ++w) {
+        Line& line = lines_[base + w];
+        if (line.tag == tag) {
+            for (int x = 0; x < ways_; ++x) {
+                if (lines_[base + x].lru < line.lru)
+                    ++lines_[base + x].lru;
+            }
+            line.lru = 0;
+            return true;
+        }
+    }
+    fill(addr);
+    return false;
+}
+
+bool
+Cache::fill(uint64_t addr)
+{
+    int set;
+    const size_t base = lineIndex(addr, &set);
+    const uint64_t tag = addr >> lineShift_;
+    Line* victim = &lines_[base];
+    for (int w = 0; w < ways_; ++w) {
+        Line& line = lines_[base + w];
+        if (line.tag == tag)
+            return false;  // already present
+        if (line.lru >= victim->lru)
+            victim = &line;
+    }
+    for (int x = 0; x < ways_; ++x) {
+        if (lines_[base + x].lru < victim->lru)
+            ++lines_[base + x].lru;
+    }
+    victim->tag = tag;
+    victim->lru = 0;
+    return true;
+}
+
+bool
+Cache::probe(uint64_t addr) const
+{
+    int set;
+    const size_t base = lineIndex(addr, &set);
+    const uint64_t tag = addr >> lineShift_;
+    for (int w = 0; w < ways_; ++w) {
+        if (lines_[base + w].tag == tag)
+            return true;
+    }
+    return false;
+}
+
+// ---------------------------------------------------------------------
+// StreamPrefetcher
+// ---------------------------------------------------------------------
+
+StreamPrefetcher::StreamPrefetcher(int distance, int degree, int lineBytes)
+    : distance_(distance),
+      degree_(degree),
+      lineShift_(static_cast<int>(floorLog2(lineBytes))),
+      streams_(16)
+{
+}
+
+std::vector<uint64_t>
+StreamPrefetcher::onMiss(uint64_t addr)
+{
+    const uint64_t line = addr >> lineShift_;
+    std::vector<uint64_t> out;
+
+    // Find a stream this miss continues.
+    for (auto& s : streams_) {
+        if (s.lastLine == 0)
+            continue;
+        const int64_t delta =
+            static_cast<int64_t>(line) - static_cast<int64_t>(s.lastLine);
+        if (delta != 0 && delta >= -2 && delta <= 2) {
+            const int dir = delta > 0 ? 1 : -1;
+            if (s.dir == dir || s.dir == 0) {
+                s.dir = dir;
+                s.lastLine = line;
+                if (s.confidence < 4)
+                    ++s.confidence;
+                if (s.confidence >= 2) {
+                    for (int d = 0; d < degree_; ++d) {
+                        const int64_t target =
+                            static_cast<int64_t>(line) +
+                            int64_t{dir} * (distance_ + d);
+                        if (target > 0) {
+                            out.push_back(static_cast<uint64_t>(target)
+                                          << lineShift_);
+                        }
+                    }
+                }
+                return out;
+            }
+        }
+    }
+    // Allocate (round-robin by line hash).
+    Stream& s = streams_[line % streams_.size()];
+    s.lastLine = line;
+    s.dir = 0;
+    s.confidence = 0;
+    return out;
+}
+
+// ---------------------------------------------------------------------
+// MemoryHierarchy
+// ---------------------------------------------------------------------
+
+MemoryHierarchy::MemoryHierarchy(const MachineConfig& cfg, StatGroup* stats)
+    : cfg_(cfg),
+      stats_(stats),
+      l1i_(cfg.l1iSizeKiB, cfg.l1iWays, cfg.lineBytes),
+      l1d_(cfg.l1dSizeKiB, cfg.l1dWays, cfg.lineBytes),
+      l2_(cfg.l2SizeKiB, cfg.l2Ways, cfg.lineBytes),
+      prefetcher_(cfg.prefetchDistance, cfg.prefetchDegree, cfg.lineBytes)
+{
+}
+
+int
+MemoryHierarchy::sharedAccess(uint64_t addr)
+{
+    ++stats_->counter("cache.l2.accesses");
+    if (l2_.access(addr))
+        return cfg_.l2Latency;
+    ++stats_->counter("cache.l2.misses");
+    for (uint64_t pf : prefetcher_.onMiss(addr)) {
+        if (l2_.fill(pf))
+            ++stats_->counter("cache.l2.prefetches");
+    }
+    return cfg_.l2Latency + cfg_.memLatency;
+}
+
+int
+MemoryHierarchy::fetchAccess(uint64_t pc)
+{
+    ++stats_->counter("cache.l1i.accesses");
+    if (l1i_.access(pc))
+        return cfg_.l1iLatency;
+    ++stats_->counter("cache.l1i.misses");
+    return cfg_.l1iLatency + sharedAccess(pc);
+}
+
+int
+MemoryHierarchy::dataAccess(uint64_t addr, bool isStore)
+{
+    ++stats_->counter(isStore ? "cache.l1d.writes" : "cache.l1d.reads");
+    if (l1d_.access(addr))
+        return cfg_.l1dLatency;
+    ++stats_->counter("cache.l1d.misses");
+    return cfg_.l1dLatency + sharedAccess(addr);
+}
+
+} // namespace ch

@@ -1,0 +1,96 @@
+#ifndef CH_UARCH_CACHE_H
+#define CH_UARCH_CACHE_H
+
+/**
+ * @file
+ * Set-associative LRU caches and the two-level hierarchy used by the
+ * cycle-level model (Table 2): 128 KiB L1I and L1D, a shared 8 MiB L2
+ * with a stream prefetcher (distance 8, degree 2), and flat-latency main
+ * memory.
+ */
+
+#include <cstdint>
+#include <vector>
+
+#include "common/stats.h"
+#include "uarch/config.h"
+
+namespace ch {
+
+/** One set-associative cache level (tag/LRU state only). */
+class Cache
+{
+  public:
+    Cache(int sizeKiB, int ways, int lineBytes);
+
+    /** Access a line; returns true on hit and updates LRU / fills. */
+    bool access(uint64_t addr);
+
+    /** Fill without an access (prefetch). Returns true if newly filled. */
+    bool fill(uint64_t addr);
+
+    /** True when the line is present (no LRU update). */
+    bool probe(uint64_t addr) const;
+
+  private:
+    struct Line {
+        uint64_t tag = ~0ull;
+        uint32_t lru = 0;
+    };
+
+    size_t lineIndex(uint64_t addr, int* setOut) const;
+
+    int sets_;
+    int ways_;
+    int lineShift_;
+    std::vector<Line> lines_;
+};
+
+/** Simple stream prefetcher (Srinath-style distance/degree). */
+class StreamPrefetcher
+{
+  public:
+    StreamPrefetcher(int distance, int degree, int lineBytes);
+
+    /** Observe a demand miss; returns lines to prefetch. */
+    std::vector<uint64_t> onMiss(uint64_t addr);
+
+  private:
+    struct Stream {
+        uint64_t lastLine = 0;
+        int dir = 0;
+        int confidence = 0;
+    };
+
+    int distance_;
+    int degree_;
+    int lineShift_;
+    std::vector<Stream> streams_;
+};
+
+/** The full hierarchy: returns access latency and counts events. */
+class MemoryHierarchy
+{
+  public:
+    MemoryHierarchy(const MachineConfig& cfg, StatGroup* stats);
+
+    /** Instruction-fetch access latency for the line at @p pc. */
+    int fetchAccess(uint64_t pc);
+
+    /** Data access latency (loads and committed stores). */
+    int dataAccess(uint64_t addr, bool isStore);
+
+  private:
+    int sharedAccess(uint64_t addr);  ///< L2 + memory + prefetch
+
+    const MachineConfig& cfg_;
+    StatGroup* stats_;
+    Cache l1i_;
+    Cache l1d_;
+    Cache l2_;
+    StreamPrefetcher prefetcher_;
+};
+
+} // namespace ch
+
+#endif // CH_UARCH_CACHE_H

@@ -1,0 +1,54 @@
+#include "uarch/config.h"
+
+#include "common/logging.h"
+
+namespace ch {
+
+MachineConfig
+MachineConfig::preset(int fetchWidth)
+{
+    MachineConfig cfg;
+    cfg.fetchWidth = fetchWidth;
+    cfg.commitWidth = fetchWidth;
+
+    // Table 2: ROB grows aggressively; scheduler and LSQ conservatively.
+    switch (fetchWidth) {
+      case 4:
+        cfg.robSize = 256;
+        cfg.schedSize = 128;
+        break;
+      case 6:
+        cfg.robSize = 640;
+        cfg.schedSize = 192;
+        break;
+      case 8:
+        cfg.robSize = 1024;
+        cfg.schedSize = 256;
+        break;
+      case 12:
+        cfg.robSize = 2048;
+        cfg.schedSize = 384;
+        break;
+      case 16:
+        cfg.robSize = 4096;
+        cfg.schedSize = 512;
+        break;
+      default:
+        fatal("no Table 2 preset for fetch width ", fetchWidth);
+    }
+    cfg.loadQueue = cfg.schedSize / 2;
+    cfg.storeQueue = 3 * cfg.schedSize / 8;
+
+    // Issue width and execution units: the full complement for the 12-
+    // and 16-fetch models, halved (ceil) for the smaller ones.
+    if (fetchWidth >= 12) {
+        cfg.issueWidth = 16;
+        cfg.fu = {8, 4, 3, 2, 2, 1, 1};
+    } else {
+        cfg.issueWidth = 8;
+        cfg.fu = {4, 2, 2, 1, 1, 1, 1};
+    }
+    return cfg;
+}
+
+} // namespace ch

@@ -1,0 +1,126 @@
+#ifndef CH_UARCH_CONFIG_H
+#define CH_UARCH_CONFIG_H
+
+/**
+ * @file
+ * Machine configurations for the cycle-level model, following the
+ * paper's Table 2. The 6-fetch model derives from Apple M1-class
+ * parameters; larger models scale the ROB aggressively and the
+ * scheduler/LSQ conservatively, exactly as the paper describes.
+ */
+
+#include <cstdint>
+
+#include "isa/isa.h"
+
+namespace ch {
+
+/** Per-class functional-unit counts. */
+struct FuCounts {
+    int intAlu = 4;
+    int fp = 2;
+    int load = 2;
+    int store = 1;
+    int iMul = 1;
+    int iDiv = 1;
+    int fDiv = 1;
+};
+
+/** One simulated machine (Table 2 column). */
+struct MachineConfig {
+    int fetchWidth = 8;
+
+    /**
+     * Extra rename pipeline stages beyond the 5-cycle base front end; -1
+     * selects the per-ISA default (2 for conventional RISC, 0 for the
+     * rename-free ISAs, Table 2). Overridable for ablation studies.
+     */
+    int renameStagesOverride = -1;
+
+    /**
+     * Front-end depth in cycles: fetch(3) + decode(1) + dispatch(1), plus
+     * rename(2) for conventional RISC only (Table 2: RISC-V 7 cycles,
+     * STRAIGHT/Clockhands 5 cycles).
+     */
+    int frontendDepth(Isa isa) const
+    {
+        if (renameStagesOverride >= 0)
+            return 5 + renameStagesOverride;
+        return isa == Isa::Riscv ? 7 : 5;
+    }
+
+    int issueWidth = 8;
+    int issueLatency = 4;   ///< payload RAM read + register read
+    int commitWidth = 8;
+
+    int robSize = 1024;
+    int schedSize = 256;    ///< unified scheduler entries (S)
+    int loadQueue = 128;    ///< S/2
+    int storeQueue = 96;    ///< 3S/8
+
+    FuCounts fu;
+
+    // Physical registers.
+    //  RISC: unified x robSize; STRAIGHT/Clockhands: 128 + robSize, with
+    //  the per-hand quota split of Table 2.
+    int physRegsRisc() const { return robSize; }
+    int physRegsRenameFree() const { return 128 + robSize; }
+
+    /**
+     * Use an equal per-hand register split instead of Table 2's usage-
+     * weighted quota (ablation knob).
+     */
+    bool equalHandQuota = false;
+
+    /** Clockhands per-hand quota: s, t, u, v (Table 2). */
+    int
+    handQuota(int hand) const
+    {
+        if (equalHandQuota)
+            return physRegsRenameFree() / kNumHands;
+        const int r = robSize;
+        switch (hand) {
+          case HandS: return 32 + 2 * r / 64;
+          case HandT: return 32 + 48 * r / 64;
+          case HandU: return 32 + 9 * r / 64;
+          case HandV: return 32 + 5 * r / 64;
+        }
+        return 0;
+    }
+
+    // Branch prediction.
+    int btbEntries = 8192;
+    int btbWays = 4;
+    int rasEntries = 16;
+
+    // Memory hierarchy (latencies in cycles).
+    int l1iSizeKiB = 128, l1iWays = 8, l1iLatency = 3;
+    int l1dSizeKiB = 128, l1dWays = 8, l1dLatency = 3;
+    int l2SizeKiB = 8192, l2Ways = 16, l2Latency = 12;
+    int memLatency = 80;
+    int lineBytes = 64;
+    int prefetchDistance = 8, prefetchDegree = 2;
+
+    // Store sets.
+    int ssitEntries = 4096;   ///< store IDs
+    int lfstEntries = 512;    ///< producers
+
+    // Execution latencies per class.
+    int latIntAlu = 1;
+    int latMove = 1;
+    int latBranch = 1;
+    int latIntMul = 3;
+    int latIntDiv = 20;
+    int latFpAlu = 4;
+    int latFpDiv = 20;
+    int latStoreAgu = 1;
+    int latForward = 2;       ///< store-to-load forwarding
+    int replayPenalty = 8;    ///< memory-order violation replay
+
+    /** Table 2 preset by fetch width (4, 6, 8, 12, 16). */
+    static MachineConfig preset(int fetchWidth);
+};
+
+} // namespace ch
+
+#endif // CH_UARCH_CONFIG_H

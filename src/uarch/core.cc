@@ -1,0 +1,425 @@
+#include "uarch/core.h"
+
+#include "common/bitutil.h"
+#include "common/logging.h"
+
+namespace ch {
+
+namespace {
+
+/** Smallest power of two >= n. */
+size_t
+pow2At(size_t n)
+{
+    size_t p = 1;
+    while (p < n)
+        p <<= 1;
+    return p;
+}
+
+} // namespace
+
+CycleSim::CycleSim(const MachineConfig& cfg, Isa isa)
+    : cfg_(cfg),
+      isa_(isa),
+      btb_(cfg.btbEntries, cfg.btbWays),
+      ras_(cfg.rasEntries),
+      mem_(cfg_, &stats_),
+      storeSets_(cfg.ssitEntries, cfg.lfstEntries),
+      readyForUse_(pow2At(cfg.robSize * 2)),
+      complete_(pow2At(cfg.robSize * 2)),
+      commit_(pow2At(cfg.robSize * 2))
+{
+}
+
+int
+CycleSim::fuLatency(OpClass cls) const
+{
+    switch (cls) {
+      case OpClass::IntAlu: return cfg_.latIntAlu;
+      case OpClass::Move: return cfg_.latMove;
+      case OpClass::Nop: return cfg_.latMove;
+      case OpClass::Syscall: return cfg_.latIntAlu;
+      case OpClass::IntMul: return cfg_.latIntMul;
+      case OpClass::IntDiv: return cfg_.latIntDiv;
+      case OpClass::FpAlu: return cfg_.latFpAlu;
+      case OpClass::FpDiv: return cfg_.latFpDiv;
+      case OpClass::CondBr:
+      case OpClass::Jump:
+      case OpClass::Call:
+      case OpClass::Ret: return cfg_.latBranch;
+      case OpClass::Store: return cfg_.latStoreAgu;
+      case OpClass::Load: return 1;  // AGU; cache latency added separately
+    }
+    return 1;
+}
+
+int
+CycleSim::fuPoolId(OpClass cls) const
+{
+    switch (cls) {
+      case OpClass::IntMul: return 1;
+      case OpClass::IntDiv: return 2;
+      case OpClass::FpAlu: return 3;
+      case OpClass::FpDiv: return 4;
+      case OpClass::Load: return 5;
+      case OpClass::Store: return 6;
+      default: return 0;  // integer ALU pool (incl. branches, moves)
+    }
+}
+
+int
+CycleSim::fuPoolLimit(OpClass cls) const
+{
+    switch (fuPoolId(cls)) {
+      case 1: return cfg_.fu.iMul;
+      case 2: return cfg_.fu.iDiv;
+      case 3: return cfg_.fu.fp;
+      case 4: return cfg_.fu.fDiv;
+      case 5: return cfg_.fu.load;
+      case 6: return cfg_.fu.store;
+      default: return cfg_.fu.intAlu;
+    }
+}
+
+uint64_t
+CycleSim::arbitrate(int pool, int limit, uint64_t from)
+{
+    uint64_t c = from;
+    while (static_cast<int>(fuSlots_[pool].get(c)) >= limit ||
+           static_cast<int>(issueSlots_.get(c)) >= cfg_.issueWidth) {
+        ++c;
+    }
+    fuSlots_[pool].inc(c);
+    issueSlots_.inc(c);
+    return c;
+}
+
+uint64_t
+CycleSim::stageFetch(const DynInst& di)
+{
+    // Respect redirects (squashes) and per-cycle fetch bandwidth.
+    if (fetchCycle_ < redirectAt_) {
+        fetchCycle_ = redirectAt_;
+        fetchedThisCycle_ = 0;
+        lastFetchLine_ = ~0ull;
+    }
+    if (fetchedThisCycle_ >= cfg_.fetchWidth) {
+        ++fetchCycle_;
+        fetchedThisCycle_ = 0;
+    }
+
+    // Instruction cache: one tag access per new line touched.
+    const uint64_t line = di.pc / cfg_.lineBytes;
+    if (line != lastFetchLine_) {
+        const int lat = mem_.fetchAccess(di.pc);
+        if (lat > cfg_.l1iLatency) {
+            fetchCycle_ += lat - cfg_.l1iLatency;
+            fetchedThisCycle_ = 0;
+        }
+        lastFetchLine_ = line;
+    }
+
+    const uint64_t cycle = fetchCycle_;
+    ++fetchedThisCycle_;
+    ++stats_.counter("fetch.insts");
+
+    // A taken control transfer ends the fetch group.
+    if (di.info().isBranch() && di.taken) {
+        ++fetchCycle_;
+        fetchedThisCycle_ = 0;
+        lastFetchLine_ = ~0ull;
+    }
+    return cycle;
+}
+
+uint64_t
+CycleSim::stageDispatch(const DynInst& di, uint64_t fetchCycle)
+{
+    const OpInfo& info = di.info();
+    uint64_t c = fetchCycle + cfg_.frontendDepth(isa_);
+    if (c < lastDispatch_)
+        c = lastDispatch_;  // in-order dispatch
+
+    // ROB slot: the (seq - R)-th instruction must have committed.
+    if (seq_ >= static_cast<uint64_t>(cfg_.robSize)) {
+        const uint64_t freer = commit_.get(seq_ - cfg_.robSize) + 1;
+        if (c < freer)
+            c = freer;
+    }
+
+    auto queueConstraint = [&](MinHeap& q, int cap) {
+        while (!q.empty() && q.top() <= c)
+            q.pop();
+        while (static_cast<int>(q.size()) >= cap) {
+            if (c < q.top())
+                c = q.top();
+            q.pop();
+        }
+    };
+
+    // Scheduler entry (freed at issue).
+    queueConstraint(iq_, cfg_.schedSize);
+    // LSQ entries (freed at commit).
+    if (info.isLoad())
+        queueConstraint(loadQ_, cfg_.loadQueue);
+    if (info.isStore())
+        queueConstraint(storeQ_, cfg_.storeQueue);
+
+    // Physical register allocation.
+    const bool allocates =
+        isa_ == Isa::Straight ? true : info.hasDst;
+    if (allocates) {
+        switch (isa_) {
+          case Isa::Riscv:
+            // Free list: PRF (= R) minus the 64 architectural mappings.
+            queueConstraint(physRegs_, cfg_.physRegsRisc() - 64);
+            ++stats_.counter("rename.dstWrites");
+            break;
+          case Isa::Straight:
+            // Ring wraparound: stall within maxdist of the oldest RP.
+            queueConstraint(ringRegs_,
+                            cfg_.physRegsRenameFree() - 128);
+            ++stats_.counter("rename.dstWrites");
+            break;
+          case Isa::Clockhands:
+            queueConstraint(handRegs_[di.dst],
+                            cfg_.handQuota(di.dst) - kHandDepth);
+            ++stats_.counter("rename.dstWrites");
+            break;
+        }
+    }
+    lastDispatch_ = c;
+    ++stats_.counter("dispatch.insts");
+    if (info.isBranch())
+        ++stats_.counter("rename.checkpoints");
+    return c;
+}
+
+void
+CycleSim::handleBranchPrediction(const DynInst& di, uint64_t resolveCycle)
+{
+    const OpInfo& info = di.info();
+    bool mispredict = false;
+
+    switch (info.brKind) {
+      case BrKind::Cond: {
+        ++stats_.counter("branch.conds");
+        const bool pred = tage_.predict(di.pc);
+        tage_.update(di.pc, di.taken);
+        if (pred != di.taken) {
+            mispredict = true;
+            ++stats_.counter("branch.mispredicts");
+        } else if (di.taken && btb_.lookup(di.pc) != di.nextPc) {
+            // Correct direction but no target: redirect from decode.
+            btb_.insert(di.pc, di.nextPc);
+            ++stats_.counter("branch.btbMisses");
+            redirectAt_ = std::max(redirectAt_, fetchCycle_ + 3);
+        }
+        break;
+      }
+      case BrKind::Jump:
+        // Direct target; BTB learns it, penalty only on first sight.
+        if (btb_.lookup(di.pc) != di.nextPc) {
+            btb_.insert(di.pc, di.nextPc);
+            ++stats_.counter("branch.btbMisses");
+            redirectAt_ = std::max(redirectAt_, fetchCycle_ + 3);
+        }
+        break;
+      case BrKind::Call:
+        ras_.push(di.pc + 4);
+        if (btb_.lookup(di.pc) != di.nextPc) {
+            btb_.insert(di.pc, di.nextPc);
+            ++stats_.counter("branch.btbMisses");
+            redirectAt_ = std::max(redirectAt_, fetchCycle_ + 3);
+        }
+        break;
+      case BrKind::IndCall: {
+        ras_.push(di.pc + 4);
+        const uint64_t pred = btb_.lookup(di.pc);
+        btb_.insert(di.pc, di.nextPc);
+        if (pred != di.nextPc) {
+            mispredict = true;
+            ++stats_.counter("branch.mispredicts");
+        }
+        break;
+      }
+      case BrKind::Ret: {
+        const uint64_t pred = ras_.pop();
+        if (pred != di.nextPc) {
+            mispredict = true;
+            ++stats_.counter("branch.mispredicts");
+        }
+        break;
+      }
+      case BrKind::None:
+        return;
+    }
+
+    if (mispredict) {
+        redirectAt_ = std::max(redirectAt_, resolveCycle + 1);
+        // Wrong-path activity estimate for the energy model: the front
+        // end keeps fetching for roughly its own depth before the squash.
+        stats_.counter("fetch.wrongPath") +=
+            static_cast<uint64_t>(cfg_.frontendDepth(isa_)) *
+            cfg_.fetchWidth / 2;
+    }
+}
+
+void
+CycleSim::onInst(const DynInst& di)
+{
+    const OpInfo& info = di.info();
+    CH_ASSERT(di.seq == seq_, "trace sequence gap");
+    const uint64_t fetchCycle = stageFetch(di);
+    const uint64_t dispatch = stageDispatch(di, fetchCycle);
+
+    // Operand readiness via producer timestamps.
+    uint64_t ready = dispatch + 1;
+    auto needProducer = [&](uint64_t prod) {
+        if (prod == kNoProducer)
+            return;
+        if (seq_ - prod < readyForUse_.mask) {
+            const uint64_t r = readyForUse_.get(prod);
+            if (r > ready)
+                ready = r;
+        }
+        ++stats_.counter("iq.wakeups");
+    };
+    if (info.numSrcs >= 1)
+        needProducer(di.prod1);
+    if (info.numSrcs >= 2)
+        needProducer(di.prod2);
+    stats_.counter("rf.reads") += info.numSrcs;
+
+    // Store-set dependence prediction: a load predicted dependent waits
+    // for the youngest in-flight store of its set.
+    uint64_t predictedWait = 0;
+    const StoreRec* violator = nullptr;
+    if (info.isLoad()) {
+        ++stats_.counter("lsq.loads");
+        const uint32_t setId = storeSets_.setOf(di.pc);
+        if (setId != StoreSets::kInvalid) {
+            auto it = lastStoreOfSet_.find(setId);
+            if (it != lastStoreOfSet_.end()) {
+                for (auto rit = stores_.rbegin(); rit != stores_.rend();
+                     ++rit) {
+                    if (rit->seq == it->second) {
+                        predictedWait = rit->dataReady;
+                        break;
+                    }
+                }
+            }
+        }
+        if (predictedWait > ready)
+            ready = predictedWait;
+    }
+
+    // Issue: FU pool + issue-width arbitration.
+    const int pool = fuPoolId(info.cls);
+    const uint64_t issue = arbitrate(pool, fuPoolLimit(info.cls), ready);
+    iq_.push(issue);
+    ++stats_.counter("iq.issues");
+    stats_.counter("fu.ops") += 1;
+
+    // Execute.
+    uint64_t resultAt = issue + fuLatency(info.cls);
+    if (info.isLoad()) {
+        ++stats_.counter("lsq.searches");
+        // Search older in-flight stores for an overlap.
+        const StoreRec* match = nullptr;
+        for (auto rit = stores_.rbegin(); rit != stores_.rend(); ++rit) {
+            if (rit->commit <= issue)
+                continue;  // already left the store queue
+            const uint64_t a0 = std::max(rit->addr, di.memAddr);
+            const uint64_t a1 = std::min(rit->addr + rit->size,
+                                         di.memAddr + info.memBytes);
+            if (a0 < a1) {
+                match = &*rit;
+                break;
+            }
+        }
+        if (match && match->dataReady <= issue) {
+            // Store-to-load forwarding.
+            resultAt = issue + cfg_.latForward;
+            ++stats_.counter("lsq.forwards");
+        } else if (match && match->dataReady > issue &&
+                   predictedWait < match->dataReady) {
+            // Memory-order violation: replay after the store resolves.
+            violator = match;
+            resultAt = match->dataReady + cfg_.latForward +
+                       cfg_.replayPenalty;
+            ++stats_.counter("lsq.violations");
+            storeSets_.train(di.pc, match->pc);
+        } else {
+            resultAt = issue + 1 + mem_.dataAccess(di.memAddr, false);
+        }
+        (void)violator;
+    }
+
+    const uint64_t readyForUse = resultAt;
+    const uint64_t complete = resultAt + cfg_.issueLatency;
+
+    // Branch resolution & prediction outcome.
+    handleBranchPrediction(di, complete);
+
+    // In-order commit, bounded by commit width.
+    uint64_t commit = complete + 1;
+    if (seq_ > 0)
+        commit = std::max(commit, commit_.get(seq_ - 1));
+    if (seq_ >= static_cast<uint64_t>(cfg_.commitWidth)) {
+        commit = std::max(commit,
+                          commit_.get(seq_ - cfg_.commitWidth) + 1);
+    }
+
+    readyForUse_.set(seq_, readyForUse);
+    complete_.set(seq_, complete);
+    commit_.set(seq_, commit);
+    lastCommit_ = commit;
+    ++stats_.counter("rob.commits");
+    if (info.hasDst)
+        ++stats_.counter("rf.writes");
+
+    // Structure departures.
+    if (info.isLoad())
+        loadQ_.push(commit);
+    if (info.isStore()) {
+        ++stats_.counter("lsq.stores");
+        storeQ_.push(commit);
+        StoreRec rec;
+        rec.seq = seq_;
+        rec.pc = di.pc;
+        rec.addr = di.memAddr;
+        rec.size = info.memBytes;
+        rec.dataReady = resultAt;
+        rec.commit = commit;
+        rec.setId = storeSets_.setOf(di.pc);
+        if (rec.setId != StoreSets::kInvalid)
+            lastStoreOfSet_[rec.setId] = seq_;
+        stores_.push_back(rec);
+        if (stores_.size() > static_cast<size_t>(cfg_.storeQueue))
+            stores_.pop_front();
+        // The store writes the data cache when it retires.
+        mem_.dataAccess(di.memAddr, true);
+    }
+    const bool allocates = isa_ == Isa::Straight ? true : info.hasDst;
+    if (allocates) {
+        switch (isa_) {
+          case Isa::Riscv: physRegs_.push(commit); break;
+          case Isa::Straight: ringRegs_.push(commit); break;
+          case Isa::Clockhands: handRegs_[di.dst].push(commit); break;
+        }
+    }
+
+    ++seq_;
+}
+
+uint64_t
+CycleSim::finish()
+{
+    stats_.counter("sim.cycles").set(lastCommit_);
+    stats_.counter("sim.insts").set(seq_);
+    return lastCommit_;
+}
+
+} // namespace ch

@@ -1,0 +1,175 @@
+#ifndef CH_UARCH_CORE_H
+#define CH_UARCH_CORE_H
+
+/**
+ * @file
+ * Cycle-level out-of-order core model in the spirit of Onikiri2. It
+ * consumes the committed-path instruction stream from the functional
+ * emulator (execution-driven-then-timed) and models:
+ *
+ *  - front end: fetch-width/taken-branch limits, L1I misses, TAGE + BTB
+ *    + RAS prediction with full squash-and-refill penalties whose depth
+ *    differs per ISA (RISC renames in 2 extra stages: 7 vs 5 cycles),
+ *  - the physical-register-allocation stage: RISC free-list pressure
+ *    (PRF = R) vs the rename-free ring allocation of STRAIGHT/Clockhands
+ *    (128 + R registers, per-hand quotas and wraparound stalls),
+ *  - dispatch with ROB/IQ/LSQ occupancy limits,
+ *  - issue with per-class FU counts, issue-width arbitration and a
+ *    4-cycle payload/register-read issue pipeline,
+ *  - a load/store queue with store-set dependence prediction,
+ *    store-to-load forwarding and memory-order-violation replays,
+ *  - the L1I/L1D/L2+stream-prefetcher hierarchy, and
+ *  - in-order commit bounded by the commit width.
+ *
+ * Every event of interest increments a named counter in the StatGroup;
+ * the energy model (src/energy) consumes those counts.
+ */
+
+#include <cstdint>
+#include <deque>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "common/stats.h"
+#include "trace/dyninst.h"
+#include "uarch/branch_pred.h"
+#include "uarch/cache.h"
+#include "uarch/config.h"
+#include "uarch/storeset.h"
+
+namespace ch {
+
+/** Per-cycle resource usage counters over a sliding window. */
+class CycleCounts
+{
+  public:
+    explicit CycleCounts(int logSize = 17)
+        : mask_((1ull << logSize) - 1), slots_(1ull << logSize)
+    {
+    }
+
+    uint32_t
+    get(uint64_t cycle) const
+    {
+        const auto& s = slots_[cycle & mask_];
+        return s.cycle == cycle ? s.count : 0;
+    }
+
+    void
+    inc(uint64_t cycle)
+    {
+        auto& s = slots_[cycle & mask_];
+        if (s.cycle != cycle) {
+            s.cycle = cycle;
+            s.count = 0;
+        }
+        ++s.count;
+    }
+
+  private:
+    struct Slot {
+        uint64_t cycle = ~0ull;
+        uint32_t count = 0;
+    };
+
+    uint64_t mask_;
+    std::vector<Slot> slots_;
+};
+
+/** The core model; feed it the committed stream, then call finish(). */
+class CycleSim : public TraceSink
+{
+  public:
+    CycleSim(const MachineConfig& cfg, Isa isa);
+
+    void onInst(const DynInst& di) override;
+
+    /** Complete the run; returns total cycles (last commit). */
+    uint64_t finish();
+
+    uint64_t cycles() const { return lastCommit_; }
+    uint64_t instCount() const { return seq_; }
+    const StatGroup& stats() const { return stats_; }
+    StatGroup& stats() { return stats_; }
+
+  private:
+    struct RingU64 {
+        explicit RingU64(size_t n) : mask(n - 1), data(n, 0) {}
+        uint64_t get(uint64_t seq) const { return data[seq & mask]; }
+        void set(uint64_t seq, uint64_t v) { data[seq & mask] = v; }
+        size_t mask;
+        std::vector<uint64_t> data;
+    };
+
+    struct StoreRec {
+        uint64_t seq;
+        uint64_t pc;
+        uint64_t addr;
+        uint32_t size;
+        uint64_t dataReady;
+        uint64_t commit;
+        uint32_t setId;
+    };
+
+    int fuLatency(OpClass cls) const;
+    int fuPoolLimit(OpClass cls) const;
+    int fuPoolId(OpClass cls) const;
+
+    uint64_t stageFetch(const DynInst& di);
+    uint64_t stageDispatch(const DynInst& di, uint64_t fetchCycle);
+    void handleBranchPrediction(const DynInst& di, uint64_t resolveCycle);
+
+    /** Earliest cycle >= @p from with a free issue slot + FU of @p pool. */
+    uint64_t arbitrate(int pool, int limit, uint64_t from);
+
+    const MachineConfig cfg_;
+    Isa isa_;
+    StatGroup stats_;
+
+    Tage tage_;
+    Btb btb_;
+    Ras ras_;
+    MemoryHierarchy mem_;
+    StoreSets storeSets_;
+
+    // Front-end state.
+    uint64_t fetchCycle_ = 1;
+    int fetchedThisCycle_ = 0;
+    uint64_t lastFetchLine_ = ~0ull;
+    uint64_t redirectAt_ = 0;  ///< earliest fetch cycle after a squash
+
+    // Per-instruction timestamp rings.
+    uint64_t seq_ = 0;
+    RingU64 readyForUse_;   ///< producer result usable by consumers
+    RingU64 complete_;      ///< fully complete (commit-eligible)
+    RingU64 commit_;
+
+    uint64_t lastCommit_ = 0;
+    uint64_t lastDispatch_ = 0;
+
+    // Structural occupancy: min-heaps of departure cycles.
+    using MinHeap = std::priority_queue<uint64_t, std::vector<uint64_t>,
+                                        std::greater<uint64_t>>;
+    MinHeap iq_;
+    MinHeap loadQ_;
+    MinHeap storeQ_;
+    MinHeap physRegs_;                 ///< RISC free-list pressure
+    std::array<MinHeap, kNumHands> handRegs_;  ///< ring quotas
+    MinHeap ringRegs_;                 ///< STRAIGHT unified ring
+
+    // Issue arbitration.
+    CycleCounts issueSlots_;
+    std::array<CycleCounts, 7> fuSlots_;
+
+    // In-flight stores (newest at back).
+    std::deque<StoreRec> stores_;
+    std::unordered_map<uint32_t, uint64_t> lastStoreOfSet_;
+
+    // Dependent-commit bookkeeping.
+    std::deque<uint64_t> recentCommits_;  ///< last commitWidth commits
+};
+
+} // namespace ch
+
+#endif // CH_UARCH_CORE_H

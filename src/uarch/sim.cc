@@ -1,0 +1,22 @@
+#include "uarch/sim.h"
+
+namespace ch {
+
+SimResult
+simulate(const Program& prog, const MachineConfig& cfg, uint64_t maxInsts)
+{
+    CycleSim core(cfg, prog.isa);
+    Emulator emu(prog);
+    RunResult run = emu.run(maxInsts, &core);
+    core.finish();
+
+    SimResult res;
+    res.cycles = core.cycles();
+    res.insts = core.instCount();
+    res.exited = run.exited;
+    res.exitCode = run.exitCode;
+    res.stats = core.stats();
+    return res;
+}
+
+} // namespace ch

@@ -1,0 +1,40 @@
+#ifndef CH_UARCH_SIM_H
+#define CH_UARCH_SIM_H
+
+/**
+ * @file
+ * Top-level simulation driver: functional emulation feeding the
+ * cycle-level core model, returning cycles, instruction counts, and the
+ * event statistics the energy model consumes.
+ */
+
+#include <memory>
+
+#include "emu/emulator.h"
+#include "uarch/core.h"
+
+namespace ch {
+
+/** Outcome of one timed run. */
+struct SimResult {
+    uint64_t cycles = 0;
+    uint64_t insts = 0;
+    bool exited = false;
+    int64_t exitCode = 0;
+    StatGroup stats;
+
+    double
+    ipc() const
+    {
+        return cycles == 0 ? 0.0
+                           : static_cast<double>(insts) / cycles;
+    }
+};
+
+/** Run @p prog on the machine described by @p cfg. */
+SimResult simulate(const Program& prog, const MachineConfig& cfg,
+                   uint64_t maxInsts = ~0ull);
+
+} // namespace ch
+
+#endif // CH_UARCH_SIM_H

@@ -1,0 +1,71 @@
+#ifndef CH_UARCH_STORESET_H
+#define CH_UARCH_STORESET_H
+
+/**
+ * @file
+ * Store-set memory dependence predictor (Chrysos & Emer), as configured
+ * in Table 2: 512 producers, 4096 store IDs. Loads predicted dependent on
+ * an in-flight store wait for it; violations merge the load and store
+ * into one set.
+ */
+
+#include <cstdint>
+#include <vector>
+
+namespace ch {
+
+class StoreSets
+{
+  public:
+    StoreSets(int ssitEntries, int lfstEntries)
+        : ssit_(ssitEntries, kInvalid), lfstSize_(lfstEntries)
+    {
+    }
+
+    /** Store-set id for @p pc; kInvalid when none. */
+    uint32_t
+    setOf(uint64_t pc) const
+    {
+        return ssit_[index(pc)];
+    }
+
+    /** Merge the sets of a violating load/store pair. */
+    void
+    train(uint64_t loadPc, uint64_t storePc)
+    {
+        const size_t li = index(loadPc);
+        const size_t si = index(storePc);
+        uint32_t setId;
+        if (ssit_[li] != kInvalid) {
+            setId = ssit_[li];
+        } else if (ssit_[si] != kInvalid) {
+            setId = ssit_[si];
+        } else {
+            setId = nextSet_;
+            nextSet_ = (nextSet_ + 1) % lfstSize_;
+        }
+        // Merge rule: both index the smaller set id (Chrysos & Emer).
+        if (ssit_[li] != kInvalid && ssit_[si] != kInvalid) {
+            setId = std::min(ssit_[li], ssit_[si]);
+        }
+        ssit_[li] = setId;
+        ssit_[si] = setId;
+    }
+
+    static constexpr uint32_t kInvalid = ~0u;
+
+  private:
+    size_t
+    index(uint64_t pc) const
+    {
+        return (pc >> 2) % ssit_.size();
+    }
+
+    std::vector<uint32_t> ssit_;
+    int lfstSize_;
+    uint32_t nextSet_ = 0;
+};
+
+} // namespace ch
+
+#endif // CH_UARCH_STORESET_H

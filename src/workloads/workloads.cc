@@ -1,0 +1,645 @@
+#include "workloads/workloads.h"
+
+#include <map>
+
+#include "backend/backend.h"
+#include "common/logging.h"
+
+namespace ch {
+
+namespace {
+
+/** Shared MiniC runtime helpers appended to every workload. */
+const char* kPrelude = R"(
+void print_long(long v) {
+    char buf[24];
+    long i = 0;
+    if (v < 0) { putchar('-'); v = -v; }
+    if (v == 0) { putchar('0'); return; }
+    while (v > 0) { buf[i] = '0' + (char)(v % 10); i = i + 1; v = v / 10; }
+    while (i > 0) { i = i - 1; putchar(buf[i]); }
+}
+void print_nl() { putchar(10); }
+)";
+
+// =====================================================================
+// coremark: linked-list manipulation + integer matrix work + a CRC state
+// machine, the three CoreMark kernels.
+// =====================================================================
+const char* kCoremark = R"(
+struct Node { long value; long idx; };
+
+struct Node pool[96];
+long order[96];
+long matA[12][12];
+long matB[12][12];
+long matC[12][12];
+long seedState = 13;
+
+long rnd() {
+    seedState = (seedState * 1103515245 + 12345) & 0x7fffffff;
+    return seedState;
+}
+
+long crc16(long data, long crc) {
+    long i;
+    for (i = 0; i < 16; i = i + 1) {
+        long bit = (data >> i) & 1;
+        long c = crc & 1;
+        crc = crc >> 1;
+        if (bit != c) crc = crc ^ 0xa001;
+    }
+    return crc & 0xffff;
+}
+
+long listBench(long n) {
+    long i;
+    for (i = 0; i < n; i = i + 1) {
+        pool[i].value = rnd() % 1000;
+        pool[i].idx = i;
+        order[i] = i;
+    }
+    // selection sort over the index array (list reordering).
+    for (i = 0; i < n - 1; i = i + 1) {
+        long best = i;
+        long j;
+        for (j = i + 1; j < n; j = j + 1) {
+            if (pool[order[j]].value < pool[order[best]].value) best = j;
+        }
+        long t = order[i]; order[i] = order[best]; order[best] = t;
+    }
+    long sum = 0;
+    for (i = 0; i < n; i = i + 1)
+        sum = sum + pool[order[i]].value * (i + 1);
+    return sum;
+}
+
+long matBench(long n) {
+    long i, j, k;
+    for (i = 0; i < n; i = i + 1)
+        for (j = 0; j < n; j = j + 1) {
+            matA[i][j] = (rnd() % 64) - 32;
+            matB[i][j] = (rnd() % 64) - 32;
+        }
+    for (i = 0; i < n; i = i + 1)
+        for (j = 0; j < n; j = j + 1) {
+            long acc = 0;
+            for (k = 0; k < n; k = k + 1)
+                acc = acc + matA[i][k] * matB[k][j];
+            matC[i][j] = acc;
+        }
+    long sum = 0;
+    for (i = 0; i < n; i = i + 1)
+        sum = sum + matC[i][(i * 7) % n];
+    return sum;
+}
+
+long stateBench(long steps) {
+    long state = 0;
+    long count = 0;
+    long i;
+    for (i = 0; i < steps; i = i + 1) {
+        long c = rnd() % 16;
+        if (state == 0) {
+            if (c < 4) state = 1;
+            else if (c < 8) state = 2;
+            else state = 0;
+        } else if (state == 1) {
+            if (c % 3 == 0) state = 2;
+            else if (c > 12) state = 3;
+        } else if (state == 2) {
+            state = (c & 1) ? 3 : 0;
+            count = count + 1;
+        } else {
+            if (c == 7) state = 0;
+            count = count + 2;
+        }
+    }
+    return count + state;
+}
+
+int main() {
+    long crc = 0xffff;
+    long iter;
+    for (iter = 0; iter < 25; iter = iter + 1) {
+        crc = crc16(listBench(96), crc);
+        crc = crc16(matBench(12), crc);
+        crc = crc16(stateBench(400), crc);
+    }
+    print_long(crc); print_nl();
+    return (int)(crc & 0x7f);
+}
+)";
+
+// =====================================================================
+// bzip2: run-length coding + move-to-front + an order-0 size estimate,
+// then a full decode and round-trip comparison (byte-granular work).
+// =====================================================================
+const char* kBzip2 = R"(
+char input[6144];
+char rle[12288];
+char mtf[12288];
+char derle[12288];
+long freq[256];
+long mtfTable[256];
+long seedState = 777;
+
+long rnd() {
+    seedState = (seedState * 1103515245 + 12345) & 0x7fffffff;
+    return seedState;
+}
+
+long genInput(long n) {
+    long pos = 0;
+    while (pos < n) {
+        long v = rnd() % 24;
+        long runlen = 1 + rnd() % 9;
+        if (rnd() % 4 == 0) runlen = runlen + 12;
+        long i;
+        for (i = 0; i < runlen && pos < n; i = i + 1) {
+            input[pos] = (char)(v + 'a');
+            pos = pos + 1;
+        }
+    }
+    return n;
+}
+
+long rleEncode(long n) {
+    long out = 0;
+    long pos = 0;
+    while (pos < n) {
+        long run = 1;
+        while (pos + run < n && input[pos + run] == input[pos] && run < 255)
+            run = run + 1;
+        if (run >= 4) {
+            long k;
+            for (k = 0; k < 4; k = k + 1) { rle[out] = input[pos]; out = out + 1; }
+            rle[out] = (char)(run - 4); out = out + 1;
+        } else {
+            long k;
+            for (k = 0; k < run; k = k + 1) { rle[out] = input[pos]; out = out + 1; }
+        }
+        pos = pos + run;
+    }
+    return out;
+}
+
+long rleDecode(long n) {
+    long out = 0;
+    long pos = 0;
+    while (pos < n) {
+        char c = rle[pos];
+        long run = 1;
+        while (pos + run < n && rle[pos + run] == c && run < 4)
+            run = run + 1;
+        if (run == 4) {
+            long extra = rle[pos + 4];
+            long k;
+            for (k = 0; k < 4 + extra; k = k + 1) { derle[out] = c; out = out + 1; }
+            pos = pos + 5;
+        } else {
+            long k;
+            for (k = 0; k < run; k = k + 1) { derle[out] = c; out = out + 1; }
+            pos = pos + run;
+        }
+    }
+    return out;
+}
+
+long mtfEncode(long n) {
+    long i;
+    for (i = 0; i < 256; i = i + 1) mtfTable[i] = i;
+    for (i = 0; i < n; i = i + 1) {
+        long sym = rle[i] & 0xff;
+        long j = 0;
+        while (mtfTable[j] != sym) j = j + 1;
+        mtf[i] = (char)j;
+        while (j > 0) { mtfTable[j] = mtfTable[j - 1]; j = j - 1; }
+        mtfTable[0] = sym;
+    }
+    return n;
+}
+
+long entropyBits(long n) {
+    long i;
+    for (i = 0; i < 256; i = i + 1) freq[i] = 0;
+    for (i = 0; i < n; i = i + 1) freq[mtf[i] & 0xff] = freq[mtf[i] & 0xff] + 1;
+    // staircase code-length estimate: len = floor(log2(n/freq)) + 1
+    long bits = 0;
+    for (i = 0; i < 256; i = i + 1) {
+        if (freq[i] == 0) continue;
+        long ratio = n / freq[i];
+        long len = 1;
+        while (ratio > 1) { ratio = ratio >> 1; len = len + 1; }
+        bits = bits + freq[i] * len;
+    }
+    return bits;
+}
+
+int main() {
+    long total = 0;
+    long block;
+    for (block = 0; block < 4; block = block + 1) {
+        long n = genInput(6144);
+        long rleLen = rleEncode(n);
+        mtfEncode(rleLen);
+        total = total + entropyBits(rleLen);
+        long back = rleDecode(rleLen);
+        if (back != n) { print_long(-1); print_nl(); return 255; }
+        long i;
+        for (i = 0; i < n; i = i + 1) {
+            if (derle[i] != input[i]) { print_long(-2); print_nl(); return 254; }
+        }
+    }
+    print_long(total); print_nl();
+    return (int)(total & 0x7f);
+}
+)";
+
+// =====================================================================
+// mcf: successive Bellman-Ford sweeps over an arc-struct network with a
+// per-arc relax function -- call-heavy with pointer-chasing loads, like
+// 605.mcf_s.
+// =====================================================================
+const char* kMcf = R"(
+struct Arc { long from; long to; long cost; long cap; long flow; };
+
+struct Arc arcs[520];
+long dist[80];
+long pre[80];
+long seedState = 4242;
+long numNodes = 80;
+long numArcs = 520;
+
+long rnd() {
+    seedState = (seedState * 1103515245 + 12345) & 0x7fffffff;
+    return seedState;
+}
+
+long relax(long du, long w, long dv) {
+    if (du + w < dv) return du + w;
+    return dv;
+}
+
+void buildGraph() {
+    long i;
+    for (i = 0; i < numNodes - 1; i = i + 1) {
+        arcs[i].from = i;
+        arcs[i].to = i + 1;
+        arcs[i].cost = 1 + rnd() % 9;
+        arcs[i].cap = 3 + rnd() % 5;
+        arcs[i].flow = 0;
+    }
+    for (i = numNodes - 1; i < numArcs; i = i + 1) {
+        arcs[i].from = rnd() % numNodes;
+        arcs[i].to = rnd() % numNodes;
+        arcs[i].cost = 1 + rnd() % 20;
+        arcs[i].cap = 1 + rnd() % 7;
+        arcs[i].flow = 0;
+    }
+}
+
+long bellmanFord(long src) {
+    long i;
+    for (i = 0; i < numNodes; i = i + 1) { dist[i] = 1 << 30; pre[i] = -1; }
+    dist[src] = 0;
+    long round;
+    for (round = 0; round < numNodes; round = round + 1) {
+        long changed = 0;
+        for (i = 0; i < numArcs; i = i + 1) {
+            struct Arc* a = &arcs[i];
+            if (a->flow >= a->cap) continue;
+            long nd = relax(dist[a->from], a->cost, dist[a->to]);
+            if (nd < dist[a->to]) {
+                dist[a->to] = nd;
+                pre[a->to] = i;
+                changed = 1;
+            }
+        }
+        if (!changed) break;
+    }
+    return dist[numNodes - 1];
+}
+
+long augment() {
+    // push one unit along the predecessor chain.
+    long node = numNodes - 1;
+    long pushed = 0;
+    while (pre[node] >= 0) {
+        struct Arc* a = &arcs[pre[node]];
+        a->flow = a->flow + 1;
+        node = a->from;
+        pushed = pushed + a->cost;
+        if (node == 0) break;
+    }
+    return pushed;
+}
+
+int main() {
+    buildGraph();
+    long total = 0;
+    long it;
+    for (it = 0; it < 45; it = it + 1) {
+        long d = bellmanFord(0);
+        if (d >= (1 << 30)) {
+            // saturated: relax capacities and keep going.
+            long i;
+            for (i = 0; i < numArcs; i = i + 1)
+                arcs[i].flow = 0;
+            d = bellmanFord(0);
+        }
+        total = total + d + augment();
+        // perturb one arc cost to vary the next round.
+        arcs[rnd() % numArcs].cost = 1 + rnd() % 20;
+    }
+    print_long(total); print_nl();
+    return (int)(total & 0x7f);
+}
+)";
+
+// =====================================================================
+// lbm: a D2Q9 lattice-Boltzmann kernel over a small channel with an
+// obstacle: double-precision stencils with long-lived weight constants,
+// like 619.lbm_s.
+// =====================================================================
+const char* kLbm = R"(
+double fcur[9][784];
+double fnew[9][784];
+long obstacle[784];
+long cxs[9] = {0, 1, 0, -1, 0, 1, -1, -1, 1};
+long cys[9] = {0, 0, 1, 0, -1, 1, 1, -1, -1};
+double weights[9] = {0.444444444444, 0.111111111111, 0.111111111111,
+                     0.111111111111, 0.111111111111, 0.027777777778,
+                     0.027777777778, 0.027777777778, 0.027777777778};
+long nx = 20;
+long ny = 20;
+
+int main() {
+    long x, y, k;
+    // init: uniform density with a rightward drift; a block obstacle.
+    for (y = 0; y < ny; y = y + 1) {
+        for (x = 0; x < nx; x = x + 1) {
+            long cell = y * nx + x;
+            obstacle[cell] = 0;
+            if (x >= 8 && x < 11 && y >= 7 && y < 13) obstacle[cell] = 1;
+            for (k = 0; k < 9; k = k + 1) {
+                double base = weights[k];
+                fcur[k][cell] = base * (1.0 + 0.05 * (double)cxs[k]);
+            }
+        }
+    }
+
+    double omega = 1.85;
+    long step;
+    for (step = 0; step < 10; step = step + 1) {
+        // collision
+        for (y = 0; y < ny; y = y + 1) {
+            for (x = 0; x < nx; x = x + 1) {
+                long cell = y * nx + x;
+                if (obstacle[cell]) continue;
+                double rho = 0.0;
+                double ux = 0.0;
+                double uy = 0.0;
+                for (k = 0; k < 9; k = k + 1) {
+                    double fk = fcur[k][cell];
+                    rho = rho + fk;
+                    ux = ux + fk * (double)cxs[k];
+                    uy = uy + fk * (double)cys[k];
+                }
+                ux = ux / rho;
+                uy = uy / rho;
+                double usq = ux * ux + uy * uy;
+                for (k = 0; k < 9; k = k + 1) {
+                    double cu = (double)cxs[k] * ux + (double)cys[k] * uy;
+                    double feq = weights[k] * rho *
+                        (1.0 + 3.0 * cu + 4.5 * cu * cu - 1.5 * usq);
+                    fcur[k][cell] = fcur[k][cell] +
+                        omega * (feq - fcur[k][cell]);
+                }
+            }
+        }
+        // streaming with bounce-back at obstacles and walls
+        for (y = 0; y < ny; y = y + 1) {
+            for (x = 0; x < nx; x = x + 1) {
+                long cell = y * nx + x;
+                for (k = 0; k < 9; k = k + 1) {
+                    long tx = x + cxs[k];
+                    long ty = y + cys[k];
+                    if (tx < 0) tx = nx - 1;
+                    if (tx >= nx) tx = 0;
+                    if (ty < 0) ty = ny - 1;
+                    if (ty >= ny) ty = 0;
+                    long target = ty * nx + tx;
+                    if (obstacle[target]) {
+                        long opp;
+                        if (k == 0) opp = 0;
+                        else if (k <= 4) opp = ((k - 1 + 2) % 4) + 1;
+                        else opp = ((k - 5 + 2) % 4) + 5;
+                        fnew[opp][cell] = fcur[k][cell];
+                    } else {
+                        fnew[k][target] = fcur[k][cell];
+                    }
+                }
+            }
+        }
+        // swap by copy
+        for (k = 0; k < 9; k = k + 1) {
+            for (y = 0; y < ny * nx; y = y + 1)
+                fcur[k][y] = fnew[k][y];
+        }
+    }
+
+    // mass conservation checksum
+    double mass = 0.0;
+    for (k = 0; k < 9; k = k + 1)
+        for (y = 0; y < ny * nx; y = y + 1)
+            mass = mass + fcur[k][y];
+    long scaled = (long)(mass * 1000.0);
+    print_long(scaled); print_nl();
+    return (int)(scaled & 0x7f);
+}
+)";
+
+// =====================================================================
+// xz: LZ77 with hash-chain match finding over synthetic text plus a
+// round-trip decode -- integer-ALU saturation like 657.xz_s.
+// =====================================================================
+const char* kXz = R"(
+char text[10240];
+char decoded[10240];
+long tokenKind[4096];
+long tokenA[4096];
+long tokenB[4096];
+long hashHead[4096];
+long hashPrev[10240];
+long seedState = 999331;
+
+long rnd() {
+    seedState = (seedState * 1103515245 + 12345) & 0x7fffffff;
+    return seedState;
+}
+
+char dict[64] = "the quick brown fox jumps over lazy dogs and cats run ";
+
+void genText(long n) {
+    long pos = 0;
+    while (pos < n) {
+        long start = rnd() % 40;
+        long len = 3 + rnd() % 12;
+        long i;
+        for (i = 0; i < len && pos < n; i = i + 1) {
+            text[pos] = dict[(start + i) % 55];
+            pos = pos + 1;
+        }
+    }
+}
+
+long hash3(long pos) {
+    long h = (text[pos] & 0xff) * 506832829;
+    h = h + (text[pos + 1] & 0xff) * 2654435761;
+    h = h + (text[pos + 2] & 0xff) * 2246822519;
+    return (h >> 8) & 4095;
+}
+
+int main() {
+    long n = 10240;
+    genText(n);
+    long i;
+    for (i = 0; i < 4096; i = i + 1) hashHead[i] = -1;
+
+    long ntok = 0;
+    long pos = 0;
+    long checksum = 0;
+    while (pos < n) {
+        long bestLen = 0;
+        long bestDist = 0;
+        if (pos + 3 <= n) {
+            long h = hash3(pos);
+            long cand = hashHead[h];
+            long tries = 0;
+            while (cand >= 0 && tries < 24) {
+                long len = 0;
+                while (pos + len < n && len < 96 &&
+                       text[cand + len] == text[pos + len])
+                    len = len + 1;
+                if (len > bestLen) { bestLen = len; bestDist = pos - cand; }
+                cand = hashPrev[cand];
+                tries = tries + 1;
+            }
+        }
+        if (bestLen >= 4) {
+            tokenKind[ntok] = 1;
+            tokenA[ntok] = bestLen;
+            tokenB[ntok] = bestDist;
+            ntok = ntok + 1;
+            checksum = (checksum * 131 + bestLen * 7 + bestDist) & 0xffffff;
+            long k;
+            for (k = 0; k < bestLen; k = k + 1) {
+                if (pos + 2 < n) {
+                    long h2 = hash3(pos);
+                    hashPrev[pos] = hashHead[h2];
+                    hashHead[h2] = pos;
+                }
+                pos = pos + 1;
+            }
+        } else {
+            tokenKind[ntok] = 0;
+            tokenA[ntok] = text[pos] & 0xff;
+            tokenB[ntok] = 0;
+            ntok = ntok + 1;
+            checksum = (checksum * 131 + (text[pos] & 0xff)) & 0xffffff;
+            if (pos + 2 < n) {
+                long h2 = hash3(pos);
+                hashPrev[pos] = hashHead[h2];
+                hashHead[h2] = pos;
+            }
+            pos = pos + 1;
+        }
+        if (ntok >= 4096) break;
+    }
+
+    // decode and verify the round trip
+    long out = 0;
+    for (i = 0; i < ntok; i = i + 1) {
+        if (tokenKind[i] == 0) {
+            decoded[out] = (char)tokenA[i];
+            out = out + 1;
+        } else {
+            long k;
+            for (k = 0; k < tokenA[i]; k = k + 1) {
+                decoded[out] = decoded[out - tokenB[i]];
+                out = out + 1;
+            }
+        }
+    }
+    if (out != pos) { print_long(-1); print_nl(); return 255; }
+    for (i = 0; i < out; i = i + 1) {
+        if (decoded[i] != text[i]) { print_long(-2); print_nl(); return 254; }
+    }
+    // several passes to reach a representative instruction count
+    long pass;
+    long agg = checksum;
+    for (pass = 0; pass < 40; pass = pass + 1) {
+        long redo = 0;
+        for (i = 0; i < ntok; i = i + 1)
+            redo = (redo * 16807 + tokenA[i] * 3 + tokenB[i]) & 0xffffff;
+        agg = (agg ^ redo) + pass;
+    }
+    print_long(agg & 0xffffff); print_nl();
+    return (int)(agg & 0x7f);
+}
+)";
+
+std::vector<Workload>
+buildCorpus()
+{
+    auto join = [](const char* body) {
+        return std::string(kPrelude) + body;
+    };
+    return {
+        {"coremark", "CoreMark: list sort + matrix + CRC state machine",
+         join(kCoremark)},
+        {"bzip2", "401.bzip2: RLE + MTF + entropy estimate, round-trip",
+         join(kBzip2)},
+        {"mcf", "605.mcf_s: Bellman-Ford flow network, call-heavy",
+         join(kMcf)},
+        {"lbm", "619.lbm_s: D2Q9 lattice-Boltzmann, double stencils",
+         join(kLbm)},
+        {"xz", "657.xz_s: LZ77 hash-chain match finder, ALU-bound",
+         join(kXz)},
+    };
+}
+
+} // namespace
+
+const std::vector<Workload>&
+workloads()
+{
+    static const std::vector<Workload> corpus = buildCorpus();
+    return corpus;
+}
+
+const Workload&
+workload(const std::string& name)
+{
+    for (const auto& w : workloads()) {
+        if (w.name == name)
+            return w;
+    }
+    fatal("unknown workload: ", name);
+}
+
+const Program&
+compiledWorkload(const std::string& name, Isa isa)
+{
+    static std::map<std::pair<std::string, int>, Program> cache;
+    auto key = std::make_pair(name, static_cast<int>(isa));
+    auto it = cache.find(key);
+    if (it == cache.end()) {
+        it = cache.emplace(key, compileMiniC(workload(name).source, isa))
+                 .first;
+    }
+    return it->second;
+}
+
+} // namespace ch

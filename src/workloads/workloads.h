@@ -1,0 +1,38 @@
+#ifndef CH_WORKLOADS_WORKLOADS_H
+#define CH_WORKLOADS_WORKLOADS_H
+
+/**
+ * @file
+ * The benchmark corpus: five MiniC programs mirroring the kernel
+ * character of the paper's evaluation set (CoreMark plus SPEC's bzip2,
+ * mcf_s, lbm_s, xz_s -- see DESIGN.md for the substitution argument).
+ * Every workload is deterministic and self-validating: it prints a
+ * checksum and exits with a value derived from it, so the three ISA
+ * builds can be differentially checked.
+ */
+
+#include <string>
+#include <vector>
+
+#include "mem/program.h"
+
+namespace ch {
+
+struct Workload {
+    std::string name;         ///< paper benchmark it mirrors
+    std::string description;
+    std::string source;       ///< MiniC text (prelude already included)
+};
+
+/** The five-benchmark corpus, in the paper's order. */
+const std::vector<Workload>& workloads();
+
+/** Lookup by name; fatal() when unknown. */
+const Workload& workload(const std::string& name);
+
+/** Compile a workload for @p isa (results are memoized per process). */
+const Program& compiledWorkload(const std::string& name, Isa isa);
+
+} // namespace ch
+
+#endif // CH_WORKLOADS_WORKLOADS_H

@@ -1,0 +1,219 @@
+#include <gtest/gtest.h>
+
+#include "asm/assembler.h"
+#include "asm/module_builder.h"
+#include "isa/encoding.h"
+
+namespace ch {
+namespace {
+
+TEST(ParseRiscReg, AbiAndNumericNames)
+{
+    EXPECT_EQ(parseRiscReg("zero"), 0);
+    EXPECT_EQ(parseRiscReg("ra"), 1);
+    EXPECT_EQ(parseRiscReg("sp"), 2);
+    EXPECT_EQ(parseRiscReg("a0"), 10);
+    EXPECT_EQ(parseRiscReg("t6"), 31);
+    EXPECT_EQ(parseRiscReg("x17"), 17);
+    EXPECT_EQ(parseRiscReg("f5"), 37);
+    EXPECT_EQ(parseRiscReg("f31"), 63);
+    EXPECT_EQ(parseRiscReg("x32"), -1);
+    EXPECT_EQ(parseRiscReg("bogus"), -1);
+}
+
+TEST(Assembler, RiscBasicBlock)
+{
+    Program p = assemble(Isa::Riscv, R"(
+        # iota body
+        addi a5, zero, 0
+    loop:
+        sw a5, 0(a0)
+        addiw a5, a5, 1
+        addi a0, a0, 4
+        bne a1, a5, loop
+        ret
+    )");
+    ASSERT_EQ(p.numInsts(), 6u);
+    EXPECT_EQ(p.decoded[0].op, Op::ADDI);
+    EXPECT_EQ(p.decoded[0].dst, 15);  // a5
+    EXPECT_EQ(p.decoded[1].op, Op::SW);
+    EXPECT_EQ(p.decoded[1].src2, 15);  // data a5
+    EXPECT_EQ(p.decoded[1].src1, 10);  // base a0
+    EXPECT_EQ(p.decoded[4].op, Op::BNE);
+    // bne at index 4 targets "loop" at index 1: offset (1-4)*4 = -12.
+    EXPECT_EQ(p.decoded[4].imm, -12);
+    EXPECT_EQ(p.decoded[5].op, Op::JR);
+    EXPECT_EQ(p.decoded[5].src1, kRegRa);
+}
+
+TEST(Assembler, ForwardReferences)
+{
+    Program p = assemble(Isa::Riscv, R"(
+        beq a0, a1, out
+        addi a0, a0, 1
+    out:
+        ret
+    )");
+    EXPECT_EQ(p.decoded[0].imm, 8);
+}
+
+TEST(Assembler, ClockhandsFig1Syntax)
+{
+    Program p = assemble(Isa::Clockhands, R"(
+        addi t, zero, 0
+    .L3:
+        sw t[1], 0(t[0])
+        addiw t, t[1], 1
+        addi t, t[1], 4
+        bne t[1], s[2], .L3
+        ret s[0]
+    )");
+    ASSERT_EQ(p.numInsts(), 6u);
+    const Inst& sw = p.decoded[1];
+    EXPECT_EQ(sw.op, Op::SW);
+    EXPECT_EQ(sw.src2Hand, HandT);
+    EXPECT_EQ(sw.src2, 1);
+    EXPECT_EQ(sw.src1Hand, HandT);
+    EXPECT_EQ(sw.src1, 0);
+    const Inst& bne = p.decoded[4];
+    EXPECT_EQ(bne.src2Hand, HandS);
+    EXPECT_EQ(bne.src2, 2);
+    const Inst& ret = p.decoded[5];
+    EXPECT_EQ(ret.op, Op::JR);
+    EXPECT_EQ(ret.src1Hand, HandS);
+    EXPECT_EQ(ret.src1, 0);
+    // Text encodes and redecodes identically.
+    Program q = p;
+    q.redecode();
+    for (size_t i = 0; i < p.numInsts(); ++i) {
+        EXPECT_EQ(disassemble(p.isa, p.decoded[i]),
+                  disassemble(q.isa, q.decoded[i]));
+    }
+}
+
+TEST(Assembler, StraightFig1Syntax)
+{
+    Program p = assemble(Isa::Straight, R"(
+        spaddi -8
+        addi zero, 0
+        sd [4], 0(sp)
+        mv [6]
+        j .L3
+    .L3:
+        sw [5], 0([3])
+        bne [1], [4], .L3
+        ld 0(sp)
+        spaddi 8
+        ret [2]
+    )");
+    ASSERT_EQ(p.numInsts(), 10u);
+    EXPECT_EQ(p.decoded[0].op, Op::SPADDI);
+    EXPECT_EQ(p.decoded[0].imm, -8);
+    EXPECT_EQ(p.decoded[2].op, Op::SD);
+    EXPECT_EQ(p.decoded[2].src1, kStraightSpBase);
+    EXPECT_EQ(p.decoded[2].src2, 4);
+    EXPECT_EQ(p.decoded[3].op, Op::MV);
+    EXPECT_EQ(p.decoded[3].src1, 6);
+    EXPECT_EQ(p.decoded[5].op, Op::SW);
+    EXPECT_EQ(p.decoded[5].src1, 3);
+    EXPECT_EQ(p.decoded[5].src2, 5);
+    EXPECT_EQ(p.decoded[9].op, Op::JR);
+    EXPECT_EQ(p.decoded[9].src1, 2);
+}
+
+TEST(Assembler, DataDirectivesAndSymbols)
+{
+    Program p = assemble(Isa::Riscv, R"(
+        .data
+    tbl:
+        .word 1, 2, 3
+        .align 3
+    big:
+        .dword 0x123456789abcdef0
+    msg:
+        .asciz "hi\n"
+        .zero 5
+        .text
+        la a0, tbl
+        ret
+    )");
+    ASSERT_EQ(p.data.size(), 1u);
+    EXPECT_EQ(p.symbol("tbl"), layout::kDataBase);
+    EXPECT_EQ(p.symbol("big"), layout::kDataBase + 16);
+    EXPECT_EQ(p.symbol("msg"), layout::kDataBase + 24);
+    const auto& bytes = p.data[0].bytes;
+    EXPECT_EQ(bytes[0], 1);
+    EXPECT_EQ(bytes[4], 2);
+    EXPECT_EQ(bytes[16], 0xf0);
+    EXPECT_EQ(bytes[24], 'h');
+    EXPECT_EQ(bytes[26], '\n');
+    EXPECT_EQ(bytes[27], 0);
+    // la expands to lui+addi that reconstruct the symbol address.
+    ASSERT_EQ(p.numInsts(), 3u);
+    EXPECT_EQ(p.decoded[0].op, Op::LUI);
+    EXPECT_EQ(p.decoded[1].op, Op::ADDI);
+    const int64_t hi = p.decoded[0].imm << 12;
+    const int64_t lo = p.decoded[1].imm;
+    EXPECT_EQ(static_cast<uint64_t>(hi + lo), p.symbol("tbl"));
+}
+
+TEST(Assembler, LiExpansions)
+{
+    // Small, 32-bit, and 64-bit constants.
+    Program p = assemble(Isa::Riscv, R"(
+        li a0, 42
+        li a1, 0x12345678
+        li a2, -1
+        ret
+    )");
+    EXPECT_EQ(p.decoded[0].op, Op::ADDI);
+    EXPECT_EQ(p.decoded[0].imm, 42);
+    EXPECT_EQ(p.decoded[1].op, Op::LUI);
+}
+
+TEST(Assembler, EntryDirective)
+{
+    Program p = assemble(Isa::Riscv, R"(
+        nop
+    main:
+        ret
+        .entry main
+    )");
+    EXPECT_EQ(p.entry, p.symbol("main"));
+    EXPECT_EQ(p.entry, layout::kTextBase + 4);
+}
+
+TEST(Assembler, Errors)
+{
+    EXPECT_THROW(assemble(Isa::Riscv, "addi a0, bogus, 1"), FatalError);
+    EXPECT_THROW(assemble(Isa::Riscv, "frobnicate a0"), FatalError);
+    EXPECT_THROW(assemble(Isa::Riscv, "beq a0, a1, nowhere"), FatalError);
+    EXPECT_THROW(assemble(Isa::Clockhands, "addi q, zero, 1"), FatalError);
+    EXPECT_THROW(assemble(Isa::Clockhands, "addi t, t[16], 1"), FatalError);
+    EXPECT_THROW(assemble(Isa::Straight, "addi [0], 1"), FatalError);
+    EXPECT_THROW(assemble(Isa::Straight, "addi [127], 1"), FatalError);
+    EXPECT_THROW(assemble(Isa::Riscv, "spaddi -8"), FatalError);
+    EXPECT_THROW(assemble(Isa::Riscv, "x: nop\nx: nop"), FatalError);
+}
+
+TEST(ModuleBuilder, LoadImmMatchesValue)
+{
+    // Property: for many constants, the emitted sequence is encodable.
+    const int64_t cases[] = {
+        0, 1, -1, 42, -42, 2047, -2048, 2048, -2049,
+        0x7fffffff, -0x80000000ll, 0x123456789ll,
+        0x7fffffffffffffffll, static_cast<int64_t>(0x8000000000000000ull),
+        static_cast<int64_t>(0xdeadbeefcafebabeull),
+    };
+    for (Isa isa : {Isa::Riscv, Isa::Straight, Isa::Clockhands}) {
+        for (int64_t v : cases) {
+            ModuleBuilder b(isa);
+            int n = emitLoadImm(b, isa == Isa::Riscv ? 10 : 0, v);
+            EXPECT_GE(n, 1);
+            EXPECT_NO_THROW(b.finalize());
+        }
+    }
+}
+
+} // namespace
+} // namespace ch

@@ -1,0 +1,156 @@
+#include <gtest/gtest.h>
+
+#include "common/bitutil.h"
+#include "common/logging.h"
+#include "common/prng.h"
+#include "common/stats.h"
+#include "common/strutil.h"
+#include "common/table.h"
+
+namespace ch {
+namespace {
+
+TEST(BitUtil, SignExtend)
+{
+    EXPECT_EQ(signExtend(0xfff, 12), -1);
+    EXPECT_EQ(signExtend(0x7ff, 12), 0x7ff);
+    EXPECT_EQ(signExtend(0x800, 12), -2048);
+    EXPECT_EQ(signExtend(0xffffffff, 32), -1);
+    EXPECT_EQ(signExtend(0x0, 1), 0);
+    EXPECT_EQ(signExtend(0x1, 1), -1);
+    EXPECT_EQ(signExtend(~0ull, 64), -1);
+}
+
+TEST(BitUtil, Bits)
+{
+    EXPECT_EQ(bits(0xdeadbeef, 31, 28), 0xdu);
+    EXPECT_EQ(bits(0xdeadbeef, 3, 0), 0xfu);
+    EXPECT_EQ(bits(0xff, 7, 7), 1u);
+    EXPECT_EQ(bit(0x80, 7), 1u);
+    EXPECT_EQ(bit(0x80, 6), 0u);
+}
+
+TEST(BitUtil, FitsSigned)
+{
+    EXPECT_TRUE(fitsSigned(2047, 12));
+    EXPECT_FALSE(fitsSigned(2048, 12));
+    EXPECT_TRUE(fitsSigned(-2048, 12));
+    EXPECT_FALSE(fitsSigned(-2049, 12));
+    EXPECT_TRUE(fitsSigned(0, 1));
+    EXPECT_TRUE(fitsSigned(-1, 1));
+    EXPECT_FALSE(fitsSigned(1, 1));
+}
+
+TEST(BitUtil, InsertBitsRoundTrip)
+{
+    uint32_t w = 0;
+    w = insertBits(w, 6, 0, 0x55);
+    w = insertBits(w, 11, 7, 0x1f);
+    w = insertBits(w, 31, 12, 0xabcde);
+    EXPECT_EQ(bits(w, 6, 0), 0x55u);
+    EXPECT_EQ(bits(w, 11, 7), 0x1fu);
+    EXPECT_EQ(bits(w, 31, 12), 0xabcdeu);
+}
+
+TEST(BitUtil, Log2)
+{
+    EXPECT_EQ(floorLog2(1), 0u);
+    EXPECT_EQ(floorLog2(2), 1u);
+    EXPECT_EQ(floorLog2(3), 1u);
+    EXPECT_EQ(ceilLog2(1), 0u);
+    EXPECT_EQ(ceilLog2(3), 2u);
+    EXPECT_EQ(ceilLog2(4), 2u);
+    EXPECT_EQ(ceilLog2(5), 3u);
+    EXPECT_TRUE(isPowerOf2(64));
+    EXPECT_FALSE(isPowerOf2(65));
+    EXPECT_EQ(alignUp(13, 8), 16u);
+    EXPECT_EQ(alignUp(16, 8), 16u);
+}
+
+TEST(Logging, FatalThrows)
+{
+    EXPECT_THROW(fatal("boom ", 42), FatalError);
+    EXPECT_THROW(panic("bug"), PanicError);
+    try {
+        fatal("value=", 7);
+    } catch (const FatalError& e) {
+        EXPECT_STREQ(e.what(), "value=7");
+    }
+}
+
+TEST(Logging, AssertMacro)
+{
+    EXPECT_NO_THROW(CH_ASSERT(1 + 1 == 2, "fine"));
+    EXPECT_THROW(CH_ASSERT(false, "nope"), PanicError);
+}
+
+TEST(Prng, Deterministic)
+{
+    Prng a(123), b(123);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Prng, BoundsRespected)
+{
+    Prng p(7);
+    for (int i = 0; i < 1000; ++i) {
+        EXPECT_LT(p.nextBelow(17), 17u);
+        double d = p.nextDouble();
+        EXPECT_GE(d, 0.0);
+        EXPECT_LT(d, 1.0);
+    }
+}
+
+TEST(Stats, CountersAccumulate)
+{
+    StatGroup g;
+    g.counter("a") += 3;
+    ++g.counter("a");
+    g.counter("b") += 10;
+    EXPECT_EQ(g.value("a"), 4u);
+    EXPECT_EQ(g.value("b"), 10u);
+    EXPECT_EQ(g.value("missing"), 0u);
+    auto all = g.dump();
+    ASSERT_EQ(all.size(), 2u);
+    EXPECT_EQ(all[0].first, "a");
+    g.reset();
+    EXPECT_EQ(g.value("a"), 0u);
+}
+
+TEST(StrUtil, TrimAndSplit)
+{
+    EXPECT_EQ(trim("  hi \t"), "hi");
+    EXPECT_EQ(trim(""), "");
+    auto parts = split("a, b ,c", ',');
+    ASSERT_EQ(parts.size(), 3u);
+    EXPECT_EQ(parts[0], "a");
+    EXPECT_EQ(parts[1], "b");
+    EXPECT_EQ(parts[2], "c");
+    EXPECT_TRUE(startsWith("hello", "he"));
+    EXPECT_TRUE(endsWith("hello", "lo"));
+    EXPECT_FALSE(endsWith("lo", "hello"));
+}
+
+TEST(Table, PrintsAlignedColumns)
+{
+    TextTable t;
+    t.header({"name", "value"});
+    t.row({"x", "1"});
+    t.row({"longer", "22"});
+    std::ostringstream os;
+    t.print(os);
+    const std::string out = os.str();
+    EXPECT_NE(out.find("name"), std::string::npos);
+    EXPECT_NE(out.find("longer"), std::string::npos);
+    EXPECT_NE(out.find("----"), std::string::npos);
+}
+
+TEST(Table, Formatting)
+{
+    EXPECT_EQ(fmtDouble(1.23456, 2), "1.23");
+    EXPECT_EQ(fmtPercent(0.074, 1), "7.4%");
+}
+
+} // namespace
+} // namespace ch

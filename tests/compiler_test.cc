@@ -1,0 +1,577 @@
+#include <gtest/gtest.h>
+
+#include "backend/backend.h"
+#include "emu/emulator.h"
+#include "frontc/codegen.h"
+#include "frontc/parser.h"
+#include "ir/analysis.h"
+
+namespace ch {
+namespace {
+
+/** Compile for @p isa, run, and return the result. */
+RunResult
+runOn(Isa isa, const std::string& src, uint64_t maxInsts = 50'000'000)
+{
+    Program p = compileMiniC(src, isa);
+    RunResult r = runProgram(p, maxInsts);
+    EXPECT_TRUE(r.exited) << "program did not exit on " << isaName(isa);
+    return r;
+}
+
+/**
+ * The core differential harness: all three ISAs must compute the same
+ * exit code and byte output. Returns the common exit code.
+ */
+int64_t
+runAll(const std::string& src, const std::string& expectOutput = "")
+{
+    RunResult riscv = runOn(Isa::Riscv, src);
+    RunResult straight = runOn(Isa::Straight, src);
+    RunResult clock = runOn(Isa::Clockhands, src);
+    EXPECT_EQ(riscv.exitCode, straight.exitCode) << "STRAIGHT diverged";
+    EXPECT_EQ(riscv.exitCode, clock.exitCode) << "Clockhands diverged";
+    EXPECT_EQ(riscv.output, straight.output);
+    EXPECT_EQ(riscv.output, clock.output);
+    if (!expectOutput.empty())
+        EXPECT_EQ(riscv.output, expectOutput);
+    return riscv.exitCode;
+}
+
+TEST(Compiler, MainReturnValue)
+{
+    EXPECT_EQ(runAll("int main() { return 42; }"), 42);
+}
+
+TEST(Compiler, Arithmetic)
+{
+    EXPECT_EQ(runAll(R"(
+        int main() {
+            long a = 1000000007;
+            long b = 998244353;
+            long c = (a * 3 - b) % 1000 + (a / b) + (a & 255) - (b | 1) % 7;
+            return (int)(c % 100);
+        }
+    )"), runAll(R"(int main(){ return (int)(((1000000007*3-998244353)%1000
+        + 1000000007/998244353 + (1000000007&255) - (998244353|1)%7)%100); })"));
+}
+
+TEST(Compiler, IntWrapsAt32Bits)
+{
+    EXPECT_EQ(runAll(R"(
+        int main() {
+            int x = 2147483647;
+            x = x + 1;               // INT_MIN
+            return x == -2147483648 ? 1 : 0;
+        }
+    )"), 1);
+}
+
+TEST(Compiler, WhileLoopSum)
+{
+    EXPECT_EQ(runAll(R"(
+        int main() {
+            long sum = 0;
+            long i = 1;
+            while (i <= 100) { sum = sum + i; i = i + 1; }
+            return (int)(sum % 251);   // 5050 % 251 = 30
+        }
+    )"), 5050 % 251);
+}
+
+TEST(Compiler, ForLoopNested)
+{
+    EXPECT_EQ(runAll(R"(
+        int main() {
+            long acc = 0;
+            for (long i = 0; i < 20; ++i)
+                for (long j = 0; j < 20; ++j)
+                    if ((i + j) % 3 == 0)
+                        acc += i * j;
+            return (int)(acc % 199);
+        }
+    )"), [] {
+        long acc = 0;
+        for (long i = 0; i < 20; ++i)
+            for (long j = 0; j < 20; ++j)
+                if ((i + j) % 3 == 0)
+                    acc += i * j;
+        return static_cast<int>(acc % 199);
+    }());
+}
+
+TEST(Compiler, DoWhileBreakContinue)
+{
+    EXPECT_EQ(runAll(R"(
+        int main() {
+            long n = 0, i = 0;
+            do {
+                i = i + 1;
+                if (i % 2 == 0) continue;
+                if (i > 15) break;
+                n = n + i;
+            } while (i < 100);
+            return (int)n;   // 1+3+5+7+9+11+13+15 = 64
+        }
+    )"), 64);
+}
+
+TEST(Compiler, FunctionsAndRecursion)
+{
+    EXPECT_EQ(runAll(R"(
+        long fib(long n) {
+            if (n < 2) return n;
+            return fib(n - 1) + fib(n - 2);
+        }
+        int main() { return (int)fib(15); }
+    )"), 610);
+}
+
+TEST(Compiler, ManyArguments)
+{
+    EXPECT_EQ(runAll(R"(
+        long f(long a, long b, long c, long d, long e, long g) {
+            return a + 2*b + 3*c + 4*d + 5*e + 6*g;
+        }
+        int main() { return (int)f(1, 2, 3, 4, 5, 6); }
+    )"), 1 + 4 + 9 + 16 + 25 + 36);
+}
+
+TEST(Compiler, GlobalsAndArrays)
+{
+    EXPECT_EQ(runAll(R"(
+        long table[8] = {1, 2, 3, 4, 5, 6, 7, 8};
+        long acc;
+        int main() {
+            acc = 0;
+            for (long i = 0; i < 8; ++i)
+                acc += table[i] * table[7 - i];
+            return (int)acc;
+        }
+    )"), 1*8 + 2*7 + 3*6 + 4*5 + 5*4 + 6*3 + 7*2 + 8*1);
+}
+
+TEST(Compiler, LocalArraysAndPointers)
+{
+    EXPECT_EQ(runAll(R"(
+        int main() {
+            long buf[16];
+            long* p = buf;
+            for (long i = 0; i < 16; ++i) *p++ = i * i;
+            long sum = 0;
+            for (long* q = buf; q < buf + 16; ++q) sum += *q;
+            return (int)(sum % 251);   // 1240 % 251
+        }
+    )"), 1240 % 251);
+}
+
+TEST(Compiler, PointerArithmeticAndAddressOf)
+{
+    EXPECT_EQ(runAll(R"(
+        void bump(long* x) { *x = *x + 7; }
+        int main() {
+            long v = 10;
+            bump(&v);
+            bump(&v);
+            return (int)v;
+        }
+    )"), 24);
+}
+
+TEST(Compiler, CharArraysAndStrings)
+{
+    runAll(R"(
+        char msg[] = "Hi there";
+        int main() {
+            for (long i = 0; msg[i]; ++i) putchar(msg[i]);
+            putchar(10);
+            return 0;
+        }
+    )", "Hi there\n");
+}
+
+TEST(Compiler, Structs)
+{
+    EXPECT_EQ(runAll(R"(
+        struct Point { long x; long y; };
+        struct Seg { struct Point a; struct Point b; long tag; };
+        struct Seg segs[4];
+        long manhattan(struct Seg* s) {
+            long dx = s->b.x - s->a.x;
+            long dy = s->b.y - s->a.y;
+            if (dx < 0) dx = -dx;
+            if (dy < 0) dy = -dy;
+            return dx + dy;
+        }
+        int main() {
+            for (long i = 0; i < 4; ++i) {
+                segs[i].a.x = i;
+                segs[i].a.y = 2 * i;
+                segs[i].b.x = 10 - i;
+                segs[i].b.y = i * i;
+                segs[i].tag = i;
+            }
+            long total = 0;
+            for (long i = 0; i < 4; ++i) total += manhattan(&segs[i]);
+            return (int)total;
+        }
+    )"), [] {
+        long total = 0;
+        for (long i = 0; i < 4; ++i) {
+            long dx = (10 - i) - i;
+            long dy = i * i - 2 * i;
+            if (dx < 0) dx = -dx;
+            if (dy < 0) dy = -dy;
+            total += dx + dy;
+        }
+        return static_cast<int>(total);
+    }());
+}
+
+TEST(Compiler, Doubles)
+{
+    EXPECT_EQ(runAll(R"(
+        double poly(double x) { return 3.0 * x * x - 2.0 * x + 0.5; }
+        int main() {
+            double acc = 0.0;
+            for (long i = 0; i < 10; ++i)
+                acc = acc + poly((double)i * 0.5);
+            return (int)acc;
+        }
+    )"), [] {
+        double acc = 0.0;
+        for (long i = 0; i < 10; ++i) {
+            double x = static_cast<double>(i) * 0.5;
+            acc += 3.0 * x * x - 2.0 * x + 0.5;
+        }
+        return static_cast<int>(acc);
+    }());
+}
+
+TEST(Compiler, DoubleComparisonsAndDivision)
+{
+    EXPECT_EQ(runAll(R"(
+        int main() {
+            double a = 1.0 / 3.0;
+            double b = 2.0 / 6.0;
+            long eq = a == b;
+            long lt = a < 0.34;
+            long ge = (a * 3.0) >= 0.9999;
+            return (int)(eq * 100 + lt * 10 + ge);
+        }
+    )"), 111);
+}
+
+TEST(Compiler, TernaryAndLogical)
+{
+    EXPECT_EQ(runAll(R"(
+        int main() {
+            long a = 5, b = 0, c = -3;
+            long r = 0;
+            if (a > 0 && c < 0) r += 1;
+            if (b || c) r += 10;
+            if (!(a && b)) r += 100;
+            r += a > b ? 1000 : 2000;
+            return (int)r;
+        }
+    )"), 1111);
+}
+
+TEST(Compiler, ShiftsAndBitOps)
+{
+    EXPECT_EQ(runAll(R"(
+        int main() {
+            long x = 0x1234;
+            long r = ((x << 3) ^ (x >> 2)) & 0xffff;
+            r |= (~x) & 0xff;
+            return (int)(r % 251);
+        }
+    )"), [] {
+        long x = 0x1234;
+        long r = ((x << 3) ^ (x >> 2)) & 0xffff;
+        r |= (~x) & 0xff;
+        return static_cast<int>(r % 251);
+    }());
+}
+
+TEST(Compiler, CharTypeNarrowing)
+{
+    EXPECT_EQ(runAll(R"(
+        int main() {
+            char c = 200;            // wraps to -56
+            int widened = c;
+            return widened == -56 ? 7 : 0;
+        }
+    )"), 7);
+}
+
+TEST(Compiler, CompoundAssignAndIncDec)
+{
+    const auto got = runAll(R"(
+        int main() {
+            long x = 10;
+            x += 5; x -= 2; x *= 3; x /= 2; x %= 11;
+            long arr[3];
+            arr[0] = 0; arr[1] = 0; arr[2] = 0;
+            long i = 0;
+            arr[i++] = 1;
+            arr[i++] = 2;
+            arr[--i] += 10;
+            return (int)(x * 100 + arr[0] + arr[1] + arr[2]);
+        }
+    )");
+    long x = 10;
+    x += 5; x -= 2; x *= 3; x /= 2; x %= 11;
+    long arr[3] = {0, 0, 0};
+    long i = 0;
+    arr[i++] = 1;
+    arr[i++] = 2;
+    arr[--i] += 10;
+    const auto expected =
+        static_cast<int>(x * 100 + arr[0] + arr[1] + arr[2]);
+    EXPECT_EQ(got, expected);
+}
+
+TEST(Compiler, SizeofAndCasts)
+{
+    EXPECT_EQ(runAll(R"(
+        struct S { long a; char b; long c; };
+        int main() {
+            long r = sizeof(long) + sizeof(char) * 10 + sizeof(struct S);
+            double d = 3.9;
+            r += (long)d;           // truncates to 3
+            r += (long)(char)300;   // 300 wraps to 44
+            return (int)r;
+        }
+    )"), 8 + 10 + 24 + 3 + 44);
+}
+
+TEST(Compiler, DeepLoopNestExercisesVHand)
+{
+    // Four nested loops with constants at each level: the Clockhands
+    // hand-assignment stress case from Fig. 7's methodology.
+    EXPECT_EQ(runAll(R"(
+        int main() {
+            long n1 = 3, n2 = 4, n3 = 3, n4 = 2;
+            long acc = 0;
+            for (long a = 0; a < n1; ++a)
+                for (long b = 0; b < n2; ++b)
+                    for (long c = 0; c < n3; ++c)
+                        for (long d = 0; d < n4; ++d)
+                            acc += a + 2*b + 3*c + 4*d + n1 + n2 + n3 + n4;
+            return (int)(acc % 251);
+        }
+    )"), [] {
+        long acc = 0;
+        for (long a = 0; a < 3; ++a)
+            for (long b = 0; b < 4; ++b)
+                for (long c = 0; c < 3; ++c)
+                    for (long d = 0; d < 2; ++d)
+                        acc += a + 2*b + 3*c + 4*d + 3 + 4 + 3 + 2;
+        return static_cast<int>(acc % 251);
+    }());
+}
+
+TEST(Compiler, HighRegisterPressure)
+{
+    // Many simultaneously-live values force spills in every backend.
+    const auto got = runAll(R"(
+        int main() {
+            long a0=1,a1=2,a2=3,a3=4,a4=5,a5=6,a6=7,a7=8,a8=9,a9=10;
+            long b0=11,b1=12,b2=13,b3=14,b4=15,b5=16,b6=17,b7=18,b8=19,b9=20;
+            long c0=21,c1=22,c2=23,c3=24,c4=25,c5=26,c6=27,c7=28,c8=29,c9=30;
+            long s = 0;
+            for (long i = 0; i < 10; ++i) {
+                s += a0+a1+a2+a3+a4+a5+a6+a7+a8+a9;
+                s += b0+b1+b2+b3+b4+b5+b6+b7+b8+b9;
+                s += c0+c1+c2+c3+c4+c5+c6+c7+c8+c9;
+                a0 += b0; b1 += c1; c2 += a2; a3 += c3; b4 += a4;
+            }
+            return (int)(s % 251);
+        }
+    )");
+    long a[10] = {1,2,3,4,5,6,7,8,9,10};
+    long b[10] = {11,12,13,14,15,16,17,18,19,20};
+    long c[10] = {21,22,23,24,25,26,27,28,29,30};
+    long s = 0;
+    for (long i = 0; i < 10; ++i) {
+        for (int k = 0; k < 10; ++k) s += a[k] + b[k] + c[k];
+        a[0] += b[0]; b[1] += c[1]; c[2] += a[2]; a[3] += c[3];
+        b[4] += a[4];
+    }
+    EXPECT_EQ(got, static_cast<int>(s % 251));
+}
+
+TEST(Compiler, CallsInsideLoops)
+{
+    // Values live across calls in a loop: v-hand preservation (CH) and
+    // ring spilling (STRAIGHT).
+    EXPECT_EQ(runAll(R"(
+        long twist(long x) { return x * 3 + 1; }
+        int main() {
+            long acc = 0;
+            long scale = 7;
+            for (long i = 0; i < 50; ++i) {
+                acc += twist(i) % scale;
+                acc += twist(acc % 13);
+            }
+            return (int)(acc % 251);
+        }
+    )"), [] {
+        auto twist = [](long x) { return x * 3 + 1; };
+        long acc = 0;
+        for (long i = 0; i < 50; ++i) {
+            acc += twist(i) % 7;
+            acc += twist(acc % 13);
+        }
+        return static_cast<int>(acc % 251);
+    }());
+}
+
+TEST(Compiler, MutualRecursion)
+{
+    EXPECT_EQ(runAll(R"(
+        long isOdd(long n);
+        long isEven(long n) { if (n == 0) return 1; return isOdd(n - 1); }
+        long isOdd(long n) { if (n == 0) return 0; return isEven(n - 1); }
+        int main() { return (int)(isEven(10) * 10 + isOdd(7)); }
+    )"), 11);
+}
+
+TEST(Compiler, LongLivedValueAcrossManyInstructions)
+{
+    // A value defined once and used after >126 dynamic instructions:
+    // STRAIGHT needs max-distance relays (Fig. 2(b)).
+    EXPECT_EQ(runAll(R"(
+        int main() {
+            long magic = 12345;
+            long noise = 0;
+            for (long i = 0; i < 200; ++i) noise += i ^ (i << 1);
+            return (int)((magic + noise) % 251);
+        }
+    )"), [] {
+        long noise = 0;
+        for (long i = 0; i < 200; ++i) noise += i ^ (i << 1);
+        return static_cast<int>((12345 + noise) % 251);
+    }());
+}
+
+// ---------------------------------------------------------------------
+// Hand-assignment pass unit checks (Section 6.2 / Algorithm 1).
+// ---------------------------------------------------------------------
+
+TEST(HandAssign, LoopConstantsGoToV)
+{
+    VModule mod = compileToVCode(R"(
+        int main() {
+            long bound = 1000;
+            long sum = 0;
+            for (long i = 0; i < bound; ++i) sum += i;
+            return (int)(sum % 7);
+        }
+    )");
+    const VFunc* f = mod.findFunc("main");
+    ASSERT_NE(f, nullptr);
+    HandPlan plan = assignHands(*f);
+    int loopConsts = 0;
+    for (int v = 0; v < f->numVRegs; ++v) {
+        if (plan.isLoopConstant[v]) {
+            ++loopConsts;
+            EXPECT_EQ(plan.handOf[v], HandV);
+        }
+    }
+    EXPECT_GE(loopConsts, 1);
+}
+
+TEST(HandAssign, ShortLivedGoToT)
+{
+    VModule mod = compileToVCode(R"(
+        int main() {
+            long x = 3;
+            long y = x + 1;
+            return (int)(y * 2);
+        }
+    )");
+    const VFunc* f = mod.findFunc("main");
+    ASSERT_NE(f, nullptr);
+    HandPlan plan = assignHands(*f);
+    int tCount = 0;
+    for (int v = 0; v < f->numVRegs; ++v) {
+        if (plan.handOf[v] == HandT)
+            ++tCount;
+    }
+    EXPECT_GE(tCount, 2);
+}
+
+TEST(HandAssign, CallCrossersGoToV)
+{
+    VModule mod = compileToVCode(R"(
+        long id(long x) { return x; }
+        int main() {
+            long keep = 5;
+            long r = id(3);
+            return (int)(keep + r);
+        }
+    )");
+    const VFunc* f = mod.findFunc("main");
+    ASSERT_NE(f, nullptr);
+    HandPlan plan = assignHands(*f);
+    // "keep" must live across the call: some vreg is v-assigned or
+    // memory-demoted.
+    bool found = false;
+    for (int v = 0; v < f->numVRegs; ++v) {
+        if (plan.handOf[v] == HandV || plan.inMemory[v])
+            found = true;
+    }
+    EXPECT_TRUE(found);
+}
+
+// ---------------------------------------------------------------------
+// CFG analysis checks.
+// ---------------------------------------------------------------------
+
+TEST(Analysis, LoopNestDepths)
+{
+    VModule mod = compileToVCode(R"(
+        int main() {
+            long acc = 0;
+            for (long i = 0; i < 3; ++i)
+                for (long j = 0; j < 3; ++j)
+                    acc += i * j;
+            return (int)acc;
+        }
+    )");
+    const VFunc* f = mod.findFunc("main");
+    CfgInfo cfg = buildCfg(*f);
+    DomTree dom = buildDomTree(*f, cfg);
+    LoopInfo loops = findLoops(*f, cfg, dom);
+    ASSERT_EQ(loops.loops.size(), 2u);
+    int maxDepth = 0;
+    for (const auto& l : loops.loops)
+        maxDepth = std::max(maxDepth, l.depth);
+    EXPECT_EQ(maxDepth, 2);
+}
+
+TEST(Analysis, LivenessAcrossBlocks)
+{
+    VModule mod = compileToVCode(R"(
+        int main() {
+            long a = 5;
+            long b = 0;
+            if (a > 2) b = a * 2; else b = a * 3;
+            return (int)(a + b);
+        }
+    )");
+    const VFunc* f = mod.findFunc("main");
+    LiveSets live(*f);
+    // Some block must have a live-in (the join reading a and b).
+    bool anyLiveIn = false;
+    for (const auto& blk : f->blocks) {
+        if (!live.liveInRegs(blk.id).empty())
+            anyLiveIn = true;
+    }
+    EXPECT_TRUE(anyLiveIn);
+}
+
+} // namespace
+} // namespace ch

@@ -1,0 +1,295 @@
+#include <gtest/gtest.h>
+
+#include "backend/backend.h"
+#include "emu/emulator.h"
+#include "isa/encoding.h"
+#include "trace/analyzers.h"
+
+namespace ch {
+namespace {
+
+/** Compile + run on one ISA; assert clean exit; return the result. */
+RunResult
+run(Isa isa, const std::string& src, uint64_t maxInsts = 20'000'000)
+{
+    Program p = compileMiniC(src, isa);
+    RunResult r = runProgram(p, maxInsts);
+    EXPECT_TRUE(r.exited);
+    return r;
+}
+
+// ---------------------------------------------------------------------
+// The three Fig. 2 overheads appear in STRAIGHT and not in Clockhands.
+// ---------------------------------------------------------------------
+
+const char* kTightLoop = R"(
+    int main() {
+        long bound = 100000;
+        long acc = 0;
+        for (long i = 0; i < bound; ++i)
+            acc = acc + (i & 7);
+        return (int)(acc & 63);
+    }
+)";
+
+TEST(DistanceSched, LoopConstantRelaysOnlyInStraight)
+{
+    MixAnalyzer riscMix, sMix, cMix;
+    runProgram(compileMiniC(kTightLoop, Isa::Riscv), ~0ull, &riscMix);
+    runProgram(compileMiniC(kTightLoop, Isa::Straight), ~0ull, &sMix);
+    runProgram(compileMiniC(kTightLoop, Isa::Clockhands), ~0ull, &cMix);
+    const double riscMv =
+        static_cast<double>(riscMix.count(MixCat::Move)) / riscMix.total();
+    const double sMv =
+        static_cast<double>(sMix.count(MixCat::Move)) / sMix.total();
+    const double cMv =
+        static_cast<double>(cMix.count(MixCat::Move)) / cMix.total();
+    // STRAIGHT relays the bound (and the loop-carried values) every
+    // iteration; Clockhands parks the constant in v.
+    EXPECT_GT(sMv, cMv + 0.05);
+    EXPECT_LT(cMv, riscMv + 0.10);
+}
+
+TEST(DistanceSched, ClockhandsLoopDoesNotWriteV)
+{
+    // In the hot loop the v hand must not be written (its distances are
+    // what make the loop constant free to reference).
+    Program p = compileMiniC(kTightLoop, Isa::Clockhands);
+    HandUsageAnalyzer hu;
+    runProgram(p, ~0ull, &hu);
+    // v writes are a handful (setup), not per-iteration.
+    EXPECT_LT(hu.writes(HandV), 100u);
+    EXPECT_GT(hu.total(), 100000u);
+}
+
+TEST(DistanceSched, ConvergenceOverheadOnlyInStraight)
+{
+    // Fig. 2(c): every path into a STRAIGHT convergence point must end
+    // in a slot-consuming transfer (a nop on fall-through paths; our
+    // backend uses explicit jumps, which cost the same slot). Clockhands
+    // transfers consume nothing, so its jump+nop+move overhead at joins
+    // is far smaller.
+    const char* src = R"(
+        int main() {
+            long acc = 0;
+            for (long i = 0; i < 1000; ++i) {
+                if (i & 1) acc += 3; else acc += 5;
+            }
+            return (int)(acc & 63);
+        }
+    )";
+    MixAnalyzer sMix, cMix;
+    runProgram(compileMiniC(src, Isa::Straight), ~0ull, &sMix);
+    runProgram(compileMiniC(src, Isa::Clockhands), ~0ull, &cMix);
+    const uint64_t sOverhead = sMix.count(MixCat::Nop) +
+                               sMix.count(MixCat::Move);
+    const uint64_t cOverhead = cMix.count(MixCat::Nop) +
+                               cMix.count(MixCat::Move);
+    EXPECT_EQ(cMix.count(MixCat::Nop), 0u);
+    EXPECT_GT(sOverhead, cOverhead + 1000);
+}
+
+TEST(DistanceSched, MaxDistanceRelaysInLongBlocks)
+{
+    // A single basic block with ~200 independent adds: a value defined
+    // at the top is referenced at the bottom, beyond STRAIGHT's reach.
+    std::string src = "int main() {\n    long keep = 12345;\n";
+    for (int i = 0; i < 200; ++i) {
+        src += "    long t" + std::to_string(i) + " = " +
+               std::to_string(i) + " + g;\n";
+    }
+    src += "    long acc = keep";
+    for (int i = 0; i < 200; ++i)
+        src += " + t" + std::to_string(i);
+    src += ";\n    return (int)(acc & 63);\n}\n";
+    src = "long g = 1;\n" + src;
+
+    RunResult riscv = run(Isa::Riscv, src);
+    RunResult straight = run(Isa::Straight, src);
+    RunResult clock = run(Isa::Clockhands, src);
+    EXPECT_EQ(riscv.exitCode, straight.exitCode);
+    EXPECT_EQ(riscv.exitCode, clock.exitCode);
+}
+
+// ---------------------------------------------------------------------
+// Stress: structural limits of the schedulers.
+// ---------------------------------------------------------------------
+
+TEST(DistanceSched, DeepRecursionStacksFrames)
+{
+    const char* src = R"(
+        long down(long n, long acc) {
+            if (n == 0) return acc;
+            return down(n - 1, acc + n);
+        }
+        int main() { return (int)(down(500, 0) % 101); }
+    )";
+    const int64_t expected = (500 * 501 / 2) % 101;
+    for (Isa isa : {Isa::Riscv, Isa::Straight, Isa::Clockhands})
+        EXPECT_EQ(run(isa, src).exitCode, expected) << isaName(isa);
+}
+
+TEST(DistanceSched, TenArguments)
+{
+    const char* src = R"(
+        long many(long a, long b, long c, long d, long e, long f,
+                  long g, long h, long i, long j) {
+            return a + 2*b + 3*c + 4*d + 5*e + 6*f + 7*g + 8*h + 9*i
+                   + 10*j;
+        }
+        int main() {
+            return (int)(many(1,2,3,4,5,6,7,8,9,10) % 127);
+        }
+    )";
+    int64_t expected = 0;
+    for (int i = 1; i <= 10; ++i)
+        expected += static_cast<int64_t>(i) * i;
+    expected %= 127;
+    // RISC register args stop at 8; the distance ISAs take 10 (the s
+    // hand's reach minus the RA/SP slots and epilogue slack).
+    for (Isa isa : {Isa::Straight, Isa::Clockhands})
+        EXPECT_EQ(run(isa, src).exitCode, expected) << isaName(isa);
+
+    // Beyond the limit the compiler reports a clean error.
+    const char* tooMany = R"(
+        long f(long a, long b, long c, long d, long e, long g,
+               long h, long i, long j, long k, long l) { return a; }
+        int main() { return (int)f(1,2,3,4,5,6,7,8,9,10,11); }
+    )";
+    EXPECT_THROW(compileMiniC(tooMany, Isa::Clockhands), FatalError);
+}
+
+TEST(DistanceSched, ManyLiveValuesDemoteToMemory)
+{
+    // More concurrently-live values than any hand can hold: the capacity
+    // sweep must spill, and results must stay correct.
+    std::string src = "int main() {\n";
+    for (int i = 0; i < 30; ++i) {
+        src += "    long a" + std::to_string(i) + " = " +
+               std::to_string(i * 3 + 1) + ";\n";
+    }
+    src += "    long acc = 0;\n    for (long r = 0; r < 50; ++r) {\n";
+    src += "        acc = acc";
+    for (int i = 0; i < 30; ++i)
+        src += " + a" + std::to_string(i);
+    src += ";\n";
+    for (int i = 0; i < 30; i += 3) {
+        src += "        a" + std::to_string(i) + " = a" +
+               std::to_string((i + 7) % 30) + " + r;\n";
+    }
+    src += "    }\n    return (int)(acc % 113);\n}\n";
+
+    RunResult riscv = run(Isa::Riscv, src);
+    for (Isa isa : {Isa::Straight, Isa::Clockhands})
+        EXPECT_EQ(run(isa, src).exitCode, riscv.exitCode) << isaName(isa);
+}
+
+TEST(DistanceSched, LeafKeepsParamsInSHand)
+{
+    // A leaf function reads its arguments straight out of the s hand:
+    // the compiled body contains no parameter-homing mv at entry.
+    const char* src = R"(
+        long lerp(long a, long b, long t) {
+            return a + (b - a) * t / 16;
+        }
+        int main() {
+            long acc = 0;
+            for (long i = 0; i < 100; ++i) acc += lerp(i, 100 - i, 8);
+            return (int)(acc % 97);
+        }
+    )";
+    Program p = compileMiniC(src, Isa::Clockhands);
+    const uint64_t start = p.symbol("lerp");
+    // First instructions of lerp must not be parameter-homing mvs.
+    const Inst& first = p.instAt(start);
+    EXPECT_NE(first.op, Op::MV);
+    // And it must agree with RISC.
+    EXPECT_EQ(run(Isa::Clockhands, src).exitCode,
+              run(Isa::Riscv, src).exitCode);
+}
+
+TEST(DistanceSched, VSaveRestoreOnlyWhenVWritten)
+{
+    // A leaf whose loop constants are its own parameters needs no v
+    // save/restore (they stay in s); a function with a local loop
+    // constant that survives calls does save v.
+    const char* leafSrc = R"(
+        long sum(long* arr, long n) {
+            long acc = 0;
+            for (long i = 0; i < n; ++i) acc += arr[i];
+            return acc;
+        }
+        long data[8];
+        int main() {
+            for (long i = 0; i < 8; ++i) data[i] = i;
+            return (int)sum(data, 8);
+        }
+    )";
+    Program p = compileMiniC(leafSrc, Isa::Clockhands);
+    // Count v-hand writes in sum's body: none expected.
+    HandUsageAnalyzer hu;
+    runProgram(p, ~0ull, &hu);
+    EXPECT_EQ(run(Isa::Clockhands, leafSrc).exitCode, 28);
+}
+
+TEST(DistanceSched, AllEmittedCodeStaysEncodable)
+{
+    // finalize() range-checks everything; stress with a mix of shapes.
+    const char* src = R"(
+        long fib(long n) {
+            if (n < 2) return n;
+            return fib(n - 1) + fib(n - 2);
+        }
+        double gauss(double x, double m) {
+            double d = x - m;
+            return d * d * 0.5;
+        }
+        int main() {
+            long acc = (long)gauss(3.0, 1.0) + fib(12);
+            for (long i = 0; i < 100; ++i) {
+                for (long j = 0; j < 10; ++j) {
+                    if ((i ^ j) & 1) acc += i * j; else acc -= j;
+                }
+            }
+            return (int)(acc & 63);
+        }
+    )";
+    for (Isa isa : {Isa::Riscv, Isa::Straight, Isa::Clockhands}) {
+        Program p = compileMiniC(src, isa);
+        // Round-trip every word through the encoder.
+        for (size_t i = 0; i < p.text.size(); ++i) {
+            const Inst d = decode(isa, p.text[i]);
+            EXPECT_EQ(encode(isa, d), p.text[i]) << "inst " << i;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Per-hand lifetime separation (the Fig. 18 property, in miniature).
+// ---------------------------------------------------------------------
+
+TEST(DistanceSched, HandsSeparateLifetimes)
+{
+    const char* src = R"(
+        int main() {
+            long bound = 20000;   // loop constant -> v, very long lived
+            long acc = 0;         // loop-carried -> u/t
+            for (long i = 0; i < bound; ++i)
+                acc = acc + ((i * 3) ^ (acc >> 2));
+            return (int)(acc & 63);
+        }
+    )";
+    Program p = compileMiniC(src, Isa::Clockhands);
+    LifetimeAnalyzer lt(Isa::Clockhands);
+    runProgram(p, ~0ull, &lt);
+    lt.finish();
+    // t definitions are numerous and short-lived.
+    EXPECT_GT(lt.perHand(HandT).definitions(), 10000u);
+    EXPECT_EQ(lt.perHand(HandT).atLeast(12), 0u);
+    // v definitions are rare and long-lived.
+    EXPECT_LT(lt.perHand(HandV).definitions(), 50u);
+    EXPECT_GE(lt.perHand(HandV).atLeast(12), 1u);
+}
+
+} // namespace
+} // namespace ch

@@ -1,0 +1,390 @@
+#include <gtest/gtest.h>
+
+#include "asm/assembler.h"
+#include "emu/emulator.h"
+
+namespace ch {
+namespace {
+
+/** Assemble, run to completion, and return the result. */
+RunResult
+runAsm(Isa isa, const std::string& src, uint64_t maxInsts = 1'000'000)
+{
+    Program p = assemble(isa, src);
+    RunResult r = runProgram(p, maxInsts);
+    EXPECT_TRUE(r.exited) << "program did not exit";
+    return r;
+}
+
+// ---------------------------------------------------------------------
+// The paper's Fig. 1 iota kernel, expressed for each ISA, must produce
+// identical memory contents. This is the core cross-ISA differential
+// test for the register models.
+// ---------------------------------------------------------------------
+
+TEST(Emulator, IotaRiscv)
+{
+    Program p = assemble(Isa::Riscv, R"(
+        .data
+    arr: .zero 40
+        .text
+        la a0, arr
+        li a1, 10
+        addi a5, zero, 0
+    loop:
+        sw a5, 0(a0)
+        addiw a5, a5, 1
+        addi a0, a0, 4
+        bne a1, a5, loop
+        ecall zero, zero, 0
+    )");
+    Emulator emu(p);
+    RunResult r = emu.run();
+    EXPECT_TRUE(r.exited);
+    for (int i = 0; i < 10; ++i)
+        EXPECT_EQ(emu.memory().read(p.symbol("arr") + 4 * i, 4),
+                  static_cast<uint64_t>(i));
+}
+
+TEST(Emulator, IotaClockhands)
+{
+    // Fig. 1(d) structure: loop constants live in v and never move while
+    // the loop rotates only t.
+    Program p = assemble(Isa::Clockhands, R"(
+        .data
+    arr: .zero 40
+        .text
+        la u, arr
+        addi t, zero, 0      # t[0] = i
+        mv t, u[0]           # t[0] = &arr[i], t[1] = i
+        addi v, zero, 10     # v[0] = N
+    loop:
+        sw t[1], 0(t[0])
+        addiw t, t[1], 1     # new i
+        addi t, t[1], 4      # new &arr[i]
+        bne t[1], v[0], loop
+        ecall t, zero, 0
+    )");
+    Emulator emu(p);
+    RunResult r = emu.run();
+    EXPECT_TRUE(r.exited);
+    for (int i = 0; i < 10; ++i)
+        EXPECT_EQ(emu.memory().read(p.symbol("arr") + 4 * i, 4),
+                  static_cast<uint64_t>(i));
+}
+
+TEST(Emulator, IotaStraight)
+{
+    // Every instruction (including sw, j, bne) occupies one ring slot;
+    // relay mv instructions re-establish the loop frame each iteration,
+    // exactly the overhead the paper describes in Fig. 2(a).
+    Program p = assemble(Isa::Straight, R"(
+        .data
+    arr: .zero 40
+        .text
+        la arr               # lui; addi -> &arr
+        li 10                # N
+        addi zero, 0         # i = 0
+        j loop
+        # loop-top frame: [1]=jump/branch slot, [2]=i, [3]=N, [4]=&arr[i]
+    loop:
+        sw [2], 0([4])
+        addiw [3], 1         # i'
+        addi [6], 4          # &arr[i+1]
+        mv [6]               # relay N
+        mv [3]               # relay i'
+        bne [1], [2], loop
+        ecall zero, 0
+    )");
+    Emulator emu(p);
+    RunResult r = emu.run();
+    EXPECT_TRUE(r.exited);
+    for (int i = 0; i < 10; ++i)
+        EXPECT_EQ(emu.memory().read(p.symbol("arr") + 4 * i, 4),
+                  static_cast<uint64_t>(i));
+}
+
+// ---------------------------------------------------------------------
+// ALU semantics spot checks (RISC carrier, semantics shared by all ISAs).
+// ---------------------------------------------------------------------
+
+/** Run a snippet that leaves its result in a0, then report it. */
+int64_t
+evalRisc(const std::string& body)
+{
+    Program p = assemble(Isa::Riscv, body + "\n ecall zero, a0, 0\n");
+    Emulator emu(p);
+    RunResult r = emu.run();
+    EXPECT_TRUE(r.exited);
+    return r.exitCode;
+}
+
+TEST(Emulator, IntegerArithmetic)
+{
+    EXPECT_EQ(evalRisc("li a0, 40\n addi a0, a0, 2"), 42);
+    EXPECT_EQ(evalRisc("li a0, 7\n li a1, -3\n mul a0, a0, a1"), -21);
+    EXPECT_EQ(evalRisc("li a0, -7\n li a1, 2\n div a0, a0, a1"), -3);
+    EXPECT_EQ(evalRisc("li a0, -7\n li a1, 2\n rem a0, a0, a1"), -1);
+    EXPECT_EQ(evalRisc("li a0, 7\n li a1, 0\n div a0, a0, a1"), -1);
+    EXPECT_EQ(evalRisc("li a0, 7\n li a1, 0\n rem a0, a0, a1"), 7);
+    EXPECT_EQ(evalRisc("li a0, 1\n slli a0, a0, 40"), 1ll << 40);
+    EXPECT_EQ(evalRisc("li a0, -8\n srai a0, a0, 1"), -4);
+    EXPECT_EQ(evalRisc("li a0, -8\n li a1, 1\n srl a0, a0, a1"),
+              static_cast<int64_t>(static_cast<uint64_t>(-8) >> 1));
+    EXPECT_EQ(evalRisc("li a0, 5\n li a1, 9\n slt a0, a0, a1"), 1);
+    EXPECT_EQ(evalRisc("li a0, -5\n li a1, 9\n sltu a0, a0, a1"), 0);
+    EXPECT_EQ(evalRisc("li a0, 0xff\n andi a0, a0, 0x0f"), 0x0f);
+    EXPECT_EQ(evalRisc("li a0, 0xf0\n ori a0, a0, 0x0f"), 0xff);
+    EXPECT_EQ(evalRisc("li a0, 0xff\n xori a0, a0, 0x0f"), 0xf0);
+}
+
+TEST(Emulator, Word32Arithmetic)
+{
+    // addiw wraps at 32 bits and sign-extends.
+    EXPECT_EQ(evalRisc("li a0, 0x7fffffff\n addiw a0, a0, 1"),
+              -2147483648ll);
+    EXPECT_EQ(evalRisc("li a0, 0x80000000\n li a1, 0\n addw a0, a0, a1"),
+              -2147483648ll);
+    EXPECT_EQ(evalRisc("li a0, -2\n li a1, 3\n mulw a0, a0, a1"), -6);
+    EXPECT_EQ(evalRisc("li a0, 1\n slliw a0, a0, 31"), -2147483648ll);
+}
+
+TEST(Emulator, MulhVariants)
+{
+    EXPECT_EQ(evalRisc("li a0, -1\n li a1, -1\n mulh a0, a0, a1"), 0);
+    EXPECT_EQ(evalRisc("li a0, -1\n li a1, -1\n mulhu a0, a0, a1"), -2);
+}
+
+TEST(Emulator, LoadStoreSizes)
+{
+    const std::string pre = R"(
+        .data
+    buf: .zero 16
+        .text
+        la a1, buf
+    )";
+    EXPECT_EQ(evalRisc(pre + "li a0, -1\n sb a0, 0(a1)\n lbu a0, 0(a1)"),
+              255);
+    EXPECT_EQ(evalRisc(pre + "li a0, -1\n sb a0, 0(a1)\n lb a0, 0(a1)"), -1);
+    EXPECT_EQ(evalRisc(pre + "li a0, 0x1234\n sh a0, 2(a1)\n lhu a0, 2(a1)"),
+              0x1234);
+    EXPECT_EQ(
+        evalRisc(pre + "li a0, -2\n sw a0, 4(a1)\n lwu a0, 4(a1)"),
+        0xfffffffell);
+    EXPECT_EQ(evalRisc(pre + "li a0, -2\n sw a0, 4(a1)\n lw a0, 4(a1)"), -2);
+    EXPECT_EQ(
+        evalRisc(pre +
+                 "li a0, 0x123456789abcdef0\n sd a0, 8(a1)\n ld a0, 8(a1)"),
+        0x123456789abcdef0ll);
+}
+
+TEST(Emulator, FloatingPoint)
+{
+    // 1.5 + 2.25 = 3.75 -> x10 -> 37 (integer conversion truncates 37.5).
+    EXPECT_EQ(evalRisc(R"(
+        li a0, 3
+        fcvt.d.l f0, a0
+        li a0, 2
+        fcvt.d.l f1, a0
+        fdiv.d f0, f0, f1       # 1.5
+        li a0, 9
+        fcvt.d.l f2, a0
+        li a0, 4
+        fcvt.d.l f3, a0
+        fdiv.d f2, f2, f3       # 2.25
+        fadd.d f0, f0, f2       # 3.75
+        li a0, 10
+        fcvt.d.l f1, a0
+        fmul.d f0, f0, f1       # 37.5
+        fcvt.l.d a0, f0
+    )"), 37);
+    EXPECT_EQ(evalRisc(R"(
+        li a0, 16
+        fcvt.d.l f0, a0
+        fsqrt.d f0, f0
+        fcvt.l.d a0, f0
+    )"), 4);
+    EXPECT_EQ(evalRisc(R"(
+        li a0, 2
+        fcvt.d.l f0, a0
+        li a0, 3
+        fcvt.d.l f1, a0
+        flt.d a0, f0, f1
+    )"), 1);
+    // fsgnjn: negate.
+    EXPECT_EQ(evalRisc(R"(
+        li a0, 5
+        fcvt.d.l f0, a0
+        fsgnjn.d f0, f0, f0
+        fcvt.l.d a0, f0
+    )"), -5);
+}
+
+TEST(Emulator, CallAndReturnRiscv)
+{
+    EXPECT_EQ(evalRisc(R"(
+        li a0, 20
+        call double_it
+        call double_it
+        j done
+    double_it:
+        add a0, a0, a0
+        ret
+    done:
+        nop
+    )"), 80);
+}
+
+TEST(Emulator, PutcharOutput)
+{
+    RunResult r = runAsm(Isa::Riscv, R"(
+        li a0, 72
+        ecall zero, a0, 1
+        li a0, 105
+        ecall zero, a0, 1
+        ecall zero, zero, 0
+    )");
+    EXPECT_EQ(r.output, "Hi");
+    EXPECT_EQ(r.exitCode, 0);
+}
+
+TEST(Emulator, ClockhandsSHandZeroAndRing)
+{
+    // Fill t beyond its depth and verify wraparound freshness.
+    Program p = assemble(Isa::Clockhands, R"(
+        addi t, zero, 1
+        addi t, t[0], 1
+        addi t, t[0], 1
+        addi t, t[0], 1
+        ecall t, t[0], 0
+    )");
+    Emulator emu(p);
+    RunResult r = emu.run();
+    EXPECT_EQ(r.exitCode, 4);
+}
+
+TEST(Emulator, ClockhandsHandsAreIndependent)
+{
+    // Writes to u must not rotate t: t[0] still reads the last t write.
+    Program p = assemble(Isa::Clockhands, R"(
+        addi t, zero, 7
+        addi u, zero, 100
+        addi u, zero, 101
+        addi u, zero, 102
+        ecall t, t[0], 0
+    )");
+    EXPECT_EQ(runProgram(p).exitCode, 7);
+}
+
+TEST(Emulator, StraightEveryInstructionTakesASlot)
+{
+    // The sw and j occupy slots, so the addi result sits at distance 3.
+    Program p = assemble(Isa::Straight, R"(
+        .data
+    buf: .zero 8
+        .text
+        la buf
+        addi zero, 55
+        sw [1], 0([2])
+        j next
+    next:
+        ecall [3], 0
+    )");
+    EXPECT_EQ(runProgram(p).exitCode, 55);
+}
+
+TEST(Emulator, StraightSpecialSp)
+{
+    Program p = assemble(Isa::Straight, R"(
+        spaddi -16
+        addi zero, 99
+        sd [1], 8(sp)
+        ld 8(sp)
+        spaddi 16
+        ecall [2], 0
+    )");
+    EXPECT_EQ(runProgram(p).exitCode, 99);
+}
+
+TEST(Emulator, StopsAtMaxInsts)
+{
+    Program p = assemble(Isa::Riscv, R"(
+    spin:
+        j spin
+    )");
+    RunResult r = runProgram(p, 1000);
+    EXPECT_FALSE(r.exited);
+    EXPECT_EQ(r.instCount, 1000u);
+}
+
+// ---------------------------------------------------------------------
+// Trace-sink integration: producer annotations.
+// ---------------------------------------------------------------------
+
+class Collect : public TraceSink
+{
+  public:
+    void onInst(const DynInst& di) override { insts.push_back(di); }
+    std::vector<DynInst> insts;
+};
+
+TEST(Emulator, ProducerTracking)
+{
+    Program p = assemble(Isa::Riscv, R"(
+        li a0, 5            # seq 0
+        li a1, 6            # seq 1
+        add a2, a0, a1      # seq 2: prod1=0, prod2=1
+        add a2, a2, a0      # seq 3: prod1=2, prod2=0
+        add a3, zero, a2    # seq 4: prod1=none, prod2=3
+        ecall zero, zero, 0
+    )");
+    Collect sink;
+    runProgram(p, ~0ull, &sink);
+    ASSERT_GE(sink.insts.size(), 6u);
+    EXPECT_EQ(sink.insts[2].prod1, 0u);
+    EXPECT_EQ(sink.insts[2].prod2, 1u);
+    EXPECT_EQ(sink.insts[3].prod1, 2u);
+    EXPECT_EQ(sink.insts[3].prod2, 0u);
+    EXPECT_EQ(sink.insts[4].prod1, kNoProducer);
+    EXPECT_EQ(sink.insts[4].prod2, 3u);
+}
+
+TEST(Emulator, ProducerTrackingClockhands)
+{
+    Program p = assemble(Isa::Clockhands, R"(
+        addi t, zero, 5     # seq 0
+        addi u, zero, 6     # seq 1
+        add t, t[0], u[0]   # seq 2: prod1=0, prod2=1
+        add t, t[0], t[1]   # seq 3: prod1=2, prod2=0
+        ecall t, zero, 0
+    )");
+    Collect sink;
+    runProgram(p, ~0ull, &sink);
+    EXPECT_EQ(sink.insts[2].prod1, 0u);
+    EXPECT_EQ(sink.insts[2].prod2, 1u);
+    EXPECT_EQ(sink.insts[3].prod1, 2u);
+    EXPECT_EQ(sink.insts[3].prod2, 0u);
+}
+
+TEST(Emulator, BranchOutcomeInTrace)
+{
+    Program p = assemble(Isa::Riscv, R"(
+        li a0, 2
+    loop:
+        addi a0, a0, -1
+        bne a0, zero, loop
+        ecall zero, zero, 0
+    )");
+    Collect sink;
+    runProgram(p, ~0ull, &sink);
+    int taken = 0, notTaken = 0;
+    for (const auto& di : sink.insts) {
+        if (di.op == Op::BNE)
+            (di.taken ? taken : notTaken)++;
+    }
+    EXPECT_EQ(taken, 1);
+    EXPECT_EQ(notTaken, 1);
+}
+
+} // namespace
+} // namespace ch

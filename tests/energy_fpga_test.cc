@@ -1,0 +1,173 @@
+#include <gtest/gtest.h>
+
+#include "backend/backend.h"
+#include "energy/energy_model.h"
+#include "fpga/resource_model.h"
+#include "uarch/sim.h"
+
+namespace ch {
+namespace {
+
+// ---------------------------------------------------------------------
+// Table 1: checkpoint (recovery information) sizes.
+// ---------------------------------------------------------------------
+
+TEST(Checkpoint, Table1Sizes)
+{
+    EXPECT_EQ(checkpointBits(Isa::Riscv), 63 * 9);       // ~570 bits
+    EXPECT_EQ(checkpointBits(Isa::Straight), 9 + 64);    // ~70 bits
+    EXPECT_EQ(checkpointBits(Isa::Clockhands), 4 * 9);   // ~36 bits
+    // Orders match the paper's Table 1.
+    EXPECT_GT(checkpointBits(Isa::Riscv),
+              5 * checkpointBits(Isa::Straight));
+    EXPECT_GT(checkpointBits(Isa::Straight),
+              checkpointBits(Isa::Clockhands));
+}
+
+// ---------------------------------------------------------------------
+// Energy model structure.
+// ---------------------------------------------------------------------
+
+StatGroup
+statsFor(Isa isa, int width, const char* src)
+{
+    Program p = compileMiniC(src, isa);
+    SimResult r = simulate(p, MachineConfig::preset(width));
+    return std::move(r.stats);
+}
+
+const char* kKernel = R"(
+    int main() {
+        long acc = 0;
+        long i;
+        for (i = 0; i < 30000; i = i + 1) {
+            acc = acc + (i ^ (i >> 3)) * 3;
+            if (acc > 1000000) acc = acc - 999999;
+        }
+        return (int)(acc & 63);
+    }
+)";
+
+TEST(Energy, RenamerDominatedByRisc)
+{
+    const MachineConfig cfg = MachineConfig::preset(8);
+    EnergyBreakdown risc =
+        computeEnergy(cfg, Isa::Riscv, statsFor(Isa::Riscv, 8, kKernel));
+    EnergyBreakdown clock = computeEnergy(
+        cfg, Isa::Clockhands, statsFor(Isa::Clockhands, 8, kKernel));
+    // The renamer is the component the paper attacks: RISC's RMT + DCL +
+    // checkpoints must clearly exceed the RP-calculation stage, and the
+    // gap must widen with fetch width (the Fig 14 story).
+    EXPECT_GT(risc.at(EnergyComp::Renamer),
+              2.0 * clock.at(EnergyComp::Renamer));
+    EXPECT_GT(risc.total(), 0.0);
+
+    const MachineConfig cfg16 = MachineConfig::preset(16);
+    EnergyBreakdown risc16 =
+        computeEnergy(cfg16, Isa::Riscv, statsFor(Isa::Riscv, 16, kKernel));
+    EnergyBreakdown clock16 = computeEnergy(
+        cfg16, Isa::Clockhands, statsFor(Isa::Clockhands, 16, kKernel));
+    const double ratio8 =
+        risc.at(EnergyComp::Renamer) / clock.at(EnergyComp::Renamer);
+    const double ratio16 =
+        risc16.at(EnergyComp::Renamer) / clock16.at(EnergyComp::Renamer);
+    EXPECT_GT(ratio16, ratio8);
+}
+
+TEST(Energy, GrowsSuperlinearlyWithWidth)
+{
+    // Fig 14: the 16-fetch RISC model burns ~7.8x the energy of the
+    // 4-fetch one on the same program.
+    EnergyBreakdown e4 = computeEnergy(MachineConfig::preset(4), Isa::Riscv,
+                                       statsFor(Isa::Riscv, 4, kKernel));
+    EnergyBreakdown e16 = computeEnergy(MachineConfig::preset(16),
+                                        Isa::Riscv,
+                                        statsFor(Isa::Riscv, 16, kKernel));
+    const double ratio = e16.total() / e4.total();
+    EXPECT_GT(ratio, 2.0);
+    EXPECT_LT(ratio, 20.0);
+}
+
+TEST(Energy, ClockhandsSavesAtWideWidths)
+{
+    // The headline claim: the savings grow with fetch width.
+    auto relSaving = [&](int width) {
+        EnergyBreakdown r =
+            computeEnergy(MachineConfig::preset(width), Isa::Riscv,
+                          statsFor(Isa::Riscv, width, kKernel));
+        EnergyBreakdown c =
+            computeEnergy(MachineConfig::preset(width), Isa::Clockhands,
+                          statsFor(Isa::Clockhands, width, kKernel));
+        return 1.0 - c.total() / r.total();
+    };
+    const double s8 = relSaving(8);
+    const double s16 = relSaving(16);
+    EXPECT_GT(s16, s8);
+    EXPECT_GT(s16, 0.05);
+}
+
+TEST(Energy, ComponentNamesComplete)
+{
+    for (int i = 0; i < static_cast<int>(EnergyComp::kCount); ++i) {
+        EXPECT_NE(energyCompName(static_cast<EnergyComp>(i)), "?");
+    }
+}
+
+// ---------------------------------------------------------------------
+// FPGA resource model (Table 3).
+// ---------------------------------------------------------------------
+
+TEST(Fpga, Table3AnchorsExact)
+{
+    // At the calibration widths the model reproduces Table 3 exactly.
+    FpgaResources r4 = estimateFpga(Isa::Riscv, 4);
+    EXPECT_EQ(r4.lutAllocStage, 2310);
+    EXPECT_EQ(r4.ffAllocStage, 998);
+    EXPECT_EQ(r4.lutTotal, 101483);
+    FpgaResources c8 = estimateFpga(Isa::Clockhands, 8);
+    EXPECT_EQ(c8.lutAllocStage, 761);
+    EXPECT_EQ(c8.ffAllocStage, 1086);
+    FpgaResources s16 = estimateFpga(Isa::Straight, 16);
+    EXPECT_EQ(s16.lutAllocStage, 1641);
+    EXPECT_EQ(s16.ffTotal, 57214);
+}
+
+TEST(Fpga, RenameStageScalesQuadraticallyOnlyForRisc)
+{
+    const auto r4 = estimateFpga(Isa::Riscv, 4);
+    const auto r16 = estimateFpga(Isa::Riscv, 16);
+    const auto c4 = estimateFpga(Isa::Clockhands, 4);
+    const auto c16 = estimateFpga(Isa::Clockhands, 16);
+    const double riscGrowth =
+        static_cast<double>(r16.lutAllocStage) / r4.lutAllocStage;
+    const double clockGrowth =
+        static_cast<double>(c16.lutAllocStage) / c4.lutAllocStage;
+    EXPECT_GT(riscGrowth, 10.0);   // superlinear
+    EXPECT_LT(clockGrowth, 5.0);   // near-linear
+}
+
+TEST(Fpga, InterpolationMonotonic)
+{
+    for (Isa isa : {Isa::Riscv, Isa::Straight, Isa::Clockhands}) {
+        long prev = 0;
+        for (int w = 2; w <= 24; ++w) {
+            const auto r = estimateFpga(isa, w);
+            EXPECT_GE(r.lutAllocStage, prev) << "width " << w;
+            prev = r.lutAllocStage;
+        }
+    }
+}
+
+TEST(Fpga, ClockhandsAllocStageIsTiny)
+{
+    // The paper's Table 3 point: Clockhands' allocation stage costs a
+    // small fraction of RISC's at every width.
+    for (int w : {4, 8, 16}) {
+        const auto r = estimateFpga(Isa::Riscv, w);
+        const auto c = estimateFpga(Isa::Clockhands, w);
+        EXPECT_LT(c.lutAllocStage * 4, r.lutAllocStage) << "width " << w;
+    }
+}
+
+} // namespace
+} // namespace ch

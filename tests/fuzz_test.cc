@@ -1,0 +1,204 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "backend/backend.h"
+#include "common/prng.h"
+#include "emu/emulator.h"
+
+namespace ch {
+namespace {
+
+/**
+ * Differential fuzzing: generate random (but terminating) MiniC programs
+ * and require the three ISA compilations to agree on the exit code and
+ * output. No external oracle is needed -- three independently scheduled
+ * register models agreeing on arbitrary dataflow is a strong check of
+ * the backends, the emulators, and the encodings at once.
+ */
+class ProgramGen
+{
+  public:
+    explicit ProgramGen(uint64_t seed) : prng_(seed) {}
+
+    std::string
+    generate()
+    {
+        std::ostringstream os;
+        const int globals = 1 + prng_.nextBelow(3);
+        for (int g = 0; g < globals; ++g) {
+            os << "long g" << g << " = " << signedConst(100) << ";\n";
+        }
+        os << "long garr[16];\n";
+
+        // A few helper functions with 1..3 args.
+        const int helpers = 1 + prng_.nextBelow(3);
+        for (int h = 0; h < helpers; ++h) {
+            const int args = 1 + prng_.nextBelow(3);
+            os << "long f" << h << "(";
+            for (int a = 0; a < args; ++a)
+                os << (a ? ", long p" : "long p") << a;
+            os << ") {\n";
+            os << "    long r = " << expr(args, 2) << ";\n";
+            if (prng_.nextBelow(2)) {
+                os << "    if (" << expr(args, 1) << " > 0) r = r + "
+                   << expr(args, 1) << ";\n";
+            }
+            os << "    return r;\n}\n";
+        }
+
+        os << "int main() {\n";
+        os << "    long acc = 1;\n";
+        const int vars = 2 + prng_.nextBelow(4);
+        for (int v = 0; v < vars; ++v)
+            os << "    long v" << v << " = " << signedConst(50) << ";\n";
+        const int stmts = 3 + prng_.nextBelow(5);
+        for (int s = 0; s < stmts; ++s)
+            statement(os, vars, helpers);
+        os << "    return (int)(acc & 63);\n}\n";
+        return os.str();
+    }
+
+  private:
+    int64_t
+    signedConst(int64_t range)
+    {
+        return static_cast<int64_t>(prng_.nextBelow(2 * range)) - range;
+    }
+
+    /** An arithmetic expression over p0..pN / v0..vN and constants. */
+    std::string
+    expr(int vars, int depth, bool params = true)
+    {
+        if (depth == 0 || prng_.nextBelow(3) == 0) {
+            switch (prng_.nextBelow(3)) {
+              case 0:
+                return std::to_string(signedConst(30));
+              case 1:
+                return (params ? "p" : "v") +
+                       std::to_string(prng_.nextBelow(vars));
+              default:
+                return "g" + std::to_string(prng_.nextBelow(1));
+            }
+        }
+        static const char* ops[] = {"+", "-", "*", "&", "|", "^"};
+        const std::string op = ops[prng_.nextBelow(6)];
+        return "(" + expr(vars, depth - 1, params) + " " + op + " " +
+               expr(vars, depth - 1, params) + ")";
+    }
+
+    void
+    statement(std::ostringstream& os, int vars, int helpers)
+    {
+        const auto var = [&] {
+            return "v" + std::to_string(prng_.nextBelow(vars));
+        };
+        switch (prng_.nextBelow(5)) {
+          case 0:
+            os << "    " << var() << " = "
+               << expr(vars, 2, /*params=*/false) << ";\n";
+            break;
+          case 1: {
+            // Bounded loop accumulating into acc.
+            const int bound = 1 + prng_.nextBelow(20);
+            os << "    for (long i = 0; i < " << bound
+               << "; i = i + 1) acc = acc * 3 + (" << var() << " ^ i);\n";
+            break;
+          }
+          case 2:
+            os << "    if (" << var() << " > " << signedConst(20)
+               << ") acc = acc + " << expr(vars, 1, false)
+               << "; else acc = acc - " << var() << ";\n";
+            break;
+          case 3: {
+            const int h = prng_.nextBelow(helpers);
+            // Look up arity by regenerating deterministically is hard;
+            // call with 3 args -- extra args are a compile error, so use
+            // the known pattern: helper h takes (h % 3) + 1 args. To stay
+            // simple, call f0 with 1..3 args is risky; instead index
+            // garr.
+            os << "    garr[" << prng_.nextBelow(16) << "] = acc + "
+               << var() << ";\n";
+            os << "    acc = acc + garr[" << prng_.nextBelow(16)
+               << "] % 97;\n";
+            (void)h;
+            break;
+          }
+          default:
+            os << "    acc = acc ^ (" << expr(vars, 2, false) << ");\n";
+            break;
+        }
+    }
+
+    Prng prng_;
+};
+
+class DifferentialFuzz : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(DifferentialFuzz, ThreeIsasAgree)
+{
+    ProgramGen gen(0xC10C + GetParam() * 7919);
+    const std::string src = gen.generate();
+    SCOPED_TRACE(src);
+
+    RunResult results[3];
+    int ii = 0;
+    for (Isa isa : {Isa::Riscv, Isa::Straight, Isa::Clockhands}) {
+        Program p = compileMiniC(src, isa);
+        results[ii] = runProgram(p, 5'000'000);
+        ASSERT_TRUE(results[ii].exited)
+            << "did not exit on " << isaName(isa);
+        ++ii;
+    }
+    EXPECT_EQ(results[0].exitCode, results[1].exitCode);
+    EXPECT_EQ(results[0].exitCode, results[2].exitCode);
+    EXPECT_EQ(results[0].output, results[1].output);
+    EXPECT_EQ(results[0].output, results[2].output);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DifferentialFuzz, ::testing::Range(0, 40));
+
+/** Helper-function calls, separately (fixed arity so it always compiles). */
+TEST(DifferentialFuzz, CallHeavyPrograms)
+{
+    Prng prng(77);
+    for (int trial = 0; trial < 10; ++trial) {
+        std::ostringstream os;
+        os << "long mix(long a, long b) { return a * 3 + (b ^ a); }\n";
+        os << "long twist(long a) { return mix(a, a >> 2) - 7; }\n";
+        os << "int main() {\n    long acc = " << prng.nextBelow(100)
+           << ";\n";
+        const int n = 3 + prng.nextBelow(6);
+        for (int i = 0; i < n; ++i) {
+            if (prng.nextBelow(2)) {
+                os << "    acc = mix(acc, " << prng.nextBelow(50)
+                   << ");\n";
+            } else {
+                os << "    for (long i = 0; i < "
+                   << (1 + prng.nextBelow(8))
+                   << "; ++i) acc = twist(acc) & 0xffff;\n";
+            }
+        }
+        os << "    return (int)(acc & 63);\n}\n";
+        const std::string src = os.str();
+        SCOPED_TRACE(src);
+
+        int64_t expected = 0;
+        bool first = true;
+        for (Isa isa : {Isa::Riscv, Isa::Straight, Isa::Clockhands}) {
+            RunResult r = runProgram(compileMiniC(src, isa), 5'000'000);
+            ASSERT_TRUE(r.exited);
+            if (first) {
+                expected = r.exitCode;
+                first = false;
+            } else {
+                EXPECT_EQ(r.exitCode, expected) << isaName(isa);
+            }
+        }
+    }
+}
+
+} // namespace
+} // namespace ch

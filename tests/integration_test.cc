@@ -1,0 +1,382 @@
+#include <gtest/gtest.h>
+
+#include "asm/assembler.h"
+#include "backend/backend.h"
+#include "emu/emulator.h"
+#include "frontc/codegen.h"
+#include "frontc/lexer.h"
+#include "frontc/parser.h"
+#include "ir/analysis.h"
+#include "isa/encoding.h"
+#include "mem/memory.h"
+#include "trace/analyzers.h"
+
+namespace ch {
+namespace {
+
+// ---------------------------------------------------------------------
+// Memory subsystem corners.
+// ---------------------------------------------------------------------
+
+TEST(Memory, PageStraddlingAccess)
+{
+    Memory mem;
+    const uint64_t edge = Memory::kPageSize - 4;
+    mem.write(edge, 8, 0x1122334455667788ull);
+    EXPECT_EQ(mem.read(edge, 8), 0x1122334455667788ull);
+    EXPECT_EQ(mem.read(edge, 4), 0x55667788u);
+    EXPECT_EQ(mem.read(edge + 4, 4), 0x11223344u);
+    EXPECT_GE(mem.residentPages(), 2u);
+}
+
+TEST(Memory, BlockCopyRoundTrip)
+{
+    Memory mem;
+    std::vector<uint8_t> data(10000);
+    for (size_t i = 0; i < data.size(); ++i)
+        data[i] = static_cast<uint8_t>(i * 7);
+    mem.writeBlock(Memory::kPageSize - 100, data.data(), data.size());
+    std::vector<uint8_t> back(data.size());
+    mem.readBlock(Memory::kPageSize - 100, back.data(), back.size());
+    EXPECT_EQ(back, data);
+}
+
+TEST(Memory, ZeroInitialized)
+{
+    Memory mem;
+    EXPECT_EQ(mem.read(0x123456, 8), 0u);
+    EXPECT_EQ(mem.readByte(0xabcdef), 0u);
+}
+
+// ---------------------------------------------------------------------
+// The paper's Fig. 6 walkthrough: a pointer loop whose hands rotate at
+// different speeds. This is the paper's own worked example of the ISA's
+// architectural state, executed literally.
+// ---------------------------------------------------------------------
+
+TEST(PaperNarrative, Fig6PointerLoop)
+{
+    // Fig. 6's loop body verbatim: at the loop top t[0] = i and
+    // t[1] = p; the two addi writes restore exactly that layout for the
+    // next iteration, while v (holding 42 and the bound) never rotates.
+    Program p = assemble(Isa::Clockhands, R"(
+        .data
+    buf: .zero 80
+        .text
+        la t, buf            # t[0] = p = buf
+        addi t, zero, 0      # t[0] = i = 0, t[1] = p
+        addi v, zero, 10     # loop bound  (v holds constants)
+        addi v, zero, 42     # the stored value: v[0]=42, v[1]=10
+    .loop:
+        sw v[0], 0(t[1])     # *p = 42
+        addi t, t[1], 4      # p += 4   (reads old p at t[1])
+        addi t, t[1], 1      # i += 1   (old i is now at t[1])
+        bne t[0], v[1], .loop
+        ecall t, zero, 0
+    )");
+    Emulator emu(p);
+    RunResult r = emu.run(100000);
+    ASSERT_TRUE(r.exited);
+    for (int i = 0; i < 10; ++i)
+        EXPECT_EQ(emu.memory().read(p.symbol("buf") + 4 * i, 4), 42u)
+            << "element " << i;
+}
+
+// ---------------------------------------------------------------------
+// Disassembler round-trips through the assembler.
+// ---------------------------------------------------------------------
+
+TEST(Disassembler, TextRoundTripsThroughAssembler)
+{
+    // Assemble, disassemble every instruction, re-assemble the dump, and
+    // compare the machine words (branch offsets print as literals, which
+    // the assembler accepts).
+    const char* src = R"(
+        addi t, zero, 5
+        addi u, zero, 3
+        add t, t[0], u[0]
+        mul t, t[0], t[1]
+        sw t[0], 8(s[0])
+        ld u, 8(s[0])
+        beq u[0], t[0], 8
+        nop
+        ecall t, zero, 0
+    )";
+    Program p1 = assemble(Isa::Clockhands, src);
+    std::string dump;
+    for (const auto& inst : p1.decoded)
+        dump += disassemble(Isa::Clockhands, inst) + "\n";
+    Program p2 = assemble(Isa::Clockhands, dump);
+    ASSERT_EQ(p1.text.size(), p2.text.size());
+    for (size_t i = 0; i < p1.text.size(); ++i)
+        EXPECT_EQ(p1.text[i], p2.text[i]) << "inst " << i << ": "
+                                          << disassemble(Isa::Clockhands,
+                                                         p1.decoded[i]);
+}
+
+// ---------------------------------------------------------------------
+// Lexer / parser corners.
+// ---------------------------------------------------------------------
+
+TEST(Lexer, TokenKindsAndEscapes)
+{
+    auto toks = lexMiniC("long x = 0x1f; double d = 2.5e1; char c = '\\n'; "
+                         "/* block */ // line\n \"hi\\t\"");
+    ASSERT_GE(toks.size(), 12u);
+    EXPECT_EQ(toks[0].kind, Tok::Keyword);
+    EXPECT_EQ(toks[3].intValue, 0x1f);
+    bool sawFloat = false, sawChar = false, sawStr = false;
+    for (const auto& t : toks) {
+        if (t.kind == Tok::FloatLit) {
+            EXPECT_DOUBLE_EQ(t.floatValue, 25.0);
+            sawFloat = true;
+        }
+        if (t.kind == Tok::CharLit) {
+            EXPECT_EQ(t.intValue, '\n');
+            sawChar = true;
+        }
+        if (t.kind == Tok::StrLit) {
+            EXPECT_EQ(t.strValue, "hi\t");
+            sawStr = true;
+        }
+    }
+    EXPECT_TRUE(sawFloat && sawChar && sawStr);
+}
+
+TEST(Lexer, Errors)
+{
+    EXPECT_THROW(lexMiniC("long x = `;"), FatalError);
+    EXPECT_THROW(lexMiniC("/* unterminated"), FatalError);
+    EXPECT_THROW(lexMiniC("char c = '\\q';"), FatalError);
+}
+
+TEST(Parser, StructLayoutRespectsAlignment)
+{
+    Ast ast = parseMiniC(R"(
+        struct Mixed { char a; long b; char c; int d; };
+        struct Mixed g;
+        int main() { return (int)sizeof(struct Mixed); }
+    )");
+    const StructDef* def = ast.structs.at("Mixed");
+    EXPECT_EQ(def->findField("a")->offset, 0);
+    EXPECT_EQ(def->findField("b")->offset, 8);   // aligned up
+    EXPECT_EQ(def->findField("c")->offset, 16);
+    EXPECT_EQ(def->findField("d")->offset, 20);  // 4-aligned
+    EXPECT_EQ(def->size, 24);
+    EXPECT_EQ(def->align, 8);
+}
+
+TEST(Parser, ConstantExpressionsInArrayDims)
+{
+    Ast ast = parseMiniC("long a[4 * 8 + 2]; int main() { return 0; }");
+    EXPECT_EQ(ast.globals[0].type->arrayLen, 34);
+    EXPECT_THROW(parseMiniC("long a[x]; int main(){return 0;}"),
+                 FatalError);
+}
+
+TEST(Parser, SyntaxErrorsCarryLineNumbers)
+{
+    try {
+        parseMiniC("int main() {\n  long x = ;\n}");
+        FAIL() << "expected FatalError";
+    } catch (const FatalError& e) {
+        EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+    }
+}
+
+// ---------------------------------------------------------------------
+// VCode structure and dumping.
+// ---------------------------------------------------------------------
+
+TEST(VCode, DumpMentionsEverything)
+{
+    VModule mod = compileToVCode(R"(
+        long g = 3;
+        long f(long x) { return x * g; }
+        int main() {
+            long arr[4];
+            arr[0] = f(2);
+            return (int)arr[0];
+        }
+    )");
+    const VFunc* main = mod.findFunc("main");
+    ASSERT_NE(main, nullptr);
+    const std::string mainDump = dumpVFunc(*main);
+    EXPECT_NE(mainDump.find("call"), std::string::npos);
+    EXPECT_NE(mainDump.find("frameaddr"), std::string::npos);
+    EXPECT_NE(mainDump.find("ret"), std::string::npos);
+    // The global load appears in f, which reads g.
+    const std::string fDump = dumpVFunc(*mod.findFunc("f"));
+    EXPECT_NE(fDump.find("loadaddr"), std::string::npos);
+}
+
+TEST(VCode, SuccessorsOfAllTerminators)
+{
+    VModule mod = compileToVCode(R"(
+        int main() {
+            long a = 1;
+            for (long i = 0; i < 3; ++i) {
+                if (i & 1) a += 2;
+            }
+            return (int)a;
+        }
+    )");
+    const VFunc* f = mod.findFunc("main");
+    CfgInfo cfg = buildCfg(*f);
+    // Every reachable non-return block has at least one successor, and
+    // every successor edge has a matching predecessor edge.
+    for (const auto& blk : f->blocks) {
+        if (!cfg.reachable(blk.id))
+            continue;
+        const bool returns = !blk.insts.empty() &&
+                             blk.insts.back().vop == VOp::Ret;
+        if (!returns)
+            EXPECT_FALSE(cfg.succs[blk.id].empty()) << "bb" << blk.id;
+        for (int sIdx : cfg.succs[blk.id]) {
+            const auto& preds = cfg.preds[sIdx];
+            EXPECT_NE(std::find(preds.begin(), preds.end(), blk.id),
+                      preds.end());
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// TeeSink fan-out and end-to-end measurement consistency.
+// ---------------------------------------------------------------------
+
+TEST(TeeSink, AnalyzersSeeTheSameStream)
+{
+    Program p = compileMiniC(R"(
+        int main() {
+            long acc = 0;
+            for (long i = 0; i < 500; ++i) acc += i;
+            return (int)(acc & 63);
+        }
+    )", Isa::Clockhands);
+    MixAnalyzer mix;
+    LifetimeAnalyzer lt(Isa::Clockhands);
+    HandUsageAnalyzer hu;
+    TeeSink tee;
+    tee.add(&mix);
+    tee.add(&lt);
+    tee.add(&hu);
+    RunResult r = runProgram(p, ~0ull, &tee);
+    lt.finish();
+    EXPECT_EQ(mix.total(), r.instCount);
+    EXPECT_EQ(hu.total(), r.instCount);
+    EXPECT_EQ(lt.totalInsts(), r.instCount);
+    // Writes counted by the hand analyzer = value-producing instructions
+    // = definitions closed by the lifetime analyzer.
+    const uint64_t writes = hu.writes(HandT) + hu.writes(HandU) +
+                            hu.writes(HandV) + hu.writes(HandS);
+    EXPECT_EQ(writes, lt.overall().definitions());
+}
+
+// ---------------------------------------------------------------------
+// Assembler corner cases not covered elsewhere.
+// ---------------------------------------------------------------------
+
+TEST(AssemblerCorners, LabelsOnSameLineAndEquDirective)
+{
+    Program p = assemble(Isa::Riscv, R"(
+        .equ BOUND, 7
+    start: top: addi a0, zero, 3
+        addi a1, zero, 0
+        ret
+    )");
+    EXPECT_EQ(p.symbol("start"), p.symbol("top"));
+    EXPECT_EQ(p.symbol("BOUND"), 7u);
+}
+
+TEST(AssemblerCorners, NegativeAndHexImmediates)
+{
+    Program p = assemble(Isa::Riscv, R"(
+        addi a0, zero, -42
+        andi a0, a0, 0xff
+        ret
+    )");
+    EXPECT_EQ(p.decoded[0].imm, -42);
+    EXPECT_EQ(p.decoded[1].imm, 0xff);
+}
+
+TEST(AssemblerCorners, JalSugarAndExplicitLink)
+{
+    Program p = assemble(Isa::Riscv, R"(
+        jal target
+        jal t0, target
+    target:
+        ret
+    )");
+    EXPECT_EQ(p.decoded[0].dst, kRegRa);
+    EXPECT_EQ(p.decoded[1].dst, 5);  // t0
+}
+
+// ---------------------------------------------------------------------
+// Emulator: FP corner semantics shared by all ISAs.
+// ---------------------------------------------------------------------
+
+int64_t
+evalFp(const std::string& body)
+{
+    Program p = assemble(Isa::Riscv, body + "\n ecall zero, a0, 0\n");
+    RunResult r = runProgram(p);
+    EXPECT_TRUE(r.exited);
+    return r.exitCode;
+}
+
+TEST(EmulatorFp, MinMaxAndSignInjection)
+{
+    EXPECT_EQ(evalFp(R"(
+        li a0, -3
+        fcvt.d.l f0, a0
+        li a0, 5
+        fcvt.d.l f1, a0
+        fmin.d f2, f0, f1
+        fcvt.l.d a0, f2
+    )"), -3);
+    EXPECT_EQ(evalFp(R"(
+        li a0, -3
+        fcvt.d.l f0, a0
+        fsgnjx.d f0, f0, f0     # abs via sign xor
+        fcvt.l.d a0, f0
+    )"), 3);
+    EXPECT_EQ(evalFp(R"(
+        li a0, 7
+        fcvt.d.l f0, a0
+        fmv.x.d a1, f0
+        fmv.d.x f1, a1
+        fcvt.l.d a0, f1
+    )"), 7);
+}
+
+TEST(EmulatorFp, ConversionClamps)
+{
+    // A double far beyond int64 range converts to the clamped extreme.
+    EXPECT_EQ(evalFp(R"(
+        li a0, 1000000000
+        fcvt.d.l f0, a0
+        fmul.d f0, f0, f0       # 1e18
+        li a0, 100
+        fcvt.d.l f1, a0
+        fmul.d f0, f0, f1       # 1e20 > 2^63
+        fcvt.l.d a0, f0
+        srai a0, a0, 56         # sign-free summary of the clamp
+    )"), 0x7fffffffffffffffll >> 56);
+}
+
+// ---------------------------------------------------------------------
+// Checkpoint-size interplay with the encoding widths (Table 1 inputs).
+// ---------------------------------------------------------------------
+
+TEST(Consistency, LogicalRegisterCounts)
+{
+    // Clockhands: 4 hands x 16 - 1 (zero) = 63 named values + zero.
+    EXPECT_EQ(kNumHands * kHandDepth - 1, 63);
+    // STRAIGHT: 126 distances + zero + SP encoding fill the 7-bit field.
+    EXPECT_EQ(kStraightMaxDist + 2, 128);
+    // RISC: 31 writable int + 32 fp = 63 writable logical registers.
+    EXPECT_EQ(kNumIntRegs - 1 + kNumFpRegs, 63);
+}
+
+} // namespace
+} // namespace ch

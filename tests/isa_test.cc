@@ -1,0 +1,236 @@
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+#include "common/prng.h"
+#include "isa/encoding.h"
+#include "isa/isa.h"
+
+namespace ch {
+namespace {
+
+TEST(OpInfo, TableIsSane)
+{
+    for (int i = 0; i < kNumOps; ++i) {
+        const Op op = static_cast<Op>(i);
+        const OpInfo& info = opInfo(op);
+        EXPECT_FALSE(info.mnemonic.empty());
+        if (info.isLoad() || info.isStore()) {
+            EXPECT_GT(info.memBytes, 0) << info.mnemonic;
+        } else {
+            EXPECT_EQ(info.memBytes, 0) << info.mnemonic;
+        }
+        EXPECT_LE(info.numSrcs, 2) << info.mnemonic;
+        if (info.isLoad()) {
+            EXPECT_TRUE(info.hasDst) << info.mnemonic;
+        }
+        if (info.isStore()) {
+            EXPECT_FALSE(info.hasDst) << info.mnemonic;
+        }
+    }
+}
+
+TEST(OpInfo, BranchClassification)
+{
+    EXPECT_EQ(opInfo(Op::BEQ).brKind, BrKind::Cond);
+    EXPECT_EQ(opInfo(Op::JAL).brKind, BrKind::Call);
+    EXPECT_EQ(opInfo(Op::J).brKind, BrKind::Jump);
+    EXPECT_EQ(opInfo(Op::JALR).brKind, BrKind::IndCall);
+    EXPECT_EQ(opInfo(Op::JR).brKind, BrKind::Ret);
+    EXPECT_FALSE(opInfo(Op::ADD).isBranch());
+    EXPECT_TRUE(opInfo(Op::BEQ).isDirectBranch());
+    EXPECT_TRUE(opInfo(Op::JALR).isIndirectBranch());
+    EXPECT_FALSE(opInfo(Op::JAL).isIndirectBranch());
+}
+
+TEST(OpInfo, MnemonicLookupMatches)
+{
+    EXPECT_EQ(opName(Op::ADDIW), "addiw");
+    EXPECT_EQ(opName(Op::FSGNJN_D), "fsgnjn.d");
+}
+
+// ---------------------------------------------------------------------
+// Encode/decode round-trip property tests, parameterized over ISA.
+// ---------------------------------------------------------------------
+
+class EncodingRoundTrip : public ::testing::TestWithParam<Isa>
+{
+  protected:
+    /** Build a random-but-valid instruction for the given op and ISA. */
+    Inst
+    randomInst(Op op, Prng& prng)
+    {
+        const OpInfo& info = opInfo(op);
+        const Isa isa = GetParam();
+        Inst inst;
+        inst.op = op;
+        auto randSrc = [&](uint8_t* dist, uint8_t* hand, bool fp) {
+            switch (isa) {
+              case Isa::Riscv:
+                *dist = prng.nextBelow(32) + (fp ? 32 : 0);
+                break;
+              case Isa::Straight:
+                *dist = 1 + prng.nextBelow(kStraightMaxDist);
+                break;
+              case Isa::Clockhands:
+                *hand = prng.nextBelow(kNumHands);
+                *dist = prng.nextBelow(kHandDepth);
+                break;
+            }
+        };
+        if (info.hasDst) {
+            inst.dst = isa == Isa::Clockhands ? prng.nextBelow(kNumHands)
+                       : isa == Isa::Riscv
+                           ? prng.nextBelow(32) + (info.fpDst() ? 32 : 0)
+                           : 0;
+        }
+        if (info.numSrcs >= 1)
+            randSrc(&inst.src1, &inst.src1Hand, info.fpSrc1());
+        if (info.numSrcs >= 2)
+            randSrc(&inst.src2, &inst.src2Hand, info.fpSrc2());
+        // Pick an immediate that fits the narrowest format of any ISA.
+        const bool scaled = info.brKind != BrKind::None;
+        int64_t imm = static_cast<int64_t>(prng.nextBelow(512)) - 256;
+        if (scaled)
+            imm *= 4;
+        if (info.fmt == Fmt::U)
+            imm = static_cast<int64_t>(prng.nextBelow(1 << 20)) - (1 << 19);
+        if (info.fmt == Fmt::None || info.fmt == Fmt::R)
+            imm = 0;
+        if (op == Op::ECALL)
+            imm = prng.nextBelow(2);
+        inst.imm = imm;
+        return inst;
+    }
+};
+
+TEST_P(EncodingRoundTrip, AllOpsAllFields)
+{
+    Prng prng(42 + static_cast<int>(GetParam()));
+    for (int i = 0; i < kNumOps; ++i) {
+        const Op op = static_cast<Op>(i);
+        if (op == Op::SPADDI && GetParam() != Isa::Straight)
+            continue;
+        for (int trial = 0; trial < 50; ++trial) {
+            Inst inst = randomInst(op, prng);
+            ASSERT_TRUE(encodable(GetParam(), inst))
+                << disassemble(GetParam(), inst);
+            const uint32_t word = encode(GetParam(), inst);
+            const Inst back = decode(GetParam(), word);
+            const OpInfo& info = inst.info();
+            EXPECT_EQ(back.op, inst.op);
+            EXPECT_EQ(back.imm, inst.imm) << disassemble(GetParam(), inst);
+            if (info.hasDst && GetParam() != Isa::Straight) {
+                EXPECT_EQ(back.dst, inst.dst);
+            }
+            if (info.numSrcs >= 1) {
+                EXPECT_EQ(back.src1, inst.src1);
+                if (GetParam() == Isa::Clockhands) {
+                    EXPECT_EQ(back.src1Hand, inst.src1Hand);
+                }
+            }
+            if (info.numSrcs >= 2) {
+                EXPECT_EQ(back.src2, inst.src2);
+                if (GetParam() == Isa::Clockhands) {
+                    EXPECT_EQ(back.src2Hand, inst.src2Hand);
+                }
+            }
+        }
+    }
+}
+
+TEST_P(EncodingRoundTrip, RejectsOverflowingImmediates)
+{
+    Inst inst;
+    inst.op = Op::ADDI;
+    inst.imm = 1ll << 40;
+    EXPECT_FALSE(encodable(GetParam(), inst));
+    EXPECT_THROW(encode(GetParam(), inst), FatalError);
+
+    Inst br;
+    br.op = Op::BEQ;
+    br.imm = 2;  // misaligned branch offset
+    EXPECT_FALSE(encodable(GetParam(), br));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllIsas, EncodingRoundTrip,
+                         ::testing::Values(Isa::Riscv, Isa::Straight,
+                                           Isa::Clockhands),
+                         [](const auto& info) {
+                             return std::string(isaName(info.param)) == "RISC-V"
+                                        ? "Riscv"
+                                    : info.param == Isa::Straight
+                                        ? "Straight"
+                                        : "Clockhands";
+                         });
+
+TEST(Encoding, ClockhandsZeroRegister)
+{
+    Inst inst;
+    inst.op = Op::ADDI;
+    inst.dst = HandT;
+    inst.src1Hand = HandS;
+    inst.src1 = kHandZeroDist;
+    inst.imm = 42;
+    const uint32_t w = encode(Isa::Clockhands, inst);
+    const Inst back = decode(Isa::Clockhands, w);
+    EXPECT_EQ(back.src1Hand, HandS);
+    EXPECT_EQ(back.src1, kHandZeroDist);
+    EXPECT_EQ(disassemble(Isa::Clockhands, back), "addi t, zero, 42");
+}
+
+TEST(Encoding, StraightSpBase)
+{
+    Inst inst;
+    inst.op = Op::SD;
+    inst.src1 = kStraightSpBase;  // base = SP
+    inst.src2 = 4;                // data = [4]
+    inst.imm = 0;
+    const uint32_t w = encode(Isa::Straight, inst);
+    const Inst back = decode(Isa::Straight, w);
+    EXPECT_EQ(back.src1, kStraightSpBase);
+    EXPECT_EQ(disassemble(Isa::Straight, back), "sd [4], 0(sp)");
+}
+
+TEST(Encoding, DisassemblyMatchesPaperSyntax)
+{
+    {
+        Inst inst;
+        inst.op = Op::ADDIW;
+        inst.dst = HandT;
+        inst.src1Hand = HandT;
+        inst.src1 = 1;
+        inst.imm = 1;
+        EXPECT_EQ(disassemble(Isa::Clockhands, inst), "addiw t, t[1], 1");
+    }
+    {
+        Inst inst;
+        inst.op = Op::SW;
+        inst.src1Hand = HandT;  // base t[1]
+        inst.src1 = 1;
+        inst.src2Hand = HandV;  // data v[0]
+        inst.src2 = 0;
+        inst.imm = 0;
+        EXPECT_EQ(disassemble(Isa::Clockhands, inst), "sw v[0], 0(t[1])");
+    }
+    {
+        Inst inst;
+        inst.op = Op::BNE;
+        inst.src1 = 11;  // a1
+        inst.src2 = 15;  // a5
+        inst.imm = -16;
+        EXPECT_EQ(disassemble(Isa::Riscv, inst), "bne a1, a5, -16");
+    }
+}
+
+TEST(Encoding, RiscRegNames)
+{
+    EXPECT_EQ(riscRegName(0), "zero");
+    EXPECT_EQ(riscRegName(1), "ra");
+    EXPECT_EQ(riscRegName(2), "sp");
+    EXPECT_EQ(riscRegName(10), "a0");
+    EXPECT_EQ(riscRegName(32), "f0");
+    EXPECT_EQ(riscRegName(63), "f31");
+}
+
+} // namespace
+} // namespace ch

@@ -1,0 +1,309 @@
+#include <gtest/gtest.h>
+
+#include "asm/assembler.h"
+#include "emu/emulator.h"
+#include "trace/analyzers.h"
+
+namespace ch {
+namespace {
+
+/** Run a program for @p isa feeding @p sink. */
+RunResult
+runWith(Isa isa, const std::string& src, TraceSink* sink,
+        uint64_t maxInsts = 10'000'000)
+{
+    Program p = assemble(isa, src);
+    return runProgram(p, maxInsts, sink);
+}
+
+// ---------------------------------------------------------------------
+// LifetimeAnalyzer
+// ---------------------------------------------------------------------
+
+TEST(Lifetime, ShortAndLongLivedRiscv)
+{
+    // a0 is defined once and used at the very end (long life); a1 is
+    // redefined every iteration (short life).
+    LifetimeAnalyzer lt(Isa::Riscv);
+    runWith(Isa::Riscv, R"(
+        li a0, 7            # long-lived
+        li a2, 100
+        li a1, 0
+    loop:
+        addi a1, a1, 1
+        bne a1, a2, loop
+        add a1, a1, a0      # the long-awaited use of a0
+        ecall zero, zero, 0
+    )", &lt);
+    lt.finish();
+    const auto& h = lt.overall();
+    // ~100 short-lived definitions (lifetime 1..4) plus one long one.
+    EXPECT_GE(h.definitions(), 100u);
+    // At least one definition lived >= 128 instructions (a0 across the
+    // 200-instruction loop).
+    EXPECT_GE(h.atLeast(7), 1u);
+    // The vast majority lived fewer than 64.
+    EXPECT_LT(h.atLeast(6), 5u);
+}
+
+TEST(Lifetime, PerHandHistogramsClockhands)
+{
+    LifetimeAnalyzer lt(Isa::Clockhands);
+    runWith(Isa::Clockhands, R"(
+        addi v, zero, 50     # loop bound, long-lived in v
+        addi t, zero, 0
+    loop:
+        addi t, t[0], 1
+        bne t[0], v[0], loop
+        ecall t, zero, 0
+    )", &lt);
+    lt.finish();
+    // v definitions live long; t definitions live short.
+    EXPECT_GE(lt.perHand(HandV).atLeast(5), 1u);
+    EXPECT_EQ(lt.perHand(HandV).definitions(), 1u);
+    EXPECT_GT(lt.perHand(HandT).definitions(), 40u);
+    EXPECT_EQ(lt.perHand(HandT).atLeast(5), 0u);
+}
+
+TEST(Lifetime, StraightRingTruncation)
+{
+    // In STRAIGHT, the analyzer tracks ring slots; a value that is
+    // overwritten by ring reuse closes at its last use.
+    LifetimeAnalyzer lt(Isa::Straight);
+    runWith(Isa::Straight, R"(
+        addi zero, 5
+        addi zero, 6
+        add [2], [1]
+        ecall [1], 0
+    )", &lt);
+    lt.finish();
+    EXPECT_EQ(lt.totalInsts(), 4u);
+    // Three value-producing defs (ecall also writes a slot).
+    EXPECT_GE(lt.overall().definitions(), 3u);
+}
+
+// ---------------------------------------------------------------------
+// MixAnalyzer
+// ---------------------------------------------------------------------
+
+TEST(Mix, CategorizesOps)
+{
+    EXPECT_EQ(mixCategory(Op::ADD), MixCat::Alu);
+    EXPECT_EQ(mixCategory(Op::LUI), MixCat::Alu);
+    EXPECT_EQ(mixCategory(Op::MUL), MixCat::MulDiv);
+    EXPECT_EQ(mixCategory(Op::DIVU), MixCat::MulDiv);
+    EXPECT_EQ(mixCategory(Op::FADD_D), MixCat::Flops);
+    EXPECT_EQ(mixCategory(Op::FDIV_D), MixCat::Flops);
+    EXPECT_EQ(mixCategory(Op::LD), MixCat::Load);
+    EXPECT_EQ(mixCategory(Op::FSD), MixCat::Store);
+    EXPECT_EQ(mixCategory(Op::BEQ), MixCat::CondBr);
+    EXPECT_EQ(mixCategory(Op::J), MixCat::Jump);
+    EXPECT_EQ(mixCategory(Op::JAL), MixCat::CallRet);
+    EXPECT_EQ(mixCategory(Op::JR), MixCat::CallRet);
+    EXPECT_EQ(mixCategory(Op::MV), MixCat::Move);
+    EXPECT_EQ(mixCategory(Op::FMV_D), MixCat::Move);
+    EXPECT_EQ(mixCategory(Op::NOP), MixCat::Nop);
+    EXPECT_EQ(mixCategory(Op::ECALL), MixCat::Others);
+}
+
+TEST(Mix, CountsPerCategory)
+{
+    MixAnalyzer mix;
+    runWith(Isa::Riscv, R"(
+        li a0, 3
+        li a1, 0
+    loop:
+        addi a1, a1, 1
+        nop
+        mv a2, a1
+        bne a1, a0, loop
+        ecall zero, zero, 0
+    )", &mix);
+    EXPECT_EQ(mix.count(MixCat::Nop), 3u);
+    EXPECT_EQ(mix.count(MixCat::Move), 3u);
+    EXPECT_EQ(mix.count(MixCat::CondBr), 3u);
+    EXPECT_EQ(mix.count(MixCat::Others), 1u);
+    EXPECT_EQ(mix.total(), 2u + 3u * 4u + 1u);
+}
+
+// ---------------------------------------------------------------------
+// HandUsageAnalyzer
+// ---------------------------------------------------------------------
+
+TEST(HandUsage, ReadsWritesAndNoDst)
+{
+    HandUsageAnalyzer hu;
+    runWith(Isa::Clockhands, R"(
+        addi v, zero, 3      # writes v; reads zero (not counted)
+        addi t, zero, 0      # writes t
+    loop:
+        addi t, t[0], 1      # writes t, reads t
+        bne t[0], v[0], loop # no dst, reads t and v
+        ecall t, zero, 0     # writes t
+    )", &hu);
+    EXPECT_EQ(hu.writes(HandV), 1u);
+    EXPECT_EQ(hu.writes(HandT), 1u + 3u + 1u);
+    EXPECT_EQ(hu.reads(HandV), 3u);        // bne reads v each iteration
+    EXPECT_EQ(hu.reads(HandT), 3u + 3u);   // addi + bne each iteration
+    EXPECT_EQ(hu.noDst(), 3u);             // the bne instances
+    EXPECT_EQ(hu.total(), 2u + 3u * 2u + 1u);
+}
+
+// ---------------------------------------------------------------------
+// RelayAnalyzer (Fig 3 / Fig 7 methodology)
+// ---------------------------------------------------------------------
+
+TEST(Relay, LoopConstantsCountedPerIteration)
+{
+    // a0 (bound) is defined outside and referenced inside: one relay per
+    // closed iteration. a1 changes every iteration: not a constant.
+    Program p = assemble(Isa::Riscv, R"(
+        li a0, 10
+        li a1, 0
+    loop:
+        addi a1, a1, 1
+        bne a1, a0, loop
+        ecall zero, zero, 0
+    )");
+    RelayAnalyzer ra(p);
+    runProgram(p, 10'000'000, &ra);
+    RelayReport rep = ra.finish();
+    // 10 iterations; the loop is only recognized at the first backward
+    // branch (which pushes it), so the 8 subsequently closed iterations
+    // each reference constant a0 (a conservative lower bound).
+    EXPECT_EQ(rep.mvLoopConstant, 8u);
+    EXPECT_EQ(rep.crossDepth[1], 8u);
+    EXPECT_EQ(rep.crossDepth[2], 0u);
+}
+
+TEST(Relay, NestedLoopConstantsCrossDepth)
+{
+    // The outer bound a0 is referenced in the inner loop: it crosses two
+    // loop levels from the inner loop's perspective after re-entry.
+    Program p = assemble(Isa::Riscv, R"(
+        li a0, 4            # outer bound, also inner bound
+        li a1, 0            # i
+    outer:
+        li a2, 0            # j
+    inner:
+        addi a2, a2, 1
+        bne a2, a0, inner
+        addi a1, a1, 1
+        bne a1, a0, outer
+        ecall zero, zero, 0
+    )");
+    RelayAnalyzer ra(p);
+    runProgram(p, 10'000'000, &ra);
+    RelayReport rep = ra.finish();
+    EXPECT_GT(rep.mvLoopConstant, 0u);
+    // Some references cross one level (outer loop's use of a0) and some
+    // cross two (inner loop's use of a0 once the outer loop is active).
+    EXPECT_GT(rep.crossDepth[1], 0u);
+    EXPECT_GT(rep.crossDepth[2], 0u);
+    // Fig 7 behaviour: more hands leave fewer relays; with many hands the
+    // count reaches zero; with one hand everything remains.
+    const uint64_t h1 = rep.remainingWithHands(1, false);
+    const uint64_t h2 = rep.remainingWithHands(2, false);
+    const uint64_t h4 = rep.remainingWithHands(4, false);
+    EXPECT_EQ(h1, rep.mvLoopConstant);
+    EXPECT_LE(h2, h1);
+    EXPECT_LE(h4, h2);
+    EXPECT_EQ(h4, 0u);
+    // Reserving a hand for SP shifts the curve up.
+    EXPECT_GE(rep.remainingWithHands(2, true), h2);
+}
+
+TEST(Relay, MaxDistanceRelays)
+{
+    // a0 lives across a 300-instruction stretch; with M=126 that needs
+    // floor(~300/126) = 2 relay instructions.
+    Program p = assemble(Isa::Riscv, R"(
+        li a0, 7
+        li a1, 150
+        li a2, 0
+    loop:
+        addi a2, a2, 1
+        bne a2, a1, loop
+        add a0, a0, a0      # use of a0, ~302 instructions after its def
+        ecall zero, zero, 0
+    )");
+    RelayAnalyzer ra(p);
+    runProgram(p, 10'000'000, &ra);
+    RelayReport rep = ra.finish();
+    // Both a0 (def->use ~303 insts) and the loop bound a1 (~301 insts)
+    // exceed 2M = 252 instructions: two relays each.
+    EXPECT_EQ(rep.mvMaxDistance, 4u);
+}
+
+TEST(Relay, ConvergenceNops)
+{
+    // The join point after an if/else is entered by fall-through on one
+    // path: that path needs a trailing nop in STRAIGHT.
+    Program p = assemble(Isa::Riscv, R"(
+        li a0, 4
+        li a1, 0
+        li a2, 0
+    loop:
+        andi a3, a1, 1
+        beq a3, zero, even
+        addi a2, a2, 10
+        j join
+    even:
+        addi a2, a2, 1      # falls through into join
+    join:
+        addi a1, a1, 1
+        bne a1, a0, loop
+        ecall zero, zero, 0
+    )");
+    RelayAnalyzer ra(p);
+    runProgram(p, 10'000'000, &ra);
+    RelayReport rep = ra.finish();
+    // 2 of 4 iterations take the even path and fall through into join,
+    // plus the single fall-through entry into the loop header (itself a
+    // convergence point, being the target of the backward bne).
+    EXPECT_EQ(rep.nopConvergence, 3u);
+}
+
+TEST(Relay, CallsDoNotBreakLoopTracking)
+{
+    // A function call inside a loop: callee-defined values must not be
+    // miscounted as loop constants, and the loop survives the call.
+    Program p = assemble(Isa::Riscv, R"(
+        li a0, 5
+        li a1, 0
+    loop:
+        call bump
+        bne a1, a0, loop
+        ecall zero, zero, 0
+    bump:
+        addi a1, a1, 1
+        ret
+    )");
+    RelayAnalyzer ra(p);
+    runProgram(p, 10'000'000, &ra);
+    RelayReport rep = ra.finish();
+    // Constant a0 referenced in each of the 3 closed iterations; the
+    // callee-defined a1 increments are not counted as constants.
+    EXPECT_EQ(rep.mvLoopConstant, 3u);
+}
+
+TEST(Relay, IncreaseFractionIsBounded)
+{
+    Program p = assemble(Isa::Riscv, R"(
+        li a0, 100
+        li a1, 0
+    loop:
+        addi a1, a1, 1
+        bne a1, a0, loop
+        ecall zero, zero, 0
+    )");
+    RelayAnalyzer ra(p);
+    runProgram(p, 10'000'000, &ra);
+    RelayReport rep = ra.finish();
+    EXPECT_GT(rep.increaseFraction(), 0.0);
+    EXPECT_LT(rep.increaseFraction(), 1.0);
+    EXPECT_EQ(rep.totalInsts, 2u + 100u * 2u + 1u);
+}
+
+} // namespace
+} // namespace ch

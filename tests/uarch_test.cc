@@ -1,0 +1,333 @@
+#include <gtest/gtest.h>
+
+#include "asm/assembler.h"
+#include "backend/backend.h"
+#include "uarch/branch_pred.h"
+#include "uarch/cache.h"
+#include "uarch/sim.h"
+#include "uarch/storeset.h"
+
+namespace ch {
+namespace {
+
+// ---------------------------------------------------------------------
+// Configuration presets (Table 2).
+// ---------------------------------------------------------------------
+
+TEST(Config, Table2Presets)
+{
+    const MachineConfig c4 = MachineConfig::preset(4);
+    EXPECT_EQ(c4.robSize, 256);
+    EXPECT_EQ(c4.schedSize, 128);
+    EXPECT_EQ(c4.loadQueue, 64);
+    EXPECT_EQ(c4.storeQueue, 48);
+    EXPECT_EQ(c4.issueWidth, 8);
+    EXPECT_EQ(c4.fu.intAlu, 4);
+
+    const MachineConfig c16 = MachineConfig::preset(16);
+    EXPECT_EQ(c16.robSize, 4096);
+    EXPECT_EQ(c16.schedSize, 512);
+    EXPECT_EQ(c16.issueWidth, 16);
+    EXPECT_EQ(c16.fu.intAlu, 8);
+
+    EXPECT_THROW(MachineConfig::preset(5), FatalError);
+}
+
+TEST(Config, FrontendDepthPerIsa)
+{
+    const MachineConfig cfg = MachineConfig::preset(8);
+    EXPECT_EQ(cfg.frontendDepth(Isa::Riscv), 7);
+    EXPECT_EQ(cfg.frontendDepth(Isa::Straight), 5);
+    EXPECT_EQ(cfg.frontendDepth(Isa::Clockhands), 5);
+}
+
+TEST(Config, HandQuotasSumToPhysRegs)
+{
+    for (int w : {4, 6, 8, 12, 16}) {
+        const MachineConfig cfg = MachineConfig::preset(w);
+        int sum = 0;
+        for (int h = 0; h < kNumHands; ++h)
+            sum += cfg.handQuota(h);
+        EXPECT_EQ(sum, cfg.physRegsRenameFree()) << "width " << w;
+        // t gets the lion's share (48/64).
+        EXPECT_GT(cfg.handQuota(HandT), cfg.handQuota(HandU));
+        EXPECT_GT(cfg.handQuota(HandU), cfg.handQuota(HandV));
+    }
+}
+
+// ---------------------------------------------------------------------
+// Branch predictors.
+// ---------------------------------------------------------------------
+
+TEST(Tage, LearnsBiasedBranch)
+{
+    Tage tage;
+    int correct = 0;
+    for (int i = 0; i < 1000; ++i) {
+        if (tage.predict(0x1000) == true)
+            ++correct;
+        tage.update(0x1000, true);
+    }
+    EXPECT_GT(correct, 950);
+}
+
+TEST(Tage, LearnsLoopPattern)
+{
+    // 7 taken + 1 not-taken, repeating: needs history to predict the exit.
+    Tage tage;
+    int correctLate = 0;
+    for (int i = 0; i < 4000; ++i) {
+        const bool taken = (i % 8) != 7;
+        const bool pred = tage.predict(0x2000);
+        if (i >= 2000 && pred == taken)
+            ++correctLate;
+        tage.update(0x2000, taken);
+    }
+    // TAGE should get well above the 87.5% a bimodal-only predictor gets.
+    EXPECT_GT(correctLate, 1900);
+}
+
+TEST(Tage, AlternatingPattern)
+{
+    Tage tage;
+    int correctLate = 0;
+    for (int i = 0; i < 2000; ++i) {
+        const bool taken = i % 2 == 0;
+        if (i >= 1000 && tage.predict(0x3000) == taken)
+            ++correctLate;
+        tage.update(0x3000, taken);
+    }
+    EXPECT_GT(correctLate, 950);
+}
+
+TEST(Btb, StoresAndEvicts)
+{
+    Btb btb(64, 4);
+    btb.insert(0x1000, 0x2000);
+    EXPECT_EQ(btb.lookup(0x1000), 0x2000u);
+    EXPECT_EQ(btb.lookup(0x1004), 0u);
+    // Overwrite.
+    btb.insert(0x1000, 0x3000);
+    EXPECT_EQ(btb.lookup(0x1000), 0x3000u);
+    // Fill a set beyond capacity: 5 PCs mapping to the same set.
+    const uint64_t stride = 64 / 4 * 4;  // sets * 4 bytes
+    for (int i = 1; i <= 5; ++i)
+        btb.insert(0x1000 + i * stride * 4, 0x4000 + i);
+    int present = 0;
+    for (int i = 1; i <= 5; ++i) {
+        if (btb.lookup(0x1000 + i * stride * 4) != 0)
+            ++present;
+    }
+    EXPECT_LE(present, 4);
+    EXPECT_GE(present, 3);
+}
+
+TEST(Ras, PushPopNesting)
+{
+    Ras ras(16);
+    ras.push(0x100);
+    ras.push(0x200);
+    ras.push(0x300);
+    EXPECT_EQ(ras.pop(), 0x300u);
+    EXPECT_EQ(ras.pop(), 0x200u);
+    EXPECT_EQ(ras.pop(), 0x100u);
+}
+
+// ---------------------------------------------------------------------
+// Caches.
+// ---------------------------------------------------------------------
+
+TEST(Cache, HitAfterFill)
+{
+    Cache c(4, 2, 64);  // 4 KiB, 2-way: 32 sets
+    EXPECT_FALSE(c.access(0x1000));
+    EXPECT_TRUE(c.access(0x1000));
+    EXPECT_TRUE(c.access(0x1001));  // same line
+    EXPECT_FALSE(c.access(0x1040));  // next line
+}
+
+TEST(Cache, LruEviction)
+{
+    Cache c(4, 2, 64);  // 32 sets: addresses 0x800 apart share a set
+    const uint64_t setStride = 32 * 64;
+    c.access(0x0);
+    c.access(setStride);
+    EXPECT_TRUE(c.access(0x0));          // refresh 0
+    c.access(2 * setStride);             // evicts setStride (LRU)
+    EXPECT_TRUE(c.probe(0x0));
+    EXPECT_FALSE(c.probe(setStride));
+    EXPECT_TRUE(c.probe(2 * setStride));
+}
+
+TEST(Prefetcher, DetectsAscendingStream)
+{
+    StreamPrefetcher pf(8, 2, 64);
+    std::vector<uint64_t> issued;
+    for (int i = 0; i < 8; ++i) {
+        auto lines = pf.onMiss(0x10000 + i * 64);
+        issued.insert(issued.end(), lines.begin(), lines.end());
+    }
+    ASSERT_FALSE(issued.empty());
+    // Prefetches run ahead of the miss stream.
+    for (uint64_t a : issued)
+        EXPECT_GT(a, 0x10000u + 7 * 64);
+}
+
+TEST(Hierarchy, LatenciesStack)
+{
+    MachineConfig cfg = MachineConfig::preset(8);
+    StatGroup stats;
+    MemoryHierarchy mem(cfg, &stats);
+    // Cold miss goes to memory through L2.
+    const int cold = mem.dataAccess(0x40000, false);
+    EXPECT_EQ(cold, cfg.l1dLatency + cfg.l2Latency + cfg.memLatency);
+    const int hit = mem.dataAccess(0x40000, false);
+    EXPECT_EQ(hit, cfg.l1dLatency);
+    EXPECT_EQ(stats.value("cache.l1d.reads"), 2u);
+    EXPECT_EQ(stats.value("cache.l1d.misses"), 1u);
+    EXPECT_EQ(stats.value("cache.l2.misses"), 1u);
+}
+
+// ---------------------------------------------------------------------
+// Store sets.
+// ---------------------------------------------------------------------
+
+TEST(StoreSets, TrainAndLookup)
+{
+    StoreSets ss(4096, 512);
+    EXPECT_EQ(ss.setOf(0x1000), StoreSets::kInvalid);
+    ss.train(0x1000, 0x2000);
+    EXPECT_NE(ss.setOf(0x1000), StoreSets::kInvalid);
+    EXPECT_EQ(ss.setOf(0x1000), ss.setOf(0x2000));
+    // Merging keeps both pairs in one set.
+    ss.train(0x1000, 0x3000);
+    EXPECT_EQ(ss.setOf(0x3000), ss.setOf(0x2000));
+}
+
+// ---------------------------------------------------------------------
+// End-to-end timing sanity.
+// ---------------------------------------------------------------------
+
+SimResult
+simSource(Isa isa, const std::string& src, int width = 8)
+{
+    Program p = compileMiniC(src, isa);
+    return simulate(p, MachineConfig::preset(width));
+}
+
+const char* kLoopy = R"(
+    int main() {
+        long acc = 0;
+        long i;
+        for (i = 0; i < 20000; i = i + 1)
+            acc = acc + (i ^ (i >> 3));
+        return (int)(acc & 63);
+    }
+)";
+
+TEST(CycleSim, IpcWithinPhysicalBounds)
+{
+    SimResult r = simSource(Isa::Riscv, kLoopy);
+    EXPECT_TRUE(r.exited);
+    EXPECT_GT(r.ipc(), 0.3);
+    EXPECT_LT(r.ipc(), 8.0);  // fetch width bound
+}
+
+TEST(CycleSim, WiderMachinesAreNotSlower)
+{
+    const SimResult narrow = simSource(Isa::Riscv, kLoopy, 4);
+    const SimResult wide = simSource(Isa::Riscv, kLoopy, 16);
+    EXPECT_LE(wide.cycles, narrow.cycles + narrow.cycles / 10);
+}
+
+TEST(CycleSim, DependentChainBoundsIpc)
+{
+    // A long serial dependency chain cannot exceed 1 result/cycle.
+    SimResult r = simSource(Isa::Riscv, R"(
+        int main() {
+            long x = 1;
+            long i;
+            for (i = 0; i < 30000; i = i + 1)
+                x = (x * 3 + 1) ^ i;
+            return (int)(x & 63);
+        }
+    )");
+    // Chain: mul(3) + add + xor per iteration, so > 4 cycles/iter.
+    EXPECT_GT(static_cast<double>(r.cycles), 30000.0 * 4);
+}
+
+TEST(CycleSim, DeeperFrontEndPaysMorePerMispredict)
+{
+    // A data-dependent unpredictable branch: the extra rename stages of
+    // a conventional RISC front end (7 vs 5 cycles) must cost cycles on
+    // every squash (Fig 13's recovery effect). Compare the same program
+    // on the same ISA with only the rename depth changed.
+    const char* src = R"(
+        long seedState = 7;
+        long rnd() {
+            seedState = (seedState * 1103515245 + 12345) & 0x7fffffff;
+            return seedState;
+        }
+        int main() {
+            long acc = 0;
+            long i;
+            for (i = 0; i < 30000; i = i + 1) {
+                if ((rnd() >> 13) & 1) acc = acc + 3;
+                else acc = acc - 1;
+            }
+            return (int)(acc & 63);
+        }
+    )";
+    Program p = compileMiniC(src, Isa::Riscv);
+    MachineConfig shallow = MachineConfig::preset(8);
+    shallow.renameStagesOverride = 0;
+    MachineConfig deep = MachineConfig::preset(8);
+    deep.renameStagesOverride = 2;
+    const SimResult fast = simulate(p, shallow);
+    const SimResult slow = simulate(p, deep);
+    EXPECT_GT(fast.stats.value("branch.mispredicts"), 5000u);
+    EXPECT_EQ(fast.stats.value("branch.mispredicts"),
+              slow.stats.value("branch.mispredicts"));
+    // Roughly 2 extra cycles per squash.
+    const uint64_t m = fast.stats.value("branch.mispredicts");
+    EXPECT_GT(slow.cycles, fast.cycles + m);
+}
+
+TEST(CycleSim, CacheMissesSlowExecution)
+{
+    // A pointer-chasing random walk defeats caches and the prefetcher.
+    const char* chase = R"(
+        long next[32768];
+        int main() {
+            long i;
+            long n = 32768;
+            for (i = 0; i < n; i = i + 1)
+                next[i] = (i * 9973 + 12345) % n;
+            long p = 0;
+            long acc = 0;
+            for (i = 0; i < 60000; i = i + 1) {
+                p = next[p];
+                acc = acc + p;
+            }
+            return (int)(acc & 63);
+        }
+    )";
+    SimResult r = simSource(Isa::Riscv, chase);
+    EXPECT_GT(r.stats.value("cache.l1d.misses"), 1000u);
+    EXPECT_LT(r.ipc(), 3.0);
+}
+
+TEST(CycleSim, StatsArePopulated)
+{
+    SimResult r = simSource(Isa::Clockhands, kLoopy);
+    EXPECT_GT(r.stats.value("fetch.insts"), 0u);
+    EXPECT_GT(r.stats.value("dispatch.insts"), 0u);
+    EXPECT_GT(r.stats.value("iq.issues"), 0u);
+    EXPECT_GT(r.stats.value("rob.commits"), 0u);
+    EXPECT_GT(r.stats.value("rename.dstWrites"), 0u);
+    EXPECT_GT(r.stats.value("branch.conds"), 0u);
+    EXPECT_EQ(r.stats.value("sim.insts"), r.insts);
+}
+
+} // namespace
+} // namespace ch
