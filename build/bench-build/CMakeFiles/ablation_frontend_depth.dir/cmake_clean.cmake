@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_frontend_depth"
+  "../bench/ablation_frontend_depth.pdb"
+  "CMakeFiles/ablation_frontend_depth.dir/ablation_frontend_depth.cc.o"
+  "CMakeFiles/ablation_frontend_depth.dir/ablation_frontend_depth.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_frontend_depth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_hand_quota"
+  "../bench/ablation_hand_quota.pdb"
+  "CMakeFiles/ablation_hand_quota.dir/ablation_hand_quota.cc.o"
+  "CMakeFiles/ablation_hand_quota.dir/ablation_hand_quota.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_hand_quota.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

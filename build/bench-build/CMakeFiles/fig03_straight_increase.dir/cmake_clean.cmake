@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig03_straight_increase"
+  "../bench/fig03_straight_increase.pdb"
+  "CMakeFiles/fig03_straight_increase.dir/fig03_straight_increase.cc.o"
+  "CMakeFiles/fig03_straight_increase.dir/fig03_straight_increase.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_straight_increase.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

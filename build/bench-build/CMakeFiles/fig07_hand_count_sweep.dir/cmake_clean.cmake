@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig07_hand_count_sweep"
+  "../bench/fig07_hand_count_sweep.pdb"
+  "CMakeFiles/fig07_hand_count_sweep.dir/fig07_hand_count_sweep.cc.o"
+  "CMakeFiles/fig07_hand_count_sweep.dir/fig07_hand_count_sweep.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_hand_count_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

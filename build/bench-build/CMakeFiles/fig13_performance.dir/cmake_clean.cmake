@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig13_performance"
+  "../bench/fig13_performance.pdb"
+  "CMakeFiles/fig13_performance.dir/fig13_performance.cc.o"
+  "CMakeFiles/fig13_performance.dir/fig13_performance.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_performance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

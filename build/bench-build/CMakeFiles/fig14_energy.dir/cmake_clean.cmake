@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig14_energy"
+  "../bench/fig14_energy.pdb"
+  "CMakeFiles/fig14_energy.dir/fig14_energy.cc.o"
+  "CMakeFiles/fig14_energy.dir/fig14_energy.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

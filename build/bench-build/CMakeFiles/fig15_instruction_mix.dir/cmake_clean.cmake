@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig15_instruction_mix"
+  "../bench/fig15_instruction_mix.pdb"
+  "CMakeFiles/fig15_instruction_mix.dir/fig15_instruction_mix.cc.o"
+  "CMakeFiles/fig15_instruction_mix.dir/fig15_instruction_mix.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_instruction_mix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig16_hand_usage"
+  "../bench/fig16_hand_usage.pdb"
+  "CMakeFiles/fig16_hand_usage.dir/fig16_hand_usage.cc.o"
+  "CMakeFiles/fig16_hand_usage.dir/fig16_hand_usage.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16_hand_usage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig17_lifetime_by_isa"
+  "../bench/fig17_lifetime_by_isa.pdb"
+  "CMakeFiles/fig17_lifetime_by_isa.dir/fig17_lifetime_by_isa.cc.o"
+  "CMakeFiles/fig17_lifetime_by_isa.dir/fig17_lifetime_by_isa.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig17_lifetime_by_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig17_lifetime_by_isa.
+# This may be replaced when dependencies are built.

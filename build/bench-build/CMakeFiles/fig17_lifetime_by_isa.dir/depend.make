@@ -1,0 +1,2 @@
+# Empty dependencies file for fig17_lifetime_by_isa.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig18_lifetime_by_hand"
+  "../bench/fig18_lifetime_by_hand.pdb"
+  "CMakeFiles/fig18_lifetime_by_hand.dir/fig18_lifetime_by_hand.cc.o"
+  "CMakeFiles/fig18_lifetime_by_hand.dir/fig18_lifetime_by_hand.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig18_lifetime_by_hand.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/table1_recovery_info.cc" "bench-build/CMakeFiles/table1_recovery_info.dir/table1_recovery_info.cc.o" "gcc" "bench-build/CMakeFiles/table1_recovery_info.dir/table1_recovery_info.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/isa/CMakeFiles/ch_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/asm/CMakeFiles/ch_asm.dir/DependInfo.cmake"
+  "/root/repo/build/src/emu/CMakeFiles/ch_emu.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/ch_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/ch_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/frontc/CMakeFiles/ch_frontc.dir/DependInfo.cmake"
+  "/root/repo/build/src/backend/CMakeFiles/ch_backend.dir/DependInfo.cmake"
+  "/root/repo/build/src/uarch/CMakeFiles/ch_uarch.dir/DependInfo.cmake"
+  "/root/repo/build/src/energy/CMakeFiles/ch_energy.dir/DependInfo.cmake"
+  "/root/repo/build/src/fpga/CMakeFiles/ch_fpga.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/ch_workloads.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

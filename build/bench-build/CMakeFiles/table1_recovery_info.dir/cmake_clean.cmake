@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table1_recovery_info"
+  "../bench/table1_recovery_info.pdb"
+  "CMakeFiles/table1_recovery_info.dir/table1_recovery_info.cc.o"
+  "CMakeFiles/table1_recovery_info.dir/table1_recovery_info.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_recovery_info.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

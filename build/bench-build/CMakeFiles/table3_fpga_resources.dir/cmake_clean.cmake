@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table3_fpga_resources"
+  "../bench/table3_fpga_resources.pdb"
+  "CMakeFiles/table3_fpga_resources.dir/table3_fpga_resources.cc.o"
+  "CMakeFiles/table3_fpga_resources.dir/table3_fpga_resources.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_fpga_resources.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

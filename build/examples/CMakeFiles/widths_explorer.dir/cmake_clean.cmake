@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/widths_explorer.dir/widths_explorer.cpp.o"
+  "CMakeFiles/widths_explorer.dir/widths_explorer.cpp.o.d"
+  "widths_explorer"
+  "widths_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/widths_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("isa")
+subdirs("mem")
+subdirs("asm")
+subdirs("emu")
+subdirs("trace")
+subdirs("frontc")
+subdirs("ir")
+subdirs("backend")
+subdirs("uarch")
+subdirs("energy")
+subdirs("fpga")
+subdirs("workloads")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ch_asm.dir/assembler.cc.o"
+  "CMakeFiles/ch_asm.dir/assembler.cc.o.d"
+  "CMakeFiles/ch_asm.dir/module_builder.cc.o"
+  "CMakeFiles/ch_asm.dir/module_builder.cc.o.d"
+  "libch_asm.a"
+  "libch_asm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ch_asm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/backend/distance_sched.cc" "src/backend/CMakeFiles/ch_backend.dir/distance_sched.cc.o" "gcc" "src/backend/CMakeFiles/ch_backend.dir/distance_sched.cc.o.d"
+  "/root/repo/src/backend/driver.cc" "src/backend/CMakeFiles/ch_backend.dir/driver.cc.o" "gcc" "src/backend/CMakeFiles/ch_backend.dir/driver.cc.o.d"
+  "/root/repo/src/backend/hand_assign.cc" "src/backend/CMakeFiles/ch_backend.dir/hand_assign.cc.o" "gcc" "src/backend/CMakeFiles/ch_backend.dir/hand_assign.cc.o.d"
+  "/root/repo/src/backend/riscv.cc" "src/backend/CMakeFiles/ch_backend.dir/riscv.cc.o" "gcc" "src/backend/CMakeFiles/ch_backend.dir/riscv.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/isa/CMakeFiles/ch_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/asm/CMakeFiles/ch_asm.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/ch_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/frontc/CMakeFiles/ch_frontc.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

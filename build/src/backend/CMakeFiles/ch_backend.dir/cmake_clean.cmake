@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ch_backend.dir/distance_sched.cc.o"
+  "CMakeFiles/ch_backend.dir/distance_sched.cc.o.d"
+  "CMakeFiles/ch_backend.dir/driver.cc.o"
+  "CMakeFiles/ch_backend.dir/driver.cc.o.d"
+  "CMakeFiles/ch_backend.dir/hand_assign.cc.o"
+  "CMakeFiles/ch_backend.dir/hand_assign.cc.o.d"
+  "CMakeFiles/ch_backend.dir/riscv.cc.o"
+  "CMakeFiles/ch_backend.dir/riscv.cc.o.d"
+  "libch_backend.a"
+  "libch_backend.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ch_backend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

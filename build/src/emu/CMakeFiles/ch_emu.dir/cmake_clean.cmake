@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ch_emu.dir/emulator.cc.o"
+  "CMakeFiles/ch_emu.dir/emulator.cc.o.d"
+  "libch_emu.a"
+  "libch_emu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ch_emu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

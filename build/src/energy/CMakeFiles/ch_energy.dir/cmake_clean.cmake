@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ch_energy.dir/energy_model.cc.o"
+  "CMakeFiles/ch_energy.dir/energy_model.cc.o.d"
+  "libch_energy.a"
+  "libch_energy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ch_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ch_fpga.dir/resource_model.cc.o"
+  "CMakeFiles/ch_fpga.dir/resource_model.cc.o.d"
+  "libch_fpga.a"
+  "libch_fpga.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ch_fpga.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

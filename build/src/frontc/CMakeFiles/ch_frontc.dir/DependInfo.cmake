@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/frontc/ast.cc" "src/frontc/CMakeFiles/ch_frontc.dir/ast.cc.o" "gcc" "src/frontc/CMakeFiles/ch_frontc.dir/ast.cc.o.d"
+  "/root/repo/src/frontc/codegen.cc" "src/frontc/CMakeFiles/ch_frontc.dir/codegen.cc.o" "gcc" "src/frontc/CMakeFiles/ch_frontc.dir/codegen.cc.o.d"
+  "/root/repo/src/frontc/lexer.cc" "src/frontc/CMakeFiles/ch_frontc.dir/lexer.cc.o" "gcc" "src/frontc/CMakeFiles/ch_frontc.dir/lexer.cc.o.d"
+  "/root/repo/src/frontc/parser.cc" "src/frontc/CMakeFiles/ch_frontc.dir/parser.cc.o" "gcc" "src/frontc/CMakeFiles/ch_frontc.dir/parser.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/isa/CMakeFiles/ch_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/ch_ir.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ch_frontc.dir/ast.cc.o"
+  "CMakeFiles/ch_frontc.dir/ast.cc.o.d"
+  "CMakeFiles/ch_frontc.dir/codegen.cc.o"
+  "CMakeFiles/ch_frontc.dir/codegen.cc.o.d"
+  "CMakeFiles/ch_frontc.dir/lexer.cc.o"
+  "CMakeFiles/ch_frontc.dir/lexer.cc.o.d"
+  "CMakeFiles/ch_frontc.dir/parser.cc.o"
+  "CMakeFiles/ch_frontc.dir/parser.cc.o.d"
+  "libch_frontc.a"
+  "libch_frontc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ch_frontc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

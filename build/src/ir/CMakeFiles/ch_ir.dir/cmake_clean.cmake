@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ch_ir.dir/analysis.cc.o"
+  "CMakeFiles/ch_ir.dir/analysis.cc.o.d"
+  "CMakeFiles/ch_ir.dir/vcode.cc.o"
+  "CMakeFiles/ch_ir.dir/vcode.cc.o.d"
+  "libch_ir.a"
+  "libch_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ch_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ch_isa.dir/encoding.cc.o"
+  "CMakeFiles/ch_isa.dir/encoding.cc.o.d"
+  "CMakeFiles/ch_isa.dir/opinfo.cc.o"
+  "CMakeFiles/ch_isa.dir/opinfo.cc.o.d"
+  "libch_isa.a"
+  "libch_isa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ch_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

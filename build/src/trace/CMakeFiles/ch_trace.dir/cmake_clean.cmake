@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ch_trace.dir/analyzers.cc.o"
+  "CMakeFiles/ch_trace.dir/analyzers.cc.o.d"
+  "libch_trace.a"
+  "libch_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ch_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

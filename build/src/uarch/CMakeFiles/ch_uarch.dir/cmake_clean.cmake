@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ch_uarch.dir/branch_pred.cc.o"
+  "CMakeFiles/ch_uarch.dir/branch_pred.cc.o.d"
+  "CMakeFiles/ch_uarch.dir/cache.cc.o"
+  "CMakeFiles/ch_uarch.dir/cache.cc.o.d"
+  "CMakeFiles/ch_uarch.dir/config.cc.o"
+  "CMakeFiles/ch_uarch.dir/config.cc.o.d"
+  "CMakeFiles/ch_uarch.dir/core.cc.o"
+  "CMakeFiles/ch_uarch.dir/core.cc.o.d"
+  "CMakeFiles/ch_uarch.dir/sim.cc.o"
+  "CMakeFiles/ch_uarch.dir/sim.cc.o.d"
+  "libch_uarch.a"
+  "libch_uarch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ch_uarch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

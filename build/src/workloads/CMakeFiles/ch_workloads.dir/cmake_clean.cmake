@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ch_workloads.dir/workloads.cc.o"
+  "CMakeFiles/ch_workloads.dir/workloads.cc.o.d"
+  "libch_workloads.a"
+  "libch_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ch_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

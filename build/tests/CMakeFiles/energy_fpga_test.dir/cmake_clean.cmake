@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/energy_fpga_test.dir/energy_fpga_test.cc.o"
+  "CMakeFiles/energy_fpga_test.dir/energy_fpga_test.cc.o.d"
+  "energy_fpga_test"
+  "energy_fpga_test.pdb"
+  "energy_fpga_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/energy_fpga_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
