@@ -66,6 +66,7 @@ class Assembler
             if (end == std::string_view::npos)
                 end = source_.size();
             ++line_;
+            builder_.setSourceLine(static_cast<int32_t>(line_));
             handleLine(source_.substr(start, end - start));
             start = end + 1;
         }

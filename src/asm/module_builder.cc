@@ -18,6 +18,7 @@ void
 ModuleBuilder::emit(const Inst& inst)
 {
     insts_.push_back(inst);
+    lines_.push_back(srcLine_);
 }
 
 void
@@ -26,6 +27,7 @@ ModuleBuilder::emitFixup(const Inst& inst, FixupKind kind,
 {
     fixups_.push_back({insts_.size(), kind, symbol, addend});
     insts_.push_back(inst);
+    lines_.push_back(srcLine_);
 }
 
 void
@@ -110,6 +112,7 @@ ModuleBuilder::finalize()
         prog.text.push_back(encode(isa_, insts_[i]));
     }
     prog.decoded = insts_;
+    prog.srcLines = lines_;
     if (!data_.empty())
         prog.data.push_back({layout::kDataBase, data_});
     prog.symbols = symbols_;
@@ -198,7 +201,12 @@ loadImmRec(ModuleBuilder& b, uint8_t dst, int64_t value)
     // Wide constants: materialize the upper part, shift, then or-in the
     // low 12 bits, recursively (standard RV64 expansion).
     const int64_t lo = signExtend(static_cast<uint64_t>(value) & 0xfff, 12);
-    const int64_t rest = (value - lo) >> 12;
+    // Subtract in uint64_t: value - lo overflows int64_t for values near
+    // INT64_MAX with a negative lo (the wrap-around is the intended
+    // two's-complement result).
+    const int64_t rest = static_cast<int64_t>(static_cast<uint64_t>(value) -
+                                              static_cast<uint64_t>(lo)) >>
+                         12;
     int n = loadImmRec(b, dst, rest);
     Inst slli;
     slli.op = Op::SLLI;

@@ -43,6 +43,13 @@ class ModuleBuilder
     /** Append an instruction with no symbolic reference. */
     void emit(const Inst& inst);
 
+    /**
+     * Set the 1-based source line attached to subsequently emitted
+     * instructions (0 = unknown). The text assembler calls this per
+     * input line so verifier diagnostics can cite the .s source.
+     */
+    void setSourceLine(int32_t line) { srcLine_ = line; }
+
     /** Append an instruction whose immediate refers to @p symbol. */
     void emitFixup(const Inst& inst, FixupKind kind, const std::string& symbol,
                    int64_t addend = 0);
@@ -101,6 +108,8 @@ class ModuleBuilder
 
     Isa isa_;
     std::vector<Inst> insts_;
+    std::vector<int32_t> lines_;
+    int32_t srcLine_ = 0;
     std::vector<PendingFixup> fixups_;
     std::vector<uint8_t> data_;
     std::map<std::string, uint64_t> symbols_;

@@ -3,6 +3,8 @@
 #include "backend/common.h"
 #include "common/logging.h"
 #include "frontc/codegen.h"
+#include "ir/vcode_verify.h"
+#include "verify/verify.h"
 
 namespace ch {
 
@@ -68,6 +70,19 @@ compileVModule(const VModule& mod, Isa isa)
     if (!mod.findFunc("main"))
         fatal("module has no main()");
 
+    // IR invariants first: a malformed VFunc would make any backend
+    // breakage below it impossible to attribute (docs/VERIFIER.md).
+    for (const auto& f : mod.funcs) {
+        const std::vector<std::string> errs = verifyVFunc(f);
+        if (!errs.empty()) {
+            std::string msg = concat("VCode verification failed for ",
+                                     f.name, ":");
+            for (const std::string& e : errs)
+                msg += concat("\n  ", e);
+            fatal(msg);
+        }
+    }
+
     ModuleBuilder b(isa);
 
     // Data segment.
@@ -93,7 +108,15 @@ compileVModule(const VModule& mod, Isa isa)
     }
 
     b.setEntry("_start");
-    return b.finalize();
+    Program prog = b.finalize();
+
+    // Post-compile static check: every binary we produce must pass the
+    // well-formedness verifier; a diagnostic here is a miscompile.
+    const VerifyResult vres = verifyProgram(prog);
+    if (!vres.ok())
+        fatal(concat("binary verification failed (", isaName(isa), "):\n",
+                     formatIssues(prog, vres)));
+    return prog;
 }
 
 Program

@@ -1,0 +1,229 @@
+#include "ir/vcode_verify.h"
+
+#include <cstdint>
+
+#include "common/logging.h"
+#include "ir/analysis.h"
+
+namespace ch {
+
+namespace {
+
+/** Appends one formatted violation per call. */
+struct Reporter {
+    const VFunc& f;
+    std::vector<std::string>& out;
+
+    template <typename... Parts>
+    void
+    add(int block, int inst, const Parts&... parts)
+    {
+        if (out.size() >= 50)
+            return;
+        out.push_back(concat(f.name, " block ", block,
+                             inst >= 0 ? concat(" inst ", inst) : "", ": ",
+                             parts...));
+    }
+};
+
+/** True when @p v is a valid source operand id of @p f. */
+bool
+validSrc(const VFunc& f, int v)
+{
+    return v == kVZero || (v >= 0 && v < f.numVRegs);
+}
+
+void
+checkOperands(const VFunc& f, Reporter& rep)
+{
+    const auto numBlocks = static_cast<int>(f.blocks.size());
+    for (int bi = 0; bi < numBlocks; ++bi) {
+        const VBlock& b = f.blocks[bi];
+        if (b.id != bi)
+            rep.add(bi, -1, "block id ", b.id, " != position ", bi);
+        if (b.fallThrough >= numBlocks)
+            rep.add(bi, -1, "fallThrough ", b.fallThrough, " out of range");
+        for (size_t ii = 0; ii < b.insts.size(); ++ii) {
+            const VInst& inst = b.insts[ii];
+            const bool last = ii + 1 == b.insts.size();
+            const int i = static_cast<int>(ii);
+
+            if (inst.dst != -1 && (inst.dst < 0 || inst.dst >= f.numVRegs))
+                rep.add(bi, i, "dst vreg ", inst.dst, " out of range");
+            if (inst.src1 != -1 && !validSrc(f, inst.src1))
+                rep.add(bi, i, "src1 vreg ", inst.src1, " out of range");
+            if (inst.src2 != -1 && !validSrc(f, inst.src2))
+                rep.add(bi, i, "src2 vreg ", inst.src2, " out of range");
+            for (const int a : inst.args)
+                if (!validSrc(f, a))
+                    rep.add(bi, i, "call arg vreg ", a, " out of range");
+
+            switch (inst.vop) {
+              case VOp::Machine: {
+                const OpInfo& info = inst.info();
+                if (inst.isTerminatorBranch() && !last)
+                    rep.add(bi, i, "terminator ", info.mnemonic,
+                            " is not the last instruction of its block");
+                if (inst.isTerminatorBranch() &&
+                    (inst.target < 0 || inst.target >= numBlocks))
+                    rep.add(bi, i, "branch target ", inst.target,
+                            " out of range");
+                // Memory ops may fold their base into a frame slot.
+                const bool foldedBase = info.isMem() && inst.frameSlot >= 0;
+                if (info.numSrcs >= 1 && inst.src1 == -1 && !foldedBase)
+                    rep.add(bi, i, info.mnemonic, " is missing src1");
+                if (info.numSrcs >= 2 && inst.src2 == -1)
+                    rep.add(bi, i, info.mnemonic, " is missing src2");
+                if (info.hasDst && inst.dst == -1)
+                    rep.add(bi, i, info.mnemonic,
+                            " is missing a destination");
+                break;
+              }
+              case VOp::LoadImm:
+                if (inst.dst < 0)
+                    rep.add(bi, i, "LoadImm without destination");
+                break;
+              case VOp::LoadAddr:
+                if (inst.dst < 0 || inst.sym.empty())
+                    rep.add(bi, i, "LoadAddr needs a dst and a symbol");
+                break;
+              case VOp::FrameAddr:
+                if (inst.dst < 0)
+                    rep.add(bi, i, "FrameAddr without destination");
+                if (inst.frameSlot < 0 ||
+                    static_cast<size_t>(inst.frameSlot) >=
+                        f.frameSlots.size())
+                    rep.add(bi, i, "FrameAddr slot ", inst.frameSlot,
+                            " out of range");
+                break;
+              case VOp::Call:
+                if (inst.sym.empty())
+                    rep.add(bi, i, "Call without a target symbol");
+                break;
+              case VOp::Ret:
+                if (!last)
+                    rep.add(bi, i,
+                            "Ret is not the last instruction of its block");
+                break;
+            }
+        }
+
+        // A reachable block must leave somewhere: end in Ret, end in a
+        // terminator branch, or have a fall-through successor.
+        const bool endsRet = !b.insts.empty() &&
+                             b.insts.back().vop == VOp::Ret;
+        const bool endsJump = !b.insts.empty() &&
+                              b.insts.back().isTerminatorBranch() &&
+                              b.insts.back().info().brKind == BrKind::Jump;
+        if (!endsRet && !endsJump && b.fallThrough < 0)
+            rep.add(bi, -1,
+                    "block neither returns, jumps, nor falls through");
+    }
+}
+
+void
+checkDefiniteAssignment(const VFunc& f, Reporter& rep)
+{
+    const CfgInfo cfg = buildCfg(f);
+    const int n = static_cast<int>(f.blocks.size());
+    const int words = (f.numVRegs + 63) / 64;
+    using Row = std::vector<uint64_t>;
+
+    auto test = [&](const Row& r, int v) {
+        return (r[static_cast<size_t>(v / 64)] >> (v % 64)) & 1;
+    };
+    auto set = [&](Row& r, int v) {
+        r[static_cast<size_t>(v / 64)] |=
+            uint64_t{1} << (v % 64);
+    };
+
+    // definedOut[b]: vregs definitely assigned when leaving b on every
+    // path from the entry. Merge is intersection; the entry starts from
+    // the parameter set, unvisited predecessors are ignored.
+    std::vector<Row> definedOut(static_cast<size_t>(n),
+                                Row(static_cast<size_t>(words), 0));
+    std::vector<uint8_t> visited(static_cast<size_t>(n), 0);
+
+    auto inSetOf = [&](int b) {
+        Row in(static_cast<size_t>(words), 0);
+        if (b == 0) {
+            for (int p = 0; p < f.numParams; ++p)
+                set(in, p);
+            return in;
+        }
+        bool first = true;
+        for (const int p : cfg.preds[static_cast<size_t>(b)]) {
+            if (!visited[static_cast<size_t>(p)])
+                continue;
+            if (first) {
+                in = definedOut[static_cast<size_t>(p)];
+                first = false;
+            } else {
+                for (int w = 0; w < words; ++w)
+                    in[static_cast<size_t>(w)] &=
+                        definedOut[static_cast<size_t>(p)]
+                                  [static_cast<size_t>(w)];
+            }
+        }
+        return in;
+    };
+
+    bool changed = true;
+    int pass = 0;
+    while (changed && pass < 100) {
+        changed = false;
+        ++pass;
+        for (const int b : cfg.rpo) {
+            Row in = inSetOf(b);
+            for (const VInst& inst : f.blocks[static_cast<size_t>(b)].insts) {
+                const int d = vinstDef(inst);
+                if (d >= 0)
+                    set(in, d);
+            }
+            if (!visited[static_cast<size_t>(b)] ||
+                in != definedOut[static_cast<size_t>(b)]) {
+                visited[static_cast<size_t>(b)] = 1;
+                definedOut[static_cast<size_t>(b)] = std::move(in);
+                changed = true;
+            }
+        }
+    }
+
+    // Report pass: walk each reachable block from its final in-set.
+    for (const int b : cfg.rpo) {
+        Row in = inSetOf(b);
+        const VBlock& blk = f.blocks[static_cast<size_t>(b)];
+        for (size_t ii = 0; ii < blk.insts.size(); ++ii) {
+            const VInst& inst = blk.insts[ii];
+            for (const int u : vinstUses(inst)) {
+                if (u >= 0 && u < f.numVRegs && !test(in, u))
+                    rep.add(b, static_cast<int>(ii), "vreg v", u,
+                            " may be used before it is assigned");
+            }
+            const int d = vinstDef(inst);
+            if (d >= 0)
+                set(in, d);
+        }
+    }
+}
+
+} // namespace
+
+std::vector<std::string>
+verifyVFunc(const VFunc& f)
+{
+    std::vector<std::string> out;
+    Reporter rep{f, out};
+    if (f.blocks.empty()) {
+        rep.add(0, -1, "function has no blocks");
+        return out;
+    }
+    checkOperands(f, rep);
+    // Operand-level breakage (bad ids) would confuse the dataflow; only
+    // run it on structurally sound functions.
+    if (out.empty())
+        checkDefiniteAssignment(f, rep);
+    return out;
+}
+
+} // namespace ch

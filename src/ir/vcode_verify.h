@@ -1,0 +1,29 @@
+#ifndef CH_IR_VCODE_VERIFY_H
+#define CH_IR_VCODE_VERIFY_H
+
+/**
+ * @file
+ * Structural invariant checker for VCode functions, run by the compiler
+ * driver between the front end and the backends so that IR breakage is
+ * caught before it turns into a miscompiled binary (docs/VERIFIER.md).
+ *
+ * Checked invariants: block ids match their indices, terminators are
+ * last in their block and their targets are in range, non-returning
+ * blocks have a successor, operands respect each op's arity, vreg ids
+ * are in range, and every use is definitely assigned on all paths from
+ * the entry (parameters count as assigned).
+ */
+
+#include <string>
+#include <vector>
+
+#include "ir/vcode.h"
+
+namespace ch {
+
+/** All violated invariants of @p f, one message each. Empty = clean. */
+std::vector<std::string> verifyVFunc(const VFunc& f);
+
+} // namespace ch
+
+#endif // CH_IR_VCODE_VERIFY_H

@@ -39,6 +39,13 @@ struct Program {
     /** Predecoded view of `text` (index i is PC textBase + 4*i). */
     std::vector<Inst> decoded;
 
+    /**
+     * Optional 1-based source line per instruction (parallel to
+     * `decoded`); filled by the text assembler, empty for compiled
+     * programs. Used by the verifier for line-numbered diagnostics.
+     */
+    std::vector<int32_t> srcLines;
+
     /** Initialized data segments. */
     struct DataSeg {
         uint64_t base;

@@ -1,0 +1,230 @@
+#include "verify/internal.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "isa/encoding.h"
+
+namespace ch::verify {
+
+namespace {
+
+/** Index of the instruction @p imm bytes away from instruction @p i. */
+int
+relTarget(const Program& prog, size_t i, int64_t imm, bool& bad)
+{
+    if (imm % 4 != 0) {
+        bad = true;
+        return -1;
+    }
+    const int64_t t = static_cast<int64_t>(i) + imm / 4;
+    if (t < 0 || t >= static_cast<int64_t>(prog.numInsts())) {
+        bad = true;
+        return -1;
+    }
+    return static_cast<int>(t);
+}
+
+} // namespace
+
+InstFlow
+instFlow(const Program& prog, size_t i)
+{
+    const Inst& inst = prog.decoded[i];
+    const OpInfo& info = inst.info();
+    InstFlow f;
+
+    auto fallsTo = [&](size_t n) {
+        if (n < prog.numInsts())
+            f.succ[f.numSucc++] = static_cast<int>(n);
+        else
+            f.offEnd = true;
+    };
+
+    switch (info.brKind) {
+      case BrKind::Cond: {
+        bool bad = false;
+        const int t = relTarget(prog, i, inst.imm, bad);
+        if (bad)
+            f.badTarget = true;
+        else
+            f.succ[f.numSucc++] = t;
+        fallsTo(i + 1);
+        break;
+      }
+      case BrKind::Jump: {
+        bool bad = false;
+        const int t = relTarget(prog, i, inst.imm, bad);
+        if (bad)
+            f.badTarget = true;
+        else
+            f.succ[f.numSucc++] = t;
+        break;
+      }
+      case BrKind::Call: {
+        bool bad = false;
+        const int t = relTarget(prog, i, inst.imm, bad);
+        if (bad)
+            f.badTarget = true;
+        else
+            f.callTarget = t;
+        f.isCall = true;
+        fallsTo(i + 1);
+        break;
+      }
+      case BrKind::IndCall:
+        f.isCall = true;
+        fallsTo(i + 1);
+        break;
+      case BrKind::Ret:
+        f.isExit = true;
+        break;
+      case BrKind::None:
+        if (inst.op == Op::ECALL && inst.imm == 0) {
+            f.isExit = true;  // Sys::Exit terminates the program
+        } else {
+            fallsTo(i + 1);
+        }
+        break;
+    }
+    return f;
+}
+
+BinFunc
+buildBinFunc(const Program& prog, size_t entry)
+{
+    BinFunc fn;
+    fn.entryInst = entry;
+    const size_t n = prog.numInsts();
+    fn.blockOfInst.assign(n, -1);
+
+    auto issueAt = [&](IssueKind kind, size_t i, std::string detail) {
+        VerifyIssue is;
+        is.kind = kind;
+        is.instIndex = i;
+        is.pc = prog.textBase + 4 * i;
+        if (i < prog.srcLines.size())
+            is.line = prog.srcLines[i];
+        is.detail = std::move(detail);
+        fn.issues.push_back(std::move(is));
+    };
+
+    if (entry >= n) {
+        issueAt(IssueKind::BadTarget, 0, "function entry outside text");
+        return fn;
+    }
+
+    // Pass 1: discover the reachable instruction set and flag targets.
+    std::vector<uint8_t> reach(n, 0), leader(n, 0);
+    std::vector<size_t> work{entry};
+    reach[entry] = 1;
+    leader[entry] = 1;
+    while (!work.empty()) {
+        const size_t i = work.back();
+        work.pop_back();
+        const InstFlow f = instFlow(prog, i);
+        if (f.badTarget) {
+            issueAt(IssueKind::BadTarget, i,
+                    "branch target outside text or misaligned");
+        }
+        if (f.offEnd) {
+            issueAt(IssueKind::FallOffEnd, i,
+                    "control runs past the end of the text segment");
+        }
+        if (f.isCall && f.callTarget >= 0)
+            fn.callTargets.push_back(static_cast<size_t>(f.callTarget));
+        for (int k = 0; k < f.numSucc; ++k) {
+            const auto s = static_cast<size_t>(f.succ[k]);
+            // Any non-sequential transfer makes its target a leader, and
+            // both arms of a conditional branch start blocks.
+            if (s != i + 1 || f.numSucc > 1 ||
+                prog.decoded[i].info().brKind != BrKind::None) {
+                leader[s] = 1;
+            }
+            if (!reach[s]) {
+                reach[s] = 1;
+                work.push_back(s);
+            }
+        }
+    }
+
+    // Pass 2: carve blocks. A block runs from a leader to the next
+    // terminator or to the instruction before the next leader.
+    std::vector<int> blockAt(n, -1);
+    for (size_t i = 0; i < n; ++i) {
+        if (!reach[i] || !leader[i])
+            continue;
+        BinBlock b;
+        b.first = static_cast<int>(i);
+        size_t j = i;
+        while (true) {
+            blockAt[j] = static_cast<int>(fn.blocks.size());
+            const InstFlow f = instFlow(prog, j);
+            const bool terminates =
+                f.isExit || f.numSucc == 0 ||
+                prog.decoded[j].info().brKind == BrKind::Cond ||
+                prog.decoded[j].info().brKind == BrKind::Jump;
+            if (terminates || j + 1 >= n || !reach[j + 1] || leader[j + 1]) {
+                b.last = static_cast<int>(j);
+                break;
+            }
+            ++j;
+        }
+        fn.blocks.push_back(std::move(b));
+    }
+
+    // Pass 3: successor edges (block ids), then sort into RPO.
+    for (auto& b : fn.blocks) {
+        const InstFlow f = instFlow(prog, b.last);
+        if (f.numSucc > 0) {
+            for (int k = 0; k < f.numSucc; ++k)
+                b.succs.push_back(blockAt[f.succ[k]]);
+        } else if (!f.isExit && static_cast<size_t>(b.last) + 1 < n &&
+                   reach[b.last + 1]) {
+            b.succs.push_back(blockAt[b.last + 1]);
+        }
+        std::sort(b.succs.begin(), b.succs.end());
+        b.succs.erase(std::unique(b.succs.begin(), b.succs.end()),
+                      b.succs.end());
+    }
+
+    // Iterative post-order DFS from the entry block.
+    std::vector<int> order;
+    std::vector<uint8_t> state(fn.blocks.size(), 0);  // 0 new, 1 open, 2 done
+    std::vector<std::pair<int, size_t>> stack{{blockAt[entry], 0}};
+    state[blockAt[entry]] = 1;
+    while (!stack.empty()) {
+        auto& [b, next] = stack.back();
+        if (next < fn.blocks[b].succs.size()) {
+            const int s = fn.blocks[b].succs[next++];
+            if (state[s] == 0) {
+                state[s] = 1;
+                stack.push_back({s, 0});
+            }
+        } else {
+            state[b] = 2;
+            order.push_back(b);
+            stack.pop_back();
+        }
+    }
+    std::reverse(order.begin(), order.end());
+
+    std::vector<int> newId(fn.blocks.size(), -1);
+    for (size_t k = 0; k < order.size(); ++k)
+        newId[order[k]] = static_cast<int>(k);
+    std::vector<BinBlock> rpo;
+    rpo.reserve(order.size());
+    for (const int old : order) {
+        BinBlock b = std::move(fn.blocks[old]);
+        for (auto& s : b.succs)
+            s = newId[s];
+        rpo.push_back(std::move(b));
+    }
+    fn.blocks = std::move(rpo);
+    for (size_t k = 0; k < fn.blocks.size(); ++k)
+        for (int i = fn.blocks[k].first; i <= fn.blocks[k].last; ++i)
+            fn.blockOfInst[i] = static_cast<int>(k);
+    return fn;
+}
+
+} // namespace ch::verify

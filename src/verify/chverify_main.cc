@@ -1,0 +1,124 @@
+/**
+ * @file
+ * chverify: standalone static well-formedness checker.
+ *
+ *   chverify [--isa=riscv|straight|clockhands] [--stats] file.s
+ *   chverify --workloads [--stats]
+ *
+ * The first form assembles a .s file (paper syntax) and verifies it.
+ * The second verifies every compiled workload for all three ISAs, as
+ * the driver-integrated check does, and prints per-hand pressure.
+ * Exit status: 0 clean, 1 diagnostics reported, 2 usage/input error.
+ */
+
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "asm/assembler.h"
+#include "common/logging.h"
+#include "verify/verify.h"
+#include "workloads/workloads.h"
+
+namespace {
+
+int
+usage()
+{
+    std::cerr
+        << "usage: chverify [--isa=riscv|straight|clockhands] [--stats] "
+           "file.s\n"
+           "       chverify --workloads [--stats]\n";
+    return 2;
+}
+
+/** Report on one program; returns 1 when issues were found. */
+int
+check(const std::string& label, const ch::Program& prog, bool stats)
+{
+    const ch::VerifyResult res = ch::verifyProgram(prog);
+    if (!res.ok()) {
+        std::cout << label << ": " << res.issues.size() << " issue(s)\n"
+                  << formatIssues(prog, res);
+    } else {
+        std::cout << label << ": ok\n";
+    }
+    if (stats)
+        std::cout << formatPressure(prog, res);
+    return res.ok() ? 0 : 1;
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    ch::Isa isa = ch::Isa::Riscv;
+    bool isaSet = false, stats = false, allWorkloads = false;
+    std::string file;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg.rfind("--isa=", 0) == 0) {
+            const std::string name = arg.substr(6);
+            if (name == "riscv") {
+                isa = ch::Isa::Riscv;
+            } else if (name == "straight") {
+                isa = ch::Isa::Straight;
+            } else if (name == "clockhands") {
+                isa = ch::Isa::Clockhands;
+            } else {
+                return usage();
+            }
+            isaSet = true;
+        } else if (arg == "--stats") {
+            stats = true;
+        } else if (arg == "--workloads") {
+            allWorkloads = true;
+        } else if (!arg.empty() && arg[0] == '-') {
+            return usage();
+        } else if (file.empty()) {
+            file = arg;
+        } else {
+            return usage();
+        }
+    }
+
+    try {
+        if (allWorkloads) {
+            int rc = 0;
+            for (const auto& wl : ch::workloads()) {
+                for (const ch::Isa i : {ch::Isa::Riscv, ch::Isa::Straight,
+                                        ch::Isa::Clockhands}) {
+                    const ch::Program& prog = ch::compiledWorkload(wl.name,
+                                                                   i);
+                    rc |= check(wl.name + " (" +
+                                    std::string(ch::isaName(i)) + ")",
+                                prog, stats);
+                }
+            }
+            return rc;
+        }
+
+        if (file.empty())
+            return usage();
+        if (!isaSet) {
+            std::cerr << "chverify: --isa is required for .s input\n";
+            return usage();
+        }
+        std::ifstream in(file);
+        if (!in) {
+            std::cerr << "chverify: cannot open " << file << "\n";
+            return 2;
+        }
+        std::ostringstream src;
+        src << in.rdbuf();
+        const ch::Program prog = ch::assemble(isa, src.str());
+        return check(file, prog, stats);
+    } catch (const ch::FatalError& e) {
+        std::cerr << "chverify: " << e.what() << "\n";
+        return 2;
+    }
+}

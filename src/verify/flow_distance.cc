@@ -1,0 +1,424 @@
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/logging.h"
+#include "isa/encoding.h"
+#include "verify/internal.h"
+
+/*
+ * Forward dataflow over the write histories of the distance-referenced
+ * ISAs (paper Sections 2.2 and 4).
+ *
+ * STRAIGHT models one ring of kStraightMaxDist slots: every executed
+ * instruction pushes a slot, valueless instructions push "junk", and
+ * the special SP is tracked separately. Clockhands models the four
+ * hands of kHandDepth slots each; only value-producing writes rotate a
+ * hand.
+ *
+ * Call boundaries use the backends' calling convention as a summary
+ * (docs/BACKENDS.md Sections 5-6): after a STRAIGHT call the ring holds
+ * [jr-slot, return value, <clobbered>...] and SP is preserved; after a
+ * Clockhands call t/u are dead, s holds [SP, return value,
+ * <clobbered>...], and v[0..7] survive. Function entries other than
+ * the program entry point start from fully symbolic argument windows
+ * because arity is not recorded in the binary.
+ */
+
+namespace ch::verify {
+
+namespace {
+
+/** Live distance window per hand for @p isa. */
+int
+window(Isa isa)
+{
+    return isa == Isa::Straight ? kStraightMaxDist : kHandDepth;
+}
+
+/** Abstract machine state at one program point. */
+struct DState {
+    bool live = false;
+    std::array<std::vector<Slot>, kNumHands> hands;
+    Slot sp;  ///< STRAIGHT special SP
+};
+
+/** Push @p s as the newest value of history @p h. */
+void
+push(std::vector<Slot>& h, Slot s)
+{
+    for (size_t k = h.size() - 1; k > 0; --k)
+        h[k] = h[k - 1];
+    h[0] = s;
+}
+
+DState
+makeEntryState(Isa isa, bool isEntryFunc)
+{
+    DState st;
+    st.live = true;
+    const int numHands = isa == Isa::Straight ? 1 : kNumHands;
+    for (int h = 0; h < numHands; ++h)
+        st.hands[h].assign(static_cast<size_t>(window(isa)), Slot{});
+
+    if (isa == Isa::Straight) {
+        if (isEntryFunc) {
+            st.sp = {SK::Init, 0};  // ring empty, SP pre-set
+        } else {
+            // Callee view: [ra, argN..arg1, caller values...]; arity is
+            // unknown, so the whole window is symbolic.
+            st.sp = {SK::Entry, 0x1000};
+            for (int k = 0; k < window(isa); ++k)
+                st.hands[0][static_cast<size_t>(k)] = {SK::Entry, k};
+        }
+        return st;
+    }
+
+    if (isEntryFunc) {
+        // The emulator pre-writes SP into s so s[0] reads it at _start.
+        st.hands[HandS][0] = {SK::Init, 0};
+    } else {
+        // Callee view (docs/BACKENDS.md Section 6): s carries
+        // [callerSP, args..., ra], v[0..7] is the callee-saved window;
+        // t, u, and v[8..15] hold stale caller values that must not be
+        // read before being rewritten.
+        for (int k = 0; k < kHandDepth; ++k) {
+            const auto ku = static_cast<size_t>(k);
+            st.hands[HandS][ku] = {SK::Entry, 0x300 + k};
+            st.hands[HandV][ku] = k < 8 ? Slot{SK::Entry, 0x200 + k}
+                                        : Slot{SK::Clobbered, 0};
+            st.hands[HandT][ku] = {SK::Clobbered, 0};
+            st.hands[HandU][ku] = {SK::Clobbered, 0};
+        }
+    }
+    return st;
+}
+
+/** The per-function dataflow engine. */
+struct DistanceFlow {
+    FlowContext& cx;
+    const Isa isa;
+    const bool straight;
+    PhiBook book;
+    std::unordered_set<int32_t> phiMarked;
+
+    explicit DistanceFlow(FlowContext& c)
+        : cx(c), isa(c.prog.isa), straight(isa == Isa::Straight)
+    {
+    }
+
+    /** Mark the producer(s) behind @p s as consumed. */
+    void
+    markUsed(const Slot& s)
+    {
+        switch (s.kind) {
+          case SK::Value:
+            cx.used[static_cast<size_t>(s.ref)] = 1;
+            break;
+          case SK::Phi:
+          case SK::Partial: {
+            if (!phiMarked.insert(s.ref).second)
+                return;
+            auto it = book.inputs.find(s.ref);
+            if (it != book.inputs.end())
+                for (const Slot& in : it->second)
+                    markUsed(in);
+            break;
+          }
+          default:
+            break;
+        }
+    }
+
+    /** Phi id for hand slot (@p block, @p hand, @p depth). */
+    static int32_t
+    phiRef(int block, int hand, int depth)
+    {
+        return (static_cast<int32_t>(block) * (kNumHands + 1) + hand) * 131 +
+               depth + 1;
+    }
+
+    /** Merge @p src into @p dst (the in-state of block @p blockId). */
+    bool
+    mergeInto(DState& dst, const DState& src, int blockId)
+    {
+        if (!dst.live) {
+            dst = src;
+            return true;
+        }
+        bool changed = false;
+        const int numHands = straight ? 1 : kNumHands;
+        for (int h = 0; h < numHands; ++h) {
+            auto& d = dst.hands[static_cast<size_t>(h)];
+            const auto& s = src.hands[static_cast<size_t>(h)];
+            for (size_t k = 0; k < d.size(); ++k) {
+                const Slot m = mergeSlot(d[k], s[k],
+                                         phiRef(blockId, h,
+                                                static_cast<int>(k)),
+                                         book);
+                if (!(m == d[k])) {
+                    d[k] = m;
+                    changed = true;
+                }
+            }
+        }
+        if (straight) {
+            const Slot m = mergeSlot(dst.sp, src.sp,
+                                     phiRef(blockId, kNumHands, 0), book);
+            if (!(m == dst.sp)) {
+                dst.sp = m;
+                changed = true;
+            }
+        }
+        return changed;
+    }
+
+    /** Diagnose the read of @p s by operand @p opnd of instruction @p i. */
+    void
+    diagnose(const Slot& s, size_t i, int opnd, uint8_t hand, uint8_t dist)
+    {
+        const std::string ref =
+            straight ? concat("[", static_cast<int>(dist), "]")
+                     : concat(handName(hand), "[", static_cast<int>(dist),
+                              "]");
+        switch (s.kind) {
+          case SK::Uninit:
+            addIssue(cx, IssueKind::UninitRead, i, opnd, hand, dist,
+                     concat("reads ", ref,
+                            ", which was never written on any path"));
+            break;
+          case SK::Junk:
+          case SK::CallJunk: {
+            std::string who =
+                s.kind == SK::CallJunk
+                    ? concat("the jr slot of the call at instruction #",
+                             s.ref)
+                    : s.ref >= 0
+                          ? concat("valueless instruction #", s.ref, " `",
+                                   disassemble(isa,
+                                               cx.prog.decoded[static_cast<
+                                                   size_t>(s.ref)]),
+                                   "`")
+                          : std::string("a valueless instruction");
+            addIssue(cx, IssueKind::JunkRead, i, opnd, hand, dist,
+                     concat("reads ", ref, ", but that slot belongs to ",
+                            who, " and holds no value"));
+            break;
+          }
+          case SK::Clobbered:
+            addIssue(cx, IssueKind::ClobberedRead, i, opnd, hand, dist,
+                     concat("reads ", ref,
+                            ", which holds no defined value here (stale "
+                            "across a call boundary)"));
+            break;
+          case SK::Partial:
+            addIssue(cx, IssueKind::InconsistentJoin, i, opnd, hand, dist,
+                     concat("reads ", ref,
+                            ", which is written on some but not all paths "
+                            "reaching this join"));
+            break;
+          case SK::Conflict:
+            addIssue(cx, IssueKind::InconsistentJoin, i, opnd, hand, dist,
+                     concat("reads ", ref,
+                            ", which resolves to a value on one path and a "
+                            "valueless slot on another"));
+            break;
+          default:
+            break;  // readable kinds are fine
+        }
+    }
+
+    /** Resolve and (in report mode) check one source operand. */
+    void
+    readOperand(DState& st, size_t i, int opnd, uint8_t hand, uint8_t dist,
+                bool report)
+    {
+        Slot s;
+        uint8_t statHand = 0;
+        int statDist = -1;
+        if (straight) {
+            if (dist == kStraightZeroDist)
+                return;
+            if (dist == kStraightSpBase) {
+                s = st.sp;
+            } else {
+                s = st.hands[0][static_cast<size_t>(dist - 1)];
+                statDist = dist;
+            }
+        } else {
+            if (hand == HandS && dist == kHandZeroDist)
+                return;
+            statHand = hand;
+            statDist = dist;
+            s = st.hands[hand][dist];
+        }
+        if (!report)
+            return;
+        markUsed(s);
+        const size_t key = i * 2 + static_cast<size_t>(opnd - 1);
+        if (cx.reported[key])
+            return;  // already counted/diagnosed (shared code)
+        cx.reported[key] = 1;
+        auto& pr = cx.res.pressure[statHand];
+        ++pr.reads;
+        pr.maxDist = std::max(pr.maxDist, statDist);
+        diagnose(s, i, opnd, statHand, dist);
+    }
+
+    /** Calling-convention summary applied at JAL/JALR sites. */
+    void
+    applyCall(DState& st, size_t i, bool report)
+    {
+        const auto ref = static_cast<int32_t>(i);
+        if (straight) {
+            if (report) {
+                // The argument window and SP escape into the callee.
+                for (size_t k = 0; k < 10 && k < st.hands[0].size(); ++k)
+                    markUsed(st.hands[0][k]);
+                markUsed(st.sp);
+            }
+            std::fill(st.hands[0].begin(), st.hands[0].end(),
+                      Slot{SK::Clobbered, 0});
+            st.hands[0][1] = {SK::CallRet, ref};
+            st.hands[0][0] = {SK::CallJunk, ref};
+            // SP is preserved: the callee restores it before returning.
+            return;
+        }
+        if (report) {
+            for (int k = 0; k < 10; ++k)
+                markUsed(st.hands[HandS][static_cast<size_t>(k)]);
+            for (int k = 0; k < 8; ++k)
+                markUsed(st.hands[HandV][static_cast<size_t>(k)]);
+        }
+        std::fill(st.hands[HandT].begin(), st.hands[HandT].end(),
+                  Slot{SK::Clobbered, 0});
+        std::fill(st.hands[HandU].begin(), st.hands[HandU].end(),
+                  Slot{SK::Clobbered, 0});
+        std::fill(st.hands[HandS].begin(), st.hands[HandS].end(),
+                  Slot{SK::Clobbered, 0});
+        st.hands[HandS][1] = {SK::CallRet, ref};
+        st.hands[HandS][0] = {SK::CallSp, ref};
+        // v[0..7] survive in value (the callee saves and restores them);
+        // anything deeper, or never written by this caller, is garbage.
+        for (int k = 0; k < kHandDepth; ++k) {
+            auto& slot = st.hands[HandV][static_cast<size_t>(k)];
+            if (k >= 8 || slot.kind == SK::Uninit)
+                slot = {SK::Clobbered, 0};
+        }
+    }
+
+    /** Escape marking at a function exit (jr). */
+    void
+    applyExit(DState& st, const Inst& inst, bool report)
+    {
+        if (!report || inst.info().brKind != BrKind::Ret)
+            return;
+        if (straight) {
+            // Callers read [1] (our jr slot) .. [2] (return value).
+            markUsed(st.hands[0][0]);
+            markUsed(st.hands[0][1]);
+            markUsed(st.sp);
+        } else {
+            // Callers read s[0] (SP), s[1] (return value), and the
+            // preserved v window.
+            markUsed(st.hands[HandS][0]);
+            markUsed(st.hands[HandS][1]);
+            for (int k = 0; k < 8; ++k)
+                markUsed(st.hands[HandV][static_cast<size_t>(k)]);
+        }
+    }
+
+    /** Abstractly execute instruction @p i on @p st. */
+    void
+    transferInst(DState& st, size_t i, bool report)
+    {
+        const Inst& inst = cx.prog.decoded[i];
+        const OpInfo& info = inst.info();
+        if (info.numSrcs >= 1)
+            readOperand(st, i, 1, inst.src1Hand, inst.src1, report);
+        if (info.numSrcs >= 2)
+            readOperand(st, i, 2, inst.src2Hand, inst.src2, report);
+        if (report && inst.op == Op::ECALL && inst.imm != 0 && inst.imm != 1 &&
+            !cx.reported[i * 2]) {
+            cx.reported[i * 2] = 1;
+            addIssue(cx, IssueKind::UnknownSyscall, i, 0, 0, 0,
+                     concat("syscall ", inst.imm, " is not implemented"));
+        }
+
+        const InstFlow f = instFlow(cx.prog, i);
+        if (f.isExit) {
+            applyExit(st, inst, report);
+            return;
+        }
+        if (f.isCall) {
+            applyCall(st, i, report);
+            return;
+        }
+        if (inst.op == Op::SPADDI) {
+            if (straight) {
+                if (report)
+                    markUsed(st.sp);
+                st.sp = {SK::Value, static_cast<int32_t>(i)};
+                push(st.hands[0], {SK::Junk, static_cast<int32_t>(i)});
+            }
+            return;
+        }
+        if (straight) {
+            push(st.hands[0],
+                 info.hasDst ? Slot{SK::Value, static_cast<int32_t>(i)}
+                             : Slot{SK::Junk, static_cast<int32_t>(i)});
+        } else if (info.hasDst) {
+            push(st.hands[inst.dst], {SK::Value, static_cast<int32_t>(i)});
+        }
+    }
+};
+
+} // namespace
+
+void
+runDistanceFlow(FlowContext& cx)
+{
+    const auto& blocks = cx.func.blocks;
+    if (blocks.empty())
+        return;
+
+    DistanceFlow fl(cx);
+    std::vector<DState> in(blocks.size());
+    in[0] = makeEntryState(cx.prog.isa, cx.isEntryFunc);
+
+    bool changed = true;
+    int pass = 0;
+    constexpr int kMaxPasses = 300;
+    while (changed && pass < kMaxPasses) {
+        changed = false;
+        ++pass;
+        for (size_t b = 0; b < blocks.size(); ++b) {
+            if (!in[b].live)
+                continue;
+            DState out = in[b];
+            for (int i = blocks[b].first; i <= blocks[b].last; ++i)
+                fl.transferInst(out, static_cast<size_t>(i), false);
+            for (const int s : blocks[b].succs) {
+                changed =
+                    fl.mergeInto(in[static_cast<size_t>(s)], out, s) ||
+                    changed;
+            }
+        }
+    }
+    if (changed) {
+        addIssue(cx, IssueKind::NoConverge, cx.func.entryInst, 0, 0, 0,
+                 concat("dataflow did not converge after ", kMaxPasses,
+                        " passes"));
+    }
+
+    // Fixpoint reached: one reporting pass collects diagnostics, read
+    // statistics, and use marks from the final in-states.
+    for (size_t b = 0; b < blocks.size(); ++b) {
+        if (!in[b].live)
+            continue;
+        DState out = in[b];
+        for (int i = blocks[b].first; i <= blocks[b].last; ++i)
+            fl.transferInst(out, static_cast<size_t>(i), true);
+    }
+}
+
+} // namespace ch::verify

@@ -1,0 +1,279 @@
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/logging.h"
+#include "isa/encoding.h"
+#include "verify/internal.h"
+
+/*
+ * Classic definite-assignment dataflow over the 64 RISC logical
+ * registers: the baseline analogue of the distance-window checks. A
+ * read of a register that was never written (or written on only some
+ * incoming paths, or only before an intervening call if it is
+ * caller-saved) is diagnosed.
+ *
+ * The calling-convention summary mirrors src/backend/riscv.cc: x5-x7,
+ * x10-x17, x28-x31 and ft0-9/fa0-7/ft10-11 are dead across calls, a0
+ * and fa0 carry the return value, ra holds the link, and sp plus the
+ * callee-saved sets survive.
+ */
+
+namespace ch::verify {
+
+namespace {
+
+constexpr int kNumRegs = kNumIntRegs + kNumFpRegs;
+
+const uint8_t kIntCallerSaved[] = {5, 6, 7, 10, 11, 12, 13, 14, 15,
+                                   16, 17, 28, 29, 30, 31};
+const uint8_t kIntCalleeSaved[] = {8, 9, 18, 19, 20, 21, 22, 23, 24, 25,
+                                   26, 27};
+const uint8_t kFpCallerSaved[] = {32, 33, 34, 35, 36, 37, 38, 39, 42, 43,
+                                  44, 45, 46, 47, 48, 49, 60, 61, 62, 63};
+const uint8_t kFpCalleeSaved[] = {40, 41, 50, 51, 52, 53, 54, 55, 56, 57,
+                                  58, 59};
+const uint8_t kIntArgRegs[] = {10, 11, 12, 13, 14, 15, 16, 17};
+const uint8_t kFpArgRegs[] = {42, 43, 44, 45, 46, 47, 48, 49};
+
+struct RState {
+    bool live = false;
+    std::array<Slot, kNumRegs> regs{};
+};
+
+RState
+makeEntryState(bool isEntryFunc)
+{
+    RState st;
+    st.live = true;
+    if (isEntryFunc) {
+        // Emulator reset state: sp = stack top, ra = 0, rest undefined.
+        st.regs[kRegSp] = {SK::Init, 0};
+        st.regs[kRegRa] = {SK::Init, 1};
+        return st;
+    }
+    // Callee view: argument registers, sp, ra, and the callee-saved
+    // sets (which prologues store before writing) hold symbolic caller
+    // values; everything else is undefined garbage.
+    for (const uint8_t r : kIntArgRegs)
+        st.regs[r] = {SK::Entry, r};
+    for (const uint8_t r : kFpArgRegs)
+        st.regs[r] = {SK::Entry, r};
+    for (const uint8_t r : kIntCalleeSaved)
+        st.regs[r] = {SK::Entry, r};
+    for (const uint8_t r : kFpCalleeSaved)
+        st.regs[r] = {SK::Entry, r};
+    st.regs[kRegSp] = {SK::Entry, kRegSp};
+    st.regs[kRegRa] = {SK::Entry, kRegRa};
+    return st;
+}
+
+struct RiscvFlow {
+    FlowContext& cx;
+    PhiBook book;
+    std::unordered_set<int32_t> phiMarked;
+
+    explicit RiscvFlow(FlowContext& c) : cx(c) {}
+
+    void
+    markUsed(const Slot& s)
+    {
+        switch (s.kind) {
+          case SK::Value:
+            cx.used[static_cast<size_t>(s.ref)] = 1;
+            break;
+          case SK::Phi:
+          case SK::Partial: {
+            if (!phiMarked.insert(s.ref).second)
+                return;
+            auto it = book.inputs.find(s.ref);
+            if (it != book.inputs.end())
+                for (const Slot& in : it->second)
+                    markUsed(in);
+            break;
+          }
+          default:
+            break;
+        }
+    }
+
+    bool
+    mergeInto(RState& dst, const RState& src, int blockId)
+    {
+        if (!dst.live) {
+            dst = src;
+            return true;
+        }
+        bool changed = false;
+        for (int r = 0; r < kNumRegs; ++r) {
+            const int32_t ref =
+                static_cast<int32_t>(blockId) * kNumRegs + r + 1;
+            const Slot m = mergeSlot(dst.regs[static_cast<size_t>(r)],
+                                     src.regs[static_cast<size_t>(r)], ref,
+                                     book);
+            if (!(m == dst.regs[static_cast<size_t>(r)])) {
+                dst.regs[static_cast<size_t>(r)] = m;
+                changed = true;
+            }
+        }
+        return changed;
+    }
+
+    void
+    readReg(RState& st, size_t i, int opnd, uint8_t reg, bool report)
+    {
+        if (reg == kRegZero)
+            return;
+        const Slot s = st.regs[reg];
+        if (!report)
+            return;
+        markUsed(s);
+        const size_t key = i * 2 + static_cast<size_t>(opnd - 1);
+        if (cx.reported[key])
+            return;
+        cx.reported[key] = 1;
+        ++cx.res.pressure[0].reads;
+        const std::string name = riscRegName(reg);
+        switch (s.kind) {
+          case SK::Uninit:
+            addIssue(cx, IssueKind::UninitRead, i, opnd, reg, reg,
+                     concat("reads ", name,
+                            ", which was never written on any path"));
+            break;
+          case SK::Partial:
+            addIssue(cx, IssueKind::InconsistentJoin, i, opnd, reg, reg,
+                     concat("reads ", name,
+                            ", which is written on some but not all paths "
+                            "reaching this join"));
+            break;
+          case SK::Clobbered:
+            addIssue(cx, IssueKind::ClobberedRead, i, opnd, reg, reg,
+                     concat("reads caller-saved ", name,
+                            ", which holds no defined value here (stale "
+                            "across a call boundary)"));
+            break;
+          case SK::Conflict:
+            addIssue(cx, IssueKind::InconsistentJoin, i, opnd, reg, reg,
+                     concat("reads ", name,
+                            ", whose definedness differs between the paths "
+                            "into this join"));
+            break;
+          default:
+            break;
+        }
+    }
+
+    void
+    applyCall(RState& st, size_t i, bool report)
+    {
+        if (report) {
+            for (const uint8_t r : kIntArgRegs)
+                markUsed(st.regs[r]);
+            for (const uint8_t r : kFpArgRegs)
+                markUsed(st.regs[r]);
+            markUsed(st.regs[kRegSp]);
+        }
+        const auto ref = static_cast<int32_t>(i);
+        for (const uint8_t r : kIntCallerSaved)
+            st.regs[r] = {SK::Clobbered, 0};
+        for (const uint8_t r : kFpCallerSaved)
+            st.regs[r] = {SK::Clobbered, 0};
+        st.regs[kIntArgRegs[0]] = {SK::CallRet, ref};  // a0
+        st.regs[kFpArgRegs[0]] = {SK::CallRet, ref};   // fa0
+        st.regs[kRegRa] = {SK::Value, ref};            // link
+    }
+
+    void
+    applyExit(RState& st, const Inst& inst, bool report)
+    {
+        if (!report || inst.info().brKind != BrKind::Ret)
+            return;
+        // The caller may consume the return value and every preserved
+        // register after we return.
+        markUsed(st.regs[kIntArgRegs[0]]);
+        markUsed(st.regs[kFpArgRegs[0]]);
+        markUsed(st.regs[kRegSp]);
+        markUsed(st.regs[kRegRa]);
+        for (const uint8_t r : kIntCalleeSaved)
+            markUsed(st.regs[r]);
+        for (const uint8_t r : kFpCalleeSaved)
+            markUsed(st.regs[r]);
+    }
+
+    void
+    transferInst(RState& st, size_t i, bool report)
+    {
+        const Inst& inst = cx.prog.decoded[i];
+        const OpInfo& info = inst.info();
+        if (info.numSrcs >= 1)
+            readReg(st, i, 1, inst.src1, report);
+        if (info.numSrcs >= 2)
+            readReg(st, i, 2, inst.src2, report);
+        if (report && inst.op == Op::ECALL && inst.imm != 0 && inst.imm != 1 &&
+            !cx.reported[i * 2]) {
+            cx.reported[i * 2] = 1;
+            addIssue(cx, IssueKind::UnknownSyscall, i, 0, 0, 0,
+                     concat("syscall ", inst.imm, " is not implemented"));
+        }
+
+        const InstFlow f = instFlow(cx.prog, i);
+        if (f.isExit) {
+            applyExit(st, inst, report);
+            return;
+        }
+        if (f.isCall) {
+            applyCall(st, i, report);
+            return;
+        }
+        if (info.hasDst && inst.dst != kRegZero && inst.dst < kNumRegs)
+            st.regs[inst.dst] = {SK::Value, static_cast<int32_t>(i)};
+    }
+};
+
+} // namespace
+
+void
+runRiscvFlow(FlowContext& cx)
+{
+    const auto& blocks = cx.func.blocks;
+    if (blocks.empty())
+        return;
+
+    RiscvFlow fl(cx);
+    std::vector<RState> in(blocks.size());
+    in[0] = makeEntryState(cx.isEntryFunc);
+
+    bool changed = true;
+    int pass = 0;
+    constexpr int kMaxPasses = 300;
+    while (changed && pass < kMaxPasses) {
+        changed = false;
+        ++pass;
+        for (size_t b = 0; b < blocks.size(); ++b) {
+            if (!in[b].live)
+                continue;
+            RState out = in[b];
+            for (int i = blocks[b].first; i <= blocks[b].last; ++i)
+                fl.transferInst(out, static_cast<size_t>(i), false);
+            for (const int s : blocks[b].succs) {
+                changed =
+                    fl.mergeInto(in[static_cast<size_t>(s)], out, s) ||
+                    changed;
+            }
+        }
+    }
+    if (changed) {
+        addIssue(cx, IssueKind::NoConverge, cx.func.entryInst, 0, 0, 0,
+                 concat("dataflow did not converge after ", kMaxPasses,
+                        " passes"));
+    }
+
+    for (size_t b = 0; b < blocks.size(); ++b) {
+        if (!in[b].live)
+            continue;
+        RState out = in[b];
+        for (int i = blocks[b].first; i <= blocks[b].last; ++i)
+            fl.transferInst(out, static_cast<size_t>(i), true);
+    }
+}
+
+} // namespace ch::verify

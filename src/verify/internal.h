@@ -1,0 +1,160 @@
+#ifndef CH_VERIFY_INTERNAL_H
+#define CH_VERIFY_INTERNAL_H
+
+/**
+ * @file
+ * Internals shared by the verifier's translation units: binary CFG
+ * reconstruction and the abstract-slot lattice used by the dataflow.
+ * Not part of the public API (tests may include it to poke at the CFG).
+ */
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "mem/program.h"
+#include "verify/verify.h"
+
+namespace ch::verify {
+
+// ---------------------------------------------------------------------
+// Binary CFG reconstruction
+// ---------------------------------------------------------------------
+
+/** Control-flow behaviour of one decoded instruction. */
+struct InstFlow {
+    bool isCall = false;     ///< JAL / JALR (execution continues after)
+    bool isExit = false;     ///< JR or ecall-exit: leaves the function
+    int callTarget = -1;     ///< direct call target index, -1 = indirect
+    int succ[2] = {-1, -1};  ///< intra-function successor indices
+    int numSucc = 0;
+    bool badTarget = false;  ///< direct target invalid (issue emitted)
+    bool offEnd = false;     ///< sequential successor past end of text
+};
+
+/** Classify instruction @p i of @p prog. */
+InstFlow instFlow(const Program& prog, size_t i);
+
+/** One basic block: instructions [first, last], block successor ids. */
+struct BinBlock {
+    int first = 0;
+    int last = 0;
+    std::vector<int> succs;
+};
+
+/** One reconstructed function, blocks in reverse post-order (0=entry). */
+struct BinFunc {
+    size_t entryInst = 0;
+    std::vector<BinBlock> blocks;
+    std::vector<int> blockOfInst;      ///< per text index, -1 = not here
+    std::vector<size_t> callTargets;   ///< direct callees discovered
+    std::vector<VerifyIssue> issues;   ///< CFG-level problems
+};
+
+/** Build the CFG of the function entered at instruction @p entry. */
+BinFunc buildBinFunc(const Program& prog, size_t entry);
+
+// ---------------------------------------------------------------------
+// Abstract slot lattice
+// ---------------------------------------------------------------------
+
+/**
+ * What an architectural slot (ring entry, hand entry, or register)
+ * holds at a program point. Ordering for the join operation:
+ * concrete kinds < Phi < Partial < Clobbered < Conflict.
+ */
+enum class SK : uint8_t {
+    Uninit,    ///< never written on this path
+    Init,      ///< machine-initialized (SP, RISC ra=0)
+    Entry,     ///< symbolic pre-entry value of a called function
+    Value,     ///< produced by instruction `ref`
+    Junk,      ///< STRAIGHT slot of valueless instruction `ref` (-1 any)
+    CallRet,   ///< return value of the call at instruction `ref`
+    CallSp,    ///< SP re-established by the call at `ref` (Clockhands)
+    CallJunk,  ///< STRAIGHT: the callee's jr slot of call `ref`
+    Phi,       ///< join of distinct readable values, `ref` = phi id
+    Partial,   ///< written on some but not all incoming paths
+    Clobbered, ///< defined but meaningless (stale across a call, etc.)
+    Conflict,  ///< value on one path, valueless on another
+};
+
+struct Slot {
+    SK kind = SK::Uninit;
+    int32_t ref = 0;
+    bool operator==(const Slot&) const = default;
+};
+
+/** Kinds a program may legitimately read. */
+inline bool
+readable(SK k)
+{
+    switch (k) {
+      case SK::Init:
+      case SK::Entry:
+      case SK::Value:
+      case SK::CallRet:
+      case SK::CallSp:
+      case SK::Phi:
+        return true;
+      default:
+        return false;
+    }
+}
+
+inline bool
+junkish(SK k)
+{
+    return k == SK::Junk || k == SK::CallJunk;
+}
+
+/**
+ * Records which concrete slots feed each phi so that dead-write
+ * analysis can mark producers used transitively through joins.
+ */
+struct PhiBook {
+    std::unordered_map<int32_t, std::vector<Slot>> inputs;
+
+    void
+    note(int32_t phi, const Slot& in)
+    {
+        auto& v = inputs[phi];
+        for (const auto& s : v)
+            if (s == in)
+                return;
+        v.push_back(in);
+    }
+};
+
+/**
+ * Join two slot states flowing into the point identified by @p phiRef.
+ * Monotone: repeated joins climb the SK ordering and terminate.
+ */
+Slot mergeSlot(const Slot& a, const Slot& b, int32_t phiRef, PhiBook& book);
+
+// ---------------------------------------------------------------------
+// Dataflow driver context
+// ---------------------------------------------------------------------
+
+/** Shared mutable state threaded through the per-function flows. */
+struct FlowContext {
+    const Program& prog;
+    const BinFunc& func;
+    bool isEntryFunc;               ///< true for the program entry point
+    VerifyResult& res;
+    std::vector<uint8_t>& used;     ///< per-inst: value consumed somewhere
+    std::vector<uint8_t>& reported; ///< per-inst*2: operand already reported
+};
+
+/** STRAIGHT / Clockhands ring-and-hands dataflow. */
+void runDistanceFlow(FlowContext& cx);
+
+/** RISC definite-assignment dataflow. */
+void runRiscvFlow(FlowContext& cx);
+
+/** Append an issue for instruction @p i (fills pc/line from the program). */
+void addIssue(FlowContext& cx, IssueKind kind, size_t i, int operand,
+              uint8_t hand, uint8_t dist, std::string detail);
+
+} // namespace ch::verify
+
+#endif // CH_VERIFY_INTERNAL_H

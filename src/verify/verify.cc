@@ -1,0 +1,247 @@
+#include "verify/verify.h"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+#include <utility>
+
+#include "common/logging.h"
+#include "isa/encoding.h"
+#include "verify/internal.h"
+
+namespace ch {
+
+namespace verify {
+
+Slot
+mergeSlot(const Slot& a, const Slot& b, int32_t phiRef, PhiBook& book)
+{
+    if (a == b)
+        return a;
+    const SK ka = a.kind, kb = b.kind;
+    if (ka == SK::Conflict || kb == SK::Conflict)
+        return {SK::Conflict, 0};
+    if (ka == SK::Clobbered || kb == SK::Clobbered)
+        return {SK::Clobbered, 0};
+
+    const bool partialA = ka == SK::Uninit || ka == SK::Partial;
+    const bool partialB = kb == SK::Uninit || kb == SK::Partial;
+    if (partialA || partialB) {
+        const Slot& defined = partialA ? b : a;
+        if (junkish(defined.kind))
+            return {SK::Conflict, 0};
+        // Keep producers flowing into the phi book so that dead-write
+        // analysis still sees values consumed through a partial join.
+        if (defined.kind != SK::Uninit)
+            book.note(phiRef, defined);
+        if (ka == SK::Partial)
+            book.note(phiRef, a);
+        if (kb == SK::Partial)
+            book.note(phiRef, b);
+        return {SK::Partial, phiRef};
+    }
+
+    if (junkish(ka) && junkish(kb))
+        return {SK::Junk, -1};  // different junk sources: still junk
+    if (junkish(ka) || junkish(kb))
+        return {SK::Conflict, 0};
+
+    // Two distinct readable values: a phi at this join. The paper's
+    // strict rule asks for one producer per distance; compiled code
+    // implements phis by relaying each path's value into the same slot,
+    // so a join of readable values is well-formed by construction.
+    book.note(phiRef, a);
+    book.note(phiRef, b);
+    return {SK::Phi, phiRef};
+}
+
+void
+addIssue(FlowContext& cx, IssueKind kind, size_t i, int operand, uint8_t hand,
+         uint8_t dist, std::string detail)
+{
+    constexpr size_t kMaxIssues = 100;
+    if (cx.res.issues.size() >= kMaxIssues)
+        return;
+    VerifyIssue is;
+    is.kind = kind;
+    is.instIndex = i;
+    is.pc = cx.prog.textBase + 4 * i;
+    if (i < cx.prog.srcLines.size())
+        is.line = cx.prog.srcLines[i];
+    is.operand = operand;
+    is.hand = hand;
+    is.dist = dist;
+    is.detail = std::move(detail);
+    cx.res.issues.push_back(std::move(is));
+}
+
+} // namespace verify
+
+using verify::BinFunc;
+using verify::FlowContext;
+
+std::string_view
+issueKindName(IssueKind kind)
+{
+    switch (kind) {
+      case IssueKind::UninitRead: return "uninitialized-read";
+      case IssueKind::JunkRead: return "junk-read";
+      case IssueKind::ClobberedRead: return "clobbered-read";
+      case IssueKind::InconsistentJoin: return "inconsistent-join";
+      case IssueKind::BadTarget: return "bad-target";
+      case IssueKind::FallOffEnd: return "fall-off-end";
+      case IssueKind::UnknownSyscall: return "unknown-syscall";
+      case IssueKind::NoConverge: return "no-converge";
+    }
+    return "?";
+}
+
+VerifyResult
+verifyProgram(const Program& prog)
+{
+    VerifyResult res;
+    const size_t n = prog.numInsts();
+
+    if (!prog.validPc(prog.entry) || n == 0) {
+        VerifyIssue is;
+        is.kind = IssueKind::BadTarget;
+        is.instIndex = 0;
+        is.pc = prog.entry;
+        is.detail = n == 0 ? "program has no text"
+                           : "entry point outside the text segment";
+        res.issues.push_back(std::move(is));
+        return res;
+    }
+    const size_t entryIdx = (prog.entry - prog.textBase) / 4;
+
+    std::vector<uint8_t> used(n, 0), reported(2 * n, 0), reachable(n, 0);
+
+    // Discover functions: the program entry plus every direct-call
+    // target, transitively.
+    std::set<size_t> seen{entryIdx};
+    std::vector<size_t> queue{entryIdx};
+    std::vector<BinFunc> funcs;
+    while (!queue.empty()) {
+        const size_t e = queue.back();
+        queue.pop_back();
+        funcs.push_back(verify::buildBinFunc(prog, e));
+        for (const size_t t : funcs.back().callTargets)
+            if (seen.insert(t).second)
+                queue.push_back(t);
+    }
+
+    std::set<std::pair<int, size_t>> cfgSeen;
+    for (const BinFunc& fn : funcs) {
+        for (const VerifyIssue& is : fn.issues) {
+            if (cfgSeen
+                    .insert({static_cast<int>(is.kind), is.instIndex})
+                    .second &&
+                res.issues.size() < 100) {
+                res.issues.push_back(is);
+            }
+        }
+        res.numBlocks += fn.blocks.size();
+        for (size_t i = 0; i < n; ++i)
+            if (fn.blockOfInst[i] >= 0)
+                reachable[i] = 1;
+
+        FlowContext cx{prog, fn, fn.entryInst == entryIdx, res, used,
+                       reported};
+        if (prog.isa == Isa::Riscv)
+            verify::runRiscvFlow(cx);
+        else
+            verify::runDistanceFlow(cx);
+    }
+    res.numFuncs = funcs.size();
+    for (size_t i = 0; i < n; ++i)
+        res.numInsts += reachable[i];
+
+    // Write counts and dead-write detection over every reachable
+    // value-producing instruction (calls and syscalls excluded: their
+    // results cross boundaries the per-function flows cannot see).
+    for (size_t i = 0; i < n; ++i) {
+        if (!reachable[i])
+            continue;
+        const Inst& inst = prog.decoded[i];
+        const OpInfo& info = inst.info();
+        if (!info.hasDst || info.isBranch() || inst.op == Op::ECALL)
+            continue;
+        if (prog.isa == Isa::Riscv && inst.dst == kRegZero)
+            continue;
+        const uint8_t hand =
+            prog.isa == Isa::Clockhands ? inst.dst : uint8_t{0};
+        auto& pr = res.pressure[hand % kNumHands];
+        ++pr.writes;
+        if (!used[i])
+            ++pr.deadWrites;
+    }
+
+    std::stable_sort(res.issues.begin(), res.issues.end(),
+                     [](const VerifyIssue& a, const VerifyIssue& b) {
+                         return a.instIndex != b.instIndex
+                                    ? a.instIndex < b.instIndex
+                                    : a.operand < b.operand;
+                     });
+    return res;
+}
+
+std::string
+formatIssue(const Program& prog, const VerifyIssue& is)
+{
+    std::ostringstream os;
+    if (is.line > 0)
+        os << "line " << is.line << ": ";
+    os << "pc 0x" << std::hex << is.pc << std::dec << " inst #"
+       << is.instIndex;
+    if (is.instIndex < prog.decoded.size())
+        os << " `" << disassemble(prog.isa, prog.decoded[is.instIndex])
+           << "`";
+    os << ": ";
+    if (is.operand > 0)
+        os << "src" << is.operand << " ";
+    os << is.detail << " [" << issueKindName(is.kind) << "]";
+    return os.str();
+}
+
+std::string
+formatIssues(const Program& prog, const VerifyResult& res)
+{
+    std::string out;
+    for (const VerifyIssue& is : res.issues) {
+        out += formatIssue(prog, is);
+        out += '\n';
+    }
+    return out;
+}
+
+std::string
+formatPressure(const Program& prog, const VerifyResult& res)
+{
+    std::ostringstream os;
+    os << isaName(prog.isa) << ": " << res.numFuncs << " functions, "
+       << res.numBlocks << " blocks, " << res.numInsts
+       << " reachable instructions\n";
+    auto line = [&](const std::string& name, const HandPressure& p) {
+        os << "  " << name << ": " << p.writes << " writes, " << p.reads
+           << " reads, " << p.deadWrites << " dead";
+        if (p.maxDist >= 0)
+            os << ", max distance " << p.maxDist;
+        os << "\n";
+    };
+    switch (prog.isa) {
+      case Isa::Riscv:
+        line("regs", res.pressure[0]);
+        break;
+      case Isa::Straight:
+        line("ring", res.pressure[0]);
+        break;
+      case Isa::Clockhands:
+        for (int h = 0; h < kNumHands; ++h)
+            line(std::string(1, handName(static_cast<uint8_t>(h))),
+                 res.pressure[static_cast<size_t>(h)]);
+        break;
+    }
+    return os.str();
+}
+
+} // namespace ch

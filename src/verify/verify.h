@@ -1,0 +1,99 @@
+#ifndef CH_VERIFY_VERIFY_H
+#define CH_VERIFY_VERIFY_H
+
+/**
+ * @file
+ * Static well-formedness verifier for assembled programs of all three
+ * ISAs (docs/VERIFIER.md has the full invariant catalogue with paper
+ * references).
+ *
+ * The verifier reconstructs the control-flow graph of a Program from
+ * its decoded text, partitions it into functions (program entry plus
+ * every direct-call target), and runs an iterative forward dataflow per
+ * function that models each ISA's architectural write history:
+ *
+ *  - STRAIGHT: the single result ring. Every executed instruction
+ *    allocates a slot; slots of valueless instructions are "junk"
+ *    (Section 2.2.1), so a distance that lands on one is a bug.
+ *  - Clockhands: the four per-hand histories, advanced only by
+ *    value-producing writes to that hand (Section 4.1).
+ *  - RISC: the 64 logical registers (classic definite-assignment).
+ *
+ * Each abstract slot tracks which static instruction produced it.
+ * Reads are checked against the lattice: reading a never-written slot,
+ * a valueless (junk) slot, a call-clobbered slot, or a slot whose
+ * producer differs incompatibly across incoming paths of a join all
+ * produce diagnostics. Dead writes (values never consumed) and
+ * per-hand pressure are reported as statistics.
+ */
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "mem/program.h"
+
+namespace ch {
+
+/** What a verifier diagnostic is about. */
+enum class IssueKind : uint8_t {
+    UninitRead,        ///< read of a slot/register never written
+    JunkRead,          ///< STRAIGHT: distance lands on a valueless slot
+    ClobberedRead,     ///< read of a value that does not survive a call
+    InconsistentJoin,  ///< producer/definedness differs across join paths
+    BadTarget,         ///< branch target outside text or misaligned
+    FallOffEnd,        ///< control can run past the end of the text
+    UnknownSyscall,    ///< ecall with an unhandled syscall number
+    NoConverge,        ///< internal: dataflow failed to reach a fixpoint
+};
+
+/** Human-readable name of an IssueKind. */
+std::string_view issueKindName(IssueKind kind);
+
+/** One diagnostic, anchored to a static instruction. */
+struct VerifyIssue {
+    IssueKind kind = IssueKind::UninitRead;
+    size_t instIndex = 0;  ///< index into Program::decoded
+    uint64_t pc = 0;
+    int32_t line = 0;      ///< 1-based .s source line, 0 = unknown
+    int operand = 0;       ///< 1 or 2 for src operands, 0 otherwise
+    uint8_t hand = 0;      ///< Clockhands hand / RISC reg; 0 for STRAIGHT
+    uint8_t dist = 0;      ///< offending distance (reg number for RISC)
+    std::string detail;    ///< extra context (producer, paths, ...)
+};
+
+/** Per-hand write/read statistics (hand 0 for STRAIGHT and RISC). */
+struct HandPressure {
+    uint64_t writes = 0;      ///< reachable value-producing writes
+    uint64_t reads = 0;       ///< static source operands reading the hand
+    uint64_t deadWrites = 0;  ///< writes whose value is never consumed
+    int maxDist = -1;         ///< largest distance any read uses
+};
+
+/** Everything verifyProgram() learns about one program. */
+struct VerifyResult {
+    std::vector<VerifyIssue> issues;
+    std::array<HandPressure, kNumHands> pressure{};
+    size_t numFuncs = 0;   ///< functions discovered (entry + call targets)
+    size_t numBlocks = 0;  ///< basic blocks across all functions
+    size_t numInsts = 0;   ///< reachable instructions
+
+    bool ok() const { return issues.empty(); }
+};
+
+/** Run all static checks on @p prog. Never throws; issues are collected. */
+VerifyResult verifyProgram(const Program& prog);
+
+/** Format one issue as a single line ("line 12: pc 0x10028 ..."). */
+std::string formatIssue(const Program& prog, const VerifyIssue& issue);
+
+/** Format every issue, one per line. Empty string when clean. */
+std::string formatIssues(const Program& prog, const VerifyResult& res);
+
+/** One-paragraph per-hand pressure/dead-write summary for logs. */
+std::string formatPressure(const Program& prog, const VerifyResult& res);
+
+} // namespace ch
+
+#endif // CH_VERIFY_VERIFY_H

@@ -1,10 +1,14 @@
 #include <gtest/gtest.h>
 
+#include <array>
 #include <sstream>
 
 #include "backend/backend.h"
+#include "common/logging.h"
 #include "common/prng.h"
 #include "emu/emulator.h"
+#include "isa/encoding.h"
+#include "verify/verify.h"
 
 namespace ch {
 namespace {
@@ -159,6 +163,161 @@ TEST_P(DifferentialFuzz, ThreeIsasAgree)
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, DifferentialFuzz, ::testing::Range(0, 40));
+
+/**
+ * Dynamic mirror of the static verifier: replays the emulator's operand
+ * model and checks that no executed read reaches a slot/register that
+ * was never dynamically written, and that STRAIGHT reads never land on
+ * a valueless (junk) slot. A program accepted by verifyProgram() must
+ * pass this for any input, so the pair is a soundness cross-check.
+ */
+/** RISC callee-saved registers (integer s0-s11, FP fs0-fs11). */
+bool
+riscCalleeSaved(uint8_t reg)
+{
+    return reg == 8 || reg == 9 || (reg >= 18 && reg <= 27) ||
+           reg == 40 || reg == 41 || (reg >= 50 && reg <= 59);
+}
+
+class OperandCheckSink : public TraceSink
+{
+  public:
+    explicit OperandCheckSink(Isa isa) : isa_(isa)
+    {
+        handCount_.fill(0);
+        handCount_[HandS] = 1;  // pre-written initial SP
+        valueSlot_.fill(false);
+    }
+
+    void
+    onInst(const DynInst& di) override
+    {
+        const OpInfo& info = di.info();
+        if (info.numSrcs >= 1)
+            checkSrc(di, di.src1, di.src1Hand, di.prod1);
+        if (info.numSrcs >= 2)
+            checkSrc(di, di.src2, di.src2Hand, di.prod2);
+
+        switch (isa_) {
+          case Isa::Riscv:
+            if (info.hasDst && di.dst != kRegZero)
+                written_[di.dst] = true;
+            break;
+          case Isa::Straight:
+            valueSlot_[ringCount_ % 128] = info.hasDst;
+            ++ringCount_;
+            if (di.op == Op::SPADDI)
+                spWritten_ = true;
+            break;
+          case Isa::Clockhands:
+            if (info.hasDst)
+                ++handCount_[di.dst];
+            break;
+        }
+    }
+
+    std::vector<std::string> failures;
+
+  private:
+    void
+    fail(const DynInst& di, const std::string& what)
+    {
+        if (failures.size() < 10)
+            failures.push_back(concat("seq ", di.seq, " pc 0x", std::hex,
+                                      di.pc, ": ", what));
+    }
+
+    void
+    checkSrc(const DynInst& di, uint8_t src, uint8_t hand, uint64_t prod)
+    {
+        switch (isa_) {
+          case Isa::Riscv:
+            if (src == kRegZero)
+                return;
+            if (written_[src]) {
+                if (prod == kNoProducer)
+                    fail(di, "written register read has no producer");
+            } else if (src != kRegSp && src != kRegRa &&
+                       !riscCalleeSaved(src)) {
+                // Callee-saved registers may be read (saved) before any
+                // write: prologues preserve whatever the caller had.
+                fail(di, concat("read of never-written register ",
+                                riscRegName(src)));
+            }
+            return;
+          case Isa::Straight:
+            if (src == kStraightZeroDist)
+                return;
+            if (src == kStraightSpBase) {
+                if (spWritten_ && prod == kNoProducer)
+                    fail(di, "SP read lost its producer");
+                return;
+            }
+            if (src > ringCount_) {
+                fail(di, concat("distance ", int{src},
+                                " reaches beyond the ", ringCount_,
+                                " slots written"));
+                return;
+            }
+            if (!valueSlot_[(ringCount_ - src) % 128])
+                fail(di, concat("distance ", int{src},
+                                " reads a junk slot"));
+            return;
+          case Isa::Clockhands: {
+            if (hand == HandS && src == kHandZeroDist)
+                return;
+            if (src >= handCount_[hand]) {
+                // v is the callee-saved hand: prologues save its caller
+                // contents before the callee ever writes it.
+                if (hand != HandV)
+                    fail(di, concat("hand ", handName(hand), " distance ",
+                                    int{src}, " reaches beyond ",
+                                    handCount_[hand], " writes"));
+                return;
+            }
+            const uint64_t slot = handCount_[hand] - 1 - src;
+            if (prod == kNoProducer && !(hand == HandS && slot == 0))
+                fail(di, concat("hand ", handName(hand), " distance ",
+                                int{src}, " read has no producer"));
+            return;
+          }
+        }
+    }
+
+    Isa isa_;
+    std::array<bool, 64> written_{};
+    uint64_t ringCount_ = 0;
+    bool spWritten_ = false;
+    std::array<bool, 128> valueSlot_;
+    std::array<uint64_t, kNumHands> handCount_;
+};
+
+class VerifierFuzz : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(VerifierFuzz, AcceptedProgramsPassDynamicOperandChecks)
+{
+    ProgramGen gen(0xFACE + GetParam() * 104729);
+    const std::string src = gen.generate();
+    SCOPED_TRACE(src);
+
+    for (Isa isa : {Isa::Riscv, Isa::Straight, Isa::Clockhands}) {
+        const Program p = compileMiniC(src, isa);
+        const VerifyResult vres = verifyProgram(p);
+        ASSERT_TRUE(vres.ok())
+            << "verifier rejected a compiled program on " << isaName(isa)
+            << ":\n" << formatIssues(p, vres);
+
+        OperandCheckSink sink(isa);
+        const RunResult r = runProgram(p, 5'000'000, &sink);
+        ASSERT_TRUE(r.exited) << "did not exit on " << isaName(isa);
+        for (const std::string& f : sink.failures)
+            ADD_FAILURE() << isaName(isa) << ": " << f;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, VerifierFuzz, ::testing::Range(0, 15));
 
 /** Helper-function calls, separately (fixed arity so it always compiles). */
 TEST(DifferentialFuzz, CallHeavyPrograms)

@@ -1,0 +1,296 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "asm/assembler.h"
+#include "emu/emulator.h"
+#include "verify/verify.h"
+#include "workloads/workloads.h"
+
+namespace ch {
+namespace {
+
+/** Assemble and verify a handwritten program. */
+VerifyResult
+verifyAsm(Isa isa, const std::string& src)
+{
+    const Program p = assemble(isa, src);
+    return verifyProgram(p);
+}
+
+bool
+hasKind(const VerifyResult& res, IssueKind kind)
+{
+    return std::any_of(res.issues.begin(), res.issues.end(),
+                       [&](const VerifyIssue& i) { return i.kind == kind; });
+}
+
+// ---------------------------------------------------------------------
+// Negative corpus: handwritten bad assembly, one invariant each. Every
+// diagnostic must carry the 1-based source line of the offending read.
+// ---------------------------------------------------------------------
+
+TEST(VerifyNegative, StraightReadBeyondWrites)
+{
+    // [3] at line 2 reaches past the single ring write: never written.
+    const VerifyResult res = verifyAsm(Isa::Straight,
+                                       "addi zero, 1\n"
+                                       "add [1], [3]\n"
+                                       "ecall zero, 0\n");
+    ASSERT_FALSE(res.ok());
+    ASSERT_TRUE(hasKind(res, IssueKind::UninitRead));
+    const VerifyIssue& issue = res.issues.front();
+    EXPECT_EQ(issue.kind, IssueKind::UninitRead);
+    EXPECT_EQ(issue.line, 2);
+    EXPECT_EQ(issue.operand, 2);
+    EXPECT_EQ(issue.dist, 3);
+    EXPECT_EQ(issue.instIndex, 1u);
+}
+
+TEST(VerifyNegative, StraightJunkSlotRead)
+{
+    // The sw at line 5 allocates a valueless slot (paper Section 2.2.1);
+    // [1] at line 6 lands on it.
+    const VerifyResult res = verifyAsm(Isa::Straight,
+                                       ".data\n"           // line 1
+                                       "x: .zero 8\n"      // line 2
+                                       ".text\n"           // line 3
+                                       "addi zero, 7\n"    // line 4
+                                       "la x\n"            // line 5 (2 insts)
+                                       "sw [3], 0([1])\n"  // line 6: junk slot
+                                       "add [1], [1]\n"    // line 7: reads it
+                                       "ecall zero, 0\n");
+    ASSERT_FALSE(res.ok());
+    ASSERT_TRUE(hasKind(res, IssueKind::JunkRead));
+    const VerifyIssue& issue = res.issues.front();
+    EXPECT_EQ(issue.line, 7);
+    EXPECT_NE(issue.detail.find("sw"), std::string::npos)
+        << "diagnostic should name the valueless producer: "
+        << issue.detail;
+}
+
+TEST(VerifyNegative, ClockhandsInconsistentJoinDepth)
+{
+    // t rotates twice on the fall-through path but only once on the
+    // taken path, so t[1] at the join resolves to different producers.
+    const VerifyResult res = verifyAsm(Isa::Clockhands,
+                                       "addi t, zero, 1\n"    // line 1
+                                       "beqz t[0], skip\n"    // line 2
+                                       "addi t, zero, 2\n"    // line 3
+                                       "skip:\n"              // line 4
+                                       "add t, t[1], t[1]\n"  // line 5
+                                       "ecall t, zero, 0\n");
+    ASSERT_FALSE(res.ok());
+    ASSERT_TRUE(hasKind(res, IssueKind::InconsistentJoin));
+    const VerifyIssue& issue = res.issues.front();
+    EXPECT_EQ(issue.line, 5);
+    EXPECT_EQ(issue.hand, HandT);
+    EXPECT_EQ(issue.dist, 1);
+}
+
+TEST(VerifyNegative, ClockhandsReadStaleAcrossCall)
+{
+    // t does not survive a call (only v[0..7] and the s results do), so
+    // t[0] at line 3 is stale.
+    const VerifyResult res = verifyAsm(Isa::Clockhands,
+                                       "addi t, zero, 1\n"    // line 1
+                                       "call f\n"             // line 2
+                                       "add u, t[0], t[0]\n"  // line 3
+                                       "ecall u, zero, 0\n"   // line 4
+                                       "f:\n"                 // line 5
+                                       "addi t, zero, 9\n"    // line 6
+                                       "ret s[0]\n");
+    ASSERT_FALSE(res.ok());
+    ASSERT_TRUE(hasKind(res, IssueKind::ClobberedRead));
+    const VerifyIssue& issue = res.issues.front();
+    EXPECT_EQ(issue.line, 3);
+    EXPECT_EQ(issue.hand, HandT);
+}
+
+TEST(VerifyNegative, RiscvUninitializedRead)
+{
+    const VerifyResult res = verifyAsm(Isa::Riscv,
+                                       "add a0, t0, t1\n"
+                                       "ecall zero, a0, 0\n");
+    ASSERT_FALSE(res.ok());
+    EXPECT_TRUE(hasKind(res, IssueKind::UninitRead));
+    EXPECT_EQ(res.issues.front().line, 1);
+}
+
+TEST(VerifyNegative, RiscvMaybeUninitializedJoin)
+{
+    // a1 is assigned on one path into skip but not the other.
+    const VerifyResult res = verifyAsm(Isa::Riscv,
+                                       "li a0, 1\n"          // line 1
+                                       "beqz a0, skip\n"     // line 2
+                                       "li a1, 5\n"          // line 3
+                                       "skip:\n"             // line 4
+                                       "add a0, a1, a1\n"    // line 5
+                                       "ecall zero, a0, 0\n");
+    ASSERT_FALSE(res.ok());
+    ASSERT_TRUE(hasKind(res, IssueKind::InconsistentJoin));
+    EXPECT_EQ(res.issues.front().line, 5);
+}
+
+TEST(VerifyNegative, CfgBadTargetAndFallOffEnd)
+{
+    const VerifyResult bad = verifyAsm(Isa::Straight,
+                                       "j 1000\n"
+                                       "ecall zero, 0\n");
+    EXPECT_TRUE(hasKind(bad, IssueKind::BadTarget));
+
+    const VerifyResult off = verifyAsm(Isa::Straight, "addi zero, 1\n");
+    EXPECT_TRUE(hasKind(off, IssueKind::FallOffEnd));
+}
+
+TEST(VerifyNegative, UnknownSyscallNumber)
+{
+    const VerifyResult res = verifyAsm(Isa::Straight,
+                                       "ecall zero, 7\n"
+                                       "ecall zero, 0\n");
+    EXPECT_TRUE(hasKind(res, IssueKind::UnknownSyscall));
+}
+
+TEST(VerifyNegative, DiagnosticsFormatWithLineNumbers)
+{
+    const Program p = assemble(Isa::Straight,
+                               "addi zero, 1\n"
+                               "add [1], [3]\n"
+                               "ecall zero, 0\n");
+    const VerifyResult res = verifyProgram(p);
+    ASSERT_FALSE(res.ok());
+    const std::string text = formatIssues(p, res);
+    EXPECT_NE(text.find("line 2"), std::string::npos) << text;
+    EXPECT_NE(text.find("never written"), std::string::npos) << text;
+}
+
+// ---------------------------------------------------------------------
+// Statistics: dead writes and hand pressure.
+// ---------------------------------------------------------------------
+
+TEST(VerifyStats, DeadWriteIsCountedNotDiagnosed)
+{
+    // t0 is written but never consumed: a statistic, not an error.
+    const VerifyResult res = verifyAsm(Isa::Riscv,
+                                       "li t0, 99\n"
+                                       "li a0, 1\n"
+                                       "ecall zero, a0, 0\n");
+    EXPECT_TRUE(res.ok());
+    EXPECT_GE(res.pressure[0].deadWrites, 1u);
+    EXPECT_GE(res.pressure[0].writes, 2u);
+}
+
+TEST(VerifyStats, ClockhandsPerHandPressure)
+{
+    const VerifyResult res = verifyAsm(Isa::Clockhands,
+                                       "addi t, zero, 1\n"
+                                       "addi v, zero, 2\n"
+                                       "add t, t[0], v[0]\n"
+                                       "ecall t, t[0], 0\n");
+    ASSERT_TRUE(res.ok());
+    EXPECT_GE(res.pressure[HandT].writes, 2u);
+    EXPECT_GE(res.pressure[HandV].writes, 1u);
+    EXPECT_GE(res.pressure[HandT].maxDist, 0);
+}
+
+// ---------------------------------------------------------------------
+// Positive corpus: handwritten paper kernels and every compiled
+// workload x ISA must verify clean.
+// ---------------------------------------------------------------------
+
+TEST(VerifyPositive, HandwrittenIotaKernels)
+{
+    // The Fig. 1 iota kernels from emu_test, one per ISA.
+    const VerifyResult risc = verifyAsm(Isa::Riscv, R"(
+        .data
+    arr: .zero 40
+        .text
+        la a0, arr
+        li a1, 10
+        addi a5, zero, 0
+    loop:
+        sw a5, 0(a0)
+        addiw a5, a5, 1
+        addi a0, a0, 4
+        bne a1, a5, loop
+        ecall zero, zero, 0
+    )");
+    EXPECT_TRUE(risc.ok());
+
+    const VerifyResult ch = verifyAsm(Isa::Clockhands, R"(
+        .data
+    arr: .zero 40
+        .text
+        la u, arr
+        addi t, zero, 0
+        mv t, u[0]
+        addi v, zero, 10
+    loop:
+        sw t[1], 0(t[0])
+        addiw t, t[1], 1
+        addi t, t[1], 4
+        bne t[1], v[0], loop
+        ecall t, zero, 0
+    )");
+    EXPECT_TRUE(ch.ok());
+
+    const VerifyResult st = verifyAsm(Isa::Straight, R"(
+        .data
+    arr: .zero 40
+        .text
+        la arr
+        li 10
+        addi zero, 0
+        j loop
+    loop:
+        sw [2], 0([4])
+        addiw [3], 1
+        addi [6], 4
+        mv [6]
+        mv [3]
+        bne [1], [2], loop
+        ecall zero, 0
+    )");
+    EXPECT_TRUE(st.ok());
+}
+
+class VerifyWorkloads
+    : public ::testing::TestWithParam<std::tuple<const char*, Isa>>
+{
+};
+
+TEST_P(VerifyWorkloads, CompiledOutputVerifiesClean)
+{
+    const auto& [name, isa] = GetParam();
+    const Program& p = compiledWorkload(name, isa);
+    const VerifyResult res = verifyProgram(p);
+    EXPECT_TRUE(res.ok()) << formatIssues(p, res);
+    EXPECT_GT(res.numFuncs, 0u);
+    EXPECT_GT(res.numInsts, 0u);
+    // Every ISA reads something; distance ISAs must stay in-window.
+    uint64_t reads = 0;
+    for (const HandPressure& hp : res.pressure)
+        reads += hp.reads;
+    EXPECT_GT(reads, 0u);
+    // Surface dead-write / hand-pressure stats in the ctest logs.
+    std::cout << name << ": " << formatPressure(p, res);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Corpus, VerifyWorkloads,
+    ::testing::Combine(::testing::Values("coremark", "bzip2", "mcf", "lbm",
+                                         "xz"),
+                       ::testing::Values(Isa::Riscv, Isa::Straight,
+                                         Isa::Clockhands)),
+    [](const auto& info) {
+        const char* isa = "";
+        switch (std::get<1>(info.param)) {
+          case Isa::Riscv: isa = "riscv"; break;
+          case Isa::Straight: isa = "straight"; break;
+          case Isa::Clockhands: isa = "clockhands"; break;
+        }
+        return std::string(std::get<0>(info.param)) + "_" + isa;
+    });
+
+} // namespace
+} // namespace ch
