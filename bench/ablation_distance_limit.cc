@@ -12,27 +12,54 @@
 using namespace ch;
 
 int
-main()
+main(int argc, char** argv)
 {
+    BenchContext ctx = benchInit(argc, argv, "ablation_distance_limit");
     benchHeader("Ablation", "STRAIGHT max reference distance (M) sweep");
     const uint64_t cap = benchMaxInsts(~0ull);
     const int ms[] = {16, 32, 64, 126, 256, 512};
+
+    SweepRunner runner(ctx.runner);
+    for (const auto& w : workloads()) {
+        for (int m : ms) {
+            JobSpec spec;
+            spec.id = w.name + "/R/M=" + std::to_string(m);
+            spec.workload = w.name;
+            spec.isa = Isa::Riscv;
+            spec.maxInsts = cap;
+            const int limit = m;
+            runner.add(spec, [limit](const JobContext& job) {
+                RelayAnalyzer ra(*job.program, limit);
+                RunResult run = runProgram(*job.program,
+                                           job.spec.maxInsts, &ra);
+                RelayReport rep = ra.finish();
+                JobMetrics metrics;
+                metrics.exited = run.exited;
+                metrics.exitCode = run.exitCode;
+                metrics.insts = rep.totalInsts;
+                metrics.counters["relay.mv_max_distance"] =
+                    rep.mvMaxDistance;
+                metrics.values["relay.max_distance_fraction"] =
+                    static_cast<double>(rep.mvMaxDistance) /
+                    rep.totalInsts;
+                return metrics;
+            });
+        }
+    }
+    const std::vector<JobResult>& results = runner.run();
+    benchRequireOk(results);
 
     TextTable t;
     std::vector<std::string> head = {"benchmark"};
     for (int m : ms)
         head.push_back("M=" + std::to_string(m));
     t.header(head);
-
+    size_t job = 0;
     for (const auto& w : workloads()) {
         std::vector<std::string> row = {w.name};
-        const Program& p = compiledWorkload(w.name, Isa::Riscv);
-        for (int m : ms) {
-            RelayAnalyzer ra(p, m);
-            runProgram(p, cap, &ra);
-            RelayReport rep = ra.finish();
-            row.push_back(fmtPercent(
-                static_cast<double>(rep.mvMaxDistance) / rep.totalInsts));
+        for (size_t mi = 0; mi < std::size(ms); ++mi) {
+            row.push_back(fmtPercent(results[job++].metrics.values.at(
+                "relay.max_distance_fraction")));
         }
         t.row(row);
     }
@@ -41,5 +68,6 @@ main()
                 "expectation: roughly halves as M doubles (the paper's "
                 "O(1/M) analysis), motivating Clockhands' per-hand "
                 "lifetime classes over one bigger ring\n");
+    benchWriteMetrics(ctx, results);
     return 0;
 }

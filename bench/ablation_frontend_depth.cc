@@ -12,31 +12,48 @@
 using namespace ch;
 
 int
-main()
+main(int argc, char** argv)
 {
+    BenchContext ctx = benchInit(argc, argv, "ablation_frontend_depth");
     benchHeader("Ablation", "front-end (rename) depth vs performance");
     const uint64_t cap = benchMaxInsts(3'000'000);
+
+    SweepRunner runner(ctx.runner);
+    for (const auto& w : workloads()) {
+        for (int extra = 0; extra <= 4; ++extra) {
+            JobSpec spec;
+            spec.id = w.name + "/R/rename+" + std::to_string(extra);
+            spec.workload = w.name;
+            spec.isa = Isa::Riscv;
+            spec.cfg = MachineConfig::preset(8);
+            spec.cfg.renameStagesOverride = extra;
+            spec.maxInsts = cap;
+            runner.addSim(spec);
+        }
+    }
+    const std::vector<JobResult>& results = runner.run();
+    benchRequireOk(results);
 
     TextTable t;
     t.header({"benchmark", "+0", "+1", "+2 (RISC)", "+3", "+4",
               "mispred/Kinst"});
+    size_t job = 0;
     for (const auto& w : workloads()) {
         std::vector<std::string> row = {w.name};
         double baseCycles = 0;
         double mpki = 0;
         for (int extra = 0; extra <= 4; ++extra) {
-            MachineConfig cfg = MachineConfig::preset(8);
-            cfg.renameStagesOverride = extra;
-            SimResult r =
-                simulate(compiledWorkload(w.name, Isa::Riscv), cfg, cap);
+            const JobMetrics& m = results[job++].metrics;
             if (extra == 0) {
-                baseCycles = static_cast<double>(r.cycles);
+                baseCycles = static_cast<double>(m.cycles);
                 mpki = 1000.0 *
                        static_cast<double>(
-                           r.stats.value("branch.mispredicts")) /
-                       static_cast<double>(r.insts);
+                           m.counters.count("branch.mispredicts")
+                               ? m.counters.at("branch.mispredicts")
+                               : 0) /
+                       static_cast<double>(m.insts);
             }
-            row.push_back(fmtDouble(r.cycles / baseCycles, 3));
+            row.push_back(fmtDouble(m.cycles / baseCycles, 3));
         }
         row.push_back(fmtDouble(mpki, 2));
         t.row(row);
@@ -45,5 +62,6 @@ main()
     std::printf("\nexpectation: cycles grow with depth, steeper for "
                 "benchmarks with higher mispredict rates -- the recovery "
                 "advantage the rename-free ISAs enjoy\n");
+    benchWriteMetrics(ctx, results);
     return 0;
 }

@@ -12,33 +12,49 @@
 using namespace ch;
 
 int
-main()
+main(int argc, char** argv)
 {
+    BenchContext ctx = benchInit(argc, argv, "ablation_hand_quota");
     benchHeader("Ablation", "Clockhands hand-quota split (Table 2 vs "
                             "equal)");
     const uint64_t cap = benchMaxInsts(3'000'000);
 
+    SweepRunner runner(ctx.runner);
+    for (const auto& w : workloads()) {
+        for (int width : {8, 16}) {
+            for (bool equal : {false, true}) {
+                JobSpec spec;
+                spec.id = w.name + "/C/" + std::to_string(width) + "f/" +
+                          (equal ? "equal" : "table2");
+                spec.workload = w.name;
+                spec.isa = Isa::Clockhands;
+                spec.cfg = MachineConfig::preset(width);
+                spec.cfg.equalHandQuota = equal;
+                spec.maxInsts = cap;
+                runner.addSim(spec);
+            }
+        }
+    }
+    const std::vector<JobResult>& results = runner.run();
+    benchRequireOk(results);
+
     TextTable t;
     t.header({"benchmark", "width", "Table-2 cycles", "equal-split cycles",
               "equal/Table2"});
+    size_t job = 0;
     for (const auto& w : workloads()) {
         for (int width : {8, 16}) {
-            MachineConfig weighted = MachineConfig::preset(width);
-            MachineConfig equal = MachineConfig::preset(width);
-            equal.equalHandQuota = true;
-            SimResult a = simulate(
-                compiledWorkload(w.name, Isa::Clockhands), weighted, cap);
-            SimResult b = simulate(
-                compiledWorkload(w.name, Isa::Clockhands), equal, cap);
+            const uint64_t weighted = results[job++].metrics.cycles;
+            const uint64_t equal = results[job++].metrics.cycles;
             t.row({w.name, std::to_string(width),
-                   std::to_string(a.cycles), std::to_string(b.cycles),
-                   fmtDouble(static_cast<double>(b.cycles) / a.cycles,
-                             3)});
+                   std::to_string(weighted), std::to_string(equal),
+                   fmtDouble(static_cast<double>(equal) / weighted, 3)});
         }
     }
     t.print();
     std::printf("\nexpectation: the equal split is never faster; the "
                 "usage-weighted Table 2 split keeps the hot t hand from "
                 "stalling allocation\n");
+    benchWriteMetrics(ctx, results);
     return 0;
 }

@@ -7,29 +7,173 @@
  * binary reproduces one table or figure of the paper (see EXPERIMENTS.md
  * for the index and the paper-vs-measured record).
  *
- * The environment variable CH_BENCH_MAXINSTS caps the per-run instruction
- * count (default: full workload for analyzers, a few million for the
- * timing sweeps) so the whole harness finishes in minutes.
+ * Every binary runs its sweep on the SweepRunner thread pool and writes
+ * a machine-readable metrics file next to the human-readable table.
+ * Knobs (flag overrides environment):
+ *
+ *   --jobs N / CH_BENCH_JOBS        worker threads (default: all cores)
+ *   --metrics-dir D / CH_BENCH_METRICS_DIR   output dir (default: ".")
+ *   --progress / CH_BENCH_PROGRESS=1         per-job lines on stderr
+ *   --host-metrics / CH_BENCH_HOST_METRICS=1 include wall-time/RSS in
+ *                                            the metrics files (breaks
+ *                                            byte-for-byte determinism)
+ *   CH_BENCH_MAXINSTS               per-run instruction cap
  */
 
 #include <cstdint>
 #include <cstdlib>
 #include <cstdio>
+#include <cstring>
+#include <errno.h>
 #include <string>
 
 #include "common/table.h"
 #include "emu/emulator.h"
+#include "runner/metrics.h"
+#include "runner/runner.h"
 #include "workloads/workloads.h"
 
 namespace ch {
 
+/**
+ * CH_BENCH_MAXINSTS with strict parsing: a garbage value used to
+ * strtoull() to 0 and silently turn every sweep into a no-op; now any
+ * non-numeric or out-of-range value aborts with a clear error.
+ */
 inline uint64_t
 benchMaxInsts(uint64_t fallback)
 {
     const char* env = std::getenv("CH_BENCH_MAXINSTS");
-    if (env && *env)
-        return std::strtoull(env, nullptr, 0);
-    return fallback;
+    if (!env || !*env)
+        return fallback;
+    errno = 0;
+    char* end = nullptr;
+    const unsigned long long v = std::strtoull(env, &end, 0);
+    if (end == env || *end != '\0' || errno == ERANGE ||
+        std::strchr(env, '-')) {
+        std::fprintf(stderr,
+                     "error: CH_BENCH_MAXINSTS='%s' is not a "
+                     "non-negative instruction count\n", env);
+        std::exit(2);
+    }
+    return v;
+}
+
+/** Per-binary harness state returned by benchInit(). */
+struct BenchContext {
+    std::string name;        ///< bench binary name (metrics file stem)
+    RunnerOptions runner;
+    std::string metricsDir = ".";
+    bool hostMetrics = false;
+};
+
+namespace benchdetail {
+
+inline int
+parsePositiveInt(const char* what, const char* s)
+{
+    errno = 0;
+    char* end = nullptr;
+    const long v = std::strtol(s, &end, 10);
+    if (end == s || *end != '\0' || errno == ERANGE || v <= 0 ||
+        v > 4096) {
+        std::fprintf(stderr, "error: %s expects a positive thread "
+                             "count, got '%s'\n", what, s);
+        std::exit(2);
+    }
+    return static_cast<int>(v);
+}
+
+inline bool
+envFlag(const char* name)
+{
+    const char* env = std::getenv(name);
+    return env && *env && std::strcmp(env, "0") != 0;
+}
+
+} // namespace benchdetail
+
+/**
+ * Parse the shared harness flags/environment. Call once at the top of
+ * each bench main(); unknown arguments are an error so typos don't
+ * silently run the default sweep.
+ */
+inline BenchContext
+benchInit(int argc, char** argv, const char* name)
+{
+    BenchContext ctx;
+    ctx.name = name;
+    ctx.runner.tag = name;
+    ctx.runner.jobs = 0;
+    if (const char* env = std::getenv("CH_BENCH_JOBS"); env && *env)
+        ctx.runner.jobs = benchdetail::parsePositiveInt("CH_BENCH_JOBS",
+                                                        env);
+    if (const char* env = std::getenv("CH_BENCH_METRICS_DIR");
+        env && *env) {
+        ctx.metricsDir = env;
+    }
+    ctx.runner.progress = benchdetail::envFlag("CH_BENCH_PROGRESS");
+    ctx.hostMetrics = benchdetail::envFlag("CH_BENCH_HOST_METRICS");
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&]() -> const char* {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "error: %s needs an argument\n",
+                             arg.c_str());
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (arg == "--jobs" || arg == "-j") {
+            ctx.runner.jobs =
+                benchdetail::parsePositiveInt("--jobs", next());
+        } else if (arg == "--metrics-dir") {
+            ctx.metricsDir = next();
+        } else if (arg == "--progress") {
+            ctx.runner.progress = true;
+        } else if (arg == "--host-metrics") {
+            ctx.hostMetrics = true;
+        } else if (arg == "--help" || arg == "-h") {
+            std::printf("usage: %s [--jobs N] [--metrics-dir DIR] "
+                        "[--progress] [--host-metrics]\n", name);
+            std::exit(0);
+        } else {
+            std::fprintf(stderr, "error: unknown argument '%s' "
+                                 "(try --help)\n", arg.c_str());
+            std::exit(2);
+        }
+    }
+    return ctx;
+}
+
+/** Write <metricsDir>/<name>.{json,csv} and report where they went. */
+inline void
+benchWriteMetrics(const BenchContext& ctx,
+                  const std::vector<JobResult>& results)
+{
+    MetricsOptions opt;
+    opt.bench = ctx.name;
+    opt.hostMetrics = ctx.hostMetrics;
+    const std::string path = writeMetricsFiles(ctx.metricsDir, opt,
+                                               results);
+    std::printf("\nmetrics: %s (+ .csv)\n", path.c_str());
+}
+
+/** Abort if any sweep job failed; bench tables must not be partial. */
+inline void
+benchRequireOk(const std::vector<JobResult>& results)
+{
+    bool ok = true;
+    for (const auto& r : results) {
+        if (!r.ok) {
+            std::fprintf(stderr, "error: job %s failed: %s\n",
+                         r.spec.id.c_str(), r.error.c_str());
+            ok = false;
+        }
+    }
+    if (!ok)
+        std::exit(1);
 }
 
 inline void

@@ -13,31 +13,57 @@
 using namespace ch;
 
 int
-main()
+main(int argc, char** argv)
 {
+    BenchContext ctx = benchInit(argc, argv, "fig03_straight_increase");
     benchHeader("Fig 3", "inevitable STRAIGHT instruction increase "
                          "(lower bound from RISC traces)");
+    const uint64_t cap = benchMaxInsts(~0ull);
+
+    SweepRunner runner(ctx.runner);
+    for (const auto& w : workloads()) {
+        JobSpec spec;
+        spec.id = w.name + "/R/relay";
+        spec.workload = w.name;
+        spec.isa = Isa::Riscv;
+        spec.maxInsts = cap;
+        runner.add(spec, [](const JobContext& job) {
+            RelayAnalyzer ra(*job.program);
+            RunResult run = runProgram(*job.program, job.spec.maxInsts,
+                                       &ra);
+            RelayReport rep = ra.finish();
+            JobMetrics m;
+            m.exited = run.exited;
+            m.exitCode = run.exitCode;
+            m.insts = rep.totalInsts;
+            m.counters["relay.nop_convergence"] = rep.nopConvergence;
+            m.counters["relay.mv_max_distance"] = rep.mvMaxDistance;
+            m.counters["relay.mv_loop_constant"] = rep.mvLoopConstant;
+            m.values["relay.increase_fraction"] = rep.increaseFraction();
+            return m;
+        });
+    }
+    const std::vector<JobResult>& results = runner.run();
+    benchRequireOk(results);
+
     TextTable t;
     t.header({"benchmark", "nop", "mv-MaxDist", "mv-LoopConst", "total"});
-
     double sumFrac = 0;
-    const uint64_t cap = benchMaxInsts(~0ull);
-    for (const auto& w : workloads()) {
-        const Program& p = compiledWorkload(w.name, Isa::Riscv);
-        RelayAnalyzer ra(p);
-        runProgram(p, cap, &ra);
-        RelayReport rep = ra.finish();
-        const double n = static_cast<double>(rep.totalInsts);
-        t.row({w.name, fmtPercent(rep.nopConvergence / n),
-               fmtPercent(rep.mvMaxDistance / n),
-               fmtPercent(rep.mvLoopConstant / n),
-               fmtPercent(rep.increaseFraction())});
-        sumFrac += rep.increaseFraction();
+    for (const JobResult& r : results) {
+        const JobMetrics& m = r.metrics;
+        const double n = static_cast<double>(m.insts);
+        t.row({r.spec.workload,
+               fmtPercent(m.counters.at("relay.nop_convergence") / n),
+               fmtPercent(m.counters.at("relay.mv_max_distance") / n),
+               fmtPercent(m.counters.at("relay.mv_loop_constant") / n),
+               fmtPercent(m.values.at("relay.increase_fraction"))});
+        sumFrac += m.values.at("relay.increase_fraction");
     }
     t.row({"average", "", "", "",
            fmtPercent(sumFrac / workloads().size())});
     t.print();
     std::printf("\npaper: average ~35%% (6%% nop + 14%% mv-MaxDistance "
                 "+ 14%% mv-LoopConstant) over SPEC CPU\n");
+    benchWriteMetrics(ctx, results);
     return 0;
 }

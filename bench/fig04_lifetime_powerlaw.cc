@@ -13,33 +13,56 @@
 using namespace ch;
 
 int
-main()
+main(int argc, char** argv)
 {
+    BenchContext ctx = benchInit(argc, argv, "fig04_lifetime_powerlaw");
     benchHeader("Fig 4", "register lifetime power law (RISC traces)");
+    const uint64_t cap = benchMaxInsts(~0ull);
+
+    SweepRunner runner(ctx.runner);
+    for (const auto& w : workloads()) {
+        JobSpec spec;
+        spec.id = w.name + "/R/lifetime";
+        spec.workload = w.name;
+        spec.isa = Isa::Riscv;
+        spec.maxInsts = cap;
+        runner.add(spec, [](const JobContext& job) {
+            LifetimeAnalyzer lt(Isa::Riscv);
+            RunResult run = runProgram(*job.program, job.spec.maxInsts,
+                                       &lt);
+            lt.finish();
+            JobMetrics m;
+            m.exited = run.exited;
+            m.exitCode = run.exitCode;
+            m.insts = lt.totalInsts();
+            for (int k = 0; k <= 22; ++k) {
+                char key[32];
+                std::snprintf(key, sizeof(key), "lifetime.ge_2^%02d", k);
+                m.counters[key] = lt.overall().atLeast(k);
+            }
+            return m;
+        });
+    }
+    const std::vector<JobResult>& results = runner.run();
+    benchRequireOk(results);
+
+    auto ccdf = [&](size_t i, int k) {
+        char key[32];
+        std::snprintf(key, sizeof(key), "lifetime.ge_2^%02d", k);
+        return static_cast<double>(results[i].metrics.counters.at(key)) /
+               static_cast<double>(results[i].metrics.insts);
+    };
+
     TextTable t;
     std::vector<std::string> head = {"lifetime >="};
     for (const auto& w : workloads())
         head.push_back(w.name);
     t.header(head);
-
-    std::vector<LifetimeAnalyzer> analyzers;
-    std::vector<uint64_t> totals;
-    const uint64_t cap = benchMaxInsts(~0ull);
-    for (const auto& w : workloads()) {
-        LifetimeAnalyzer lt(Isa::Riscv);
-        const Program& p = compiledWorkload(w.name, Isa::Riscv);
-        runProgram(p, cap, &lt);
-        lt.finish();
-        totals.push_back(lt.totalInsts());
-        analyzers.push_back(std::move(lt));
-    }
-
     for (int k = 0; k <= 22; k += 2) {
         std::vector<std::string> row = {"2^" + std::to_string(k)};
-        for (size_t i = 0; i < analyzers.size(); ++i) {
-            const double f = analyzers[i].overall().ccdf(k, totals[i]);
+        for (size_t i = 0; i < results.size(); ++i) {
             char buf[32];
-            std::snprintf(buf, sizeof(buf), "%.2e", f);
+            std::snprintf(buf, sizeof(buf), "%.2e", ccdf(i, k));
             row.push_back(buf);
         }
         t.row(row);
@@ -48,9 +71,9 @@ main()
 
     // Power-law slope check: log-log slope between 2^6 and 2^16.
     std::printf("\nlog-log slope between 2^6 and 2^16 (paper: ~ -1):\n");
-    for (size_t i = 0; i < analyzers.size(); ++i) {
-        const double f6 = analyzers[i].overall().ccdf(6, totals[i]);
-        const double f16 = analyzers[i].overall().ccdf(16, totals[i]);
+    for (size_t i = 0; i < results.size(); ++i) {
+        const double f6 = ccdf(i, 6);
+        const double f16 = ccdf(i, 16);
         if (f6 > 0 && f16 > 0) {
             const double slope =
                 (std::log2(f16) - std::log2(f6)) / (16.0 - 6.0);
@@ -58,5 +81,6 @@ main()
                         slope);
         }
     }
+    benchWriteMetrics(ctx, results);
     return 0;
 }

@@ -13,21 +13,55 @@
 using namespace ch;
 
 int
-main()
+main(int argc, char** argv)
 {
+    BenchContext ctx = benchInit(argc, argv, "fig07_hand_count_sweep");
     benchHeader("Fig 7", "remaining relay mv vs number of hands");
+    const uint64_t cap = benchMaxInsts(~0ull);
+
+    SweepRunner runner(ctx.runner);
+    for (const auto& w : workloads()) {
+        JobSpec spec;
+        spec.id = w.name + "/R/cross-depth";
+        spec.workload = w.name;
+        spec.isa = Isa::Riscv;
+        spec.maxInsts = cap;
+        runner.add(spec, [](const JobContext& job) {
+            RelayAnalyzer ra(*job.program);
+            RunResult run = runProgram(*job.program, job.spec.maxInsts,
+                                       &ra);
+            RelayReport rep = ra.finish();
+            JobMetrics m;
+            m.exited = run.exited;
+            m.exitCode = run.exitCode;
+            m.insts = rep.totalInsts;
+            m.counters["relay.mv_loop_constant"] = rep.mvLoopConstant;
+            for (int d = 0; d < 32; ++d) {
+                if (rep.crossDepth[d]) {
+                    char key[40];
+                    std::snprintf(key, sizeof(key),
+                                  "relay.cross_depth.%02d", d);
+                    m.counters[key] = rep.crossDepth[d];
+                }
+            }
+            return m;
+        });
+    }
+    const std::vector<JobResult>& results = runner.run();
+    benchRequireOk(results);
 
     // Aggregate the loop-crossing-depth histogram over the corpus.
     RelayReport agg;
-    const uint64_t cap = benchMaxInsts(~0ull);
-    for (const auto& w : workloads()) {
-        const Program& p = compiledWorkload(w.name, Isa::Riscv);
-        RelayAnalyzer ra(p);
-        runProgram(p, cap, &ra);
-        RelayReport rep = ra.finish();
-        agg.mvLoopConstant += rep.mvLoopConstant;
-        for (int d = 0; d < 32; ++d)
-            agg.crossDepth[d] += rep.crossDepth[d];
+    for (const JobResult& r : results) {
+        agg.mvLoopConstant += r.metrics.counters.at(
+            "relay.mv_loop_constant");
+        for (int d = 0; d < 32; ++d) {
+            char key[40];
+            std::snprintf(key, sizeof(key), "relay.cross_depth.%02d", d);
+            auto it = r.metrics.counters.find(key);
+            if (it != r.metrics.counters.end())
+                agg.crossDepth[d] += it->second;
+        }
     }
 
     TextTable t;
@@ -42,5 +76,6 @@ main()
     t.print();
     std::printf("\npaper: 4 hands leave 5.1%% (94.9%% eliminated); "
                 "8 hands only 1.3%% more; SP reservation costs ~0.7%%\n");
+    benchWriteMetrics(ctx, results);
     return 0;
 }

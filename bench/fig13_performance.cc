@@ -4,6 +4,9 @@
  * Clockhands across the 4/6/8/12/16-fetch machines of Table 2, per
  * benchmark, normalized to the 4-fetch RISC-V model. The paper reports
  * Clockhands at 97.3..101.6% of RISC-V and 6.5..9.9% above STRAIGHT.
+ *
+ * All 75 (workload x ISA x width) simulations run on the SweepRunner
+ * thread pool; `--jobs N` / CH_BENCH_JOBS picks the parallelism.
  */
 
 #include <cmath>
@@ -14,8 +17,9 @@
 using namespace ch;
 
 int
-main()
+main(int argc, char** argv)
 {
+    BenchContext ctx = benchInit(argc, argv, "fig13_performance");
     benchHeader("Fig 13", "relative performance, 3 ISAs x 5 widths");
     const int widths[] = {4, 6, 8, 12, 16};
     const uint64_t cap = benchMaxInsts(~0ull);
@@ -25,22 +29,38 @@ main()
                     "ISAs; ratios will be skewed.\n");
     }
 
+    SweepRunner runner(ctx.runner);
+    for (const auto& w : workloads()) {
+        for (int wi = 0; wi < 5; ++wi) {
+            for (Isa isa :
+                 {Isa::Riscv, Isa::Straight, Isa::Clockhands}) {
+                JobSpec spec;
+                spec.id = w.name + "/" + shortIsa(isa) + "/" +
+                          std::to_string(widths[wi]) + "f";
+                spec.workload = w.name;
+                spec.isa = isa;
+                spec.cfg = MachineConfig::preset(widths[wi]);
+                spec.maxInsts = cap;
+                runner.addSim(spec);
+            }
+        }
+    }
+    const std::vector<JobResult>& results = runner.run();
+    benchRequireOk(results);
+
     // perf[wl][isa][width] = 1/cycles, normalized per workload.
     TextTable t;
     t.header({"benchmark", "isa", "4f", "6f", "8f", "12f", "16f"});
 
     double geoC[5] = {1, 1, 1, 1, 1};
     double geoS[5] = {1, 1, 1, 1, 1};
+    size_t job = 0;
     for (const auto& w : workloads()) {
         double cycles[3][5];
         for (int wi = 0; wi < 5; ++wi) {
-            MachineConfig cfg = MachineConfig::preset(widths[wi]);
-            int ii = 0;
-            for (Isa isa :
-                 {Isa::Riscv, Isa::Straight, Isa::Clockhands}) {
-                SimResult r =
-                    simulate(compiledWorkload(w.name, isa), cfg, cap);
-                cycles[ii++][wi] = static_cast<double>(r.cycles);
+            for (int ii = 0; ii < 3; ++ii) {
+                cycles[ii][wi] = static_cast<double>(
+                    results[job++].metrics.cycles);
             }
         }
         const double base = cycles[0][0];
@@ -70,5 +90,6 @@ main()
                     100.0 * (std::pow(geoS[wi], 1.0 / n) - 1.0));
     }
     std::printf("\n");
+    benchWriteMetrics(ctx, results);
     return 0;
 }

@@ -4,6 +4,9 @@
  * per-component stack. The paper's headline: Clockhands saves 7.4% at
  * 8-fetch, 17.5% at 12-fetch, and 24.4% at 16-fetch, and RISC-V's total
  * grows to 7.83x from 4-fetch to 16-fetch.
+ *
+ * Each job simulates one (workload, ISA, width) point and reports the
+ * energy components as derived values in its metrics record.
  */
 
 #include "bench_util.h"
@@ -13,8 +16,9 @@
 using namespace ch;
 
 int
-main()
+main(int argc, char** argv)
 {
+    BenchContext ctx = benchInit(argc, argv, "fig14_energy");
     benchHeader("Fig 14", "energy vs 4-fetch RISC-V, component stack");
     const int widths[] = {4, 6, 8, 12, 16};
     const uint64_t cap = benchMaxInsts(~0ull);
@@ -24,24 +28,58 @@ main()
                     "ISAs; ratios will be skewed.\n");
     }
 
+    SweepRunner runner(ctx.runner);
+    for (const auto& w : workloads()) {
+        for (int wi = 0; wi < 5; ++wi) {
+            for (Isa isa :
+                 {Isa::Riscv, Isa::Straight, Isa::Clockhands}) {
+                JobSpec spec;
+                spec.id = w.name + "/" + shortIsa(isa) + "/" +
+                          std::to_string(widths[wi]) + "f";
+                spec.workload = w.name;
+                spec.isa = isa;
+                spec.cfg = MachineConfig::preset(widths[wi]);
+                spec.maxInsts = cap;
+                runner.add(spec, [](const JobContext& job) {
+                    JobMetrics m = simJob(job);
+                    StatGroup stats;
+                    for (const auto& [name, v] : m.counters)
+                        stats.counter(name).set(v);
+                    EnergyBreakdown e = computeEnergy(job.spec.cfg,
+                                                      job.spec.isa,
+                                                      stats);
+                    m.values["energy.total"] = e.total();
+                    for (int c = 0;
+                         c < static_cast<int>(EnergyComp::kCount); ++c) {
+                        m.values[std::string("energy.") +
+                                 std::string(energyCompName(
+                                     static_cast<EnergyComp>(c)))] =
+                            e.comp[c];
+                    }
+                    return m;
+                });
+            }
+        }
+    }
+    const std::vector<JobResult>& results = runner.run();
+    benchRequireOk(results);
+
     // Sum energies across the corpus (the paper aggregates similarly).
     double total[3][5] = {};
     EnergyBreakdown comp[3][5] = {};
-    for (const auto& w : workloads()) {
+    size_t job = 0;
+    for (size_t wl = 0; wl < workloads().size(); ++wl) {
         for (int wi = 0; wi < 5; ++wi) {
-            MachineConfig cfg = MachineConfig::preset(widths[wi]);
-            int ii = 0;
-            for (Isa isa :
-                 {Isa::Riscv, Isa::Straight, Isa::Clockhands}) {
-                SimResult r =
-                    simulate(compiledWorkload(w.name, isa), cfg, cap);
-                EnergyBreakdown e = computeEnergy(cfg, isa, r.stats);
-                total[ii][wi] += e.total();
-                for (int c = 0; c < static_cast<int>(EnergyComp::kCount);
-                     ++c) {
-                    comp[ii][wi].comp[c] += e.comp[c];
+            for (int ii = 0; ii < 3; ++ii) {
+                const auto& vals = results[job++].metrics.values;
+                total[ii][wi] += vals.at("energy.total");
+                for (int c = 0;
+                     c < static_cast<int>(EnergyComp::kCount); ++c) {
+                    comp[ii][wi].comp[c] += vals.at(
+                        std::string("energy.") +
+                        std::string(energyCompName(
+                            static_cast<EnergyComp>(c))));
                 }
-                ++ii;
             }
         }
     }
@@ -79,5 +117,6 @@ main()
         ct.row(row);
     }
     ct.print();
+    benchWriteMetrics(ctx, results);
     return 0;
 }

@@ -13,34 +13,61 @@
 using namespace ch;
 
 int
-main()
+main(int argc, char** argv)
 {
+    BenchContext ctx = benchInit(argc, argv, "fig15_instruction_mix");
     benchHeader("Fig 15", "executed instruction mix, normalized to RISC-V");
     const uint64_t cap = benchMaxInsts(~0ull);
 
+    SweepRunner runner(ctx.runner);
     for (const auto& w : workloads()) {
-        MixAnalyzer mix[3];
-        uint64_t riscTotal = 0;
-        int ii = 0;
         for (Isa isa : {Isa::Riscv, Isa::Straight, Isa::Clockhands}) {
-            runProgram(compiledWorkload(w.name, isa), cap, &mix[ii]);
-            if (isa == Isa::Riscv)
-                riscTotal = mix[ii].total();
-            ++ii;
+            JobSpec spec;
+            spec.id = w.name + "/" + shortIsa(isa) + "/mix";
+            spec.workload = w.name;
+            spec.isa = isa;
+            spec.maxInsts = cap;
+            runner.add(spec, [](const JobContext& job) {
+                MixAnalyzer mix;
+                RunResult run = runProgram(*job.program,
+                                           job.spec.maxInsts, &mix);
+                JobMetrics m;
+                m.exited = run.exited;
+                m.exitCode = run.exitCode;
+                m.insts = mix.total();
+                for (int c = 0; c < static_cast<int>(MixCat::kCount);
+                     ++c) {
+                    const auto cat = static_cast<MixCat>(c);
+                    m.counters[std::string("mix.") +
+                               std::string(mixCatName(cat))] =
+                        mix.count(cat);
+                }
+                return m;
+            });
         }
+    }
+    const std::vector<JobResult>& results = runner.run();
+    benchRequireOk(results);
+
+    size_t job = 0;
+    for (const auto& w : workloads()) {
+        const JobMetrics* m[3];
+        for (int i = 0; i < 3; ++i)
+            m[i] = &results[job++].metrics;
+        const double riscTotal = static_cast<double>(m[0]->insts);
         std::printf("\n%s (totals R/S/C = 1.000/%.3f/%.3f):\n",
-                    w.name.c_str(),
-                    static_cast<double>(mix[1].total()) / riscTotal,
-                    static_cast<double>(mix[2].total()) / riscTotal);
+                    w.name.c_str(), m[1]->insts / riscTotal,
+                    m[2]->insts / riscTotal);
         TextTable t;
         t.header({"category", "RISC-V", "STRAIGHT", "Clockhands"});
         for (int c = 0; c < static_cast<int>(MixCat::kCount); ++c) {
             const auto cat = static_cast<MixCat>(c);
+            const std::string key =
+                std::string("mix.") + std::string(mixCatName(cat));
             std::vector<std::string> row = {std::string(mixCatName(cat))};
             for (int i = 0; i < 3; ++i) {
                 row.push_back(fmtDouble(
-                    static_cast<double>(mix[i].count(cat)) / riscTotal,
-                    3));
+                    m[i]->counters.at(key) / riscTotal, 3));
             }
             t.row(row);
         }
@@ -48,5 +75,6 @@ main()
     }
     std::printf("\npaper totals: coremark 1.371/1.096, bzip2 1.272/1.121, "
                 "mcf 1.562/1.169, lbm 1.330/0.984, xz 1.078/1.074\n");
+    benchWriteMetrics(ctx, results);
     return 0;
 }

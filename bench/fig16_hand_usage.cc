@@ -11,29 +11,68 @@
 
 using namespace ch;
 
+namespace {
+const char* kHandNames[kNumHands] = {"t", "u", "v", "s"};
+}
+
 int
-main()
+main(int argc, char** argv)
 {
+    BenchContext ctx = benchInit(argc, argv, "fig16_hand_usage");
     benchHeader("Fig 16", "Clockhands per-hand read/write breakdown");
     const uint64_t cap = benchMaxInsts(~0ull);
+
+    SweepRunner runner(ctx.runner);
+    for (const auto& w : workloads()) {
+        JobSpec spec;
+        spec.id = w.name + "/C/hand-usage";
+        spec.workload = w.name;
+        spec.isa = Isa::Clockhands;
+        spec.maxInsts = cap;
+        runner.add(spec, [](const JobContext& job) {
+            HandUsageAnalyzer hu;
+            RunResult run = runProgram(*job.program, job.spec.maxInsts,
+                                       &hu);
+            JobMetrics m;
+            m.exited = run.exited;
+            m.exitCode = run.exitCode;
+            m.insts = hu.total();
+            for (int h = 0; h < kNumHands; ++h) {
+                m.counters[std::string("hand.") + kHandNames[h] +
+                           ".reads"] = hu.reads(h);
+                m.counters[std::string("hand.") + kHandNames[h] +
+                           ".writes"] = hu.writes(h);
+            }
+            m.counters["hand.no_dst"] = hu.noDst();
+            return m;
+        });
+    }
+    const std::vector<JobResult>& results = runner.run();
+    benchRequireOk(results);
 
     TextTable t;
     t.header({"benchmark", "s rd", "s wr", "t rd", "t wr", "u rd", "u wr",
               "v rd", "v wr", "no-dst"});
-    for (const auto& w : workloads()) {
-        HandUsageAnalyzer hu;
-        runProgram(compiledWorkload(w.name, Isa::Clockhands), cap, &hu);
-        const double n = static_cast<double>(hu.total());
-        auto pct = [&](uint64_t v) { return fmtPercent(v / n); };
-        t.row({w.name, pct(hu.reads(HandS)), pct(hu.writes(HandS)),
-               pct(hu.reads(HandT)), pct(hu.writes(HandT)),
-               pct(hu.reads(HandU)), pct(hu.writes(HandU)),
-               pct(hu.reads(HandV)), pct(hu.writes(HandV)),
-               pct(hu.noDst())});
+    for (const JobResult& r : results) {
+        const JobMetrics& m = r.metrics;
+        const double n = static_cast<double>(m.insts);
+        auto pct = [&](const std::string& key) {
+            return fmtPercent(m.counters.at(key) / n);
+        };
+        std::vector<std::string> row = {r.spec.workload};
+        for (int h : {HandS, HandT, HandU, HandV}) {
+            row.push_back(pct(std::string("hand.") + kHandNames[h] +
+                              ".reads"));
+            row.push_back(pct(std::string("hand.") + kHandNames[h] +
+                              ".writes"));
+        }
+        row.push_back(pct("hand.no_dst"));
+        t.row(row);
     }
     t.print();
     std::printf("\npaper: t written most; v written rarely / read often "
                 "(loop constants); s read-heavy, written most in mcf "
                 "(function arguments)\n");
+    benchWriteMetrics(ctx, results);
     return 0;
 }

@@ -12,32 +12,60 @@
 using namespace ch;
 
 int
-main()
+main(int argc, char** argv)
 {
+    BenchContext ctx = benchInit(argc, argv, "fig17_lifetime_by_isa");
     benchHeader("Fig 17", "register lifetime CCDF per ISA");
     const uint64_t cap = benchMaxInsts(~0ull);
 
+    SweepRunner runner(ctx.runner);
     for (const auto& w : workloads()) {
-        LifetimeAnalyzer lt[3] = {LifetimeAnalyzer(Isa::Riscv),
-                                  LifetimeAnalyzer(Isa::Straight),
-                                  LifetimeAnalyzer(Isa::Clockhands)};
-        uint64_t totals[3];
-        int ii = 0;
         for (Isa isa : {Isa::Riscv, Isa::Straight, Isa::Clockhands}) {
-            runProgram(compiledWorkload(w.name, isa), cap, &lt[ii]);
-            lt[ii].finish();
-            totals[ii] = lt[ii].totalInsts();
-            ++ii;
+            JobSpec spec;
+            spec.id = w.name + "/" + shortIsa(isa) + "/lifetime";
+            spec.workload = w.name;
+            spec.isa = isa;
+            spec.maxInsts = cap;
+            runner.add(spec, [](const JobContext& job) {
+                LifetimeAnalyzer lt(job.spec.isa);
+                RunResult run = runProgram(*job.program,
+                                           job.spec.maxInsts, &lt);
+                lt.finish();
+                JobMetrics m;
+                m.exited = run.exited;
+                m.exitCode = run.exitCode;
+                m.insts = lt.totalInsts();
+                for (int k = 0; k <= 20; ++k) {
+                    char key[32];
+                    std::snprintf(key, sizeof(key), "lifetime.ge_2^%02d",
+                                  k);
+                    m.counters[key] = lt.overall().atLeast(k);
+                }
+                return m;
+            });
         }
+    }
+    const std::vector<JobResult>& results = runner.run();
+    benchRequireOk(results);
+
+    size_t job = 0;
+    for (const auto& w : workloads()) {
+        const JobMetrics* m[3];
+        for (int i = 0; i < 3; ++i)
+            m[i] = &results[job++].metrics;
         std::printf("\n%s:\n", w.name.c_str());
         TextTable t;
         t.header({"lifetime >=", "RISC-V", "STRAIGHT", "Clockhands"});
         for (int k = 0; k <= 20; k += 2) {
+            char key[32];
+            std::snprintf(key, sizeof(key), "lifetime.ge_2^%02d", k);
             std::vector<std::string> row = {"2^" + std::to_string(k)};
             for (int i = 0; i < 3; ++i) {
                 char buf[32];
                 std::snprintf(buf, sizeof(buf), "%.2e",
-                              lt[i].overall().ccdf(k, totals[i]));
+                              static_cast<double>(
+                                  m[i]->counters.at(key)) /
+                                  static_cast<double>(m[i]->insts));
                 row.push_back(buf);
             }
             t.row(row);
@@ -46,5 +74,6 @@ main()
     }
     std::printf("\npaper: STRAIGHT cuts off at its max reference distance "
                 "(~2^7); RISC-V and Clockhands show similar long tails\n");
+    benchWriteMetrics(ctx, results);
     return 0;
 }

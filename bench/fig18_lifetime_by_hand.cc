@@ -11,27 +11,67 @@
 
 using namespace ch;
 
+namespace {
+const char* kHandNames[kNumHands] = {"t", "u", "v", "s"};
+}
+
 int
-main()
+main(int argc, char** argv)
 {
+    BenchContext ctx = benchInit(argc, argv, "fig18_lifetime_by_hand");
     benchHeader("Fig 18", "Clockhands lifetime CCDF per hand");
     const uint64_t cap = benchMaxInsts(~0ull);
 
+    SweepRunner runner(ctx.runner);
     for (const auto& w : workloads()) {
-        LifetimeAnalyzer lt(Isa::Clockhands);
-        runProgram(compiledWorkload(w.name, Isa::Clockhands), cap, &lt);
-        lt.finish();
-        const uint64_t n = lt.totalInsts();
-        std::printf("\n%s:\n", w.name.c_str());
+        JobSpec spec;
+        spec.id = w.name + "/C/hand-lifetime";
+        spec.workload = w.name;
+        spec.isa = Isa::Clockhands;
+        spec.maxInsts = cap;
+        runner.add(spec, [](const JobContext& job) {
+            LifetimeAnalyzer lt(Isa::Clockhands);
+            RunResult run = runProgram(*job.program, job.spec.maxInsts,
+                                       &lt);
+            lt.finish();
+            JobMetrics m;
+            m.exited = run.exited;
+            m.exitCode = run.exitCode;
+            m.insts = lt.totalInsts();
+            for (int h = 0; h < kNumHands; ++h) {
+                const std::string prefix =
+                    std::string("hand.") + kHandNames[h];
+                m.counters[prefix + ".defs"] =
+                    lt.perHand(h).definitions();
+                for (int k = 0; k <= 18; ++k) {
+                    char key[48];
+                    std::snprintf(key, sizeof(key), "%s.ge_2^%02d",
+                                  prefix.c_str(), k);
+                    m.counters[key] = lt.perHand(h).atLeast(k);
+                }
+            }
+            return m;
+        });
+    }
+    const std::vector<JobResult>& results = runner.run();
+    benchRequireOk(results);
+
+    for (const JobResult& r : results) {
+        const JobMetrics& m = r.metrics;
+        const double n = static_cast<double>(m.insts);
+        std::printf("\n%s:\n", r.spec.workload.c_str());
         TextTable t;
         t.header({"lifetime >=", "t", "u", "v", "s"});
         const int hands[4] = {HandT, HandU, HandV, HandS};
         for (int k = 0; k <= 18; k += 2) {
             std::vector<std::string> row = {"2^" + std::to_string(k)};
             for (int h : hands) {
+                char key[48];
+                std::snprintf(key, sizeof(key), "hand.%s.ge_2^%02d",
+                              kHandNames[h], k);
                 char buf[32];
                 std::snprintf(buf, sizeof(buf), "%.2e",
-                              lt.perHand(h).ccdf(k, n));
+                              m.counters.at(key) / n);
                 row.push_back(buf);
             }
             t.row(row);
@@ -39,13 +79,14 @@ main()
         t.print();
         // Median-ish summary: definitions per hand.
         std::printf("  definitions: t=%lu u=%lu v=%lu s=%lu\n",
-                    (unsigned long)lt.perHand(HandT).definitions(),
-                    (unsigned long)lt.perHand(HandU).definitions(),
-                    (unsigned long)lt.perHand(HandV).definitions(),
-                    (unsigned long)lt.perHand(HandS).definitions());
+                    (unsigned long)m.counters.at("hand.t.defs"),
+                    (unsigned long)m.counters.at("hand.u.defs"),
+                    (unsigned long)m.counters.at("hand.v.defs"),
+                    (unsigned long)m.counters.at("hand.s.defs"));
     }
     std::printf("\npaper: t short-lived (~100 insts), u longer, v longest "
                 "(loop constants); s short in mcf (frequent calls), long "
                 "elsewhere\n");
+    benchWriteMetrics(ctx, results);
     return 0;
 }

@@ -1,0 +1,32 @@
+# Bench smoke check, run as one ctest per bench binary (label
+# `bench-smoke`): execute the binary with a small instruction cap and
+# fail on a nonzero exit or an empty/missing metrics file, so figure
+# regressions surface in CI instead of at paper-regeneration time.
+#
+# Inputs: -DBIN=<binary> -DNAME=<bench name> -DOUT=<metrics dir>
+#         [-DEXTRA_ARGS=<;-list>] [-DSKIP_METRICS=ON]
+
+set(ENV{CH_BENCH_MAXINSTS} 50000)
+set(ENV{CH_BENCH_METRICS_DIR} ${OUT})
+
+execute_process(
+    COMMAND ${BIN} ${EXTRA_ARGS}
+    RESULT_VARIABLE rc
+    OUTPUT_VARIABLE out
+    ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "${NAME} exited with ${rc}\n${out}\n${err}")
+endif()
+
+if(NOT SKIP_METRICS)
+    foreach(ext json csv)
+        set(f ${OUT}/${NAME}.${ext})
+        if(NOT EXISTS ${f})
+            message(FATAL_ERROR "${NAME} wrote no metrics file ${f}")
+        endif()
+        file(SIZE ${f} size)
+        if(size EQUAL 0)
+            message(FATAL_ERROR "${NAME} wrote empty metrics file ${f}")
+        endif()
+    endforeach()
+endif()

@@ -11,18 +11,38 @@
 using namespace ch;
 
 int
-main()
+main(int argc, char** argv)
 {
+    BenchContext ctx = benchInit(argc, argv, "table1_recovery_info");
     benchHeader("Table 1", "checkpoint (recovery information) size");
+
+    SweepRunner runner(ctx.runner);
+    for (Isa isa : {Isa::Riscv, Isa::Straight, Isa::Clockhands}) {
+        JobSpec spec;
+        spec.id = std::string(shortIsa(isa)) + "/checkpoint-bits";
+        spec.isa = isa;
+        runner.add(spec, [](const JobContext& job) {
+            JobMetrics m;
+            m.counters["checkpoint.bits"] = checkpointBits(job.spec.isa);
+            return m;
+        });
+    }
+    const std::vector<JobResult>& results = runner.run();
+    benchRequireOk(results);
+
     TextTable t;
     t.header({"architecture", "formula", "bits"});
-    t.row({"Conventional RISC", "63 x ~9 bits",
-           std::to_string(checkpointBits(Isa::Riscv))});
-    t.row({"STRAIGHT", "~9 bits + 64 bits (SP)",
-           std::to_string(checkpointBits(Isa::Straight))});
-    t.row({"Clockhands", "4 x ~9 bits",
-           std::to_string(checkpointBits(Isa::Clockhands))});
+    const char* formulas[3] = {"63 x ~9 bits", "~9 bits + 64 bits (SP)",
+                               "4 x ~9 bits"};
+    const char* names[3] = {"Conventional RISC", "STRAIGHT",
+                            "Clockhands"};
+    for (int i = 0; i < 3; ++i) {
+        t.row({names[i], formulas[i],
+               std::to_string(
+                   results[i].metrics.counters.at("checkpoint.bits"))});
+    }
     t.print();
     std::printf("\npaper: ~570 / ~70 / ~36 bits\n");
+    benchWriteMetrics(ctx, results);
     return 0;
 }

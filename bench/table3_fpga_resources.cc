@@ -12,35 +12,67 @@
 using namespace ch;
 
 int
-main()
+main(int argc, char** argv)
 {
+    BenchContext ctx = benchInit(argc, argv, "table3_fpga_resources");
     benchHeader("Table 3", "FPGA resource usage (RSD-calibrated model)");
+
+    SweepRunner runner(ctx.runner);
+    for (int w : {4, 6, 8, 12, 16}) {
+        for (Isa isa : {Isa::Riscv, Isa::Straight, Isa::Clockhands}) {
+            JobSpec spec;
+            spec.id = std::string(shortIsa(isa)) + "/" +
+                      std::to_string(w) + "-way";
+            spec.isa = isa;
+            const int width = w;
+            runner.add(spec, [width](const JobContext& job) {
+                FpgaResources r = estimateFpga(job.spec.isa, width);
+                JobMetrics m;
+                m.counters["fpga.lut_alloc_stage"] = r.lutAllocStage;
+                m.counters["fpga.ff_alloc_stage"] = r.ffAllocStage;
+                m.counters["fpga.lut_total"] = r.lutTotal;
+                m.counters["fpga.ff_total"] = r.ffTotal;
+                return m;
+            });
+        }
+    }
+    const std::vector<JobResult>& results = runner.run();
+    benchRequireOk(results);
+
+    auto at = [&](int wi, int ii, const char* key) {
+        return results[wi * 3 + ii].metrics.counters.at(key);
+    };
+    const int widths[] = {4, 6, 8, 12, 16};
+
     TextTable t;
     t.header({"width", "architecture", "alloc LUTs", "alloc FFs",
               "total LUTs", "total FFs"});
-    for (int w : {4, 8, 16}) {
+    for (int wi = 0; wi < 5; ++wi) {
+        if (widths[wi] != 4 && widths[wi] != 8 && widths[wi] != 16)
+            continue;
+        int ii = 0;
         for (Isa isa : {Isa::Riscv, Isa::Straight, Isa::Clockhands}) {
-            FpgaResources r = estimateFpga(isa, w);
-            t.row({std::to_string(w) + "-way",
+            t.row({std::to_string(widths[wi]) + "-way",
                    std::string(isaName(isa)),
-                   std::to_string(r.lutAllocStage),
-                   std::to_string(r.ffAllocStage),
-                   std::to_string(r.lutTotal),
-                   std::to_string(r.ffTotal)});
+                   std::to_string(at(wi, ii, "fpga.lut_alloc_stage")),
+                   std::to_string(at(wi, ii, "fpga.ff_alloc_stage")),
+                   std::to_string(at(wi, ii, "fpga.lut_total")),
+                   std::to_string(at(wi, ii, "fpga.ff_total"))});
+            ++ii;
         }
     }
     t.print();
 
     std::printf("\nallocation-stage LUT ratio (RISC / Clockhands):\n");
-    for (int w : {4, 6, 8, 12, 16}) {
-        FpgaResources r = estimateFpga(Isa::Riscv, w);
-        FpgaResources c = estimateFpga(Isa::Clockhands, w);
-        std::printf("  %2d-way: %.1fx\n", w,
-                    static_cast<double>(r.lutAllocStage) /
-                        c.lutAllocStage);
+    for (int wi = 0; wi < 5; ++wi) {
+        std::printf("  %2d-way: %.1fx\n", widths[wi],
+                    static_cast<double>(
+                        at(wi, 0, "fpga.lut_alloc_stage")) /
+                        at(wi, 2, "fpga.lut_alloc_stage"));
     }
     std::printf("\npaper: Clockhands alloc stage needs a small fraction "
                 "of RISC's LUTs at every width, while overall cores are "
                 "comparable\n");
+    benchWriteMetrics(ctx, results);
     return 0;
 }

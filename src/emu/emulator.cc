@@ -336,9 +336,11 @@ Emulator::step(TraceSink* sink)
         value = mem_.read(di.memAddr, info.memBytes);
         if (info.isSignedLoad())
             value = signExtend(value, 8 * info.memBytes);
+        di.memValue = value;
     } else if (info.isStore()) {
         di.memAddr = s1.value + static_cast<uint64_t>(inst.imm);
         mem_.write(di.memAddr, info.memBytes, s2.value);
+        di.memValue = s2.value;
     } else if (info.brKind == BrKind::Cond) {
         di.taken = branchTaken(inst.op, s1.value, s2.value);
         if (di.taken)

@@ -1,0 +1,208 @@
+#include "runner/metrics.h"
+
+#include <sys/stat.h>
+
+#include <cinttypes>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace ch {
+
+namespace {
+
+/** Minimal JSON string escaping (control chars, quote, backslash). */
+std::string
+jsonEscape(const std::string& s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          case '\r': out += "\\r"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+/** Shortest round-trippable double form; locale-independent. */
+std::string
+fmtJsonDouble(double v)
+{
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    return buf;
+}
+
+const char*
+isaTag(Isa isa)
+{
+    switch (isa) {
+      case Isa::Riscv: return "riscv";
+      case Isa::Straight: return "straight";
+      case Isa::Clockhands: return "clockhands";
+    }
+    return "unknown";
+}
+
+} // namespace
+
+void
+writeMetricsJson(std::ostream& os, const MetricsOptions& opt,
+                 const std::vector<JobResult>& results)
+{
+    os << "{\n";
+    os << "  \"schema\": \"ch-sweep-metrics-v1\",\n";
+    os << "  \"bench\": \"" << jsonEscape(opt.bench) << "\",\n";
+    os << "  \"jobs\": [";
+    for (size_t i = 0; i < results.size(); ++i) {
+        const JobResult& r = results[i];
+        const JobMetrics& m = r.metrics;
+        os << (i ? ",\n" : "\n");
+        os << "    {\n";
+        os << "      \"id\": \"" << jsonEscape(r.spec.id) << "\",\n";
+        os << "      \"workload\": \"" << jsonEscape(r.spec.workload)
+           << "\",\n";
+        os << "      \"isa\": \"" << isaTag(r.spec.isa) << "\",\n";
+        if (r.spec.maxInsts != ~0ull)
+            os << "      \"max_insts\": " << r.spec.maxInsts << ",\n";
+        os << "      \"seed\": " << r.spec.seed << ",\n";
+        os << "      \"ok\": " << (r.ok ? "true" : "false") << ",\n";
+        if (!r.ok)
+            os << "      \"error\": \"" << jsonEscape(r.error) << "\",\n";
+        os << "      \"exited\": " << (m.exited ? "true" : "false")
+           << ",\n";
+        os << "      \"exit_code\": " << m.exitCode << ",\n";
+        os << "      \"cycles\": " << m.cycles << ",\n";
+        os << "      \"insts\": " << m.insts << ",\n";
+        os << "      \"ipc\": " << fmtJsonDouble(m.ipc());
+        if (opt.hostMetrics) {
+            os << ",\n      \"wall_ms\": " << fmtJsonDouble(m.wallMs);
+            os << ",\n      \"peak_rss_kib\": " << m.peakRssKiB;
+        }
+        if (!m.counters.empty()) {
+            os << ",\n      \"counters\": {";
+            bool first = true;
+            for (const auto& [name, value] : m.counters) {
+                os << (first ? "\n" : ",\n");
+                os << "        \"" << jsonEscape(name) << "\": " << value;
+                first = false;
+            }
+            os << "\n      }";
+        }
+        if (!m.values.empty()) {
+            os << ",\n      \"values\": {";
+            bool first = true;
+            for (const auto& [name, value] : m.values) {
+                os << (first ? "\n" : ",\n");
+                os << "        \"" << jsonEscape(name)
+                   << "\": " << fmtJsonDouble(value);
+                first = false;
+            }
+            os << "\n      }";
+        }
+        os << "\n    }";
+    }
+    os << "\n  ]\n}\n";
+}
+
+namespace {
+
+/** CSV field quoting per RFC 4180 when the value needs it. */
+std::string
+csvField(const std::string& s)
+{
+    if (s.find_first_of(",\"\n") == std::string::npos)
+        return s;
+    std::string out = "\"";
+    for (char c : s) {
+        if (c == '"')
+            out += '"';
+        out += c;
+    }
+    out += '"';
+    return out;
+}
+
+} // namespace
+
+void
+writeMetricsCsv(std::ostream& os, const MetricsOptions& opt,
+                const std::vector<JobResult>& results)
+{
+    os << "bench,id,workload,isa,ok,kind,metric,value\n";
+    for (const JobResult& r : results) {
+        const JobMetrics& m = r.metrics;
+        auto row = [&](const char* kind, const std::string& metric,
+                       const std::string& value) {
+            os << csvField(opt.bench) << ',' << csvField(r.spec.id) << ','
+               << csvField(r.spec.workload) << ',' << isaTag(r.spec.isa)
+               << ',' << (r.ok ? 1 : 0) << ',' << kind << ','
+               << csvField(metric) << ',' << value << '\n';
+        };
+        row("core", "exited", m.exited ? "1" : "0");
+        row("core", "exit_code", std::to_string(m.exitCode));
+        row("core", "cycles", std::to_string(m.cycles));
+        row("core", "insts", std::to_string(m.insts));
+        row("core", "ipc", fmtJsonDouble(m.ipc()));
+        if (opt.hostMetrics) {
+            row("host", "wall_ms", fmtJsonDouble(m.wallMs));
+            row("host", "peak_rss_kib", std::to_string(m.peakRssKiB));
+        }
+        for (const auto& [name, value] : m.counters)
+            row("counter", name, std::to_string(value));
+        for (const auto& [name, value] : m.values)
+            row("value", name, fmtJsonDouble(value));
+    }
+}
+
+std::string
+metricsJsonString(const MetricsOptions& opt,
+                  const std::vector<JobResult>& results)
+{
+    std::ostringstream os;
+    writeMetricsJson(os, opt, results);
+    return os.str();
+}
+
+std::string
+writeMetricsFiles(const std::string& dir, const MetricsOptions& opt,
+                  const std::vector<JobResult>& results)
+{
+    if (!dir.empty() && dir != ".")
+        ::mkdir(dir.c_str(), 0777);   // single level is enough here
+    const std::string base =
+        (dir.empty() ? std::string(".") : dir) + "/" + opt.bench;
+
+    const std::string jsonPath = base + ".json";
+    {
+        std::ofstream os(jsonPath);
+        if (!os)
+            fatal("cannot write metrics file: ", jsonPath);
+        writeMetricsJson(os, opt, results);
+    }
+    const std::string csvPath = base + ".csv";
+    {
+        std::ofstream os(csvPath);
+        if (!os)
+            fatal("cannot write metrics file: ", csvPath);
+        writeMetricsCsv(os, opt, results);
+    }
+    return jsonPath;
+}
+
+} // namespace ch

@@ -1,0 +1,51 @@
+#ifndef CH_RUNNER_METRICS_H
+#define CH_RUNNER_METRICS_H
+
+/**
+ * @file
+ * Machine-readable sinks for sweep results: a JSON document per bench
+ * (schema in docs/RUNNER.md) and a long-format CSV (one row per metric)
+ * for direct ingestion by plotting scripts.
+ *
+ * The default output is deterministic: identical for --jobs 1 and
+ * --jobs N runs of the same sweep. Host-side observations (per-job
+ * wall-clock, process peak RSS) are only emitted when hostMetrics is
+ * set, because they vary run to run.
+ */
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "runner/runner.h"
+
+namespace ch {
+
+struct MetricsOptions {
+    std::string bench;        ///< bench binary name, e.g. "fig13_performance"
+    bool hostMetrics = false; ///< include wall_ms / peak_rss_kib
+};
+
+/** Serialize @p results as the versioned JSON document. */
+void writeMetricsJson(std::ostream& os, const MetricsOptions& opt,
+                      const std::vector<JobResult>& results);
+
+/** Serialize @p results as long-format CSV. */
+void writeMetricsCsv(std::ostream& os, const MetricsOptions& opt,
+                     const std::vector<JobResult>& results);
+
+/** JSON string of the document (runner tests compare these bytes). */
+std::string metricsJsonString(const MetricsOptions& opt,
+                              const std::vector<JobResult>& results);
+
+/**
+ * Write <dir>/<bench>.json and <dir>/<bench>.csv; creates @p dir when
+ * missing. Returns the JSON path. fatal() on I/O failure.
+ */
+std::string writeMetricsFiles(const std::string& dir,
+                              const MetricsOptions& opt,
+                              const std::vector<JobResult>& results);
+
+} // namespace ch
+
+#endif // CH_RUNNER_METRICS_H

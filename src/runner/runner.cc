@@ -1,0 +1,198 @@
+#include "runner/runner.h"
+
+#include <sys/resource.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+#include "common/logging.h"
+#include "uarch/sim.h"
+
+namespace ch {
+
+uint64_t
+jobSeed(const JobSpec& spec)
+{
+    // FNV-1a over the identifying spec fields; stable across hosts and
+    // schedules so reruns see the same seed.
+    uint64_t h = 0xcbf29ce484222325ull;
+    auto mix = [&h](const void* data, size_t len) {
+        const auto* p = static_cast<const uint8_t*>(data);
+        for (size_t i = 0; i < len; ++i) {
+            h ^= p[i];
+            h *= 0x100000001b3ull;
+        }
+    };
+    mix(spec.id.data(), spec.id.size());
+    mix(spec.workload.data(), spec.workload.size());
+    const int isa = static_cast<int>(spec.isa);
+    mix(&isa, sizeof(isa));
+    mix(&spec.maxInsts, sizeof(spec.maxInsts));
+    return h ? h : 1;
+}
+
+JobMetrics
+simJob(const JobContext& ctx)
+{
+    CH_ASSERT(ctx.program, "simJob needs a workload program: ",
+              ctx.spec.id);
+    SimResult r = simulate(*ctx.program, ctx.spec.cfg, ctx.spec.maxInsts);
+    JobMetrics m;
+    m.exited = r.exited;
+    m.exitCode = r.exitCode;
+    m.cycles = r.cycles;
+    m.insts = r.insts;
+    for (const auto& [name, value] : r.stats.dump())
+        m.counters[name] = value;
+    return m;
+}
+
+int64_t
+currentPeakRssKiB()
+{
+    struct rusage ru;
+    if (getrusage(RUSAGE_SELF, &ru) != 0)
+        return 0;
+    return static_cast<int64_t>(ru.ru_maxrss);
+}
+
+SweepRunner::SweepRunner(RunnerOptions opt, CompiledProgramCache* cache)
+    : opt_(std::move(opt)), cache_(cache ? cache : &programCache())
+{
+}
+
+size_t
+SweepRunner::add(JobSpec spec, JobFn fn)
+{
+    CH_ASSERT(!ran_, "cannot add jobs after run()");
+    if (spec.seed == 0)
+        spec.seed = jobSeed(spec);
+    specs_.push_back(std::move(spec));
+    fns_.push_back(std::move(fn));
+    return specs_.size() - 1;
+}
+
+size_t
+SweepRunner::addSim(JobSpec spec)
+{
+    return add(std::move(spec), simJob);
+}
+
+int
+SweepRunner::threadCount() const
+{
+    int n = opt_.jobs;
+    if (n <= 0)
+        n = static_cast<int>(std::thread::hardware_concurrency());
+    if (n <= 0)
+        n = 1;
+    return n;
+}
+
+namespace {
+
+/** Shared per-run scheduling state (kept off the SweepRunner ABI). */
+struct RunState {
+    std::atomic<size_t> nextCompile{0};
+    std::atomic<size_t> nextJob{0};
+    std::atomic<size_t> done{0};
+    std::mutex printMutex;
+};
+
+} // namespace
+
+const std::vector<JobResult>&
+SweepRunner::run()
+{
+    if (ran_)
+        return results_;
+    ran_ = true;
+    results_.resize(specs_.size());
+
+    // Warm-up work list: the distinct (workload, ISA) pairs, so workers
+    // front-load compilation instead of serializing on the first job
+    // that needs each program.
+    std::vector<std::pair<std::string, Isa>> pairs;
+    for (const auto& spec : specs_) {
+        if (spec.workload.empty())
+            continue;
+        std::pair<std::string, Isa> key{spec.workload, spec.isa};
+        bool seen = false;
+        for (const auto& p : pairs)
+            seen = seen || p == key;
+        if (!seen)
+            pairs.push_back(std::move(key));
+    }
+
+    RunState state;
+    auto work = [&] {
+        for (;;) {
+            const size_t ci =
+                state.nextCompile.fetch_add(1, std::memory_order_relaxed);
+            if (ci >= pairs.size())
+                break;
+            try {
+                cache_->get(pairs[ci].first, pairs[ci].second);
+            } catch (const std::exception&) {
+                // The owning job reports the compile error below.
+            }
+        }
+        for (;;) {
+            const size_t i =
+                state.nextJob.fetch_add(1, std::memory_order_relaxed);
+            if (i >= specs_.size())
+                break;
+            JobResult& res = results_[i];
+            res.spec = specs_[i];
+            const auto t0 = std::chrono::steady_clock::now();
+            try {
+                const Program* prog =
+                    res.spec.workload.empty()
+                        ? nullptr
+                        : &cache_->get(res.spec.workload, res.spec.isa);
+                JobContext ctx{res.spec, prog, *cache_};
+                res.metrics = fns_[i](ctx);
+                res.ok = true;
+            } catch (const std::exception& e) {
+                res.ok = false;
+                res.error = e.what();
+            }
+            const auto t1 = std::chrono::steady_clock::now();
+            res.metrics.wallMs =
+                std::chrono::duration<double, std::milli>(t1 - t0)
+                    .count();
+            res.metrics.peakRssKiB = currentPeakRssKiB();
+            const size_t finished =
+                state.done.fetch_add(1, std::memory_order_relaxed) + 1;
+            if (opt_.progress) {
+                std::lock_guard<std::mutex> lock(state.printMutex);
+                std::fprintf(stderr, "[%s %3zu/%zu] %s%s%s (%.0f ms)\n",
+                             opt_.tag.c_str(), finished, specs_.size(),
+                             res.spec.id.c_str(),
+                             res.ok ? "" : " FAILED: ",
+                             res.ok ? "" : res.error.c_str(),
+                             res.metrics.wallMs);
+            }
+        }
+    };
+
+    const int threads =
+        std::min<int>(threadCount(), static_cast<int>(specs_.size()));
+    if (threads <= 1) {
+        work();
+    } else {
+        std::vector<std::thread> pool;
+        pool.reserve(threads);
+        for (int t = 0; t < threads; ++t)
+            pool.emplace_back(work);
+        for (auto& th : pool)
+            th.join();
+    }
+    return results_;
+}
+
+} // namespace ch

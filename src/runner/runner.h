@@ -1,0 +1,161 @@
+#ifndef CH_RUNNER_RUNNER_H
+#define CH_RUNNER_RUNNER_H
+
+/**
+ * @file
+ * Thread-pool sweep engine for the figure/table harness. A sweep is a
+ * list of jobs, each pairing a (workload, ISA) program with a machine
+ * configuration (or a trace analyzer) and producing a JobMetrics record.
+ *
+ * Determinism contract (see docs/RUNNER.md):
+ *  - results are returned in add() order, independent of scheduling;
+ *  - each job gets a seed derived from its spec, not from time or
+ *    thread identity;
+ *  - all simulation inputs are deterministic, so every metric except the
+ *    host-side wallMs/peakRssKiB fields is byte-identical between a
+ *    --jobs 1 and a --jobs N run.
+ *
+ * Programs come from a shared CompiledProgramCache: each (workload, ISA)
+ * pair is compiled exactly once per process however many jobs use it.
+ */
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "uarch/config.h"
+#include "workloads/prog_cache.h"
+
+namespace ch {
+
+/** Sweep-wide knobs; see benchInit() for the env/CLI plumbing. */
+struct RunnerOptions {
+    /** Worker threads; 0 selects std::thread::hardware_concurrency(). */
+    int jobs = 0;
+
+    /** Emit a per-job completion line on stderr. */
+    bool progress = false;
+
+    /** Prefix for progress lines (usually the bench name). */
+    std::string tag = "sweep";
+};
+
+/** One simulation/analysis job of a sweep. */
+struct JobSpec {
+    std::string id;        ///< unique label, e.g. "coremark/C/8f"
+    std::string workload;  ///< corpus name; empty for model-only jobs
+    Isa isa = Isa::Riscv;
+    MachineConfig cfg;     ///< used by cycle-sim jobs
+    uint64_t maxInsts = ~0ull;
+
+    /**
+     * Deterministic per-job seed; derived from the other spec fields by
+     * SweepRunner::add() when left 0.
+     */
+    uint64_t seed = 0;
+};
+
+/** Structured result record of one job. */
+struct JobMetrics {
+    bool exited = false;      ///< the emulated program ran to completion
+    int64_t exitCode = 0;
+    uint64_t cycles = 0;      ///< 0 for pure trace/model jobs
+    uint64_t insts = 0;
+
+    /** Integer event counters (commit/cache/branch stats). */
+    std::map<std::string, uint64_t> counters;
+
+    /** Derived scalar metrics (analyzer fractions, model estimates). */
+    std::map<std::string, double> values;
+
+    // Host-side observations, filled by the runner. Excluded from the
+    // deterministic metrics output unless host metrics are requested.
+    double wallMs = 0;
+    int64_t peakRssKiB = 0;
+
+    double
+    ipc() const
+    {
+        return cycles == 0 ? 0.0
+                           : static_cast<double>(insts) / cycles;
+    }
+};
+
+/** What a job body gets handed when it runs. */
+struct JobContext {
+    const JobSpec& spec;
+
+    /** Compiled program for (spec.workload, spec.isa); null when the
+     *  spec names no workload. */
+    const Program* program;
+
+    CompiledProgramCache& cache;
+};
+
+using JobFn = std::function<JobMetrics(const JobContext&)>;
+
+/** One sweep entry after execution. */
+struct JobResult {
+    JobSpec spec;
+    JobMetrics metrics;
+    bool ok = false;
+    std::string error;   ///< exception text when !ok
+};
+
+/**
+ * The sweep engine. Typical use:
+ *
+ *   SweepRunner runner(opts);
+ *   for (...) runner.addSim({id, workload, isa, cfg, maxInsts});
+ *   for (const JobResult& r : runner.run()) ...
+ */
+class SweepRunner
+{
+  public:
+    explicit SweepRunner(RunnerOptions opt = {},
+                         CompiledProgramCache* cache = nullptr);
+
+    /** Queue a job with a custom body; returns its index. */
+    size_t add(JobSpec spec, JobFn fn);
+
+    /** Queue a standard cycle-level simulation job. */
+    size_t addSim(JobSpec spec);
+
+    /**
+     * Execute all queued jobs on the thread pool and return results in
+     * add() order. Runs each job at most once; later calls return the
+     * same results.
+     */
+    const std::vector<JobResult>& run();
+
+    size_t jobCount() const { return specs_.size(); }
+    CompiledProgramCache& cache() { return *cache_; }
+
+    /** Resolved worker count for this host (after the 0 default). */
+    int threadCount() const;
+
+  private:
+    void worker();
+
+    RunnerOptions opt_;
+    CompiledProgramCache* cache_;
+    std::vector<JobSpec> specs_;
+    std::vector<JobFn> fns_;
+    std::vector<JobResult> results_;
+    bool ran_ = false;
+};
+
+/** Stable FNV-1a seed for a job spec (ignores the seed field itself). */
+uint64_t jobSeed(const JobSpec& spec);
+
+/** Standard cycle-sim job body: simulate() + stats -> JobMetrics. */
+JobMetrics simJob(const JobContext& ctx);
+
+/** Peak resident set size of this process, in KiB (getrusage). */
+int64_t currentPeakRssKiB();
+
+} // namespace ch
+
+#endif // CH_RUNNER_RUNNER_H

@@ -39,6 +39,11 @@ struct DynInst {
     /** Effective address for loads/stores. */
     uint64_t memAddr = 0;
 
+    /** Data for loads/stores: the value loaded (after extension) or the
+     *  value stored. The lockstep differential suite compares committed
+     *  store sequences across ISAs through this field. */
+    uint64_t memValue = 0;
+
     /** Architectural next PC (branch resolution ground truth). */
     uint64_t nextPc = 0;
 

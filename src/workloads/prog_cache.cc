@@ -1,0 +1,37 @@
+#include "workloads/prog_cache.h"
+
+#include "backend/backend.h"
+#include "workloads/workloads.h"
+
+namespace ch {
+
+const Program&
+CompiledProgramCache::get(const std::string& name, Isa isa)
+{
+    lookups_.fetch_add(1, std::memory_order_relaxed);
+    Entry* entry;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        auto& slot = entries_[{name, static_cast<int>(isa)}];
+        if (!slot)
+            slot = std::make_unique<Entry>();
+        entry = slot.get();
+    }
+    // Magic of call_once: concurrent first requests for the same pair
+    // elect one compiler thread and park the rest; a throwing compile
+    // releases the flag so a later request can retry.
+    std::call_once(entry->once, [&] {
+        entry->prog = compileMiniC(workload(name).source, isa);
+        compiles_.fetch_add(1, std::memory_order_relaxed);
+    });
+    return entry->prog;
+}
+
+CompiledProgramCache&
+programCache()
+{
+    static CompiledProgramCache cache;
+    return cache;
+}
+
+} // namespace ch

@@ -1,0 +1,60 @@
+#ifndef CH_WORKLOADS_PROG_CACHE_H
+#define CH_WORKLOADS_PROG_CACHE_H
+
+/**
+ * @file
+ * Thread-safe compile-once cache of (workload, ISA) -> Program. The sweep
+ * runner shares one process-wide instance across all worker threads, so a
+ * 75-job sweep compiles each of the 15 programs exactly once no matter
+ * how jobs are scheduled. Distinct pairs compile concurrently; threads
+ * requesting a pair already being compiled block until it is ready.
+ *
+ * Returned Program references stay valid for the cache's lifetime (the
+ * process, for programCache()).
+ */
+
+#include <atomic>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "isa/isa.h"
+#include "mem/program.h"
+
+namespace ch {
+
+/** Compile-once, process-shareable program cache. */
+class CompiledProgramCache
+{
+  public:
+    /**
+     * Fetch the compiled image of @p workload for @p isa, compiling on
+     * first request. Safe to call from any thread.
+     */
+    const Program& get(const std::string& workload, Isa isa);
+
+    /** Number of compilations actually performed (not lookups). */
+    uint64_t compileCount() const { return compiles_.load(); }
+
+    /** Number of get() calls served. */
+    uint64_t lookupCount() const { return lookups_.load(); }
+
+  private:
+    struct Entry {
+        std::once_flag once;
+        Program prog;
+    };
+
+    std::mutex mutex_;
+    std::map<std::pair<std::string, int>, std::unique_ptr<Entry>> entries_;
+    std::atomic<uint64_t> compiles_{0};
+    std::atomic<uint64_t> lookups_{0};
+};
+
+/** The process-wide cache shared by the runner and compiledWorkload(). */
+CompiledProgramCache& programCache();
+
+} // namespace ch
+
+#endif // CH_WORKLOADS_PROG_CACHE_H

@@ -1,9 +1,7 @@
 #include "workloads/workloads.h"
 
-#include <map>
-
-#include "backend/backend.h"
 #include "common/logging.h"
+#include "workloads/prog_cache.h"
 
 namespace ch {
 
@@ -632,14 +630,7 @@ workload(const std::string& name)
 const Program&
 compiledWorkload(const std::string& name, Isa isa)
 {
-    static std::map<std::pair<std::string, int>, Program> cache;
-    auto key = std::make_pair(name, static_cast<int>(isa));
-    auto it = cache.find(key);
-    if (it == cache.end()) {
-        it = cache.emplace(key, compileMiniC(workload(name).source, isa))
-                 .first;
-    }
-    return it->second;
+    return programCache().get(name, isa);
 }
 
 } // namespace ch

@@ -1,0 +1,216 @@
+/**
+ * @file
+ * Sweep-engine tests: scheduling-independent determinism (a 4-thread
+ * sweep must serialize to exactly the bytes of a 1-thread sweep), the
+ * compile-once contract of CompiledProgramCache, stable per-job seeding,
+ * and error containment (one failing job must not poison the sweep).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "bench_util.h"
+#include "runner/metrics.h"
+#include "runner/runner.h"
+#include "uarch/sim.h"
+
+namespace ch {
+namespace {
+
+constexpr uint64_t kCap = 20'000;
+
+/** A small but representative sweep: 2 workloads x 3 ISAs x 2 widths. */
+void
+addSweep(SweepRunner& runner)
+{
+    for (const char* wl : {"coremark", "xz"}) {
+        for (Isa isa : {Isa::Riscv, Isa::Straight, Isa::Clockhands}) {
+            for (int width : {4, 8}) {
+                JobSpec spec;
+                spec.id = std::string(wl) + "/" + std::string(isaName(isa)) +
+                          "/" + std::to_string(width) + "f";
+                spec.workload = wl;
+                spec.isa = isa;
+                spec.cfg = MachineConfig::preset(width);
+                spec.maxInsts = kCap;
+                runner.addSim(spec);
+            }
+        }
+    }
+}
+
+std::string
+runSweepJson(int jobs)
+{
+    RunnerOptions opt;
+    opt.jobs = jobs;
+    SweepRunner runner(opt);
+    addSweep(runner);
+    const auto& results = runner.run();
+    MetricsOptions mo;
+    mo.bench = "runner_test";
+    return metricsJsonString(mo, results);
+}
+
+TEST(SweepRunner, FourThreadsMatchOneThreadByteForByte)
+{
+    const std::string serial = runSweepJson(1);
+    const std::string parallel = runSweepJson(4);
+    EXPECT_FALSE(serial.empty());
+    EXPECT_EQ(serial, parallel);
+}
+
+TEST(SweepRunner, ResultsComeBackInAddOrder)
+{
+    RunnerOptions opt;
+    opt.jobs = 4;
+    SweepRunner runner(opt);
+    addSweep(runner);
+    const auto& results = runner.run();
+    ASSERT_EQ(results.size(), 12u);
+    EXPECT_EQ(results.front().spec.id,
+              std::string("coremark/") + std::string(isaName(Isa::Riscv)) +
+                  "/4f");
+    EXPECT_EQ(results.back().spec.id,
+              std::string("xz/") + std::string(isaName(Isa::Clockhands)) +
+                  "/8f");
+    for (const auto& r : results) {
+        EXPECT_TRUE(r.ok) << r.spec.id << ": " << r.error;
+        EXPECT_GT(r.metrics.cycles, 0u) << r.spec.id;
+    }
+}
+
+TEST(SweepRunner, CompileCacheBuildsEachPairExactlyOnce)
+{
+    CompiledProgramCache cache;
+    RunnerOptions opt;
+    opt.jobs = 4;
+    SweepRunner runner(opt, &cache);
+    // 12 jobs over 6 distinct (workload, ISA) pairs.
+    addSweep(runner);
+    const auto& results = runner.run();
+    ASSERT_EQ(results.size(), 12u);
+    EXPECT_EQ(cache.compileCount(), 6u);
+    EXPECT_GE(cache.lookupCount(), 12u);
+
+    // Further lookups hit the cache.
+    cache.get("coremark", Isa::Riscv);
+    EXPECT_EQ(cache.compileCount(), 6u);
+}
+
+TEST(SweepRunner, SeedsAreStableAndSpecDerived)
+{
+    JobSpec a;
+    a.id = "coremark/R/8f";
+    a.workload = "coremark";
+    a.isa = Isa::Riscv;
+    a.maxInsts = kCap;
+    JobSpec b = a;
+    EXPECT_EQ(jobSeed(a), jobSeed(b));
+    b.id = "coremark/R/4f";
+    EXPECT_NE(jobSeed(a), jobSeed(b));
+
+    SweepRunner r1, r2;
+    const size_t i1 = r1.addSim(a);
+    const size_t i2 = r2.addSim(a);
+    EXPECT_EQ(r1.run()[i1].spec.seed, r2.run()[i2].spec.seed);
+    EXPECT_NE(r1.run()[i1].spec.seed, 0u);
+}
+
+TEST(SweepRunner, FailingJobIsContainedAndReported)
+{
+    RunnerOptions opt;
+    opt.jobs = 2;
+    SweepRunner runner(opt);
+    JobSpec good;
+    good.id = "good";
+    good.workload = "coremark";
+    good.isa = Isa::Riscv;
+    good.cfg = MachineConfig::preset(4);
+    good.maxInsts = kCap;
+    runner.addSim(good);
+
+    JobSpec bad;
+    bad.id = "bad";
+    runner.add(bad, [](const JobContext&) -> JobMetrics {
+        fatal("intentional job failure");
+    });
+
+    const auto& results = runner.run();
+    ASSERT_EQ(results.size(), 2u);
+    EXPECT_TRUE(results[0].ok);
+    EXPECT_FALSE(results[1].ok);
+    EXPECT_NE(results[1].error.find("intentional job failure"),
+              std::string::npos);
+
+    // Failed jobs surface in the metrics document.
+    MetricsOptions mo;
+    mo.bench = "runner_test";
+    const std::string json = metricsJsonString(mo, results);
+    EXPECT_NE(json.find("\"ok\": false"), std::string::npos);
+    EXPECT_NE(json.find("intentional job failure"), std::string::npos);
+}
+
+TEST(SweepRunner, UnknownWorkloadFailsThatJobOnly)
+{
+    SweepRunner runner;
+    JobSpec spec;
+    spec.id = "nope";
+    spec.workload = "no-such-workload";
+    spec.isa = Isa::Riscv;
+    runner.addSim(spec);
+    const auto& results = runner.run();
+    ASSERT_EQ(results.size(), 1u);
+    EXPECT_FALSE(results[0].ok);
+    EXPECT_NE(results[0].error.find("unknown workload"),
+              std::string::npos);
+}
+
+TEST(MetricsWriter, HostMetricsAreOptIn)
+{
+    SweepRunner runner;
+    JobSpec spec;
+    spec.id = "coremark/R/4f";
+    spec.workload = "coremark";
+    spec.isa = Isa::Riscv;
+    spec.cfg = MachineConfig::preset(4);
+    spec.maxInsts = kCap;
+    runner.addSim(spec);
+    const auto& results = runner.run();
+
+    MetricsOptions mo;
+    mo.bench = "runner_test";
+    const std::string plain = metricsJsonString(mo, results);
+    EXPECT_EQ(plain.find("wall_ms"), std::string::npos);
+    EXPECT_EQ(plain.find("peak_rss_kib"), std::string::npos);
+
+    mo.hostMetrics = true;
+    const std::string host = metricsJsonString(mo, results);
+    EXPECT_NE(host.find("wall_ms"), std::string::npos);
+    EXPECT_NE(host.find("peak_rss_kib"), std::string::npos);
+}
+
+TEST(BenchUtil, MaxInstsStrictParsing)
+{
+    ASSERT_EQ(unsetenv("CH_BENCH_MAXINSTS"), 0);
+    EXPECT_EQ(benchMaxInsts(123), 123u);
+
+    ASSERT_EQ(setenv("CH_BENCH_MAXINSTS", "50000", 1), 0);
+    EXPECT_EQ(benchMaxInsts(123), 50000u);
+
+    ASSERT_EQ(setenv("CH_BENCH_MAXINSTS", "0x100", 1), 0);
+    EXPECT_EQ(benchMaxInsts(123), 256u);
+
+    for (const char* bad : {"abc", "12abc", "-5", " ",
+                            "99999999999999999999999999"}) {
+        ASSERT_EQ(setenv("CH_BENCH_MAXINSTS", bad, 1), 0);
+        EXPECT_EXIT(benchMaxInsts(123),
+                    ::testing::ExitedWithCode(2), "CH_BENCH_MAXINSTS")
+            << "value: " << bad;
+    }
+    unsetenv("CH_BENCH_MAXINSTS");
+}
+
+} // namespace
+} // namespace ch
