@@ -13,12 +13,18 @@
  *
  *   --jobs N / CH_BENCH_JOBS        worker threads (default: all cores)
  *   --metrics-dir D / CH_BENCH_METRICS_DIR   output dir (default: ".")
+ *   --pipe-trace D / CH_PIPE_TRACE  write one Kanata trace per sweep job
+ *                                   into directory D (docs/OBSERVABILITY.md)
  *   --progress / CH_BENCH_PROGRESS=1         per-job lines on stderr
  *   --host-metrics / CH_BENCH_HOST_METRICS=1 include wall-time/RSS in
  *                                            the metrics files (breaks
  *                                            byte-for-byte determinism)
  *   CH_BENCH_MAXINSTS               per-run instruction cap
  */
+
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <unistd.h>
 
 #include <cstdint>
 #include <cstdlib>
@@ -91,6 +97,40 @@ envFlag(const char* name)
     return env && *env && std::strcmp(env, "0") != 0;
 }
 
+/**
+ * Validate an output directory at parse time: create it if missing and
+ * verify it is writable. Before this check, a bad --metrics-dir only
+ * surfaced after the whole sweep had run (writeMetricsFiles throwing
+ * away minutes of simulation); now it fails immediately with exit 2.
+ */
+inline std::string
+requireWritableDir(const char* what, const char* path)
+{
+    if (!path || !*path) {
+        std::fprintf(stderr, "error: %s expects a directory path\n",
+                     what);
+        std::exit(2);
+    }
+    struct stat st;
+    if (::stat(path, &st) == 0) {
+        if (!S_ISDIR(st.st_mode)) {
+            std::fprintf(stderr, "error: %s '%s' exists but is not a "
+                                 "directory\n", what, path);
+            std::exit(2);
+        }
+    } else if (::mkdir(path, 0777) != 0) {
+        std::fprintf(stderr, "error: %s '%s' cannot be created: %s\n",
+                     what, path, std::strerror(errno));
+        std::exit(2);
+    }
+    if (::access(path, W_OK) != 0) {
+        std::fprintf(stderr, "error: %s '%s' is not writable\n", what,
+                     path);
+        std::exit(2);
+    }
+    return path;
+}
+
 } // namespace benchdetail
 
 /**
@@ -110,7 +150,14 @@ benchInit(int argc, char** argv, const char* name)
                                                         env);
     if (const char* env = std::getenv("CH_BENCH_METRICS_DIR");
         env && *env) {
-        ctx.metricsDir = env;
+        ctx.metricsDir =
+            benchdetail::requireWritableDir("CH_BENCH_METRICS_DIR", env);
+    }
+    if (const char* env = std::getenv("CH_PIPE_TRACE"); env && *env) {
+        // Map the single-run env var onto per-job trace files so the
+        // parallel sweep jobs never interleave into one stream.
+        ctx.runner.pipeTraceDir =
+            benchdetail::requireWritableDir("CH_PIPE_TRACE", env);
     }
     ctx.runner.progress = benchdetail::envFlag("CH_BENCH_PROGRESS");
     ctx.hostMetrics = benchdetail::envFlag("CH_BENCH_HOST_METRICS");
@@ -129,14 +176,19 @@ benchInit(int argc, char** argv, const char* name)
             ctx.runner.jobs =
                 benchdetail::parsePositiveInt("--jobs", next());
         } else if (arg == "--metrics-dir") {
-            ctx.metricsDir = next();
+            ctx.metricsDir =
+                benchdetail::requireWritableDir("--metrics-dir", next());
+        } else if (arg == "--pipe-trace") {
+            ctx.runner.pipeTraceDir =
+                benchdetail::requireWritableDir("--pipe-trace", next());
         } else if (arg == "--progress") {
             ctx.runner.progress = true;
         } else if (arg == "--host-metrics") {
             ctx.hostMetrics = true;
         } else if (arg == "--help" || arg == "-h") {
             std::printf("usage: %s [--jobs N] [--metrics-dir DIR] "
-                        "[--progress] [--host-metrics]\n", name);
+                        "[--pipe-trace DIR] [--progress] "
+                        "[--host-metrics]\n", name);
             std::exit(0);
         } else {
             std::fprintf(stderr, "error: unknown argument '%s' "

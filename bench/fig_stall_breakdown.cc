@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Stall-cycle breakdown: top-down attribution of every simulated cycle
+ * (retiring / frontend-latency / frontend-bandwidth / bad-speculation /
+ * backend-memory / backend-core) per (workload x ISA) on the 8-fetch
+ * machine, printed as percentages of total cycles. A second table shows
+ * the Clockhands-specific counters: per-hand write/read mix, register-
+ * window (distance) dispatch stalls, and junk-slot reads. Category
+ * definitions live in docs/OBSERVABILITY.md; the categories sum exactly
+ * to sim.cycles by construction (enforced by tests/pipetrace_test.cc).
+ */
+
+#include "bench_util.h"
+#include "uarch/sim.h"
+#include "uarch/stall_account.h"
+
+using namespace ch;
+
+namespace {
+
+double
+pct(uint64_t part, uint64_t whole)
+{
+    return whole == 0 ? 0.0 : 100.0 * static_cast<double>(part) /
+                                  static_cast<double>(whole);
+}
+
+uint64_t
+counter(const JobMetrics& m, const std::string& name)
+{
+    auto it = m.counters.find(name);
+    return it == m.counters.end() ? 0 : it->second;
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    BenchContext ctx = benchInit(argc, argv, "fig_stall_breakdown");
+    benchHeader("Stall breakdown",
+                "where the cycles go, 5 workloads x 3 ISAs, 8-fetch");
+    const uint64_t cap = benchMaxInsts(~0ull);
+
+    SweepRunner runner(ctx.runner);
+    for (const auto& w : workloads()) {
+        for (Isa isa : {Isa::Riscv, Isa::Straight, Isa::Clockhands}) {
+            JobSpec spec;
+            spec.id = w.name + "/" + shortIsa(isa) + "/8f";
+            spec.workload = w.name;
+            spec.isa = isa;
+            spec.cfg = MachineConfig::preset(8);
+            spec.maxInsts = cap;
+            runner.addSim(spec);
+        }
+    }
+    const std::vector<JobResult>& results = runner.run();
+    benchRequireOk(results);
+
+    TextTable t;
+    t.header({"benchmark", "isa", "ipc", "retire%", "fe-lat%", "fe-bw%",
+              "badspec%", "be-mem%", "be-core%"});
+    for (const auto& r : results) {
+        const JobMetrics& m = r.metrics;
+        std::vector<std::string> row = {
+            r.spec.workload,
+            std::string(1, r.spec.id[r.spec.workload.size() + 1]),
+            fmtDouble(m.ipc(), 3)};
+        for (int cat = 0; cat < kNumStallCats; ++cat) {
+            row.push_back(fmtDouble(
+                pct(counter(m, stallCatCounterName(cat)), m.cycles), 1));
+        }
+        t.row(row);
+    }
+    t.print();
+
+    std::printf("\nClockhands detail (8-fetch):\n");
+    TextTable ch;
+    ch.header({"benchmark", "wr t/u/v/s %", "rd t/u/v/s %", "distWin",
+               "junkRd"});
+    for (const auto& r : results) {
+        if (r.spec.isa != Isa::Clockhands)
+            continue;
+        const JobMetrics& m = r.metrics;
+        uint64_t wr[kNumHands], rd[kNumHands];
+        uint64_t wrTotal = 0, rdTotal = 0;
+        for (int h = 0; h < kNumHands; ++h) {
+            wr[h] = counter(m, std::string("hand.") +
+                                   handName(static_cast<uint8_t>(h)) +
+                                   ".writes");
+            rd[h] = counter(m, std::string("hand.") +
+                                   handName(static_cast<uint8_t>(h)) +
+                                   ".reads");
+            wrTotal += wr[h];
+            rdTotal += rd[h];
+        }
+        auto mix = [&](const uint64_t* v, uint64_t total) {
+            std::string s;
+            for (int h = 0; h < kNumHands; ++h) {
+                if (h)
+                    s += "/";
+                s += fmtDouble(pct(v[h], total), 0);
+            }
+            return s;
+        };
+        ch.row({r.spec.workload, mix(wr, wrTotal), mix(rd, rdTotal),
+                std::to_string(counter(m, "stall.distanceWindow")),
+                std::to_string(counter(m, "read.junkSlots"))});
+    }
+    ch.print();
+
+    benchWriteMetrics(ctx, results);
+    return 0;
+}

@@ -76,9 +76,33 @@ SweepRunner::add(JobSpec spec, JobFn fn)
     return specs_.size() - 1;
 }
 
+namespace {
+
+/** Job id -> safe file-name stem ("coremark/C/8f" -> "coremark_C_8f"). */
+std::string
+sanitizeJobId(const std::string& id)
+{
+    std::string out;
+    out.reserve(id.size());
+    for (char ch : id) {
+        const bool keep = (ch >= 'a' && ch <= 'z') ||
+                          (ch >= 'A' && ch <= 'Z') ||
+                          (ch >= '0' && ch <= '9') || ch == '-' ||
+                          ch == '.';
+        out.push_back(keep ? ch : '_');
+    }
+    return out.empty() ? std::string("job") : out;
+}
+
+} // namespace
+
 size_t
 SweepRunner::addSim(JobSpec spec)
 {
+    if (!opt_.pipeTraceDir.empty() && spec.cfg.pipeTracePath.empty()) {
+        spec.cfg.pipeTracePath =
+            opt_.pipeTraceDir + "/" + sanitizeJobId(spec.id) + ".kanata";
+    }
     return add(std::move(spec), simJob);
 }
 

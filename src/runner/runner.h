@@ -40,6 +40,14 @@ struct RunnerOptions {
 
     /** Prefix for progress lines (usually the bench name). */
     std::string tag = "sweep";
+
+    /**
+     * When non-empty, every addSim() job writes a Kanata pipeline trace
+     * to `<pipeTraceDir>/<sanitized job id>.kanata`. Per-job files keep
+     * parallel sweeps from interleaving one trace stream; tracing never
+     * changes any deterministic metric (docs/OBSERVABILITY.md).
+     */
+    std::string pipeTraceDir;
 };
 
 /** One simulation/analysis job of a sweep. */

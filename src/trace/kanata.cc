@@ -1,0 +1,109 @@
+#include "trace/kanata.h"
+
+#include <utility>
+
+#include "common/logging.h"
+
+namespace ch {
+
+namespace {
+
+/** Kanata fields are tab-separated; labels must not break the framing. */
+std::string
+sanitizeLabel(const std::string& s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s)
+        out += (c == '\t' || c == '\n' || c == '\r') ? ' ' : c;
+    return out;
+}
+
+} // namespace
+
+KanataWriter::KanataWriter(std::ostream& os) : os_(os)
+{
+    os_ << "Kanata\t0004\n";
+}
+
+void
+KanataWriter::emit(uint64_t cycle, std::string line)
+{
+    CH_ASSERT(cycle >= lowWater_, "Kanata event at cycle ", cycle,
+              " recorded after flushBefore(", lowWater_, ")");
+    pending_.emplace(cycle, std::move(line));
+}
+
+void
+KanataWriter::insn(uint64_t id, uint64_t iid, int tid, uint64_t cycle)
+{
+    emit(cycle, concat("I\t", id, "\t", iid, "\t", tid));
+}
+
+void
+KanataWriter::label(uint64_t id, int type, const std::string& text,
+                    uint64_t cycle)
+{
+    emit(cycle, concat("L\t", id, "\t", type, "\t", sanitizeLabel(text)));
+}
+
+void
+KanataWriter::stageStart(uint64_t id, int lane, const char* stage,
+                         uint64_t cycle)
+{
+    emit(cycle, concat("S\t", id, "\t", lane, "\t", stage));
+}
+
+void
+KanataWriter::stageEnd(uint64_t id, int lane, const char* stage,
+                       uint64_t cycle)
+{
+    emit(cycle, concat("E\t", id, "\t", lane, "\t", stage));
+}
+
+void
+KanataWriter::retire(uint64_t id, uint64_t rid, bool flushed,
+                     uint64_t cycle)
+{
+    emit(cycle, concat("R\t", id, "\t", rid, "\t", flushed ? 1 : 0));
+}
+
+void
+KanataWriter::dependency(uint64_t consumer, uint64_t producer, int type,
+                         uint64_t cycle)
+{
+    emit(cycle, concat("W\t", consumer, "\t", producer, "\t", type));
+}
+
+void
+KanataWriter::flushBefore(uint64_t cycle)
+{
+    auto end = pending_.lower_bound(cycle);
+    for (auto it = pending_.begin(); it != end; ++it) {
+        const uint64_t c = it->first;
+        if (!cycleSet_) {
+            os_ << "C=\t" << c << "\n";
+            curCycle_ = c;
+            cycleSet_ = true;
+        } else if (c > curCycle_) {
+            os_ << "C\t" << (c - curCycle_) << "\n";
+            curCycle_ = c;
+        }
+        os_ << it->second << "\n";
+        ++written_;
+    }
+    pending_.erase(pending_.begin(), end);
+    // Remember the low-water mark so late events are caught (emit()).
+    if (cycle > lowWater_)
+        lowWater_ = cycle;
+}
+
+void
+KanataWriter::finish()
+{
+    if (!pending_.empty())
+        flushBefore(pending_.rbegin()->first + 1);
+    os_.flush();
+}
+
+} // namespace ch

@@ -1,0 +1,96 @@
+#ifndef CH_TRACE_KANATA_H
+#define CH_TRACE_KANATA_H
+
+/**
+ * @file
+ * Writer for the Kanata pipeline-trace format (version 0004), the
+ * cycle-by-cycle log emitted by Onikiri2 and rendered by the Konata
+ * viewer. A Kanata file is a header line followed by commands whose
+ * position in the file implies their cycle:
+ *
+ *   Kanata  0004            header + version
+ *   C=      <cycle>         set the absolute start cycle
+ *   C       <n>             advance the current cycle by n
+ *   I       <id> <iid> <tid> begin instruction (simulator id, file-local
+ *                            instruction id, thread id)
+ *   L       <id> <type> <text> label; type 0 = left pane, 1 = hover
+ *   S       <id> <lane> <stage> stage begins at the current cycle
+ *   E       <id> <lane> <stage> stage ends at the current cycle
+ *   R       <id> <rid> <type>   retire; type 0 = commit, 1 = flush
+ *   W       <cons> <prod> <type> dependency edge (0 = data wakeup)
+ *
+ * Our timing model computes each instruction's full stage schedule at
+ * once instead of stepping cycles, so events arrive out of cycle order
+ * (instruction N's commit is recorded before instruction N+1's fetch).
+ * KanataWriter therefore takes an absolute cycle with every event,
+ * buffers, and serializes in cycle order; flushBefore() lets the caller
+ * bound the buffer once a low-water cycle is known to be final.
+ */
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+
+namespace ch {
+
+/** Buffering, reordering emitter of Kanata 0004 command streams. */
+class KanataWriter
+{
+  public:
+    /** Write the header; the stream must outlive the writer. */
+    explicit KanataWriter(std::ostream& os);
+
+    /** Begin instruction @p id (file id @p iid, thread @p tid). */
+    void insn(uint64_t id, uint64_t iid, int tid, uint64_t cycle);
+
+    /** Attach a label; type 0 = left pane text, 1 = hover detail. */
+    void label(uint64_t id, int type, const std::string& text,
+               uint64_t cycle);
+
+    /** Stage @p stage of @p id begins at @p cycle on @p lane. */
+    void stageStart(uint64_t id, int lane, const char* stage,
+                    uint64_t cycle);
+
+    /** Stage @p stage of @p id ends at @p cycle on @p lane. */
+    void stageEnd(uint64_t id, int lane, const char* stage,
+                  uint64_t cycle);
+
+    /** Retire (@p flushed false) or squash (@p flushed true) @p id. */
+    void retire(uint64_t id, uint64_t rid, bool flushed, uint64_t cycle);
+
+    /** Dependency edge @p producer -> @p consumer (type 0 = wakeup). */
+    void dependency(uint64_t consumer, uint64_t producer, int type,
+                    uint64_t cycle);
+
+    /**
+     * Emit every buffered event with cycle < @p cycle. Call once no
+     * future event can precede @p cycle (e.g. the current fetch cycle:
+     * fetch is monotone and every later pipeline event is later still).
+     */
+    void flushBefore(uint64_t cycle);
+
+    /** Drain the buffer completely; call once at end of run. */
+    void finish();
+
+    /** Buffered (not yet written) event count, for tests. */
+    size_t pendingEvents() const { return pending_.size(); }
+
+    /** Events written so far (excludes C/C= bookkeeping lines). */
+    uint64_t writtenEvents() const { return written_; }
+
+  private:
+    void emit(uint64_t cycle, std::string line);
+
+    std::ostream& os_;
+    /** cycle -> command line; equal cycles keep insertion order. */
+    std::multimap<uint64_t, std::string> pending_;
+    uint64_t curCycle_ = 0;
+    uint64_t lowWater_ = 0;   ///< events below this cycle were flushed
+    uint64_t written_ = 0;
+    bool cycleSet_ = false;
+};
+
+} // namespace ch
+
+#endif // CH_TRACE_KANATA_H

@@ -10,6 +10,7 @@
  */
 
 #include <cstdint>
+#include <string>
 
 #include "isa/isa.h"
 
@@ -116,6 +117,14 @@ struct MachineConfig {
     int latStoreAgu = 1;
     int latForward = 2;       ///< store-to-load forwarding
     int replayPenalty = 8;    ///< memory-order violation replay
+
+    /**
+     * Kanata pipeline-trace output file; empty disables tracing (the
+     * CH_PIPE_TRACE environment variable is the fallback when empty).
+     * Tracing never changes cycles or any statistic — see
+     * docs/OBSERVABILITY.md.
+     */
+    std::string pipeTracePath;
 
     /** Table 2 preset by fetch width (4, 6, 8, 12, 16). */
     static MachineConfig preset(int fetchWidth);

@@ -2,6 +2,7 @@
 
 #include "common/bitutil.h"
 #include "common/logging.h"
+#include "uarch/pipe_trace.h"
 
 namespace ch {
 
@@ -17,6 +18,14 @@ pow2At(size_t n)
     return p;
 }
 
+/** Per-hand counter names, indexed by Hand (avoids hot-path concat). */
+constexpr const char* kHandWriteCounter[kNumHands] = {
+    "hand.t.writes", "hand.u.writes", "hand.v.writes", "hand.s.writes",
+};
+constexpr const char* kHandReadCounter[kNumHands] = {
+    "hand.t.reads", "hand.u.reads", "hand.v.reads", "hand.s.reads",
+};
+
 } // namespace
 
 CycleSim::CycleSim(const MachineConfig& cfg, Isa isa)
@@ -28,7 +37,9 @@ CycleSim::CycleSim(const MachineConfig& cfg, Isa isa)
       storeSets_(cfg.ssitEntries, cfg.lfstEntries),
       readyForUse_(pow2At(cfg.robSize * 2)),
       complete_(pow2At(cfg.robSize * 2)),
-      commit_(pow2At(cfg.robSize * 2))
+      commit_(pow2At(cfg.robSize * 2)),
+      resultFromMiss_(pow2At(cfg.robSize * 2)),
+      producedValue_(pow2At(cfg.robSize * 2))
 {
 }
 
@@ -98,11 +109,14 @@ CycleSim::arbitrate(int pool, int limit, uint64_t from)
 uint64_t
 CycleSim::stageFetch(const DynInst& di)
 {
+    curIcacheDelayed_ = false;
+
     // Respect redirects (squashes) and per-cycle fetch bandwidth.
     if (fetchCycle_ < redirectAt_) {
         fetchCycle_ = redirectAt_;
         fetchedThisCycle_ = 0;
         lastFetchLine_ = ~0ull;
+        lastRedirect_ = redirectAt_;
     }
     if (fetchedThisCycle_ >= cfg_.fetchWidth) {
         ++fetchCycle_;
@@ -116,11 +130,17 @@ CycleSim::stageFetch(const DynInst& di)
         if (lat > cfg_.l1iLatency) {
             fetchCycle_ += lat - cfg_.l1iLatency;
             fetchedThisCycle_ = 0;
+            curIcacheDelayed_ = true;
         }
         lastFetchLine_ = line;
     }
 
     const uint64_t cycle = fetchCycle_;
+    // The whole refill group after a squash is speculation-delayed; the
+    // I-cache flag wins only when the miss pushed fetch past the refill.
+    curSquashDelayed_ = cycle == lastRedirect_ && lastRedirect_ != 0;
+    if (curSquashDelayed_)
+        curIcacheDelayed_ = false;
     ++fetchedThisCycle_;
     ++stats_.counter("fetch.insts");
 
@@ -142,13 +162,20 @@ CycleSim::stageDispatch(const DynInst& di, uint64_t fetchCycle)
         c = lastDispatch_;  // in-order dispatch
 
     // ROB slot: the (seq - R)-th instruction must have committed.
+    uint64_t coreDelay = 0;
     if (seq_ >= static_cast<uint64_t>(cfg_.robSize)) {
         const uint64_t freer = commit_.get(seq_ - cfg_.robSize) + 1;
-        if (c < freer)
+        if (c < freer) {
+            coreDelay += freer - c;
             c = freer;
+        }
     }
 
-    auto queueConstraint = [&](MinHeap& q, int cap) {
+    // Each constraint reports how far it pushed dispatch, so the stall
+    // accounting can tell memory-side pressure (LQ/SQ) from core-side
+    // pressure (ROB/IQ) and register-window pressure apart.
+    auto queueConstraint = [&](MinHeap& q, int cap) -> uint64_t {
+        const uint64_t before = c;
         while (!q.empty() && q.top() <= c)
             q.pop();
         while (static_cast<int>(q.size()) >= cap) {
@@ -156,39 +183,50 @@ CycleSim::stageDispatch(const DynInst& di, uint64_t fetchCycle)
                 c = q.top();
             q.pop();
         }
+        return c - before;
     };
 
     // Scheduler entry (freed at issue).
-    queueConstraint(iq_, cfg_.schedSize);
+    coreDelay += queueConstraint(iq_, cfg_.schedSize);
     // LSQ entries (freed at commit).
+    uint64_t memDelay = 0;
     if (info.isLoad())
-        queueConstraint(loadQ_, cfg_.loadQueue);
+        memDelay += queueConstraint(loadQ_, cfg_.loadQueue);
     if (info.isStore())
-        queueConstraint(storeQ_, cfg_.storeQueue);
+        memDelay += queueConstraint(storeQ_, cfg_.storeQueue);
 
     // Physical register allocation.
+    uint64_t regDelay = 0;
     const bool allocates =
         isa_ == Isa::Straight ? true : info.hasDst;
     if (allocates) {
         switch (isa_) {
           case Isa::Riscv:
             // Free list: PRF (= R) minus the 64 architectural mappings.
-            queueConstraint(physRegs_, cfg_.physRegsRisc() - 64);
+            regDelay = queueConstraint(physRegs_, cfg_.physRegsRisc() - 64);
+            if (regDelay)
+                stats_.counter("stall.freeList") += regDelay;
             ++stats_.counter("rename.dstWrites");
             break;
           case Isa::Straight:
             // Ring wraparound: stall within maxdist of the oldest RP.
-            queueConstraint(ringRegs_,
-                            cfg_.physRegsRenameFree() - 128);
+            regDelay = queueConstraint(ringRegs_,
+                                       cfg_.physRegsRenameFree() - 128);
+            if (regDelay)
+                stats_.counter("stall.distanceWindow") += regDelay;
             ++stats_.counter("rename.dstWrites");
             break;
           case Isa::Clockhands:
-            queueConstraint(handRegs_[di.dst],
-                            cfg_.handQuota(di.dst) - kHandDepth);
+            regDelay = queueConstraint(handRegs_[di.dst],
+                                       cfg_.handQuota(di.dst) - kHandDepth);
+            if (regDelay)
+                stats_.counter("stall.distanceWindow") += regDelay;
             ++stats_.counter("rename.dstWrites");
+            ++stats_.counter(kHandWriteCounter[di.dst]);
             break;
         }
     }
+    curDispatchMem_ = memDelay > coreDelay + regDelay;
     lastDispatch_ = c;
     ++stats_.counter("dispatch.insts");
     if (info.isBranch())
@@ -274,15 +312,20 @@ CycleSim::onInst(const DynInst& di)
     const uint64_t fetchCycle = stageFetch(di);
     const uint64_t dispatch = stageDispatch(di, fetchCycle);
 
-    // Operand readiness via producer timestamps.
+    // Operand readiness via producer timestamps. Remember whether the
+    // binding (latest) producer was itself delayed by a D$ miss, so the
+    // stall accountant can attribute the operand wait to memory.
     uint64_t ready = dispatch + 1;
+    bool waitMem = false;
     auto needProducer = [&](uint64_t prod) {
         if (prod == kNoProducer)
             return;
         if (seq_ - prod < readyForUse_.mask) {
             const uint64_t r = readyForUse_.get(prod);
-            if (r > ready)
+            if (r > ready) {
                 ready = r;
+                waitMem = resultFromMiss_.get(prod) != 0;
+            }
         }
         ++stats_.counter("iq.wakeups");
     };
@@ -291,6 +334,36 @@ CycleSim::onInst(const DynInst& di)
     if (info.numSrcs >= 2)
         needProducer(di.prod2);
     stats_.counter("rf.reads") += info.numSrcs;
+
+    // Read-quality counters for the rename-free ISAs: which hand each
+    // Clockhands read targets, and how many reads hit "junk" slots —
+    // ring slots whose writer carried no real value (STRAIGHT allocates
+    // a slot for every instruction) or slots never written at all. The
+    // architectural zero and SP encodings are not junk by definition
+    // (Clockhands folds both into the s hand: s[15] is zero and the
+    // initial SP is pre-written into s[0] with no dynamic producer).
+    if (isa_ != Isa::Riscv) {
+        auto classifyRead = [&](uint64_t prod, uint8_t hand, uint8_t enc) {
+            if (isa_ == Isa::Clockhands && hand < kNumHands)
+                ++stats_.counter(kHandReadCounter[hand]);
+            bool junk = false;
+            if (prod == kNoProducer) {
+                if (isa_ == Isa::Clockhands)
+                    junk = hand != HandS;
+                else
+                    junk = enc != kStraightZeroDist &&
+                           enc != kStraightSpBase;
+            } else if (seq_ - prod < producedValue_.mask) {
+                junk = producedValue_.get(prod) == 0;
+            }
+            if (junk)
+                ++stats_.counter("read.junkSlots");
+        };
+        if (info.numSrcs >= 1)
+            classifyRead(di.prod1, di.src1Hand, di.src1);
+        if (info.numSrcs >= 2)
+            classifyRead(di.prod2, di.src2Hand, di.src2);
+    }
 
     // Store-set dependence prediction: a load predicted dependent waits
     // for the youngest in-flight store of its set.
@@ -324,6 +397,7 @@ CycleSim::onInst(const DynInst& di)
 
     // Execute.
     uint64_t resultAt = issue + fuLatency(info.cls);
+    bool execMem = false;
     if (info.isLoad()) {
         ++stats_.counter("lsq.searches");
         // Search older in-flight stores for an overlap.
@@ -349,13 +423,18 @@ CycleSim::onInst(const DynInst& di)
             violator = match;
             resultAt = match->dataReady + cfg_.latForward +
                        cfg_.replayPenalty;
+            execMem = true;
             ++stats_.counter("lsq.violations");
             storeSets_.train(di.pc, match->pc);
         } else {
-            resultAt = issue + 1 + mem_.dataAccess(di.memAddr, false);
+            const int dlat = mem_.dataAccess(di.memAddr, false);
+            resultAt = issue + 1 + dlat;
+            execMem = dlat > cfg_.l1dLatency;
         }
         (void)violator;
     }
+    if (predictedWait > dispatch + 1 && predictedWait >= ready)
+        waitMem = true;  // store-set wait bound the issue cycle
 
     const uint64_t readyForUse = resultAt;
     const uint64_t complete = resultAt + cfg_.issueLatency;
@@ -375,10 +454,31 @@ CycleSim::onInst(const DynInst& di)
     readyForUse_.set(seq_, readyForUse);
     complete_.set(seq_, complete);
     commit_.set(seq_, commit);
+    resultFromMiss_.set(seq_, (execMem || waitMem) ? 1 : 0);
+    producedValue_.set(seq_, info.hasDst ? 1 : 0);
     lastCommit_ = commit;
     ++stats_.counter("rob.commits");
     if (info.hasDst)
         ++stats_.counter("rf.writes");
+
+    // Per-cycle stall attribution (docs/OBSERVABILITY.md).
+    StallCauses sc;
+    sc.frontEntry = fetchCycle + cfg_.frontendDepth(isa_);
+    sc.dispatch = dispatch;
+    sc.issue = issue;
+    sc.result = resultAt;
+    sc.squashDelayed = curSquashDelayed_;
+    sc.icacheDelayed = curIcacheDelayed_;
+    sc.dispatchMem = curDispatchMem_;
+    sc.waitMem = waitMem;
+    sc.execMem = execMem;
+    stalls_.onCommit(commit, sc);
+
+    if (tracer_) {
+        tracer_->onTimedInst(
+            di, PipeTimes{fetchCycle, dispatch, issue, resultAt,
+                          complete, commit});
+    }
 
     // Structure departures.
     if (info.isLoad())
@@ -419,6 +519,9 @@ CycleSim::finish()
 {
     stats_.counter("sim.cycles").set(lastCommit_);
     stats_.counter("sim.insts").set(seq_);
+    stalls_.exportInto(stats_);
+    CH_ASSERT(stalls_.total() == lastCommit_,
+              "stall categories must sum to total cycles");
     return lastCommit_;
 }
 

@@ -22,7 +22,12 @@
  *  - in-order commit bounded by the commit width.
  *
  * Every event of interest increments a named counter in the StatGroup;
- * the energy model (src/energy) consumes those counts.
+ * the energy model (src/energy) consumes those counts. Two observability
+ * layers ride on top (docs/OBSERVABILITY.md): a StallAccountant that
+ * attributes every simulated cycle to one top-down category (the six
+ * stall.* counters sum exactly to sim.cycles), and an optional
+ * PipeTracer that writes a Kanata log for the Konata viewer — a single
+ * null check per instruction when disabled.
  */
 
 #include <cstdint>
@@ -36,9 +41,12 @@
 #include "uarch/branch_pred.h"
 #include "uarch/cache.h"
 #include "uarch/config.h"
+#include "uarch/stall_account.h"
 #include "uarch/storeset.h"
 
 namespace ch {
+
+class PipeTracer;
 
 /** Per-cycle resource usage counters over a sliding window. */
 class CycleCounts
@@ -93,6 +101,16 @@ class CycleSim : public TraceSink
     const StatGroup& stats() const { return stats_; }
     StatGroup& stats() { return stats_; }
 
+    /**
+     * Attach a (non-owned) Kanata pipeline tracer; nullptr detaches.
+     * Tracing only observes the computed timestamps — enabling it never
+     * changes cycles or any deterministic statistic.
+     */
+    void setPipeTracer(PipeTracer* tracer) { tracer_ = tracer; }
+
+    /** The per-cycle stall attribution accumulated so far. */
+    const StallAccountant& stallAccount() const { return stalls_; }
+
   private:
     struct RingU64 {
         explicit RingU64(size_t n) : mask(n - 1), data(n, 0) {}
@@ -138,12 +156,23 @@ class CycleSim : public TraceSink
     int fetchedThisCycle_ = 0;
     uint64_t lastFetchLine_ = ~0ull;
     uint64_t redirectAt_ = 0;  ///< earliest fetch cycle after a squash
+    uint64_t lastRedirect_ = 0;  ///< fetch cycle of the last squash refill
 
     // Per-instruction timestamp rings.
     uint64_t seq_ = 0;
     RingU64 readyForUse_;   ///< producer result usable by consumers
     RingU64 complete_;      ///< fully complete (commit-eligible)
     RingU64 commit_;
+    RingU64 resultFromMiss_;  ///< 1 if the result waited on a D$ miss
+    RingU64 producedValue_;   ///< 1 if the producer wrote a real value
+
+    // Observability (docs/OBSERVABILITY.md).
+    PipeTracer* tracer_ = nullptr;
+    StallAccountant stalls_;
+    // Per-instruction stall causes, filled by the stage helpers.
+    bool curSquashDelayed_ = false;   ///< fetch waited on a redirect
+    bool curIcacheDelayed_ = false;   ///< fetch waited on an I$ miss
+    bool curDispatchMem_ = false;     ///< dispatch stall dominated by LSQ
 
     uint64_t lastCommit_ = 0;
     uint64_t lastDispatch_ = 0;

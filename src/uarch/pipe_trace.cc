@@ -1,0 +1,102 @@
+#include "uarch/pipe_trace.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+#include "common/logging.h"
+#include "isa/encoding.h"
+
+namespace ch {
+
+namespace {
+
+std::string
+hexPc(uint64_t pc)
+{
+    char buf[24];
+    std::snprintf(buf, sizeof(buf), "%06" PRIx64, pc);
+    return buf;
+}
+
+/** Rebuild the static instruction record for disassembly. */
+Inst
+staticInst(const DynInst& di)
+{
+    Inst inst;
+    inst.op = di.op;
+    inst.dst = di.dst;
+    inst.src1 = di.src1;
+    inst.src2 = di.src2;
+    inst.src1Hand = di.src1Hand;
+    inst.src2Hand = di.src2Hand;
+    inst.imm = di.imm;
+    return inst;
+}
+
+} // namespace
+
+PipeTracer::PipeTracer(std::ostream& os, Isa isa,
+                       const MachineConfig& cfg)
+    : writer_(os), isa_(isa),
+      renameStages_(cfg.frontendDepth(isa) - 5)
+{
+}
+
+void
+PipeTracer::onTimedInst(const DynInst& di, const PipeTimes& t)
+{
+    const uint64_t id = di.seq;
+    const uint64_t f = t.fetch;
+
+    writer_.insn(id, di.seq, 0, f);
+    writer_.label(id, 0,
+                  hexPc(di.pc) + ": " + disassemble(isa_, staticInst(di)),
+                  f);
+    writer_.label(id, 1,
+                  concat("seq=", di.seq, " prod1=",
+                         static_cast<int64_t>(di.prod1), " prod2=",
+                         static_cast<int64_t>(di.prod2),
+                         di.info().isMem()
+                             ? concat(" addr=0x", hexPc(di.memAddr))
+                             : std::string()),
+                  f);
+
+    // Front end: F(3) + Dc(1) [+ Rn for conventional RISC], then Ds
+    // stretches until the actual dispatch cycle absorbs the stall.
+    writer_.stageStart(id, 0, "F", f);
+    writer_.stageStart(id, 0, "Dc", f + 3);
+    uint64_t dsStart = f + 4;
+    if (renameStages_ > 0) {
+        writer_.stageStart(id, 0, "Rn", f + 4);
+        dsStart = f + 4 + renameStages_;
+    }
+    writer_.stageStart(id, 0, "Ds", dsStart);
+    writer_.stageStart(id, 0, "Is", t.dispatch + 1);
+    writer_.stageStart(id, 0, "Ex", t.issue + 1);
+    writer_.stageStart(id, 0, "Wb", t.result + 1);
+    writer_.stageStart(id, 0, "Cm", t.complete + 1);
+    writer_.stageEnd(id, 0, "Cm", t.commit + 1);
+    writer_.retire(id, di.seq, /*flushed=*/false, t.commit + 1);
+
+    const OpInfo& info = di.info();
+    if (info.numSrcs >= 1 && di.prod1 != kNoProducer)
+        writer_.dependency(id, di.prod1, 0, t.dispatch + 1);
+    if (info.numSrcs >= 2 && di.prod2 != kNoProducer &&
+        di.prod2 != di.prod1) {
+        writer_.dependency(id, di.prod2, 0, t.dispatch + 1);
+    }
+
+    ++traced_;
+    // Fetch cycles are monotone and every other pipeline event of a
+    // later instruction is later still, so events before this fetch
+    // cycle are final: stream them out to bound the buffer.
+    writer_.flushBefore(f);
+}
+
+void
+PipeTracer::finish()
+{
+    writer_.finish();
+}
+
+} // namespace ch

@@ -1,0 +1,67 @@
+#ifndef CH_UARCH_PIPE_TRACE_H
+#define CH_UARCH_PIPE_TRACE_H
+
+/**
+ * @file
+ * Per-instruction pipeline tracing for the cycle-level model, emitted in
+ * the Kanata format so traces load directly in the Konata viewer (see
+ * docs/OBSERVABILITY.md for usage). The core computes each committed
+ * instruction's full stage schedule in one onInst() pass; PipeTracer
+ * maps those timestamps onto Kanata stage intervals:
+ *
+ *   F  fetch (3 cycles)          Is scheduler wait
+ *   Dc decode (1 cycle)          Ex execute
+ *   Rn rename (RISC only)        Wb writeback / payload pipeline
+ *   Ds dispatch (stretches       Cm commit wait, ends at retirement
+ *      while stalled)
+ *
+ * The tracer is attached with CycleSim::setPipeTracer() and costs
+ * nothing when absent (a single null check per instruction). The model
+ * times the committed path only, so every traced instruction retires;
+ * Kanata's flush records (R type 1) never appear.
+ */
+
+#include <cstdint>
+#include <ostream>
+
+#include "trace/dyninst.h"
+#include "trace/kanata.h"
+#include "uarch/config.h"
+
+namespace ch {
+
+/** Stage timestamps the core hands over per committed instruction. */
+struct PipeTimes {
+    uint64_t fetch = 0;     ///< first fetch cycle
+    uint64_t dispatch = 0;  ///< entered the scheduler
+    uint64_t issue = 0;     ///< selected for execution
+    uint64_t result = 0;    ///< result available to consumers
+    uint64_t complete = 0;  ///< commit-eligible
+    uint64_t commit = 0;    ///< retired
+};
+
+/** Streams one Kanata record per committed instruction. */
+class PipeTracer
+{
+  public:
+    /** Trace to @p os; @p cfg/@p isa fix the front-end stage split. */
+    PipeTracer(std::ostream& os, Isa isa, const MachineConfig& cfg);
+
+    /** Record one committed instruction's schedule. */
+    void onTimedInst(const DynInst& di, const PipeTimes& t);
+
+    /** Drain buffered events; call once after the run. */
+    void finish();
+
+    uint64_t tracedInsts() const { return traced_; }
+
+  private:
+    KanataWriter writer_;
+    Isa isa_;
+    int renameStages_;      ///< front-end depth beyond the 5-cycle base
+    uint64_t traced_ = 0;
+};
+
+} // namespace ch
+
+#endif // CH_UARCH_PIPE_TRACE_H

@@ -1,14 +1,50 @@
 #include "uarch/sim.h"
 
+#include <cstdlib>
+#include <fstream>
+#include <memory>
+#include <string>
+
+#include "common/logging.h"
+#include "uarch/pipe_trace.h"
+
 namespace ch {
+
+namespace {
+
+/** Resolve the trace path: config first, CH_PIPE_TRACE as fallback. */
+std::string
+tracePathFor(const MachineConfig& cfg)
+{
+    if (!cfg.pipeTracePath.empty())
+        return cfg.pipeTracePath;
+    const char* env = std::getenv("CH_PIPE_TRACE");
+    return env ? std::string(env) : std::string();
+}
+
+} // namespace
 
 SimResult
 simulate(const Program& prog, const MachineConfig& cfg, uint64_t maxInsts)
 {
     CycleSim core(cfg, prog.isa);
+
+    std::ofstream traceFile;
+    std::unique_ptr<PipeTracer> tracer;
+    const std::string tracePath = tracePathFor(cfg);
+    if (!tracePath.empty()) {
+        traceFile.open(tracePath, std::ios::binary);
+        if (!traceFile.is_open())
+            fatal("cannot open pipe-trace file: ", tracePath);
+        tracer = std::make_unique<PipeTracer>(traceFile, prog.isa, cfg);
+        core.setPipeTracer(tracer.get());
+    }
+
     Emulator emu(prog);
     RunResult run = emu.run(maxInsts, &core);
     core.finish();
+    if (tracer)
+        tracer->finish();
 
     SimResult res;
     res.cycles = core.cycles();

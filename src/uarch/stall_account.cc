@@ -1,0 +1,73 @@
+#include "uarch/stall_account.h"
+
+#include <algorithm>
+
+namespace ch {
+
+const char*
+stallCatCounterName(int cat)
+{
+    switch (static_cast<StallCat>(cat)) {
+      case StallCat::Retiring: return "stall.retiring";
+      case StallCat::FrontendLatency: return "stall.frontendLatency";
+      case StallCat::FrontendBandwidth: return "stall.frontendBandwidth";
+      case StallCat::BadSpeculation: return "stall.badSpeculation";
+      case StallCat::BackendMemory: return "stall.backendMemory";
+      case StallCat::BackendCore: return "stall.backendCore";
+    }
+    return "stall.unknown";
+}
+
+void
+StallAccountant::onCommit(uint64_t commit, const StallCauses& c)
+{
+    if (commit <= accounted_)
+        return;  // later commit in a same-cycle group
+
+    // Gap cycles are [accounted_+1, commit-1]; the commit cycle itself
+    // is retiring. Consume the gap region by region — the boundaries are
+    // ordered (frontEntry <= dispatch < issue+1 <= result+1 <= commit),
+    // so each cycle lands in exactly one category and the sum of all
+    // additions is exactly commit - accounted_.
+    uint64_t lo = accounted_ + 1;
+    auto seg = [&](uint64_t bound, StallCat cat) {
+        const uint64_t end = std::min(bound, commit);
+        if (lo < end) {
+            cats_[static_cast<int>(cat)] += end - lo;
+            lo = end;
+        }
+    };
+    const StallCat frontCat = c.squashDelayed ? StallCat::BadSpeculation
+                              : c.icacheDelayed
+                                  ? StallCat::FrontendLatency
+                                  : StallCat::FrontendBandwidth;
+    seg(c.frontEntry, frontCat);
+    seg(c.dispatch, c.dispatchMem ? StallCat::BackendMemory
+                                  : StallCat::BackendCore);
+    seg(c.issue + 1, c.waitMem ? StallCat::BackendMemory
+                               : StallCat::BackendCore);
+    seg(c.result + 1, c.execMem ? StallCat::BackendMemory
+                                : StallCat::BackendCore);
+    seg(commit, StallCat::BackendCore);  // writeback/commit drain
+
+    cats_[static_cast<int>(StallCat::Retiring)] += 1;
+    accounted_ = commit;
+}
+
+uint64_t
+StallAccountant::total() const
+{
+    uint64_t sum = 0;
+    for (uint64_t v : cats_)
+        sum += v;
+    return sum;
+}
+
+void
+StallAccountant::exportInto(StatGroup& stats) const
+{
+    for (int i = 0; i < kNumStallCats; ++i)
+        stats.counter(stallCatCounterName(i)).set(cats_[i]);
+}
+
+} // namespace ch

@@ -1,0 +1,89 @@
+#ifndef CH_UARCH_STALL_ACCOUNT_H
+#define CH_UARCH_STALL_ACCOUNT_H
+
+/**
+ * @file
+ * Top-down-style stall-cycle attribution for the commit-ordered timing
+ * model. Every simulated cycle is attributed to exactly one category, so
+ * the six counters sum to the run's total cycles — the invariant
+ * tests/pipetrace_test.cc enforces across all (workload x ISA) pairs.
+ *
+ * The model commits in order, so at any cycle with no commit the oldest
+ * uncommitted instruction is the one that eventually ends the gap. Each
+ * gap cycle is classified by where that instruction was at the time
+ * (still in the front end, stalled at dispatch, waiting for operands,
+ * executing, draining the writeback pipeline) and by why that region was
+ * slow (squash refill, I-cache miss, fetch bandwidth, memory vs core
+ * resources). Cycles with at least one commit count as retiring.
+ *
+ * Category definitions and the classification walk-through live in
+ * docs/OBSERVABILITY.md.
+ */
+
+#include <array>
+#include <cstdint>
+
+#include "common/stats.h"
+
+namespace ch {
+
+/** Where a simulated cycle went. */
+enum class StallCat : int {
+    Retiring = 0,        ///< >= 1 instruction committed this cycle
+    FrontendLatency,     ///< front-end empty: I-cache miss refill
+    FrontendBandwidth,   ///< front-end empty: fetch width / taken-branch
+    BadSpeculation,      ///< front-end empty: squash redirect refill
+    BackendMemory,       ///< waiting on D-cache misses, LSQ, replays
+    BackendCore,         ///< waiting on FUs, dependencies, core queues
+};
+
+constexpr int kNumStallCats = 6;
+
+/** Counter name for each category ("stall.retiring", ...). */
+const char* stallCatCounterName(int cat);
+
+/** Per-instruction cause record handed to onCommit(). */
+struct StallCauses {
+    uint64_t frontEntry = 0;  ///< fetch + frontendDepth: earliest dispatch
+    uint64_t dispatch = 0;    ///< actual dispatch cycle
+    uint64_t issue = 0;       ///< issue (FU selection) cycle
+    uint64_t result = 0;      ///< execution result cycle
+
+    bool squashDelayed = false;  ///< fetch waited on a squash redirect
+    bool icacheDelayed = false;  ///< fetch waited on an I-cache miss
+    bool dispatchMem = false;    ///< dominant dispatch stall was LQ/SQ
+    bool waitMem = false;        ///< dominant operand wait was a memory op
+    bool execMem = false;        ///< result latency came from a D$ miss
+};
+
+/** Accumulates the attribution; drive with commit cycles in order. */
+class StallAccountant
+{
+  public:
+    /**
+     * Account all cycles up to and including @p commit. Commit cycles
+     * must arrive in non-decreasing order (the model commits in order);
+     * a repeat of the previous cycle (same-cycle commit group) adds
+     * nothing, keeping cycles counted exactly once.
+     */
+    void onCommit(uint64_t commit, const StallCauses& c);
+
+    /** Write the six counters into @p stats. */
+    void exportInto(StatGroup& stats) const;
+
+    /** Sum over all categories (== cycles accounted so far). */
+    uint64_t total() const;
+
+    uint64_t category(StallCat cat) const
+    {
+        return cats_[static_cast<int>(cat)];
+    }
+
+  private:
+    uint64_t accounted_ = 0;   ///< cycles 1..accounted_ are attributed
+    std::array<uint64_t, kNumStallCats> cats_{};
+};
+
+} // namespace ch
+
+#endif // CH_UARCH_STALL_ACCOUNT_H

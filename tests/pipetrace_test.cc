@@ -1,0 +1,394 @@
+/**
+ * @file
+ * Observability-layer suite (`ctest -L pipetrace`): the Kanata trace
+ * writer and PipeTracer output are well-formed and cycle-monotonic, the
+ * stall accountant's six categories sum exactly to sim.cycles on every
+ * (workload x ISA) pair, and tracing is invisible to the deterministic
+ * metrics (byte-identical JSON with tracing on and off).
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "runner/metrics.h"
+#include "runner/runner.h"
+#include "trace/kanata.h"
+#include "uarch/sim.h"
+#include "uarch/stall_account.h"
+#include "workloads/workloads.h"
+
+namespace ch {
+namespace {
+
+/** Keep per-test sim time reasonable on one core. */
+constexpr uint64_t kCap = 200'000;
+
+const Isa kIsas[] = {Isa::Riscv, Isa::Straight, Isa::Clockhands};
+
+// ---------------------------------------------------------------------
+// KanataWriter: ordering, buffering, format.
+// ---------------------------------------------------------------------
+
+std::vector<std::string>
+lines(const std::string& text)
+{
+    std::vector<std::string> out;
+    std::istringstream is(text);
+    std::string line;
+    while (std::getline(is, line))
+        out.push_back(line);
+    return out;
+}
+
+TEST(KanataWriter, HeaderAndCycleBookkeeping)
+{
+    std::ostringstream os;
+    KanataWriter w(os);
+    w.insn(0, 0, 0, /*cycle=*/5);
+    w.stageStart(0, 0, "F", 5);
+    w.retire(0, 0, false, 9);
+    w.finish();
+
+    const auto ls = lines(os.str());
+    ASSERT_GE(ls.size(), 5u);
+    EXPECT_EQ(ls[0], "Kanata\t0004");
+    EXPECT_EQ(ls[1], "C=\t5");
+    EXPECT_EQ(ls[2], "I\t0\t0\t0");
+    EXPECT_EQ(ls[3], "S\t0\t0\tF");
+    EXPECT_EQ(ls[4], "C\t4");
+    EXPECT_EQ(ls[5], "R\t0\t0\t0");
+}
+
+TEST(KanataWriter, ReordersOutOfOrderEvents)
+{
+    // The timing model records instruction N's commit before N+1's
+    // fetch; the writer must serialize by cycle regardless.
+    std::ostringstream os;
+    KanataWriter w(os);
+    w.insn(0, 0, 0, 1);
+    w.retire(0, 0, false, 10);
+    w.insn(1, 1, 0, 2);
+    w.retire(1, 1, false, 8);
+    w.finish();
+
+    const auto ls = lines(os.str());
+    std::vector<std::string> events;
+    for (const auto& l : ls) {
+        if (l[0] == 'I' || l[0] == 'R')
+            events.push_back(l);
+    }
+    ASSERT_EQ(events.size(), 4u);
+    EXPECT_EQ(events[0][0], 'I');  // id 0 at cycle 1
+    EXPECT_EQ(events[1][0], 'I');  // id 1 at cycle 2
+    EXPECT_EQ(events[2], "R\t1\t1\t0");  // cycle 8 before cycle 10
+    EXPECT_EQ(events[3], "R\t0\t0\t0");
+}
+
+TEST(KanataWriter, FlushBeforeBoundsTheBuffer)
+{
+    std::ostringstream os;
+    KanataWriter w(os);
+    w.insn(0, 0, 0, 1);
+    w.retire(0, 0, false, 100);
+    EXPECT_EQ(w.pendingEvents(), 2u);
+    w.flushBefore(50);
+    EXPECT_EQ(w.pendingEvents(), 1u);  // only the retire remains
+    EXPECT_EQ(w.writtenEvents(), 1u);
+    w.finish();
+    EXPECT_EQ(w.pendingEvents(), 0u);
+    EXPECT_EQ(w.writtenEvents(), 2u);
+}
+
+TEST(KanataWriter, LabelsAreSanitized)
+{
+    std::ostringstream os;
+    KanataWriter w(os);
+    w.insn(0, 0, 0, 1);
+    w.label(0, 0, "add\tx1,\nx2", 1);
+    w.finish();
+    for (const auto& l : lines(os.str())) {
+        if (l[0] != 'L')
+            continue;
+        // Exactly the three command tabs; none from the label text.
+        EXPECT_EQ(std::count(l.begin(), l.end(), '\t'), 3);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Kanata trace parser (the checks Konata relies on).
+// ---------------------------------------------------------------------
+
+struct TraceCheck {
+    uint64_t insns = 0;
+    uint64_t retires = 0;
+    uint64_t flushes = 0;
+    uint64_t stageStarts = 0;
+};
+
+/** Parse @p path into @p tc, failing the test on any malformed line. */
+void
+parseKanataInto(const std::string& path, TraceCheck& tc)
+{
+    std::ifstream is(path);
+    ASSERT_TRUE(is.is_open()) << path;
+
+    std::string line;
+    ASSERT_TRUE(static_cast<bool>(std::getline(is, line)));
+    EXPECT_EQ(line, "Kanata\t0004");
+
+    bool cycleSet = false;
+    std::set<uint64_t> live;     ///< declared and not yet retired
+    std::set<uint64_t> retired;
+    size_t lineNo = 1;
+    while (std::getline(is, line)) {
+        ++lineNo;
+        SCOPED_TRACE(path + ":" + std::to_string(lineNo) + ": " + line);
+        std::vector<std::string> f;
+        size_t pos = 0;
+        while (true) {
+            const size_t tab = line.find('\t', pos);
+            f.push_back(line.substr(pos, tab - pos));
+            if (tab == std::string::npos)
+                break;
+            pos = tab + 1;
+        }
+        ASSERT_FALSE(f.empty());
+        const std::string& cmd = f[0];
+        auto num = [&](size_t i) {
+            return static_cast<uint64_t>(std::stoull(f.at(i)));
+        };
+        if (cmd == "C=") {
+            ASSERT_EQ(f.size(), 2u);
+            EXPECT_FALSE(cycleSet) << "C= must appear once, first";
+            cycleSet = true;
+        } else if (cmd == "C") {
+            ASSERT_EQ(f.size(), 2u);
+            EXPECT_TRUE(cycleSet);
+            EXPECT_GE(num(1), 1u) << "cycle must advance monotonically";
+        } else if (cmd == "I") {
+            ASSERT_EQ(f.size(), 4u);
+            EXPECT_TRUE(live.insert(num(1)).second)
+                << "duplicate instruction id";
+            ++tc.insns;
+        } else if (cmd == "L") {
+            ASSERT_GE(f.size(), 4u);
+            EXPECT_TRUE(live.count(num(1)));
+        } else if (cmd == "S" || cmd == "E") {
+            ASSERT_EQ(f.size(), 4u);
+            EXPECT_TRUE(live.count(num(1)))
+                << "stage event for undeclared/retired id";
+            if (cmd == "S")
+                ++tc.stageStarts;
+        } else if (cmd == "R") {
+            ASSERT_EQ(f.size(), 4u);
+            EXPECT_TRUE(live.erase(num(1)))
+                << "retire of undeclared/retired id";
+            EXPECT_TRUE(retired.insert(num(1)).second);
+            if (num(3) == 0)
+                ++tc.retires;
+            else
+                ++tc.flushes;
+        } else if (cmd == "W") {
+            ASSERT_EQ(f.size(), 4u);
+            EXPECT_TRUE(live.count(num(1)));
+            // The producer may already be retired; only the consumer
+            // must be in flight.
+        } else {
+            ADD_FAILURE() << "unknown Kanata command: " << cmd;
+        }
+    }
+    EXPECT_TRUE(live.empty()) << live.size() << " ids never retired";
+}
+
+TraceCheck
+parseKanata(const std::string& path)
+{
+    TraceCheck tc;
+    parseKanataInto(path, tc);
+    return tc;
+}
+
+MachineConfig
+tracedCfg(const std::string& path)
+{
+    MachineConfig cfg = MachineConfig::preset(8);
+    cfg.pipeTracePath = path;
+    return cfg;
+}
+
+TEST(PipeTrace, CoremarkClockhandsTraceIsWellFormed)
+{
+    const std::string path =
+        testing::TempDir() + "pipetrace_coremark_C.kanata";
+    const Program& prog = compiledWorkload("coremark", Isa::Clockhands);
+    SimResult r = simulate(prog, tracedCfg(path), kCap);
+
+    const TraceCheck tc = parseKanata(path);
+    EXPECT_EQ(tc.insns, r.insts);
+    EXPECT_EQ(tc.retires, r.insts);
+    EXPECT_EQ(tc.flushes, 0u) << "committed-path model never flushes";
+    // Every instruction opens at least F, Ds, Is, Ex, Wb, Cm.
+    EXPECT_GE(tc.stageStarts, r.insts * 6);
+    std::remove(path.c_str());
+}
+
+TEST(PipeTrace, AllIsasProduceParseableTraces)
+{
+    for (Isa isa : kIsas) {
+        const std::string path = testing::TempDir() + "pipetrace_" +
+                                 std::to_string(static_cast<int>(isa)) +
+                                 ".kanata";
+        const Program& prog = compiledWorkload("coremark", isa);
+        SimResult r = simulate(prog, tracedCfg(path), 20'000);
+        const TraceCheck tc = parseKanata(path);
+        EXPECT_EQ(tc.insns, r.insts);
+        EXPECT_EQ(tc.retires, r.insts);
+        std::remove(path.c_str());
+    }
+}
+
+TEST(PipeTrace, EnvVarEnablesTracing)
+{
+    const std::string path = testing::TempDir() + "pipetrace_env.kanata";
+    ::setenv("CH_PIPE_TRACE", path.c_str(), 1);
+    const Program& prog = compiledWorkload("coremark", Isa::Clockhands);
+    SimResult traced = simulate(prog, MachineConfig::preset(8), 20'000);
+    ::unsetenv("CH_PIPE_TRACE");
+    SimResult plain = simulate(prog, MachineConfig::preset(8), 20'000);
+
+    const TraceCheck tc = parseKanata(path);
+    EXPECT_EQ(tc.insns, traced.insts);
+    EXPECT_EQ(traced.cycles, plain.cycles);
+    std::remove(path.c_str());
+}
+
+// ---------------------------------------------------------------------
+// Stall accounting: the sum-to-total invariant, everywhere.
+// ---------------------------------------------------------------------
+
+TEST(StallAccounting, CategoriesSumToCyclesOnAllWorkloadsAndIsas)
+{
+    for (const auto& w : workloads()) {
+        for (Isa isa : kIsas) {
+            SimResult r = simulate(compiledWorkload(w.name, isa),
+                                   MachineConfig::preset(8), kCap);
+            uint64_t sum = 0;
+            for (int cat = 0; cat < kNumStallCats; ++cat)
+                sum += r.stats.value(stallCatCounterName(cat));
+            EXPECT_EQ(sum, r.cycles)
+                << w.name << " isa=" << static_cast<int>(isa);
+            EXPECT_GT(r.stats.value("stall.retiring"), 0u);
+        }
+    }
+}
+
+TEST(StallAccounting, ClockhandsCountersArePopulated)
+{
+    SimResult r = simulate(compiledWorkload("coremark", Isa::Clockhands),
+                           MachineConfig::preset(8), kCap);
+    uint64_t writes = 0, reads = 0;
+    for (char h : {'t', 'u', 'v', 's'}) {
+        writes += r.stats.value(std::string("hand.") + h + ".writes");
+        reads += r.stats.value(std::string("hand.") + h + ".reads");
+    }
+    EXPECT_EQ(writes, r.stats.value("rename.dstWrites"));
+    EXPECT_GT(reads, 0u);
+    // Junk-slot reads exist but are the exception, not the rule.
+    EXPECT_LT(r.stats.value("read.junkSlots"), reads / 2);
+}
+
+// ---------------------------------------------------------------------
+// Tracing must be invisible to the deterministic metrics.
+// ---------------------------------------------------------------------
+
+std::string
+sweepJson(const std::string& traceDir)
+{
+    RunnerOptions opt;
+    opt.jobs = 1;
+    opt.pipeTraceDir = traceDir;
+    SweepRunner runner(opt);
+    for (Isa isa : kIsas) {
+        JobSpec spec;
+        spec.id = std::string("coremark/") + shortIsa(isa) + "/8f";
+        spec.workload = "coremark";
+        spec.isa = isa;
+        spec.cfg = MachineConfig::preset(8);
+        spec.maxInsts = 20'000;
+        runner.addSim(spec);
+    }
+    MetricsOptions mo;
+    mo.bench = "pipetrace_test";
+    return metricsJsonString(mo, runner.run());
+}
+
+TEST(PipeTrace, TracingOnAndOffProduceByteIdenticalMetrics)
+{
+    const std::string dir = testing::TempDir() + "pipetrace_sweep";
+    ASSERT_EQ(::mkdir(dir.c_str(), 0777) == 0 || errno == EEXIST, true);
+    const std::string off = sweepJson("");
+    const std::string on = sweepJson(dir);
+    EXPECT_EQ(off, on);
+    EXPECT_NE(off.find("stall.retiring"), std::string::npos)
+        << "stall counters must appear in the metrics document";
+    EXPECT_NE(off.find("stall.backendMemory"), std::string::npos);
+}
+
+TEST(PipeTrace, SweepWritesOneTracePerJob)
+{
+    const std::string dir = testing::TempDir() + "pipetrace_perjob";
+    ASSERT_EQ(::mkdir(dir.c_str(), 0777) == 0 || errno == EEXIST, true);
+    (void)sweepJson(dir);
+    for (const char* isa : {"R", "S", "C"}) {
+        const std::string f =
+            dir + "/coremark_" + isa + "_8f.kanata";
+        std::ifstream is(f);
+        EXPECT_TRUE(is.is_open()) << f;
+    }
+}
+
+// ---------------------------------------------------------------------
+// bench_util --metrics-dir / --pipe-trace parse-time validation.
+// ---------------------------------------------------------------------
+
+TEST(BenchUtilDeathTest, MetricsDirValidationFailsFast)
+{
+    const std::string file = testing::TempDir() + "pipetrace_notadir";
+    std::ofstream(file) << "x";
+    EXPECT_EXIT(
+        benchdetail::requireWritableDir("--metrics-dir", file.c_str()),
+        ::testing::ExitedWithCode(2), "not a directory");
+    EXPECT_EXIT(benchdetail::requireWritableDir("--metrics-dir", ""),
+                ::testing::ExitedWithCode(2), "expects a directory");
+    EXPECT_EXIT(
+        benchdetail::requireWritableDir(
+            "--metrics-dir", (file + "/sub").c_str()),
+        ::testing::ExitedWithCode(2), "cannot be created");
+    std::remove(file.c_str());
+}
+
+TEST(BenchUtil, RequireWritableDirCreatesMissingDir)
+{
+    const std::string dir = testing::TempDir() + "pipetrace_newdir";
+    ::rmdir(dir.c_str());
+    EXPECT_EQ(benchdetail::requireWritableDir("--metrics-dir",
+                                              dir.c_str()),
+              dir);
+    struct stat st;
+    ASSERT_EQ(::stat(dir.c_str(), &st), 0);
+    EXPECT_TRUE(S_ISDIR(st.st_mode));
+    ::rmdir(dir.c_str());
+}
+
+} // namespace
+} // namespace ch

@@ -1,0 +1,134 @@
+#!/usr/bin/env python3
+"""Documentation linter for the intra-repo contract of the markdown set.
+
+Checks, over README.md, DESIGN.md, EXPERIMENTS.md and docs/*.md:
+
+1. Markdown links ``[text](target)``: relative targets must exist in the
+   repository (http(s) and pure-anchor links are skipped).
+2. Backtick path references like ``src/uarch/core.cc`` or
+   ``docs/RUNNER.md``: any token that looks like a repo path (starts
+   with a known top-level directory, or is a root-level ``*.md``) must
+   exist. Tokens containing globs or placeholders (``*<>{}$``) are
+   skipped.
+3. Fenced ``sh`` command blocks: referenced build artifacts of the form
+   ``build*/bench/<name>``, ``build*/examples/<name>`` or
+   ``build*/src/.../<name>`` must correspond to a source file / CMake
+   target in the tree, so the quick-start commands cannot rot silently.
+
+Exit status: 0 clean, 1 findings (each printed as ``file:line: message``).
+
+Run directly (``python3 tools/docs_lint.py``) or via CI / ``ctest -L
+docs-lint``. An optional repo-root argument overrides the default of the
+script's grandparent directory.
+"""
+
+import re
+import sys
+from pathlib import Path
+
+TOP_DIRS = ("src/", "docs/", "tests/", "bench/", "examples/", "tools/",
+            ".github/")
+PLACEHOLDER = set("*<>{}$")
+
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+CODE_RE = re.compile(r"`([^`]+)`")
+ARTIFACT_RE = re.compile(r"(?:\./)?build[\w-]*/([\w/.-]+)")
+
+
+def is_pathlike(token: str) -> bool:
+    if PLACEHOLDER & set(token) or " " in token:
+        return False
+    if token.startswith(TOP_DIRS):
+        return True
+    return "/" not in token and token.endswith(".md")
+
+
+def artifact_sources(rel: str, root: Path):
+    """Candidate source locations proving a build artifact exists."""
+    parts = rel.split("/")
+    name = parts[-1]
+    if not name or "." in name:
+        return None  # data files (metrics, traces): not checkable
+    if parts[0] == "bench":
+        return [root / "bench" / (name + ".cc")]
+    if parts[0] == "examples":
+        return [root / "examples" / (name + ".cpp")]
+    if parts[0] == "src":
+        return [root.joinpath(*parts[:-1], name + ".cc"),
+                root.joinpath(*parts[:-1], "CMakeLists.txt")]
+    return None  # other build paths (ctest dirs, ...) are not checkable
+
+
+def lint_file(md: Path, root: Path, problems: list):
+    in_fence = False
+    fence_lang = ""
+    for lineno, line in enumerate(
+            md.read_text(encoding="utf-8").splitlines(), start=1):
+        stripped = line.strip()
+        if stripped.startswith("```"):
+            in_fence = not in_fence
+            fence_lang = stripped[3:].strip() if in_fence else ""
+            continue
+
+        where = f"{md.relative_to(root)}:{lineno}"
+
+        if in_fence:
+            if fence_lang in ("sh", "bash", "console"):
+                for m in ARTIFACT_RE.finditer(line):
+                    candidates = artifact_sources(m.group(1), root)
+                    if candidates is not None and \
+                            not any(c.exists() for c in candidates):
+                        problems.append(
+                            f"{where}: command references build artifact "
+                            f"'{m.group(0)}' with no matching source "
+                            f"(expected one of: "
+                            f"{', '.join(str(c.relative_to(root)) for c in candidates)})")
+            continue
+
+        for m in LINK_RE.finditer(line):
+            target = m.group(1)
+            if target.startswith(("http://", "https://", "#", "mailto:")):
+                continue
+            path = (md.parent / target.split("#")[0]).resolve()
+            if not path.exists():
+                problems.append(f"{where}: broken link '{target}'")
+
+        for m in CODE_RE.finditer(line):
+            token = m.group(1).rstrip(":,")
+            if not is_pathlike(token):
+                continue
+            # Accept binary-name references (`bench/fig13_performance`)
+            # when the corresponding source file exists, and bare *.md
+            # references relative to the current document's directory.
+            candidates = [root / token, root / (token + ".cc"),
+                          root / (token + ".cpp"), md.parent / token]
+            if not any(c.exists() for c in candidates):
+                problems.append(
+                    f"{where}: referenced path '{token}' does not exist")
+
+
+def main() -> int:
+    root = Path(sys.argv[1]).resolve() if len(sys.argv) > 1 else \
+        Path(__file__).resolve().parent.parent
+    files = [root / "README.md", root / "DESIGN.md",
+             root / "EXPERIMENTS.md"]
+    files += sorted((root / "docs").glob("*.md"))
+
+    problems = []
+    checked = 0
+    for md in files:
+        if not md.exists():
+            problems.append(f"{md.relative_to(root)}: file missing")
+            continue
+        checked += 1
+        lint_file(md, root, problems)
+
+    for p in problems:
+        print(p)
+    print(f"docs-lint: {checked} files checked, "
+          f"{len(problems)} problem(s)")
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
