@@ -19,6 +19,13 @@
  *   --host-metrics / CH_BENCH_HOST_METRICS=1 include wall-time/RSS in
  *                                            the metrics files (breaks
  *                                            byte-for-byte determinism)
+ *   --no-trace-cache                re-emulate every timing job instead
+ *                                   of capture-once/replay-many
+ *                                   (docs/PERFORMANCE.md); metrics are
+ *                                   byte-identical either way
+ *   CH_TRACE_CACHE_MB               trace-cache memory budget in MiB
+ *                                   (default 1024; past it, jobs fall
+ *                                   back to re-emulation with a note)
  *   CH_BENCH_MAXINSTS               per-run instruction cap
  */
 
@@ -185,10 +192,12 @@ benchInit(int argc, char** argv, const char* name)
             ctx.runner.progress = true;
         } else if (arg == "--host-metrics") {
             ctx.hostMetrics = true;
+        } else if (arg == "--no-trace-cache") {
+            ctx.runner.traceCache = false;
         } else if (arg == "--help" || arg == "-h") {
             std::printf("usage: %s [--jobs N] [--metrics-dir DIR] "
                         "[--pipe-trace DIR] [--progress] "
-                        "[--host-metrics]\n", name);
+                        "[--host-metrics] [--no-trace-cache]\n", name);
             std::exit(0);
         } else {
             std::fprintf(stderr, "error: unknown argument '%s' "

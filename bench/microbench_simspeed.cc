@@ -1,0 +1,168 @@
+/**
+ * @file
+ * Host-side simulator-throughput microbenchmark: emulator MIPS, trace
+ * capture/replay MIPS, and CycleSim KIPS for every (workload x ISA)
+ * pair, plus the projected wall-clock speedup of a capture-once/
+ * replay-many timing grid (docs/PERFORMANCE.md).
+ *
+ * Emits the standard ch-sweep-metrics-v1 files so the repo's perf
+ * trajectory accumulates host throughput numbers; the timing values are
+ * host observations, so they only appear in the metrics files under
+ * `--host-metrics` (deterministic counters are always present).
+ */
+
+#include <chrono>
+
+#include "bench_util.h"
+#include "runner/trace_cache.h"
+#include "trace/trace_buffer.h"
+#include "uarch/sim.h"
+
+using namespace ch;
+
+namespace {
+
+/** Discards the stream; isolates emulation/replay cost from sink cost. */
+class NullSink : public TraceSink
+{
+  public:
+    void onInst(const DynInst&) override {}
+};
+
+struct Row {
+    std::string workload;
+    Isa isa = Isa::Riscv;
+    uint64_t insts = 0;
+    uint64_t traceBytes = 0;
+    double emuMips = 0;       ///< emulate, no sink
+    double captureMips = 0;   ///< emulate into a TraceBuffer
+    double replayMips = 0;    ///< replay into a null sink
+    double simDirectKips = 0; ///< emulate + CycleSim (the pre-cache path)
+    double simReplayKips = 0; ///< replay + CycleSim (the cached path)
+    double gridSpeedup4 = 0;  ///< 4-config grid: direct vs capture+replay
+};
+
+double
+secondsSince(std::chrono::steady_clock::time_point t0)
+{
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         t0)
+        .count();
+}
+
+Row
+measure(const Program& prog, const std::string& workload, Isa isa,
+        uint64_t cap)
+{
+    Row row;
+    row.workload = workload;
+    row.isa = isa;
+
+    auto t0 = std::chrono::steady_clock::now();
+    const RunResult plain = runProgram(prog, cap, nullptr);
+    const double tEmu = secondsSince(t0);
+    row.insts = plain.instCount;
+
+    TraceBuffer trace;
+    t0 = std::chrono::steady_clock::now();
+    const RunResult captured = runProgram(prog, cap, &trace);
+    const double tCapture = secondsSince(t0);
+    trace.setRunOutcome(captured.exited, captured.exitCode);
+    row.traceBytes = trace.byteSize();
+
+    NullSink null;
+    t0 = std::chrono::steady_clock::now();
+    trace.replay(null);
+    const double tReplay = secondsSince(t0);
+
+    const MachineConfig cfg = MachineConfig::preset(8);
+    t0 = std::chrono::steady_clock::now();
+    const SimResult direct = simulate(prog, cfg, cap);
+    const double tSimDirect = secondsSince(t0);
+
+    t0 = std::chrono::steady_clock::now();
+    const SimResult replayed = simulateReplay(trace, isa, cfg);
+    const double tSimReplay = secondsSince(t0);
+    CH_ASSERT(direct.cycles == replayed.cycles,
+              "replayed timing diverged from direct timing: ", workload);
+
+    const double insts = static_cast<double>(row.insts);
+    auto mips = [insts](double s) { return s > 0 ? insts / s / 1e6 : 0; };
+    row.emuMips = mips(tEmu);
+    row.captureMips = mips(tCapture);
+    row.replayMips = mips(tReplay);
+    row.simDirectKips = tSimDirect > 0 ? insts / tSimDirect / 1e3 : 0;
+    row.simReplayKips = tSimReplay > 0 ? insts / tSimReplay / 1e3 : 0;
+    // A K-config grid pays capture once, then K replayed timings,
+    // against K direct (emulate + time) runs.
+    const double gridDirect = 4 * tSimDirect;
+    const double gridReplay = tCapture + 4 * tSimReplay;
+    row.gridSpeedup4 = gridReplay > 0 ? gridDirect / gridReplay : 0;
+    return row;
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    BenchContext ctx = benchInit(argc, argv, "microbench_simspeed");
+    benchHeader("Microbench", "emulator/trace/CycleSim host throughput");
+    const uint64_t cap = benchMaxInsts(2'000'000);
+
+    SweepRunner runner(ctx.runner);
+    std::vector<Row> rows(workloads().size() * 3);
+    size_t slot = 0;
+    for (const auto& w : workloads()) {
+        for (Isa isa : {Isa::Riscv, Isa::Straight, Isa::Clockhands}) {
+            JobSpec spec;
+            spec.id = w.name + "/" + shortIsa(isa) + "/simspeed";
+            spec.workload = w.name;
+            spec.isa = isa;
+            spec.maxInsts = cap;
+            Row* out = &rows[slot++];
+            runner.add(spec, [out, cap, &ctx](const JobContext& job) {
+                *out = measure(*job.program, job.spec.workload,
+                               job.spec.isa, cap);
+                JobMetrics m;
+                m.exited = true;
+                m.insts = out->insts;
+                m.counters["trace.bytes"] = out->traceBytes;
+                if (ctx.hostMetrics) {
+                    m.values["emu.mips"] = out->emuMips;
+                    m.values["capture.mips"] = out->captureMips;
+                    m.values["replay.mips"] = out->replayMips;
+                    m.values["sim.direct.kips"] = out->simDirectKips;
+                    m.values["sim.replay.kips"] = out->simReplayKips;
+                    m.values["grid4.speedup"] = out->gridSpeedup4;
+                }
+                return m;
+            });
+        }
+    }
+    const std::vector<JobResult>& results = runner.run();
+    benchRequireOk(results);
+
+    TextTable t;
+    t.header({"benchmark", "isa", "insts", "B/inst", "emu MIPS",
+              "capture MIPS", "replay MIPS", "sim KIPS", "replay KIPS",
+              "grid4 speedup"});
+    for (const Row& r : rows) {
+        t.row({r.workload, shortIsa(r.isa), std::to_string(r.insts),
+               fmtDouble(r.insts ? static_cast<double>(r.traceBytes) /
+                                       static_cast<double>(r.insts)
+                                 : 0,
+                         2),
+               fmtDouble(r.emuMips, 1), fmtDouble(r.captureMips, 1),
+               fmtDouble(r.replayMips, 1), fmtDouble(r.simDirectKips, 0),
+               fmtDouble(r.simReplayKips, 0),
+               fmtDouble(r.gridSpeedup4, 2)});
+    }
+    t.print();
+    std::printf("\ngrid4 speedup = wall-clock of 4 direct (emulate+time) "
+                "config points over capture-once + 4 replayed points; "
+                "host timing values land in the metrics files only "
+                "under --host-metrics\n");
+    benchWriteMetrics(ctx, results);
+    return 0;
+}

@@ -101,4 +101,17 @@ inform(const Parts&... parts)
         }                                                                    \
     } while (0)
 
+/**
+ * Debug-only assert for per-access hot paths (memory reads/writes, op
+ * decode): checked in default and sanitizer builds, compiled out under
+ * NDEBUG so Release sweeps do not pay a branch per access.
+ */
+#ifdef NDEBUG
+#define CH_DASSERT(cond, ...) \
+    do {                      \
+    } while (0)
+#else
+#define CH_DASSERT(cond, ...) CH_ASSERT(cond, __VA_ARGS__)
+#endif
+
 #endif // CH_COMMON_LOGGING_H

@@ -397,7 +397,11 @@ Emulator::run(uint64_t maxInsts, TraceSink* sink)
     res.exited = exited_;
     res.exitCode = exitCode_;
     res.instCount = instCount_;
-    res.output = output_;
+    // Hand the accumulated bytes over instead of copying them: a chunked
+    // caller (trace capture, microbenchmarks) would otherwise pay an
+    // O(total output) copy per chunk.
+    res.output = std::move(output_);
+    output_.clear();
     return res;
 }
 

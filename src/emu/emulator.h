@@ -36,8 +36,13 @@ enum class Sys : int64_t {
 struct RunResult {
     bool exited = false;      ///< program called Sys::Exit
     int64_t exitCode = 0;
-    uint64_t instCount = 0;   ///< executed instructions
-    std::string output;       ///< bytes written via Sys::Putchar
+    uint64_t instCount = 0;   ///< total executed instructions so far
+
+    /**
+     * Bytes written via Sys::Putchar since the previous run() call
+     * (everything, for a single-call run); moved out, never copied.
+     */
+    std::string output;
 };
 
 /** Interprets a Program; see file comment. */
@@ -50,7 +55,8 @@ class Emulator
     /**
      * Execute until Sys::Exit, a return to the initial link address, or
      * @p maxInsts instructions. Streams to @p sink when non-null.
-     * Can be called again to continue a paused run.
+     * Can be called again to continue a paused run; each call returns
+     * only the output bytes produced since the previous one.
      */
     RunResult run(uint64_t maxInsts = ~0ull, TraceSink* sink = nullptr);
 

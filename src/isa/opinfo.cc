@@ -22,7 +22,7 @@ const OpInfo&
 opInfo(Op op)
 {
     const auto idx = static_cast<size_t>(op);
-    CH_ASSERT(idx < kOpTable.size(), "bad op index");
+    CH_DASSERT(idx < kOpTable.size(), "bad op index");
     return kOpTable[idx];
 }
 

@@ -6,8 +6,16 @@
  * Sparse, paged, little-endian flat memory used by the functional
  * emulators. Pages are allocated on first touch and zero-filled, so
  * uninitialized reads are deterministic.
+ *
+ * The page map is an unordered_map, but the emulator hot path almost
+ * never touches it: a TLB-style 4-entry hot-page cache (MRU first, so
+ * the common same-page access is one compare) front-ends pageFor().
+ * Access-size validation uses CH_DASSERT, so Release builds pay no
+ * per-access assert; block transfers move whole page chunks per memcpy.
  */
 
+#include <algorithm>
+#include <array>
 #include <cstdint>
 #include <cstring>
 #include <memory>
@@ -30,8 +38,8 @@ class Memory
     uint64_t
     read(uint64_t addr, unsigned size)
     {
-        CH_ASSERT(size == 1 || size == 2 || size == 4 || size == 8,
-                  "bad access size");
+        CH_DASSERT(size == 1 || size == 2 || size == 4 || size == 8,
+                   "bad access size");
         if ((addr & kPageMask) + size <= kPageSize) {
             const uint8_t* p = pageFor(addr) + (addr & kPageMask);
             uint64_t v = 0;
@@ -49,8 +57,8 @@ class Memory
     void
     write(uint64_t addr, unsigned size, uint64_t value)
     {
-        CH_ASSERT(size == 1 || size == 2 || size == 4 || size == 8,
-                  "bad access size");
+        CH_DASSERT(size == 1 || size == 2 || size == 4 || size == 8,
+                   "bad access size");
         if ((addr & kPageMask) + size <= kPageSize) {
             uint8_t* p = pageFor(addr) + (addr & kPageMask);
             std::memcpy(p, &value, size);
@@ -68,42 +76,97 @@ class Memory
         pageFor(addr)[addr & kPageMask] = value;
     }
 
-    /** Bulk copy into memory (program loading). */
+    /** Bulk copy into memory (program loading), one memcpy per page. */
     void
     writeBlock(uint64_t addr, const void* src, size_t len)
     {
         const auto* bytes = static_cast<const uint8_t*>(src);
-        for (size_t i = 0; i < len; ++i)
-            writeByte(addr + i, bytes[i]);
+        while (len > 0) {
+            const uint64_t off = addr & kPageMask;
+            const size_t n =
+                std::min<size_t>(len, static_cast<size_t>(kPageSize - off));
+            std::memcpy(pageFor(addr) + off, bytes, n);
+            addr += n;
+            bytes += n;
+            len -= n;
+        }
     }
 
-    /** Bulk copy out of memory. */
+    /** Bulk copy out of memory, one memcpy per page. */
     void
     readBlock(uint64_t addr, void* dst, size_t len)
     {
         auto* bytes = static_cast<uint8_t*>(dst);
-        for (size_t i = 0; i < len; ++i)
-            bytes[i] = readByte(addr + i);
+        while (len > 0) {
+            const uint64_t off = addr & kPageMask;
+            const size_t n =
+                std::min<size_t>(len, static_cast<size_t>(kPageSize - off));
+            std::memcpy(bytes, pageFor(addr) + off, n);
+            addr += n;
+            bytes += n;
+            len -= n;
+        }
     }
 
     /** Number of resident pages (for tests / footprint reporting). */
     size_t residentPages() const { return pages_.size(); }
 
+    /**
+     * Disable/re-enable the hot-page cache (tests cross-check that the
+     * cache never changes an architecturally visible value).
+     */
+    void
+    setPageCacheEnabled(bool enabled)
+    {
+        cacheEnabled_ = enabled;
+        for (auto& e : hot_)
+            e = HotPage{};
+    }
+
   private:
+    struct HotPage {
+        uint64_t key = ~0ull;
+        uint8_t* page = nullptr;
+    };
+
+    static constexpr size_t kHotWays = 4;
+
     uint8_t*
     pageFor(uint64_t addr)
     {
         const uint64_t key = addr >> kPageBits;
+        if (cacheEnabled_) {
+            // MRU-ordered: the same-page case is a single compare.
+            if (hot_[0].key == key)
+                return hot_[0].page;
+            for (size_t i = 1; i < kHotWays; ++i) {
+                if (hot_[i].key == key) {
+                    const HotPage hit = hot_[i];
+                    for (size_t j = i; j > 0; --j)
+                        hot_[j] = hot_[j - 1];
+                    hot_[0] = hit;
+                    return hit.page;
+                }
+            }
+        }
         auto it = pages_.find(key);
         if (it == pages_.end()) {
             auto page = std::make_unique<uint8_t[]>(kPageSize);
             std::memset(page.get(), 0, kPageSize);
             it = pages_.emplace(key, std::move(page)).first;
         }
-        return it->second.get();
+        uint8_t* page = it->second.get();  // stable: pages never move
+        if (cacheEnabled_) {
+            for (size_t j = kHotWays - 1; j > 0; --j)
+                hot_[j] = hot_[j - 1];
+            hot_[0] = HotPage{key, page};
+        }
+        return page;
     }
 
     std::unordered_map<uint64_t, std::unique_ptr<uint8_t[]>> pages_;
+    std::array<HotPage, kHotWays> hot_{};
+    bool cacheEnabled_ = true;
 };
 
 } // namespace ch

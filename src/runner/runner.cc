@@ -40,7 +40,13 @@ simJob(const JobContext& ctx)
 {
     CH_ASSERT(ctx.program, "simJob needs a workload program: ",
               ctx.spec.id);
-    SimResult r = simulate(*ctx.program, ctx.spec.cfg, ctx.spec.maxInsts);
+    const TraceBuffer* trace =
+        ctx.traces ? ctx.traces->get(ctx.spec.workload, ctx.spec.isa,
+                                     ctx.spec.maxInsts, *ctx.program)
+                   : nullptr;
+    SimResult r =
+        trace ? simulateReplay(*trace, ctx.spec.isa, ctx.spec.cfg)
+              : simulate(*ctx.program, ctx.spec.cfg, ctx.spec.maxInsts);
     JobMetrics m;
     m.exited = r.exited;
     m.exitCode = r.exitCode;
@@ -61,7 +67,8 @@ currentPeakRssKiB()
 }
 
 SweepRunner::SweepRunner(RunnerOptions opt, CompiledProgramCache* cache)
-    : opt_(std::move(opt)), cache_(cache ? cache : &programCache())
+    : opt_(std::move(opt)), cache_(cache ? cache : &programCache()),
+      traces_(opt_.traceCache ? &traceCache() : nullptr)
 {
 }
 
@@ -73,6 +80,7 @@ SweepRunner::add(JobSpec spec, JobFn fn)
         spec.seed = jobSeed(spec);
     specs_.push_back(std::move(spec));
     fns_.push_back(std::move(fn));
+    isSim_.push_back(0);
     return specs_.size() - 1;
 }
 
@@ -103,7 +111,9 @@ SweepRunner::addSim(JobSpec spec)
         spec.cfg.pipeTracePath =
             opt_.pipeTraceDir + "/" + sanitizeJobId(spec.id) + ".kanata";
     }
-    return add(std::move(spec), simJob);
+    const size_t idx = add(std::move(spec), simJob);
+    isSim_[idx] = 1;
+    return idx;
 }
 
 int
@@ -122,6 +132,7 @@ namespace {
 /** Shared per-run scheduling state (kept off the SweepRunner ABI). */
 struct RunState {
     std::atomic<size_t> nextCompile{0};
+    std::atomic<size_t> nextCapture{0};
     std::atomic<size_t> nextJob{0};
     std::atomic<size_t> done{0};
     std::mutex printMutex;
@@ -152,6 +163,36 @@ SweepRunner::run()
             pairs.push_back(std::move(key));
     }
 
+    // Same idea for trace capture: the distinct sim-job streams, so a
+    // wide grid captures them in parallel up front instead of electing
+    // one capturing thread per stream mid-sweep.
+    struct CaptureKey {
+        std::string workload;
+        Isa isa;
+        uint64_t maxInsts;
+
+        bool
+        operator==(const CaptureKey& o) const
+        {
+            return workload == o.workload && isa == o.isa &&
+                   maxInsts == o.maxInsts;
+        }
+    };
+    std::vector<CaptureKey> captures;
+    if (traces_) {
+        for (size_t i = 0; i < specs_.size(); ++i) {
+            if (!isSim_[i] || specs_[i].workload.empty())
+                continue;
+            CaptureKey key{specs_[i].workload, specs_[i].isa,
+                           specs_[i].maxInsts};
+            bool seen = false;
+            for (const auto& k : captures)
+                seen = seen || k == key;
+            if (!seen)
+                captures.push_back(std::move(key));
+        }
+    }
+
     RunState state;
     auto work = [&] {
         for (;;) {
@@ -163,6 +204,19 @@ SweepRunner::run()
                 cache_->get(pairs[ci].first, pairs[ci].second);
             } catch (const std::exception&) {
                 // The owning job reports the compile error below.
+            }
+        }
+        for (;;) {
+            const size_t ti =
+                state.nextCapture.fetch_add(1, std::memory_order_relaxed);
+            if (ti >= captures.size())
+                break;
+            try {
+                const CaptureKey& key = captures[ti];
+                traces_->get(key.workload, key.isa, key.maxInsts,
+                             cache_->get(key.workload, key.isa));
+            } catch (const std::exception&) {
+                // The owning job reports the error below.
             }
         }
         for (;;) {
@@ -178,7 +232,7 @@ SweepRunner::run()
                     res.spec.workload.empty()
                         ? nullptr
                         : &cache_->get(res.spec.workload, res.spec.isa);
-                JobContext ctx{res.spec, prog, *cache_};
+                JobContext ctx{res.spec, prog, *cache_, traces_};
                 res.metrics = fns_[i](ctx);
                 res.ok = true;
             } catch (const std::exception& e) {

@@ -25,6 +25,7 @@
 #include <string>
 #include <vector>
 
+#include "runner/trace_cache.h"
 #include "uarch/config.h"
 #include "workloads/prog_cache.h"
 
@@ -48,6 +49,15 @@ struct RunnerOptions {
      * changes any deterministic metric (docs/OBSERVABILITY.md).
      */
     std::string pipeTraceDir;
+
+    /**
+     * Capture each (workload, ISA, maxInsts) committed stream once and
+     * replay it into every addSim() config instead of re-emulating
+     * (docs/PERFORMANCE.md). Replay feeds the identical stream, so all
+     * deterministic metrics are byte-identical either way; disable with
+     * `--no-trace-cache` to cross-check or to shed memory.
+     */
+    bool traceCache = true;
 };
 
 /** One simulation/analysis job of a sweep. */
@@ -100,6 +110,9 @@ struct JobContext {
     const Program* program;
 
     CompiledProgramCache& cache;
+
+    /** Committed-trace cache for capture/replay; null when disabled. */
+    TraceCache* traces = nullptr;
 };
 
 using JobFn = std::function<JobMetrics(const JobContext&)>;
@@ -149,8 +162,10 @@ class SweepRunner
 
     RunnerOptions opt_;
     CompiledProgramCache* cache_;
+    TraceCache* traces_;
     std::vector<JobSpec> specs_;
     std::vector<JobFn> fns_;
+    std::vector<char> isSim_;  ///< addSim() jobs (trace warm-up list)
     std::vector<JobResult> results_;
     bool ran_ = false;
 };
@@ -158,7 +173,12 @@ class SweepRunner
 /** Stable FNV-1a seed for a job spec (ignores the seed field itself). */
 uint64_t jobSeed(const JobSpec& spec);
 
-/** Standard cycle-sim job body: simulate() + stats -> JobMetrics. */
+/**
+ * Standard cycle-sim job body: simulate() + stats -> JobMetrics. When
+ * ctx.traces is set, the committed stream is captured once per
+ * (workload, ISA, maxInsts) and replayed into the CycleSim; past the
+ * cache budget it transparently falls back to direct emulation.
+ */
 JobMetrics simJob(const JobContext& ctx);
 
 /** Peak resident set size of this process, in KiB (getrusage). */

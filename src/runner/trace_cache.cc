@@ -1,0 +1,102 @@
+#include "runner/trace_cache.h"
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+
+#include "common/logging.h"
+#include "emu/emulator.h"
+
+namespace ch {
+
+namespace {
+
+/** Emulate in chunks so an over-budget capture aborts early. */
+constexpr uint64_t kCaptureChunk = 1u << 16;
+
+} // namespace
+
+size_t
+TraceCache::defaultBudgetBytes()
+{
+    constexpr size_t kDefaultMb = 1024;
+    const char* env = std::getenv("CH_TRACE_CACHE_MB");
+    if (!env || !*env)
+        return kDefaultMb << 20;
+    errno = 0;
+    char* end = nullptr;
+    const unsigned long long mb = std::strtoull(env, &end, 0);
+    if (end == env || *end != '\0' || errno == ERANGE ||
+        std::strchr(env, '-') || mb > (SIZE_MAX >> 20)) {
+        warn("CH_TRACE_CACHE_MB='", env, "' is not a valid MiB count; ",
+             "using the default of ", kDefaultMb);
+        return kDefaultMb << 20;
+    }
+    return static_cast<size_t>(mb) << 20;
+}
+
+TraceCache::TraceCache(size_t budgetBytes) : budget_(budgetBytes)
+{
+}
+
+const TraceBuffer*
+TraceCache::get(const std::string& workload, Isa isa, uint64_t maxInsts,
+                const Program& prog)
+{
+    lookups_.fetch_add(1, std::memory_order_relaxed);
+    Entry* entry;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        auto& slot =
+            entries_[{workload, static_cast<int>(isa), maxInsts}];
+        if (!slot)
+            slot = std::make_unique<Entry>();
+        entry = slot.get();
+    }
+    std::call_once(entry->once, [&] {
+        auto trace = std::make_unique<TraceBuffer>();
+        const size_t used = bytes_.load(std::memory_order_relaxed);
+        if (budget_) {
+            if (used >= budget_) {
+                warn("trace cache: budget of ", budget_ >> 20,
+                     " MiB exhausted; ", workload, "/", isaName(isa),
+                     " falls back to re-emulation "
+                     "(raise CH_TRACE_CACHE_MB)");
+                return;
+            }
+            trace->setByteLimit(budget_ - used);
+        }
+
+        Emulator emu(prog);
+        uint64_t left = maxInsts;
+        RunResult res;
+        while (!emu.done() && left > 0 && !trace->overLimit()) {
+            const uint64_t chunk = std::min(left, kCaptureChunk);
+            const uint64_t before = emu.instCount();
+            res = emu.run(chunk, trace.get());
+            left -= emu.instCount() - before;
+        }
+        if (trace->overLimit()) {
+            warn("trace cache: ", workload, "/", isaName(isa),
+                 " does not fit the remaining ",
+                 (budget_ - used) >> 20, " MiB of the ", budget_ >> 20,
+                 " MiB budget; falls back to re-emulation "
+                 "(raise CH_TRACE_CACHE_MB)");
+            return;
+        }
+        trace->setRunOutcome(res.exited, res.exitCode);
+        bytes_.fetch_add(trace->byteSize(), std::memory_order_relaxed);
+        captures_.fetch_add(1, std::memory_order_relaxed);
+        entry->trace = std::move(trace);
+    });
+    return entry->trace.get();
+}
+
+TraceCache&
+traceCache()
+{
+    static TraceCache cache;
+    return cache;
+}
+
+} // namespace ch

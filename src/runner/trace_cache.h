@@ -1,0 +1,88 @@
+#ifndef CH_RUNNER_TRACE_CACHE_H
+#define CH_RUNNER_TRACE_CACHE_H
+
+/**
+ * @file
+ * Thread-safe execute-once cache of (workload, ISA, maxInsts) ->
+ * committed TraceBuffer. The committed instruction stream is a pure
+ * function of those three keys, so a timing grid that sweeps machine
+ * configurations captures each stream exactly once and replays it into
+ * every CycleSim — the functional-emulation cost of an N-config sweep
+ * drops from N runs to one (docs/PERFORMANCE.md).
+ *
+ * Mirrors CompiledProgramCache: distinct keys capture concurrently under
+ * per-entry std::call_once; threads requesting a key already being
+ * captured block until it is ready.
+ *
+ * Memory budget: the sum of all cached encodings is capped (default
+ * 1024 MiB, override with CH_TRACE_CACHE_MB). A capture that would
+ * exceed the cap is abandoned, a warn() note goes to stderr exactly
+ * once per key, and get() returns nullptr — callers fall back to direct
+ * re-emulation, so truncation is never silent and never changes results.
+ */
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <tuple>
+
+#include "isa/isa.h"
+#include "mem/program.h"
+#include "trace/trace_buffer.h"
+
+namespace ch {
+
+/** Execute-once, replay-many committed-trace cache; see file docs. */
+class TraceCache
+{
+  public:
+    /** @p budgetBytes caps the total encoded size; 0 = unlimited. */
+    explicit TraceCache(size_t budgetBytes = defaultBudgetBytes());
+
+    /**
+     * The committed trace of running @p prog (the compiled image of
+     * @p workload for @p isa) for up to @p maxInsts instructions,
+     * capturing it on first request. Returns nullptr when caching the
+     * stream would exceed the byte budget; the caller then re-emulates.
+     * Safe to call from any thread.
+     */
+    const TraceBuffer* get(const std::string& workload, Isa isa,
+                           uint64_t maxInsts, const Program& prog);
+
+    /** Total encoded bytes currently held. */
+    size_t bytesUsed() const { return bytes_.load(); }
+
+    /** Captures actually performed (not lookups). */
+    uint64_t captureCount() const { return captures_.load(); }
+
+    /** get() calls served. */
+    uint64_t lookupCount() const { return lookups_.load(); }
+
+    /** CH_TRACE_CACHE_MB in bytes; 1024 MiB when unset or invalid. */
+    static size_t defaultBudgetBytes();
+
+  private:
+    struct Entry {
+        std::once_flag once;
+        std::unique_ptr<TraceBuffer> trace;  ///< null when over budget
+    };
+
+    using Key = std::tuple<std::string, int, uint64_t>;
+
+    const size_t budget_;
+    std::mutex mutex_;
+    std::map<Key, std::unique_ptr<Entry>> entries_;
+    std::atomic<size_t> bytes_{0};
+    std::atomic<uint64_t> captures_{0};
+    std::atomic<uint64_t> lookups_{0};
+};
+
+/** The process-wide cache shared by all sweep runners. */
+TraceCache& traceCache();
+
+} // namespace ch
+
+#endif // CH_RUNNER_TRACE_CACHE_H

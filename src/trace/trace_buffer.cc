@@ -1,0 +1,174 @@
+#include "trace/trace_buffer.h"
+
+#include "common/logging.h"
+#include "isa/op.h"
+
+namespace ch {
+
+namespace {
+
+static_assert(kNumOps <= 256, "op must fit the one-byte trace encoding");
+
+// Per-record flags byte: which optional fields follow the op byte.
+enum : uint8_t {
+    kFlagTaken = 1u << 0,    ///< di.taken
+    kFlagImm = 1u << 1,      ///< zigzag imm follows
+    kFlagMem = 1u << 2,      ///< memAddr zigzag-delta + memValue follow
+    kFlagProd1 = 1u << 3,    ///< seq - prod1 follows
+    kFlagProd2 = 1u << 4,    ///< seq - prod2 follows
+    kFlagNextPc = 1u << 5,   ///< nextPc != pc + 4; zigzag delta follows
+    kFlagPc = 1u << 6,       ///< pc != previous nextPc; zigzag delta follows
+    kFlagOps = 1u << 7,      ///< packed dst/src1/src2/hands word follows
+};
+
+uint64_t
+zigzag(int64_t v)
+{
+    return (static_cast<uint64_t>(v) << 1) ^
+           static_cast<uint64_t>(v >> 63);
+}
+
+int64_t
+unzigzag(uint64_t v)
+{
+    return static_cast<int64_t>((v >> 1) ^ (~(v & 1) + 1));
+}
+
+void
+putVarint(std::vector<uint8_t>& out, uint64_t v)
+{
+    while (v >= 0x80) {
+        out.push_back(static_cast<uint8_t>(v) | 0x80);
+        v >>= 7;
+    }
+    out.push_back(static_cast<uint8_t>(v));
+}
+
+uint64_t
+getVarint(const uint8_t*& p)
+{
+    uint64_t v = 0;
+    for (unsigned shift = 0;; shift += 7) {
+        const uint8_t b = *p++;
+        v |= static_cast<uint64_t>(b & 0x7f) << shift;
+        if (!(b & 0x80))
+            return v;
+    }
+}
+
+} // namespace
+
+void
+TraceBuffer::append(const DynInst& di)
+{
+    if (overLimit_)
+        return;
+    CH_ASSERT(di.src1Hand < 4 && di.src2Hand < 4,
+              "hand out of 2-bit trace encoding range");
+    if (count_ == 0)
+        firstSeq_ = di.seq;
+    else
+        CH_ASSERT(di.seq == firstSeq_ + count_,
+                  "trace seq not contiguous: ", di.seq);
+
+    uint8_t flags = 0;
+    if (di.taken)
+        flags |= kFlagTaken;
+    if (di.imm != 0)
+        flags |= kFlagImm;
+    if (di.memAddr != 0 || di.memValue != 0)
+        flags |= kFlagMem;
+    if (di.prod1 != kNoProducer)
+        flags |= kFlagProd1;
+    if (di.prod2 != kNoProducer)
+        flags |= kFlagProd2;
+    if (di.nextPc != di.pc + 4)
+        flags |= kFlagNextPc;
+    if (di.pc != predPc_)
+        flags |= kFlagPc;
+    const uint32_t ops =
+        static_cast<uint32_t>(di.dst) |
+        static_cast<uint32_t>(di.src1) << 8 |
+        static_cast<uint32_t>(di.src2) << 16 |
+        static_cast<uint32_t>(di.src1Hand | (di.src2Hand << 2)) << 24;
+    if (ops != 0)
+        flags |= kFlagOps;
+
+    bytes_.push_back(flags);
+    bytes_.push_back(static_cast<uint8_t>(di.op));
+    if (flags & kFlagPc) {
+        putVarint(bytes_, zigzag(static_cast<int64_t>(di.pc - predPc_)));
+    }
+    if (flags & kFlagOps)
+        putVarint(bytes_, ops);
+    if (flags & kFlagImm)
+        putVarint(bytes_, zigzag(di.imm));
+    if (flags & kFlagProd1)
+        putVarint(bytes_, di.seq - di.prod1);
+    if (flags & kFlagProd2)
+        putVarint(bytes_, di.seq - di.prod2);
+    if (flags & kFlagMem) {
+        putVarint(bytes_, zigzag(static_cast<int64_t>(di.memAddr -
+                                                      lastMemAddr_)));
+        putVarint(bytes_, di.memValue);
+        lastMemAddr_ = di.memAddr;
+    }
+    if (flags & kFlagNextPc) {
+        putVarint(bytes_,
+                  zigzag(static_cast<int64_t>(di.nextPc - (di.pc + 4))));
+    }
+
+    predPc_ = di.nextPc;
+    ++count_;
+    if (byteLimit_ && bytes_.size() > byteLimit_)
+        overLimit_ = true;
+}
+
+void
+TraceBuffer::replay(TraceSink& sink) const
+{
+    CH_ASSERT(!overLimit_, "replaying a truncated trace");
+    const uint8_t* p = bytes_.data();
+    uint64_t predPc = 0;
+    uint64_t lastMemAddr = 0;
+    for (uint64_t i = 0; i < count_; ++i) {
+        const uint8_t flags = *p++;
+        DynInst di;
+        di.seq = firstSeq_ + i;
+        di.op = static_cast<Op>(*p++);
+        di.pc = predPc;
+        if (flags & kFlagPc)
+            di.pc += static_cast<uint64_t>(unzigzag(getVarint(p)));
+        if (flags & kFlagOps) {
+            const auto ops = static_cast<uint32_t>(getVarint(p));
+            di.dst = static_cast<uint8_t>(ops);
+            di.src1 = static_cast<uint8_t>(ops >> 8);
+            di.src2 = static_cast<uint8_t>(ops >> 16);
+            di.src1Hand = static_cast<uint8_t>((ops >> 24) & 3);
+            di.src2Hand = static_cast<uint8_t>((ops >> 26) & 3);
+        }
+        if (flags & kFlagImm)
+            di.imm = unzigzag(getVarint(p));
+        if (flags & kFlagProd1)
+            di.prod1 = di.seq - getVarint(p);
+        if (flags & kFlagProd2)
+            di.prod2 = di.seq - getVarint(p);
+        if (flags & kFlagMem) {
+            di.memAddr = lastMemAddr +
+                         static_cast<uint64_t>(unzigzag(getVarint(p)));
+            di.memValue = getVarint(p);
+            lastMemAddr = di.memAddr;
+        }
+        di.nextPc = di.pc + 4;
+        if (flags & kFlagNextPc)
+            di.nextPc += static_cast<uint64_t>(unzigzag(getVarint(p)));
+        di.taken = (flags & kFlagTaken) != 0;
+
+        predPc = di.nextPc;
+        sink.onInst(di);
+    }
+    CH_ASSERT(p == bytes_.data() + bytes_.size(),
+              "trace decode did not consume the full buffer");
+}
+
+} // namespace ch

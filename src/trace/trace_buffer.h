@@ -1,0 +1,90 @@
+#ifndef CH_TRACE_TRACE_BUFFER_H
+#define CH_TRACE_TRACE_BUFFER_H
+
+/**
+ * @file
+ * Compact, append-only in-memory encoding of a committed DynInst stream.
+ *
+ * The committed stream of a (workload, ISA) pair depends only on the
+ * program, never on the machine configuration, so a fig13-style grid can
+ * execute the functional emulator once and replay the recorded stream
+ * into a fresh CycleSim per config point (docs/PERFORMANCE.md). replay()
+ * reproduces the exact onInst() sequence: every DynInst field round-trips
+ * bit-for-bit, so timing metrics are byte-identical to a direct run.
+ *
+ * Encoding, per instruction (typically 3-6 bytes vs 104 for a raw
+ * DynInst): one flags byte marking which optional fields are present,
+ * the op byte, then LEB128 varints. The program counter is delta-encoded
+ * against the previous record's nextPc (sequential flow costs 0 bytes),
+ * producer seqs as backward distances from the current seq, and memory
+ * addresses as zigzag deltas from the previous access. The dynamic seq
+ * itself is implicit: the emulator numbers commits contiguously, which
+ * append() asserts.
+ */
+
+#include <cstdint>
+#include <vector>
+
+#include "trace/dyninst.h"
+
+namespace ch {
+
+/** Append-once, replay-many committed-trace recording; see file docs. */
+class TraceBuffer : public TraceSink
+{
+  public:
+    /** Record one committed instruction (TraceSink hook). */
+    void onInst(const DynInst& di) override { append(di); }
+
+    void append(const DynInst& di);
+
+    /** Feed the recorded stream, in order, to @p sink. */
+    void replay(TraceSink& sink) const;
+
+    /** Recorded instructions. */
+    uint64_t instCount() const { return count_; }
+
+    /** Bytes of encoded trace (the cache budget accounting unit). */
+    size_t byteSize() const { return bytes_.size(); }
+
+    /**
+     * Stop storing once the encoding exceeds @p maxBytes; further
+     * append()s only flip overLimit(). 0 means unlimited.
+     */
+    void setByteLimit(size_t maxBytes) { byteLimit_ = maxBytes; }
+
+    /** True when a byte limit stopped the recording (trace incomplete). */
+    bool overLimit() const { return overLimit_; }
+
+    /**
+     * Outcome of the captured emulator run, so a replayed simulation can
+     * report the same exited/exitCode as a direct one.
+     */
+    void
+    setRunOutcome(bool exited, int64_t exitCode)
+    {
+        exited_ = exited;
+        exitCode_ = exitCode;
+    }
+
+    bool exited() const { return exited_; }
+    int64_t exitCode() const { return exitCode_; }
+
+  private:
+    std::vector<uint8_t> bytes_;
+    uint64_t count_ = 0;
+    uint64_t firstSeq_ = 0;
+    size_t byteLimit_ = 0;
+    bool overLimit_ = false;
+
+    // Encoder prediction state (decoder mirrors it in replay()).
+    uint64_t predPc_ = 0;
+    uint64_t lastMemAddr_ = 0;
+
+    bool exited_ = false;
+    int64_t exitCode_ = 0;
+};
+
+} // namespace ch
+
+#endif // CH_TRACE_TRACE_BUFFER_H

@@ -161,13 +161,13 @@ MemoryHierarchy::MemoryHierarchy(const MachineConfig& cfg, StatGroup* stats)
 int
 MemoryHierarchy::sharedAccess(uint64_t addr)
 {
-    ++stats_->counter("cache.l2.accesses");
+    ++hot(cL2Accesses_, "cache.l2.accesses");
     if (l2_.access(addr))
         return cfg_.l2Latency;
-    ++stats_->counter("cache.l2.misses");
+    ++hot(cL2Misses_, "cache.l2.misses");
     for (uint64_t pf : prefetcher_.onMiss(addr)) {
         if (l2_.fill(pf))
-            ++stats_->counter("cache.l2.prefetches");
+            ++hot(cL2Prefetches_, "cache.l2.prefetches");
     }
     return cfg_.l2Latency + cfg_.memLatency;
 }
@@ -175,20 +175,21 @@ MemoryHierarchy::sharedAccess(uint64_t addr)
 int
 MemoryHierarchy::fetchAccess(uint64_t pc)
 {
-    ++stats_->counter("cache.l1i.accesses");
+    ++hot(cL1iAccesses_, "cache.l1i.accesses");
     if (l1i_.access(pc))
         return cfg_.l1iLatency;
-    ++stats_->counter("cache.l1i.misses");
+    ++hot(cL1iMisses_, "cache.l1i.misses");
     return cfg_.l1iLatency + sharedAccess(pc);
 }
 
 int
 MemoryHierarchy::dataAccess(uint64_t addr, bool isStore)
 {
-    ++stats_->counter(isStore ? "cache.l1d.writes" : "cache.l1d.reads");
+    ++(isStore ? hot(cL1dWrites_, "cache.l1d.writes")
+               : hot(cL1dReads_, "cache.l1d.reads"));
     if (l1d_.access(addr))
         return cfg_.l1dLatency;
-    ++stats_->counter("cache.l1d.misses");
+    ++hot(cL1dMisses_, "cache.l1d.misses");
     return cfg_.l1dLatency + sharedAccess(addr);
 }
 

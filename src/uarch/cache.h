@@ -83,8 +83,29 @@ class MemoryHierarchy
   private:
     int sharedAccess(uint64_t addr);  ///< L2 + memory + prefetch
 
+    /**
+     * Per-access counter, resolved once and cached (StatGroup map nodes
+     * are stable; lazy binding keeps the reported counter set — and so
+     * the metrics bytes — identical to on-demand registration).
+     */
+    Counter&
+    hot(Counter*& slot, const char* name)
+    {
+        if (slot == nullptr)
+            slot = &stats_->counter(name);
+        return *slot;
+    }
+
     const MachineConfig& cfg_;
     StatGroup* stats_;
+    Counter* cL2Accesses_ = nullptr;
+    Counter* cL2Misses_ = nullptr;
+    Counter* cL2Prefetches_ = nullptr;
+    Counter* cL1iAccesses_ = nullptr;
+    Counter* cL1iMisses_ = nullptr;
+    Counter* cL1dReads_ = nullptr;
+    Counter* cL1dWrites_ = nullptr;
+    Counter* cL1dMisses_ = nullptr;
     Cache l1i_;
     Cache l1d_;
     Cache l2_;

@@ -142,7 +142,7 @@ CycleSim::stageFetch(const DynInst& di)
     if (curSquashDelayed_)
         curIcacheDelayed_ = false;
     ++fetchedThisCycle_;
-    ++stats_.counter("fetch.insts");
+    ++hot(cFetchInsts_, "fetch.insts");
 
     // A taken control transfer ends the fetch group.
     if (di.info().isBranch() && di.taken) {
@@ -174,7 +174,7 @@ CycleSim::stageDispatch(const DynInst& di, uint64_t fetchCycle)
     // Each constraint reports how far it pushed dispatch, so the stall
     // accounting can tell memory-side pressure (LQ/SQ) from core-side
     // pressure (ROB/IQ) and register-window pressure apart.
-    auto queueConstraint = [&](MinHeap& q, int cap) -> uint64_t {
+    auto queueConstraint = [&](auto& q, int cap) -> uint64_t {
         const uint64_t before = c;
         while (!q.empty() && q.top() <= c)
             q.pop();
@@ -205,32 +205,32 @@ CycleSim::stageDispatch(const DynInst& di, uint64_t fetchCycle)
             // Free list: PRF (= R) minus the 64 architectural mappings.
             regDelay = queueConstraint(physRegs_, cfg_.physRegsRisc() - 64);
             if (regDelay)
-                stats_.counter("stall.freeList") += regDelay;
-            ++stats_.counter("rename.dstWrites");
+                hot(cStallFreeList_, "stall.freeList") += regDelay;
+            ++hot(cRenameDstWrites_, "rename.dstWrites");
             break;
           case Isa::Straight:
             // Ring wraparound: stall within maxdist of the oldest RP.
             regDelay = queueConstraint(ringRegs_,
                                        cfg_.physRegsRenameFree() - 128);
             if (regDelay)
-                stats_.counter("stall.distanceWindow") += regDelay;
-            ++stats_.counter("rename.dstWrites");
+                hot(cStallDistanceWindow_, "stall.distanceWindow") += regDelay;
+            ++hot(cRenameDstWrites_, "rename.dstWrites");
             break;
           case Isa::Clockhands:
             regDelay = queueConstraint(handRegs_[di.dst],
                                        cfg_.handQuota(di.dst) - kHandDepth);
             if (regDelay)
-                stats_.counter("stall.distanceWindow") += regDelay;
-            ++stats_.counter("rename.dstWrites");
-            ++stats_.counter(kHandWriteCounter[di.dst]);
+                hot(cStallDistanceWindow_, "stall.distanceWindow") += regDelay;
+            ++hot(cRenameDstWrites_, "rename.dstWrites");
+            ++hot(cHandWrites_[di.dst], kHandWriteCounter[di.dst]);
             break;
         }
     }
     curDispatchMem_ = memDelay > coreDelay + regDelay;
     lastDispatch_ = c;
-    ++stats_.counter("dispatch.insts");
+    ++hot(cDispatchInsts_, "dispatch.insts");
     if (info.isBranch())
-        ++stats_.counter("rename.checkpoints");
+        ++hot(cRenameCheckpoints_, "rename.checkpoints");
     return c;
 }
 
@@ -242,16 +242,16 @@ CycleSim::handleBranchPrediction(const DynInst& di, uint64_t resolveCycle)
 
     switch (info.brKind) {
       case BrKind::Cond: {
-        ++stats_.counter("branch.conds");
+        ++hot(cBranchConds_, "branch.conds");
         const bool pred = tage_.predict(di.pc);
         tage_.update(di.pc, di.taken);
         if (pred != di.taken) {
             mispredict = true;
-            ++stats_.counter("branch.mispredicts");
+            ++hot(cBranchMispredicts_, "branch.mispredicts");
         } else if (di.taken && btb_.lookup(di.pc) != di.nextPc) {
             // Correct direction but no target: redirect from decode.
             btb_.insert(di.pc, di.nextPc);
-            ++stats_.counter("branch.btbMisses");
+            ++hot(cBranchBtbMisses_, "branch.btbMisses");
             redirectAt_ = std::max(redirectAt_, fetchCycle_ + 3);
         }
         break;
@@ -260,7 +260,7 @@ CycleSim::handleBranchPrediction(const DynInst& di, uint64_t resolveCycle)
         // Direct target; BTB learns it, penalty only on first sight.
         if (btb_.lookup(di.pc) != di.nextPc) {
             btb_.insert(di.pc, di.nextPc);
-            ++stats_.counter("branch.btbMisses");
+            ++hot(cBranchBtbMisses_, "branch.btbMisses");
             redirectAt_ = std::max(redirectAt_, fetchCycle_ + 3);
         }
         break;
@@ -268,7 +268,7 @@ CycleSim::handleBranchPrediction(const DynInst& di, uint64_t resolveCycle)
         ras_.push(di.pc + 4);
         if (btb_.lookup(di.pc) != di.nextPc) {
             btb_.insert(di.pc, di.nextPc);
-            ++stats_.counter("branch.btbMisses");
+            ++hot(cBranchBtbMisses_, "branch.btbMisses");
             redirectAt_ = std::max(redirectAt_, fetchCycle_ + 3);
         }
         break;
@@ -278,7 +278,7 @@ CycleSim::handleBranchPrediction(const DynInst& di, uint64_t resolveCycle)
         btb_.insert(di.pc, di.nextPc);
         if (pred != di.nextPc) {
             mispredict = true;
-            ++stats_.counter("branch.mispredicts");
+            ++hot(cBranchMispredicts_, "branch.mispredicts");
         }
         break;
       }
@@ -286,7 +286,7 @@ CycleSim::handleBranchPrediction(const DynInst& di, uint64_t resolveCycle)
         const uint64_t pred = ras_.pop();
         if (pred != di.nextPc) {
             mispredict = true;
-            ++stats_.counter("branch.mispredicts");
+            ++hot(cBranchMispredicts_, "branch.mispredicts");
         }
         break;
       }
@@ -298,7 +298,7 @@ CycleSim::handleBranchPrediction(const DynInst& di, uint64_t resolveCycle)
         redirectAt_ = std::max(redirectAt_, resolveCycle + 1);
         // Wrong-path activity estimate for the energy model: the front
         // end keeps fetching for roughly its own depth before the squash.
-        stats_.counter("fetch.wrongPath") +=
+        hot(cFetchWrongPath_, "fetch.wrongPath") +=
             static_cast<uint64_t>(cfg_.frontendDepth(isa_)) *
             cfg_.fetchWidth / 2;
     }
@@ -327,13 +327,13 @@ CycleSim::onInst(const DynInst& di)
                 waitMem = resultFromMiss_.get(prod) != 0;
             }
         }
-        ++stats_.counter("iq.wakeups");
+        ++hot(cIqWakeups_, "iq.wakeups");
     };
     if (info.numSrcs >= 1)
         needProducer(di.prod1);
     if (info.numSrcs >= 2)
         needProducer(di.prod2);
-    stats_.counter("rf.reads") += info.numSrcs;
+    hot(cRfReads_, "rf.reads") += info.numSrcs;
 
     // Read-quality counters for the rename-free ISAs: which hand each
     // Clockhands read targets, and how many reads hit "junk" slots —
@@ -345,7 +345,7 @@ CycleSim::onInst(const DynInst& di)
     if (isa_ != Isa::Riscv) {
         auto classifyRead = [&](uint64_t prod, uint8_t hand, uint8_t enc) {
             if (isa_ == Isa::Clockhands && hand < kNumHands)
-                ++stats_.counter(kHandReadCounter[hand]);
+                ++hot(cHandReads_[hand], kHandReadCounter[hand]);
             bool junk = false;
             if (prod == kNoProducer) {
                 if (isa_ == Isa::Clockhands)
@@ -357,7 +357,7 @@ CycleSim::onInst(const DynInst& di)
                 junk = producedValue_.get(prod) == 0;
             }
             if (junk)
-                ++stats_.counter("read.junkSlots");
+                ++hot(cReadJunkSlots_, "read.junkSlots");
         };
         if (info.numSrcs >= 1)
             classifyRead(di.prod1, di.src1Hand, di.src1);
@@ -370,7 +370,7 @@ CycleSim::onInst(const DynInst& di)
     uint64_t predictedWait = 0;
     const StoreRec* violator = nullptr;
     if (info.isLoad()) {
-        ++stats_.counter("lsq.loads");
+        ++hot(cLsqLoads_, "lsq.loads");
         const uint32_t setId = storeSets_.setOf(di.pc);
         if (setId != StoreSets::kInvalid) {
             auto it = lastStoreOfSet_.find(setId);
@@ -392,14 +392,14 @@ CycleSim::onInst(const DynInst& di)
     const int pool = fuPoolId(info.cls);
     const uint64_t issue = arbitrate(pool, fuPoolLimit(info.cls), ready);
     iq_.push(issue);
-    ++stats_.counter("iq.issues");
-    stats_.counter("fu.ops") += 1;
+    ++hot(cIqIssues_, "iq.issues");
+    hot(cFuOps_, "fu.ops") += 1;
 
     // Execute.
     uint64_t resultAt = issue + fuLatency(info.cls);
     bool execMem = false;
     if (info.isLoad()) {
-        ++stats_.counter("lsq.searches");
+        ++hot(cLsqSearches_, "lsq.searches");
         // Search older in-flight stores for an overlap.
         const StoreRec* match = nullptr;
         for (auto rit = stores_.rbegin(); rit != stores_.rend(); ++rit) {
@@ -416,7 +416,7 @@ CycleSim::onInst(const DynInst& di)
         if (match && match->dataReady <= issue) {
             // Store-to-load forwarding.
             resultAt = issue + cfg_.latForward;
-            ++stats_.counter("lsq.forwards");
+            ++hot(cLsqForwards_, "lsq.forwards");
         } else if (match && match->dataReady > issue &&
                    predictedWait < match->dataReady) {
             // Memory-order violation: replay after the store resolves.
@@ -424,7 +424,7 @@ CycleSim::onInst(const DynInst& di)
             resultAt = match->dataReady + cfg_.latForward +
                        cfg_.replayPenalty;
             execMem = true;
-            ++stats_.counter("lsq.violations");
+            ++hot(cLsqViolations_, "lsq.violations");
             storeSets_.train(di.pc, match->pc);
         } else {
             const int dlat = mem_.dataAccess(di.memAddr, false);
@@ -457,9 +457,9 @@ CycleSim::onInst(const DynInst& di)
     resultFromMiss_.set(seq_, (execMem || waitMem) ? 1 : 0);
     producedValue_.set(seq_, info.hasDst ? 1 : 0);
     lastCommit_ = commit;
-    ++stats_.counter("rob.commits");
+    ++hot(cRobCommits_, "rob.commits");
     if (info.hasDst)
-        ++stats_.counter("rf.writes");
+        ++hot(cRfWrites_, "rf.writes");
 
     // Per-cycle stall attribution (docs/OBSERVABILITY.md).
     StallCauses sc;

@@ -138,6 +138,21 @@ class CycleSim : public TraceSink
     uint64_t stageDispatch(const DynInst& di, uint64_t fetchCycle);
     void handleBranchPrediction(const DynInst& di, uint64_t resolveCycle);
 
+    /**
+     * Hot-path counter accessor: resolves the name once and caches the
+     * pointer (StatGroup's map nodes are stable). Binding lazily keeps
+     * the reported counter set identical to on-demand registration — a
+     * counter whose event never fires is never created, so the metrics
+     * files stay byte-identical.
+     */
+    Counter&
+    hot(Counter*& slot, const char* name)
+    {
+        if (slot == nullptr)
+            slot = &stats_.counter(name);
+        return *slot;
+    }
+
     /** Earliest cycle >= @p from with a free issue slot + FU of @p pool. */
     uint64_t arbitrate(int pool, int limit, uint64_t from);
 
@@ -177,15 +192,39 @@ class CycleSim : public TraceSink
     uint64_t lastCommit_ = 0;
     uint64_t lastDispatch_ = 0;
 
-    // Structural occupancy: min-heaps of departure cycles.
+    // Structural occupancy: queues of departure cycles.
     using MinHeap = std::priority_queue<uint64_t, std::vector<uint64_t>,
                                         std::greater<uint64_t>>;
-    MinHeap iq_;
-    MinHeap loadQ_;
-    MinHeap storeQ_;
-    MinHeap physRegs_;                 ///< RISC free-list pressure
-    std::array<MinHeap, kNumHands> handRegs_;  ///< ring quotas
-    MinHeap ringRegs_;                 ///< STRAIGHT unified ring
+
+    /**
+     * Departure queue for structures whose entries are pushed with
+     * nondecreasing departure cycles (LSQ slots and register windows
+     * depart at commit, and commit times are monotone in seq). Under
+     * that ordering a FIFO is behaviourally identical to a min-heap —
+     * the front is always the minimum — at O(1) per operation instead
+     * of an O(log n) sift.
+     */
+    struct MonoQueue {
+        bool empty() const { return data.empty(); }
+        size_t size() const { return data.size(); }
+        uint64_t top() const { return data.front(); }
+        void pop() { data.pop_front(); }
+        void
+        push(uint64_t v)
+        {
+            CH_DASSERT(data.empty() || v >= data.back(),
+                       "MonoQueue pushes must be nondecreasing");
+            data.push_back(v);
+        }
+        std::deque<uint64_t> data;
+    };
+
+    MinHeap iq_;  ///< freed at issue — issue cycles are not monotone
+    MonoQueue loadQ_;
+    MonoQueue storeQ_;
+    MonoQueue physRegs_;               ///< RISC free-list pressure
+    std::array<MonoQueue, kNumHands> handRegs_;  ///< ring quotas
+    MonoQueue ringRegs_;               ///< STRAIGHT unified ring
 
     // Issue arbitration.
     CycleCounts issueSlots_;
@@ -197,6 +236,32 @@ class CycleSim : public TraceSink
 
     // Dependent-commit bookkeeping.
     std::deque<uint64_t> recentCommits_;  ///< last commitWidth commits
+
+    // Cached per-instruction counters (see hot()).
+    Counter* cFetchInsts_ = nullptr;
+    Counter* cDispatchInsts_ = nullptr;
+    Counter* cRenameDstWrites_ = nullptr;
+    Counter* cRenameCheckpoints_ = nullptr;
+    Counter* cStallFreeList_ = nullptr;
+    Counter* cStallDistanceWindow_ = nullptr;
+    Counter* cBranchConds_ = nullptr;
+    Counter* cBranchMispredicts_ = nullptr;
+    Counter* cBranchBtbMisses_ = nullptr;
+    Counter* cFetchWrongPath_ = nullptr;
+    Counter* cIqWakeups_ = nullptr;
+    Counter* cRfReads_ = nullptr;
+    Counter* cRfWrites_ = nullptr;
+    Counter* cReadJunkSlots_ = nullptr;
+    Counter* cIqIssues_ = nullptr;
+    Counter* cFuOps_ = nullptr;
+    Counter* cRobCommits_ = nullptr;
+    Counter* cLsqLoads_ = nullptr;
+    Counter* cLsqStores_ = nullptr;
+    Counter* cLsqSearches_ = nullptr;
+    Counter* cLsqForwards_ = nullptr;
+    Counter* cLsqViolations_ = nullptr;
+    std::array<Counter*, kNumHands> cHandWrites_{};
+    std::array<Counter*, kNumHands> cHandReads_{};
 };
 
 } // namespace ch

@@ -22,37 +22,71 @@ tracePathFor(const MachineConfig& cfg)
     return env ? std::string(env) : std::string();
 }
 
+/** Optional Kanata tracer attached to @p core for one run. */
+class ScopedPipeTracer
+{
+  public:
+    ScopedPipeTracer(CycleSim& core, Isa isa, const MachineConfig& cfg)
+    {
+        const std::string tracePath = tracePathFor(cfg);
+        if (tracePath.empty())
+            return;
+        file_.open(tracePath, std::ios::binary);
+        if (!file_.is_open())
+            fatal("cannot open pipe-trace file: ", tracePath);
+        tracer_ = std::make_unique<PipeTracer>(file_, isa, cfg);
+        core.setPipeTracer(tracer_.get());
+    }
+
+    void
+    finish()
+    {
+        if (tracer_)
+            tracer_->finish();
+    }
+
+  private:
+    std::ofstream file_;
+    std::unique_ptr<PipeTracer> tracer_;
+};
+
+SimResult
+coreResult(CycleSim& core, bool exited, int64_t exitCode)
+{
+    SimResult res;
+    res.cycles = core.cycles();
+    res.insts = core.instCount();
+    res.exited = exited;
+    res.exitCode = exitCode;
+    res.stats = core.stats();
+    return res;
+}
+
 } // namespace
 
 SimResult
 simulate(const Program& prog, const MachineConfig& cfg, uint64_t maxInsts)
 {
     CycleSim core(cfg, prog.isa);
-
-    std::ofstream traceFile;
-    std::unique_ptr<PipeTracer> tracer;
-    const std::string tracePath = tracePathFor(cfg);
-    if (!tracePath.empty()) {
-        traceFile.open(tracePath, std::ios::binary);
-        if (!traceFile.is_open())
-            fatal("cannot open pipe-trace file: ", tracePath);
-        tracer = std::make_unique<PipeTracer>(traceFile, prog.isa, cfg);
-        core.setPipeTracer(tracer.get());
-    }
+    ScopedPipeTracer tracer(core, prog.isa, cfg);
 
     Emulator emu(prog);
     RunResult run = emu.run(maxInsts, &core);
     core.finish();
-    if (tracer)
-        tracer->finish();
+    tracer.finish();
+    return coreResult(core, run.exited, run.exitCode);
+}
 
-    SimResult res;
-    res.cycles = core.cycles();
-    res.insts = core.instCount();
-    res.exited = run.exited;
-    res.exitCode = run.exitCode;
-    res.stats = core.stats();
-    return res;
+SimResult
+simulateReplay(const TraceBuffer& trace, Isa isa, const MachineConfig& cfg)
+{
+    CycleSim core(cfg, isa);
+    ScopedPipeTracer tracer(core, isa, cfg);
+
+    trace.replay(core);
+    core.finish();
+    tracer.finish();
+    return coreResult(core, trace.exited(), trace.exitCode());
 }
 
 } // namespace ch

@@ -11,6 +11,7 @@
 #include <memory>
 
 #include "emu/emulator.h"
+#include "trace/trace_buffer.h"
 #include "uarch/core.h"
 
 namespace ch {
@@ -34,6 +35,15 @@ struct SimResult {
 /** Run @p prog on the machine described by @p cfg. */
 SimResult simulate(const Program& prog, const MachineConfig& cfg,
                    uint64_t maxInsts = ~0ull);
+
+/**
+ * Time a previously captured committed stream on the machine described
+ * by @p cfg, without re-running the functional emulator. The stream is
+ * config-independent, so this produces byte-identical metrics to
+ * simulate() of the same (program, maxInsts) — see docs/PERFORMANCE.md.
+ */
+SimResult simulateReplay(const TraceBuffer& trace, Isa isa,
+                         const MachineConfig& cfg);
 
 } // namespace ch
 

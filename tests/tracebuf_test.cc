@@ -1,0 +1,244 @@
+/**
+ * @file
+ * Capture/replay correctness suite (docs/PERFORMANCE.md):
+ *
+ *  - every DynInst field round-trips bit-for-bit through the TraceBuffer
+ *    encoding for all three ISAs,
+ *  - a CycleSim fed by replay produces byte-identical results (cycles,
+ *    stats, exit info) to one fed directly by the emulator, across the
+ *    5x3 lockstep corpus,
+ *  - the TraceCache captures once per (workload, ISA, maxInsts) and its
+ *    byte budget triggers the re-emulation fallback without changing any
+ *    metric,
+ *  - the Memory hot-page cache is architecturally invisible: the same
+ *    program produces the same RunResult with the cache disabled.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/prng.h"
+#include "emu/emulator.h"
+#include "runner/runner.h"
+#include "runner/trace_cache.h"
+#include "trace/trace_buffer.h"
+#include "uarch/sim.h"
+#include "workloads/workloads.h"
+
+namespace ch {
+namespace {
+
+constexpr uint64_t kCap = 200'000;
+
+/** Records the raw DynInst stream for field-level comparison. */
+class RecordSink : public TraceSink
+{
+  public:
+    void onInst(const DynInst& di) override { insts_.push_back(di); }
+
+    const std::vector<DynInst>& insts() const { return insts_; }
+
+  private:
+    std::vector<DynInst> insts_;
+};
+
+void
+expectSameInst(const DynInst& a, const DynInst& b, size_t i)
+{
+    ASSERT_EQ(a.seq, b.seq) << "record " << i;
+    ASSERT_EQ(a.pc, b.pc) << "record " << i;
+    ASSERT_EQ(a.op, b.op) << "record " << i;
+    ASSERT_EQ(a.dst, b.dst) << "record " << i;
+    ASSERT_EQ(a.src1, b.src1) << "record " << i;
+    ASSERT_EQ(a.src2, b.src2) << "record " << i;
+    ASSERT_EQ(a.src1Hand, b.src1Hand) << "record " << i;
+    ASSERT_EQ(a.src2Hand, b.src2Hand) << "record " << i;
+    ASSERT_EQ(a.imm, b.imm) << "record " << i;
+    ASSERT_EQ(a.prod1, b.prod1) << "record " << i;
+    ASSERT_EQ(a.prod2, b.prod2) << "record " << i;
+    ASSERT_EQ(a.memAddr, b.memAddr) << "record " << i;
+    ASSERT_EQ(a.memValue, b.memValue) << "record " << i;
+    ASSERT_EQ(a.nextPc, b.nextPc) << "record " << i;
+    ASSERT_EQ(a.taken, b.taken) << "record " << i;
+}
+
+TEST(TraceBuffer, RoundTripsEveryFieldOnAllIsas)
+{
+    for (Isa isa : {Isa::Riscv, Isa::Straight, Isa::Clockhands}) {
+        SCOPED_TRACE(isaName(isa));
+        const Program& prog = compiledWorkload("coremark", isa);
+
+        TraceBuffer buf;
+        RecordSink direct;
+        TeeSink tee;
+        tee.add(&buf);
+        tee.add(&direct);
+        runProgram(prog, kCap, &tee);
+
+        RecordSink replayed;
+        buf.replay(replayed);
+
+        ASSERT_EQ(buf.instCount(), direct.insts().size());
+        ASSERT_EQ(replayed.insts().size(), direct.insts().size());
+        for (size_t i = 0; i < direct.insts().size(); ++i)
+            expectSameInst(direct.insts()[i], replayed.insts()[i], i);
+
+        // The encoding earns its keep: well under raw DynInst size.
+        EXPECT_LT(buf.byteSize(), direct.insts().size() * sizeof(DynInst));
+    }
+}
+
+TEST(TraceBuffer, ReplaySimMatchesDirectSimOnLockstepCorpus)
+{
+    const MachineConfig cfg = MachineConfig::preset(8);
+    for (const auto& w : workloads()) {
+        for (Isa isa : {Isa::Riscv, Isa::Straight, Isa::Clockhands}) {
+            SCOPED_TRACE(w.name + "/" + std::string(isaName(isa)));
+            const Program& prog = compiledWorkload(w.name, isa);
+
+            TraceBuffer buf;
+            RunResult run = runProgram(prog, kCap, &buf);
+            buf.setRunOutcome(run.exited, run.exitCode);
+
+            const SimResult direct = simulate(prog, cfg, kCap);
+            const SimResult replay = simulateReplay(buf, isa, cfg);
+
+            EXPECT_EQ(direct.cycles, replay.cycles);
+            EXPECT_EQ(direct.insts, replay.insts);
+            EXPECT_EQ(direct.exited, replay.exited);
+            EXPECT_EQ(direct.exitCode, replay.exitCode);
+            EXPECT_EQ(direct.stats.dump(), replay.stats.dump());
+        }
+    }
+}
+
+TEST(TraceCacheTest, CapturesOncePerKeyAndDistinguishesMaxInsts)
+{
+    const Program& prog = compiledWorkload("coremark", Isa::Clockhands);
+    TraceCache cache(64u << 20);
+
+    const TraceBuffer* a = cache.get("coremark", Isa::Clockhands, kCap,
+                                     prog);
+    const TraceBuffer* b = cache.get("coremark", Isa::Clockhands, kCap,
+                                     prog);
+    ASSERT_NE(a, nullptr);
+    EXPECT_EQ(a, b);
+    EXPECT_EQ(cache.captureCount(), 1u);
+    EXPECT_EQ(cache.lookupCount(), 2u);
+    EXPECT_EQ(cache.bytesUsed(), a->byteSize());
+    EXPECT_EQ(a->instCount(), kCap);
+
+    // A different instruction cap is a different committed stream.
+    const TraceBuffer* c = cache.get("coremark", Isa::Clockhands,
+                                     kCap / 2, prog);
+    ASSERT_NE(c, nullptr);
+    EXPECT_NE(a, c);
+    EXPECT_EQ(c->instCount(), kCap / 2);
+    EXPECT_EQ(cache.captureCount(), 2u);
+}
+
+TEST(TraceCacheTest, BudgetOverflowFallsBackWithIdenticalMetrics)
+{
+    const Program& prog = compiledWorkload("coremark", Isa::Riscv);
+    TraceCache tiny(1024);  // ~3 bytes/inst: 200k insts cannot fit
+    EXPECT_EQ(tiny.get("coremark", Isa::Riscv, kCap, prog), nullptr);
+    EXPECT_EQ(tiny.bytesUsed(), 0u);
+    EXPECT_EQ(tiny.captureCount(), 0u);
+
+    JobSpec spec;
+    spec.id = "coremark/R/8f";
+    spec.workload = "coremark";
+    spec.isa = Isa::Riscv;
+    spec.cfg = MachineConfig::preset(8);
+    spec.maxInsts = kCap;
+
+    TraceCache roomy(64u << 20);
+    JobContext viaTiny{spec, &prog, programCache(), &tiny};
+    JobContext viaRoomy{spec, &prog, programCache(), &roomy};
+    JobContext direct{spec, &prog, programCache(), nullptr};
+
+    const JobMetrics mTiny = simJob(viaTiny);
+    const JobMetrics mRoomy = simJob(viaRoomy);
+    const JobMetrics mDirect = simJob(direct);
+    EXPECT_EQ(roomy.captureCount(), 1u);
+
+    EXPECT_EQ(mDirect.cycles, mTiny.cycles);
+    EXPECT_EQ(mDirect.cycles, mRoomy.cycles);
+    EXPECT_EQ(mDirect.insts, mTiny.insts);
+    EXPECT_EQ(mDirect.insts, mRoomy.insts);
+    EXPECT_EQ(mDirect.counters, mTiny.counters);
+    EXPECT_EQ(mDirect.counters, mRoomy.counters);
+}
+
+TEST(HotPageCache, MemoryContentsMatchWithCacheDisabled)
+{
+    Memory cached, plain;
+    plain.setPageCacheEnabled(false);
+
+    // Pseudo-random mixed-size accesses, including page-straddling ones
+    // and block transfers, must read back identically from both.
+    Prng prng(7);
+    const unsigned sizes[4] = {1, 2, 4, 8};
+    for (int i = 0; i < 20000; ++i) {
+        const uint64_t addr = prng.next() & 0xffffful;
+        const unsigned size = sizes[prng.next() & 3];
+        const uint64_t value = prng.next();
+        cached.write(addr, size, value);
+        plain.write(addr, size, value);
+        const uint64_t back = prng.next() & 0xffffful;
+        ASSERT_EQ(cached.read(back, size), plain.read(back, size))
+            << "addr 0x" << std::hex << back;
+    }
+
+    uint8_t blockIn[10000];
+    for (size_t i = 0; i < sizeof(blockIn); ++i)
+        blockIn[i] = static_cast<uint8_t>(prng.next());
+    cached.writeBlock(0x3ffe, blockIn, sizeof(blockIn));
+    plain.writeBlock(0x3ffe, blockIn, sizeof(blockIn));
+    uint8_t a[sizeof(blockIn)], b[sizeof(blockIn)];
+    cached.readBlock(0x3ffe, a, sizeof(a));
+    plain.readBlock(0x3ffe, b, sizeof(b));
+    EXPECT_EQ(0, std::memcmp(a, b, sizeof(a)));
+    EXPECT_EQ(cached.residentPages(), plain.residentPages());
+}
+
+TEST(HotPageCache, EmulationResultUnchangedWithCacheDisabled)
+{
+    for (Isa isa : {Isa::Riscv, Isa::Straight, Isa::Clockhands}) {
+        SCOPED_TRACE(isaName(isa));
+        const Program& prog = compiledWorkload("mcf", isa);
+
+        Emulator cached(prog);
+        RunResult rc = cached.run(kCap);
+
+        Emulator plain(prog);
+        plain.memory().setPageCacheEnabled(false);
+        RunResult rp = plain.run(kCap);
+
+        EXPECT_EQ(rc.exited, rp.exited);
+        EXPECT_EQ(rc.exitCode, rp.exitCode);
+        EXPECT_EQ(rc.instCount, rp.instCount);
+        EXPECT_EQ(rc.output, rp.output);
+    }
+}
+
+TEST(EmulatorOutput, ChunkedRunsReturnOnlyNewBytes)
+{
+    // Run to completion: the workloads only print their checksum at the
+    // end, so a capped run would compare empty strings.
+    const Program& prog = compiledWorkload("coremark", Isa::Riscv);
+
+    Emulator whole(prog);
+    const std::string all = whole.run().output;
+    ASSERT_FALSE(all.empty());
+
+    Emulator chunked(prog);
+    std::string stitched;
+    while (!chunked.done())
+        stitched += chunked.run(100'000).output;
+    EXPECT_EQ(all, stitched);
+}
+
+} // namespace
+} // namespace ch
