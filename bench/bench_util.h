@@ -23,6 +23,15 @@
  *                                   of capture-once/replay-many
  *                                   (docs/PERFORMANCE.md); metrics are
  *                                   byte-identical either way
+ *   --sample-interval N             enable interval-sampled timing with
+ *                                   N-instruction intervals
+ *                                   (docs/PERFORMANCE.md, "Sampled
+ *                                   simulation"); off by default
+ *   --sample-len N                  measured window per interval
+ *                                   (default: interval/10, min 1)
+ *   --warmup N                      detailed warmup before each measured
+ *                                   window (default: the sample length,
+ *                                   clamped to fit the interval)
  *   CH_TRACE_CACHE_MB               trace-cache memory budget in MiB
  *                                   (default 1024; past it, jobs fall
  *                                   back to re-emulation with a note)
@@ -33,6 +42,8 @@
 #include <sys/types.h>
 #include <unistd.h>
 
+#include <algorithm>
+#include <cinttypes>
 #include <cstdint>
 #include <cstdlib>
 #include <cstdio>
@@ -95,6 +106,27 @@ parsePositiveInt(const char* what, const char* s)
         std::exit(2);
     }
     return static_cast<int>(v);
+}
+
+/**
+ * Strict positive instruction count for the --sample-* and --warmup
+ * flags:
+ * like CH_BENCH_MAXINSTS, a garbage value must abort at parse time
+ * (exit 2), never silently become 0 and change what gets simulated.
+ */
+inline uint64_t
+parseInstCount(const char* what, const char* s)
+{
+    errno = 0;
+    char* end = nullptr;
+    const unsigned long long v = std::strtoull(s, &end, 0);
+    if (end == s || *end != '\0' || errno == ERANGE ||
+        std::strchr(s, '-') || v == 0) {
+        std::fprintf(stderr, "error: %s expects a positive instruction "
+                             "count, got '%s'\n", what, s);
+        std::exit(2);
+    }
+    return v;
 }
 
 inline bool
@@ -169,6 +201,8 @@ benchInit(int argc, char** argv, const char* name)
     ctx.runner.progress = benchdetail::envFlag("CH_BENCH_PROGRESS");
     ctx.hostMetrics = benchdetail::envFlag("CH_BENCH_HOST_METRICS");
 
+    bool sampleLenSet = false;
+    bool warmupSet = false;
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
         auto next = [&]() -> const char* {
@@ -194,14 +228,61 @@ benchInit(int argc, char** argv, const char* name)
             ctx.hostMetrics = true;
         } else if (arg == "--no-trace-cache") {
             ctx.runner.traceCache = false;
+        } else if (arg == "--sample-interval") {
+            ctx.runner.sampling.intervalInsts =
+                benchdetail::parseInstCount("--sample-interval", next());
+        } else if (arg == "--sample-len") {
+            ctx.runner.sampling.sampleInsts =
+                benchdetail::parseInstCount("--sample-len", next());
+            sampleLenSet = true;
+        } else if (arg == "--warmup") {
+            ctx.runner.sampling.warmupInsts =
+                benchdetail::parseInstCount("--warmup", next());
+            warmupSet = true;
         } else if (arg == "--help" || arg == "-h") {
             std::printf("usage: %s [--jobs N] [--metrics-dir DIR] "
                         "[--pipe-trace DIR] [--progress] "
-                        "[--host-metrics] [--no-trace-cache]\n", name);
+                        "[--host-metrics] [--no-trace-cache] "
+                        "[--sample-interval N [--sample-len N] "
+                        "[--warmup N]]\n", name);
             std::exit(0);
         } else {
             std::fprintf(stderr, "error: unknown argument '%s' "
                                  "(try --help)\n", arg.c_str());
+            std::exit(2);
+        }
+    }
+
+    // Resolve and validate the sampling knobs at parse time, like
+    // --metrics-dir: a malformed combination must exit 2 here, not fail
+    // an assertion after the sweep started.
+    SamplingConfig& sc = ctx.runner.sampling;
+    if (sc.intervalInsts == 0) {
+        if (sampleLenSet || warmupSet) {
+            std::fprintf(stderr, "error: --sample-len/--warmup require "
+                                 "--sample-interval\n");
+            std::exit(2);
+        }
+    } else {
+        if (!sampleLenSet)
+            sc.sampleInsts = std::max<uint64_t>(1, sc.intervalInsts / 10);
+        if (sc.sampleInsts > sc.intervalInsts) {
+            std::fprintf(stderr,
+                         "error: --sample-len %" PRIu64 " exceeds "
+                         "--sample-interval %" PRIu64 "\n",
+                         sc.sampleInsts, sc.intervalInsts);
+            std::exit(2);
+        }
+        if (!warmupSet) {
+            sc.warmupInsts = std::min<uint64_t>(
+                sc.sampleInsts, sc.intervalInsts - sc.sampleInsts);
+        }
+        if (sc.warmupInsts > sc.intervalInsts - sc.sampleInsts) {
+            std::fprintf(stderr,
+                         "error: --warmup %" PRIu64 " + --sample-len %"
+                         PRIu64 " exceed --sample-interval %" PRIu64
+                         "\n", sc.warmupInsts, sc.sampleInsts,
+                         sc.intervalInsts);
             std::exit(2);
         }
     }

@@ -1,0 +1,302 @@
+/**
+ * @file
+ * Speedup-vs-error curves for interval-sampled timing simulation
+ * (docs/PERFORMANCE.md, "Sampled simulation") on the 5-workload x 3-ISA
+ * corpus. For every (workload, ISA) pair the bench times the full
+ * committed stream once as the reference, then re-times it under several
+ * cap-scaled sampling configurations — including a functional-warming-off
+ * ablation — and reports, per point: sampled vs reference IPC, the
+ * relative error, whether the reported 95% CI covers the reference, and
+ * (host-side) the wall-clock speedup of sampling and of the pure warming
+ * pass.
+ *
+ * All error/coverage numbers are deterministic and always land in the
+ * ch-sweep-metrics-v1 files; wall-clock speedups are host observations
+ * and appear there only under --host-metrics (they always print in the
+ * table). `--max-relerr P` makes the bench exit 1 when the corpus mean
+ * relative IPC error of the primary configuration exceeds P percent —
+ * CI runs it with --max-relerr 5.
+ */
+
+#include <chrono>
+#include <cmath>
+
+#include "bench_util.h"
+#include "trace/trace_buffer.h"
+#include "uarch/sampling.h"
+#include "uarch/sim.h"
+
+using namespace ch;
+
+namespace {
+
+/** Sampling configurations swept per corpus point; interval = cap/div. */
+struct SampleVariant {
+    const char* tag;
+    uint64_t div;
+    bool warming;
+};
+
+constexpr SampleVariant kVariants[] = {
+    {"i40", 40, true},    // primary: 40 intervals, 5% measured
+    {"i20", 20, true},    // coarser: 20 longer intervals
+    {"i10", 10, true},    // coarsest: 10 long intervals
+    {"i40nw", 40, false}, // primary without functional warming
+};
+constexpr size_t kNumVariants = sizeof(kVariants) / sizeof(kVariants[0]);
+constexpr size_t kPrimary = 0;
+constexpr size_t kNoWarm = 3;
+
+SamplingConfig
+variantConfig(const SampleVariant& v, uint64_t cap)
+{
+    SamplingConfig sc;
+    sc.intervalInsts = std::max<uint64_t>(1, cap / v.div);
+    sc.sampleInsts = std::max<uint64_t>(1, sc.intervalInsts / 20);
+    // The detailed warmup must refill the ROB-deep backend the warming
+    // pass cannot carry (or every window starts under-committed and the
+    // estimate biases high), but it need not scale with the window: twice
+    // the preset-8 ROB is plenty.
+    sc.warmupInsts =
+        std::min<uint64_t>(2048, sc.intervalInsts - sc.sampleInsts);
+    sc.functionalWarming = v.warming;
+    return sc;
+}
+
+/** Routes the replayed stream into the warming path only. */
+class WarmSink : public TraceSink
+{
+  public:
+    explicit WarmSink(CycleSim& core) : core_(core) {}
+    void onInst(const DynInst& di) override { core_.warmInst(di); }
+
+  private:
+    CycleSim& core_;
+};
+
+struct VariantResult {
+    double ipc = 0;
+    double ci95 = 0;
+    double relErr = 0;     ///< |sampled - ref| / ref
+    bool covered = false;  ///< |sampled - ref| <= ci95
+    uint64_t intervals = 0;
+    double wallS = 0;      ///< host
+};
+
+struct Row {
+    std::string workload;
+    Isa isa = Isa::Riscv;
+    uint64_t insts = 0;
+    double refIpc = 0;
+    VariantResult variant[kNumVariants];
+    double refWallS = 0;   ///< host: full detailed replay
+    double warmWallS = 0;  ///< host: pure warming pass over the stream
+};
+
+double
+secondsSince(std::chrono::steady_clock::time_point t0)
+{
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         t0)
+        .count();
+}
+
+Row
+measure(const JobContext& job, uint64_t cap)
+{
+    Row row;
+    row.workload = job.spec.workload;
+    row.isa = job.spec.isa;
+
+    TraceBuffer local;
+    const TraceBuffer* trace =
+        job.traces ? job.traces->get(job.spec.workload, job.spec.isa,
+                                     cap, *job.program)
+                   : nullptr;
+    if (!trace) {
+        const RunResult run = runProgram(*job.program, cap, &local);
+        local.setRunOutcome(run.exited, run.exitCode);
+        trace = &local;
+    }
+
+    const MachineConfig cfg = MachineConfig::preset(8);
+
+    auto t0 = std::chrono::steady_clock::now();
+    const SimResult ref = simulateReplay(*trace, row.isa, cfg);
+    row.refWallS = secondsSince(t0);
+    row.insts = ref.insts;
+    row.refIpc = ref.ipc();
+
+    // Pure functional warming over the whole stream: the fast path the
+    // skipped portions of every interval run at.
+    {
+        CycleSim warmCore(cfg, row.isa);
+        WarmSink sink(warmCore);
+        t0 = std::chrono::steady_clock::now();
+        trace->replay(sink);
+        row.warmWallS = secondsSince(t0);
+    }
+
+    for (size_t v = 0; v < kNumVariants; ++v) {
+        MachineConfig scfg = cfg;
+        scfg.sampling = variantConfig(kVariants[v], cap);
+        t0 = std::chrono::steady_clock::now();
+        const SimResult s =
+            simulateSampled(*trace, row.isa, scfg, scfg.sampling);
+        VariantResult& out = row.variant[v];
+        out.wallS = secondsSince(t0);
+        out.ipc = s.ipc();
+        out.ci95 = s.sample.ipcCi95;
+        out.intervals = s.sample.intervals;
+        const double diff = std::fabs(out.ipc - row.refIpc);
+        out.relErr = row.refIpc > 0 ? diff / row.refIpc : 0;
+        out.covered = diff <= out.ci95;
+    }
+    return row;
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    // --max-relerr is bench-specific; strip it before the shared parse.
+    double maxRelErrPct = 0;
+    bool haveThreshold = false;
+    std::vector<char*> passArgv;
+    passArgv.push_back(argv[0]);
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--max-relerr") == 0) {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr,
+                             "error: --max-relerr needs an argument\n");
+                return 2;
+            }
+            const char* s = argv[++i];
+            errno = 0;
+            char* end = nullptr;
+            maxRelErrPct = std::strtod(s, &end);
+            if (end == s || *end != '\0' || errno == ERANGE ||
+                !(maxRelErrPct > 0)) {
+                std::fprintf(stderr,
+                             "error: --max-relerr expects a positive "
+                             "percentage, got '%s'\n", s);
+                return 2;
+            }
+            haveThreshold = true;
+        } else {
+            passArgv.push_back(argv[i]);
+        }
+    }
+    BenchContext ctx = benchInit(static_cast<int>(passArgv.size()),
+                                 passArgv.data(), "microbench_sampling");
+    benchHeader("Microbench", "sampled-simulation speedup vs error");
+    const uint64_t cap = benchMaxInsts(2'000'000);
+
+    SweepRunner runner(ctx.runner);
+    std::vector<Row> rows(workloads().size() * 3);
+    size_t slot = 0;
+    for (const auto& w : workloads()) {
+        for (Isa isa : {Isa::Riscv, Isa::Straight, Isa::Clockhands}) {
+            JobSpec spec;
+            spec.id = w.name + "/" + shortIsa(isa) + "/sampling";
+            spec.workload = w.name;
+            spec.isa = isa;
+            spec.maxInsts = cap;
+            Row* out = &rows[slot++];
+            runner.add(spec, [out, cap, &ctx](const JobContext& job) {
+                *out = measure(job, cap);
+                const VariantResult& p = out->variant[kPrimary];
+                JobMetrics m;
+                m.exited = true;
+                m.insts = out->insts;
+                m.counters["sample.intervals"] = p.intervals;
+                m.values["ref.ipc"] = out->refIpc;
+                m.values["sample.ipc"] = p.ipc;
+                m.values["sample.ipc.ci95"] = p.ci95;
+                m.values["sample.relerr"] = p.relErr;
+                m.values["sample.covered"] = p.covered ? 1 : 0;
+                m.values["sample.nowarm.relerr"] =
+                    out->variant[kNoWarm].relErr;
+                if (ctx.hostMetrics) {
+                    m.values["sample.speedup"] =
+                        p.wallS > 0 ? out->refWallS / p.wallS : 0;
+                    m.values["warm.speedup"] =
+                        out->warmWallS > 0
+                            ? out->refWallS / out->warmWallS
+                            : 0;
+                }
+                return m;
+            });
+        }
+    }
+    const std::vector<JobResult>& results = runner.run();
+    benchRequireOk(results);
+
+    TextTable t;
+    t.header({"benchmark", "isa", "ref IPC", "smp IPC", "err%", "ci95%",
+              "cover", "nowarm err%", "smp speedup", "warm speedup"});
+    double errSum = 0, noWarmErrSum = 0;
+    double speedupLogSum = 0, warmLogSum = 0;
+    int covered = 0;
+    for (const Row& r : rows) {
+        const VariantResult& p = r.variant[kPrimary];
+        const double speedup = p.wallS > 0 ? r.refWallS / p.wallS : 0;
+        const double warmSpeedup =
+            r.warmWallS > 0 ? r.refWallS / r.warmWallS : 0;
+        errSum += p.relErr;
+        noWarmErrSum += r.variant[kNoWarm].relErr;
+        covered += p.covered ? 1 : 0;
+        if (speedup > 0)
+            speedupLogSum += std::log(speedup);
+        if (warmSpeedup > 0)
+            warmLogSum += std::log(warmSpeedup);
+        t.row({r.workload, shortIsa(r.isa), fmtDouble(r.refIpc, 3),
+               fmtDouble(p.ipc, 3), fmtDouble(100 * p.relErr, 2),
+               fmtDouble(r.refIpc > 0 ? 100 * p.ci95 / r.refIpc : 0, 2),
+               p.covered ? "yes" : "NO",
+               fmtDouble(100 * r.variant[kNoWarm].relErr, 2),
+               fmtDouble(speedup, 2), fmtDouble(warmSpeedup, 1)});
+    }
+    t.print();
+
+    const double n = static_cast<double>(rows.size());
+    std::printf("\nspeedup-vs-error curve (all variants):\n");
+    for (size_t v = 0; v < kNumVariants; ++v) {
+        double err = 0, logSum = 0;
+        int cov = 0;
+        for (const Row& r : rows) {
+            err += r.variant[v].relErr;
+            cov += r.variant[v].covered ? 1 : 0;
+            const double sp = r.variant[v].wallS > 0
+                                  ? r.refWallS / r.variant[v].wallS
+                                  : 0;
+            if (sp > 0)
+                logSum += std::log(sp);
+        }
+        std::printf("  %-6s mean |IPC err| %5.2f%%, CI covers %2d/%zu, "
+                    "geomean speedup %.2fx\n",
+                    kVariants[v].tag, 100 * err / n, cov, rows.size(),
+                    std::exp(logSum / n));
+    }
+
+    const double meanErrPct = 100 * errSum / n;
+    std::printf("\nprimary config (interval=cap/40, 5%% measured): "
+                "mean |IPC err| %.2f%%, CI covers reference on %d/%zu "
+                "points, warming-off mean err %.2f%%\n",
+                meanErrPct, covered, rows.size(),
+                100 * noWarmErrSum / n);
+    std::printf("host wall-clock (table always, metrics files under "
+                "--host-metrics): sampled timing geomean speedup %.2fx, "
+                "pure warming pass geomean %.1fx vs detailed replay\n",
+                std::exp(speedupLogSum / n), std::exp(warmLogSum / n));
+    benchWriteMetrics(ctx, results);
+
+    if (haveThreshold && meanErrPct > maxRelErrPct) {
+        std::fprintf(stderr,
+                     "error: mean sampled IPC error %.2f%% exceeds "
+                     "--max-relerr %.2f%%\n", meanErrPct, maxRelErrPct);
+        return 1;
+    }
+    return 0;
+}

@@ -81,6 +81,21 @@ writeMetricsJson(std::ostream& os, const MetricsOptions& opt,
         if (r.spec.maxInsts != ~0ull)
             os << "      \"max_insts\": " << r.spec.maxInsts << ",\n";
         os << "      \"seed\": " << r.spec.seed << ",\n";
+        // Sampled runs are distinguishable in the schema: the block is
+        // only present when sampling was enabled for the job, so
+        // sampling-off output stays byte-identical.
+        if (r.spec.cfg.sampling.enabled()) {
+            const SamplingConfig& sc = r.spec.cfg.sampling;
+            os << "      \"sampling\": {\n";
+            os << "        \"interval_insts\": " << sc.intervalInsts
+               << ",\n";
+            os << "        \"sample_insts\": " << sc.sampleInsts << ",\n";
+            os << "        \"warmup_insts\": " << sc.warmupInsts << ",\n";
+            os << "        \"seed_offset\": " << sc.seedOffset << ",\n";
+            os << "        \"functional_warming\": "
+               << (sc.functionalWarming ? "true" : "false") << "\n";
+            os << "      },\n";
+        }
         os << "      \"ok\": " << (r.ok ? "true" : "false") << ",\n";
         if (!r.ok)
             os << "      \"error\": \"" << jsonEscape(r.error) << "\",\n";
@@ -154,6 +169,19 @@ writeMetricsCsv(std::ostream& os, const MetricsOptions& opt,
                << ',' << (r.ok ? 1 : 0) << ',' << kind << ','
                << csvField(metric) << ',' << value << '\n';
         };
+        if (r.spec.cfg.sampling.enabled()) {
+            const SamplingConfig& sc = r.spec.cfg.sampling;
+            row("sampling", "interval_insts",
+                std::to_string(sc.intervalInsts));
+            row("sampling", "sample_insts",
+                std::to_string(sc.sampleInsts));
+            row("sampling", "warmup_insts",
+                std::to_string(sc.warmupInsts));
+            row("sampling", "seed_offset",
+                std::to_string(sc.seedOffset));
+            row("sampling", "functional_warming",
+                sc.functionalWarming ? "1" : "0");
+        }
         row("core", "exited", m.exited ? "1" : "0");
         row("core", "exit_code", std::to_string(m.exitCode));
         row("core", "cycles", std::to_string(m.cycles));

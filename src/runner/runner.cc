@@ -10,6 +10,7 @@
 #include <thread>
 
 #include "common/logging.h"
+#include "uarch/sampling.h"
 #include "uarch/sim.h"
 
 namespace ch {
@@ -44,9 +45,18 @@ simJob(const JobContext& ctx)
         ctx.traces ? ctx.traces->get(ctx.spec.workload, ctx.spec.isa,
                                      ctx.spec.maxInsts, *ctx.program)
                    : nullptr;
-    SimResult r =
-        trace ? simulateReplay(*trace, ctx.spec.isa, ctx.spec.cfg)
-              : simulate(*ctx.program, ctx.spec.cfg, ctx.spec.maxInsts);
+    const SamplingConfig& sc = ctx.spec.cfg.sampling;
+    SimResult r;
+    if (sc.enabled()) {
+        r = trace ? simulateSampled(*trace, ctx.spec.isa, ctx.spec.cfg,
+                                    sc)
+                  : simulateSampled(*ctx.program, ctx.spec.cfg, sc,
+                                    ctx.spec.maxInsts);
+    } else {
+        r = trace ? simulateReplay(*trace, ctx.spec.isa, ctx.spec.cfg)
+                  : simulate(*ctx.program, ctx.spec.cfg,
+                             ctx.spec.maxInsts);
+    }
     JobMetrics m;
     m.exited = r.exited;
     m.exitCode = r.exitCode;
@@ -54,6 +64,12 @@ simJob(const JobContext& ctx)
     m.insts = r.insts;
     for (const auto& [name, value] : r.stats.dump())
         m.counters[name] = value;
+    if (r.sampled) {
+        m.values["sample.ipc"] = r.sample.ipcMean;
+        m.values["sample.ipc.stderr"] = r.sample.ipcStderr;
+        m.values["sample.ipc.ci95"] = r.sample.ipcCi95;
+        m.values["sample.relerr"] = r.sample.relErr();
+    }
     return m;
 }
 
@@ -111,6 +127,8 @@ SweepRunner::addSim(JobSpec spec)
         spec.cfg.pipeTracePath =
             opt_.pipeTraceDir + "/" + sanitizeJobId(spec.id) + ".kanata";
     }
+    if (opt_.sampling.enabled() && !spec.cfg.sampling.enabled())
+        spec.cfg.sampling = opt_.sampling;
     const size_t idx = add(std::move(spec), simJob);
     isSim_[idx] = 1;
     return idx;

@@ -58,6 +58,14 @@ struct RunnerOptions {
      * `--no-trace-cache` to cross-check or to shed memory.
      */
     bool traceCache = true;
+
+    /**
+     * Interval-sampling knobs applied to every addSim() job whose config
+     * does not set its own (docs/PERFORMANCE.md, "Sampled simulation").
+     * Disabled by default: every job times 100% of the committed stream
+     * and all metrics stay byte-identical to earlier binaries.
+     */
+    SamplingConfig sampling;
 };
 
 /** One simulation/analysis job of a sweep. */

@@ -172,6 +172,29 @@ MemoryHierarchy::sharedAccess(uint64_t addr)
     return cfg_.l2Latency + cfg_.memLatency;
 }
 
+void
+MemoryHierarchy::warmShared(uint64_t addr)
+{
+    if (l2_.access(addr))
+        return;
+    for (uint64_t pf : prefetcher_.onMiss(addr))
+        l2_.fill(pf);
+}
+
+void
+MemoryHierarchy::warmFetch(uint64_t pc)
+{
+    if (!l1i_.access(pc))
+        warmShared(pc);
+}
+
+void
+MemoryHierarchy::warmData(uint64_t addr)
+{
+    if (!l1d_.access(addr))
+        warmShared(addr);
+}
+
 int
 MemoryHierarchy::fetchAccess(uint64_t pc)
 {

@@ -80,8 +80,18 @@ class MemoryHierarchy
     /** Data access latency (loads and committed stores). */
     int dataAccess(uint64_t addr, bool isStore);
 
+    /**
+     * Functional-warming accesses (docs/PERFORMANCE.md): update tags,
+     * LRU state, and the prefetcher exactly like the timed paths, but
+     * touch no latency bookkeeping and no counters, so warming skipped
+     * instructions never shows up in any reported statistic.
+     */
+    void warmFetch(uint64_t pc);
+    void warmData(uint64_t addr);
+
   private:
     int sharedAccess(uint64_t addr);  ///< L2 + memory + prefetch
+    void warmShared(uint64_t addr);   ///< counter-free sharedAccess
 
     /**
      * Per-access counter, resolved once and cached (StatGroup map nodes

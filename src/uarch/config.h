@@ -16,6 +16,47 @@
 
 namespace ch {
 
+/**
+ * Interval-sampling knobs for the timing model (docs/PERFORMANCE.md,
+ * "Sampled simulation"). Sampling is **off by default** — a
+ * default-constructed config times 100% of the committed stream and all
+ * metrics stay byte-identical to earlier binaries.
+ *
+ * When enabled, each interval of intervalInsts committed instructions is
+ * split into a functional-warming prefix (caches and branch predictors
+ * updated at trace-decode speed, no timing), a detailed warmup of
+ * warmupInsts (timed, not measured), and a measured window of
+ * sampleInsts whose IPC feeds the CLT estimate.
+ */
+struct SamplingConfig {
+    uint64_t intervalInsts = 0;  ///< interval length; 0 disables sampling
+    uint64_t sampleInsts = 0;    ///< measured window per interval
+    uint64_t warmupInsts = 0;    ///< detailed (unmeasured) warmup window
+    uint64_t seedOffset = 0;     ///< warming-only prefix before interval 0
+
+    /**
+     * Update long-lived state (cache tags, branch predictors) during the
+     * skipped portion of each interval. On by default; the off setting
+     * exists to quantify the warming pass's error contribution.
+     */
+    bool functionalWarming = true;
+
+    bool
+    enabled() const
+    {
+        return intervalInsts > 0 && sampleInsts > 0;
+    }
+
+    /** Warmup + measured windows must fit inside one interval. */
+    bool
+    wellFormed() const
+    {
+        return !enabled() ||
+               (sampleInsts <= intervalInsts &&
+                warmupInsts <= intervalInsts - sampleInsts);
+    }
+};
+
 /** Per-class functional-unit counts. */
 struct FuCounts {
     int intAlu = 4;
@@ -125,6 +166,13 @@ struct MachineConfig {
      * docs/OBSERVABILITY.md.
      */
     std::string pipeTracePath;
+
+    /**
+     * Interval-sampling knobs; disabled by default so every run times
+     * the full committed stream (docs/PERFORMANCE.md). simJob() switches
+     * to simulateSampled() when sampling.enabled().
+     */
+    SamplingConfig sampling;
 
     /** Table 2 preset by fetch width (4, 6, 8, 12, 16). */
     static MachineConfig preset(int fetchWidth);

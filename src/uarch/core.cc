@@ -305,6 +305,53 @@ CycleSim::handleBranchPrediction(const DynInst& di, uint64_t resolveCycle)
 }
 
 void
+CycleSim::warmInst(const DynInst& di)
+{
+    const OpInfo& info = di.info();
+
+    // I-side: one tag touch per new line, like stageFetch.
+    const uint64_t line = di.pc / cfg_.lineBytes;
+    if (line != warmFetchLine_) {
+        mem_.warmFetch(di.pc);
+        warmFetchLine_ = line;
+    }
+    if (info.isBranch() && di.taken)
+        warmFetchLine_ = ~0ull;
+
+    // Predictors: same training as handleBranchPrediction, no outcome
+    // bookkeeping and no redirects.
+    switch (info.brKind) {
+      case BrKind::Cond:
+        tage_.update(di.pc, di.taken);
+        if (di.taken && btb_.lookup(di.pc) != di.nextPc)
+            btb_.insert(di.pc, di.nextPc);
+        break;
+      case BrKind::Jump:
+        if (btb_.lookup(di.pc) != di.nextPc)
+            btb_.insert(di.pc, di.nextPc);
+        break;
+      case BrKind::Call:
+        ras_.push(di.pc + 4);
+        if (btb_.lookup(di.pc) != di.nextPc)
+            btb_.insert(di.pc, di.nextPc);
+        break;
+      case BrKind::IndCall:
+        ras_.push(di.pc + 4);
+        btb_.insert(di.pc, di.nextPc);
+        break;
+      case BrKind::Ret:
+        ras_.pop();
+        break;
+      case BrKind::None:
+        break;
+    }
+
+    // D-side: tags, LRU and prefetcher streams.
+    if (info.isLoad() || info.isStore())
+        mem_.warmData(di.memAddr);
+}
+
+void
 CycleSim::onInst(const DynInst& di)
 {
     const OpInfo& info = di.info();

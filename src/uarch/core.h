@@ -85,6 +85,37 @@ class CycleCounts
     std::vector<Slot> slots_;
 };
 
+/**
+ * Departure queue for structures whose entries are pushed with
+ * nondecreasing departure cycles (LSQ slots and register windows depart
+ * at commit, and commit times are monotone in seq). Under that ordering
+ * a FIFO is behaviourally identical to a min-heap — the front is always
+ * the minimum — at O(1) per operation instead of an O(log n) sift.
+ * pop() on an empty queue is a no-op, so drain loops need no guard.
+ */
+struct MonoQueue {
+    bool empty() const { return data.empty(); }
+    size_t size() const { return data.size(); }
+    uint64_t top() const { return data.front(); }
+
+    void
+    pop()
+    {
+        if (!data.empty())
+            data.pop_front();
+    }
+
+    void
+    push(uint64_t v)
+    {
+        CH_DASSERT(data.empty() || v >= data.back(),
+                   "MonoQueue pushes must be nondecreasing");
+        data.push_back(v);
+    }
+
+    std::deque<uint64_t> data;
+};
+
 /** The core model; feed it the committed stream, then call finish(). */
 class CycleSim : public TraceSink
 {
@@ -92,6 +123,29 @@ class CycleSim : public TraceSink
     CycleSim(const MachineConfig& cfg, Isa isa);
 
     void onInst(const DynInst& di) override;
+
+    /**
+     * Functional warming (docs/PERFORMANCE.md, "Sampled simulation"):
+     * update only the long-lived microarchitectural state — L1/L2 cache
+     * tags and LRU, TAGE/BTB/RAS — for one skipped instruction, at
+     * trace-decode speed. Touches no timing state, no counters, and no
+     * stall accounting, so a warmed instruction is invisible everywhere
+     * except in the predictor/cache contents the next measured interval
+     * starts from.
+     */
+    void warmInst(const DynInst& di);
+
+    /**
+     * Warming→detailed boundary: forget the fetch-line filters so the
+     * first fetch of a detailed segment performs a real I-cache access
+     * instead of riding a line touched megacycles earlier.
+     */
+    void
+    beginDetailedSegment()
+    {
+        lastFetchLine_ = ~0ull;
+        warmFetchLine_ = ~0ull;
+    }
 
     /** Complete the run; returns total cycles (last commit). */
     uint64_t finish();
@@ -172,6 +226,7 @@ class CycleSim : public TraceSink
     uint64_t lastFetchLine_ = ~0ull;
     uint64_t redirectAt_ = 0;  ///< earliest fetch cycle after a squash
     uint64_t lastRedirect_ = 0;  ///< fetch cycle of the last squash refill
+    uint64_t warmFetchLine_ = ~0ull;  ///< warming-pass I-side line filter
 
     // Per-instruction timestamp rings.
     uint64_t seq_ = 0;
@@ -195,29 +250,6 @@ class CycleSim : public TraceSink
     // Structural occupancy: queues of departure cycles.
     using MinHeap = std::priority_queue<uint64_t, std::vector<uint64_t>,
                                         std::greater<uint64_t>>;
-
-    /**
-     * Departure queue for structures whose entries are pushed with
-     * nondecreasing departure cycles (LSQ slots and register windows
-     * depart at commit, and commit times are monotone in seq). Under
-     * that ordering a FIFO is behaviourally identical to a min-heap —
-     * the front is always the minimum — at O(1) per operation instead
-     * of an O(log n) sift.
-     */
-    struct MonoQueue {
-        bool empty() const { return data.empty(); }
-        size_t size() const { return data.size(); }
-        uint64_t top() const { return data.front(); }
-        void pop() { data.pop_front(); }
-        void
-        push(uint64_t v)
-        {
-            CH_DASSERT(data.empty() || v >= data.back(),
-                       "MonoQueue pushes must be nondecreasing");
-            data.push_back(v);
-        }
-        std::deque<uint64_t> data;
-    };
 
     MinHeap iq_;  ///< freed at issue — issue cycles are not monotone
     MonoQueue loadQ_;

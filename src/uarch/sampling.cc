@@ -1,0 +1,299 @@
+#include "uarch/sampling.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace ch {
+
+namespace {
+
+/**
+ * TraceSink that routes each replayed instruction into the warming or
+ * detailed path according to its position in the interval schedule, and
+ * accumulates the per-interval measured-window statistics.
+ *
+ * Interval layout (after the seedOffset warming prefix):
+ *
+ *     [ skip (warmed) | warmup (timed, unmeasured) | measure | skip ]
+ *
+ * The detailed segment is placed at a per-interval pseudo-random offset
+ * (a deterministic LCG, so every run of the same config reproduces the
+ * same windows). Always measuring at a fixed position inside the
+ * interval would alias against loop phases whose period divides the
+ * interval length — a systematic bias the variance-based CI cannot
+ * see; drawing the position uniformly turns that phase structure into
+ * ordinary between-window variance, which the CI does capture.
+ *
+ * Detailed segments (warmup + measure) are stitched onto the core's
+ * continuous cycle clock. Sequence numbers and producer links are
+ * rebased so the segment looks locally contiguous to CycleSim;
+ * producers older than the segment become kNoProducer — their results
+ * committed megacycles ago and would be ready anyway.
+ */
+class SampledFeeder : public TraceSink
+{
+  public:
+    SampledFeeder(CycleSim& core, const SamplingConfig& sc)
+        : core_(core),
+          sc_(sc),
+          skipBudget_(sc.intervalInsts - sc.warmupInsts - sc.sampleInsts),
+          rng_(0x9e3779b97f4a7c15ull ^ sc.seedOffset)
+    {
+        drawWindow();
+    }
+
+    void
+    onInst(const DynInst& di) override
+    {
+        if (pos_ < sc_.seedOffset) {
+            ++pos_;
+            warm(di);
+            return;
+        }
+        const uint64_t p = (pos_ - sc_.seedOffset) % sc_.intervalInsts;
+        ++pos_;
+        if (p < segStart_ || p >= segStart_ + segLen()) {
+            warm(di);
+            if (p + 1 == sc_.intervalInsts)
+                drawWindow();
+            return;
+        }
+        if (p == segStart_)
+            beginSegment(di);
+        if (p == segStart_ + sc_.warmupInsts)
+            snapshotMeasureStart();
+
+        DynInst local = di;
+        local.seq = segLocalBase_ + (di.seq - segOrigBase_);
+        local.prod1 = rebase(di.prod1);
+        local.prod2 = rebase(di.prod2);
+        core_.onInst(local);
+        ++detailedFed_;
+
+        if (p + 1 == segStart_ + segLen()) {
+            closeInterval();
+            if (p + 1 == sc_.intervalInsts)
+                drawWindow();
+        }
+    }
+
+    /**
+     * Build the CLT estimate over the closed intervals. Statistics are
+     * computed in CPI space: the measured windows all hold sampleInsts
+     * instructions, so the aggregate CPI over them is exactly the
+     * arithmetic mean of the per-window CPIs (a mean of per-window IPCs
+     * — rates — would overestimate). The CPI mean and stderr are then
+     * mapped to IPC via the delta method (d(1/x) = -dx/x^2).
+     */
+    SampleSummary
+    summary() const
+    {
+        SampleSummary s;
+        s.intervals = n_;
+        s.measuredInsts = measuredInsts_;
+        s.warmupInsts = detailedFed_ - measuredInsts_;
+        s.warmedInsts = warmedInsts_;
+        if (n_ == 0)
+            return s;
+        const double n = static_cast<double>(n_);
+        const double cpiMean = sum_ / n;
+        if (cpiMean <= 0.0)
+            return s;
+        s.ipcMean = 1.0 / cpiMean;
+        if (n_ >= 2) {
+            double var = (sumSq_ - n * cpiMean * cpiMean) / (n - 1.0);
+            if (var < 0.0)
+                var = 0.0;  // floating-point cancellation guard
+            const double cpiStderr = std::sqrt(var / n);
+            s.ipcStderr = cpiStderr / (cpiMean * cpiMean);
+            s.ipcCi95 = 1.96 * s.ipcStderr;
+        }
+        return s;
+    }
+
+    uint64_t measuredCycles() const { return measuredCycles_; }
+    uint64_t measuredStall(int cat) const { return measuredStalls_[cat]; }
+
+  private:
+    void
+    warm(const DynInst& di)
+    {
+        if (!sc_.functionalWarming)
+            return;
+        core_.warmInst(di);
+        ++warmedInsts_;
+    }
+
+    uint64_t segLen() const { return sc_.warmupInsts + sc_.sampleInsts; }
+
+    /**
+     * Place the next interval's detailed segment: uniform over the
+     * skip budget via a 64-bit LCG (Knuth's MMIX constants), seeded
+     * from seedOffset so a given config always draws the same windows.
+     */
+    void
+    drawWindow()
+    {
+        rng_ = rng_ * 6364136223846793005ull + 1442695040888963407ull;
+        segStart_ = skipBudget_ ? (rng_ >> 33) % (skipBudget_ + 1) : 0;
+    }
+
+    void
+    beginSegment(const DynInst& di)
+    {
+        segOrigBase_ = di.seq;
+        segLocalBase_ = core_.instCount();
+        core_.beginDetailedSegment();
+    }
+
+    uint64_t
+    rebase(uint64_t prod) const
+    {
+        if (prod == kNoProducer || prod < segOrigBase_)
+            return kNoProducer;
+        return segLocalBase_ + (prod - segOrigBase_);
+    }
+
+    void
+    snapshotMeasureStart()
+    {
+        measStartCycles_ = core_.cycles();
+        for (int c = 0; c < kNumStallCats; ++c) {
+            stallAtStart_[c] =
+                core_.stallAccount().category(static_cast<StallCat>(c));
+        }
+    }
+
+    void
+    closeInterval()
+    {
+        const uint64_t dCycles = core_.cycles() - measStartCycles_;
+        uint64_t stallSum = 0;
+        for (int c = 0; c < kNumStallCats; ++c) {
+            const uint64_t d =
+                core_.stallAccount().category(static_cast<StallCat>(c)) -
+                stallAtStart_[c];
+            measuredStalls_[c] += d;
+            stallSum += d;
+        }
+        CH_ASSERT(stallSum == dCycles,
+                  "stall categories must sum to measured cycles");
+        const double cpi =
+            static_cast<double>(dCycles) / sc_.sampleInsts;
+        sum_ += cpi;
+        sumSq_ += cpi * cpi;
+        ++n_;
+        measuredInsts_ += sc_.sampleInsts;
+        measuredCycles_ += dCycles;
+    }
+
+    CycleSim& core_;
+    const SamplingConfig sc_;
+    const uint64_t skipBudget_;  ///< interval minus the detailed segment
+    uint64_t rng_;               ///< LCG state for window placement
+    uint64_t segStart_ = 0;      ///< this interval's segment offset
+
+    uint64_t pos_ = 0;           ///< replayed instructions seen
+    uint64_t segOrigBase_ = 0;   ///< trace seq of the segment's first inst
+    uint64_t segLocalBase_ = 0;  ///< core seq the segment starts at
+
+    uint64_t warmedInsts_ = 0;
+    uint64_t detailedFed_ = 0;
+    uint64_t measuredInsts_ = 0;
+    uint64_t measuredCycles_ = 0;
+
+    uint64_t measStartCycles_ = 0;
+    uint64_t stallAtStart_[kNumStallCats] = {};
+    uint64_t measuredStalls_[kNumStallCats] = {};
+
+    // Per-interval CPI accumulators for the CLT estimate.
+    uint64_t n_ = 0;
+    double sum_ = 0.0;
+    double sumSq_ = 0.0;
+};
+
+/** Fixed-point export of a ratio into a uint64 counter (1e-6 units). */
+uint64_t
+toE6(double x)
+{
+    return x > 0.0 ? static_cast<uint64_t>(std::llround(x * 1e6)) : 0;
+}
+
+} // namespace
+
+SimResult
+simulateSampled(const TraceBuffer& trace, Isa isa,
+                const MachineConfig& cfg, const SamplingConfig& sc)
+{
+    CH_ASSERT(sc.wellFormed(),
+              "sampling windows must fit inside one interval");
+
+    // Too short to complete even one interval (or sampling off): the
+    // exact run is both correct and cheap, so take it. The result then
+    // carries no sample.* counters and stays byte-identical to an
+    // unsampled run.
+    if (!sc.enabled() ||
+        trace.instCount() < sc.seedOffset + sc.intervalInsts) {
+        return simulateReplay(trace, isa, cfg);
+    }
+
+    CycleSim core(cfg, isa);
+    SampledFeeder feeder(core, sc);
+    trace.replay(feeder);
+    core.finish();
+
+    const SampleSummary s = feeder.summary();
+    SimResult res;
+    res.exited = trace.exited();
+    res.exitCode = trace.exitCode();
+    res.sampled = true;
+    res.sample = s;
+    res.insts = trace.instCount();
+    res.cycles =
+        s.ipcMean > 0.0
+            ? static_cast<uint64_t>(
+                  std::llround(static_cast<double>(res.insts) / s.ipcMean))
+            : 0;
+    res.stats = core.stats();
+
+    // The raw pipeline counters keep their warmup contributions (they
+    // describe everything the detailed model did), but the headline and
+    // stall counters are rewritten to the measured-window view so the
+    // six stall.* counters sum exactly to the measured cycles.
+    res.stats.counter("sim.cycles").set(res.cycles);
+    res.stats.counter("sim.insts").set(res.insts);
+    uint64_t stallSum = 0;
+    for (int c = 0; c < kNumStallCats; ++c) {
+        res.stats.counter(stallCatCounterName(c))
+            .set(feeder.measuredStall(c));
+        stallSum += feeder.measuredStall(c);
+    }
+    CH_ASSERT(stallSum == feeder.measuredCycles(),
+              "stall categories must sum to measured cycles");
+
+    res.stats.counter("sample.intervals").set(s.intervals);
+    res.stats.counter("sample.insts.measured").set(s.measuredInsts);
+    res.stats.counter("sample.insts.warmup").set(s.warmupInsts);
+    res.stats.counter("sample.insts.warmed").set(s.warmedInsts);
+    res.stats.counter("sample.cycles.measured")
+        .set(feeder.measuredCycles());
+    res.stats.counter("sample.ipc.e6").set(toE6(s.ipcMean));
+    res.stats.counter("sample.ipc.stderr.e6").set(toE6(s.ipcStderr));
+    res.stats.counter("sample.ipc.ci95.e6").set(toE6(s.ipcCi95));
+    res.stats.counter("sample.relerr.e6").set(toE6(s.relErr()));
+    return res;
+}
+
+SimResult
+simulateSampled(const Program& prog, const MachineConfig& cfg,
+                const SamplingConfig& sc, uint64_t maxInsts)
+{
+    TraceBuffer buf;
+    Emulator emu(prog);
+    RunResult run = emu.run(maxInsts, &buf);
+    buf.setRunOutcome(run.exited, run.exitCode);
+    return simulateSampled(buf, prog.isa, cfg, sc);
+}
+
+} // namespace ch

@@ -1,0 +1,63 @@
+#ifndef CH_UARCH_SAMPLING_H
+#define CH_UARCH_SAMPLING_H
+
+/**
+ * @file
+ * Interval-sampled timing simulation (SMARTS-style) layered on the
+ * trace-replay path — docs/PERFORMANCE.md, "Sampled simulation".
+ *
+ * The committed stream is split into fixed-size intervals. Each interval
+ * is simulated in three phases:
+ *
+ *   1. functional warming — the skipped portions update only long-lived
+ *      microarchitectural state (cache tags/LRU, TAGE, BTB, RAS and the
+ *      prefetcher) via CycleSim::warmInst at trace-decode speed,
+ *   2. detailed warmup — warmupInsts run through the full timing model
+ *      but are excluded from measurement, reconstructing the short-lived
+ *      pipeline/queue state the warming pass cannot carry, and
+ *   3. measurement — sampleInsts are timed and their IPC recorded.
+ *
+ * The detailed segment sits at a per-interval pseudo-random offset drawn
+ * from a deterministic LCG (seeded from seedOffset), so measuring never
+ * aliases against loop phases commensurate with the interval length and
+ * identical configs always reproduce identical windows.
+ *
+ * A single CycleSim instance spans the whole run on one continuously
+ * increasing cycle clock: detailed segments stitch onto the clock where
+ * the previous segment left off, so predictor and cache contents persist
+ * across intervals, structural-queue entries drain naturally, and the
+ * stall accountant's cycle attribution stays globally consistent. The
+ * per-interval IPCs feed a CLT estimate: mean, stderr = sd/sqrt(n), and
+ * a 95% confidence interval (1.96 * stderr), surfaced in
+ * SimResult::sample and as sample.* counters in the StatGroup.
+ *
+ * With sampling disabled (SamplingConfig::enabled() false) callers take
+ * the ordinary full-detail path and every metric stays byte-identical.
+ */
+
+#include "uarch/sim.h"
+
+namespace ch {
+
+/**
+ * Time @p trace on @p cfg's machine, measuring only the sampled windows
+ * described by @p sc. Falls back to an exact simulateReplay() (result
+ * has sampled == false) when the trace is too short to hold one complete
+ * interval after the seed offset, or when sampling is disabled.
+ */
+SimResult simulateSampled(const TraceBuffer& trace, Isa isa,
+                          const MachineConfig& cfg,
+                          const SamplingConfig& sc);
+
+/**
+ * Convenience overload: capture the committed stream of @p prog first
+ * (one emulator pass), then sample it. Equivalent to TraceCache::get()
+ * followed by the TraceBuffer overload.
+ */
+SimResult simulateSampled(const Program& prog, const MachineConfig& cfg,
+                          const SamplingConfig& sc,
+                          uint64_t maxInsts = ~0ull);
+
+} // namespace ch
+
+#endif // CH_UARCH_SAMPLING_H

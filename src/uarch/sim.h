@@ -16,6 +16,29 @@
 
 namespace ch {
 
+/**
+ * Per-run sampling estimate (docs/PERFORMANCE.md, "Sampled simulation").
+ * Populated only by simulateSampled(); the IPC estimate is the mean of
+ * the per-interval measured-window IPCs with a CLT-based 95% confidence
+ * interval (stderr = sd/sqrt(n), ci95 = 1.96 * stderr).
+ */
+struct SampleSummary {
+    uint64_t intervals = 0;      ///< measured windows that completed
+    uint64_t measuredInsts = 0;  ///< instructions timed and measured
+    uint64_t warmupInsts = 0;    ///< instructions timed but unmeasured
+    uint64_t warmedInsts = 0;    ///< instructions functionally warmed
+    double ipcMean = 0.0;
+    double ipcStderr = 0.0;
+    double ipcCi95 = 0.0;
+
+    /** Half-width of the 95% CI relative to the mean (0 when n < 2). */
+    double
+    relErr() const
+    {
+        return ipcMean > 0.0 ? ipcCi95 / ipcMean : 0.0;
+    }
+};
+
 /** Outcome of one timed run. */
 struct SimResult {
     uint64_t cycles = 0;
@@ -24,9 +47,16 @@ struct SimResult {
     int64_t exitCode = 0;
     StatGroup stats;
 
+    /** True when this result came from simulateSampled() with sampling
+     *  actually engaged; cycles is then an estimate, not a count. */
+    bool sampled = false;
+    SampleSummary sample;
+
     double
     ipc() const
     {
+        if (sampled)
+            return sample.ipcMean;
         return cycles == 0 ? 0.0
                            : static_cast<double>(insts) / cycles;
     }

@@ -1,0 +1,227 @@
+/**
+ * @file
+ * Sampled-simulation suite (`ctest -L sampling`, docs/PERFORMANCE.md):
+ *
+ *  - the sampled IPC estimate tracks the full-run reference across the
+ *    5x3 corpus and the reported 95% CI covers the reference on nearly
+ *    every point,
+ *  - functional warming earns its keep: corpus error with warming on is
+ *    lower than with warming off,
+ *  - sampled sweeps are deterministic across --jobs values,
+ *  - with sampling disabled nothing changes: no sampling schema fields,
+ *    no sample.* counters, byte-identical metrics output,
+ *  - the six stall.* counters sum exactly to the measured cycles in
+ *    sampled mode (the measured-window stall invariant), and
+ *  - a trace too short for one interval falls back to the exact replay.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+
+#include "common/logging.h"
+#include "runner/metrics.h"
+#include "runner/runner.h"
+#include "runner/trace_cache.h"
+#include "trace/trace_buffer.h"
+#include "uarch/sampling.h"
+#include "uarch/sim.h"
+#include "uarch/stall_account.h"
+#include "workloads/workloads.h"
+
+namespace ch {
+namespace {
+
+constexpr uint64_t kCap = 200'000;
+
+/** Cap for the corpus-accuracy tests: long enough that the cold-start
+ *  ramp is a small fraction of the reference and the stream has a
+ *  steady state worth sampling (at 200k insts everything is cold and
+ *  there is nothing for warming to preserve). */
+constexpr uint64_t kCorpusCap = 1'000'000;
+
+/** The microbench's primary shape, scaled to the cap: 40 intervals, 5%
+ *  measured, detailed warmup sized to refill the ROB-deep backend. */
+SamplingConfig
+testConfig(uint64_t cap)
+{
+    SamplingConfig sc;
+    sc.intervalInsts = cap / 40;
+    sc.sampleInsts = sc.intervalInsts / 20;
+    sc.warmupInsts =
+        std::min<uint64_t>(2048, sc.intervalInsts - sc.sampleInsts);
+    return sc;
+}
+
+/** Captured committed stream, shared across tests via the global cache. */
+const TraceBuffer&
+corpusTrace(const std::string& name, Isa isa, uint64_t cap = kCorpusCap)
+{
+    const TraceBuffer* t =
+        traceCache().get(name, isa, cap, compiledWorkload(name, isa));
+    CH_ASSERT(t, "trace capture failed for ", name);
+    return *t;
+}
+
+TEST(SampledSim, EstimateTracksReferenceAndCiCoversCorpus)
+{
+    const MachineConfig cfg = MachineConfig::preset(8);
+    int covered = 0, points = 0;
+    double errSum = 0;
+    for (const auto& w : workloads()) {
+        for (Isa isa : {Isa::Riscv, Isa::Straight, Isa::Clockhands}) {
+            SCOPED_TRACE(w.name + "/" + std::string(isaName(isa)));
+            const TraceBuffer& trace = corpusTrace(w.name, isa);
+            const SimResult ref = simulateReplay(trace, isa, cfg);
+            const SimResult s =
+                simulateSampled(trace, isa, cfg, testConfig(kCorpusCap));
+
+            ASSERT_TRUE(s.sampled);
+            EXPECT_EQ(s.insts, ref.insts);
+            EXPECT_GE(s.sample.intervals, 2u);
+            ASSERT_GT(s.sample.ipcMean, 0.0);
+
+            const double diff = std::fabs(s.ipc() - ref.ipc());
+            errSum += diff / ref.ipc();
+            covered += diff <= s.sample.ipcCi95 ? 1 : 0;
+            ++points;
+        }
+    }
+    // 95% CIs are allowed to miss occasionally; 14/15 matches the
+    // acceptance bar and the mean error must stay well-behaved.
+    EXPECT_GE(covered, points - 1);
+    EXPECT_LT(errSum / points, 0.05);
+}
+
+TEST(SampledSim, FunctionalWarmingReducesCorpusError)
+{
+    const MachineConfig cfg = MachineConfig::preset(8);
+    double errOn = 0, errOff = 0;
+    for (const auto& w : workloads()) {
+        for (Isa isa : {Isa::Riscv, Isa::Straight, Isa::Clockhands}) {
+            const TraceBuffer& trace = corpusTrace(w.name, isa);
+            const double ref = simulateReplay(trace, isa, cfg).ipc();
+
+            SamplingConfig on = testConfig(kCorpusCap);
+            SamplingConfig off = testConfig(kCorpusCap);
+            off.functionalWarming = false;
+            const SimResult sOn = simulateSampled(trace, isa, cfg, on);
+            const SimResult sOff = simulateSampled(trace, isa, cfg, off);
+            EXPECT_GT(sOn.sample.warmedInsts, 0u);
+            EXPECT_EQ(sOff.sample.warmedInsts, 0u);
+            errOn += std::fabs(sOn.ipc() - ref) / ref;
+            errOff += std::fabs(sOff.ipc() - ref) / ref;
+        }
+    }
+    EXPECT_LT(errOn, errOff);
+}
+
+TEST(SampledSim, MeasuredStallCountersSumToMeasuredCycles)
+{
+    const MachineConfig cfg = MachineConfig::preset(8);
+    for (Isa isa : {Isa::Riscv, Isa::Straight, Isa::Clockhands}) {
+        SCOPED_TRACE(isaName(isa));
+        const TraceBuffer& trace = corpusTrace("coremark", isa);
+        const SimResult s =
+            simulateSampled(trace, isa, cfg, testConfig(kCorpusCap));
+        ASSERT_TRUE(s.sampled);
+
+        uint64_t stallSum = 0;
+        for (int c = 0; c < kNumStallCats; ++c)
+            stallSum += s.stats.value(stallCatCounterName(c));
+        EXPECT_EQ(stallSum, s.stats.value("sample.cycles.measured"));
+        EXPECT_GT(stallSum, 0u);
+        EXPECT_EQ(s.stats.value("sample.insts.measured"),
+                  s.sample.measuredInsts);
+    }
+}
+
+/** One small sampled sweep; returns the deterministic metrics JSON. */
+std::string
+sweepJson(int jobs, const SamplingConfig& sampling)
+{
+    RunnerOptions opt;
+    opt.jobs = jobs;
+    opt.sampling = sampling;
+    SweepRunner runner(opt);
+    for (const auto& w : workloads()) {
+        for (Isa isa : {Isa::Riscv, Isa::Straight, Isa::Clockhands}) {
+            JobSpec spec;
+            spec.id = w.name + "/" + std::string(isaName(isa));
+            spec.workload = w.name;
+            spec.isa = isa;
+            spec.cfg = MachineConfig::preset(8);
+            spec.maxInsts = kCap;
+            runner.addSim(spec);
+        }
+    }
+    MetricsOptions mopt;
+    mopt.bench = "sampling_test";
+    for (const JobResult& r : runner.run())
+        EXPECT_TRUE(r.ok) << r.spec.id << ": " << r.error;
+    return metricsJsonString(mopt, runner.run());
+}
+
+TEST(SampledSim, SweepIsDeterministicAcrossJobCounts)
+{
+    const std::string j1 = sweepJson(1, testConfig(kCap));
+    const std::string j4 = sweepJson(4, testConfig(kCap));
+    EXPECT_EQ(j1, j4);
+    // Sampled runs are distinguishable in the schema.
+    EXPECT_NE(j1.find("\"sampling\""), std::string::npos);
+    EXPECT_NE(j1.find("\"sample.ipc\""), std::string::npos);
+    EXPECT_NE(j1.find("\"sample.intervals\""), std::string::npos);
+}
+
+TEST(SampledSim, SamplingOffEmitsNoSampleFieldsAndIsByteStable)
+{
+    const std::string j1 = sweepJson(1, SamplingConfig{});
+    const std::string j4 = sweepJson(4, SamplingConfig{});
+    EXPECT_EQ(j1, j4);
+    EXPECT_EQ(j1.find("\"sampling\""), std::string::npos);
+    EXPECT_EQ(j1.find("sample."), std::string::npos);
+}
+
+TEST(SampledSim, ShortTraceFallsBackToExactReplay)
+{
+    const MachineConfig cfg = MachineConfig::preset(8);
+    const TraceBuffer& trace =
+        corpusTrace("coremark", Isa::Clockhands, kCap);
+
+    SamplingConfig sc;
+    sc.intervalInsts = kCap * 2;  // no complete interval fits
+    sc.sampleInsts = sc.intervalInsts / 20;
+    const SimResult s =
+        simulateSampled(trace, Isa::Clockhands, cfg, sc);
+    const SimResult ref = simulateReplay(trace, Isa::Clockhands, cfg);
+
+    EXPECT_FALSE(s.sampled);
+    EXPECT_EQ(s.cycles, ref.cycles);
+    EXPECT_EQ(s.insts, ref.insts);
+    EXPECT_EQ(s.stats.dump(), ref.stats.dump());
+    EXPECT_EQ(s.stats.value("sample.intervals"), 0u);
+}
+
+TEST(SampledSim, MalformedConfigIsRejected)
+{
+    const MachineConfig cfg = MachineConfig::preset(8);
+    const TraceBuffer& trace = corpusTrace("coremark", Isa::Riscv);
+
+    SamplingConfig sc;
+    sc.intervalInsts = 1000;
+    sc.sampleInsts = 2000;  // measured window larger than the interval
+    EXPECT_FALSE(sc.wellFormed());
+    EXPECT_THROW(simulateSampled(trace, Isa::Riscv, cfg, sc),
+                 PanicError);
+
+    sc.sampleInsts = 600;
+    sc.warmupInsts = 600;   // warmup + sample exceed the interval
+    EXPECT_FALSE(sc.wellFormed());
+    EXPECT_THROW(simulateSampled(trace, Isa::Riscv, cfg, sc),
+                 PanicError);
+}
+
+} // namespace
+} // namespace ch

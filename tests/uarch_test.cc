@@ -329,5 +329,71 @@ TEST(CycleSim, StatsArePopulated)
     EXPECT_EQ(r.stats.value("sim.insts"), r.insts);
 }
 
+TEST(MonoQueueTest, EmptyPopIsANoOp)
+{
+    MonoQueue q;
+    EXPECT_TRUE(q.empty());
+    q.pop();  // must not crash or underflow
+    EXPECT_TRUE(q.empty());
+    EXPECT_EQ(q.size(), 0u);
+
+    q.push(5);
+    q.pop();
+    EXPECT_TRUE(q.empty());
+    q.pop();  // empty again: still a no-op
+    EXPECT_TRUE(q.empty());
+}
+
+TEST(MonoQueueTest, InterleavedPushPopKeepsFifoOrder)
+{
+    // The queueConstraint drain pattern: nondecreasing pushes with pops
+    // interleaved must always surface the oldest (minimum) entry, the
+    // property that makes the FIFO equivalent to a min-heap.
+    MonoQueue q;
+    q.push(3);
+    q.push(3);
+    q.push(7);
+    EXPECT_EQ(q.top(), 3u);
+    q.pop();
+    EXPECT_EQ(q.top(), 3u);
+    q.push(7);
+    q.push(12);
+    q.pop();
+    EXPECT_EQ(q.top(), 7u);
+    EXPECT_EQ(q.size(), 3u);
+    q.pop();
+    q.pop();
+    EXPECT_EQ(q.top(), 12u);
+    q.pop();
+    EXPECT_TRUE(q.empty());
+}
+
+TEST(StatGroupTest, CachedCounterPointersStayValidAsGroupGrows)
+{
+    // The hot() pattern in CycleSim/MemoryHierarchy caches Counter*
+    // across the whole run; registering many more counters afterwards
+    // must never invalidate them (std::map nodes are stable).
+    StatGroup stats;
+    Counter* hot = &stats.counter("hot.counter");
+    ++*hot;
+
+    std::vector<Counter*> early;
+    for (int i = 0; i < 16; ++i) {
+        early.push_back(&stats.counter("early." + std::to_string(i)));
+        *early.back() += static_cast<uint64_t>(i);
+    }
+    for (int i = 0; i < 4096; ++i)
+        stats.counter("late." + std::to_string(i)).set(1);
+
+    EXPECT_EQ(hot, &stats.counter("hot.counter"));
+    ++*hot;
+    EXPECT_EQ(stats.value("hot.counter"), 2u);
+    for (int i = 0; i < 16; ++i) {
+        EXPECT_EQ(early[i], &stats.counter("early." + std::to_string(i)));
+        EXPECT_EQ(stats.value("early." + std::to_string(i)),
+                  static_cast<uint64_t>(i));
+    }
+}
+
 } // namespace
 } // namespace ch
