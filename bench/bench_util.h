@@ -23,6 +23,11 @@
  *                                   of capture-once/replay-many
  *                                   (docs/PERFORMANCE.md); metrics are
  *                                   byte-identical either way
+ *   --verify-stats / CH_VERIFY_STATS=1  add the static verifier's
+ *                                   dead-write/pressure statistics as
+ *                                   verify.* counters on every sim job
+ *                                   (docs/VERIFIER.md); off by default
+ *                                   and byte-identical when off
  *   --sample-interval N             enable interval-sampled timing with
  *                                   N-instruction intervals
  *                                   (docs/PERFORMANCE.md, "Sampled
@@ -199,6 +204,7 @@ benchInit(int argc, char** argv, const char* name)
             benchdetail::requireWritableDir("CH_PIPE_TRACE", env);
     }
     ctx.runner.progress = benchdetail::envFlag("CH_BENCH_PROGRESS");
+    ctx.runner.verifyStats = benchdetail::envFlag("CH_VERIFY_STATS");
     ctx.hostMetrics = benchdetail::envFlag("CH_BENCH_HOST_METRICS");
 
     bool sampleLenSet = false;
@@ -228,6 +234,8 @@ benchInit(int argc, char** argv, const char* name)
             ctx.hostMetrics = true;
         } else if (arg == "--no-trace-cache") {
             ctx.runner.traceCache = false;
+        } else if (arg == "--verify-stats") {
+            ctx.runner.verifyStats = true;
         } else if (arg == "--sample-interval") {
             ctx.runner.sampling.intervalInsts =
                 benchdetail::parseInstCount("--sample-interval", next());
@@ -243,6 +251,7 @@ benchInit(int argc, char** argv, const char* name)
             std::printf("usage: %s [--jobs N] [--metrics-dir DIR] "
                         "[--pipe-trace DIR] [--progress] "
                         "[--host-metrics] [--no-trace-cache] "
+                        "[--verify-stats] "
                         "[--sample-interval N [--sample-len N] "
                         "[--warmup N]]\n", name);
             std::exit(0);

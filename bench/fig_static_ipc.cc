@@ -1,0 +1,322 @@
+/**
+ * @file
+ * Cross-validation of the static throughput analyzer (src/analyze,
+ * docs/ANALYZER.md) against CycleSim on the 5-workload x 3-ISA corpus.
+ *
+ * For every corpus point the bench (1) runs chanalyze's model to get a
+ * predicted steady-state IPC per natural loop, (2) replays the
+ * committed trace through CycleSim with a PipeObserver probe that
+ * attributes commit-cycle deltas to the innermost static loop
+ * containing each instruction, and (3) compares predicted vs measured
+ * IPC for every *hot* loop — innermost, call-free, and covering at
+ * least 1% of committed instructions (callee cycles and cold loops are
+ * outside the analyzer's steady-state model; see docs/ANALYZER.md for
+ * the blind-spot list).
+ *
+ * Per-loop error uses the symmetric ratio max(p,m)/min(p,m) - 1, so
+ * over- and under-prediction weigh equally. `--max-relerr P` makes the
+ * bench exit 1 when the corpus-wide geomean error exceeds P percent —
+ * CI runs it with --max-relerr 15 (the acceptance bar).
+ */
+
+#include <cmath>
+
+#include "bench_util.h"
+#include "analyze/analyze.h"
+#include "trace/trace_buffer.h"
+#include "uarch/core.h"
+#include "uarch/pipe_trace.h"
+
+using namespace ch;
+
+namespace {
+
+/** Committed insts a loop needs (share of total) to count as hot. */
+constexpr double kHotShare = 0.01;
+constexpr uint64_t kHotMinInsts = 1000;
+
+/** Tolerated |committed - iterations*body| share before a loop is
+ *  declared irregular (internal control flow) and left out. */
+constexpr double kIrregularTol = 0.10;
+
+/**
+ * Attributes each committed instruction's commit-cycle delta to the
+ * innermost static loop containing it. In steady state the sum of
+ * deltas over a loop's body is exactly the cycles the machine spent
+ * retiring that loop, so insts/cycles is its measured IPC.
+ */
+class LoopIpcProbe : public PipeObserver
+{
+  public:
+    LoopIpcProbe(const Program& prog,
+                 const std::vector<analyze::LoopReport>& loops)
+        : textBase_(prog.textBase),
+          cycles_(loops.size(), 0),
+          insts_(loops.size(), 0),
+          iters_(loops.size(), 0)
+    {
+        headOf_.reserve(loops.size());
+        for (const analyze::LoopReport& lp : loops)
+            headOf_.push_back(lp.headInst);
+        loopOf_.assign(prog.numInsts(), -1);
+        for (size_t l = 0; l < loops.size(); ++l) {
+            for (const int i : loops[l].body) {
+                const int cur = loopOf_[static_cast<size_t>(i)];
+                if (cur < 0 ||
+                    loops[l].depth >
+                        loops[static_cast<size_t>(cur)].depth) {
+                    loopOf_[static_cast<size_t>(i)] =
+                        static_cast<int>(l);
+                }
+            }
+        }
+    }
+
+    void
+    onTimedInst(const DynInst& di, const PipeTimes& t) override
+    {
+        const size_t idx = (di.pc - textBase_) / 4;
+        const int l = idx < loopOf_.size() ? loopOf_[idx] : -1;
+        if (l >= 0) {
+            ++insts_[static_cast<size_t>(l)];
+            if (idx == headOf_[static_cast<size_t>(l)])
+                ++iters_[static_cast<size_t>(l)];
+            if (hasLast_)
+                cycles_[static_cast<size_t>(l)] += t.commit - lastCommit_;
+        }
+        lastCommit_ = t.commit;
+        hasLast_ = true;
+    }
+
+    uint64_t loopCycles(size_t l) const { return cycles_[l]; }
+    uint64_t loopInsts(size_t l) const { return insts_[l]; }
+    uint64_t loopIters(size_t l) const { return iters_[l]; }
+
+  private:
+    uint64_t textBase_;
+    std::vector<int> loopOf_;
+    std::vector<size_t> headOf_;
+    std::vector<uint64_t> cycles_;
+    std::vector<uint64_t> insts_;
+    std::vector<uint64_t> iters_;
+    uint64_t lastCommit_ = 0;
+    bool hasLast_ = false;
+};
+
+struct LoopRow {
+    size_t headInst = 0;
+    int srcLine = 0;
+    size_t bodyInsts = 0;
+    uint64_t dynInsts = 0;
+    double predicted = 0;
+    double measured = 0;
+    double err = 0;  ///< symmetric: max/min - 1
+    std::string bottleneck;
+};
+
+struct Row {
+    std::string workload;
+    Isa isa = Isa::Riscv;
+    uint64_t insts = 0;
+    size_t loops = 0;     ///< static loops found
+    std::vector<LoopRow> hot;
+};
+
+double
+symmetricErr(double p, double m)
+{
+    if (p <= 0 || m <= 0)
+        return 1.0;
+    return std::max(p, m) / std::min(p, m) - 1.0;
+}
+
+Row
+measure(const JobContext& job, uint64_t cap)
+{
+    Row row;
+    row.workload = job.spec.workload;
+    row.isa = job.spec.isa;
+
+    const MachineConfig cfg = MachineConfig::preset(8);
+    const analyze::ProgramReport rep =
+        analyze::analyzeProgram(*job.program, cfg);
+    row.loops = rep.loops.size();
+
+    TraceBuffer local;
+    const TraceBuffer* trace =
+        job.traces ? job.traces->get(job.spec.workload, job.spec.isa,
+                                     cap, *job.program)
+                   : nullptr;
+    if (!trace) {
+        const RunResult run = runProgram(*job.program, cap, &local);
+        local.setRunOutcome(run.exited, run.exitCode);
+        trace = &local;
+    }
+
+    CycleSim core(cfg, row.isa);
+    LoopIpcProbe probe(*job.program, rep.loops);
+    core.setPipeObserver(&probe);
+    trace->replay(core);
+    core.finish();
+    row.insts = core.instCount();
+
+    for (size_t l = 0; l < rep.loops.size(); ++l) {
+        const analyze::LoopReport& lp = rep.loops[l];
+        const uint64_t dyn = probe.loopInsts(l);
+        const uint64_t cyc = probe.loopCycles(l);
+        if (!lp.innermost || lp.hasCall || cyc == 0 ||
+            dyn < kHotMinInsts ||
+            static_cast<double>(dyn) <
+                kHotShare * static_cast<double>(row.insts)) {
+            continue;
+        }
+        // Steady-state straightening assumes the whole body executes
+        // each iteration; loops with frequently-taken internal branches
+        // violate that (a documented blind spot), so only regular loops
+        // enter the accuracy gate.
+        const double expected = static_cast<double>(probe.loopIters(l)) *
+                                static_cast<double>(lp.bodyInsts());
+        if (expected <= 0 ||
+            std::fabs(static_cast<double>(dyn) - expected) >
+                kIrregularTol * expected) {
+            continue;
+        }
+        LoopRow r;
+        r.headInst = lp.headInst;
+        r.srcLine = lp.srcLine;
+        r.bodyInsts = lp.bodyInsts();
+        r.dynInsts = dyn;
+        r.predicted = lp.predictedIpc;
+        r.measured =
+            static_cast<double>(dyn) / static_cast<double>(cyc);
+        r.err = symmetricErr(r.predicted, r.measured);
+        r.bottleneck = lp.bottleneckName();
+        row.hot.push_back(std::move(r));
+    }
+    return row;
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    // --max-relerr is bench-specific; strip it before the shared parse.
+    double maxRelErrPct = 0;
+    bool haveThreshold = false;
+    std::vector<char*> passArgv;
+    passArgv.push_back(argv[0]);
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--max-relerr") == 0) {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr,
+                             "error: --max-relerr needs an argument\n");
+                return 2;
+            }
+            const char* s = argv[++i];
+            errno = 0;
+            char* end = nullptr;
+            maxRelErrPct = std::strtod(s, &end);
+            if (end == s || *end != '\0' || errno == ERANGE ||
+                !(maxRelErrPct > 0)) {
+                std::fprintf(stderr,
+                             "error: --max-relerr expects a positive "
+                             "percentage, got '%s'\n", s);
+                return 2;
+            }
+            haveThreshold = true;
+        } else {
+            passArgv.push_back(argv[i]);
+        }
+    }
+    BenchContext ctx = benchInit(static_cast<int>(passArgv.size()),
+                                 passArgv.data(), "fig_static_ipc");
+    benchHeader("Static IPC", "analyzer-predicted vs CycleSim-measured "
+                              "hot-loop IPC");
+    const uint64_t cap = benchMaxInsts(2'000'000);
+
+    SweepRunner runner(ctx.runner);
+    std::vector<Row> rows(workloads().size() * 3);
+    size_t slot = 0;
+    for (const auto& w : workloads()) {
+        for (Isa isa : {Isa::Riscv, Isa::Straight, Isa::Clockhands}) {
+            JobSpec spec;
+            spec.id = w.name + "/" + shortIsa(isa) + "/static-ipc";
+            spec.workload = w.name;
+            spec.isa = isa;
+            spec.maxInsts = cap;
+            Row* out = &rows[slot++];
+            runner.add(spec, [out, cap](const JobContext& job) {
+                *out = measure(job, cap);
+                JobMetrics m;
+                m.exited = true;
+                m.insts = out->insts;
+                m.counters["static.loops"] = out->loops;
+                m.counters["static.hotLoops"] = out->hot.size();
+                double logSum = 0;
+                for (const LoopRow& r : out->hot) {
+                    const std::string key =
+                        "loop" + std::to_string(r.headInst);
+                    m.counters[key + ".insts"] = r.dynInsts;
+                    m.values[key + ".predIpc"] = r.predicted;
+                    m.values[key + ".measIpc"] = r.measured;
+                    m.values[key + ".relerr"] = r.err;
+                    logSum += std::log1p(r.err);
+                }
+                m.values["static.geomeanErr"] =
+                    out->hot.empty()
+                        ? 0
+                        : std::expm1(logSum /
+                                     static_cast<double>(
+                                         out->hot.size()));
+                return m;
+            });
+        }
+    }
+    const std::vector<JobResult>& results = runner.run();
+    benchRequireOk(results);
+
+    TextTable t;
+    t.header({"benchmark", "isa", "loop@", "line", "insts/iter",
+              "dyn insts", "pred IPC", "meas IPC", "err%",
+              "bottleneck"});
+    double logSum = 0;
+    size_t nLoops = 0;
+    double worst = 0;
+    for (const Row& r : rows) {
+        for (const LoopRow& l : r.hot) {
+            t.row({r.workload, shortIsa(r.isa),
+                   std::to_string(l.headInst), std::to_string(l.srcLine),
+                   std::to_string(l.bodyInsts),
+                   std::to_string(l.dynInsts), fmtDouble(l.predicted, 3),
+                   fmtDouble(l.measured, 3), fmtDouble(100 * l.err, 2),
+                   l.bottleneck});
+            logSum += std::log1p(l.err);
+            worst = std::max(worst, l.err);
+            ++nLoops;
+        }
+    }
+    t.print();
+
+    const double geomeanPct =
+        nLoops > 0
+            ? 100 * std::expm1(logSum / static_cast<double>(nLoops))
+            : 0;
+    std::printf("\n%zu hot loops across %zu corpus points: geomean "
+                "|IPC err| %.2f%%, worst %.2f%%\n",
+                nLoops, rows.size(), geomeanPct, 100 * worst);
+    benchWriteMetrics(ctx, results);
+
+    if (nLoops == 0) {
+        std::fprintf(stderr, "error: no hot loops found — cap too "
+                             "small?\n");
+        return 1;
+    }
+    if (haveThreshold && geomeanPct > maxRelErrPct) {
+        std::fprintf(stderr,
+                     "error: geomean hot-loop IPC error %.2f%% exceeds "
+                     "--max-relerr %.2f%%\n", geomeanPct, maxRelErrPct);
+        return 1;
+    }
+    return 0;
+}

@@ -1,0 +1,494 @@
+#include "analyze/analyze.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <set>
+#include <sstream>
+
+#include "common/logging.h"
+#include "isa/encoding.h"
+
+namespace ch::analyze {
+
+// ---------------------------------------------------------------------
+// CycleSim's FU tables, mirrored (src/uarch/core.cc).
+// ---------------------------------------------------------------------
+
+int
+fuPoolId(OpClass cls)
+{
+    switch (cls) {
+      case OpClass::IntMul: return 1;
+      case OpClass::IntDiv: return 2;
+      case OpClass::FpAlu: return 3;
+      case OpClass::FpDiv: return 4;
+      case OpClass::Load: return 5;
+      case OpClass::Store: return 6;
+      default: return 0;  // ALU pool also runs branches, moves, syscalls
+    }
+}
+
+int
+fuPoolLimit(const MachineConfig& cfg, int pool)
+{
+    switch (pool) {
+      case 1: return cfg.fu.iMul;
+      case 2: return cfg.fu.iDiv;
+      case 3: return cfg.fu.fp;
+      case 4: return cfg.fu.fDiv;
+      case 5: return cfg.fu.load;
+      case 6: return cfg.fu.store;
+      default: return cfg.fu.intAlu;
+    }
+}
+
+std::string_view
+fuPoolName(int pool)
+{
+    switch (pool) {
+      case 1: return "iMul";
+      case 2: return "iDiv";
+      case 3: return "fp";
+      case 4: return "fDiv";
+      case 5: return "load";
+      case 6: return "store";
+      default: return "intAlu";
+    }
+}
+
+int
+staticLatency(const MachineConfig& cfg, OpClass cls)
+{
+    switch (cls) {
+      case OpClass::IntAlu: return cfg.latIntAlu;
+      case OpClass::Move:
+      case OpClass::Nop: return cfg.latMove;
+      case OpClass::Syscall: return cfg.latIntAlu;
+      case OpClass::IntMul: return cfg.latIntMul;
+      case OpClass::IntDiv: return cfg.latIntDiv;
+      case OpClass::FpAlu: return cfg.latFpAlu;
+      case OpClass::FpDiv: return cfg.latFpDiv;
+      case OpClass::CondBr:
+      case OpClass::Jump:
+      case OpClass::Call:
+      case OpClass::Ret: return cfg.latBranch;
+      case OpClass::Store: return cfg.latStoreAgu;
+      case OpClass::Load: return 1 + cfg.l1dLatency;  // assume L1 hit
+    }
+    return cfg.latIntAlu;
+}
+
+std::string
+LoopReport::bottleneckName() const
+{
+    switch (bottleneck) {
+      case Bottleneck::Frontend: return "frontend";
+      case Bottleneck::Issue: return "issue";
+      case Bottleneck::Commit: return "commit";
+      case Bottleneck::DepChain: return "depchain";
+      case Bottleneck::Fu:
+        return "fu." + std::string(fuPoolName(bottleneckPool));
+    }
+    return "?";
+}
+
+namespace {
+
+/**
+ * Whether instruction @p i is statically taken under the analyzer's
+ * steady-state branch model: unconditional transfers always, and
+ * conditional branches only when they jump backwards (loop latches).
+ */
+bool
+staticallyTaken(const Program& prog, int i)
+{
+    const Inst& inst = prog.decoded[static_cast<size_t>(i)];
+    switch (inst.info().brKind) {
+      case BrKind::Jump:
+      case BrKind::Call:
+      case BrKind::IndCall:
+      case BrKind::Ret:
+        return true;
+      case BrKind::Cond:
+        return inst.imm <= 0;  // backward taken, forward not-taken
+      case BrKind::None:
+        return false;
+    }
+    return false;
+}
+
+/**
+ * Cycles per iteration the front end needs: fetch groups are capped at
+ * fetchWidth and end at every statically-taken transfer (the model
+ * CycleSim's stageFetch implements). The taken back edge closes the
+ * final group, so the bound is always >= 1.
+ */
+double
+fetchBound(const Program& prog, const std::vector<int>& body,
+           const MachineConfig& cfg)
+{
+    double cycles = 0;
+    int groupLen = 0;
+    for (const int i : body) {
+        ++groupLen;
+        if (staticallyTaken(prog, i)) {
+            cycles += (groupLen + cfg.fetchWidth - 1) / cfg.fetchWidth;
+            groupLen = 0;
+        }
+    }
+    if (groupLen > 0)
+        cycles += (groupLen + cfg.fetchWidth - 1) / cfg.fetchWidth;
+    return std::max(cycles, 1.0);
+}
+
+/**
+ * Architectural ready-time state for the symbolic replay: when each
+ * readable storage location's value becomes available, in cycles from
+ * an arbitrary origin. Unwritten locations read as ready-at-0.
+ *
+ * Stack slots are tracked too: the rename-free backends relay long
+ * lifetimes through SP-relative spill slots, so loop-carried chains
+ * routinely pass through a store->load forwarding hop that a pure
+ * register-dataflow replay would miss entirely (CycleSim forwards at
+ * max(address ready, store data ready) + latForward).
+ */
+struct ReadyState {
+    Isa isa;
+    std::vector<double> regs;      ///< RISC: x0..x31, f0..f31
+    std::vector<double> ring;      ///< STRAIGHT result ring (grows)
+    double sp = 0;                 ///< STRAIGHT special SP
+    std::vector<double> hands[kNumHands];  ///< Clockhands write rings
+    std::map<int64_t, double> stackReady;  ///< SP-relative slot, by offset
+
+    explicit ReadyState(Isa i) : isa(i)
+    {
+        if (isa == Isa::Riscv)
+            regs.assign(kNumIntRegs + kNumFpRegs, 0.0);
+    }
+
+    double
+    readSrc(const Inst& inst, int which) const
+    {
+        const uint8_t enc = which == 1 ? inst.src1 : inst.src2;
+        switch (isa) {
+          case Isa::Riscv:
+            return enc == kRegZero ? 0.0 : regs[enc];
+          case Isa::Straight: {
+            if (enc == kStraightZeroDist)
+                return 0.0;
+            if (enc == kStraightSpBase)
+                return sp;
+            return enc <= ring.size() ? ring[ring.size() - enc] : 0.0;
+          }
+          case Isa::Clockhands: {
+            const uint8_t hand =
+                which == 1 ? inst.src1Hand : inst.src2Hand;
+            if (hand == HandS && enc == kHandZeroDist)
+                return 0.0;
+            const auto& ours = hands[hand % kNumHands];
+            return enc < ours.size() ? ours[ours.size() - 1 - enc] : 0.0;
+          }
+        }
+        return 0.0;
+    }
+
+    /**
+     * Whether a memory access through src1 is SP-relative: the RISC sp
+     * register, STRAIGHT's special SP encoding, or any Clockhands
+     * s-hand value (the paper folds SP into s; distinct s entries are
+     * merged into one frame, a deliberate aliasing approximation).
+     */
+    bool
+    spRelative(const Inst& inst) const
+    {
+        switch (isa) {
+          case Isa::Riscv:
+            return inst.src1 == kRegSp;
+          case Isa::Straight:
+            return inst.src1 == kStraightSpBase;
+          case Isa::Clockhands:
+            return inst.src1Hand == HandS && inst.src1 != kHandZeroDist;
+        }
+        return false;
+    }
+
+    void
+    write(const Inst& inst, double t)
+    {
+        const OpInfo& info = inst.info();
+        switch (isa) {
+          case Isa::Riscv:
+            if (info.hasDst && inst.dst != kRegZero)
+                regs[inst.dst] = t;
+            break;
+          case Isa::Straight:
+            if (inst.op == Op::SPADDI)
+                sp = t;
+            ring.push_back(t);  // every instruction allocates a slot
+            break;
+          case Isa::Clockhands:
+            if (info.hasDst)
+                hands[inst.dst % kNumHands].push_back(t);
+            break;
+        }
+    }
+};
+
+/**
+ * Loop-carried dependence recurrence of the straightened @p body:
+ * replay K iterations tracking only dataflow ready times, and measure
+ * the asymptotic growth per iteration of the completion frontier. With
+ * no carried dependence every iteration is identical and the bound is
+ * zero; a carried chain (e.g. i = i + 1 feeding a 4-cycle load) makes
+ * the frontier climb by the chain latency each round.
+ */
+double
+recurrenceBound(const Program& prog, const std::vector<int>& body,
+                const MachineConfig& cfg)
+{
+    if (body.empty())
+        return 0;
+    constexpr int kIters = 48;
+    constexpr int kSettle = 24;  // iterations discarded as warmup
+
+    ReadyState st(prog.isa);
+    double settleFinish = 0, finish = 0;
+    for (int k = 0; k < kIters; ++k) {
+        double iterMax = 0;
+        for (const int i : body) {
+            const Inst& inst = prog.decoded[static_cast<size_t>(i)];
+            const OpInfo& info = inst.info();
+            double ready = 0;
+            if (inst.op == Op::SPADDI) {
+                ready = st.sp;  // sp += imm reads the running SP
+                st.stackReady.clear();  // frame offsets shift
+            } else {
+                if (info.numSrcs >= 1)
+                    ready = std::max(ready, st.readSrc(inst, 1));
+                if (info.numSrcs >= 2)
+                    ready = std::max(ready, st.readSrc(inst, 2));
+            }
+            double t = ready + staticLatency(cfg, info.cls);
+            if (info.isStore() && st.spRelative(inst)) {
+                // Forwarding source: ready when AGU+data are (CycleSim's
+                // StoreRec.dataReady is exactly this resultAt).
+                st.stackReady[inst.imm] = t;
+            } else if (info.isLoad() && st.spRelative(inst)) {
+                const auto slot = st.stackReady.find(inst.imm);
+                if (slot != st.stackReady.end()) {
+                    // Store-to-load forwarding beats the cache access.
+                    t = std::max(ready, slot->second) + cfg.latForward;
+                }
+            } else if (info.hasDst && prog.isa == Isa::Riscv &&
+                       inst.dst == kRegSp) {
+                st.stackReady.clear();  // frame offsets shift
+            }
+            st.write(inst, t);
+            iterMax = std::max(iterMax, t);
+        }
+        finish = std::max(finish, iterMax);
+        if (k + 1 == kSettle)
+            settleFinish = finish;
+        // Bound the STRAIGHT ring: distances reach back at most
+        // kStraightMaxDist slots.
+        if (st.ring.size() > 4096)
+            st.ring.erase(st.ring.begin(),
+                          st.ring.end() - kStraightMaxDist - 1);
+    }
+    const double rate = (finish - settleFinish) / (kIters - kSettle);
+    return std::max(rate, 0.0);
+}
+
+} // namespace
+
+LoopReport
+boundLoop(const Program& prog, const cfg::BinFunc& fn, const Loop& loop,
+          const MachineConfig& cfg)
+{
+    LoopReport r;
+    r.funcEntry = fn.entryInst;
+    r.headInst =
+        static_cast<size_t>(fn.blocks[static_cast<size_t>(loop.header)]
+                                .first);
+    if (r.headInst < prog.srcLines.size())
+        r.srcLine = prog.srcLines[r.headInst];
+    r.depth = loop.depth;
+    r.innermost = loop.innermost;
+    r.hasCall = loop.hasCall;
+    r.body = loop.body;
+
+    const double n = static_cast<double>(r.body.size());
+    r.fetchCycles = fetchBound(prog, r.body, cfg);
+    r.issueCycles = n / cfg.issueWidth;
+    r.commitCycles = n / cfg.commitWidth;
+    int poolCount[kNumFuPools] = {};
+    for (const int i : r.body)
+        ++poolCount[fuPoolId(prog.decoded[static_cast<size_t>(i)]
+                                 .info()
+                                 .cls)];
+    for (int p = 0; p < kNumFuPools; ++p)
+        r.fuCycles[p] =
+            static_cast<double>(poolCount[p]) / fuPoolLimit(cfg, p);
+
+    r.resourceCycles = std::max({r.fetchCycles, r.issueCycles,
+                                 r.commitCycles});
+    for (int p = 0; p < kNumFuPools; ++p)
+        r.resourceCycles = std::max(r.resourceCycles, r.fuCycles[p]);
+
+    r.latencyCycles = recurrenceBound(prog, r.body, cfg);
+    r.cyclesPerIter = std::max({r.resourceCycles, r.latencyCycles, 1.0});
+    r.predictedIpc = n / r.cyclesPerIter;
+
+    // Attribution: the term that sets cyclesPerIter, preferring the
+    // more specific explanations when tied (a dependence chain over a
+    // generic width limit, a single hot pool over the front end).
+    if (r.latencyCycles > r.resourceCycles) {
+        r.bottleneck = Bottleneck::DepChain;
+    } else {
+        int hotPool = 0;
+        for (int p = 1; p < kNumFuPools; ++p)
+            if (r.fuCycles[p] > r.fuCycles[hotPool])
+                hotPool = p;
+        if (r.fuCycles[hotPool] >= r.resourceCycles) {
+            r.bottleneck = Bottleneck::Fu;
+            r.bottleneckPool = hotPool;
+        } else if (r.fetchCycles >= r.resourceCycles) {
+            r.bottleneck = Bottleneck::Frontend;
+        } else if (r.issueCycles >= r.resourceCycles) {
+            r.bottleneck = Bottleneck::Issue;
+        } else {
+            r.bottleneck = Bottleneck::Commit;
+        }
+    }
+    return r;
+}
+
+ProgramReport
+analyzeProgram(const Program& prog, const MachineConfig& cfg)
+{
+    ProgramReport rep;
+    const size_t n = prog.numInsts();
+    if (!prog.validPc(prog.entry) || n == 0) {
+        rep.cfgProblems = 1;
+        return rep;
+    }
+    const size_t entryIdx = (prog.entry - prog.textBase) / 4;
+
+    // Same function discovery as verifyProgram: the entry plus every
+    // direct-call target, transitively.
+    std::set<size_t> seen{entryIdx};
+    std::vector<size_t> queue{entryIdx};
+    while (!queue.empty()) {
+        const size_t e = queue.back();
+        queue.pop_back();
+        const cfg::BinFunc fn = cfg::buildBinFunc(prog, e);
+        rep.cfgProblems += fn.problems.size();
+        rep.numBlocks += fn.blocks.size();
+        ++rep.numFuncs;
+        for (const size_t t : fn.callTargets)
+            if (seen.insert(t).second)
+                queue.push_back(t);
+        for (const Loop& lp : findLoops(prog, fn))
+            rep.loops.push_back(boundLoop(prog, fn, lp, cfg));
+    }
+    std::stable_sort(rep.loops.begin(), rep.loops.end(),
+                     [](const LoopReport& a, const LoopReport& b) {
+                         return a.headInst < b.headInst;
+                     });
+    rep.lints = lintProgram(prog, cfg, rep.loops);
+    return rep;
+}
+
+// ---------------------------------------------------------------------
+// Reports
+// ---------------------------------------------------------------------
+
+namespace {
+
+std::string
+fmt2(double v)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.2f", v);
+    return buf;
+}
+
+} // namespace
+
+std::string
+formatReport(const Program& prog, const ProgramReport& rep, bool allLoops)
+{
+    std::ostringstream os;
+    os << rep.numFuncs << " functions, " << rep.numBlocks << " blocks, "
+       << rep.loops.size() << " loops";
+    if (rep.cfgProblems > 0)
+        os << ", " << rep.cfgProblems << " CFG problem(s)";
+    os << "\n";
+    for (const LoopReport& lp : rep.loops) {
+        if (!allLoops && !lp.innermost)
+            continue;
+        os << "  loop @ inst " << lp.headInst;
+        if (lp.srcLine > 0)
+            os << " (line " << lp.srcLine << ")";
+        os << " depth " << lp.depth << (lp.innermost ? "*" : "") << ", "
+           << lp.bodyInsts() << " insts: IPC " << fmt2(lp.predictedIpc)
+           << " (" << fmt2(lp.cyclesPerIter) << " cyc/iter, resource "
+           << fmt2(lp.resourceCycles) << ", depchain "
+           << fmt2(lp.latencyCycles) << ") <- " << lp.bottleneckName();
+        if (lp.hasCall)
+            os << " [calls out]";
+        os << "\n";
+    }
+    for (const Lint& l : rep.lints) {
+        os << "  lint " << lintKindName(l.kind) << " @ inst "
+           << l.instIndex;
+        if (l.srcLine > 0)
+            os << " (line " << l.srcLine << ")";
+        os << " `"
+           << disassemble(prog.isa,
+                          prog.decoded[l.instIndex])
+           << "`: " << l.detail << "\n";
+    }
+    return os.str();
+}
+
+std::string
+reportJson(const Program& prog, const std::string& label,
+           const ProgramReport& rep)
+{
+    (void)prog;
+    std::ostringstream os;
+    os << "{\n  \"schema\": \"ch-analyze-report-v1\",\n  \"program\": \""
+       << label << "\",\n  \"isa\": \"" << isaName(prog.isa)
+       << "\",\n  \"funcs\": " << rep.numFuncs << ",\n  \"blocks\": "
+       << rep.numBlocks << ",\n  \"cfgProblems\": " << rep.cfgProblems
+       << ",\n  \"loops\": [";
+    bool first = true;
+    for (const LoopReport& lp : rep.loops) {
+        os << (first ? "" : ",") << "\n    {\"headInst\": " << lp.headInst
+           << ", \"line\": " << lp.srcLine << ", \"depth\": " << lp.depth
+           << ", \"innermost\": " << (lp.innermost ? "true" : "false")
+           << ", \"hasCall\": " << (lp.hasCall ? "true" : "false")
+           << ", \"insts\": " << lp.bodyInsts()
+           << ", \"cyclesPerIter\": " << fmt2(lp.cyclesPerIter)
+           << ", \"resourceCycles\": " << fmt2(lp.resourceCycles)
+           << ", \"latencyCycles\": " << fmt2(lp.latencyCycles)
+           << ", \"predictedIpc\": " << fmt2(lp.predictedIpc)
+           << ", \"bottleneck\": \"" << lp.bottleneckName() << "\"}";
+        first = false;
+    }
+    os << (first ? "" : "\n  ") << "],\n  \"lints\": [";
+    first = true;
+    for (const Lint& l : rep.lints) {
+        os << (first ? "" : ",") << "\n    {\"kind\": \""
+           << lintKindName(l.kind) << "\", \"inst\": " << l.instIndex
+           << ", \"line\": " << l.srcLine << ", \"detail\": \""
+           << l.detail << "\"}";
+        first = false;
+    }
+    os << (first ? "" : "\n  ") << "]\n}\n";
+    return os.str();
+}
+
+} // namespace ch::analyze

@@ -1,0 +1,161 @@
+#ifndef CH_ANALYZE_ANALYZE_H
+#define CH_ANALYZE_ANALYZE_H
+
+/**
+ * @file
+ * Static throughput and critical-path analysis of compiled programs
+ * (docs/ANALYZER.md). For every natural loop the analyzer computes
+ *
+ *  - a resource bound: cycles/iteration needed by the front end
+ *    (fetch groups end at statically-taken branches), the issue and
+ *    commit widths, and each functional-unit pool, all read from the
+ *    same MachineConfig tables CycleSim uses; and
+ *  - a latency bound: the loop-carried dependence recurrence, found by
+ *    replaying the straightened body symbolically with per-ISA
+ *    architectural ready-time state (registers for RISC, the result
+ *    ring + SP for STRAIGHT, the four hand rings for Clockhands).
+ *
+ * Predicted steady-state cycles/iteration is the max of the two;
+ * predicted IPC is bodyInsts over that. The dominating term names the
+ * bottleneck, mirroring the stall.* taxonomy of docs/OBSERVABILITY.md.
+ */
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "analyze/cfg.h"
+#include "analyze/loops.h"
+#include "mem/program.h"
+#include "uarch/config.h"
+
+namespace ch::analyze {
+
+// ---------------------------------------------------------------------
+// The FU pool mirror of CycleSim (src/uarch/core.cc fuPoolId et al.).
+// ---------------------------------------------------------------------
+
+constexpr int kNumFuPools = 7;
+
+/** Pool id of @p cls: 0 intAlu (incl. branches/moves), 1 iMul, ... */
+int fuPoolId(OpClass cls);
+
+/** Number of units in pool @p pool under @p cfg. */
+int fuPoolLimit(const MachineConfig& cfg, int pool);
+
+/** Short pool name for bottleneck labels ("intAlu", "load", ...). */
+std::string_view fuPoolName(int pool);
+
+/**
+ * Static execution latency of @p cls: CycleSim's fuLatency, with loads
+ * charged an L1-hit access (1 + l1dLatency) since the analyzer cannot
+ * see cache misses.
+ */
+int staticLatency(const MachineConfig& cfg, OpClass cls);
+
+// ---------------------------------------------------------------------
+// Per-loop report
+// ---------------------------------------------------------------------
+
+enum class Bottleneck : uint8_t {
+    Frontend,  ///< fetch-group bound (taken branches / fetch width)
+    Fu,        ///< one functional-unit pool saturates
+    Issue,     ///< issue width
+    Commit,    ///< commit width
+    DepChain,  ///< loop-carried dependence recurrence
+};
+
+/** Bounds and attribution for one natural loop. */
+struct LoopReport {
+    // Identity.
+    size_t funcEntry = 0;  ///< entry instruction of the owning function
+    size_t headInst = 0;   ///< first instruction of the header block
+    int srcLine = 0;       ///< source line of headInst, 0 if unknown
+    int depth = 1;
+    bool innermost = true;
+    bool hasCall = false;  ///< callee cycles are NOT modelled
+    std::vector<int> body; ///< straightened static instruction indices
+
+    // Resource bound terms, all in cycles per iteration.
+    double fetchCycles = 0;
+    double issueCycles = 0;
+    double commitCycles = 0;
+    double fuCycles[kNumFuPools] = {};
+    double resourceCycles = 0;
+
+    // Latency bound: the dependence-recurrence cycles per iteration.
+    double latencyCycles = 0;
+
+    double cyclesPerIter = 0;  ///< max(resource, latency), >= 1
+    double predictedIpc = 0;   ///< body.size() / cyclesPerIter
+
+    Bottleneck bottleneck = Bottleneck::Frontend;
+    int bottleneckPool = 0;    ///< valid when bottleneck == Fu
+
+    size_t bodyInsts() const { return body.size(); }
+
+    /** Label: "frontend", "issue", "commit", "depchain", "fu.<pool>". */
+    std::string bottleneckName() const;
+};
+
+// ---------------------------------------------------------------------
+// Lints (implemented in lints.cc)
+// ---------------------------------------------------------------------
+
+enum class LintKind : uint8_t {
+    JunkSlots,         ///< STRAIGHT loop wastes ring slots on no-values
+    HandQuotaHotspot,  ///< Clockhands loop over-writes one hand
+    LongLifetime,      ///< read distance within 2 of the window limit
+};
+
+std::string_view lintKindName(LintKind kind);
+
+/** One advisory diagnostic, anchored to a static instruction. */
+struct Lint {
+    LintKind kind = LintKind::LongLifetime;
+    size_t instIndex = 0;
+    int srcLine = 0;
+    std::string detail;
+};
+
+// ---------------------------------------------------------------------
+// Whole-program analysis
+// ---------------------------------------------------------------------
+
+struct ProgramReport {
+    std::vector<LoopReport> loops;  ///< all loops, all functions
+    std::vector<Lint> lints;
+    size_t numFuncs = 0;
+    size_t numBlocks = 0;
+    size_t cfgProblems = 0;  ///< structural defects; loops still reported
+
+    bool ok() const { return cfgProblems == 0; }
+};
+
+/**
+ * Analyze every function reachable from the program entry (direct
+ * calls, transitively — the same discovery verifyProgram uses).
+ */
+ProgramReport analyzeProgram(const Program& prog,
+                             const MachineConfig& cfg);
+
+/** Bound one loop of @p fn (exposed for tests). */
+LoopReport boundLoop(const Program& prog, const cfg::BinFunc& fn,
+                     const Loop& loop, const MachineConfig& cfg);
+
+/** Advisory lints over @p prog and its loop reports (lints.cc). */
+std::vector<Lint> lintProgram(const Program& prog,
+                              const MachineConfig& cfg,
+                              const std::vector<LoopReport>& loops);
+
+/** Human-readable report (one line per loop + lints). */
+std::string formatReport(const Program& prog, const ProgramReport& rep,
+                         bool allLoops);
+
+/** JSON report (stable field order, LF line ends). */
+std::string reportJson(const Program& prog, const std::string& label,
+                       const ProgramReport& rep);
+
+} // namespace ch::analyze
+
+#endif // CH_ANALYZE_ANALYZE_H

@@ -1,11 +1,12 @@
-#include "verify/internal.h"
+#include "analyze/cfg.h"
 
 #include <algorithm>
+#include <utility>
 
 #include "common/logging.h"
 #include "isa/encoding.h"
 
-namespace ch::verify {
+namespace ch::cfg {
 
 namespace {
 
@@ -98,19 +99,8 @@ buildBinFunc(const Program& prog, size_t entry)
     const size_t n = prog.numInsts();
     fn.blockOfInst.assign(n, -1);
 
-    auto issueAt = [&](IssueKind kind, size_t i, std::string detail) {
-        VerifyIssue is;
-        is.kind = kind;
-        is.instIndex = i;
-        is.pc = prog.textBase + 4 * i;
-        if (i < prog.srcLines.size())
-            is.line = prog.srcLines[i];
-        is.detail = std::move(detail);
-        fn.issues.push_back(std::move(is));
-    };
-
     if (entry >= n) {
-        issueAt(IssueKind::BadTarget, 0, "function entry outside text");
+        fn.problems.push_back({CfgProblemKind::BadEntry, 0});
         return fn;
     }
 
@@ -123,14 +113,10 @@ buildBinFunc(const Program& prog, size_t entry)
         const size_t i = work.back();
         work.pop_back();
         const InstFlow f = instFlow(prog, i);
-        if (f.badTarget) {
-            issueAt(IssueKind::BadTarget, i,
-                    "branch target outside text or misaligned");
-        }
-        if (f.offEnd) {
-            issueAt(IssueKind::FallOffEnd, i,
-                    "control runs past the end of the text segment");
-        }
+        if (f.badTarget)
+            fn.problems.push_back({CfgProblemKind::BadTarget, i});
+        if (f.offEnd)
+            fn.problems.push_back({CfgProblemKind::FallOffEnd, i});
         if (f.isCall && f.callTarget >= 0)
             fn.callTargets.push_back(static_cast<size_t>(f.callTarget));
         for (int k = 0; k < f.numSucc; ++k) {
@@ -227,4 +213,4 @@ buildBinFunc(const Program& prog, size_t entry)
     return fn;
 }
 
-} // namespace ch::verify
+} // namespace ch::cfg

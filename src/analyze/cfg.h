@@ -1,0 +1,74 @@
+#ifndef CH_ANALYZE_CFG_H
+#define CH_ANALYZE_CFG_H
+
+/**
+ * @file
+ * Binary control-flow-graph reconstruction from a decoded Program,
+ * shared by the static verifier (src/verify) and the static throughput
+ * analyzer (src/analyze). A function is everything reachable from one
+ * entry instruction; blocks are emitted in reverse post-order with
+ * block 0 the entry, which makes the forward dataflows of both clients
+ * converge quickly and gives the loop finder a ready-made order.
+ *
+ * The CFG layer is deliberately diagnostic-agnostic: structural
+ * problems (bad branch targets, control running off the end of the
+ * text) are reported as neutral CfgProblem records, and each client
+ * renders them in its own issue vocabulary.
+ */
+
+#include <cstdint>
+#include <vector>
+
+#include "mem/program.h"
+
+namespace ch::cfg {
+
+/** Control-flow behaviour of one decoded instruction. */
+struct InstFlow {
+    bool isCall = false;     ///< JAL / JALR (execution continues after)
+    bool isExit = false;     ///< JR or ecall-exit: leaves the function
+    int callTarget = -1;     ///< direct call target index, -1 = indirect
+    int succ[2] = {-1, -1};  ///< intra-function successor indices
+    int numSucc = 0;
+    bool badTarget = false;  ///< direct target invalid (problem emitted)
+    bool offEnd = false;     ///< sequential successor past end of text
+};
+
+/** Classify instruction @p i of @p prog. */
+InstFlow instFlow(const Program& prog, size_t i);
+
+/** Structural CFG defect kinds. */
+enum class CfgProblemKind : uint8_t {
+    BadEntry,    ///< function entry outside the text segment
+    BadTarget,   ///< branch target outside text or misaligned
+    FallOffEnd,  ///< control can run past the end of the text
+};
+
+/** One structural defect, anchored to a static instruction index. */
+struct CfgProblem {
+    CfgProblemKind kind = CfgProblemKind::BadTarget;
+    size_t instIndex = 0;
+};
+
+/** One basic block: instructions [first, last], block successor ids. */
+struct BinBlock {
+    int first = 0;
+    int last = 0;
+    std::vector<int> succs;
+};
+
+/** One reconstructed function, blocks in reverse post-order (0=entry). */
+struct BinFunc {
+    size_t entryInst = 0;
+    std::vector<BinBlock> blocks;
+    std::vector<int> blockOfInst;      ///< per text index, -1 = not here
+    std::vector<size_t> callTargets;   ///< direct callees discovered
+    std::vector<CfgProblem> problems;  ///< structural defects, DFS order
+};
+
+/** Build the CFG of the function entered at instruction @p entry. */
+BinFunc buildBinFunc(const Program& prog, size_t entry);
+
+} // namespace ch::cfg
+
+#endif // CH_ANALYZE_CFG_H

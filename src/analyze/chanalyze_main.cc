@@ -1,0 +1,152 @@
+/**
+ * @file
+ * chanalyze: static throughput & critical-path analyzer.
+ *
+ *   chanalyze [--isa=riscv|straight|clockhands] [options] file.s
+ *   chanalyze --workloads [options]
+ *
+ * Options:
+ *   --fetch=N      machine preset (Table 2 column), default 8
+ *   --json         machine-readable report (ch-analyze-report-v1)
+ *   --all-loops    report every loop, not only innermost ones
+ *   --verify       also run chverify's dataflow and print pressure
+ *
+ * The first form assembles a .s file (paper syntax) and analyzes it;
+ * the second analyzes every compiled workload for all three ISAs.
+ * Exit status: 0 clean, 1 structural CFG problems found, 2 usage or
+ * input error. Lints are advisory and do not affect the exit status.
+ */
+
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "analyze/analyze.h"
+#include "asm/assembler.h"
+#include "common/logging.h"
+#include "verify/verify.h"
+#include "workloads/workloads.h"
+
+namespace {
+
+struct Options {
+    ch::MachineConfig cfg;
+    bool json = false;
+    bool allLoops = false;
+    bool verify = false;
+};
+
+int
+usage()
+{
+    std::cerr << "usage: chanalyze [--isa=riscv|straight|clockhands] "
+                 "[--fetch=N] [--json]\n"
+                 "                 [--all-loops] [--verify] file.s\n"
+                 "       chanalyze --workloads [--fetch=N] [--json] "
+                 "[--all-loops] [--verify]\n";
+    return 2;
+}
+
+/** Analyze one program; returns 1 when the CFG is malformed. */
+int
+analyzeOne(const std::string& label, const ch::Program& prog,
+           const Options& opt)
+{
+    const ch::analyze::ProgramReport rep =
+        ch::analyze::analyzeProgram(prog, opt.cfg);
+    if (opt.json) {
+        std::cout << reportJson(prog, label, rep);
+    } else {
+        std::cout << label << " (" << ch::isaName(prog.isa) << "): "
+                  << formatReport(prog, rep, opt.allLoops);
+        if (opt.verify) {
+            const ch::VerifyResult vr = ch::verifyProgram(prog);
+            std::cout << formatPressure(prog, vr);
+        }
+    }
+    return rep.ok() ? 0 : 1;
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    ch::Isa isa = ch::Isa::Riscv;
+    bool isaSet = false, allWorkloads = false;
+    Options opt;
+    std::string file;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg.rfind("--isa=", 0) == 0) {
+            const std::string name = arg.substr(6);
+            if (name == "riscv") {
+                isa = ch::Isa::Riscv;
+            } else if (name == "straight") {
+                isa = ch::Isa::Straight;
+            } else if (name == "clockhands") {
+                isa = ch::Isa::Clockhands;
+            } else {
+                return usage();
+            }
+            isaSet = true;
+        } else if (arg.rfind("--fetch=", 0) == 0) {
+            try {
+                opt.cfg = ch::MachineConfig::preset(
+                    std::stoi(arg.substr(8)));
+            } catch (const std::exception&) {
+                return usage();
+            }
+        } else if (arg == "--json") {
+            opt.json = true;
+        } else if (arg == "--all-loops") {
+            opt.allLoops = true;
+        } else if (arg == "--verify") {
+            opt.verify = true;
+        } else if (arg == "--workloads") {
+            allWorkloads = true;
+        } else if (!arg.empty() && arg[0] == '-') {
+            return usage();
+        } else if (file.empty()) {
+            file = arg;
+        } else {
+            return usage();
+        }
+    }
+
+    try {
+        if (allWorkloads) {
+            int rc = 0;
+            for (const auto& wl : ch::workloads()) {
+                for (const ch::Isa i : {ch::Isa::Riscv, ch::Isa::Straight,
+                                        ch::Isa::Clockhands}) {
+                    rc |= analyzeOne(wl.name,
+                                     ch::compiledWorkload(wl.name, i),
+                                     opt);
+                }
+            }
+            return rc;
+        }
+
+        if (file.empty())
+            return usage();
+        if (!isaSet) {
+            std::cerr << "chanalyze: --isa is required for .s input\n";
+            return usage();
+        }
+        std::ifstream in(file);
+        if (!in) {
+            std::cerr << "chanalyze: cannot open " << file << "\n";
+            return 2;
+        }
+        std::ostringstream src;
+        src << in.rdbuf();
+        const ch::Program prog = ch::assemble(isa, src.str());
+        return analyzeOne(file, prog, opt);
+    } catch (const ch::FatalError& e) {
+        std::cerr << "chanalyze: " << e.what() << "\n";
+        return 2;
+    }
+}

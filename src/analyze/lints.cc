@@ -1,0 +1,160 @@
+#include "analyze/analyze.h"
+
+#include <set>
+#include <sstream>
+
+namespace ch::analyze {
+
+std::string_view
+lintKindName(LintKind kind)
+{
+    switch (kind) {
+      case LintKind::JunkSlots: return "junk-slots";
+      case LintKind::HandQuotaHotspot: return "hand-quota-hotspot";
+      case LintKind::LongLifetime: return "long-lifetime";
+    }
+    return "?";
+}
+
+namespace {
+
+/** Reads within this many slots of the window limit get flagged. */
+constexpr int kLifetimeMargin = 2;
+
+/** Loop junk-slot share (STRAIGHT) above which we complain. */
+constexpr double kJunkShare = 0.30;
+
+void
+lintLifetimes(const Program& prog, std::vector<Lint>& out)
+{
+    if (prog.isa == Isa::Riscv)
+        return;
+    const int limit = prog.isa == Isa::Straight
+                          ? kStraightMaxDist - kLifetimeMargin
+                          : kHandDepth - 1 - kLifetimeMargin;
+    for (size_t i = 0; i < prog.numInsts(); ++i) {
+        const Inst& inst = prog.decoded[i];
+        const OpInfo& info = inst.info();
+        auto check = [&](uint8_t enc, uint8_t hand) {
+            if (prog.isa == Isa::Straight &&
+                (enc == kStraightZeroDist || enc == kStraightSpBase)) {
+                return;
+            }
+            if (prog.isa == Isa::Clockhands && hand == HandS &&
+                enc == kHandZeroDist) {
+                return;
+            }
+            if (enc < limit)
+                return;
+            std::ostringstream os;
+            os << "read distance " << static_cast<int>(enc)
+               << " is within " << kLifetimeMargin + 1
+               << " of the window limit ("
+               << (prog.isa == Isa::Straight ? kStraightMaxDist
+                                             : kHandDepth - 1)
+               << "); a longer lifetime would force a relay or spill";
+            Lint l;
+            l.kind = LintKind::LongLifetime;
+            l.instIndex = i;
+            if (i < prog.srcLines.size())
+                l.srcLine = prog.srcLines[i];
+            l.detail = os.str();
+            out.push_back(std::move(l));
+        };
+        if (info.numSrcs >= 1)
+            check(inst.src1, inst.src1Hand);
+        if (info.numSrcs >= 2)
+            check(inst.src2, inst.src2Hand);
+    }
+}
+
+void
+lintJunkSlots(const Program& prog, const std::vector<LoopReport>& loops,
+              std::vector<Lint>& out)
+{
+    std::set<size_t> flagged;
+    for (const LoopReport& lp : loops) {
+        if (!lp.innermost || lp.bodyInsts() < 4 ||
+            !flagged.insert(lp.headInst).second) {
+            continue;
+        }
+        size_t junk = 0;
+        for (const int i : lp.body)
+            if (!prog.decoded[static_cast<size_t>(i)].info().hasDst)
+                ++junk;
+        const double share =
+            static_cast<double>(junk) / static_cast<double>(lp.bodyInsts());
+        if (share <= kJunkShare)
+            continue;
+        std::ostringstream os;
+        os << junk << " of " << lp.bodyInsts()
+           << " ring slots per iteration carry no value; valueless "
+              "instructions still consume STRAIGHT's register window";
+        Lint l;
+        l.kind = LintKind::JunkSlots;
+        l.instIndex = lp.headInst;
+        l.srcLine = lp.srcLine;
+        l.detail = os.str();
+        out.push_back(std::move(l));
+    }
+}
+
+void
+lintHandQuota(const Program& prog, const MachineConfig& cfg,
+              const std::vector<LoopReport>& loops, std::vector<Lint>& out)
+{
+    std::set<size_t> flagged;
+    for (const LoopReport& lp : loops) {
+        if (!lp.innermost || !flagged.insert(lp.headInst).second)
+            continue;
+        int writes[kNumHands] = {};
+        int total = 0;
+        for (const int i : lp.body) {
+            const Inst& inst = prog.decoded[static_cast<size_t>(i)];
+            if (!inst.info().hasDst)
+                continue;
+            ++writes[inst.dst % kNumHands];
+            ++total;
+        }
+        if (total < 8)
+            continue;
+        for (int h = 0; h < kNumHands; ++h) {
+            const double share =
+                static_cast<double>(writes[h]) / total;
+            const double quotaShare =
+                static_cast<double>(cfg.handQuota(h)) /
+                cfg.physRegsRenameFree();
+            if (writes[h] < 4 || share <= 2 * quotaShare)
+                continue;
+            std::ostringstream os;
+            os << "hand " << handName(static_cast<uint8_t>(h))
+               << " takes " << writes[h] << "/" << total
+               << " writes per iteration but holds only "
+               << cfg.handQuota(h) << "/" << cfg.physRegsRenameFree()
+               << " of the physical registers; expect quota stalls";
+            Lint l;
+            l.kind = LintKind::HandQuotaHotspot;
+            l.instIndex = lp.headInst;
+            l.srcLine = lp.srcLine;
+            l.detail = os.str();
+            out.push_back(std::move(l));
+        }
+    }
+}
+
+} // namespace
+
+std::vector<Lint>
+lintProgram(const Program& prog, const MachineConfig& cfg,
+            const std::vector<LoopReport>& loops)
+{
+    std::vector<Lint> out;
+    lintLifetimes(prog, out);
+    if (prog.isa == Isa::Straight)
+        lintJunkSlots(prog, loops, out);
+    if (prog.isa == Isa::Clockhands)
+        lintHandQuota(prog, cfg, loops, out);
+    return out;
+}
+
+} // namespace ch::analyze

@@ -1,0 +1,149 @@
+#include "analyze/loops.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+namespace ch::analyze {
+
+namespace {
+
+/** CHK two-finger walk to the common dominator of @p a and @p b. */
+int
+intersect(int a, int b, const std::vector<int>& idom)
+{
+    while (a != b) {
+        while (a > b)
+            a = idom[a];
+        while (b > a)
+            b = idom[b];
+    }
+    return a;
+}
+
+/** Whether @p h dominates @p b (reflexive). */
+bool
+dominates(int h, int b, const std::vector<int>& idom)
+{
+    while (b != h && b != 0)
+        b = idom[b];
+    return b == h;
+}
+
+} // namespace
+
+std::vector<int>
+immediateDominators(const cfg::BinFunc& fn)
+{
+    const size_t nb = fn.blocks.size();
+    std::vector<int> idom(nb, -1);
+    if (nb == 0)
+        return idom;
+    idom[0] = 0;
+
+    std::vector<std::vector<int>> preds(nb);
+    for (size_t b = 0; b < nb; ++b)
+        for (const int s : fn.blocks[b].succs)
+            preds[static_cast<size_t>(s)].push_back(static_cast<int>(b));
+
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (size_t b = 1; b < nb; ++b) {
+            int d = -1;
+            for (const int p : preds[b]) {
+                if (idom[static_cast<size_t>(p)] < 0)
+                    continue;
+                d = d < 0 ? p : intersect(p, d, idom);
+            }
+            if (d >= 0 && idom[b] != d) {
+                idom[b] = d;
+                changed = true;
+            }
+        }
+    }
+    return idom;
+}
+
+std::vector<Loop>
+findLoops(const Program& prog, const cfg::BinFunc& fn)
+{
+    const size_t nb = fn.blocks.size();
+    std::vector<Loop> loops;
+    if (nb == 0)
+        return loops;
+
+    const std::vector<int> idom = immediateDominators(fn);
+    std::vector<std::vector<int>> preds(nb);
+    for (size_t b = 0; b < nb; ++b)
+        for (const int s : fn.blocks[b].succs)
+            preds[static_cast<size_t>(s)].push_back(static_cast<int>(b));
+
+    // Natural loop of every back edge, merged per header (a compiled
+    // `continue` gives one header several latches).
+    std::map<int, std::set<int>> byHeader;
+    for (size_t b = 0; b < nb; ++b) {
+        for (const int h : fn.blocks[b].succs) {
+            if (!dominates(h, static_cast<int>(b), idom))
+                continue;
+            auto& members = byHeader[h];
+            members.insert(h);
+            std::vector<int> work;
+            if (members.insert(static_cast<int>(b)).second)
+                work.push_back(static_cast<int>(b));
+            while (!work.empty()) {
+                const int m = work.back();
+                work.pop_back();
+                if (m == h)
+                    continue;
+                for (const int p : preds[static_cast<size_t>(m)])
+                    if (members.insert(p).second)
+                        work.push_back(p);
+            }
+        }
+    }
+
+    for (const auto& [header, members] : byHeader) {
+        Loop lp;
+        lp.header = header;
+        lp.blocks.assign(members.begin(), members.end());
+        for (const int b : lp.blocks) {
+            const cfg::BinBlock& blk = fn.blocks[static_cast<size_t>(b)];
+            for (int i = blk.first; i <= blk.last; ++i) {
+                lp.body.push_back(i);
+                const BrKind br = prog.decoded[i].info().brKind;
+                if (br == BrKind::Call || br == BrKind::IndCall)
+                    lp.hasCall = true;
+            }
+        }
+        loops.push_back(std::move(lp));
+    }
+
+    // Nesting: loop A contains B when A's member set is a strict
+    // superset of B's. Headers are unique, so subset tests suffice.
+    for (auto& a : loops) {
+        for (const auto& b : loops) {
+            if (a.header == b.header || a.blocks.size() <= b.blocks.size())
+                continue;
+            if (std::includes(a.blocks.begin(), a.blocks.end(),
+                              b.blocks.begin(), b.blocks.end())) {
+                a.innermost = false;
+            }
+        }
+        for (const auto& b : loops) {
+            if (a.header != b.header && b.blocks.size() > a.blocks.size() &&
+                std::includes(b.blocks.begin(), b.blocks.end(),
+                              a.blocks.begin(), a.blocks.end())) {
+                ++a.depth;
+            }
+        }
+    }
+    std::stable_sort(loops.begin(), loops.end(),
+                     [](const Loop& a, const Loop& b) {
+                         return a.depth != b.depth ? a.depth < b.depth
+                                                   : a.header < b.header;
+                     });
+    return loops;
+}
+
+} // namespace ch::analyze

@@ -1,0 +1,48 @@
+#ifndef CH_ANALYZE_LOOPS_H
+#define CH_ANALYZE_LOOPS_H
+
+/**
+ * @file
+ * Natural-loop reconstruction over the shared binary CFG (cfg.h).
+ * Dominators are computed with the Cooper-Harvey-Kennedy iterative
+ * scheme, which converges in a couple of passes because buildBinFunc
+ * already numbers blocks in reverse post-order. Back edges (b -> h
+ * with h dominating b) identify loop headers; loops sharing a header
+ * are merged, as a compiled `continue` produces multiple latches.
+ */
+
+#include <cstddef>
+#include <vector>
+
+#include "analyze/cfg.h"
+
+namespace ch::analyze {
+
+/** One natural loop of a reconstructed function. */
+struct Loop {
+    int header = 0;           ///< header block id (RPO numbering)
+    std::vector<int> blocks;  ///< member block ids, ascending = RPO
+    std::vector<int> body;    ///< straightened instruction indices
+    int depth = 1;            ///< nesting depth, 1 = outermost
+    bool innermost = true;    ///< contains no other loop
+    bool hasCall = false;     ///< body calls out of the function
+};
+
+/**
+ * Immediate dominator of every block (idom[0] == 0 for the entry;
+ * -1 only for blocks unreachable from block 0, which buildBinFunc
+ * does not produce).
+ */
+std::vector<int> immediateDominators(const cfg::BinFunc& fn);
+
+/**
+ * All natural loops of @p fn, outermost first. The straightened body
+ * lists member blocks in RPO and instructions in text order within
+ * each block — the steady-state execution order under the analyzer's
+ * backward-taken / forward-not-taken branch assumption.
+ */
+std::vector<Loop> findLoops(const Program& prog, const cfg::BinFunc& fn);
+
+} // namespace ch::analyze
+
+#endif // CH_ANALYZE_LOOPS_H

@@ -10,8 +10,10 @@
 #include <thread>
 
 #include "common/logging.h"
+#include "isa/isa.h"
 #include "uarch/sampling.h"
 #include "uarch/sim.h"
+#include "verify/verify.h"
 
 namespace ch {
 
@@ -118,6 +120,43 @@ sanitizeJobId(const std::string& id)
     return out.empty() ? std::string("job") : out;
 }
 
+/**
+ * Merge the verifier's program-level statistics into @p m. The static
+ * pressure groups mirror formatPressure(): one "regs"/"ring" group for
+ * the flat-register ISAs, the four hand names for Clockhands.
+ */
+void
+addVerifyStats(const JobContext& ctx, JobMetrics& m)
+{
+    CH_ASSERT(ctx.program, "verify stats need a workload program: ",
+              ctx.spec.id);
+    const VerifyResult v = verifyProgram(*ctx.program);
+    uint64_t dead = 0;
+    auto group = [&m](const std::string& name, const HandPressure& p) {
+        const std::string key = "verify.pressure." + name;
+        m.counters[key + ".writes"] = p.writes;
+        m.counters[key + ".reads"] = p.reads;
+        m.counters[key + ".dead"] = p.deadWrites;
+    };
+    switch (ctx.program->isa) {
+      case Isa::Riscv:
+        group("regs", v.pressure[0]);
+        break;
+      case Isa::Straight:
+        group("ring", v.pressure[0]);
+        break;
+      case Isa::Clockhands:
+        for (int h = 0; h < kNumHands; ++h) {
+            group(std::string(1, handName(static_cast<uint8_t>(h))),
+                  v.pressure[static_cast<size_t>(h)]);
+        }
+        break;
+    }
+    for (const HandPressure& p : v.pressure)
+        dead += p.deadWrites;
+    m.counters["verify.deadWrites"] = dead;
+}
+
 } // namespace
 
 size_t
@@ -129,7 +168,15 @@ SweepRunner::addSim(JobSpec spec)
     }
     if (opt_.sampling.enabled() && !spec.cfg.sampling.enabled())
         spec.cfg.sampling = opt_.sampling;
-    const size_t idx = add(std::move(spec), simJob);
+    JobFn body = simJob;
+    if (opt_.verifyStats) {
+        body = [](const JobContext& ctx) {
+            JobMetrics m = simJob(ctx);
+            addVerifyStats(ctx, m);
+            return m;
+        };
+    }
+    const size_t idx = add(std::move(spec), std::move(body));
     isSim_[idx] = 1;
     return idx;
 }

@@ -66,6 +66,16 @@ struct RunnerOptions {
      * and all metrics stay byte-identical to earlier binaries.
      */
     SamplingConfig sampling;
+
+    /**
+     * Attach the static verifier's dead-write/pressure statistics
+     * (docs/VERIFIER.md) to every addSim() job as verify.* counters:
+     * verify.deadWrites plus verify.pressure.<group>.{writes,reads,dead}
+     * with group regs (RISC), ring (STRAIGHT) or t/u/v/s (Clockhands).
+     * Off by default; when off no verify.* key is ever inserted, so the
+     * metrics files stay byte-identical to earlier binaries.
+     */
+    bool verifyStats = false;
 };
 
 /** One simulation/analysis job of a sweep. */

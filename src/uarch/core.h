@@ -46,7 +46,7 @@
 
 namespace ch {
 
-class PipeTracer;
+class PipeObserver;
 
 /** Per-cycle resource usage counters over a sliding window. */
 class CycleCounts
@@ -156,11 +156,15 @@ class CycleSim : public TraceSink
     StatGroup& stats() { return stats_; }
 
     /**
-     * Attach a (non-owned) Kanata pipeline tracer; nullptr detaches.
-     * Tracing only observes the computed timestamps — enabling it never
-     * changes cycles or any deterministic statistic.
+     * Attach a (non-owned) stage-schedule observer (Kanata tracer,
+     * analysis probe, ...); nullptr detaches. Observers only see the
+     * computed timestamps — attaching one never changes cycles or any
+     * deterministic statistic.
      */
-    void setPipeTracer(PipeTracer* tracer) { tracer_ = tracer; }
+    void setPipeObserver(PipeObserver* observer) { tracer_ = observer; }
+
+    /** Back-compat alias for setPipeObserver(). */
+    void setPipeTracer(PipeObserver* tracer) { tracer_ = tracer; }
 
     /** The per-cycle stall attribution accumulated so far. */
     const StallAccountant& stallAccount() const { return stalls_; }
@@ -237,7 +241,7 @@ class CycleSim : public TraceSink
     RingU64 producedValue_;   ///< 1 if the producer wrote a real value
 
     // Observability (docs/OBSERVABILITY.md).
-    PipeTracer* tracer_ = nullptr;
+    PipeObserver* tracer_ = nullptr;
     StallAccountant stalls_;
     // Per-instruction stall causes, filled by the stage helpers.
     bool curSquashDelayed_ = false;   ///< fetch waited on a redirect

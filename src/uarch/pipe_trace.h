@@ -40,15 +40,31 @@ struct PipeTimes {
     uint64_t commit = 0;    ///< retired
 };
 
+/**
+ * Consumer of per-committed-instruction stage schedules. The Kanata
+ * tracer below is one implementation; analysis probes (e.g. the
+ * per-loop IPC attribution in bench/fig_static_ipc.cc) are others.
+ * Attached with CycleSim::setPipeObserver(); costs one null check per
+ * instruction when absent and never changes timing.
+ */
+class PipeObserver
+{
+  public:
+    virtual ~PipeObserver() = default;
+
+    /** One committed instruction's schedule, in commit order. */
+    virtual void onTimedInst(const DynInst& di, const PipeTimes& t) = 0;
+};
+
 /** Streams one Kanata record per committed instruction. */
-class PipeTracer
+class PipeTracer : public PipeObserver
 {
   public:
     /** Trace to @p os; @p cfg/@p isa fix the front-end stage split. */
     PipeTracer(std::ostream& os, Isa isa, const MachineConfig& cfg);
 
     /** Record one committed instruction's schedule. */
-    void onTimedInst(const DynInst& di, const PipeTimes& t);
+    void onTimedInst(const DynInst& di, const PipeTimes& t) override;
 
     /** Drain buffered events; call once after the run. */
     void finish();

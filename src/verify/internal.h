@@ -3,56 +3,31 @@
 
 /**
  * @file
- * Internals shared by the verifier's translation units: binary CFG
- * reconstruction and the abstract-slot lattice used by the dataflow.
- * Not part of the public API (tests may include it to poke at the CFG).
+ * Internals shared by the verifier's translation units: the abstract-
+ * slot lattice used by the dataflow, over the shared binary CFG layer
+ * (src/analyze/cfg.h — one reconstruction consumed by both chverify
+ * and chanalyze). Not part of the public API.
  */
 
 #include <cstdint>
 #include <unordered_map>
 #include <vector>
 
+#include "analyze/cfg.h"
 #include "mem/program.h"
 #include "verify/verify.h"
 
 namespace ch::verify {
 
-// ---------------------------------------------------------------------
-// Binary CFG reconstruction
-// ---------------------------------------------------------------------
+// The verifier's dataflow runs on the shared CFG reconstruction.
+using cfg::BinBlock;
+using cfg::BinFunc;
+using cfg::InstFlow;
+using cfg::buildBinFunc;
+using cfg::instFlow;
 
-/** Control-flow behaviour of one decoded instruction. */
-struct InstFlow {
-    bool isCall = false;     ///< JAL / JALR (execution continues after)
-    bool isExit = false;     ///< JR or ecall-exit: leaves the function
-    int callTarget = -1;     ///< direct call target index, -1 = indirect
-    int succ[2] = {-1, -1};  ///< intra-function successor indices
-    int numSucc = 0;
-    bool badTarget = false;  ///< direct target invalid (issue emitted)
-    bool offEnd = false;     ///< sequential successor past end of text
-};
-
-/** Classify instruction @p i of @p prog. */
-InstFlow instFlow(const Program& prog, size_t i);
-
-/** One basic block: instructions [first, last], block successor ids. */
-struct BinBlock {
-    int first = 0;
-    int last = 0;
-    std::vector<int> succs;
-};
-
-/** One reconstructed function, blocks in reverse post-order (0=entry). */
-struct BinFunc {
-    size_t entryInst = 0;
-    std::vector<BinBlock> blocks;
-    std::vector<int> blockOfInst;      ///< per text index, -1 = not here
-    std::vector<size_t> callTargets;   ///< direct callees discovered
-    std::vector<VerifyIssue> issues;   ///< CFG-level problems
-};
-
-/** Build the CFG of the function entered at instruction @p entry. */
-BinFunc buildBinFunc(const Program& prog, size_t entry);
+/** Render one structural CFG defect in the verifier's issue vocabulary. */
+VerifyIssue cfgProblemIssue(const Program& prog, const cfg::CfgProblem& p);
 
 // ---------------------------------------------------------------------
 // Abstract slot lattice

@@ -75,6 +75,31 @@ addIssue(FlowContext& cx, IssueKind kind, size_t i, int operand, uint8_t hand,
     cx.res.issues.push_back(std::move(is));
 }
 
+VerifyIssue
+cfgProblemIssue(const Program& prog, const cfg::CfgProblem& p)
+{
+    VerifyIssue is;
+    is.instIndex = p.instIndex;
+    is.pc = prog.textBase + 4 * p.instIndex;
+    if (p.instIndex < prog.srcLines.size())
+        is.line = prog.srcLines[p.instIndex];
+    switch (p.kind) {
+      case cfg::CfgProblemKind::BadEntry:
+        is.kind = IssueKind::BadTarget;
+        is.detail = "function entry outside text";
+        break;
+      case cfg::CfgProblemKind::BadTarget:
+        is.kind = IssueKind::BadTarget;
+        is.detail = "branch target outside text or misaligned";
+        break;
+      case cfg::CfgProblemKind::FallOffEnd:
+        is.kind = IssueKind::FallOffEnd;
+        is.detail = "control runs past the end of the text segment";
+        break;
+    }
+    return is;
+}
+
 } // namespace verify
 
 using verify::BinFunc;
@@ -132,12 +157,13 @@ verifyProgram(const Program& prog)
 
     std::set<std::pair<int, size_t>> cfgSeen;
     for (const BinFunc& fn : funcs) {
-        for (const VerifyIssue& is : fn.issues) {
+        for (const cfg::CfgProblem& p : fn.problems) {
+            VerifyIssue is = verify::cfgProblemIssue(prog, p);
             if (cfgSeen
                     .insert({static_cast<int>(is.kind), is.instIndex})
                     .second &&
                 res.issues.size() < 100) {
-                res.issues.push_back(is);
+                res.issues.push_back(std::move(is));
             }
         }
         res.numBlocks += fn.blocks.size();

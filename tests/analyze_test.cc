@@ -1,0 +1,470 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "analyze/analyze.h"
+#include "analyze/cfg.h"
+#include "analyze/loops.h"
+#include "asm/assembler.h"
+#include "emu/emulator.h"
+#include "trace/trace_buffer.h"
+#include "uarch/core.h"
+#include "uarch/pipe_trace.h"
+#include "workloads/workloads.h"
+
+namespace ch {
+namespace {
+
+analyze::ProgramReport
+analyzeAsm(Isa isa, const std::string& src)
+{
+    const Program p = assemble(isa, src);
+    return analyze::analyzeProgram(p, MachineConfig::preset(8));
+}
+
+bool
+hasLint(const analyze::ProgramReport& rep, analyze::LintKind kind)
+{
+    return std::any_of(rep.lints.begin(), rep.lints.end(),
+                       [&](const analyze::Lint& l) {
+                           return l.kind == kind;
+                       });
+}
+
+// ---------------------------------------------------------------------
+// Shared CFG library (also exercised indirectly by every verify test).
+// ---------------------------------------------------------------------
+
+TEST(AnalyzeCfg, CarvesBlocksInRpo)
+{
+    const Program p = assemble(Isa::Riscv, R"(
+        addi a0, zero, 10
+    loop:
+        addi a0, a0, -1
+        bnez a0, loop
+        ecall zero, a0, 0
+    )");
+    const cfg::BinFunc fn = cfg::buildBinFunc(p, 0);
+    EXPECT_TRUE(fn.problems.empty());
+    ASSERT_EQ(fn.blocks.size(), 3u);
+    // RPO: entry first; every instruction mapped to exactly one block.
+    EXPECT_EQ(fn.blocks[0].first, 0);
+    for (size_t i = 0; i < p.numInsts(); ++i)
+        EXPECT_GE(fn.blockOfInst[i], 0) << "inst " << i;
+    // The loop block branches both to itself and to the exit block.
+    const int loopBlk = fn.blockOfInst[1];
+    EXPECT_EQ(fn.blocks[static_cast<size_t>(loopBlk)].succs.size(), 2u);
+}
+
+TEST(AnalyzeCfg, ReportsBadTargetAndFallOffEnd)
+{
+    const Program bad = assemble(Isa::Straight,
+                                 "j 1000\n"
+                                 "ecall zero, 0\n");
+    const cfg::BinFunc fnBad = cfg::buildBinFunc(bad, 0);
+    ASSERT_FALSE(fnBad.problems.empty());
+    EXPECT_EQ(fnBad.problems[0].kind, cfg::CfgProblemKind::BadTarget);
+    EXPECT_EQ(fnBad.problems[0].instIndex, 0u);
+
+    const Program off = assemble(Isa::Straight, "addi zero, 1\n");
+    const cfg::BinFunc fnOff = cfg::buildBinFunc(off, 0);
+    ASSERT_FALSE(fnOff.problems.empty());
+    EXPECT_EQ(fnOff.problems[0].kind, cfg::CfgProblemKind::FallOffEnd);
+}
+
+TEST(AnalyzeCfg, MalformedProgramStillAnalyzes)
+{
+    // analyzeProgram must degrade gracefully: report the structural
+    // defect, keep whatever loops are still well-formed, never throw.
+    const analyze::ProgramReport rep = analyzeAsm(Isa::Straight,
+                                                  "j 1000\n"
+                                                  "ecall zero, 0\n");
+    EXPECT_FALSE(rep.ok());
+    EXPECT_GT(rep.cfgProblems, 0u);
+}
+
+// ---------------------------------------------------------------------
+// Natural-loop reconstruction
+// ---------------------------------------------------------------------
+
+TEST(AnalyzeLoops, FindsNestedLoopsWithDepth)
+{
+    const Program p = assemble(Isa::Riscv, R"(
+        addi a0, zero, 10
+    outer:
+        addi a1, zero, 10
+    inner:
+        addi a1, a1, -1
+        bnez a1, inner
+        addi a0, a0, -1
+        bnez a0, outer
+        ecall zero, a0, 0
+    )");
+    const cfg::BinFunc fn = cfg::buildBinFunc(p, 0);
+    const std::vector<analyze::Loop> loops = analyze::findLoops(p, fn);
+    ASSERT_EQ(loops.size(), 2u);
+    const analyze::Loop* outer = nullptr;
+    const analyze::Loop* inner = nullptr;
+    for (const analyze::Loop& l : loops)
+        (l.depth == 1 ? outer : inner) = &l;
+    ASSERT_NE(outer, nullptr);
+    ASSERT_NE(inner, nullptr);
+    EXPECT_FALSE(outer->innermost);
+    EXPECT_TRUE(inner->innermost);
+    EXPECT_EQ(inner->depth, 2);
+    // The inner body nests strictly inside the outer body.
+    EXPECT_LT(inner->body.size(), outer->body.size());
+}
+
+// ---------------------------------------------------------------------
+// Known-bound loops: each constructed so one bound dominates and its
+// value is computable by hand from the MachineConfig tables.
+// ---------------------------------------------------------------------
+
+TEST(AnalyzeBounds, DependenceChainBound)
+{
+    // mul carries a1 across iterations: 3-cycle IntMul latency per trip
+    // around the recurrence, far above every resource bound of the
+    // 3-instruction body on an 8-wide machine.
+    const analyze::ProgramReport rep = analyzeAsm(Isa::Riscv, R"(
+        addi a0, zero, 100
+        addi a1, zero, 1
+    loop:
+        mul a1, a1, a0
+        addi a0, a0, -1
+        bnez a0, loop
+        ecall zero, a1, 0
+    )");
+    ASSERT_EQ(rep.loops.size(), 1u);
+    const analyze::LoopReport& lp = rep.loops[0];
+    EXPECT_EQ(lp.bodyInsts(), 3u);
+    EXPECT_NEAR(lp.latencyCycles, 3.0, 1e-6);
+    EXPECT_NEAR(lp.resourceCycles, 1.0, 1e-6);
+    EXPECT_NEAR(lp.cyclesPerIter, 3.0, 1e-6);
+    EXPECT_NEAR(lp.predictedIpc, 1.0, 1e-6);
+    EXPECT_EQ(lp.bottleneck, analyze::Bottleneck::DepChain);
+    EXPECT_EQ(lp.bottleneckName(), "depchain");
+}
+
+TEST(AnalyzeBounds, FuPoolBound)
+{
+    // Four independent muls per iteration against a single IntMul unit:
+    // the pool needs 4 cycles/iteration while no dependence chain grows
+    // (every mul reads the loop-invariant a1).
+    const analyze::ProgramReport rep = analyzeAsm(Isa::Riscv, R"(
+        addi a0, zero, 100
+        addi a1, zero, 3
+    loop:
+        mul a2, a1, a1
+        mul a3, a1, a1
+        mul a4, a1, a1
+        mul a5, a1, a1
+        addi a0, a0, -1
+        bnez a0, loop
+        ecall zero, a2, 0
+    )");
+    ASSERT_EQ(rep.loops.size(), 1u);
+    const analyze::LoopReport& lp = rep.loops[0];
+    const int mulPool = analyze::fuPoolId(OpClass::IntMul);
+    EXPECT_NEAR(lp.fuCycles[mulPool], 4.0, 1e-6);
+    EXPECT_NEAR(lp.cyclesPerIter, 4.0, 1e-6);
+    EXPECT_NEAR(lp.predictedIpc, 6.0 / 4.0, 1e-6);
+    EXPECT_EQ(lp.bottleneck, analyze::Bottleneck::Fu);
+    EXPECT_EQ(lp.bottleneckName(), "fu.iMul");
+}
+
+TEST(AnalyzeBounds, FrontendBoundTinyLoop)
+{
+    // A 2-instruction counted loop: the backward-taken branch ends the
+    // fetch group every iteration, so the front end needs one full
+    // cycle for 2 instructions — above the issue/commit/ALU shares.
+    const analyze::ProgramReport rep = analyzeAsm(Isa::Riscv, R"(
+        addi a0, zero, 100
+    loop:
+        addi a0, a0, -1
+        bnez a0, loop
+        ecall zero, a0, 0
+    )");
+    ASSERT_EQ(rep.loops.size(), 1u);
+    const analyze::LoopReport& lp = rep.loops[0];
+    EXPECT_NEAR(lp.fetchCycles, 1.0, 1e-6);
+    EXPECT_NEAR(lp.cyclesPerIter, 1.0, 1e-6);
+    EXPECT_NEAR(lp.predictedIpc, 2.0, 1e-6);
+    EXPECT_EQ(lp.bottleneck, analyze::Bottleneck::Frontend);
+}
+
+TEST(AnalyzeBounds, ClockhandsHandRecurrence)
+{
+    // The same 3-cycle mul recurrence expressed through hand t's ring:
+    // the hand/distance dataflow must resolve t[0] to the previous
+    // iteration's write.
+    const analyze::ProgramReport rep = analyzeAsm(Isa::Clockhands, R"(
+        addi u, zero, 100
+        addi t, zero, 1
+    loop:
+        mul t, t[0], u[0]
+        addi u, u[0], -1
+        bnez u[0], loop
+        ecall t, zero, 0
+    )");
+    ASSERT_EQ(rep.loops.size(), 1u);
+    const analyze::LoopReport& lp = rep.loops[0];
+    EXPECT_NEAR(lp.latencyCycles, 3.0, 1e-6);
+    EXPECT_EQ(lp.bottleneck, analyze::Bottleneck::DepChain);
+}
+
+TEST(AnalyzeBounds, StraightRingRecurrence)
+{
+    // STRAIGHT: every instruction allocates a ring slot, so the counter
+    // written 2 slots back ([2] at the addi) carries the recurrence.
+    const analyze::ProgramReport rep = analyzeAsm(Isa::Straight, R"(
+        addi zero, 100
+        j loop
+    loop:
+        addi [2], -1
+        bne [1], [1], loop
+        ecall zero, 0
+    )");
+    ASSERT_EQ(rep.loops.size(), 1u);
+    const analyze::LoopReport& lp = rep.loops[0];
+    EXPECT_EQ(lp.bodyInsts(), 2u);
+    // addi -> next iteration's addi: 1 cycle/iteration.
+    EXPECT_NEAR(lp.latencyCycles, 1.0, 1e-6);
+    EXPECT_GT(lp.predictedIpc, 0.0);
+}
+
+// ---------------------------------------------------------------------
+// Lints
+// ---------------------------------------------------------------------
+
+TEST(AnalyzeLints, LongLifetimeNearWindowLimit)
+{
+    // t[13] is within the 2-slot margin of Clockhands' 15-deep window.
+    const analyze::ProgramReport rep = analyzeAsm(Isa::Clockhands,
+                                                  "addi t, zero, 1\n"
+                                                  "add t, t[13], t[13]\n"
+                                                  "ecall t, zero, 0\n");
+    EXPECT_TRUE(hasLint(rep, analyze::LintKind::LongLifetime));
+}
+
+TEST(AnalyzeLints, StraightJunkSlotShare)
+{
+    // 3 of 4 body slots (two stores + the branch) carry no value.
+    const analyze::ProgramReport rep = analyzeAsm(Isa::Straight, R"(
+        .data
+    x: .zero 8
+        .text
+        la x
+        addi zero, 4
+        j loop
+    loop:
+        sw [1], 0([3])
+        sw [2], 0([4])
+        addi [3], -1
+        bne [1], [1], loop
+        ecall zero, 0
+    )");
+    EXPECT_TRUE(hasLint(rep, analyze::LintKind::JunkSlots));
+}
+
+TEST(AnalyzeLints, HandQuotaHotspot)
+{
+    // Every write of an 8-write loop body lands on hand u, which holds
+    // well under half of the physical registers (Table 2 quota).
+    const analyze::ProgramReport rep = analyzeAsm(Isa::Clockhands, R"(
+        addi u, zero, 100
+    loop:
+        addi u, u[0], -1
+        addi u, u[0], 0
+        addi u, u[0], 0
+        addi u, u[0], 0
+        addi u, u[0], 0
+        addi u, u[0], 0
+        addi u, u[0], 0
+        addi u, u[0], 0
+        bnez u[0], loop
+        ecall u, zero, 0
+    )");
+    EXPECT_TRUE(hasLint(rep, analyze::LintKind::HandQuotaHotspot));
+}
+
+TEST(AnalyzeLints, CleanRiscLoopHasNoLints)
+{
+    const analyze::ProgramReport rep = analyzeAsm(Isa::Riscv, R"(
+        addi a0, zero, 100
+    loop:
+        addi a0, a0, -1
+        bnez a0, loop
+        ecall zero, a0, 0
+    )");
+    EXPECT_TRUE(rep.lints.empty());
+}
+
+// ---------------------------------------------------------------------
+// Report formatting
+// ---------------------------------------------------------------------
+
+TEST(AnalyzeReport, JsonAndTextShapes)
+{
+    const Program p = assemble(Isa::Riscv, R"(
+        addi a0, zero, 100
+    loop:
+        addi a0, a0, -1
+        bnez a0, loop
+        ecall zero, a0, 0
+    )");
+    const analyze::ProgramReport rep =
+        analyze::analyzeProgram(p, MachineConfig::preset(8));
+    const std::string json = analyze::reportJson(p, "unit", rep);
+    EXPECT_NE(json.find("ch-analyze-report-v1"), std::string::npos);
+    EXPECT_NE(json.find("\"loops\""), std::string::npos);
+    const std::string text = analyze::formatReport(p, rep, true);
+    EXPECT_NE(text.find("loop"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------
+// Corpus cross-validation: the bench/fig_static_ipc.cc contract in
+// miniature. For every (workload, ISA) point, hot regular innermost
+// loops must be predicted within a loose per-loop factor, and the
+// corpus geomean must stay well inside the 15% CI gate's headroom.
+// ---------------------------------------------------------------------
+
+/** Minimal per-loop IPC attribution probe (see bench/fig_static_ipc.cc). */
+class LoopProbe : public PipeObserver
+{
+  public:
+    LoopProbe(const Program& prog,
+              const std::vector<analyze::LoopReport>& loops)
+        : textBase_(prog.textBase),
+          cycles_(loops.size(), 0),
+          insts_(loops.size(), 0),
+          iters_(loops.size(), 0)
+    {
+        for (const analyze::LoopReport& lp : loops)
+            headOf_.push_back(lp.headInst);
+        loopOf_.assign(prog.numInsts(), -1);
+        for (size_t l = 0; l < loops.size(); ++l) {
+            for (const int i : loops[l].body) {
+                const int cur = loopOf_[static_cast<size_t>(i)];
+                if (cur < 0 ||
+                    loops[l].depth >
+                        loops[static_cast<size_t>(cur)].depth) {
+                    loopOf_[static_cast<size_t>(i)] =
+                        static_cast<int>(l);
+                }
+            }
+        }
+    }
+
+    void
+    onTimedInst(const DynInst& di, const PipeTimes& t) override
+    {
+        const size_t idx = (di.pc - textBase_) / 4;
+        const int l = idx < loopOf_.size() ? loopOf_[idx] : -1;
+        if (l >= 0) {
+            ++insts_[static_cast<size_t>(l)];
+            if (idx == headOf_[static_cast<size_t>(l)])
+                ++iters_[static_cast<size_t>(l)];
+            if (hasLast_)
+                cycles_[static_cast<size_t>(l)] += t.commit - lastCommit_;
+        }
+        lastCommit_ = t.commit;
+        hasLast_ = true;
+    }
+
+    uint64_t cycles(size_t l) const { return cycles_[l]; }
+    uint64_t insts(size_t l) const { return insts_[l]; }
+    uint64_t iters(size_t l) const { return iters_[l]; }
+
+  private:
+    uint64_t textBase_;
+    std::vector<int> loopOf_;
+    std::vector<size_t> headOf_;
+    std::vector<uint64_t> cycles_;
+    std::vector<uint64_t> insts_;
+    std::vector<uint64_t> iters_;
+    uint64_t lastCommit_ = 0;
+    bool hasLast_ = false;
+};
+
+class AnalyzeCorpus
+    : public ::testing::TestWithParam<std::tuple<const char*, Isa>>
+{
+};
+
+TEST_P(AnalyzeCorpus, PredictsHotLoopIpc)
+{
+    const auto& [name, isa] = GetParam();
+    constexpr uint64_t kCap = 500000;
+    const Program& p = compiledWorkload(name, isa);
+    const MachineConfig cfg = MachineConfig::preset(8);
+    const analyze::ProgramReport rep = analyze::analyzeProgram(p, cfg);
+    EXPECT_TRUE(rep.ok());
+    EXPECT_GT(rep.loops.size(), 0u);
+
+    TraceBuffer trace;
+    runProgram(p, kCap, &trace);
+    CycleSim core(cfg, isa);
+    LoopProbe probe(p, rep.loops);
+    core.setPipeObserver(&probe);
+    trace.replay(core);
+    core.finish();
+    const uint64_t total = core.instCount();
+
+    double logSum = 0;
+    size_t hot = 0;
+    for (size_t l = 0; l < rep.loops.size(); ++l) {
+        const analyze::LoopReport& lp = rep.loops[l];
+        const uint64_t dyn = probe.insts(l);
+        const uint64_t cyc = probe.cycles(l);
+        if (!lp.innermost || lp.hasCall || cyc == 0 || dyn < 1000 ||
+            static_cast<double>(dyn) < 0.01 * static_cast<double>(total))
+            continue;
+        const double expected = static_cast<double>(probe.iters(l)) *
+                                static_cast<double>(lp.bodyInsts());
+        if (expected <= 0 ||
+            std::fabs(static_cast<double>(dyn) - expected) >
+                0.10 * expected)
+            continue;
+        const double meas =
+            static_cast<double>(dyn) / static_cast<double>(cyc);
+        const double err = std::max(lp.predictedIpc, meas) /
+                               std::min(lp.predictedIpc, meas) -
+                           1.0;
+        // No single hot regular loop may be off by more than 2x.
+        EXPECT_LT(err, 1.0)
+            << name << "/" << isaName(isa) << " loop@" << lp.headInst
+            << ": predicted " << lp.predictedIpc << " measured " << meas;
+        logSum += std::log1p(err);
+        ++hot;
+    }
+    if (hot > 0) {
+        const double geomean = std::expm1(logSum /
+                                          static_cast<double>(hot));
+        EXPECT_LT(geomean, 0.35)
+            << name << "/" << isaName(isa) << ": geomean error over "
+            << hot << " hot loops";
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Corpus, AnalyzeCorpus,
+    ::testing::Combine(::testing::Values("coremark", "bzip2", "mcf",
+                                         "lbm", "xz"),
+                       ::testing::Values(Isa::Riscv, Isa::Straight,
+                                         Isa::Clockhands)),
+    [](const auto& info) {
+        const char* isa = "";
+        switch (std::get<1>(info.param)) {
+          case Isa::Riscv: isa = "riscv"; break;
+          case Isa::Straight: isa = "straight"; break;
+          case Isa::Clockhands: isa = "clockhands"; break;
+        }
+        return std::string(std::get<0>(info.param)) + "_" + isa;
+    });
+
+} // namespace
+} // namespace ch
