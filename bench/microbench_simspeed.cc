@@ -14,6 +14,7 @@
 #include <chrono>
 
 #include "bench_util.h"
+#include "emu/emulator.h"
 #include "runner/trace_cache.h"
 #include "trace/trace_buffer.h"
 #include "uarch/sim.h"
@@ -34,7 +35,9 @@ struct Row {
     Isa isa = Isa::Riscv;
     uint64_t insts = 0;
     uint64_t traceBytes = 0;
-    double emuMips = 0;       ///< emulate, no sink
+    double emuSwitchMips = 0;   ///< switch interpreter, no sink
+    double emuThreadedMips = 0; ///< threaded-code engine, no sink
+    double emuSpeedup = 0;      ///< threaded over switch
     double captureMips = 0;   ///< emulate into a TraceBuffer
     double replayMips = 0;    ///< replay into a null sink
     double simDirectKips = 0; ///< emulate + CycleSim (the pre-cache path)
@@ -58,8 +61,19 @@ measure(const Program& prog, const std::string& workload, Isa isa,
     row.workload = workload;
     row.isa = isa;
 
+    // Both engines, no sink: the ratio is the headline of the threaded
+    // rewrite (docs/EMULATOR.md), so measure it in one process where
+    // the two runs see the same host conditions.
     auto t0 = std::chrono::steady_clock::now();
-    const RunResult plain = runProgram(prog, cap, nullptr);
+    {
+        Emulator sw(prog, EmuEngine::Switch);
+        sw.run(cap, nullptr);
+    }
+    const double tEmuSwitch = secondsSince(t0);
+
+    t0 = std::chrono::steady_clock::now();
+    Emulator th(prog, EmuEngine::Threaded);
+    const RunResult plain = th.run(cap, nullptr);
     const double tEmu = secondsSince(t0);
     row.insts = plain.instCount;
 
@@ -88,7 +102,9 @@ measure(const Program& prog, const std::string& workload, Isa isa,
 
     const double insts = static_cast<double>(row.insts);
     auto mips = [insts](double s) { return s > 0 ? insts / s / 1e6 : 0; };
-    row.emuMips = mips(tEmu);
+    row.emuSwitchMips = mips(tEmuSwitch);
+    row.emuThreadedMips = mips(tEmu);
+    row.emuSpeedup = tEmu > 0 ? tEmuSwitch / tEmu : 0;
     row.captureMips = mips(tCapture);
     row.replayMips = mips(tReplay);
     row.simDirectKips = tSimDirect > 0 ? insts / tSimDirect / 1e3 : 0;
@@ -129,7 +145,9 @@ main(int argc, char** argv)
                 m.insts = out->insts;
                 m.counters["trace.bytes"] = out->traceBytes;
                 if (ctx.hostMetrics) {
-                    m.values["emu.mips"] = out->emuMips;
+                    m.values["emu.switch.mips"] = out->emuSwitchMips;
+                    m.values["emu.threaded.mips"] = out->emuThreadedMips;
+                    m.values["emu.threaded.speedup"] = out->emuSpeedup;
                     m.values["capture.mips"] = out->captureMips;
                     m.values["replay.mips"] = out->replayMips;
                     m.values["sim.direct.kips"] = out->simDirectKips;
@@ -144,25 +162,28 @@ main(int argc, char** argv)
     benchRequireOk(results);
 
     TextTable t;
-    t.header({"benchmark", "isa", "insts", "B/inst", "emu MIPS",
-              "capture MIPS", "replay MIPS", "sim KIPS", "replay KIPS",
-              "grid4 speedup"});
+    t.header({"benchmark", "isa", "insts", "B/inst", "emu sw MIPS",
+              "emu thr MIPS", "emu speedup", "capture MIPS", "replay MIPS",
+              "sim KIPS", "replay KIPS", "grid4 speedup"});
     for (const Row& r : rows) {
         t.row({r.workload, shortIsa(r.isa), std::to_string(r.insts),
                fmtDouble(r.insts ? static_cast<double>(r.traceBytes) /
                                        static_cast<double>(r.insts)
                                  : 0,
                          2),
-               fmtDouble(r.emuMips, 1), fmtDouble(r.captureMips, 1),
+               fmtDouble(r.emuSwitchMips, 1),
+               fmtDouble(r.emuThreadedMips, 1),
+               fmtDouble(r.emuSpeedup, 2), fmtDouble(r.captureMips, 1),
                fmtDouble(r.replayMips, 1), fmtDouble(r.simDirectKips, 0),
                fmtDouble(r.simReplayKips, 0),
                fmtDouble(r.gridSpeedup4, 2)});
     }
     t.print();
-    std::printf("\ngrid4 speedup = wall-clock of 4 direct (emulate+time) "
-                "config points over capture-once + 4 replayed points; "
-                "host timing values land in the metrics files only "
-                "under --host-metrics\n");
+    std::printf("\nemu speedup = threaded-code engine over the switch "
+                "interpreter (same process, no sink); grid4 speedup = "
+                "wall-clock of 4 direct (emulate+time) config points over "
+                "capture-once + 4 replayed points; host timing values land "
+                "in the metrics files only under --host-metrics\n");
     benchWriteMetrics(ctx, results);
     return 0;
 }

@@ -1,207 +1,41 @@
 #include "emu/emulator.h"
 
-#include <bit>
-#include <cmath>
-#include <limits>
+#include <cstdlib>
 
 #include "common/bitutil.h"
 #include "common/logging.h"
+#include "emu/exec_inline.h"
+#include "emu/threaded.h"
 #include "isa/encoding.h"
 
 namespace ch {
 
-namespace {
-
-uint64_t
-sext32(uint64_t v)
+EmuEngine
+defaultEmuEngine()
 {
-    return static_cast<uint64_t>(static_cast<int64_t>(static_cast<int32_t>(v)));
+    static const EmuEngine engine = [] {
+        const char* env = std::getenv("CH_EMU_ENGINE");
+        if (env == nullptr || env[0] == '\0')
+            return EmuEngine::Threaded;
+        const std::string_view v(env);
+        if (v == "threaded")
+            return EmuEngine::Threaded;
+        if (v == "switch")
+            return EmuEngine::Switch;
+        fatal("CH_EMU_ENGINE must be 'threaded' or 'switch', got '", v,
+              "'");
+    }();
+    return engine;
 }
 
-double
-asD(uint64_t v)
+std::string_view
+emuEngineName(EmuEngine engine)
 {
-    return std::bit_cast<double>(v);
+    return engine == EmuEngine::Threaded ? "threaded" : "switch";
 }
 
-uint64_t
-asU(double v)
-{
-    return std::bit_cast<uint64_t>(v);
-}
-
-int64_t
-fcvtLD(double d)
-{
-    if (std::isnan(d))
-        return 0;
-    if (d >= 9.2233720368547758e18)
-        return std::numeric_limits<int64_t>::max();
-    if (d <= -9.2233720368547758e18)
-        return std::numeric_limits<int64_t>::min();
-    return static_cast<int64_t>(d);
-}
-
-int64_t
-sdiv(int64_t a, int64_t b)
-{
-    if (b == 0)
-        return -1;
-    if (a == std::numeric_limits<int64_t>::min() && b == -1)
-        return a;
-    return a / b;
-}
-
-int64_t
-srem(int64_t a, int64_t b)
-{
-    if (b == 0)
-        return a;
-    if (a == std::numeric_limits<int64_t>::min() && b == -1)
-        return 0;
-    return a % b;
-}
-
-int32_t
-sdiv32(int32_t a, int32_t b)
-{
-    if (b == 0)
-        return -1;
-    if (a == std::numeric_limits<int32_t>::min() && b == -1)
-        return a;
-    return a / b;
-}
-
-int32_t
-srem32(int32_t a, int32_t b)
-{
-    if (b == 0)
-        return a;
-    if (a == std::numeric_limits<int32_t>::min() && b == -1)
-        return 0;
-    return a % b;
-}
-
-constexpr uint64_t kSignBit = 0x8000000000000000ull;
-
-/** Compute a non-memory, non-branch result value. */
-uint64_t
-aluResult(Op op, uint64_t a, uint64_t b, int64_t imm, uint64_t pc)
-{
-    const auto sa = static_cast<int64_t>(a);
-    const auto sb = static_cast<int64_t>(b);
-    switch (op) {
-      case Op::ADD: return a + b;
-      case Op::SUB: return a - b;
-      case Op::SLL: return a << (b & 63);
-      case Op::SLT: return sa < sb;
-      case Op::SLTU: return a < b;
-      case Op::XOR: return a ^ b;
-      case Op::SRL: return a >> (b & 63);
-      case Op::SRA: return static_cast<uint64_t>(sa >> (b & 63));
-      case Op::OR: return a | b;
-      case Op::AND: return a & b;
-      case Op::ADDW: return sext32(a + b);
-      case Op::SUBW: return sext32(a - b);
-      case Op::SLLW: return sext32(static_cast<uint32_t>(a) << (b & 31));
-      case Op::SRLW: return sext32(static_cast<uint32_t>(a) >> (b & 31));
-      case Op::SRAW:
-        return sext32(
-            static_cast<uint32_t>(static_cast<int32_t>(a) >> (b & 31)));
-      case Op::MUL: return a * b;
-      case Op::MULH:
-        return static_cast<uint64_t>(
-            (static_cast<__int128>(sa) * static_cast<__int128>(sb)) >> 64);
-      case Op::MULHU:
-        return static_cast<uint64_t>(
-            (static_cast<unsigned __int128>(a) *
-             static_cast<unsigned __int128>(b)) >> 64);
-      case Op::DIV: return static_cast<uint64_t>(sdiv(sa, sb));
-      case Op::DIVU: return b == 0 ? ~0ull : a / b;
-      case Op::REM: return static_cast<uint64_t>(srem(sa, sb));
-      case Op::REMU: return b == 0 ? a : a % b;
-      case Op::MULW: return sext32(a * b);
-      case Op::DIVW:
-        return sext32(static_cast<uint32_t>(
-            sdiv32(static_cast<int32_t>(a), static_cast<int32_t>(b))));
-      case Op::DIVUW: {
-        const auto ua = static_cast<uint32_t>(a);
-        const auto ub = static_cast<uint32_t>(b);
-        return sext32(ub == 0 ? ~0u : ua / ub);
-      }
-      case Op::REMW:
-        return sext32(static_cast<uint32_t>(
-            srem32(static_cast<int32_t>(a), static_cast<int32_t>(b))));
-      case Op::REMUW: {
-        const auto ua = static_cast<uint32_t>(a);
-        const auto ub = static_cast<uint32_t>(b);
-        return sext32(ub == 0 ? ua : ua % ub);
-      }
-      case Op::ADDI: return a + static_cast<uint64_t>(imm);
-      case Op::SLTI: return sa < imm;
-      case Op::SLTIU: return a < static_cast<uint64_t>(imm);
-      case Op::XORI: return a ^ static_cast<uint64_t>(imm);
-      case Op::ORI: return a | static_cast<uint64_t>(imm);
-      case Op::ANDI: return a & static_cast<uint64_t>(imm);
-      case Op::SLLI: return a << (imm & 63);
-      case Op::SRLI: return a >> (imm & 63);
-      case Op::SRAI: return static_cast<uint64_t>(sa >> (imm & 63));
-      case Op::ADDIW: return sext32(a + static_cast<uint64_t>(imm));
-      case Op::SLLIW: return sext32(static_cast<uint32_t>(a) << (imm & 31));
-      case Op::SRLIW: return sext32(static_cast<uint32_t>(a) >> (imm & 31));
-      case Op::SRAIW:
-        return sext32(
-            static_cast<uint32_t>(static_cast<int32_t>(a) >> (imm & 31)));
-      case Op::LUI:
-        return sext32(static_cast<uint64_t>(imm) << 12);
-      case Op::MV: return a;
-      case Op::FMV_D: return a;
-      case Op::FMV_X_D: return a;
-      case Op::FMV_D_X: return a;
-      case Op::FADD_D: return asU(asD(a) + asD(b));
-      case Op::FSUB_D: return asU(asD(a) - asD(b));
-      case Op::FMUL_D: return asU(asD(a) * asD(b));
-      case Op::FDIV_D: return asU(asD(a) / asD(b));
-      case Op::FSQRT_D: return asU(std::sqrt(asD(a)));
-      case Op::FMIN_D: return asU(std::fmin(asD(a), asD(b)));
-      case Op::FMAX_D: return asU(std::fmax(asD(a), asD(b)));
-      case Op::FSGNJ_D: return (a & ~kSignBit) | (b & kSignBit);
-      case Op::FSGNJN_D: return (a & ~kSignBit) | (~b & kSignBit);
-      case Op::FSGNJX_D: return a ^ (b & kSignBit);
-      case Op::FEQ_D: return asD(a) == asD(b);
-      case Op::FLT_D: return asD(a) < asD(b);
-      case Op::FLE_D: return asD(a) <= asD(b);
-      case Op::FCVT_D_L: return asU(static_cast<double>(sa));
-      case Op::FCVT_L_D: return static_cast<uint64_t>(fcvtLD(asD(a)));
-      case Op::JAL:
-      case Op::JALR:
-        return pc + 4;
-      case Op::NOP:
-        return 0;
-      default:
-        panic("aluResult: unhandled op ", opName(op));
-    }
-}
-
-bool
-branchTaken(Op op, uint64_t a, uint64_t b)
-{
-    const auto sa = static_cast<int64_t>(a);
-    const auto sb = static_cast<int64_t>(b);
-    switch (op) {
-      case Op::BEQ: return a == b;
-      case Op::BNE: return a != b;
-      case Op::BLT: return sa < sb;
-      case Op::BGE: return sa >= sb;
-      case Op::BLTU: return a < b;
-      case Op::BGEU: return a >= b;
-      default: panic("not a conditional branch");
-    }
-}
-
-} // namespace
-
-Emulator::Emulator(const Program& prog) : prog_(prog), isa_(prog.isa)
+Emulator::Emulator(const Program& prog, EmuEngine engine)
+    : prog_(prog), isa_(prog.isa), engine_(engine)
 {
     prog.load(mem_);
     pc_ = prog.entry;
@@ -225,9 +59,40 @@ Emulator::Emulator(const Program& prog) : prog_(prog), isa_(prog.isa)
         handCount_[HandS] = 1;
         break;
     }
+
+    // Both engines share the architectural state above; the threaded
+    // engine additionally owns the decoded-block cache. Constructed
+    // eagerly so cache knobs can be set before the first run() call.
+    threaded_ = std::make_unique<ThreadedEngine>(*this);
 }
 
-Emulator::SrcVal
+Emulator::~Emulator() = default;
+
+size_t
+Emulator::decodedBlocks() const
+{
+    return threaded_->blocks();
+}
+
+size_t
+Emulator::decodedInsts() const
+{
+    return threaded_->decodedInsts();
+}
+
+uint64_t
+Emulator::blockRedecodes() const
+{
+    return threaded_->redecodes();
+}
+
+void
+Emulator::setBlockCacheBudget(size_t maxDecodedInsts)
+{
+    threaded_->setBudget(maxDecodedInsts);
+}
+
+SrcRead
 Emulator::readSrc(uint8_t dist, uint8_t hand) const
 {
     switch (isa_) {
@@ -309,7 +174,7 @@ Emulator::step(TraceSink* sink)
     const Inst& inst = prog_.instAt(pc_);
     const OpInfo& info = inst.info();
 
-    SrcVal s1{0, kNoProducer}, s2{0, kNoProducer};
+    SrcRead s1{0, kNoProducer}, s2{0, kNoProducer};
     if (info.numSrcs >= 1)
         s1 = readSrc(inst.src1, inst.src1Hand);
     if (info.numSrcs >= 2)
@@ -342,7 +207,7 @@ Emulator::step(TraceSink* sink)
         mem_.write(di.memAddr, info.memBytes, s2.value);
         di.memValue = s2.value;
     } else if (info.brKind == BrKind::Cond) {
-        di.taken = branchTaken(inst.op, s1.value, s2.value);
+        di.taken = emu::branchTaken(inst.op, s1.value, s2.value);
         if (di.taken)
             nextPc = pc_ + static_cast<uint64_t>(inst.imm);
     } else if (info.brKind == BrKind::Jump || info.brKind == BrKind::Call) {
@@ -371,7 +236,7 @@ Emulator::step(TraceSink* sink)
         spWriter_ = instCount_;
         value = sp_;
     } else {
-        value = aluResult(inst.op, s1.value, s2.value, inst.imm, pc_);
+        value = emu::aluResult(inst.op, s1.value, s2.value, inst.imm, pc_);
     }
 
     writeResult(inst, value);
@@ -388,10 +253,15 @@ Emulator::step(TraceSink* sink)
 RunResult
 Emulator::run(uint64_t maxInsts, TraceSink* sink)
 {
-    uint64_t executed = 0;
-    while (!exited_ && executed < maxInsts) {
-        step(sink);
-        ++executed;
+    if (engine_ == EmuEngine::Threaded) {
+        if (!exited_ && maxInsts > 0)
+            threaded_->run(maxInsts, sink);
+    } else {
+        uint64_t executed = 0;
+        while (!exited_ && executed < maxInsts) {
+            step(sink);
+            ++executed;
+        }
     }
     RunResult res;
     res.exited = exited_;

@@ -14,11 +14,28 @@
  * The emulator streams a DynInst record per executed instruction to an
  * optional TraceSink, annotated with dynamic producer indices, effective
  * addresses, and branch outcomes.
+ *
+ * Two interchangeable engines execute the program (docs/EMULATOR.md):
+ *
+ *  - EmuEngine::Threaded (default): a predecoded threaded-code engine
+ *    that decodes each basic block once into a dense array of handler
+ *    pointers with pre-extracted operands, caches blocks by address
+ *    (code is read-only post-load, so entries never invalidate), and
+ *    chains fallthrough/taken successors directly.
+ *  - EmuEngine::Switch: the original one-instruction-at-a-time switch
+ *    interpreter, kept as the differential-testing oracle.
+ *
+ * Both engines mutate the same architectural state and must stay
+ * bit-identical; `DualEngineRunner` (emu/lockstep.h) enforces this.
+ * The CH_EMU_ENGINE environment variable ("threaded" or "switch")
+ * selects the process-wide default.
  */
 
 #include <array>
 #include <cstdint>
+#include <memory>
 #include <string>
+#include <string_view>
 
 #include "mem/memory.h"
 #include "mem/program.h"
@@ -26,10 +43,33 @@
 
 namespace ch {
 
+class ThreadedEngine;
+
 /** Syscall numbers accepted by ECALL (imm field). */
 enum class Sys : int64_t {
     Exit = 0,     ///< terminate; arg = exit code
     Putchar = 1,  ///< write one byte to the program's output stream
+};
+
+/** Which execution engine an Emulator instance uses. */
+enum class EmuEngine : uint8_t {
+    Switch,    ///< reference one-step-at-a-time switch interpreter
+    Threaded,  ///< predecoded threaded-code engine (block cache)
+};
+
+/**
+ * Process-wide default engine: CH_EMU_ENGINE={threaded,switch}, parsed
+ * once; Threaded when unset. fatal() on an unrecognized value.
+ */
+EmuEngine defaultEmuEngine();
+
+/** Engine name as spelled by CH_EMU_ENGINE. */
+std::string_view emuEngineName(EmuEngine engine);
+
+/** A value read from the register model plus its dynamic producer. */
+struct SrcRead {
+    uint64_t value;
+    uint64_t producer;
 };
 
 /** Outcome of an emulator run. */
@@ -50,7 +90,12 @@ class Emulator
 {
   public:
     /** Prepare to run @p prog; loads text/data into a fresh memory. */
-    explicit Emulator(const Program& prog);
+    explicit Emulator(const Program& prog,
+                      EmuEngine engine = defaultEmuEngine());
+    ~Emulator();
+
+    Emulator(const Emulator&) = delete;
+    Emulator& operator=(const Emulator&) = delete;
 
     /**
      * Execute until Sys::Exit, a return to the initial link address, or
@@ -67,6 +112,34 @@ class Emulator
     uint64_t instCount() const { return instCount_; }
     Memory& memory() { return mem_; }
 
+    /** Engine executing this instance. */
+    EmuEngine engine() const { return engine_; }
+
+    /**
+     * Switch engines, including between run() calls of a paused run:
+     * both engines share the same architectural state, so execution
+     * continues seamlessly (the lockstep tests rely on this).
+     */
+    void setEngine(EmuEngine engine) { engine_ = engine; }
+
+    // -- Threaded-engine block-cache introspection (tests/benchmarks) --
+
+    /** Number of cached decoded blocks. */
+    size_t decodedBlocks() const;
+
+    /** Total decoded instructions across cached blocks. */
+    size_t decodedInsts() const;
+
+    /** Times a block was re-decoded because the cache budget was full. */
+    uint64_t blockRedecodes() const;
+
+    /**
+     * Cap the block cache at @p maxDecodedInsts decoded instructions;
+     * blocks beyond the budget are re-decoded into scratch storage on
+     * every dispatch instead of being cached (results are unchanged).
+     */
+    void setBlockCacheBudget(size_t maxDecodedInsts);
+
     /** Read the current architectural value of a RISC register (tests). */
     uint64_t riscReg(uint8_t reg) const { return regs_[reg]; }
 
@@ -80,18 +153,17 @@ class Emulator
     uint64_t straightSp() const { return sp_; }
 
   private:
-    struct SrcVal {
-        uint64_t value;
-        uint64_t producer;
-    };
+    friend class ThreadedEngine;
 
-    SrcVal readSrc(uint8_t dist, uint8_t hand) const;
+    SrcRead readSrc(uint8_t dist, uint8_t hand) const;
     void writeResult(const Inst& inst, uint64_t value);
     void step(TraceSink* sink);
 
     const Program& prog_;
     Memory mem_;
     Isa isa_;
+    EmuEngine engine_;
+    std::unique_ptr<ThreadedEngine> threaded_;
 
     uint64_t pc_ = 0;
     uint64_t instCount_ = 0;

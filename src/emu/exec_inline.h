@@ -1,0 +1,223 @@
+#ifndef CH_EMU_EXEC_INLINE_H
+#define CH_EMU_EXEC_INLINE_H
+
+/**
+ * @file
+ * Shared value semantics of the micro-op vocabulary: ALU results,
+ * division/NaN edge cases, and conditional-branch predicates. Both
+ * emulator engines — the reference switch interpreter and the
+ * predecoded threaded-code engine — include this header, so their
+ * results are bit-identical by construction: when the op is a
+ * compile-time constant (the threaded engine's templated handlers) the
+ * switches below fold to the single selected case.
+ */
+
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+#include "common/logging.h"
+#include "isa/op.h"
+
+namespace ch {
+namespace emu {
+
+inline uint64_t
+sext32(uint64_t v)
+{
+    return static_cast<uint64_t>(static_cast<int64_t>(static_cast<int32_t>(v)));
+}
+
+inline double
+asD(uint64_t v)
+{
+    return std::bit_cast<double>(v);
+}
+
+inline uint64_t
+asU(double v)
+{
+    return std::bit_cast<uint64_t>(v);
+}
+
+inline int64_t
+fcvtLD(double d)
+{
+    if (std::isnan(d))
+        return 0;
+    if (d >= 9.2233720368547758e18)
+        return std::numeric_limits<int64_t>::max();
+    if (d <= -9.2233720368547758e18)
+        return std::numeric_limits<int64_t>::min();
+    return static_cast<int64_t>(d);
+}
+
+inline int64_t
+sdiv(int64_t a, int64_t b)
+{
+    if (b == 0)
+        return -1;
+    if (a == std::numeric_limits<int64_t>::min() && b == -1)
+        return a;
+    return a / b;
+}
+
+inline int64_t
+srem(int64_t a, int64_t b)
+{
+    if (b == 0)
+        return a;
+    if (a == std::numeric_limits<int64_t>::min() && b == -1)
+        return 0;
+    return a % b;
+}
+
+inline int32_t
+sdiv32(int32_t a, int32_t b)
+{
+    if (b == 0)
+        return -1;
+    if (a == std::numeric_limits<int32_t>::min() && b == -1)
+        return a;
+    return a / b;
+}
+
+inline int32_t
+srem32(int32_t a, int32_t b)
+{
+    if (b == 0)
+        return a;
+    if (a == std::numeric_limits<int32_t>::min() && b == -1)
+        return 0;
+    return a % b;
+}
+
+inline constexpr uint64_t kSignBit = 0x8000000000000000ull;
+
+/**
+ * Compute a non-memory, non-branch result value. Forced inline: the
+ * threaded engine's handlers pass a compile-time-constant op and rely
+ * on the switch folding to the one selected case; without the
+ * attribute the inliner sees only the pre-fold size and emits an
+ * out-of-line call, putting the full opcode switch back on the hot
+ * path.
+ */
+[[gnu::always_inline]] inline uint64_t
+aluResult(Op op, uint64_t a, uint64_t b, int64_t imm, uint64_t pc)
+{
+    const auto sa = static_cast<int64_t>(a);
+    const auto sb = static_cast<int64_t>(b);
+    switch (op) {
+      case Op::ADD: return a + b;
+      case Op::SUB: return a - b;
+      case Op::SLL: return a << (b & 63);
+      case Op::SLT: return sa < sb;
+      case Op::SLTU: return a < b;
+      case Op::XOR: return a ^ b;
+      case Op::SRL: return a >> (b & 63);
+      case Op::SRA: return static_cast<uint64_t>(sa >> (b & 63));
+      case Op::OR: return a | b;
+      case Op::AND: return a & b;
+      case Op::ADDW: return sext32(a + b);
+      case Op::SUBW: return sext32(a - b);
+      case Op::SLLW: return sext32(static_cast<uint32_t>(a) << (b & 31));
+      case Op::SRLW: return sext32(static_cast<uint32_t>(a) >> (b & 31));
+      case Op::SRAW:
+        return sext32(
+            static_cast<uint32_t>(static_cast<int32_t>(a) >> (b & 31)));
+      case Op::MUL: return a * b;
+      case Op::MULH:
+        return static_cast<uint64_t>(
+            (static_cast<__int128>(sa) * static_cast<__int128>(sb)) >> 64);
+      case Op::MULHU:
+        return static_cast<uint64_t>(
+            (static_cast<unsigned __int128>(a) *
+             static_cast<unsigned __int128>(b)) >> 64);
+      case Op::DIV: return static_cast<uint64_t>(sdiv(sa, sb));
+      case Op::DIVU: return b == 0 ? ~0ull : a / b;
+      case Op::REM: return static_cast<uint64_t>(srem(sa, sb));
+      case Op::REMU: return b == 0 ? a : a % b;
+      case Op::MULW: return sext32(a * b);
+      case Op::DIVW:
+        return sext32(static_cast<uint32_t>(
+            sdiv32(static_cast<int32_t>(a), static_cast<int32_t>(b))));
+      case Op::DIVUW: {
+        const auto ua = static_cast<uint32_t>(a);
+        const auto ub = static_cast<uint32_t>(b);
+        return sext32(ub == 0 ? ~0u : ua / ub);
+      }
+      case Op::REMW:
+        return sext32(static_cast<uint32_t>(
+            srem32(static_cast<int32_t>(a), static_cast<int32_t>(b))));
+      case Op::REMUW: {
+        const auto ua = static_cast<uint32_t>(a);
+        const auto ub = static_cast<uint32_t>(b);
+        return sext32(ub == 0 ? ua : ua % ub);
+      }
+      case Op::ADDI: return a + static_cast<uint64_t>(imm);
+      case Op::SLTI: return sa < imm;
+      case Op::SLTIU: return a < static_cast<uint64_t>(imm);
+      case Op::XORI: return a ^ static_cast<uint64_t>(imm);
+      case Op::ORI: return a | static_cast<uint64_t>(imm);
+      case Op::ANDI: return a & static_cast<uint64_t>(imm);
+      case Op::SLLI: return a << (imm & 63);
+      case Op::SRLI: return a >> (imm & 63);
+      case Op::SRAI: return static_cast<uint64_t>(sa >> (imm & 63));
+      case Op::ADDIW: return sext32(a + static_cast<uint64_t>(imm));
+      case Op::SLLIW: return sext32(static_cast<uint32_t>(a) << (imm & 31));
+      case Op::SRLIW: return sext32(static_cast<uint32_t>(a) >> (imm & 31));
+      case Op::SRAIW:
+        return sext32(
+            static_cast<uint32_t>(static_cast<int32_t>(a) >> (imm & 31)));
+      case Op::LUI:
+        return sext32(static_cast<uint64_t>(imm) << 12);
+      case Op::MV: return a;
+      case Op::FMV_D: return a;
+      case Op::FMV_X_D: return a;
+      case Op::FMV_D_X: return a;
+      case Op::FADD_D: return asU(asD(a) + asD(b));
+      case Op::FSUB_D: return asU(asD(a) - asD(b));
+      case Op::FMUL_D: return asU(asD(a) * asD(b));
+      case Op::FDIV_D: return asU(asD(a) / asD(b));
+      case Op::FSQRT_D: return asU(std::sqrt(asD(a)));
+      case Op::FMIN_D: return asU(std::fmin(asD(a), asD(b)));
+      case Op::FMAX_D: return asU(std::fmax(asD(a), asD(b)));
+      case Op::FSGNJ_D: return (a & ~kSignBit) | (b & kSignBit);
+      case Op::FSGNJN_D: return (a & ~kSignBit) | (~b & kSignBit);
+      case Op::FSGNJX_D: return a ^ (b & kSignBit);
+      case Op::FEQ_D: return asD(a) == asD(b);
+      case Op::FLT_D: return asD(a) < asD(b);
+      case Op::FLE_D: return asD(a) <= asD(b);
+      case Op::FCVT_D_L: return asU(static_cast<double>(sa));
+      case Op::FCVT_L_D: return static_cast<uint64_t>(fcvtLD(asD(a)));
+      case Op::JAL:
+      case Op::JALR:
+        return pc + 4;
+      case Op::NOP:
+        return 0;
+      default:
+        panic("aluResult: unhandled op ", opName(op));
+    }
+}
+
+[[gnu::always_inline]] inline bool
+branchTaken(Op op, uint64_t a, uint64_t b)
+{
+    const auto sa = static_cast<int64_t>(a);
+    const auto sb = static_cast<int64_t>(b);
+    switch (op) {
+      case Op::BEQ: return a == b;
+      case Op::BNE: return a != b;
+      case Op::BLT: return sa < sb;
+      case Op::BGE: return sa >= sb;
+      case Op::BLTU: return a < b;
+      case Op::BGEU: return a >= b;
+      default: panic("not a conditional branch");
+    }
+}
+
+} // namespace emu
+} // namespace ch
+
+#endif // CH_EMU_EXEC_INLINE_H

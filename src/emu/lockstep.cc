@@ -1,0 +1,187 @@
+#include "emu/lockstep.h"
+
+#include <sstream>
+#include <vector>
+
+#include "isa/isa.h"
+#include "trace/dyninst.h"
+
+namespace ch {
+
+namespace {
+
+/** Buffers one chunk's DynInst stream for field-by-field comparison. */
+class RecordSink : public TraceSink
+{
+  public:
+    void onInst(const DynInst& di) override { insts_.push_back(di); }
+    void clear() { insts_.clear(); }
+    const std::vector<DynInst>& insts() const { return insts_; }
+
+  private:
+    std::vector<DynInst> insts_;
+};
+
+template <typename T>
+bool
+check(std::string& out, uint64_t seq, const char* what, T a, T b)
+{
+    if (a == b)
+        return true;
+    std::ostringstream os;
+    os << "inst #" << seq << ": " << what << " diverges: switch=" << +a
+       << " threaded=" << +b;
+    out = os.str();
+    return false;
+}
+
+bool
+check(std::string& out, uint64_t seq, const char* what,
+      const std::string& a, const std::string& b)
+{
+    if (a == b)
+        return true;
+    std::ostringstream os;
+    os << "inst #" << seq << ": " << what << " diverges: switch produced "
+       << a.size() << " bytes, threaded " << b.size()
+       << " (first mismatch at byte "
+       << [&] {
+              size_t i = 0;
+              while (i < a.size() && i < b.size() && a[i] == b[i])
+                  ++i;
+              return i;
+          }()
+       << ")";
+    out = os.str();
+    return false;
+}
+
+/** Compare every field of two DynInst records; fills @p out on mismatch. */
+bool
+compareInst(std::string& out, const DynInst& a, const DynInst& b)
+{
+    return check(out, a.seq, "seq", a.seq, b.seq) &&
+           check(out, a.seq, "pc", a.pc, b.pc) &&
+           check(out, a.seq, "op", static_cast<int>(a.op),
+                 static_cast<int>(b.op)) &&
+           check(out, a.seq, "dst", a.dst, b.dst) &&
+           check(out, a.seq, "src1", a.src1, b.src1) &&
+           check(out, a.seq, "src2", a.src2, b.src2) &&
+           check(out, a.seq, "src1Hand", a.src1Hand, b.src1Hand) &&
+           check(out, a.seq, "src2Hand", a.src2Hand, b.src2Hand) &&
+           check(out, a.seq, "imm", a.imm, b.imm) &&
+           check(out, a.seq, "prod1", a.prod1, b.prod1) &&
+           check(out, a.seq, "prod2", a.prod2, b.prod2) &&
+           check(out, a.seq, "memAddr", a.memAddr, b.memAddr) &&
+           check(out, a.seq, "memValue", a.memValue, b.memValue) &&
+           check(out, a.seq, "nextPc", a.nextPc, b.nextPc) &&
+           check(out, a.seq, "taken", a.taken, b.taken);
+}
+
+/** Compare the full register model of both emulators at a chunk edge. */
+bool
+compareArchState(std::string& out, Isa isa, const Emulator& a,
+                 const Emulator& b)
+{
+    const uint64_t seq = a.instCount();
+    switch (isa) {
+      case Isa::Riscv:
+        for (uint8_t r = 0; r < 64; ++r)
+            if (!check(out, seq, "risc reg", a.riscReg(r), b.riscReg(r)))
+                return false;
+        return true;
+      case Isa::Straight:
+        if (!check(out, seq, "straight sp", a.straightSp(),
+                   b.straightSp()))
+            return false;
+        // Readable ring distances: 0 is the zero pseudo-operand and
+        // 0x7f is SP, so 1..126 covers every addressable slot.
+        for (uint8_t d = 1; d <= 126; ++d)
+            if (!check(out, seq, "ring value", a.ringValue(d),
+                       b.ringValue(d)))
+                return false;
+        return true;
+      case Isa::Clockhands:
+        for (uint8_t h = 0; h < kNumHands; ++h)
+            for (uint8_t d = 0; d < kHandDepth; ++d)
+                if (!check(out, seq, "hand value", a.handValue(h, d),
+                           b.handValue(h, d)))
+                    return false;
+        return true;
+    }
+    return true;
+}
+
+} // namespace
+
+DualEngineRunner::DualEngineRunner(const Program& prog, uint64_t chunk)
+    : prog_(prog), chunk_(chunk == 0 ? 1 : chunk),
+      oracle_(prog, EmuEngine::Switch),
+      candidate_(prog, EmuEngine::Threaded)
+{
+}
+
+LockstepReport
+DualEngineRunner::run(uint64_t maxInsts)
+{
+    LockstepReport rep;
+    RecordSink oracleTrace, candidateTrace;
+
+    uint64_t left = maxInsts;
+    while (left > 0 && !(oracle_.done() && candidate_.done())) {
+        const uint64_t n = left < chunk_ ? left : chunk_;
+        left -= n;
+
+        oracleTrace.clear();
+        candidateTrace.clear();
+        RunResult ro = oracle_.run(n, &oracleTrace);
+        RunResult rc = candidate_.run(n, &candidateTrace);
+
+        const auto& ta = oracleTrace.insts();
+        const auto& tb = candidateTrace.insts();
+        const size_t common = ta.size() < tb.size() ? ta.size() : tb.size();
+        for (size_t i = 0; i < common; ++i) {
+            if (!compareInst(rep.divergence, ta[i], tb[i])) {
+                rep.ok = false;
+                return rep;
+            }
+            ++rep.instsCompared;
+        }
+        if (ta.size() != tb.size()) {
+            rep.ok = false;
+            std::ostringstream os;
+            os << "chunk at inst #" << oracle_.instCount()
+               << ": trace lengths diverge: switch=" << ta.size()
+               << " threaded=" << tb.size();
+            rep.divergence = os.str();
+            return rep;
+        }
+
+        const uint64_t seq = oracle_.instCount();
+        if (!check(rep.divergence, seq, "output", ro.output, rc.output) ||
+            !check(rep.divergence, seq, "done", oracle_.done(),
+                   candidate_.done()) ||
+            !check(rep.divergence, seq, "exitCode", ro.exitCode,
+                   rc.exitCode) ||
+            !check(rep.divergence, seq, "instCount", oracle_.instCount(),
+                   candidate_.instCount()) ||
+            !compareArchState(rep.divergence, prog_.isa, oracle_,
+                              candidate_)) {
+            rep.ok = false;
+            return rep;
+        }
+        // The paused-run PC is only defined while the program is live
+        // (a post-exit PC is never consumed).
+        if (!oracle_.done() &&
+            !check(rep.divergence, seq, "pc", oracle_.pc(),
+                   candidate_.pc())) {
+            rep.ok = false;
+            return rep;
+        }
+    }
+
+    rep.done = oracle_.done() && candidate_.done();
+    return rep;
+}
+
+} // namespace ch

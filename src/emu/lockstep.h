@@ -1,0 +1,74 @@
+#ifndef CH_EMU_LOCKSTEP_H
+#define CH_EMU_LOCKSTEP_H
+
+/**
+ * @file
+ * In-process differential harness driving the same Program through both
+ * execution engines (EmuEngine::Switch as oracle, EmuEngine::Threaded as
+ * candidate) and comparing every architecturally observable effect:
+ *
+ *  - the full DynInst stream, field by field (pc, op, operands, dynamic
+ *    producers, effective address, memory value, next PC, branch
+ *    outcome) — this covers every memory write and branch resolution,
+ *  - the register model (RISC registers, STRAIGHT ring + SP, Clockhands
+ *    hand windows) at every chunk boundary,
+ *  - the output byte stream, exit status, PC, and instruction count.
+ *
+ * Used by tests/lockstep_test.cc (label: lockstep-emu) over the full
+ * workload corpus and by tests/fuzz_test.cc (label: fuzz) over random
+ * VerifierFuzz programs; see docs/EMULATOR.md.
+ */
+
+#include <cstdint>
+#include <string>
+
+#include "emu/emulator.h"
+#include "mem/program.h"
+
+namespace ch {
+
+/** Outcome of a lockstep comparison run. */
+struct LockstepReport {
+    bool ok = true;
+    bool done = false;          ///< both engines ran the program to exit
+    uint64_t instsCompared = 0; ///< DynInst records compared field-by-field
+
+    /**
+     * First divergence, human-readable: which field differs, at which
+     * dynamic sequence number, with both engines' values. Empty when ok.
+     */
+    std::string divergence;
+};
+
+/**
+ * Runs one program on two Emulator instances — reference switch engine
+ * and threaded engine — in chunks, comparing state after every chunk and
+ * the trace stream instruction by instruction. Stops at the first
+ * divergence.
+ */
+class DualEngineRunner
+{
+  public:
+    /** @p chunk = instructions per comparison window. */
+    explicit DualEngineRunner(const Program& prog, uint64_t chunk = 4096);
+
+    /**
+     * Advance both engines by up to @p maxInsts instructions (rounded
+     * down to whole chunks, plus any final partial chunk) or until the
+     * program exits or a divergence is found.
+     */
+    LockstepReport run(uint64_t maxInsts);
+
+    const Emulator& switchEmu() const { return oracle_; }
+    const Emulator& threadedEmu() const { return candidate_; }
+
+  private:
+    const Program& prog_;
+    uint64_t chunk_;
+    Emulator oracle_;
+    Emulator candidate_;
+};
+
+} // namespace ch
+
+#endif // CH_EMU_LOCKSTEP_H

@@ -1,0 +1,502 @@
+#include "emu/threaded.h"
+
+#include <algorithm>
+
+#include "common/bitutil.h"
+#include "common/logging.h"
+#include "emu/exec_inline.h"
+
+namespace ch {
+
+// ---------------------------------------------------------------------
+// Handlers. One function is instantiated per (ISA, traced?, op); every
+// OpInfo property below is a compile-time constant, so each handler
+// compiles to just the work its op actually does. The bodies mirror
+// Emulator::step() statement for statement; the value semantics come
+// from the same exec_inline.h functions the switch engine uses, with
+// the op constant-folded.
+// ---------------------------------------------------------------------
+
+namespace {
+
+/** True when @p op can end a basic block (control flow or syscall). */
+constexpr bool
+isTerminatorOp(Op op)
+{
+    return kOpInfoTable[static_cast<size_t>(op)].brKind != BrKind::None ||
+           op == Op::ECALL;
+}
+
+/** BlockEnd classification of a terminator op. */
+constexpr BlockEnd
+blockEndOf(Op op)
+{
+    const BrKind br = kOpInfoTable[static_cast<size_t>(op)].brKind;
+    switch (br) {
+      case BrKind::Cond: return BlockEnd::Cond;
+      case BrKind::Jump:
+      case BrKind::Call: return BlockEnd::Direct;
+      case BrKind::IndCall:
+      case BrKind::Ret: return BlockEnd::Indirect;
+      case BrKind::None: break;
+    }
+    return op == Op::ECALL ? BlockEnd::Ecall : BlockEnd::Fallthrough;
+}
+
+} // namespace
+
+uint64_t
+ThreadedEngine::packAux(const Emulator& e)
+{
+    switch (e.isa_) {
+      case Isa::Riscv:
+        return 0;
+      case Isa::Straight:
+        return e.ringCount_;
+      case Isa::Clockhands: {
+        // Lane h = hand h's count, clamped mod-16-preservingly so it
+        // cannot wrap 16 bits within one <= kMaxBlockInsts chain.
+        uint64_t aux = 0;
+        for (int h = 0; h < kNumHands; ++h) {
+            const uint64_t c = e.handCount_[h];
+            const uint64_t lane = c < 0x8000 ? c : (0x8000 | (c & 15));
+            aux |= lane << (16 * h);
+        }
+        return aux;
+      }
+    }
+    return 0;
+}
+
+template <Isa I>
+void
+ThreadedEngine::syncAux(Emulator& e, const ThreadedCtx& ctx, uint64_t aux)
+{
+    if constexpr (I == Isa::Straight) {
+        e.ringCount_ = aux;
+    } else if constexpr (I == Isa::Clockhands) {
+        // Lane-wise deltas; no cross-lane borrow (see DecInst::Fn).
+        const uint64_t delta = aux - ctx.auxIn;
+        for (int h = 0; h < kNumHands; ++h)
+            e.handCount_[h] += (delta >> (16 * h)) & 0xffff;
+    }
+}
+
+template <Isa I>
+void
+ThreadedEngine::stopChain(Emulator& e, const DecInst* d, ThreadedCtx& ctx,
+                          uint64_t seq, uint64_t aux)
+{
+    e.instCount_ = seq;
+    syncAux<I>(e, ctx, aux);
+    ctx.nextPc = d->target;  // the block's fallthrough PC
+}
+
+template <Isa I, bool WithProducer>
+SrcRead
+ThreadedEngine::readSrcT(const Emulator& e, uint8_t dist, uint8_t hand,
+                         uint8_t shift, uint64_t aux)
+{
+    (void)shift;
+    if constexpr (I == Isa::Riscv) {
+        if (dist == kRegZero)
+            return {0, kNoProducer};
+        if constexpr (WithProducer)
+            return {e.regs_[dist], e.regWriter_[dist]};
+        else
+            return {e.regs_[dist], kNoProducer};
+    } else if constexpr (I == Isa::Straight) {
+        if (dist == kStraightZeroDist)
+            return {0, kNoProducer};
+        if (dist == kStraightSpBase)
+            return {e.sp_, WithProducer ? e.spWriter_ : kNoProducer};
+        if (dist > aux)
+            return {0, kNoProducer};
+        const uint64_t w = aux - dist;
+        if constexpr (WithProducer)
+            return {e.ring_[w % 128], e.ringWriter_[w % 128]};
+        else
+            return {e.ring_[w % 128], kNoProducer};
+    } else {
+        if (dist == kDecSrcZero)  // pre-folded s[kHandZeroDist]
+            return {0, kNoProducer};
+        const uint64_t count = (aux >> shift) & 0xffff;
+        if (dist >= count)
+            return {0, kNoProducer};
+        const uint64_t w = count - 1 - dist;
+        if constexpr (WithProducer)
+            return {e.hands_[hand][w % kHandDepth],
+                    e.handWriter_[hand][w % kHandDepth]};
+        else
+            return {e.hands_[hand][w % kHandDepth], kNoProducer};
+    }
+}
+
+template <Isa I, bool HasDst>
+uint64_t
+ThreadedEngine::writeResultT(Emulator& e, const DecInst* d, uint64_t value,
+                             uint64_t seq, uint64_t aux)
+{
+    if constexpr (I == Isa::Riscv) {
+        if constexpr (HasDst) {
+            if (d->dst != kRegZero) {
+                e.regs_[d->dst] = value;
+                e.regWriter_[d->dst] = seq;
+            }
+        }
+        return aux;
+    } else if constexpr (I == Isa::Straight) {
+        // Every STRAIGHT instruction allocates one ring slot; slots of
+        // valueless instructions hold zero (Section 2.2.1).
+        const uint64_t w = aux % 128;
+        e.ring_[w] = HasDst ? value : 0;
+        e.ringWriter_[w] = seq;
+        return aux + 1;
+    } else {
+        if constexpr (HasDst) {
+            const uint64_t w = ((aux >> d->dstShift) & 0xffff) % kHandDepth;
+            e.hands_[d->dst][w] = value;
+            e.handWriter_[d->dst][w] = seq;
+        }
+        // auxInc is pre-resolved to the destination lane unit (or 0).
+        return aux + d->auxInc;
+    }
+}
+
+template <Isa I, bool Traced, Op OP>
+void
+ThreadedEngine::exec(Emulator& e, const DecInst* d, ThreadedCtx& ctx,
+                     uint64_t seq, uint64_t aux)
+{
+    constexpr OpInfo info = kOpInfoTable[static_cast<size_t>(OP)];
+
+    SrcRead s1{0, kNoProducer}, s2{0, kNoProducer};
+    if constexpr (info.numSrcs >= 1)
+        s1 = readSrcT<I, Traced>(e, d->src1Eff, d->src1Hand, d->src1Shift,
+                                 aux);
+    if constexpr (info.numSrcs >= 2)
+        s2 = readSrcT<I, Traced>(e, d->src2Eff, d->src2Hand, d->src2Shift,
+                                 aux);
+
+    DynInst di;
+    if constexpr (Traced) {
+        di.seq = seq;
+        di.pc = d->pc;
+        di.op = OP;
+        di.dst = d->dst;
+        di.src1 = d->src1;
+        di.src2 = d->src2;
+        di.src1Hand = d->src1Hand;
+        di.src2Hand = d->src2Hand;
+        di.imm = d->imm;
+        di.prod1 = s1.producer;
+        di.prod2 = s2.producer;
+    }
+
+    uint64_t value = 0;
+    uint64_t nextPc = d->pc + 4;
+
+    if constexpr (info.isLoad()) {
+        const uint64_t addr = s1.value + static_cast<uint64_t>(d->imm);
+        value = e.mem_.read(addr, info.memBytes);
+        if constexpr ((info.flags & FlagSignedLoad) != 0)
+            value = signExtend(value, 8 * info.memBytes);
+        if constexpr (Traced) {
+            di.memAddr = addr;
+            di.memValue = value;
+        }
+    } else if constexpr (info.isStore()) {
+        const uint64_t addr = s1.value + static_cast<uint64_t>(d->imm);
+        e.mem_.write(addr, info.memBytes, s2.value);
+        if constexpr (Traced) {
+            di.memAddr = addr;
+            di.memValue = s2.value;
+        }
+    } else if constexpr (info.brKind == BrKind::Cond) {
+        const bool taken = emu::branchTaken(OP, s1.value, s2.value);
+        if (taken)
+            nextPc = d->target;
+        if constexpr (Traced)
+            di.taken = taken;
+        ctx.taken = taken;
+    } else if constexpr (info.brKind == BrKind::Jump ||
+                         info.brKind == BrKind::Call) {
+        if constexpr (Traced)
+            di.taken = true;
+        nextPc = d->target;
+        value = d->pc + 4;
+    } else if constexpr (info.brKind == BrKind::IndCall ||
+                         info.brKind == BrKind::Ret) {
+        if constexpr (Traced)
+            di.taken = true;
+        nextPc = (s1.value + static_cast<uint64_t>(d->imm)) & ~1ull;
+        value = d->pc + 4;
+    } else if constexpr (OP == Op::ECALL) {
+        switch (static_cast<Sys>(d->imm)) {
+          case Sys::Exit:
+            e.exited_ = true;
+            e.exitCode_ = static_cast<int64_t>(s1.value);
+            break;
+          case Sys::Putchar:
+            e.output_.push_back(static_cast<char>(s1.value));
+            break;
+          default:
+            fatal("unknown syscall ", d->imm);
+        }
+    } else if constexpr (OP == Op::SPADDI) {
+        CH_ASSERT(I == Isa::Straight, "spaddi outside STRAIGHT");
+        e.sp_ += static_cast<uint64_t>(d->imm);
+        e.spWriter_ = seq;
+        value = e.sp_;
+    } else {
+        value = emu::aluResult(OP, s1.value, s2.value, d->imm, d->pc);
+    }
+
+    aux = writeResultT<I, info.hasDst>(e, d, value, seq, aux);
+    if constexpr (Traced) {
+        di.nextPc = nextPc;
+        ctx.sink->onInst(di);
+        // Traced mode mirrors the switch engine's observable update
+        // order: instCount_ advances after each onInst() call, in case
+        // a sink reads it back.
+        e.instCount_ = seq + 1;
+    }
+
+    if constexpr (isTerminatorOp(OP)) {
+        // Terminators end the chain; the run loop resolves the successor.
+        if constexpr (!Traced)
+            e.instCount_ = seq + 1;
+        syncAux<I>(e, ctx, aux);
+        ctx.nextPc = nextPc;
+    } else {
+        // Call-threaded dispatch: jump straight into the next handler
+        // (a tail call the optimizer turns into a jmp; see DecInst).
+        const DecInst* n = d + 1;
+        return n->fn[Traced](e, n, ctx, seq + 1, aux);
+    }
+}
+
+template <Isa I>
+void
+ThreadedEngine::fillHandlers(DecInst& d)
+{
+    switch (d.op) {
+#define X(op, str, cls, fmt, nsrc, hasdst, mem, flags, br)                    \
+      case Op::op:                                                            \
+        d.fn[0] = &ThreadedEngine::exec<I, false, Op::op>;                    \
+        d.fn[1] = &ThreadedEngine::exec<I, true, Op::op>;                     \
+        break;
+        CH_OP_LIST(X)
+#undef X
+    }
+}
+
+// ---------------------------------------------------------------------
+// Block construction and the cache.
+// ---------------------------------------------------------------------
+
+ThreadedEngine::ThreadedEngine(Emulator& emu)
+    : e_(emu), byIndex_(emu.prog_.numInsts(), nullptr)
+{
+    // Generous default: hot code decodes once even when indirect-branch
+    // targets split many blocks; pathological programs (a block start
+    // at every text index) fall back to scratch re-decodes, never OOM.
+    budget_ = std::max<size_t>(size_t{1} << 16, 16 * e_.prog_.numInsts());
+}
+
+void
+ThreadedEngine::buildInto(Block& b, uint64_t startPc) const
+{
+    b.insts.clear();
+    b.startPc = startPc;
+    b.end = BlockEnd::Fallthrough;
+    b.fall = nullptr;
+    b.taken = nullptr;
+
+    const Program& prog = e_.prog_;
+    uint64_t pc = startPc;
+    while (b.insts.size() < kMaxBlockInsts && prog.validPc(pc)) {
+        const Inst& inst = prog.instAt(pc);
+        DecInst d;
+        d.pc = pc;
+        d.imm = inst.imm;
+        d.target = pc + static_cast<uint64_t>(inst.imm);
+        d.op = inst.op;
+        d.dst = inst.dst;
+        d.src1 = inst.src1;
+        d.src2 = inst.src2;
+        d.src1Hand = inst.src1Hand;
+        d.src2Hand = inst.src2Hand;
+        d.src1Eff = inst.src1;
+        d.src2Eff = inst.src2;
+        switch (e_.isa_) {
+          case Isa::Riscv:
+            fillHandlers<Isa::Riscv>(d);
+            break;
+          case Isa::Straight:
+            fillHandlers<Isa::Straight>(d);
+            d.auxInc = 1;
+            break;
+          case Isa::Clockhands:
+            fillHandlers<Isa::Clockhands>(d);
+            d.auxInc = inst.info().hasDst
+                           ? uint64_t{1} << (16 * inst.dst)
+                           : 0;
+            d.src1Shift = static_cast<uint8_t>(16 * inst.src1Hand);
+            d.src2Shift = static_cast<uint8_t>(16 * inst.src2Hand);
+            d.dstShift = static_cast<uint8_t>(16 * inst.dst);
+            if (inst.src1Hand == HandS && inst.src1 == kHandZeroDist)
+                d.src1Eff = kDecSrcZero;
+            if (inst.src2Hand == HandS && inst.src2 == kHandZeroDist)
+                d.src2Eff = kDecSrcZero;
+            break;
+        }
+        b.insts.push_back(d);
+        pc += 4;
+        if (isTerminatorOp(inst.op)) {
+            b.end = blockEndOf(inst.op);
+            break;
+        }
+    }
+    b.numInsts = b.insts.size();
+    b.fallPc = pc;
+    if (b.end == BlockEnd::Fallthrough) {
+        // No terminator (length cap or text end): a sentinel ends the
+        // handler chain and publishes the fallthrough PC.
+        DecInst s;
+        s.pc = pc;
+        s.target = pc;
+        switch (e_.isa_) {
+          case Isa::Riscv:
+            s.fn[0] = s.fn[1] = &stopChain<Isa::Riscv>;
+            break;
+          case Isa::Straight:
+            s.fn[0] = s.fn[1] = &stopChain<Isa::Straight>;
+            break;
+          case Isa::Clockhands:
+            s.fn[0] = s.fn[1] = &stopChain<Isa::Clockhands>;
+            break;
+        }
+        b.insts.push_back(s);
+    }
+}
+
+Block*
+ThreadedEngine::lookup(uint64_t pc)
+{
+    const Program& prog = e_.prog_;
+    if (!prog.validPc(pc))
+        fatal("pc out of text segment: ", pc, " after ", e_.instCount_,
+              " instructions");
+    const size_t idx = (pc - prog.textBase) / 4;
+    if (Block* b = byIndex_[idx])
+        return b;
+
+    auto nb = std::make_unique<Block>();
+    buildInto(*nb, pc);
+    if (decodedInsts_ + nb->numInsts <= budget_) {
+        nb->cached = true;
+        decodedInsts_ += nb->numInsts;
+        Block* raw = nb.get();
+        byIndex_[idx] = raw;
+        blocks_.push_back(std::move(nb));
+        return raw;
+    }
+    // Budget exhausted: execute out of scratch storage and re-decode on
+    // the next visit. Never cached, never chained into.
+    scratch_ = std::move(*nb);
+    scratch_.cached = false;
+    ++redecodes_;
+    return &scratch_;
+}
+
+void
+ThreadedEngine::run(uint64_t maxInsts, TraceSink* sink)
+{
+    Emulator& e = e_;
+    ThreadedCtx ctx;
+    ctx.sink = sink;
+    const int t = sink ? 1 : 0;
+    uint64_t left = maxInsts;
+
+    Block* b = nullptr;
+    while (left > 0 && !e.exited_) {
+        if (b == nullptr)
+            b = lookup(e.pc_);
+
+        const size_t n = b->numInsts;
+        if (left < n) {
+            // The budget ends inside this block. Terminators only sit
+            // at block ends, so the prefix is pure straight-line code;
+            // fall back to the (bit-identical) switch interpreter for
+            // these last few instructions — it maintains pc_ per step,
+            // leaving it at the first unexecuted instruction.
+            while (left > 0 && !e.exited_) {
+                e.step(sink);
+                --left;
+            }
+            return;
+        }
+
+        // Execute the whole block: the first handler tail-chains through
+        // the rest; the terminator (or fallthrough sentinel) resolves
+        // the successor PC into ctx.nextPc.
+        const DecInst* d = b->insts.data();
+        const uint64_t aux = packAux(e);
+        ctx.auxIn = aux;
+        d->fn[t](e, d, ctx, e.instCount_, aux);
+        left -= n;
+
+        const uint64_t nextPc = ctx.nextPc;
+        e.pc_ = nextPc;
+        if (e.exited_)
+            return;
+        if (nextPc == 0) {
+            // Returned past the entry point (matches the switch loop).
+            e.exited_ = true;
+            return;
+        }
+        // Budget exhausted exactly at the block end: stop before the
+        // successor is even resolved, like the switch loop stops before
+        // its next step() — the next PC may be past the text segment.
+        if (left == 0)
+            return;
+
+        // Chain to the successor, memoizing direct edges between cached
+        // blocks so steady-state execution skips the dispatch lookup.
+        Block* next = nullptr;
+        switch (b->end) {
+          case BlockEnd::Fallthrough:
+          case BlockEnd::Ecall:
+            next = b->fall;
+            if (next == nullptr) {
+                next = lookup(nextPc);
+                if (b->cached && next->cached)
+                    b->fall = next;
+            }
+            break;
+          case BlockEnd::Cond:
+            next = ctx.taken ? b->taken : b->fall;
+            if (next == nullptr) {
+                next = lookup(nextPc);
+                if (b->cached && next->cached)
+                    (ctx.taken ? b->taken : b->fall) = next;
+            }
+            break;
+          case BlockEnd::Direct:
+            next = b->taken;
+            if (next == nullptr) {
+                next = lookup(nextPc);
+                if (b->cached && next->cached)
+                    b->taken = next;
+            }
+            break;
+          case BlockEnd::Indirect:
+            next = lookup(nextPc);
+            break;
+        }
+        b = next;
+    }
+}
+
+} // namespace ch

@@ -1,0 +1,209 @@
+#ifndef CH_EMU_THREADED_H
+#define CH_EMU_THREADED_H
+
+/**
+ * @file
+ * Predecoded threaded-code execution engine behind Emulator
+ * (docs/EMULATOR.md). Each basic block is decoded once into a dense
+ * array of DecInst records — a per-(ISA, op) handler pointer plus the
+ * pre-extracted operand fields — so the hot loop is a call-threaded
+ * dispatch over handler pointers with no per-instruction decode, no
+ * opcode switch, and no OpInfo loads (the handlers are instantiated per
+ * op, so every property test folds at compile time). Blocks are cached
+ * by start address; program text is read-only after load, so entries
+ * never invalidate. A block's fallthrough/taken successors are memoized
+ * as direct Block pointers after first resolution, so straight-line and
+ * loop execution never returns to the address-indexed dispatch top.
+ *
+ * The engine must stay bit-identical to the reference switch
+ * interpreter (Emulator::step): same architectural state evolution,
+ * same DynInst stream, same output bytes, same fatal conditions.
+ * tests/lockstep_test.cc and tests/fuzz_test.cc enforce this with the
+ * DualEngineRunner harness (emu/lockstep.h).
+ */
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "emu/emulator.h"
+#include "isa/isa.h"
+#include "trace/dyninst.h"
+
+namespace ch {
+
+struct DecInst;
+
+/** Per-run() dispatch state shared between handlers and the run loop. */
+struct ThreadedCtx {
+    TraceSink* sink = nullptr;
+    uint64_t nextPc = 0;  ///< terminator handlers: resolved successor PC
+    uint64_t auxIn = 0;   ///< aux value at block entry (see DecInst::Fn)
+    bool taken = false;   ///< terminator handlers: branch outcome
+};
+
+/**
+ * One predecoded instruction: handler pointers plus every operand field
+ * pre-extracted from the Inst record at decode time.
+ *
+ * Handlers are call-threaded: a non-terminator handler tail-calls the
+ * next DecInst's handler directly, so every op has its own dispatch
+ * site (indirect-branch prediction keys on the current op instead of
+ * one shared dispatch loop). A chain always ends at the block's
+ * terminator handler — or, for blocks without one, at a trailing
+ * sentinel DecInst whose handler publishes the fallthrough PC — so
+ * chain depth is bounded by kMaxBlockInsts + 1 even in builds where
+ * the compiler does not turn the tail calls into jumps.
+ */
+struct DecInst {
+    /**
+     * @p seq is the dynamic instruction count before this instruction
+     * executes, threaded through the chain in a register so the hot
+     * loop never round-trips Emulator::instCount_ through memory; the
+     * handler ending the chain stores the final count back.
+     *
+     * @p aux rides the register-model allocation counter through the
+     * chain the same way — otherwise every instruction serializes on a
+     * store-to-load-forwarded memory increment. Its meaning is per-ISA:
+     * RISC unused (0); STRAIGHT the ring allocation count; Clockhands
+     * four 16-bit hand-count lanes (lane h = bits [16h, 16h+16)),
+     * repacked from the real counts at every block entry with the
+     * mod-16-preserving clamp `c < 0x8000 ? c : 0x8000 | (c & 15)` so a
+     * lane can never wrap inside a <= kMaxBlockInsts chain. Chain-ending
+     * handlers reconcile the real counts from aux - ThreadedCtx::auxIn
+     * (lane-wise; each lane delta is a small non-negative write count,
+     * so the plain 64-bit subtraction never borrows across lanes).
+     */
+    using Fn = void (*)(Emulator&, const DecInst*, ThreadedCtx&,
+                        uint64_t seq, uint64_t aux);
+
+    Fn fn[2];             ///< [0] = plain, [1] = tracing into a sink
+    uint64_t pc = 0;
+    int64_t imm = 0;
+    uint64_t target = 0;  ///< pc + imm, pre-resolved for direct branches
+
+    /** Aux increment this instruction applies (see Fn): 1 for every
+     *  STRAIGHT instruction, the destination hand's lane unit for a
+     *  Clockhands instruction with a result, 0 otherwise. */
+    uint64_t auxInc = 0;
+
+    Op op = Op::NOP;
+    uint8_t dst = 0;
+    uint8_t src1 = 0, src2 = 0;
+    uint8_t src1Hand = 0, src2Hand = 0;
+
+    /** Pre-scaled aux lane shifts (16 * hand) for Clockhands. */
+    uint8_t src1Shift = 0, src2Shift = 0, dstShift = 0;
+
+    /**
+     * Effective source distances used by the register-model read.
+     * Equal to src1/src2 except that Clockhands' architectural zero
+     * (s at distance kHandZeroDist) is pre-folded to kDecSrcZero, so
+     * the read tests a single byte instead of hand+distance.
+     */
+    uint8_t src1Eff = 0, src2Eff = 0;
+};
+
+/** DecInst::srcNEff marker for a pre-folded always-zero operand. */
+constexpr uint8_t kDecSrcZero = 0xff;
+
+/** How a decoded block ends; selects the successor-chaining rule. */
+enum class BlockEnd : uint8_t {
+    Fallthrough,  ///< length cap or text end: successor is fallPc
+    Cond,         ///< conditional branch: taken/fallthrough successors
+    Direct,       ///< unconditional direct jump/call: taken successor
+    Indirect,     ///< register-target branch: successor looked up per run
+    Ecall,        ///< may terminate the program; else falls through
+};
+
+/**
+ * A decoded basic block (run of instructions with one terminator).
+ * Blocks that end without a terminator (length cap or text end) carry
+ * one extra sentinel DecInst after the real instructions; numInsts
+ * counts only the real ones.
+ */
+struct Block {
+    std::vector<DecInst> insts;
+    size_t numInsts = 0;
+    uint64_t startPc = 0;
+    uint64_t fallPc = 0;      ///< pc after the last instruction
+    BlockEnd end = BlockEnd::Fallthrough;
+    bool cached = false;      ///< false for over-budget scratch decodes
+    Block* fall = nullptr;    ///< memoized successors (cached blocks only)
+    Block* taken = nullptr;
+};
+
+/** See file comment; owned by Emulator, one instance per program run. */
+class ThreadedEngine
+{
+  public:
+    /** Decoded-block length cap; longer runs split into chained blocks. */
+    static constexpr size_t kMaxBlockInsts = 128;
+
+    explicit ThreadedEngine(Emulator& emu);
+
+    /**
+     * Execute up to @p maxInsts instructions (or until exit), streaming
+     * to @p sink when non-null. Mirrors the switch engine bit for bit.
+     */
+    void run(uint64_t maxInsts, TraceSink* sink);
+
+    size_t blocks() const { return blocks_.size(); }
+    size_t decodedInsts() const { return decodedInsts_; }
+    uint64_t redecodes() const { return redecodes_; }
+    size_t budget() const { return budget_; }
+    void setBudget(size_t maxDecodedInsts) { budget_ = maxDecodedInsts; }
+
+  private:
+    template <Isa I, bool Traced, Op OP>
+    static void exec(Emulator& e, const DecInst* d, ThreadedCtx& ctx,
+                     uint64_t seq, uint64_t aux);
+
+    // Force-inlined: the inliner judges these by their pre-fold size
+    // and would otherwise emit out-of-line calls inside every handler.
+    template <Isa I, bool WithProducer>
+    [[gnu::always_inline]] static SrcRead
+    readSrcT(const Emulator& e, uint8_t dist, uint8_t hand, uint8_t shift,
+             uint64_t aux);
+
+    /** Returns the updated aux (see DecInst::Fn). */
+    template <Isa I, bool HasDst>
+    [[gnu::always_inline]] static uint64_t
+    writeResultT(Emulator& e, const DecInst* d, uint64_t value,
+                 uint64_t seq, uint64_t aux);
+
+    /** Write the counts carried in @p aux back to the emulator state. */
+    template <Isa I>
+    [[gnu::always_inline]] static void
+    syncAux(Emulator& e, const ThreadedCtx& ctx, uint64_t aux);
+
+    template <Isa I>
+    static void fillHandlers(DecInst& d);
+
+    /** Sentinel handler ending the chain of a terminator-less block. */
+    template <Isa I>
+    static void stopChain(Emulator& e, const DecInst* d, ThreadedCtx& ctx,
+                          uint64_t seq, uint64_t aux);
+
+    /** Pack the per-ISA allocation counters into an aux word. */
+    static uint64_t packAux(const Emulator& e);
+
+    /** Decode the block starting at @p startPc into @p b. */
+    void buildInto(Block& b, uint64_t startPc) const;
+
+    /** Cached block at @p pc, decoding on first touch; fatal() on a PC
+     *  outside the text segment (same message as the switch engine). */
+    Block* lookup(uint64_t pc);
+
+    Emulator& e_;
+    std::vector<std::unique_ptr<Block>> blocks_;
+    std::vector<Block*> byIndex_;  ///< dense start-pc index -> block
+    Block scratch_;                ///< reused for over-budget decodes
+    size_t decodedInsts_ = 0;
+    size_t budget_ = 0;
+    uint64_t redecodes_ = 0;
+};
+
+} // namespace ch
+
+#endif // CH_EMU_THREADED_H

@@ -17,6 +17,7 @@
  * (Fig. 15) can be measured identically across ISAs.
  */
 
+#include <array>
 #include <cstdint>
 #include <string_view>
 
@@ -195,28 +196,44 @@ struct OpInfo {
     uint8_t flags;      ///< OpFlags bitmask
     BrKind brKind;
 
-    bool isLoad() const { return flags & FlagLoad; }
-    bool isStore() const { return flags & FlagStore; }
-    bool isMem() const { return flags & (FlagLoad | FlagStore); }
-    bool isSignedLoad() const { return flags & FlagSignedLoad; }
-    bool fpDst() const { return flags & FlagFpDst; }
-    bool fpSrc1() const { return flags & FlagFpSrc1; }
-    bool fpSrc2() const { return flags & FlagFpSrc2; }
-    bool isBranch() const { return brKind != BrKind::None; }
+    // constexpr so engines templated over Op can branch on these at
+    // compile time (if constexpr) from the kOpInfoTable constant below.
+    constexpr bool isLoad() const { return flags & FlagLoad; }
+    constexpr bool isStore() const { return flags & FlagStore; }
+    constexpr bool isMem() const { return flags & (FlagLoad | FlagStore); }
+    constexpr bool isSignedLoad() const { return flags & FlagSignedLoad; }
+    constexpr bool fpDst() const { return flags & FlagFpDst; }
+    constexpr bool fpSrc1() const { return flags & FlagFpSrc1; }
+    constexpr bool fpSrc2() const { return flags & FlagFpSrc2; }
+    constexpr bool isBranch() const { return brKind != BrKind::None; }
     /** Direct control transfer (target known from the instruction word). */
-    bool
+    constexpr bool
     isDirectBranch() const
     {
         return brKind == BrKind::Cond || brKind == BrKind::Jump ||
                brKind == BrKind::Call;
     }
     /** Indirect control transfer (target from a register). */
-    bool
+    constexpr bool
     isIndirectBranch() const
     {
         return brKind == BrKind::IndCall || brKind == BrKind::Ret;
     }
 };
+
+/**
+ * The OpInfo table as a compile-time constant. opInfo() below indexes
+ * this same table; it lives in the header so code templated over Op
+ * (the threaded emulator engine's handler generators) can fold an op's
+ * properties at compile time instead of loading them per instruction.
+ */
+inline constexpr std::array<OpInfo, kNumOps> kOpInfoTable = {{
+#define X(op, str, cls, fmt, nsrc, hasdst, mem, flags, br)                    \
+    OpInfo{str, OpClass::cls, Fmt::fmt, nsrc, hasdst != 0, mem,               \
+           static_cast<uint8_t>(flags), BrKind::br},
+    CH_OP_LIST(X)
+#undef X
+}};
 
 /** Properties lookup for @p op. */
 const OpInfo& opInfo(Op op);

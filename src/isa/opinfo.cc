@@ -1,29 +1,15 @@
 #include "isa/op.h"
 
-#include <array>
-
 #include "common/logging.h"
 
 namespace ch {
-
-namespace {
-
-constexpr std::array<OpInfo, kNumOps> kOpTable = {{
-#define X(op, str, cls, fmt, nsrc, hasdst, mem, flags, br)                    \
-    OpInfo{str, OpClass::cls, Fmt::fmt, nsrc, hasdst != 0, mem,               \
-           static_cast<uint8_t>(flags), BrKind::br},
-    CH_OP_LIST(X)
-#undef X
-}};
-
-} // namespace
 
 const OpInfo&
 opInfo(Op op)
 {
     const auto idx = static_cast<size_t>(op);
-    CH_DASSERT(idx < kOpTable.size(), "bad op index");
-    return kOpTable[idx];
+    CH_DASSERT(idx < kOpInfoTable.size(), "bad op index");
+    return kOpInfoTable[idx];
 }
 
 std::string_view

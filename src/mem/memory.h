@@ -113,7 +113,8 @@ class Memory
 
     /**
      * Disable/re-enable the hot-page cache (tests cross-check that the
-     * cache never changes an architecturally visible value).
+     * cache never changes an architecturally visible value). Also
+     * resets the hit/miss counters.
      */
     void
     setPageCacheEnabled(bool enabled)
@@ -121,7 +122,33 @@ class Memory
         cacheEnabled_ = enabled;
         for (auto& e : hot_)
             e = HotPage{};
+        cacheHits_ = 0;
+        cacheMisses_ = 0;
     }
+
+    /**
+     * Opt-in hot-page cache hit/miss accounting. Off by default: the
+     * hit counter would otherwise add a serializing read-modify-write
+     * to the hottest path of both emulator engines. Enabling resets
+     * both counters.
+     */
+    void
+    setPageCacheStatsEnabled(bool enabled)
+    {
+        statsEnabled_ = enabled;
+        cacheHits_ = 0;
+        cacheMisses_ = 0;
+    }
+
+    /**
+     * Hot-page cache hit/miss counters (with stats enabled).
+     * Engine-agnostic by design: the counters move only inside
+     * pageFor(), which both emulator engines reach through the same
+     * read()/write() path, so two bit-identical executions produce
+     * identical counts regardless of engine.
+     */
+    uint64_t pageCacheHits() const { return cacheHits_; }
+    uint64_t pageCacheMisses() const { return cacheMisses_; }
 
   private:
     struct HotPage {
@@ -137,17 +164,24 @@ class Memory
         const uint64_t key = addr >> kPageBits;
         if (cacheEnabled_) {
             // MRU-ordered: the same-page case is a single compare.
-            if (hot_[0].key == key)
+            if (hot_[0].key == key) {
+                if (statsEnabled_)
+                    ++cacheHits_;
                 return hot_[0].page;
+            }
             for (size_t i = 1; i < kHotWays; ++i) {
                 if (hot_[i].key == key) {
                     const HotPage hit = hot_[i];
                     for (size_t j = i; j > 0; --j)
                         hot_[j] = hot_[j - 1];
                     hot_[0] = hit;
+                    if (statsEnabled_)
+                        ++cacheHits_;
                     return hit.page;
                 }
             }
+            if (statsEnabled_)
+                ++cacheMisses_;
         }
         auto it = pages_.find(key);
         if (it == pages_.end()) {
@@ -167,6 +201,9 @@ class Memory
     std::unordered_map<uint64_t, std::unique_ptr<uint8_t[]>> pages_;
     std::array<HotPage, kHotWays> hot_{};
     bool cacheEnabled_ = true;
+    bool statsEnabled_ = false;
+    uint64_t cacheHits_ = 0;
+    uint64_t cacheMisses_ = 0;
 };
 
 } // namespace ch

@@ -1,7 +1,12 @@
 #include <gtest/gtest.h>
 
+#include <sstream>
+#include <string>
+
 #include "asm/assembler.h"
+#include "common/logging.h"
 #include "emu/emulator.h"
+#include "emu/lockstep.h"
 
 namespace ch {
 namespace {
@@ -364,6 +369,176 @@ TEST(Emulator, ProducerTrackingClockhands)
     EXPECT_EQ(sink.insts[2].prod2, 1u);
     EXPECT_EQ(sink.insts[3].prod1, 2u);
     EXPECT_EQ(sink.insts[3].prod2, 0u);
+}
+
+// ---------------------------------------------------------------------
+// Threaded-engine block-cache edge cases (docs/EMULATOR.md). Every case
+// also runs the DualEngineRunner so the whole observable surface — not
+// just the spot-checked value — is compared against the switch oracle.
+// ---------------------------------------------------------------------
+
+/** Both engines must agree on the program; returns the oracle result. */
+RunResult
+expectEnginesAgree(const Program& p, uint64_t maxInsts = 10'000'000)
+{
+    DualEngineRunner runner(p);
+    const LockstepReport rep = runner.run(maxInsts);
+    EXPECT_TRUE(rep.ok) << rep.divergence;
+
+    Emulator oracle(p, EmuEngine::Switch);
+    return oracle.run(maxInsts);
+}
+
+/** @p n copies of `addi a0, a0, 1` followed by an exit-with-a0 ecall. */
+Program
+straightLineProgram(size_t n)
+{
+    std::ostringstream os;
+    for (size_t i = 0; i < n; ++i)
+        os << "addi a0, a0, 1\n";
+    os << "ecall zero, a0, 0\n";
+    return assemble(Isa::Riscv, os.str());
+}
+
+TEST(ThreadedEngine, SelfTerminatingBlockPastPageBoundary)
+{
+    // 1030 straight-line adds push the text across the 0x11000 page
+    // boundary: the decode-cap chain places one fallthrough block edge
+    // exactly on the boundary (inst 1024) and the final self-terminating
+    // ecall block just past it.
+    Program p = straightLineProgram(1030);
+    ASSERT_GT(p.textBase + 4 * p.numInsts(),
+              (p.textBase + Memory::kPageSize) & ~Memory::kPageMask);
+
+    Emulator emu(p, EmuEngine::Threaded);
+    RunResult r = emu.run();
+    EXPECT_TRUE(r.exited);
+    EXPECT_EQ(r.exitCode, 1030);
+    // 8 full 128-instruction blocks + the terminating block.
+    EXPECT_EQ(emu.decodedBlocks(), 9u);
+    EXPECT_EQ(emu.decodedInsts(), 1031u);
+    EXPECT_EQ(emu.blockRedecodes(), 0u);
+
+    EXPECT_EQ(expectEnginesAgree(p).exitCode, 1030);
+}
+
+TEST(ThreadedEngine, MaxLengthBlocksChainWithoutTerminators)
+{
+    // A run shorter than one page but longer than kMaxBlockInsts still
+    // splits into length-capped fallthrough blocks.
+    Program p = straightLineProgram(300);
+    Emulator emu(p, EmuEngine::Threaded);
+    RunResult r = emu.run();
+    EXPECT_TRUE(r.exited);
+    EXPECT_EQ(r.exitCode, 300);
+    EXPECT_EQ(emu.decodedBlocks(), 3u);  // 128 + 128 + 45
+
+    EXPECT_EQ(expectEnginesAgree(p).exitCode, 300);
+}
+
+TEST(ThreadedEngine, TextEndWithoutTerminatorFatalsIdentically)
+{
+    // Control running off the end of the text must produce the same
+    // fatal() message (pc and executed-instruction count included) from
+    // both engines.
+    Program p = assemble(Isa::Riscv, R"(
+        li a0, 5
+        addi a0, a0, 1
+    )");
+    std::string msg[2];
+    int i = 0;
+    for (EmuEngine eng : {EmuEngine::Switch, EmuEngine::Threaded}) {
+        Emulator emu(p, eng);
+        try {
+            emu.run();
+            FAIL() << "expected fatal() running off the text end";
+        } catch (const FatalError& e) {
+            msg[i] = e.what();
+        }
+        ++i;
+    }
+    EXPECT_FALSE(msg[0].empty());
+    EXPECT_EQ(msg[0], msg[1]);
+}
+
+TEST(ThreadedEngine, IndirectTargetIntoMiddleOfCachedBlock)
+{
+    // The first pass caches [head..bne] as one block; the jalr then
+    // lands in its interior, which must decode a fresh overlapping
+    // block rather than corrupt or miss the cached one.
+    Program p = assemble(Isa::Riscv, R"(
+        la t0, mid
+        li s0, 0
+    head:
+        addi a0, a0, 1
+    mid:
+        addi a0, a0, 10
+        addi a0, a0, 100
+        bne s0, zero, done
+        li s0, 1
+        jalr ra, 0(t0)
+    done:
+        ecall zero, a0, 0
+    )");
+    Emulator emu(p, EmuEngine::Threaded);
+    RunResult r = emu.run();
+    EXPECT_TRUE(r.exited);
+    EXPECT_EQ(r.exitCode, 221);  // 1+10+100 on pass one, 10+100 via mid
+    // entry..bne, li/jalr, the overlapping block at mid, and done.
+    EXPECT_EQ(emu.decodedBlocks(), 4u);
+
+    EXPECT_EQ(expectEnginesAgree(p).exitCode, 221);
+}
+
+TEST(ThreadedEngine, BlockCacheBudgetOverflowFallsBackToRedecode)
+{
+    // With a budget smaller than any block, every dispatch re-decodes
+    // into scratch storage; results must not change.
+    Program p = straightLineProgram(300);
+    Emulator emu(p, EmuEngine::Threaded);
+    emu.setBlockCacheBudget(8);
+    RunResult r = emu.run();
+    EXPECT_TRUE(r.exited);
+    EXPECT_EQ(r.exitCode, 300);
+    EXPECT_EQ(emu.decodedBlocks(), 0u);
+    EXPECT_GT(emu.blockRedecodes(), 0u);
+}
+
+TEST(ThreadedEngine, MidRunEngineSwitchContinuesSeamlessly)
+{
+    // Both engines drive the same architectural state, so a paused run
+    // can hop between them at any chunk edge without a visible seam.
+    Program p = assemble(Isa::Riscv, R"(
+        li a0, 0
+        li a1, 5000
+    loop:
+        addi a0, a0, 1
+        andi a2, a0, 1023
+        bne a2, zero, noput
+        addi a2, a0, 64
+        ecall zero, a2, 1
+    noput:
+        bne a0, a1, loop
+        ecall zero, a0, 0
+    )");
+    Emulator ref(p, EmuEngine::Switch);
+    RunResult expect = ref.run();
+    ASSERT_TRUE(expect.exited);
+
+    Emulator emu(p, EmuEngine::Threaded);
+    std::string output;
+    RunResult r;
+    int hops = 0;
+    while (!emu.done()) {
+        r = emu.run(997);
+        output += r.output;
+        emu.setEngine(++hops % 2 ? EmuEngine::Switch
+                                 : EmuEngine::Threaded);
+    }
+    EXPECT_EQ(r.exitCode, expect.exitCode);
+    EXPECT_EQ(r.instCount, expect.instCount);
+    EXPECT_EQ(output, expect.output);
+    EXPECT_GT(hops, 2);
 }
 
 TEST(Emulator, BranchOutcomeInTrace)

@@ -1,14 +1,25 @@
 #include <gtest/gtest.h>
 
 #include <array>
+#include <filesystem>
+#include <fstream>
 #include <sstream>
+#include <string>
+#include <vector>
 
 #include "backend/backend.h"
 #include "common/logging.h"
 #include "common/prng.h"
 #include "emu/emulator.h"
+#include "emu/lockstep.h"
 #include "isa/encoding.h"
 #include "verify/verify.h"
+
+// Where minimized dual-engine divergence reproducers are written
+// (tests/CMakeLists.txt points this at <source>/tests/corpus).
+#ifndef CH_CORPUS_DIR
+#define CH_CORPUS_DIR "."
+#endif
 
 namespace ch {
 namespace {
@@ -163,6 +174,131 @@ TEST_P(DifferentialFuzz, ThreeIsasAgree)
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, DifferentialFuzz, ::testing::Range(0, 40));
+
+/**
+ * Dual-engine lockstep fuzzing: every random program must execute
+ * bit-identically on the switch interpreter and the predecoded
+ * threaded-code engine (emu/lockstep.h compares the full DynInst
+ * stream, output bytes, and register model). A divergence is minimized
+ * by greedy line removal and dumped as a commented .s reproducer under
+ * tests/corpus/ — the seed remains the canonical way to regenerate it.
+ */
+constexpr uint64_t kEngineFuzzCap = 5'000'000;
+
+/** Divergence text for @p p under both engines; empty if they agree. */
+std::string
+dualEngineDivergence(const Program& p)
+{
+    DualEngineRunner runner(p);
+    const LockstepReport rep = runner.run(kEngineFuzzCap);
+    return rep.ok ? std::string{} : rep.divergence;
+}
+
+/** Like above, from source; non-compiling variants count as agreeing. */
+std::string
+tryDivergence(const std::string& src, Isa isa)
+{
+    try {
+        return dualEngineDivergence(compileMiniC(src, isa));
+    } catch (const std::exception&) {
+        return {};
+    }
+}
+
+std::vector<std::string>
+splitLines(const std::string& src)
+{
+    std::vector<std::string> lines;
+    std::istringstream is(src);
+    for (std::string line; std::getline(is, line);)
+        lines.push_back(line);
+    return lines;
+}
+
+/** Greedy line-removal minimization preserving the divergence. */
+std::string
+minimizeSource(std::string src, Isa isa)
+{
+    for (bool shrunk = true; shrunk;) {
+        shrunk = false;
+        const std::vector<std::string> lines = splitLines(src);
+        for (size_t i = 0; i < lines.size() && !shrunk; ++i) {
+            std::string cand;
+            for (size_t j = 0; j < lines.size(); ++j) {
+                if (j == i)
+                    continue;
+                cand += lines[j];
+                cand += '\n';
+            }
+            if (!tryDivergence(cand, isa).empty()) {
+                src = cand;
+                shrunk = true;
+            }
+        }
+    }
+    return src;
+}
+
+const char*
+isaFileTag(Isa isa)
+{
+    switch (isa) {
+      case Isa::Riscv: return "riscv";
+      case Isa::Straight: return "straight";
+      case Isa::Clockhands: return "clockhands";
+    }
+    return "unknown";
+}
+
+/** Dump @p src (already minimized) as a .s reproducer; returns path. */
+std::string
+writeReproducer(const std::string& src, Isa isa, int seed)
+{
+    const std::string div = tryDivergence(src, isa);
+    const Program p = compileMiniC(src, isa);
+
+    std::filesystem::create_directories(CH_CORPUS_DIR);
+    const std::string path = std::string(CH_CORPUS_DIR) +
+                             "/engine-divergence-s" + std::to_string(seed) +
+                             "-" + isaFileTag(isa) + ".s";
+    std::ofstream os(path);
+    os << "# Dual-engine lockstep divergence (auto-generated by\n"
+       << "# fuzz_test EngineLockstepFuzz seed " << seed << ", "
+       << isaName(isa) << ").\n"
+       << "# " << div << "\n#\n"
+       << "# Minimized MiniC source:\n";
+    for (const std::string& line : splitLines(src))
+        os << "#   " << line << "\n";
+    os << "\n";
+    for (size_t i = 0; i < p.decoded.size(); ++i)
+        os << disassemble(p.isa, p.decoded[i]) << "\n";
+    return path;
+}
+
+class EngineLockstepFuzz : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(EngineLockstepFuzz, EnginesAgreeOnRandomPrograms)
+{
+    const int seed = GetParam();
+    ProgramGen gen(0xD1FF + seed * 31337);
+    const std::string src = gen.generate();
+    SCOPED_TRACE(src);
+
+    for (Isa isa : {Isa::Riscv, Isa::Straight, Isa::Clockhands}) {
+        const std::string div = dualEngineDivergence(compileMiniC(src, isa));
+        if (div.empty())
+            continue;
+        const std::string path =
+            writeReproducer(minimizeSource(src, isa), isa, seed);
+        ADD_FAILURE() << isaName(isa) << ": engines diverge: " << div
+                      << "\nminimized reproducer written to " << path;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EngineLockstepFuzz,
+                         ::testing::Range(0, 200));
 
 /**
  * Dynamic mirror of the static verifier: replays the emulator's operand

@@ -14,13 +14,23 @@
  * Stack stores are excluded from the comparison: frame layout and spill
  * traffic are legitimately backend-specific, while the data/heap image
  * is defined by the source program alone.
+ *
+ * The DualEngine suite (`ctest -L lockstep-emu`) is the other axis of
+ * differential testing: the same program on the same ISA, executed by
+ * the switch interpreter and the predecoded threaded-code engine in
+ * lockstep, must match on every DynInst field, every output byte, the
+ * full register model at each chunk edge, and — since instruction fetch
+ * never touches Memory — the hot-page-cache hit/miss counters.
  */
 
 #include <gtest/gtest.h>
 
+#include <string>
+#include <tuple>
 #include <vector>
 
 #include "emu/emulator.h"
+#include "emu/lockstep.h"
 #include "trace/dyninst.h"
 #include "workloads/workloads.h"
 
@@ -116,6 +126,71 @@ INSTANTIATE_TEST_SUITE_P(AllWorkloads, Lockstep,
                          [](const auto& info) {
                              return std::string(info.param);
                          });
+
+// ---------------------------------------------------------------------
+// Engine-vs-engine lockstep: `ctest -L lockstep-emu`.
+// ---------------------------------------------------------------------
+
+/** Test-name-safe ISA tag (isaName() uses '-'). */
+const char*
+isaSlug(Isa isa)
+{
+    switch (isa) {
+      case Isa::Riscv: return "riscv";
+      case Isa::Straight: return "straight";
+      case Isa::Clockhands: return "clockhands";
+    }
+    return "unknown";
+}
+
+class DualEngine
+    : public ::testing::TestWithParam<std::tuple<const char*, Isa>>
+{
+};
+
+TEST_P(DualEngine, EnginesAgreeInLockstep)
+{
+    const auto [name, isa] = GetParam();
+    DualEngineRunner runner(compiledWorkload(name, isa));
+    const LockstepReport rep = runner.run(1'000'000);
+    EXPECT_TRUE(rep.ok) << rep.divergence;
+    EXPECT_GT(rep.instsCompared, 0u);
+}
+
+TEST_P(DualEngine, PageCacheCountersMatchAcrossEngines)
+{
+    // The threaded engine must be transparent to the memory system:
+    // instruction fetch reads the predecoded text in both engines, so
+    // every Memory::pageFor() call comes from an architectural load or
+    // store, and bit-identical execution implies identical counters.
+    const auto [name, isa] = GetParam();
+    const Program& prog = compiledWorkload(name, isa);
+
+    uint64_t hits[2] = {0, 0}, misses[2] = {0, 0};
+    int i = 0;
+    for (EmuEngine eng : {EmuEngine::Switch, EmuEngine::Threaded}) {
+        Emulator emu(prog, eng);
+        emu.memory().setPageCacheStatsEnabled(true);
+        emu.run(1'000'000);
+        hits[i] = emu.memory().pageCacheHits();
+        misses[i] = emu.memory().pageCacheMisses();
+        ++i;
+    }
+    EXPECT_EQ(hits[0], hits[1]);
+    EXPECT_EQ(misses[0], misses[1]);
+    EXPECT_GT(hits[0], 0u) << "no memory traffic measured";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllWorkloads, DualEngine,
+    ::testing::Combine(::testing::Values("coremark", "bzip2", "mcf", "lbm",
+                                         "xz"),
+                       ::testing::Values(Isa::Riscv, Isa::Straight,
+                                         Isa::Clockhands)),
+    [](const auto& info) {
+        return std::string(std::get<0>(info.param)) + "_" +
+               isaSlug(std::get<1>(info.param));
+    });
 
 } // namespace
 } // namespace ch
