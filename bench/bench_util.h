@@ -28,6 +28,11 @@
  *                                   verify.* counters on every sim job
  *                                   (docs/VERIFIER.md); off by default
  *                                   and byte-identical when off
+ *   --core-model M / CH_CORE_MODEL  fidelity-ladder rung for every sim
+ *                                   job: detailed (default), fast, or
+ *                                   analytic (docs/FIDELITY.md); the
+ *                                   detailed default is byte-identical
+ *                                   to earlier binaries
  *   --sample-interval N             enable interval-sampled timing with
  *                                   N-instruction intervals
  *                                   (docs/PERFORMANCE.md, "Sampled
@@ -141,6 +146,21 @@ envFlag(const char* name)
     return env && *env && std::strcmp(env, "0") != 0;
 }
 
+/** Strict --core-model / CH_CORE_MODEL parsing (exit 2 on a typo, so a
+ *  misspelled rung never silently runs the detailed default). */
+inline CoreModelKind
+parseCoreModelArg(const char* what, const char* s)
+{
+    CoreModelKind kind = CoreModelKind::Detailed;
+    if (!s || !parseCoreModel(s, &kind)) {
+        std::fprintf(stderr, "error: %s expects detailed, fast or "
+                             "analytic, got '%s'\n", what,
+                     s ? s : "");
+        std::exit(2);
+    }
+    return kind;
+}
+
 /**
  * Validate an output directory at parse time: create it if missing and
  * verify it is writable. Before this check, a bad --metrics-dir only
@@ -206,6 +226,10 @@ benchInit(int argc, char** argv, const char* name)
     ctx.runner.progress = benchdetail::envFlag("CH_BENCH_PROGRESS");
     ctx.runner.verifyStats = benchdetail::envFlag("CH_VERIFY_STATS");
     ctx.hostMetrics = benchdetail::envFlag("CH_BENCH_HOST_METRICS");
+    if (const char* env = std::getenv("CH_CORE_MODEL"); env && *env) {
+        ctx.runner.coreModel =
+            benchdetail::parseCoreModelArg("CH_CORE_MODEL", env);
+    }
 
     bool sampleLenSet = false;
     bool warmupSet = false;
@@ -236,6 +260,9 @@ benchInit(int argc, char** argv, const char* name)
             ctx.runner.traceCache = false;
         } else if (arg == "--verify-stats") {
             ctx.runner.verifyStats = true;
+        } else if (arg == "--core-model") {
+            ctx.runner.coreModel =
+                benchdetail::parseCoreModelArg("--core-model", next());
         } else if (arg == "--sample-interval") {
             ctx.runner.sampling.intervalInsts =
                 benchdetail::parseInstCount("--sample-interval", next());
@@ -252,6 +279,7 @@ benchInit(int argc, char** argv, const char* name)
                         "[--pipe-trace DIR] [--progress] "
                         "[--host-metrics] [--no-trace-cache] "
                         "[--verify-stats] "
+                        "[--core-model detailed|fast|analytic] "
                         "[--sample-interval N [--sample-len N] "
                         "[--warmup N]]\n", name);
             std::exit(0);
@@ -292,6 +320,14 @@ benchInit(int argc, char** argv, const char* name)
                          PRIu64 " exceed --sample-interval %" PRIu64
                          "\n", sc.warmupInsts, sc.sampleInsts,
                          sc.intervalInsts);
+            std::exit(2);
+        }
+        // Sampling measures stall-accounted cycle deltas; the analytic
+        // rung has neither cycles-as-they-happen nor stall accounting.
+        if (ctx.runner.coreModel == CoreModelKind::Analytic) {
+            std::fprintf(stderr, "error: --sample-interval cannot be "
+                                 "combined with --core-model "
+                                 "analytic\n");
             std::exit(2);
         }
     }

@@ -1,0 +1,266 @@
+/**
+ * @file
+ * Cross-validation of the fidelity ladder (docs/FIDELITY.md) on the
+ * 5-workload x 3-ISA corpus: for every corpus point the committed
+ * trace is replayed through the detailed CycleSim (the reference), the
+ * fast in-order model, and the analytic zero-execution predictor, and
+ * the cheaper rungs' IPC is compared against detailed.
+ *
+ * Per-point error is |rung - detailed| / detailed; the headline number
+ * is the arithmetic mean over all corpus points (per rung), matching
+ * the accuracy contract stated in docs/FIDELITY.md. `--max-relerr P`
+ * makes the bench exit 1 when the FAST rung's mean error exceeds P
+ * percent — CI runs it with --max-relerr 10 (the acceptance bar). The
+ * analytic rung's error is reported but never gated here; its per-loop
+ * bar lives in fig_static_ipc.
+ *
+ * Wall-clock MIPS per rung (and the fast/detailed speedup) are
+ * host-side observations, so they are printed and emitted only under
+ * --host-metrics; the deterministic metrics files carry cycles/IPC/
+ * error alone.
+ */
+
+#include <chrono>
+#include <cmath>
+
+#include "bench_util.h"
+#include "analyze/analytic_model.h"
+#include "trace/trace_buffer.h"
+#include "uarch/core_model.h"
+
+using namespace ch;
+
+namespace {
+
+struct Rung {
+    uint64_t cycles = 0;
+    double ipc = 0;
+    double mips = 0;   ///< host-side, replay wall time only
+};
+
+struct Row {
+    std::string workload;
+    Isa isa = Isa::Riscv;
+    uint64_t insts = 0;
+    Rung detailed, fast, analytic;
+    double fastErr = 0;      ///< |fast - detailed| / detailed
+    double analyticErr = 0;
+};
+
+double
+relErr(double rung, double ref)
+{
+    return ref > 0 ? std::fabs(rung - ref) / ref : 1.0;
+}
+
+/** Replays @p trace through the @p kind rung, timing the replay. */
+Rung
+runRung(const TraceBuffer& trace, Isa isa, MachineConfig cfg,
+        CoreModelKind kind)
+{
+    cfg.coreModel = kind;
+    std::unique_ptr<CoreModel> core = makeCoreModel(cfg, isa);
+    const auto t0 = std::chrono::steady_clock::now();
+    const SimResult res = core->replayResult(trace);
+    const auto t1 = std::chrono::steady_clock::now();
+    const double sec =
+        std::chrono::duration<double>(t1 - t0).count();
+    Rung r;
+    r.cycles = res.cycles;
+    r.ipc = res.cycles ? static_cast<double>(res.insts) / res.cycles : 0;
+    r.mips = sec > 0 ? static_cast<double>(res.insts) / (sec * 1e6) : 0;
+    return r;
+}
+
+Row
+measure(const JobContext& job, uint64_t cap)
+{
+    Row row;
+    row.workload = job.spec.workload;
+    row.isa = job.spec.isa;
+
+    const MachineConfig cfg = MachineConfig::preset(8);
+
+    TraceBuffer local;
+    const TraceBuffer* trace =
+        job.traces ? job.traces->get(job.spec.workload, job.spec.isa,
+                                     cap, *job.program)
+                   : nullptr;
+    if (!trace) {
+        const RunResult run = runProgram(*job.program, cap, &local);
+        local.setRunOutcome(run.exited, run.exitCode);
+        trace = &local;
+    }
+    row.insts = trace->instCount();
+
+    // Two timed repetitions per rung, interleaved, keeping the faster
+    // one: host clocks sag over a sequential sweep, and a single pass
+    // would systematically flatter whichever rung ran first. Timing is
+    // deterministic, so the repeat changes no cycle count.
+    for (int rep = 0; rep < 2; ++rep) {
+        Rung det = runRung(*trace, row.isa, cfg, CoreModelKind::Detailed);
+        Rung fast = runRung(*trace, row.isa, cfg, CoreModelKind::Fast);
+        if (det.mips > row.detailed.mips)
+            row.detailed = det;
+        if (fast.mips > row.fast.mips)
+            row.fast = fast;
+
+        // The analytic rung is not a makeCoreModel() product (it needs
+        // the static program, which lives a library above), so it goes
+        // through its own entry point; replay here only counts dynamic
+        // loop visits.
+        const auto t0 = std::chrono::steady_clock::now();
+        const SimResult res =
+            analyze::simulateAnalytic(*job.program, cfg, trace, cap);
+        const auto t1 = std::chrono::steady_clock::now();
+        const double sec =
+            std::chrono::duration<double>(t1 - t0).count();
+        Rung ana;
+        ana.cycles = res.cycles;
+        ana.ipc =
+            res.cycles ? static_cast<double>(res.insts) / res.cycles : 0;
+        ana.mips =
+            sec > 0 ? static_cast<double>(res.insts) / (sec * 1e6) : 0;
+        if (ana.mips > row.analytic.mips)
+            row.analytic = ana;
+    }
+
+    row.fastErr = relErr(row.fast.ipc, row.detailed.ipc);
+    row.analyticErr = relErr(row.analytic.ipc, row.detailed.ipc);
+    return row;
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    // --max-relerr is bench-specific; strip it before the shared parse.
+    double maxRelErrPct = 0;
+    bool haveThreshold = false;
+    std::vector<char*> passArgv;
+    passArgv.push_back(argv[0]);
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--max-relerr") == 0) {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr,
+                             "error: --max-relerr needs an argument\n");
+                return 2;
+            }
+            const char* s = argv[++i];
+            errno = 0;
+            char* end = nullptr;
+            maxRelErrPct = std::strtod(s, &end);
+            if (end == s || *end != '\0' || errno == ERANGE ||
+                !(maxRelErrPct > 0)) {
+                std::fprintf(stderr,
+                             "error: --max-relerr expects a positive "
+                             "percentage, got '%s'\n", s);
+                return 2;
+            }
+            haveThreshold = true;
+        } else {
+            passArgv.push_back(argv[i]);
+        }
+    }
+    BenchContext ctx = benchInit(static_cast<int>(passArgv.size()),
+                                 passArgv.data(), "fig_fidelity_ladder");
+    benchHeader("Fidelity ladder", "fast/analytic rung IPC vs the "
+                                   "detailed CycleSim reference");
+    const uint64_t cap = benchMaxInsts(2'000'000);
+    const bool host = ctx.hostMetrics;
+
+    SweepRunner runner(ctx.runner);
+    std::vector<Row> rows(workloads().size() * 3);
+    size_t slot = 0;
+    for (const auto& w : workloads()) {
+        for (Isa isa : {Isa::Riscv, Isa::Straight, Isa::Clockhands}) {
+            JobSpec spec;
+            spec.id = w.name + "/" + shortIsa(isa) + "/ladder";
+            spec.workload = w.name;
+            spec.isa = isa;
+            spec.maxInsts = cap;
+            Row* out = &rows[slot++];
+            runner.add(spec, [out, cap, host](const JobContext& job) {
+                *out = measure(job, cap);
+                JobMetrics m;
+                m.exited = true;
+                m.insts = out->insts;
+                m.cycles = out->detailed.cycles;
+                m.counters["detailed.cycles"] = out->detailed.cycles;
+                m.counters["fast.cycles"] = out->fast.cycles;
+                m.counters["analytic.cycles"] = out->analytic.cycles;
+                m.values["detailed.ipc"] = out->detailed.ipc;
+                m.values["fast.ipc"] = out->fast.ipc;
+                m.values["analytic.ipc"] = out->analytic.ipc;
+                m.values["fast.relerr"] = out->fastErr;
+                m.values["analytic.relerr"] = out->analyticErr;
+                if (host) {
+                    m.values["detailed.mips"] = out->detailed.mips;
+                    m.values["fast.mips"] = out->fast.mips;
+                    m.values["analytic.mips"] = out->analytic.mips;
+                    m.values["fast.speedup"] =
+                        out->detailed.mips > 0
+                            ? out->fast.mips / out->detailed.mips
+                            : 0;
+                }
+                return m;
+            });
+        }
+    }
+    const std::vector<JobResult>& results = runner.run();
+    benchRequireOk(results);
+
+    TextTable t;
+    if (host) {
+        t.header({"benchmark", "isa", "insts", "det IPC", "fast IPC",
+                  "fast err%", "ana IPC", "ana err%", "det MIPS",
+                  "fast MIPS", "speedup"});
+    } else {
+        t.header({"benchmark", "isa", "insts", "det IPC", "fast IPC",
+                  "fast err%", "ana IPC", "ana err%"});
+    }
+    double fastSum = 0, anaSum = 0, speedupMin = 0;
+    double fastWorst = 0;
+    bool first = true;
+    for (const Row& r : rows) {
+        std::vector<std::string> cells{
+            r.workload, shortIsa(r.isa), std::to_string(r.insts),
+            fmtDouble(r.detailed.ipc, 3), fmtDouble(r.fast.ipc, 3),
+            fmtDouble(100 * r.fastErr, 2), fmtDouble(r.analytic.ipc, 3),
+            fmtDouble(100 * r.analyticErr, 2)};
+        if (host) {
+            const double speedup = r.detailed.mips > 0
+                                       ? r.fast.mips / r.detailed.mips
+                                       : 0;
+            cells.push_back(fmtDouble(r.detailed.mips, 1));
+            cells.push_back(fmtDouble(r.fast.mips, 1));
+            cells.push_back(fmtDouble(speedup, 1));
+            speedupMin = first ? speedup : std::min(speedupMin, speedup);
+        }
+        t.row(cells);
+        fastSum += r.fastErr;
+        anaSum += r.analyticErr;
+        fastWorst = std::max(fastWorst, r.fastErr);
+        first = false;
+    }
+    t.print();
+
+    const double n = static_cast<double>(rows.size());
+    const double fastMeanPct = 100 * fastSum / n;
+    const double anaMeanPct = 100 * anaSum / n;
+    std::printf("\n%zu corpus points: fast mean |IPC err| %.2f%% "
+                "(worst %.2f%%), analytic mean %.2f%%\n",
+                rows.size(), fastMeanPct, 100 * fastWorst, anaMeanPct);
+    if (host)
+        std::printf("fast-vs-detailed speedup: min %.1fx\n", speedupMin);
+    benchWriteMetrics(ctx, results);
+
+    if (haveThreshold && fastMeanPct > maxRelErrPct) {
+        std::fprintf(stderr,
+                     "error: fast-model mean IPC error %.2f%% exceeds "
+                     "--max-relerr %.2f%%\n", fastMeanPct, maxRelErrPct);
+        return 1;
+    }
+    return 0;
+}

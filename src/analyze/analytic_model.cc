@@ -1,0 +1,83 @@
+#include "analyze/analytic_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "emu/emulator.h"
+
+namespace ch::analyze {
+
+AnalyticModel::AnalyticModel(const Program& prog, const MachineConfig& cfg)
+    : report_(analyzeProgram(prog, cfg)),
+      textBase_(prog.textBase),
+      width_(static_cast<double>(
+          std::min(cfg.fetchWidth,
+                   std::min(cfg.issueWidth, cfg.commitWidth))))
+{
+    // Deepest-loop ownership map, as in fig_static_ipc's probe: an
+    // instruction inside nested loops belongs to the innermost one, so
+    // its dynamic count is charged at that loop's predicted IPC.
+    loopOf_.assign(prog.numInsts(), -1);
+    ipc_.reserve(report_.loops.size());
+    for (size_t l = 0; l < report_.loops.size(); ++l) {
+        const LoopReport& lp = report_.loops[l];
+        for (const int i : lp.body) {
+            const int cur = loopOf_[static_cast<size_t>(i)];
+            if (cur < 0 ||
+                lp.depth > report_.loops[static_cast<size_t>(cur)].depth)
+                loopOf_[static_cast<size_t>(i)] = static_cast<int>(l);
+        }
+        ipc_.push_back(lp.predictedIpc > 0 ? lp.predictedIpc : width_);
+    }
+    loopDyn_.assign(report_.loops.size(), 0);
+}
+
+void
+AnalyticModel::onInst(const DynInst& di)
+{
+    const size_t idx = (di.pc - textBase_) / 4;
+    const int l = idx < loopOf_.size() ? loopOf_[idx] : -1;
+    if (l >= 0)
+        ++loopDyn_[static_cast<size_t>(l)];
+    else
+        ++otherDyn_;
+    ++insts_;
+}
+
+uint64_t
+AnalyticModel::finish()
+{
+    double cycles = static_cast<double>(otherDyn_) / width_;
+    uint64_t loopInsts = 0;
+    for (size_t l = 0; l < loopDyn_.size(); ++l) {
+        cycles += static_cast<double>(loopDyn_[l]) / ipc_[l];
+        loopInsts += loopDyn_[l];
+    }
+    cycles_ = static_cast<uint64_t>(std::llround(cycles));
+    if (cycles_ == 0 && insts_ > 0)
+        cycles_ = 1;
+
+    stats_.counter("sim.cycles").set(cycles_);
+    stats_.counter("sim.insts").set(insts_);
+    stats_.counter("analytic.loops").set(report_.loops.size());
+    stats_.counter("analytic.loopInsts").set(loopInsts);
+    stats_.counter("analytic.otherInsts").set(otherDyn_);
+    return cycles_;
+}
+
+SimResult
+simulateAnalytic(const Program& prog, const MachineConfig& cfg,
+                 const TraceBuffer* trace, uint64_t maxInsts)
+{
+    AnalyticModel model(prog, cfg);
+    if (trace)
+        return model.replayResult(*trace);
+
+    Emulator emu(prog);
+    RunResult run = emu.run(maxInsts, &model);
+    model.finish();
+    return model.packageResult(run.exited, run.exitCode);
+}
+
+} // namespace ch::analyze

@@ -1,0 +1,95 @@
+#ifndef CH_ANALYZE_ANALYTIC_MODEL_H
+#define CH_ANALYZE_ANALYTIC_MODEL_H
+
+/**
+ * @file
+ * The fidelity ladder's zero-execution rung (docs/FIDELITY.md): a
+ * CoreModel wrapper around the static throughput analyzer
+ * (analyze/analyze.h, docs/ANALYZER.md). No pipeline state is simulated
+ * at all — each committed instruction is attributed to the deepest
+ * static loop containing its PC, and the cycle estimate is
+ *
+ *     sum over loops l of  dyn_insts(l) / predictedIpc(l)
+ *   + out-of-loop insts   / sustained machine width,
+ *
+ * where predictedIpc is chanalyze's per-loop steady-state prediction
+ * (max of resource and dependence-recurrence bounds — identical numbers
+ * to fig_static_ipc, by construction). Per-instruction work is one
+ * table lookup and a counter increment, so this rung runs at
+ * trace-decode speed; the price is that everything outside steady-state
+ * loop bodies (cold code, calls, cache behaviour, mispredictions) is
+ * invisible to it.
+ *
+ * Counters emitted: sim.cycles, sim.insts, analytic.loops,
+ * analytic.loopInsts, analytic.otherInsts. No stall.* counters — the
+ * model has no notion of a stall — and stallCycles() returns 0, so this
+ * rung cannot be sampled (simulateSampled() requires the stall-sum
+ * invariant; bench_util.h rejects the combination at parse time).
+ *
+ * This rung lives in src/analyze (not src/uarch) because ch_analyze
+ * already links ch_uarch; makeCoreModel() therefore cannot construct
+ * it — use simulateAnalytic().
+ */
+
+#include <cstdint>
+#include <vector>
+
+#include "analyze/analyze.h"
+#include "mem/program.h"
+#include "uarch/config.h"
+#include "uarch/core_model.h"
+
+namespace ch::analyze {
+
+/** The analytic rung: counts per-loop dynamic instructions, predicts
+ *  cycles from the static per-loop IPC table. */
+class AnalyticModel : public CoreModel
+{
+  public:
+    AnalyticModel(const Program& prog, const MachineConfig& cfg);
+
+    void onInst(const DynInst& di) override;
+
+    /** Warming is counting: the model has no other state. */
+    void warmInst(const DynInst& di) override { onInst(di); }
+
+    uint64_t finish() override;
+
+    uint64_t cycles() const override { return cycles_; }
+    uint64_t instCount() const override { return insts_; }
+    const StatGroup& stats() const override { return stats_; }
+    StatGroup& stats() override { return stats_; }
+
+    /** The analytic rung attributes no stall cycles. */
+    uint64_t stallCycles(StallCat) const override { return 0; }
+
+    /** The underlying static analysis (same report chanalyze prints). */
+    const ProgramReport& report() const { return report_; }
+
+  private:
+    StatGroup stats_;
+    ProgramReport report_;
+
+    uint64_t textBase_;
+    double width_;             ///< sustained width for out-of-loop code
+    std::vector<int> loopOf_;  ///< static inst index -> deepest loop
+    std::vector<double> ipc_;  ///< per-loop predicted IPC (clamped > 0)
+
+    std::vector<uint64_t> loopDyn_;  ///< committed insts per loop
+    uint64_t otherDyn_ = 0;          ///< committed insts outside loops
+    uint64_t insts_ = 0;
+    uint64_t cycles_ = 0;
+};
+
+/**
+ * Time @p prog's committed stream with the analytic rung: replays
+ * @p trace when given, otherwise runs the functional emulator up to
+ * @p maxInsts. The drivers' analytic dispatch point (runner/runner.cc).
+ */
+SimResult simulateAnalytic(const Program& prog, const MachineConfig& cfg,
+                           const TraceBuffer* trace,
+                           uint64_t maxInsts = ~0ull);
+
+} // namespace ch::analyze
+
+#endif // CH_ANALYZE_ANALYTIC_MODEL_H

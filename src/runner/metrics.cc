@@ -81,6 +81,13 @@ writeMetricsJson(std::ostream& os, const MetricsOptions& opt,
         if (r.spec.maxInsts != ~0ull)
             os << "      \"max_insts\": " << r.spec.maxInsts << ",\n";
         os << "      \"seed\": " << r.spec.seed << ",\n";
+        // Non-default fidelity rungs are distinguishable in the schema;
+        // the field is absent on the detailed default, so detailed-only
+        // output stays byte-identical (docs/FIDELITY.md).
+        if (r.spec.cfg.coreModel != CoreModelKind::Detailed) {
+            os << "      \"core_model\": \""
+               << coreModelName(r.spec.cfg.coreModel) << "\",\n";
+        }
         // Sampled runs are distinguishable in the schema: the block is
         // only present when sampling was enabled for the job, so
         // sampling-off output stays byte-identical.
@@ -169,6 +176,10 @@ writeMetricsCsv(std::ostream& os, const MetricsOptions& opt,
                << ',' << (r.ok ? 1 : 0) << ',' << kind << ','
                << csvField(metric) << ',' << value << '\n';
         };
+        if (r.spec.cfg.coreModel != CoreModelKind::Detailed) {
+            row("config", "core_model",
+                coreModelName(r.spec.cfg.coreModel));
+        }
         if (r.spec.cfg.sampling.enabled()) {
             const SamplingConfig& sc = r.spec.cfg.sampling;
             row("sampling", "interval_insts",

@@ -9,6 +9,7 @@
 #include <mutex>
 #include <thread>
 
+#include "analyze/analytic_model.h"
 #include "common/logging.h"
 #include "isa/isa.h"
 #include "uarch/sampling.h"
@@ -49,7 +50,16 @@ simJob(const JobContext& ctx)
                    : nullptr;
     const SamplingConfig& sc = ctx.spec.cfg.sampling;
     SimResult r;
-    if (sc.enabled()) {
+    if (ctx.spec.cfg.coreModel == CoreModelKind::Analytic) {
+        // The analytic rung predicts from the static program; it has no
+        // stall accounting, so sampling it is undefined (rejected at
+        // option-parse time by bench_util.h).
+        CH_ASSERT(!sc.enabled(),
+                  "sampling needs a trace-driven core model: ",
+                  ctx.spec.id);
+        r = analyze::simulateAnalytic(*ctx.program, ctx.spec.cfg, trace,
+                                      ctx.spec.maxInsts);
+    } else if (sc.enabled()) {
         r = trace ? simulateSampled(*trace, ctx.spec.isa, ctx.spec.cfg,
                                     sc)
                   : simulateSampled(*ctx.program, ctx.spec.cfg, sc,
@@ -168,6 +178,9 @@ SweepRunner::addSim(JobSpec spec)
     }
     if (opt_.sampling.enabled() && !spec.cfg.sampling.enabled())
         spec.cfg.sampling = opt_.sampling;
+    if (opt_.coreModel != CoreModelKind::Detailed &&
+        spec.cfg.coreModel == CoreModelKind::Detailed)
+        spec.cfg.coreModel = opt_.coreModel;
     JobFn body = simJob;
     if (opt_.verifyStats) {
         body = [](const JobContext& ctx) {

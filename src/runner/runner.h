@@ -68,6 +68,16 @@ struct RunnerOptions {
     SamplingConfig sampling;
 
     /**
+     * Fidelity-ladder rung applied to every addSim() job whose config
+     * keeps the detailed default (docs/FIDELITY.md): detailed (the
+     * reference), fast (in-order + cache/branch penalties), or analytic
+     * (zero-execution per-loop prediction). Detailed by default — when
+     * left alone the metrics files stay byte-identical to earlier
+     * binaries, and no core_model field/row is emitted.
+     */
+    CoreModelKind coreModel = CoreModelKind::Detailed;
+
+    /**
      * Attach the static verifier's dead-write/pressure statistics
      * (docs/VERIFIER.md) to every addSim() job as verify.* counters:
      * verify.deadWrites plus verify.pressure.<group>.{writes,reads,dead}

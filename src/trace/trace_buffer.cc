@@ -5,33 +5,17 @@
 
 namespace ch {
 
+using namespace tracedetail;
+
 namespace {
 
 static_assert(kNumOps <= 256, "op must fit the one-byte trace encoding");
-
-// Per-record flags byte: which optional fields follow the op byte.
-enum : uint8_t {
-    kFlagTaken = 1u << 0,    ///< di.taken
-    kFlagImm = 1u << 1,      ///< zigzag imm follows
-    kFlagMem = 1u << 2,      ///< memAddr zigzag-delta + memValue follow
-    kFlagProd1 = 1u << 3,    ///< seq - prod1 follows
-    kFlagProd2 = 1u << 4,    ///< seq - prod2 follows
-    kFlagNextPc = 1u << 5,   ///< nextPc != pc + 4; zigzag delta follows
-    kFlagPc = 1u << 6,       ///< pc != previous nextPc; zigzag delta follows
-    kFlagOps = 1u << 7,      ///< packed dst/src1/src2/hands word follows
-};
 
 uint64_t
 zigzag(int64_t v)
 {
     return (static_cast<uint64_t>(v) << 1) ^
            static_cast<uint64_t>(v >> 63);
-}
-
-int64_t
-unzigzag(uint64_t v)
-{
-    return static_cast<int64_t>((v >> 1) ^ (~(v & 1) + 1));
 }
 
 void
@@ -42,18 +26,6 @@ putVarint(std::vector<uint8_t>& out, uint64_t v)
         v >>= 7;
     }
     out.push_back(static_cast<uint8_t>(v));
-}
-
-uint64_t
-getVarint(const uint8_t*& p)
-{
-    uint64_t v = 0;
-    for (unsigned shift = 0;; shift += 7) {
-        const uint8_t b = *p++;
-        v |= static_cast<uint64_t>(b & 0x7f) << shift;
-        if (!(b & 0x80))
-            return v;
-    }
 }
 
 } // namespace
@@ -127,48 +99,7 @@ TraceBuffer::append(const DynInst& di)
 void
 TraceBuffer::replay(TraceSink& sink) const
 {
-    CH_ASSERT(!overLimit_, "replaying a truncated trace");
-    const uint8_t* p = bytes_.data();
-    uint64_t predPc = 0;
-    uint64_t lastMemAddr = 0;
-    for (uint64_t i = 0; i < count_; ++i) {
-        const uint8_t flags = *p++;
-        DynInst di;
-        di.seq = firstSeq_ + i;
-        di.op = static_cast<Op>(*p++);
-        di.pc = predPc;
-        if (flags & kFlagPc)
-            di.pc += static_cast<uint64_t>(unzigzag(getVarint(p)));
-        if (flags & kFlagOps) {
-            const auto ops = static_cast<uint32_t>(getVarint(p));
-            di.dst = static_cast<uint8_t>(ops);
-            di.src1 = static_cast<uint8_t>(ops >> 8);
-            di.src2 = static_cast<uint8_t>(ops >> 16);
-            di.src1Hand = static_cast<uint8_t>((ops >> 24) & 3);
-            di.src2Hand = static_cast<uint8_t>((ops >> 26) & 3);
-        }
-        if (flags & kFlagImm)
-            di.imm = unzigzag(getVarint(p));
-        if (flags & kFlagProd1)
-            di.prod1 = di.seq - getVarint(p);
-        if (flags & kFlagProd2)
-            di.prod2 = di.seq - getVarint(p);
-        if (flags & kFlagMem) {
-            di.memAddr = lastMemAddr +
-                         static_cast<uint64_t>(unzigzag(getVarint(p)));
-            di.memValue = getVarint(p);
-            lastMemAddr = di.memAddr;
-        }
-        di.nextPc = di.pc + 4;
-        if (flags & kFlagNextPc)
-            di.nextPc += static_cast<uint64_t>(unzigzag(getVarint(p)));
-        di.taken = (flags & kFlagTaken) != 0;
-
-        predPc = di.nextPc;
-        sink.onInst(di);
-    }
-    CH_ASSERT(p == bytes_.data() + bytes_.size(),
-              "trace decode did not consume the full buffer");
+    replayTo(sink);
 }
 
 } // namespace ch

@@ -16,10 +16,22 @@ Tage::Tage()
         t.assign(1 << kIdxBits, Entry{});
 }
 
+uint64_t
+Tage::fold9(int table) const
+{
+    static_assert(kIdxBits == kTagBits,
+                  "index and tag share one folded value per table");
+    if (!(foldValid_ & (1u << table))) {
+        foldCache_[table] = history_.fold(histLen_[table], kIdxBits);
+        foldValid_ |= static_cast<uint8_t>(1u << table);
+    }
+    return foldCache_[table];
+}
+
 int
 Tage::index(uint64_t pc, int table) const
 {
-    const uint64_t folded = history_.fold(histLen_[table], kIdxBits);
+    const uint64_t folded = fold9(table);
     return static_cast<int>(
         ((pc >> 2) ^ (pc >> (kIdxBits + 2)) ^ folded ^
          static_cast<uint64_t>(table) * 0x9e3779b9u) &
@@ -29,7 +41,7 @@ Tage::index(uint64_t pc, int table) const
 uint16_t
 Tage::tag(uint64_t pc, int table) const
 {
-    const uint64_t folded = history_.fold(histLen_[table], kTagBits);
+    const uint64_t folded = fold9(table);
     return static_cast<uint16_t>(
         ((pc >> 2) ^ (pc >> (kTagBits + 2)) ^ (folded << 1) ^
          static_cast<uint64_t>(table) * 0x45d9f3bu) &
@@ -69,6 +81,12 @@ Tage::predict(uint64_t pc)
 
 void
 Tage::update(uint64_t pc, bool taken)
+{
+    observe(pc, taken);
+}
+
+bool
+Tage::observe(uint64_t pc, bool taken)
 {
     Lookup lk = look(pc);
     const int baseIdx =
@@ -119,6 +137,8 @@ Tage::update(uint64_t pc, bool taken)
     }
 
     history_.push(taken);
+    foldValid_ = 0;
+    return lk.pred;
 }
 
 // ---------------------------------------------------------------------
@@ -126,7 +146,12 @@ Tage::update(uint64_t pc, bool taken)
 // ---------------------------------------------------------------------
 
 Btb::Btb(int entries, int ways)
-    : sets_(entries / ways), ways_(ways), entries_(entries)
+    : sets_(entries / ways),
+      ways_(ways),
+      setMask_((sets_ & (sets_ - 1)) == 0
+                   ? static_cast<uint64_t>(sets_ - 1)
+                   : 0),
+      entries_(entries)
 {
     // Unique LRU ranks per set (0 = MRU .. ways-1 = LRU victim).
     for (int set = 0; set < sets_; ++set) {
@@ -136,18 +161,29 @@ Btb::Btb(int entries, int ways)
     }
 }
 
+// Same set for either path; the mask just avoids a hardware divide on
+// the (universal in practice) power-of-two geometry.
+int
+Btb::set(uint64_t pc) const
+{
+    return setMask_ ? static_cast<int>((pc >> 2) & setMask_)
+                    : static_cast<int>((pc >> 2) % sets_);
+}
+
 uint64_t
 Btb::lookup(uint64_t pc)
 {
-    const int set = static_cast<int>((pc >> 2) % sets_);
-    Entry* base = &entries_[static_cast<size_t>(set) * ways_];
+    Entry* base = &entries_[static_cast<size_t>(set(pc)) * ways_];
     for (int w = 0; w < ways_; ++w) {
         if (base[w].tag == pc) {
-            for (int x = 0; x < ways_; ++x) {
-                if (base[x].lru < base[w].lru)
-                    ++base[x].lru;
+            // Already-MRU hits make the rank loop a no-op; skip it.
+            if (base[w].lru != 0) {
+                for (int x = 0; x < ways_; ++x) {
+                    if (base[x].lru < base[w].lru)
+                        ++base[x].lru;
+                }
+                base[w].lru = 0;
             }
-            base[w].lru = 0;
             return base[w].target;
         }
     }
@@ -157,8 +193,7 @@ Btb::lookup(uint64_t pc)
 void
 Btb::insert(uint64_t pc, uint64_t target)
 {
-    const int set = static_cast<int>((pc >> 2) % sets_);
-    Entry* base = &entries_[static_cast<size_t>(set) * ways_];
+    Entry* base = &entries_[static_cast<size_t>(set(pc)) * ways_];
     Entry* victim = &base[0];
     for (int w = 0; w < ways_; ++w) {
         if (base[w].tag == pc) {

@@ -69,6 +69,15 @@ class Tage
     /** Update with the architectural outcome, then advance history. */
     void update(uint64_t pc, bool taken);
 
+    /**
+     * predict() + update() fused into a single table walk; returns what
+     * predict() would have. Equivalent to the pair whenever nothing
+     * observes another branch in between (the tables are only read and
+     * written through these entry points), at half the lookup cost —
+     * the fast rung's per-branch path uses this.
+     */
+    bool observe(uint64_t pc, bool taken);
+
   private:
     static constexpr int kTables = 7;     ///< tagged tables (+1 base)
     static constexpr int kBaseBits = 12;  ///< 4K-entry bimodal base
@@ -84,6 +93,15 @@ class Tage
     int index(uint64_t pc, int table) const;
     uint16_t tag(uint64_t pc, int table) const;
 
+    /**
+     * history_.fold(histLen_[table], 9), memoized until the next
+     * history push. index() and tag() hash the same folded value
+     * (kIdxBits == kTagBits), and one predict-update round folds per
+     * table several times over — the memo makes each fold happen once
+     * per branch with bit-identical results.
+     */
+    uint64_t fold9(int table) const;
+
     // Prediction bookkeeping between predict() and update().
     struct Lookup {
         int provider = -1;   ///< -1 = base
@@ -98,6 +116,8 @@ class Tage
     std::array<int, kTables> histLen_;
     GlobalHistory history_;
     uint64_t rng_ = 0x853c49e6748fea9bull;
+    mutable std::array<uint64_t, kTables> foldCache_{};
+    mutable uint8_t foldValid_ = 0;   ///< per-table bit; cleared on push
 };
 
 /** Set-associative branch target buffer. */
@@ -118,8 +138,11 @@ class Btb
         uint8_t lru = 0;
     };
 
+    int set(uint64_t pc) const;
+
     int sets_;
     int ways_;
+    uint64_t setMask_;   ///< sets_ - 1 when sets_ is a power of two, else 0
     std::vector<Entry> entries_;
 };
 

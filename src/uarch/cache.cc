@@ -12,15 +12,21 @@ namespace ch {
 Cache::Cache(int sizeKiB, int ways, int lineBytes)
     : ways_(ways), lineShift_(static_cast<int>(floorLog2(lineBytes)))
 {
+    CH_ASSERT(ways <= static_cast<int>(kLruMask),
+              "way count exceeds the packed LRU field");
     const int64_t lines = int64_t{sizeKiB} * 1024 / lineBytes;
     sets_ = static_cast<int>(lines / ways);
     CH_ASSERT(sets_ > 0 && isPowerOf2(static_cast<uint64_t>(sets_)),
               "cache sets must be a power of two");
     lines_.assign(static_cast<size_t>(sets_) * ways_, Line{});
-    // Unique LRU ranks per set (0 = MRU .. ways-1 = LRU victim).
+    // Unique LRU ranks per set (0 = MRU .. ways-1 = LRU victim); the
+    // reset tag (all ones) is kept so empty ways never match.
     for (int set = 0; set < sets_; ++set) {
-        for (int w = 0; w < ways_; ++w)
-            lines_[static_cast<size_t>(set) * ways_ + w].lru = w;
+        for (int w = 0; w < ways_; ++w) {
+            Line& line = lines_[static_cast<size_t>(set) * ways_ + w];
+            line.word = (line.word & ~kLruMask) |
+                        static_cast<uint64_t>(w);
+        }
     }
 }
 
@@ -38,15 +44,22 @@ Cache::access(uint64_t addr)
 {
     int set;
     const size_t base = lineIndex(addr, &set);
-    const uint64_t tag = addr >> lineShift_;
+    const uint64_t want = (addr >> lineShift_) << kLruBits;
     for (int w = 0; w < ways_; ++w) {
         Line& line = lines_[base + w];
-        if (line.tag == tag) {
-            for (int x = 0; x < ways_; ++x) {
-                if (lines_[base + x].lru < line.lru)
-                    ++lines_[base + x].lru;
+        if (((line.word ^ want) & ~kLruMask) == 0) {
+            // Already-MRU hits (the common case) make the rank loop a
+            // no-op; skip it.
+            const uint64_t lru = line.word & kLruMask;
+            if (lru != 0) {
+                // An lru increment is word + 1: the rank stays below
+                // ways_, so it never carries into the tag bits.
+                for (int x = 0; x < ways_; ++x) {
+                    if ((lines_[base + x].word & kLruMask) < lru)
+                        ++lines_[base + x].word;
+                }
+                line.word = want;
             }
-            line.lru = 0;
             return true;
         }
     }
@@ -59,21 +72,21 @@ Cache::fill(uint64_t addr)
 {
     int set;
     const size_t base = lineIndex(addr, &set);
-    const uint64_t tag = addr >> lineShift_;
+    const uint64_t want = (addr >> lineShift_) << kLruBits;
     Line* victim = &lines_[base];
     for (int w = 0; w < ways_; ++w) {
         Line& line = lines_[base + w];
-        if (line.tag == tag)
+        if (((line.word ^ want) & ~kLruMask) == 0)
             return false;  // already present
-        if (line.lru >= victim->lru)
+        if ((line.word & kLruMask) >= (victim->word & kLruMask))
             victim = &line;
     }
+    const uint64_t lru = victim->word & kLruMask;
     for (int x = 0; x < ways_; ++x) {
-        if (lines_[base + x].lru < victim->lru)
-            ++lines_[base + x].lru;
+        if ((lines_[base + x].word & kLruMask) < lru)
+            ++lines_[base + x].word;
     }
-    victim->tag = tag;
-    victim->lru = 0;
+    victim->word = want;
     return true;
 }
 
@@ -82,9 +95,9 @@ Cache::probe(uint64_t addr) const
 {
     int set;
     const size_t base = lineIndex(addr, &set);
-    const uint64_t tag = addr >> lineShift_;
+    const uint64_t want = (addr >> lineShift_) << kLruBits;
     for (int w = 0; w < ways_; ++w) {
-        if (lines_[base + w].tag == tag)
+        if (((lines_[base + w].word ^ want) & ~kLruMask) == 0)
             return true;
     }
     return false;

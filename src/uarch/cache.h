@@ -33,10 +33,19 @@ class Cache
     bool probe(uint64_t addr) const;
 
   private:
+    /**
+     * (tag << kLruBits) | lru packed in one word, so an 8-way set spans
+     * a single host cache line (16-way: two) instead of two (four) —
+     * the tag arrays of a large modeled L2 far exceed the host L1, and
+     * the way scan is the hot loop of every model access. The all-ones
+     * reset word decodes to a tag no real address reaches.
+     */
     struct Line {
-        uint64_t tag = ~0ull;
-        uint32_t lru = 0;
+        uint64_t word = ~0ull;
     };
+
+    static constexpr int kLruBits = 5;   ///< ways <= 32
+    static constexpr uint64_t kLruMask = (1u << kLruBits) - 1;
 
     size_t lineIndex(uint64_t addr, int* setOut) const;
 

@@ -4,6 +4,31 @@
 
 namespace ch {
 
+const char*
+coreModelName(CoreModelKind kind)
+{
+    switch (kind) {
+      case CoreModelKind::Detailed: return "detailed";
+      case CoreModelKind::Fast: return "fast";
+      case CoreModelKind::Analytic: return "analytic";
+    }
+    return "unknown";
+}
+
+bool
+parseCoreModel(const std::string& text, CoreModelKind* out)
+{
+    if (text == "detailed")
+        *out = CoreModelKind::Detailed;
+    else if (text == "fast")
+        *out = CoreModelKind::Fast;
+    else if (text == "analytic")
+        *out = CoreModelKind::Analytic;
+    else
+        return false;
+    return true;
+}
+
 MachineConfig
 MachineConfig::preset(int fetchWidth)
 {

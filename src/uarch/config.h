@@ -57,6 +57,24 @@ struct SamplingConfig {
     }
 };
 
+/**
+ * Fidelity-ladder rung (docs/FIDELITY.md): which timing model consumes
+ * the committed stream. Detailed is the default and the reference; the
+ * cheaper rungs trade accuracy for throughput and are cross-validated
+ * against it on every PR (bench/fig_fidelity_ladder.cc).
+ */
+enum class CoreModelKind {
+    Detailed,  ///< cycle-level out-of-order CycleSim (uarch/core.h)
+    Fast,      ///< in-order FastSim: cache + branch penalties (fastsim.h)
+    Analytic,  ///< zero-execution per-loop predictor (analyze/)
+};
+
+/** Canonical name ("detailed" / "fast" / "analytic"). */
+const char* coreModelName(CoreModelKind kind);
+
+/** Parse a canonical name; returns false on anything else. */
+bool parseCoreModel(const std::string& text, CoreModelKind* out);
+
 /** Per-class functional-unit counts. */
 struct FuCounts {
     int intAlu = 4;
@@ -173,6 +191,14 @@ struct MachineConfig {
      * to simulateSampled() when sampling.enabled().
      */
     SamplingConfig sampling;
+
+    /**
+     * Fidelity-ladder rung timing this machine (docs/FIDELITY.md).
+     * Detailed by default — selecting another rung is always an explicit
+     * opt-in, and the detailed path's metrics stay byte-identical when
+     * this field is left alone.
+     */
+    CoreModelKind coreModel = CoreModelKind::Detailed;
 
     /** Table 2 preset by fetch width (4, 6, 8, 12, 16). */
     static MachineConfig preset(int fetchWidth);

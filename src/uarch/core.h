@@ -41,6 +41,7 @@
 #include "uarch/branch_pred.h"
 #include "uarch/cache.h"
 #include "uarch/config.h"
+#include "uarch/core_model.h"
 #include "uarch/stall_account.h"
 #include "uarch/storeset.h"
 
@@ -116,8 +117,9 @@ struct MonoQueue {
     std::deque<uint64_t> data;
 };
 
-/** The core model; feed it the committed stream, then call finish(). */
-class CycleSim : public TraceSink
+/** The detailed core model (the fidelity ladder's reference rung);
+ *  feed it the committed stream, then call finish(). */
+class CycleSim : public CoreModel
 {
   public:
     CycleSim(const MachineConfig& cfg, Isa isa);
@@ -133,7 +135,7 @@ class CycleSim : public TraceSink
      * except in the predictor/cache contents the next measured interval
      * starts from.
      */
-    void warmInst(const DynInst& di);
+    void warmInst(const DynInst& di) override;
 
     /**
      * Warming→detailed boundary: forget the fetch-line filters so the
@@ -141,19 +143,25 @@ class CycleSim : public TraceSink
      * instead of riding a line touched megacycles earlier.
      */
     void
-    beginDetailedSegment()
+    beginDetailedSegment() override
     {
         lastFetchLine_ = ~0ull;
         warmFetchLine_ = ~0ull;
     }
 
     /** Complete the run; returns total cycles (last commit). */
-    uint64_t finish();
+    uint64_t finish() override;
 
-    uint64_t cycles() const { return lastCommit_; }
-    uint64_t instCount() const { return seq_; }
-    const StatGroup& stats() const { return stats_; }
-    StatGroup& stats() { return stats_; }
+    uint64_t cycles() const override { return lastCommit_; }
+    uint64_t instCount() const override { return seq_; }
+    const StatGroup& stats() const override { return stats_; }
+    StatGroup& stats() override { return stats_; }
+
+    uint64_t
+    stallCycles(StallCat cat) const override
+    {
+        return stalls_.category(cat);
+    }
 
     /**
      * Attach a (non-owned) stage-schedule observer (Kanata tracer,
@@ -161,7 +169,10 @@ class CycleSim : public TraceSink
      * computed timestamps — attaching one never changes cycles or any
      * deterministic statistic.
      */
-    void setPipeObserver(PipeObserver* observer) { tracer_ = observer; }
+    void setPipeObserver(PipeObserver* observer) override
+    {
+        tracer_ = observer;
+    }
 
     /** Back-compat alias for setPipeObserver(). */
     void setPipeTracer(PipeObserver* tracer) { tracer_ = tracer; }

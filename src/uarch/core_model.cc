@@ -1,0 +1,50 @@
+#include "uarch/core_model.h"
+
+#include "common/logging.h"
+#include "uarch/core.h"
+#include "uarch/fastsim.h"
+
+namespace ch {
+
+SimResult
+CoreModel::replayResult(const TraceBuffer& trace)
+{
+    consumeTrace(trace);
+    finish();
+    return packageResult(trace.exited(), trace.exitCode());
+}
+
+void
+CoreModel::consumeTrace(const TraceBuffer& trace)
+{
+    trace.replay(*this);
+}
+
+SimResult
+CoreModel::packageResult(bool exited, int64_t exitCode)
+{
+    SimResult res;
+    res.cycles = cycles();
+    res.insts = instCount();
+    res.exited = exited;
+    res.exitCode = exitCode;
+    res.stats = stats();
+    return res;
+}
+
+std::unique_ptr<CoreModel>
+makeCoreModel(const MachineConfig& cfg, Isa isa)
+{
+    switch (cfg.coreModel) {
+      case CoreModelKind::Detailed:
+        return std::make_unique<CycleSim>(cfg, isa);
+      case CoreModelKind::Fast:
+        return std::make_unique<FastSim>(cfg, isa);
+      case CoreModelKind::Analytic:
+        fatal("the analytic rung predicts from the static program, not "
+              "the trace; use simulateAnalytic()");
+    }
+    fatal("unknown core model kind");
+}
+
+} // namespace ch

@@ -1,0 +1,158 @@
+#ifndef CH_UARCH_CORE_MODEL_H
+#define CH_UARCH_CORE_MODEL_H
+
+/**
+ * @file
+ * The fidelity-ladder interface (docs/FIDELITY.md): every timing model
+ * consumes the committed-trace stream (TraceBuffer::replay / TraceSink)
+ * and reports cycles, instruction counts and counters through one
+ * virtual surface, so drivers — simulate(), simulateReplay(),
+ * simulateSampled(), the sweep runner — are model-agnostic.
+ *
+ * Three rungs implement it:
+ *
+ *  - CycleSim (uarch/core.h): the detailed out-of-order reference,
+ *  - FastSim (uarch/fastsim.h): in-order front end/commit with cache and
+ *    branch-misprediction penalties, ~5-10x the replay throughput,
+ *  - AnalyticModel (analyze/analytic_model.h): zero-execution per-loop
+ *    throughput prediction (needs the Program, so it is constructed via
+ *    simulateAnalytic() rather than makeCoreModel()).
+ *
+ * The rung is selected by MachineConfig::coreModel
+ * (--core-model={detailed,fast,analytic} on every bench binary).
+ */
+
+#include <cstdint>
+#include <memory>
+
+#include "common/stats.h"
+#include "trace/trace_buffer.h"
+#include "uarch/config.h"
+#include "uarch/stall_account.h"
+
+namespace ch {
+
+class PipeObserver;
+
+/**
+ * Per-run sampling estimate (docs/PERFORMANCE.md, "Sampled simulation").
+ * Populated only by simulateSampled(); the IPC estimate is the mean of
+ * the per-interval measured-window IPCs with a CLT-based 95% confidence
+ * interval (stderr = sd/sqrt(n), ci95 = 1.96 * stderr).
+ */
+struct SampleSummary {
+    uint64_t intervals = 0;      ///< measured windows that completed
+    uint64_t measuredInsts = 0;  ///< instructions timed and measured
+    uint64_t warmupInsts = 0;    ///< instructions timed but unmeasured
+    uint64_t warmedInsts = 0;    ///< instructions functionally warmed
+    double ipcMean = 0.0;
+    double ipcStderr = 0.0;
+    double ipcCi95 = 0.0;
+
+    /** Half-width of the 95% CI relative to the mean (0 when n < 2). */
+    double
+    relErr() const
+    {
+        return ipcMean > 0.0 ? ipcCi95 / ipcMean : 0.0;
+    }
+};
+
+/** Outcome of one timed run. */
+struct SimResult {
+    uint64_t cycles = 0;
+    uint64_t insts = 0;
+    bool exited = false;
+    int64_t exitCode = 0;
+    StatGroup stats;
+
+    /** True when this result came from simulateSampled() with sampling
+     *  actually engaged; cycles is then an estimate, not a count. */
+    bool sampled = false;
+    SampleSummary sample;
+
+    double
+    ipc() const
+    {
+        if (sampled)
+            return sample.ipcMean;
+        return cycles == 0 ? 0.0
+                           : static_cast<double>(insts) / cycles;
+    }
+};
+
+/**
+ * One rung of the fidelity ladder: a timing model over the committed
+ * stream. Feed instructions through onInst() (or warmInst() for
+ * functional-warming-only updates), then call finish() exactly once.
+ */
+class CoreModel : public TraceSink
+{
+  public:
+    ~CoreModel() override = default;
+
+    /**
+     * Update only long-lived microarchitectural state (cache tags,
+     * predictors) for one skipped instruction — no timing, no counters.
+     * Rungs whose timing is cheap enough may warm by fully timing the
+     * instruction instead ("functional+timing warming"; FastSim does).
+     */
+    virtual void warmInst(const DynInst& di) = 0;
+
+    /**
+     * Warming→detailed boundary (sampled simulation): forget any
+     * fetch-line filters so the first fetch of a detailed segment
+     * performs a real I-cache access.
+     */
+    virtual void beginDetailedSegment() {}
+
+    /** Complete the run; returns total cycles. Call exactly once. */
+    virtual uint64_t finish() = 0;
+
+    virtual uint64_t cycles() const = 0;
+    virtual uint64_t instCount() const = 0;
+    virtual const StatGroup& stats() const = 0;
+    virtual StatGroup& stats() = 0;
+
+    /** Cycles attributed to @p cat so far (sum over cats == cycles()). */
+    virtual uint64_t stallCycles(StallCat cat) const = 0;
+
+    /**
+     * Attach a (non-owned) stage-schedule observer; nullptr detaches.
+     * Only the detailed rung emits stage schedules — the default ignores
+     * the observer (drivers reject pipe tracing on other rungs).
+     */
+    virtual void setPipeObserver(PipeObserver* observer) { (void)observer; }
+
+    /**
+     * Drain @p trace through this model and package the outcome — the
+     * shared replay boilerplate (replay + finish + result assembly) every
+     * rung would otherwise duplicate. Routes the drain through
+     * consumeTrace() so a rung can substitute a devirtualized decode
+     * loop.
+     */
+    SimResult replayResult(const TraceBuffer& trace);
+
+    /**
+     * Drain @p trace through onInst(); the default decodes through the
+     * generic TraceSink path. A `final` rung may override with
+     * trace.replayTo(*this) to fuse the decode loop with its onInst —
+     * same DynInst sequence, no per-instruction virtual hop (FastSim
+     * does; worth ~25% of its replay time).
+     */
+    virtual void consumeTrace(const TraceBuffer& trace);
+
+    /** Assemble a SimResult from this model's state after finish(). */
+    SimResult packageResult(bool exited, int64_t exitCode);
+};
+
+/**
+ * Construct the selected trace-driven rung. The analytic rung predicts
+ * from the static program, not the trace, so it has no trace-driven
+ * construction — requesting it here is fatal; use simulateAnalytic()
+ * (analyze/analytic_model.h).
+ */
+std::unique_ptr<CoreModel> makeCoreModel(const MachineConfig& cfg, Isa isa);
+
+} // namespace ch
+
+#endif // CH_UARCH_CORE_MODEL_H

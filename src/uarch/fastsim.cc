@@ -1,0 +1,337 @@
+#include "uarch/fastsim.h"
+
+#include <algorithm>
+
+#include "common/bitutil.h"
+#include "common/logging.h"
+
+namespace ch {
+
+namespace {
+
+/** Smallest power of two >= n. */
+size_t
+pow2At(size_t n)
+{
+    size_t p = 1;
+    while (p < n)
+        p <<= 1;
+    return p;
+}
+
+/** Issue-arbitration window (cycles). The live span of issue cycles is
+ *  bounded by the producer-ring depth plus a few miss latencies, so a
+ *  16K-cycle window behaves identically to the detailed model's 128K
+ *  default while staying cache-resident. */
+constexpr int kIssueWindowLog2 = 12;
+
+} // namespace
+
+FastSim::FastSim(const MachineConfig& cfg, Isa isa)
+    : cfg_(cfg),
+      frontendDepth_(cfg.frontendDepth(isa)),
+      lineShift_(static_cast<int>(floorLog2(cfg.lineBytes))),
+      btb_(cfg.btbEntries, cfg.btbWays),
+      ras_(cfg.rasEntries),
+      mem_(cfg_, &stats_),
+      readyForUse_(pow2At(cfg.robSize * 2)),
+      commit_(pow2At(cfg.robSize * 2)),
+      issueRing_(1ull << kIssueWindowLog2),
+      issueMask_((1ull << kIssueWindowLog2) - 1)
+{
+    for (size_t i = 0; i < fuCost_.size(); ++i) {
+        const OpClass cls = static_cast<OpClass>(i);
+        const int limit = fuPoolLimit(cls);
+        const int lat = fuLatency(cls);
+        CH_ASSERT(limit <= 255 && lat <= 255,
+                  "FU table entry out of byte range");
+        fuCost_[i].pool = static_cast<uint8_t>(fuPoolId(cls));
+        fuCost_[i].limit = static_cast<uint8_t>(limit);
+        fuCost_[i].latency = static_cast<uint8_t>(lat);
+    }
+}
+
+// The latency/pool tables mirror CycleSim's exactly: the rungs must
+// disagree only through what FastSim drops, never through different
+// machine parameters.
+
+int
+FastSim::fuLatency(OpClass cls) const
+{
+    switch (cls) {
+      case OpClass::IntAlu: return cfg_.latIntAlu;
+      case OpClass::Move: return cfg_.latMove;
+      case OpClass::Nop: return cfg_.latMove;
+      case OpClass::Syscall: return cfg_.latIntAlu;
+      case OpClass::IntMul: return cfg_.latIntMul;
+      case OpClass::IntDiv: return cfg_.latIntDiv;
+      case OpClass::FpAlu: return cfg_.latFpAlu;
+      case OpClass::FpDiv: return cfg_.latFpDiv;
+      case OpClass::CondBr:
+      case OpClass::Jump:
+      case OpClass::Call:
+      case OpClass::Ret: return cfg_.latBranch;
+      case OpClass::Store: return cfg_.latStoreAgu;
+      case OpClass::Load: return 1;  // AGU; cache latency added separately
+    }
+    return 1;
+}
+
+int
+FastSim::fuPoolId(OpClass cls) const
+{
+    switch (cls) {
+      case OpClass::IntMul: return 1;
+      case OpClass::IntDiv: return 2;
+      case OpClass::FpAlu: return 3;
+      case OpClass::FpDiv: return 4;
+      case OpClass::Load: return 5;
+      case OpClass::Store: return 6;
+      default: return 0;  // integer ALU pool (incl. branches, moves)
+    }
+}
+
+int
+FastSim::fuPoolLimit(OpClass cls) const
+{
+    switch (fuPoolId(cls)) {
+      case 1: return cfg_.fu.iMul;
+      case 2: return cfg_.fu.iDiv;
+      case 3: return cfg_.fu.fp;
+      case 4: return cfg_.fu.fDiv;
+      case 5: return cfg_.fu.load;
+      case 6: return cfg_.fu.store;
+      default: return cfg_.fu.intAlu;
+    }
+}
+
+uint64_t
+FastSim::arbitrate(int pool, int limit, uint64_t from)
+{
+    PoolSkip& skip = poolSkip_[pool];
+    uint64_t c = from;
+    if (c >= skip.from && c < skip.to)
+        c = skip.to;   // proven full for this pool; see PoolSkip
+    const uint64_t scanFrom = c;
+    for (;; ++c) {
+        IssueSlot& s = issueRing_[c & issueMask_];
+        if (s.cycle != c) {
+            s = IssueSlot();
+            s.cycle = c;
+        } else if (static_cast<int>(s.total) >= cfg_.issueWidth ||
+                   static_cast<int>(s.pool[pool]) >= limit) {
+            continue;
+        }
+        ++s.total;
+        ++s.pool[pool];
+        // [scanFrom, c) is now proven full for this pool; extend the
+        // memo when contiguous with it, else restart it there.
+        if (scanFrom == skip.to)
+            skip.to = c;
+        else if (c > scanFrom) {
+            skip.from = scanFrom;
+            skip.to = c;
+        }
+        return c;
+    }
+}
+
+void
+FastSim::handleBranch(const DynInst& di, const OpInfo& info,
+                      uint64_t resolveCycle)
+{
+    bool mispredict = false;
+
+    switch (info.brKind) {
+      case BrKind::Cond: {
+        ++hot(cBranchConds_, "branch.conds");
+        const bool pred = tage_.observe(di.pc, di.taken);
+        if (pred != di.taken) {
+            mispredict = true;
+            ++hot(cBranchMispredicts_, "branch.mispredicts");
+        } else if (di.taken && btb_.lookup(di.pc) != di.nextPc) {
+            btb_.insert(di.pc, di.nextPc);
+            ++hot(cBranchBtbMisses_, "branch.btbMisses");
+            redirectAt_ = std::max(redirectAt_, fetchCycle_ + 3);
+        }
+        break;
+      }
+      case BrKind::Jump:
+        if (btb_.lookup(di.pc) != di.nextPc) {
+            btb_.insert(di.pc, di.nextPc);
+            ++hot(cBranchBtbMisses_, "branch.btbMisses");
+            redirectAt_ = std::max(redirectAt_, fetchCycle_ + 3);
+        }
+        break;
+      case BrKind::Call:
+        ras_.push(di.pc + 4);
+        if (btb_.lookup(di.pc) != di.nextPc) {
+            btb_.insert(di.pc, di.nextPc);
+            ++hot(cBranchBtbMisses_, "branch.btbMisses");
+            redirectAt_ = std::max(redirectAt_, fetchCycle_ + 3);
+        }
+        break;
+      case BrKind::IndCall: {
+        ras_.push(di.pc + 4);
+        const uint64_t pred = btb_.lookup(di.pc);
+        btb_.insert(di.pc, di.nextPc);
+        if (pred != di.nextPc) {
+            mispredict = true;
+            ++hot(cBranchMispredicts_, "branch.mispredicts");
+        }
+        break;
+      }
+      case BrKind::Ret: {
+        const uint64_t pred = ras_.pop();
+        if (pred != di.nextPc) {
+            mispredict = true;
+            ++hot(cBranchMispredicts_, "branch.mispredicts");
+        }
+        break;
+      }
+      case BrKind::None:
+        return;
+    }
+
+    if (mispredict)
+        redirectAt_ = std::max(redirectAt_, resolveCycle + 1);
+}
+
+void
+FastSim::onInst(const DynInst& di)
+{
+    const OpInfo& info = di.info();
+
+    // Front end: redirects, fetch bandwidth, one I$ access per line —
+    // the same skeleton as CycleSim::stageFetch, without counters.
+    bool icacheDelayed = false;
+    if (fetchCycle_ < redirectAt_) {
+        fetchCycle_ = redirectAt_;
+        fetchedThisCycle_ = 0;
+        lastFetchLine_ = ~0ull;
+        lastRedirect_ = redirectAt_;
+    }
+    if (fetchedThisCycle_ >= cfg_.fetchWidth) {
+        ++fetchCycle_;
+        fetchedThisCycle_ = 0;
+    }
+    const uint64_t line = di.pc >> lineShift_;
+    if (line != lastFetchLine_) {
+        const int lat = mem_.fetchAccess(di.pc);
+        if (lat > cfg_.l1iLatency) {
+            fetchCycle_ += lat - cfg_.l1iLatency;
+            fetchedThisCycle_ = 0;
+            icacheDelayed = true;
+        }
+        lastFetchLine_ = line;
+    }
+    const uint64_t fetchCycle = fetchCycle_;
+    const bool squashDelayed = fetchCycle == lastRedirect_ &&
+                               lastRedirect_ != 0;
+    if (squashDelayed)
+        icacheDelayed = false;
+    ++fetchedThisCycle_;
+    if (info.isBranch() && di.taken) {
+        ++fetchCycle_;
+        fetchedThisCycle_ = 0;
+        lastFetchLine_ = ~0ull;
+    }
+
+    // In-order dispatch at the front-end depth. ROB occupancy is the
+    // one backend queue the fast rung does model: besides its timing
+    // effect it bounds how far dispatch can run ahead of commit, which
+    // keeps the issue-arbitration scan short (without it a sustained
+    // FU-pool backlog grows without bound and each instruction rescans
+    // it — quadratic time on FU-limited codes).
+    const uint64_t frontEntry = fetchCycle + frontendDepth_;
+    uint64_t dispatch = std::max(frontEntry, lastDispatch_);
+    if (seq_ >= static_cast<uint64_t>(cfg_.robSize)) {
+        dispatch = std::max(dispatch,
+                            commit_.get(di.seq - cfg_.robSize) + 1);
+    }
+    lastDispatch_ = dispatch;
+
+    // Operand readiness via producer timestamps. Branchless: the ring
+    // loads are masked (always in-bounds), invalid producers select a
+    // zero that never beats the dispatch floor, and the compares below
+    // compile to conditional moves — producer validity is data, and
+    // data-dependent branches here cost more than the loads they skip.
+    uint64_t ready = dispatch + 1;
+    bool waitMem = false;
+    const uint64_t p1 = readyForUse_.get(di.prod1);
+    const uint64_t p2 = readyForUse_.get(di.prod2);
+    const bool v1 =
+        di.prod1 != kNoProducer && di.seq - di.prod1 < readyForUse_.mask;
+    const bool v2 =
+        di.prod2 != kNoProducer && di.seq - di.prod2 < readyForUse_.mask;
+    const uint64_t r1 = v1 ? p1 >> 1 : 0;
+    const uint64_t r2 = v2 ? p2 >> 1 : 0;
+    if (r1 > ready) {
+        ready = r1;
+        waitMem = (p1 & 1) != 0;
+    }
+    if (r2 > ready) {
+        ready = r2;
+        waitMem = (p2 & 1) != 0;
+    }
+
+    // Issue: FU pool + issue-width arbitration, then execute.
+    const FuCost& fu = fuCost_[static_cast<size_t>(info.cls)];
+    const uint64_t issue = arbitrate(fu.pool, fu.limit, ready);
+    uint64_t resultAt = issue + fu.latency;
+    bool execMem = false;
+    if (info.isLoad()) {
+        const int dlat = mem_.dataAccess(di.memAddr, false);
+        resultAt = issue + 1 + dlat;
+        execMem = dlat > cfg_.l1dLatency;
+    }
+    const uint64_t complete = resultAt + cfg_.issueLatency;
+
+    if (info.brKind != BrKind::None)
+        handleBranch(di, info, complete);
+
+    if (info.isStore())
+        mem_.dataAccess(di.memAddr, true);  // writes the D$ at retire
+
+    // In-order commit, bounded by the commit width.
+    uint64_t commit = std::max(complete + 1, lastCommit_);
+    if (seq_ >= static_cast<uint64_t>(cfg_.commitWidth)) {
+        commit = std::max(commit,
+                          commit_.get(di.seq - cfg_.commitWidth) + 1);
+    }
+    commit_.set(di.seq, commit);
+    readyForUse_.set(di.seq,
+                     (resultAt << 1) | ((execMem || waitMem) ? 1 : 0));
+    lastCommit_ = commit;
+    ++seq_;
+
+    StallCauses sc;
+    sc.frontEntry = frontEntry;
+    sc.dispatch = dispatch;
+    sc.issue = issue;
+    sc.result = resultAt;
+    sc.squashDelayed = squashDelayed;
+    sc.icacheDelayed = icacheDelayed;
+    sc.waitMem = waitMem;
+    sc.execMem = execMem;
+    stalls_.onCommit(commit, sc);
+}
+
+void
+FastSim::consumeTrace(const TraceBuffer& trace)
+{
+    trace.replayTo(*this);
+}
+
+uint64_t
+FastSim::finish()
+{
+    stats_.counter("sim.cycles").set(lastCommit_);
+    stats_.counter("sim.insts").set(seq_);
+    stalls_.exportInto(stats_);
+    CH_ASSERT(stalls_.total() == lastCommit_,
+              "stall categories must sum to total cycles");
+    return lastCommit_;
+}
+
+} // namespace ch

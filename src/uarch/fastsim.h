@@ -1,0 +1,205 @@
+#ifndef CH_UARCH_FASTSIM_H
+#define CH_UARCH_FASTSIM_H
+
+/**
+ * @file
+ * The fidelity ladder's fast rung (docs/FIDELITY.md): a timing model
+ * with an in-order front end and in-order commit that keeps only the
+ * first-order effects the detailed model attributes most cycles to —
+ *
+ *  - fetch groups: fetch-width and taken-branch limits, one I-cache tag
+ *    access per new line, squash-and-refill redirects with the per-ISA
+ *    front-end depth (RISC renames in 2 extra stages: 7 vs 5 cycles),
+ *  - real TAGE + BTB + RAS prediction (the same components the detailed
+ *    model trains) with full misprediction redirect penalties,
+ *  - operand readiness through producer timestamps (di.prod1/prod2),
+ *  - ROB occupancy (dispatch blocks until the instruction robSize
+ *    older has committed), which also bounds the issue-arbitration
+ *    backlog so FU-limited codes stay linear-time,
+ *  - issue-width and per-class FU-pool arbitration with the detailed
+ *    model's execution latencies,
+ *  - the real L1I/L1D/L2 + stream-prefetcher hierarchy for load result
+ *    latencies and store retirement traffic, and
+ *  - commit-width-bounded in-order commit driving the same top-down
+ *    StallAccountant, so the six stall.* counters sum exactly to
+ *    sim.cycles, rung-independently.
+ *
+ * What it deliberately drops relative to CycleSim — IQ/LSQ/register
+ * occupancy stalls, store sets, store-to-load forwarding, memory-order
+ * replays, per-event energy counters, pipe tracing — is exactly the
+ * bookkeeping that dominates the detailed model's runtime. The result
+ * is a model several times faster whose corpus IPC stays within a few
+ * percent of the reference (gated at 10% mean |error| by
+ * bench/fig_fidelity_ladder.cc and ctest -L fidelity).
+ *
+ * Counters emitted: sim.cycles, sim.insts, the six stall.* counters,
+ * branch.{conds,mispredicts,btbMisses}, and the cache.* family from the
+ * shared MemoryHierarchy. The set is a strict subset of the detailed
+ * model's — in particular nothing the energy model needs, so energy
+ * figures must use the detailed rung.
+ */
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "common/stats.h"
+#include "trace/dyninst.h"
+#include "uarch/branch_pred.h"
+#include "uarch/cache.h"
+#include "uarch/config.h"
+#include "uarch/core.h"
+#include "uarch/core_model.h"
+#include "uarch/stall_account.h"
+
+namespace ch {
+
+/** The fast in-order rung; feed the committed stream, then finish().
+ *  `final` so replayTo's decode loop can devirtualize onInst. */
+class FastSim final : public CoreModel
+{
+  public:
+    FastSim(const MachineConfig& cfg, Isa isa);
+
+    void onInst(const DynInst& di) override;
+
+    /** Fused decode+model loop (TraceBuffer::replayTo) — no virtual hop
+     *  per instruction. */
+    void consumeTrace(const TraceBuffer& trace) override;
+
+    /**
+     * Functional+timing warming: timing an instruction here costs about
+     * as much as CycleSim::warmInst's state-only update, so warming
+     * simply times it. Sampled runs on this rung therefore keep the
+     * pipeline-coupled state (producer timestamps, fetch groups) warm
+     * across skipped regions too, not just caches and predictors.
+     */
+    void warmInst(const DynInst& di) override { onInst(di); }
+
+    void beginDetailedSegment() override { lastFetchLine_ = ~0ull; }
+
+    /** Complete the run; returns total cycles (last commit). */
+    uint64_t finish() override;
+
+    uint64_t cycles() const override { return lastCommit_; }
+    uint64_t instCount() const override { return seq_; }
+    const StatGroup& stats() const override { return stats_; }
+    StatGroup& stats() override { return stats_; }
+
+    uint64_t
+    stallCycles(StallCat cat) const override
+    {
+        return stalls_.category(cat);
+    }
+
+  private:
+    /** Timestamp ring keyed by sequence number (same shape as the
+     *  detailed model's; entries older than the span read as stale). */
+    struct SeqRing {
+        explicit SeqRing(size_t n) : mask(n - 1), data(n, 0) {}
+        uint64_t get(uint64_t seq) const { return data[seq & mask]; }
+        void set(uint64_t seq, uint64_t v) { data[seq & mask] = v; }
+        size_t mask;
+        std::vector<uint64_t> data;
+    };
+
+    /**
+     * Per-cycle issue bookkeeping, packed so one slot access answers
+     * both "is the issue width exhausted?" and "is this FU pool full?"
+     * — the detailed model keeps eight separate CycleCounts rings and
+     * pays four spread-out memory touches per arbitration attempt; the
+     * fast rung pays one. Stale slots (tag mismatch) read as empty,
+     * exactly like CycleCounts past its window.
+     */
+    struct IssueSlot {
+        uint64_t cycle = ~0ull;
+        uint8_t total = 0;      ///< instructions issued this cycle
+        uint8_t pool[7] = {};   ///< per-FU-pool issues this cycle
+    };
+
+    /**
+     * Cycles a previous arbitrate() scan proved unavailable for one FU
+     * pool: [from, to). Issue counters only ever increase, so a cycle
+     * once full (for the pool or for the issue width) stays full — the
+     * next scan for the same pool may skip the interval outright. This
+     * turns the backlog walk on FU-limited codes from O(backlog) per
+     * instruction into O(1) amortized, with identical results.
+     */
+    struct PoolSkip {
+        uint64_t from = 1;
+        uint64_t to = 0;   ///< empty when to <= from
+    };
+
+    int fuLatency(OpClass cls) const;
+    int fuPoolId(OpClass cls) const;
+    int fuPoolLimit(OpClass cls) const;
+
+    /** fuPoolId/fuPoolLimit/fuLatency flattened to one load per
+     *  instruction (all three are pure functions of OpClass + config,
+     *  so the ctor precomputes the 14-entry table). */
+    struct FuCost {
+        uint8_t pool = 0;
+        uint8_t limit = 0;
+        uint8_t latency = 0;
+    };
+
+    /** Earliest cycle >= @p from with a free issue slot + FU of @p pool. */
+    uint64_t arbitrate(int pool, int limit, uint64_t from);
+
+    void handleBranch(const DynInst& di, const OpInfo& info,
+                      uint64_t resolveCycle);
+
+    /** Same lazy counter binding as the detailed model (core.h). */
+    Counter&
+    hot(Counter*& slot, const char* name)
+    {
+        if (slot == nullptr)
+            slot = &stats_.counter(name);
+        return *slot;
+    }
+
+    const MachineConfig cfg_;
+    const int frontendDepth_;
+    const int lineShift_;     ///< log2(cfg.lineBytes); pc >> lineShift_
+    StatGroup stats_;
+
+    Tage tage_;
+    Btb btb_;
+    Ras ras_;
+    MemoryHierarchy mem_;
+
+    // Front-end state (mirrors CycleSim::stageFetch).
+    uint64_t fetchCycle_ = 1;
+    int fetchedThisCycle_ = 0;
+    uint64_t lastFetchLine_ = ~0ull;
+    uint64_t redirectAt_ = 0;
+    uint64_t lastRedirect_ = 0;
+
+    // Per-instruction timestamps.
+    uint64_t seq_ = 0;
+    uint64_t lastDispatch_ = 0;
+    uint64_t lastCommit_ = 0;
+
+    /** Producer result cycle << 1 | came-from-a-D$-miss bit, so one
+     *  ring load answers both consumer questions. */
+    SeqRing readyForUse_;
+    SeqRing commit_;          ///< last commitWidth commit cycles
+
+    // Issue arbitration (same mechanism as the detailed model; smaller
+    // window — the live issue span is bounded by the dependence chains
+    // and miss latencies, not the 128K-cycle detailed default).
+    std::vector<IssueSlot> issueRing_;
+    uint64_t issueMask_;
+    std::array<PoolSkip, 7> poolSkip_{};
+    std::array<FuCost, 14> fuCost_{};   ///< indexed by OpClass
+
+    StallAccountant stalls_;
+
+    Counter* cBranchConds_ = nullptr;
+    Counter* cBranchMispredicts_ = nullptr;
+    Counter* cBranchBtbMisses_ = nullptr;
+};
+
+} // namespace ch
+
+#endif // CH_UARCH_FASTSIM_H

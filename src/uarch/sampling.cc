@@ -27,14 +27,19 @@ namespace {
  *
  * Detailed segments (warmup + measure) are stitched onto the core's
  * continuous cycle clock. Sequence numbers and producer links are
- * rebased so the segment looks locally contiguous to CycleSim;
+ * rebased so the segment looks locally contiguous to the core model;
  * producers older than the segment become kNoProducer — their results
  * committed megacycles ago and would be ready anyway.
+ *
+ * The feeder drives any fidelity-ladder rung through the CoreModel
+ * interface. The rung chooses its own warming strategy: CycleSim warms
+ * state-only (warmInst), FastSim warms by fully timing the skipped
+ * instructions — functional+timing warming at the same cost.
  */
 class SampledFeeder : public TraceSink
 {
   public:
-    SampledFeeder(CycleSim& core, const SamplingConfig& sc)
+    SampledFeeder(CoreModel& core, const SamplingConfig& sc)
         : core_(core),
           sc_(sc),
           skipBudget_(sc.intervalInsts - sc.warmupInsts - sc.sampleInsts),
@@ -159,10 +164,8 @@ class SampledFeeder : public TraceSink
     snapshotMeasureStart()
     {
         measStartCycles_ = core_.cycles();
-        for (int c = 0; c < kNumStallCats; ++c) {
-            stallAtStart_[c] =
-                core_.stallAccount().category(static_cast<StallCat>(c));
-        }
+        for (int c = 0; c < kNumStallCats; ++c)
+            stallAtStart_[c] = core_.stallCycles(static_cast<StallCat>(c));
     }
 
     void
@@ -172,7 +175,7 @@ class SampledFeeder : public TraceSink
         uint64_t stallSum = 0;
         for (int c = 0; c < kNumStallCats; ++c) {
             const uint64_t d =
-                core_.stallAccount().category(static_cast<StallCat>(c)) -
+                core_.stallCycles(static_cast<StallCat>(c)) -
                 stallAtStart_[c];
             measuredStalls_[c] += d;
             stallSum += d;
@@ -188,7 +191,7 @@ class SampledFeeder : public TraceSink
         measuredCycles_ += dCycles;
     }
 
-    CycleSim& core_;
+    CoreModel& core_;
     const SamplingConfig sc_;
     const uint64_t skipBudget_;  ///< interval minus the detailed segment
     uint64_t rng_;               ///< LCG state for window placement
@@ -238,15 +241,13 @@ simulateSampled(const TraceBuffer& trace, Isa isa,
         return simulateReplay(trace, isa, cfg);
     }
 
-    CycleSim core(cfg, isa);
-    SampledFeeder feeder(core, sc);
+    std::unique_ptr<CoreModel> core = makeCoreModel(cfg, isa);
+    SampledFeeder feeder(*core, sc);
     trace.replay(feeder);
-    core.finish();
+    core->finish();
 
     const SampleSummary s = feeder.summary();
-    SimResult res;
-    res.exited = trace.exited();
-    res.exitCode = trace.exitCode();
+    SimResult res = core->packageResult(trace.exited(), trace.exitCode());
     res.sampled = true;
     res.sample = s;
     res.insts = trace.instCount();
@@ -255,7 +256,6 @@ simulateSampled(const TraceBuffer& trace, Isa isa,
             ? static_cast<uint64_t>(
                   std::llround(static_cast<double>(res.insts) / s.ipcMean))
             : 0;
-    res.stats = core.stats();
 
     // The raw pipeline counters keep their warmup contributions (they
     // describe everything the detailed model did), but the headline and

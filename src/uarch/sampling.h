@@ -9,9 +9,11 @@
  * The committed stream is split into fixed-size intervals. Each interval
  * is simulated in three phases:
  *
- *   1. functional warming — the skipped portions update only long-lived
+ *   1. functional warming — the skipped portions update long-lived
  *      microarchitectural state (cache tags/LRU, TAGE, BTB, RAS and the
- *      prefetcher) via CycleSim::warmInst at trace-decode speed,
+ *      prefetcher) via the selected rung's warmInst at trace-decode
+ *      speed (the fast rung warms by fully timing instead — see
+ *      docs/FIDELITY.md),
  *   2. detailed warmup — warmupInsts run through the full timing model
  *      but are excluded from measurement, reconstructing the short-lived
  *      pipeline/queue state the warming pass cannot carry, and
@@ -22,7 +24,7 @@
  * aliases against loop phases commensurate with the interval length and
  * identical configs always reproduce identical windows.
  *
- * A single CycleSim instance spans the whole run on one continuously
+ * A single core-model instance spans the whole run on one continuously
  * increasing cycle clock: detailed segments stitch onto the clock where
  * the previous segment left off, so predictor and cache contents persist
  * across intervals, structural-queue entries drain naturally, and the

@@ -22,20 +22,26 @@ tracePathFor(const MachineConfig& cfg)
     return env ? std::string(env) : std::string();
 }
 
-/** Optional Kanata tracer attached to @p core for one run. */
+/** Optional Kanata tracer attached to @p core for one run. Stage
+ *  schedules only exist on the detailed rung, so requesting a trace on
+ *  any other core model is a configuration error. */
 class ScopedPipeTracer
 {
   public:
-    ScopedPipeTracer(CycleSim& core, Isa isa, const MachineConfig& cfg)
+    ScopedPipeTracer(CoreModel& core, Isa isa, const MachineConfig& cfg)
     {
         const std::string tracePath = tracePathFor(cfg);
         if (tracePath.empty())
             return;
+        if (cfg.coreModel != CoreModelKind::Detailed) {
+            fatal("pipe tracing needs the detailed core model, not ",
+                  coreModelName(cfg.coreModel));
+        }
         file_.open(tracePath, std::ios::binary);
         if (!file_.is_open())
             fatal("cannot open pipe-trace file: ", tracePath);
         tracer_ = std::make_unique<PipeTracer>(file_, isa, cfg);
-        core.setPipeTracer(tracer_.get());
+        core.setPipeObserver(tracer_.get());
     }
 
     void
@@ -50,43 +56,30 @@ class ScopedPipeTracer
     std::unique_ptr<PipeTracer> tracer_;
 };
 
-SimResult
-coreResult(CycleSim& core, bool exited, int64_t exitCode)
-{
-    SimResult res;
-    res.cycles = core.cycles();
-    res.insts = core.instCount();
-    res.exited = exited;
-    res.exitCode = exitCode;
-    res.stats = core.stats();
-    return res;
-}
-
 } // namespace
 
 SimResult
 simulate(const Program& prog, const MachineConfig& cfg, uint64_t maxInsts)
 {
-    CycleSim core(cfg, prog.isa);
-    ScopedPipeTracer tracer(core, prog.isa, cfg);
+    std::unique_ptr<CoreModel> core = makeCoreModel(cfg, prog.isa);
+    ScopedPipeTracer tracer(*core, prog.isa, cfg);
 
     Emulator emu(prog);
-    RunResult run = emu.run(maxInsts, &core);
-    core.finish();
+    RunResult run = emu.run(maxInsts, core.get());
+    core->finish();
     tracer.finish();
-    return coreResult(core, run.exited, run.exitCode);
+    return core->packageResult(run.exited, run.exitCode);
 }
 
 SimResult
 simulateReplay(const TraceBuffer& trace, Isa isa, const MachineConfig& cfg)
 {
-    CycleSim core(cfg, isa);
-    ScopedPipeTracer tracer(core, isa, cfg);
+    std::unique_ptr<CoreModel> core = makeCoreModel(cfg, isa);
+    ScopedPipeTracer tracer(*core, isa, cfg);
 
-    trace.replay(core);
-    core.finish();
+    SimResult res = core->replayResult(trace);
     tracer.finish();
-    return coreResult(core, trace.exited(), trace.exitCode());
+    return res;
 }
 
 } // namespace ch

@@ -4,65 +4,25 @@
 /**
  * @file
  * Top-level simulation driver: functional emulation feeding the
- * cycle-level core model, returning cycles, instruction counts, and the
- * event statistics the energy model consumes.
+ * selected timing model (MachineConfig::coreModel — the fidelity
+ * ladder, docs/FIDELITY.md), returning cycles, instruction counts, and
+ * the event statistics the energy model consumes. SampleSummary and
+ * SimResult live in uarch/core_model.h with the CoreModel interface.
  */
-
-#include <memory>
 
 #include "emu/emulator.h"
 #include "trace/trace_buffer.h"
 #include "uarch/core.h"
+#include "uarch/core_model.h"
 
 namespace ch {
 
 /**
- * Per-run sampling estimate (docs/PERFORMANCE.md, "Sampled simulation").
- * Populated only by simulateSampled(); the IPC estimate is the mean of
- * the per-interval measured-window IPCs with a CLT-based 95% confidence
- * interval (stderr = sd/sqrt(n), ci95 = 1.96 * stderr).
+ * Run @p prog on the machine described by @p cfg, timing the committed
+ * stream with the rung cfg.coreModel selects (detailed or fast; the
+ * analytic rung needs the static program and lives behind
+ * simulateAnalytic() in analyze/analytic_model.h).
  */
-struct SampleSummary {
-    uint64_t intervals = 0;      ///< measured windows that completed
-    uint64_t measuredInsts = 0;  ///< instructions timed and measured
-    uint64_t warmupInsts = 0;    ///< instructions timed but unmeasured
-    uint64_t warmedInsts = 0;    ///< instructions functionally warmed
-    double ipcMean = 0.0;
-    double ipcStderr = 0.0;
-    double ipcCi95 = 0.0;
-
-    /** Half-width of the 95% CI relative to the mean (0 when n < 2). */
-    double
-    relErr() const
-    {
-        return ipcMean > 0.0 ? ipcCi95 / ipcMean : 0.0;
-    }
-};
-
-/** Outcome of one timed run. */
-struct SimResult {
-    uint64_t cycles = 0;
-    uint64_t insts = 0;
-    bool exited = false;
-    int64_t exitCode = 0;
-    StatGroup stats;
-
-    /** True when this result came from simulateSampled() with sampling
-     *  actually engaged; cycles is then an estimate, not a count. */
-    bool sampled = false;
-    SampleSummary sample;
-
-    double
-    ipc() const
-    {
-        if (sampled)
-            return sample.ipcMean;
-        return cycles == 0 ? 0.0
-                           : static_cast<double>(insts) / cycles;
-    }
-};
-
-/** Run @p prog on the machine described by @p cfg. */
 SimResult simulate(const Program& prog, const MachineConfig& cfg,
                    uint64_t maxInsts = ~0ull);
 

@@ -14,6 +14,11 @@ Checks, over README.md, DESIGN.md, EXPERIMENTS.md and docs/*.md:
    ``build*/bench/<name>``, ``build*/examples/<name>`` or
    ``build*/src/.../<name>`` must correspond to a source file / CMake
    target in the tree, so the quick-start commands cannot rot silently.
+4. The README "Documentation index" table is the docs/ table of
+   contents, and it must be complete in both directions: every row's
+   doc column must point at a file that exists, and every ``docs/*.md``
+   file must have a row. A doc added without an index row (or a row
+   left behind after a rename) fails the lint.
 
 Exit status: 0 clean, 1 findings (each printed as ``file:line: message``).
 
@@ -107,6 +112,55 @@ def lint_file(md: Path, root: Path, problems: list):
                     f"{where}: referenced path '{token}' does not exist")
 
 
+DOC_INDEX_HEADER = "### Documentation index"
+DOC_CELL_RE = re.compile(r"`((?:docs/)?[\w.-]+\.md)`")
+
+
+def lint_doc_index(root: Path, problems: list):
+    """Check README's doc-index table against the docs/ directory."""
+    readme = root / "README.md"
+    if not readme.exists():
+        return
+    lines = readme.read_text(encoding="utf-8").splitlines()
+    listed = {}
+    in_index = False
+    for lineno, line in enumerate(lines, start=1):
+        stripped = line.strip()
+        if stripped == DOC_INDEX_HEADER:
+            in_index = True
+            continue
+        if not in_index:
+            continue
+        if stripped.startswith("#"):
+            break  # next section ends the index
+        if not stripped.startswith("|") or set(stripped) <= set("|-: "):
+            continue  # prose, blank, or the table separator row
+        cells = [c.strip() for c in stripped.strip("|").split("|")]
+        if cells and cells[0] == "topic":
+            continue  # header row
+        m = DOC_CELL_RE.search(cells[-1]) if cells else None
+        if m is None:
+            problems.append(
+                f"README.md:{lineno}: doc-index row has no `*.md` target "
+                f"in its doc column")
+            continue
+        listed[m.group(1)] = lineno
+        if not (root / m.group(1)).exists():
+            problems.append(
+                f"README.md:{lineno}: doc-index row points at "
+                f"'{m.group(1)}' which does not exist")
+    if not listed:
+        problems.append(
+            f"README.md: no '{DOC_INDEX_HEADER}' table found "
+            f"(or it is empty)")
+        return
+    for doc in sorted((root / "docs").glob("*.md")):
+        rel = str(doc.relative_to(root))
+        if rel not in listed:
+            problems.append(
+                f"{rel}: not listed in README.md's documentation index")
+
+
 def main() -> int:
     root = Path(sys.argv[1]).resolve() if len(sys.argv) > 1 else \
         Path(__file__).resolve().parent.parent
@@ -122,6 +176,7 @@ def main() -> int:
             continue
         checked += 1
         lint_file(md, root, problems)
+    lint_doc_index(root, problems)
 
     for p in problems:
         print(p)
