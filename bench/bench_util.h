@@ -42,9 +42,27 @@
  *   --warmup N                      detailed warmup before each measured
  *                                   window (default: the sample length,
  *                                   clamped to fit the interval)
+ *   --farm ADDR / CH_FARM           run every sim job on a chfarmd
+ *                                   daemon at ADDR (Unix path or
+ *                                   host:port, docs/SERVICE.md) instead
+ *                                   of the local thread pool; metrics
+ *                                   are byte-identical either way. The
+ *                                   daemon is pinged at parse time, so
+ *                                   a dead farm exits 2 immediately.
+ *                                   Incompatible with --pipe-trace and
+ *                                   --verify-stats (exit 2).
+ *   --store / CH_STORE=1            persistent content-addressed result
+ *                                   + trace store (docs/SERVICE.md): a
+ *                                   repeated sweep point is a disk read
+ *                                   with zero simulations, byte-
+ *                                   identical metrics either way
+ *   --store-dir D / CH_STORE_DIR    store root (default
+ *                                   ~/.cache/clockhands); implies
+ *                                   --store when given as a flag
  *   CH_TRACE_CACHE_MB               trace-cache memory budget in MiB
  *                                   (default 1024; past it, jobs fall
- *                                   back to re-emulation with a note)
+ *                                   back to re-emulation with a note —
+ *                                   or, with --store, to LRU eviction)
  *   CH_BENCH_MAXINSTS               per-run instruction cap
  */
 
@@ -65,6 +83,8 @@
 #include "emu/emulator.h"
 #include "runner/metrics.h"
 #include "runner/runner.h"
+#include "service/farm.h"
+#include "service/store.h"
 #include "workloads/workloads.h"
 
 namespace ch {
@@ -231,6 +251,13 @@ benchInit(int argc, char** argv, const char* name)
             benchdetail::parseCoreModelArg("CH_CORE_MODEL", env);
     }
 
+    std::string farmAddr;
+    bool useStore = false;
+    std::string storeDir;
+    if (const char* env = std::getenv("CH_FARM"); env && *env)
+        farmAddr = env;
+    useStore = benchdetail::envFlag("CH_STORE");
+
     bool sampleLenSet = false;
     bool warmupSet = false;
     for (int i = 1; i < argc; ++i) {
@@ -274,12 +301,31 @@ benchInit(int argc, char** argv, const char* name)
             ctx.runner.sampling.warmupInsts =
                 benchdetail::parseInstCount("--warmup", next());
             warmupSet = true;
+        } else if (arg == "--farm") {
+            farmAddr = next();
+            if (farmAddr.empty()) {
+                std::fprintf(stderr, "error: --farm expects a socket "
+                                     "address\n");
+                std::exit(2);
+            }
+        } else if (arg == "--store") {
+            useStore = true;
+        } else if (arg == "--store-dir") {
+            const char* dir = next();
+            if (!dir || !*dir) {
+                std::fprintf(stderr, "error: --store-dir expects a "
+                                     "directory path\n");
+                std::exit(2);
+            }
+            storeDir = dir;
+            useStore = true;
         } else if (arg == "--help" || arg == "-h") {
             std::printf("usage: %s [--jobs N] [--metrics-dir DIR] "
                         "[--pipe-trace DIR] [--progress] "
                         "[--host-metrics] [--no-trace-cache] "
                         "[--verify-stats] "
                         "[--core-model detailed|fast|analytic] "
+                        "[--farm ADDR] [--store] [--store-dir DIR] "
                         "[--sample-interval N [--sample-len N] "
                         "[--warmup N]]\n", name);
             std::exit(0);
@@ -328,6 +374,39 @@ benchInit(int argc, char** argv, const char* name)
             std::fprintf(stderr, "error: --sample-interval cannot be "
                                  "combined with --core-model "
                                  "analytic\n");
+            std::exit(2);
+        }
+    }
+
+    // Farm/store wiring, validated at parse time like --metrics-dir: a
+    // dead daemon or an unwritable store root must exit 2 before any
+    // simulation starts, not fail the sweep mid-run.
+    if (!farmAddr.empty()) {
+        if (!ctx.runner.pipeTraceDir.empty()) {
+            std::fprintf(stderr, "error: --farm cannot be combined "
+                                 "with --pipe-trace (traces would be "
+                                 "written on the farm host)\n");
+            std::exit(2);
+        }
+        if (ctx.runner.verifyStats) {
+            std::fprintf(stderr, "error: --farm cannot be combined "
+                                 "with --verify-stats (farm workers "
+                                 "run plain simulation jobs)\n");
+            std::exit(2);
+        }
+        try {
+            service::attachFarm(ctx.runner, farmAddr);
+        } catch (const std::exception& e) {
+            std::fprintf(stderr, "error: --farm %s: %s\n",
+                         farmAddr.c_str(), e.what());
+            std::exit(2);
+        }
+    }
+    if (useStore) {
+        try {
+            service::attachStore(ctx.runner, storeDir);
+        } catch (const std::exception& e) {
+            std::fprintf(stderr, "error: --store: %s\n", e.what());
             std::exit(2);
         }
     }

@@ -82,10 +82,11 @@ measure(const JobContext& job, uint64_t cap)
     const MachineConfig cfg = MachineConfig::preset(8);
 
     TraceBuffer local;
-    const TraceBuffer* trace =
+    const std::shared_ptr<const TraceBuffer> cached =
         job.traces ? job.traces->get(job.spec.workload, job.spec.isa,
                                      cap, *job.program)
                    : nullptr;
+    const TraceBuffer* trace = cached.get();
     if (!trace) {
         const RunResult run = runProgram(*job.program, cap, &local);
         local.setRunOutcome(run.exited, run.exitCode);

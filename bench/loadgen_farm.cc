@@ -1,0 +1,371 @@
+/**
+ * @file
+ * Load generator for the simulation farm (docs/SERVICE.md). The bench
+ * self-hosts a FarmServer on a temporary Unix socket with a fresh
+ * persistent store, drives a 2-workload x 3-ISA x 3-width grid through
+ * FarmClient, and reports:
+ *
+ *   - cold-store throughput (every job simulated) and per-job latency,
+ *   - warm-store throughput (every job served from disk), the warm
+ *     latency distribution (p50/p99), and the cold->warm speedup,
+ *   - worker scaling: cold-grid throughput at 1, 2 and 4 workers,
+ *     each against its own fresh store.
+ *
+ * Every number here is a host wall-clock observation, so the metrics
+ * files carry only the deterministic shape (job counts, summed cycles,
+ * ok flags) by default; latency/throughput values land there under
+ * --host-metrics (they always print in the table).
+ *
+ * CI gates (exit 1 when violated, all optional):
+ *   --max-p99-ratio R        warm p99 latency must be <= R x p50
+ *   --min-warm-speedup X     warm throughput must be >= X x cold
+ *   --require-monotone-scaling
+ *                            1->2->4 workers must not lose throughput
+ *                            (10% noise tolerance pairwise, and 4
+ *                            workers must beat 1 outright). The strict
+ *                            form only applies up to the host's core
+ *                            count: once workers exceed cores the grid
+ *                            is time-sliced, not parallel, so the gate
+ *                            degrades to an oversubscription-overhead
+ *                            bound (>= 70% of the previous point).
+ */
+
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <ftw.h>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+
+using namespace ch;
+
+namespace {
+
+double
+secondsSince(std::chrono::steady_clock::time_point t0)
+{
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         t0)
+        .count();
+}
+
+int
+rmCallback(const char* path, const struct stat*, int, struct FTW*)
+{
+    return ::remove(path);
+}
+
+void
+removeTree(const std::string& path)
+{
+    ::nftw(path.c_str(), rmCallback, 16, FTW_DEPTH | FTW_PHYS);
+}
+
+std::string
+makeTempDir()
+{
+    char tmpl[] = "/tmp/chfarm-loadgen-XXXXXX";
+    if (!::mkdtemp(tmpl))
+        fatal("loadgen_farm: mkdtemp failed");
+    return tmpl;
+}
+
+/** FarmServer on a temp Unix socket, serving from a second thread. */
+class LocalFarm
+{
+  public:
+    LocalFarm(const std::string& dir, int workers,
+              const std::string& storeDir)
+    {
+        service::FarmOptions opt;
+        opt.socket = dir + "/farm-" + std::to_string(workers) + ".sock";
+        opt.workers = workers;
+        opt.storeDir = storeDir;
+        opt.useStore = true;
+        address_ = opt.socket;
+        server_ = std::make_unique<service::FarmServer>(std::move(opt));
+        server_->start();
+        thread_ = std::thread([this] { server_->serve(); });
+    }
+
+    ~LocalFarm()
+    {
+        server_->requestStop();
+        thread_.join();
+    }
+
+    const std::string& address() const { return address_; }
+
+  private:
+    std::string address_;
+    std::unique_ptr<service::FarmServer> server_;
+    std::thread thread_;
+};
+
+/** The fixed grid every phase runs: 2 workloads x 3 ISAs x 3 widths. */
+std::vector<JobSpec>
+buildGrid(uint64_t cap)
+{
+    std::vector<JobSpec> specs;
+    for (const char* wl : {"coremark", "mcf"}) {
+        for (Isa isa : {Isa::Riscv, Isa::Straight, Isa::Clockhands}) {
+            for (int fw : {4, 6, 8}) {
+                JobSpec spec;
+                spec.workload = wl;
+                spec.isa = isa;
+                spec.cfg = MachineConfig::preset(fw);
+                spec.maxInsts = cap;
+                spec.id = std::string(wl) + "/" + shortIsa(isa) + "/" +
+                          std::to_string(fw) + "f";
+                spec.seed = jobSeed(spec);
+                specs.push_back(std::move(spec));
+            }
+        }
+    }
+    return specs;
+}
+
+struct PhaseStats {
+    double wallS = 0;
+    double jobsPerS = 0;
+    double p50Ms = 0;
+    double p99Ms = 0;
+    uint64_t cyclesTotal = 0;
+    size_t jobs = 0;
+    size_t failed = 0;
+};
+
+/** Run @p specs through the farm once; per-job latency = accept->result. */
+PhaseStats
+runPhase(const std::string& address, const std::vector<JobSpec>& specs)
+{
+    PhaseStats st;
+    st.jobs = specs.size();
+    std::vector<std::chrono::steady_clock::time_point> accepted(
+        specs.size());
+    std::vector<double> latMs;
+    latMs.reserve(specs.size());
+
+    service::FarmClient client(address);
+    const auto t0 = std::chrono::steady_clock::now();
+    client.runJobs(
+        specs, {},
+        [&](size_t i, JobResult r) {
+            latMs.push_back(
+                1e3 *
+                std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() - accepted[i])
+                    .count());
+            if (r.ok)
+                st.cyclesTotal += r.metrics.cycles;
+            else
+                ++st.failed;
+        },
+        [&](size_t i) { accepted[i] = std::chrono::steady_clock::now(); });
+    st.wallS = secondsSince(t0);
+    st.jobsPerS = st.wallS > 0 ? specs.size() / st.wallS : 0;
+
+    std::sort(latMs.begin(), latMs.end());
+    if (!latMs.empty()) {
+        st.p50Ms = latMs[latMs.size() / 2];
+        st.p99Ms = latMs[std::min(latMs.size() - 1,
+                                  latMs.size() * 99 / 100)];
+    }
+    return st;
+}
+
+/** Synthetic metrics row for one phase (host values gated). */
+JobResult
+phaseRow(const BenchContext& ctx, const std::string& id,
+         const PhaseStats& st)
+{
+    JobResult r;
+    r.spec.id = id;
+    r.spec.workload = "farm-grid";
+    r.spec.isa = Isa::Riscv;
+    r.ok = st.failed == 0;
+    if (!r.ok)
+        r.error = std::to_string(st.failed) + " farm jobs failed";
+    r.metrics.exited = true;
+    r.metrics.counters["farm.jobs"] = st.jobs;
+    r.metrics.counters["farm.failed"] = st.failed;
+    r.metrics.counters["cycles.total"] = st.cyclesTotal;
+    if (ctx.hostMetrics) {
+        r.metrics.values["wall.ms"] = 1e3 * st.wallS;
+        r.metrics.values["jobs.per.s"] = st.jobsPerS;
+        r.metrics.values["latency.p50.ms"] = st.p50Ms;
+        r.metrics.values["latency.p99.ms"] = st.p99Ms;
+    }
+    return r;
+}
+
+double
+parsePositiveDouble(const char* what, const char* s)
+{
+    errno = 0;
+    char* end = nullptr;
+    const double v = std::strtod(s, &end);
+    if (end == s || *end != '\0' || errno == ERANGE || !(v > 0)) {
+        std::fprintf(stderr,
+                     "error: %s expects a positive number, got '%s'\n",
+                     what, s);
+        std::exit(2);
+    }
+    return v;
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    // Bench-specific gate flags; strip them before the shared parse.
+    double maxP99Ratio = 0, minWarmSpeedup = 0;
+    bool requireMonotone = false;
+    std::vector<char*> passArgv;
+    passArgv.push_back(argv[0]);
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&]() -> const char* {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "error: %s needs an argument\n",
+                             arg.c_str());
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (arg == "--max-p99-ratio")
+            maxP99Ratio = parsePositiveDouble("--max-p99-ratio", next());
+        else if (arg == "--min-warm-speedup")
+            minWarmSpeedup =
+                parsePositiveDouble("--min-warm-speedup", next());
+        else if (arg == "--require-monotone-scaling")
+            requireMonotone = true;
+        else
+            passArgv.push_back(argv[i]);
+    }
+    BenchContext ctx = benchInit(static_cast<int>(passArgv.size()),
+                                 passArgv.data(), "loadgen_farm");
+    if (ctx.runner.executor) {
+        // This bench *is* the farm client; pointing it at another farm
+        // would measure that daemon, not the self-hosted one.
+        std::fprintf(stderr,
+                     "error: loadgen_farm does not support --farm\n");
+        return 2;
+    }
+    benchHeader("Loadgen", "simulation-farm latency and scaling");
+    const uint64_t cap = benchMaxInsts(200'000);
+    const std::vector<JobSpec> specs = buildGrid(cap);
+
+    const std::string tmp = makeTempDir();
+    std::vector<JobResult> rows;
+
+    // Phase 1+2: cold then warm against the same 2-worker farm/store.
+    PhaseStats cold, warm;
+    {
+        LocalFarm farm(tmp, 2, tmp + "/store-main");
+        std::printf("[cold] %zu jobs, 2 workers, fresh store...\n",
+                    specs.size());
+        cold = runPhase(farm.address(), specs);
+        std::printf("[warm] same grid, store now populated...\n");
+        warm = runPhase(farm.address(), specs);
+    }
+    rows.push_back(phaseRow(ctx, "cold/w2", cold));
+    rows.push_back(phaseRow(ctx, "warm/w2", warm));
+
+    // Phase 3: cold-grid throughput at 1, 2, 4 workers (fresh store
+    // each, so every point simulates the same amount of work).
+    const int workerPoints[] = {1, 2, 4};
+    PhaseStats scale[3];
+    for (size_t i = 0; i < 3; ++i) {
+        const int w = workerPoints[i];
+        const std::string store =
+            tmp + "/store-w" + std::to_string(w);
+        std::printf("[scale] %zu jobs, %d worker%s, fresh store...\n",
+                    specs.size(), w, w == 1 ? "" : "s");
+        LocalFarm farm(tmp, w, store);
+        scale[i] = runPhase(farm.address(), specs);
+        rows.push_back(phaseRow(
+            ctx, "scale/w" + std::to_string(w), scale[i]));
+    }
+    removeTree(tmp);
+
+    const double warmSpeedup =
+        warm.wallS > 0 ? cold.wallS / warm.wallS : 0;
+    const double p99Ratio =
+        warm.p50Ms > 0 ? warm.p99Ms / warm.p50Ms : 0;
+
+    TextTable t;
+    t.header({"phase", "workers", "jobs", "wall ms", "jobs/s",
+              "p50 ms", "p99 ms"});
+    const auto addRow = [&](const char* phase, int w,
+                            const PhaseStats& st) {
+        t.row({phase, std::to_string(w), std::to_string(st.jobs),
+               fmtDouble(1e3 * st.wallS, 1), fmtDouble(st.jobsPerS, 2),
+               fmtDouble(st.p50Ms, 2), fmtDouble(st.p99Ms, 2)});
+    };
+    addRow("cold", 2, cold);
+    addRow("warm", 2, warm);
+    for (size_t i = 0; i < 3; ++i)
+        addRow("scale", workerPoints[i], scale[i]);
+    t.print();
+
+    std::printf("\nwarm store: %.2fx throughput vs cold "
+                "(%.2f -> %.2f jobs/s), p99/p50 latency ratio %.2f\n",
+                warmSpeedup, cold.jobsPerS, warm.jobsPerS, p99Ratio);
+    std::printf("worker scaling (cold grid): 1w %.2f, 2w %.2f, "
+                "4w %.2f jobs/s\n",
+                scale[0].jobsPerS, scale[1].jobsPerS, scale[2].jobsPerS);
+    benchWriteMetrics(ctx, rows);
+
+    for (const JobResult& r : rows) {
+        if (!r.ok) {
+            std::fprintf(stderr, "error: phase %s: %s\n",
+                         r.spec.id.c_str(), r.error.c_str());
+            return 1;
+        }
+    }
+    if (maxP99Ratio > 0 && p99Ratio > maxP99Ratio) {
+        std::fprintf(stderr,
+                     "error: warm p99/p50 latency ratio %.2f exceeds "
+                     "--max-p99-ratio %.2f\n", p99Ratio, maxP99Ratio);
+        return 1;
+    }
+    if (minWarmSpeedup > 0 && warmSpeedup < minWarmSpeedup) {
+        std::fprintf(stderr,
+                     "error: warm speedup %.2fx below "
+                     "--min-warm-speedup %.2fx\n",
+                     warmSpeedup, minWarmSpeedup);
+        return 1;
+    }
+    if (requireMonotone) {
+        const unsigned cores =
+            std::max(1u, std::thread::hardware_concurrency());
+        bool ok = true;
+        for (size_t i = 1; i < 3; ++i) {
+            const double prev = scale[i - 1].jobsPerS;
+            const double cur = scale[i].jobsPerS;
+            // Parallel speedup is only physical while workers fit in
+            // cores; past that, only bound the oversubscription cost.
+            const double floor =
+                static_cast<unsigned>(workerPoints[i]) <= cores ? 0.9
+                                                                : 0.7;
+            if (cur < floor * prev)
+                ok = false;
+        }
+        if (cores >= 4 && scale[2].jobsPerS <= scale[0].jobsPerS)
+            ok = false;
+        if (!ok) {
+            std::fprintf(stderr,
+                         "error: worker scaling not monotone "
+                         "(%u cores): 1w %.2f, 2w %.2f, 4w %.2f "
+                         "jobs/s\n",
+                         cores, scale[0].jobsPerS, scale[1].jobsPerS,
+                         scale[2].jobsPerS);
+            return 1;
+        }
+    }
+    return 0;
+}

@@ -109,10 +109,11 @@ measure(const JobContext& job, uint64_t cap)
     row.isa = job.spec.isa;
 
     TraceBuffer local;
-    const TraceBuffer* trace =
+    const std::shared_ptr<const TraceBuffer> cached =
         job.traces ? job.traces->get(job.spec.workload, job.spec.isa,
                                      cap, *job.program)
                    : nullptr;
+    const TraceBuffer* trace = cached.get();
     if (!trace) {
         const RunResult run = runProgram(*job.program, cap, &local);
         local.setRunOutcome(run.exited, run.exitCode);

@@ -115,6 +115,12 @@ writeMetricsJson(std::ostream& os, const MetricsOptions& opt,
         if (opt.hostMetrics) {
             os << ",\n      \"wall_ms\": " << fmtJsonDouble(m.wallMs);
             os << ",\n      \"peak_rss_kib\": " << m.peakRssKiB;
+            // Cache-effectiveness snapshots (trace_cache.*): host-only
+            // because they depend on scheduling order.
+            for (const auto& [name, value] : m.hostCounters) {
+                os << ",\n      \"" << jsonEscape(name)
+                   << "\": " << value;
+            }
         }
         if (!m.counters.empty()) {
             os << ",\n      \"counters\": {";
@@ -201,6 +207,8 @@ writeMetricsCsv(std::ostream& os, const MetricsOptions& opt,
         if (opt.hostMetrics) {
             row("host", "wall_ms", fmtJsonDouble(m.wallMs));
             row("host", "peak_rss_kib", std::to_string(m.peakRssKiB));
+            for (const auto& [name, value] : m.hostCounters)
+                row("host", name, std::to_string(value));
         }
         for (const auto& [name, value] : m.counters)
             row("counter", name, std::to_string(value));

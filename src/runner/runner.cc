@@ -44,10 +44,22 @@ simJob(const JobContext& ctx)
 {
     CH_ASSERT(ctx.program, "simJob needs a workload program: ",
               ctx.spec.id);
-    const TraceBuffer* trace =
+    // Pipe-tracing jobs never consult the store: a hit would skip the
+    // Kanata side effect the caller asked for (docs/SERVICE.md).
+    const bool storable =
+        ctx.store && ctx.spec.cfg.pipeTracePath.empty();
+    if (storable) {
+        JobMetrics cached;
+        if (ctx.store->load(ctx.spec, *ctx.program, &cached)) {
+            ctx.storeHit = true;
+            return cached;
+        }
+    }
+    const std::shared_ptr<const TraceBuffer> cachedTrace =
         ctx.traces ? ctx.traces->get(ctx.spec.workload, ctx.spec.isa,
                                      ctx.spec.maxInsts, *ctx.program)
                    : nullptr;
+    const TraceBuffer* trace = cachedTrace.get();
     const SamplingConfig& sc = ctx.spec.cfg.sampling;
     SimResult r;
     if (ctx.spec.cfg.coreModel == CoreModelKind::Analytic) {
@@ -82,6 +94,8 @@ simJob(const JobContext& ctx)
         m.values["sample.ipc.ci95"] = r.sample.ipcCi95;
         m.values["sample.relerr"] = r.sample.relErr();
     }
+    if (storable)
+        ctx.store->save(ctx.spec, *ctx.program, m);
     return m;
 }
 
@@ -95,9 +109,21 @@ currentPeakRssKiB()
 }
 
 SweepRunner::SweepRunner(RunnerOptions opt, CompiledProgramCache* cache)
-    : opt_(std::move(opt)), cache_(cache ? cache : &programCache()),
-      traces_(opt_.traceCache ? &traceCache() : nullptr)
+    : opt_(std::move(opt)), cache_(cache ? cache : &programCache())
 {
+    if (!opt_.traceCache) {
+        traces_ = nullptr;
+    } else if (opt_.tracePersistence) {
+        // A store-backed run gets its own cache wired to the disk
+        // backing: streams survive the process and over-budget grids
+        // evict LRU instead of re-emulating (docs/SERVICE.md).
+        ownedTraces_ = std::make_unique<TraceCache>(
+            TraceCache::defaultBudgetBytes(),
+            opt_.tracePersistence.get());
+        traces_ = ownedTraces_.get();
+    } else {
+        traces_ = &traceCache();
+    }
 }
 
 size_t
@@ -178,9 +204,15 @@ SweepRunner::addSim(JobSpec spec)
     }
     if (opt_.sampling.enabled() && !spec.cfg.sampling.enabled())
         spec.cfg.sampling = opt_.sampling;
-    if (opt_.coreModel != CoreModelKind::Detailed &&
-        spec.cfg.coreModel == CoreModelKind::Detailed)
+    if (spec.coreModel) {
+        // A per-spec pin beats the run-wide default either way — it can
+        // pin Detailed under a fast/analytic run, which the fallthrough
+        // override below cannot express.
+        spec.cfg.coreModel = *spec.coreModel;
+    } else if (opt_.coreModel != CoreModelKind::Detailed &&
+               spec.cfg.coreModel == CoreModelKind::Detailed) {
         spec.cfg.coreModel = opt_.coreModel;
+    }
     JobFn body = simJob;
     if (opt_.verifyStats) {
         body = [](const JobContext& ctx) {
@@ -226,12 +258,28 @@ SweepRunner::run()
     ran_ = true;
     results_.resize(specs_.size());
 
+    // Remote set: with an executor attached, every addSim() job ships
+    // to the farm; custom-body jobs always run locally. Remote jobs are
+    // excluded from the local warm-up lists — the client side neither
+    // compiles nor captures for them.
+    std::vector<char> isRemote(specs_.size(), 0);
+    std::vector<size_t> remoteIdx;
+    if (opt_.executor) {
+        for (size_t i = 0; i < specs_.size(); ++i) {
+            if (isSim_[i]) {
+                isRemote[i] = 1;
+                remoteIdx.push_back(i);
+            }
+        }
+    }
+
     // Warm-up work list: the distinct (workload, ISA) pairs, so workers
     // front-load compilation instead of serializing on the first job
     // that needs each program.
     std::vector<std::pair<std::string, Isa>> pairs;
-    for (const auto& spec : specs_) {
-        if (spec.workload.empty())
+    for (size_t i = 0; i < specs_.size(); ++i) {
+        const JobSpec& spec = specs_[i];
+        if (spec.workload.empty() || isRemote[i])
             continue;
         std::pair<std::string, Isa> key{spec.workload, spec.isa};
         bool seen = false;
@@ -259,7 +307,7 @@ SweepRunner::run()
     std::vector<CaptureKey> captures;
     if (traces_) {
         for (size_t i = 0; i < specs_.size(); ++i) {
-            if (!isSim_[i] || specs_[i].workload.empty())
+            if (!isSim_[i] || specs_[i].workload.empty() || isRemote[i])
                 continue;
             CaptureKey key{specs_[i].workload, specs_[i].isa,
                            specs_[i].maxInsts};
@@ -302,6 +350,8 @@ SweepRunner::run()
                 state.nextJob.fetch_add(1, std::memory_order_relaxed);
             if (i >= specs_.size())
                 break;
+            if (isRemote[i])
+                continue;
             JobResult& res = results_[i];
             res.spec = specs_[i];
             const auto t0 = std::chrono::steady_clock::now();
@@ -310,7 +360,8 @@ SweepRunner::run()
                     res.spec.workload.empty()
                         ? nullptr
                         : &cache_->get(res.spec.workload, res.spec.isa);
-                JobContext ctx{res.spec, prog, *cache_, traces_};
+                JobContext ctx{res.spec, prog, *cache_, traces_,
+                               opt_.resultStore.get()};
                 res.metrics = fns_[i](ctx);
                 res.ok = true;
             } catch (const std::exception& e) {
@@ -322,6 +373,14 @@ SweepRunner::run()
                 std::chrono::duration<double, std::milli>(t1 - t0)
                     .count();
             res.metrics.peakRssKiB = currentPeakRssKiB();
+            if (traces_) {
+                res.metrics.hostCounters["trace_cache.hits"] =
+                    traces_->hitCount();
+                res.metrics.hostCounters["trace_cache.misses"] =
+                    traces_->missCount();
+                res.metrics.hostCounters["trace_cache.evictions"] =
+                    traces_->evictionCount();
+            }
             const size_t finished =
                 state.done.fetch_add(1, std::memory_order_relaxed) + 1;
             if (opt_.progress) {
@@ -336,18 +395,52 @@ SweepRunner::run()
         }
     };
 
-    const int threads =
-        std::min<int>(threadCount(), static_cast<int>(specs_.size()));
-    if (threads <= 1) {
-        work();
-    } else {
-        std::vector<std::thread> pool;
-        pool.reserve(threads);
-        for (int t = 0; t < threads; ++t)
-            pool.emplace_back(work);
-        for (auto& th : pool)
-            th.join();
+    // Farm path: ship the remote set from this thread while the local
+    // pool (if any custom-body jobs exist) drains concurrently.
+    auto runRemote = [&] {
+        std::vector<JobSpec> remoteSpecs;
+        remoteSpecs.reserve(remoteIdx.size());
+        for (size_t i : remoteIdx)
+            remoteSpecs.push_back(specs_[i]);
+        opt_.executor->execute(remoteSpecs, [&](size_t k, JobResult r) {
+            CH_ASSERT(k < remoteIdx.size(), "executor index out of range");
+            const size_t i = remoteIdx[k];
+            r.spec = specs_[i];
+            results_[i] = std::move(r);
+            const size_t finished =
+                state.done.fetch_add(1, std::memory_order_relaxed) + 1;
+            if (opt_.progress) {
+                const JobResult& res = results_[i];
+                std::lock_guard<std::mutex> lock(state.printMutex);
+                std::fprintf(stderr, "[%s %3zu/%zu] %s%s%s (farm)\n",
+                             opt_.tag.c_str(), finished, specs_.size(),
+                             res.spec.id.c_str(),
+                             res.ok ? "" : " FAILED: ",
+                             res.ok ? "" : res.error.c_str());
+            }
+        });
+    };
+
+    const size_t localCount = specs_.size() - remoteIdx.size();
+    const int threads = std::max(
+        1, std::min<int>(threadCount(), static_cast<int>(localCount)));
+    if (localCount == 0) {
+        if (!remoteIdx.empty())
+            runRemote();
+        return results_;
     }
+    if (remoteIdx.empty() && threads <= 1) {
+        work();
+        return results_;
+    }
+    std::vector<std::thread> pool;
+    pool.reserve(threads);
+    for (int t = 0; t < threads; ++t)
+        pool.emplace_back(work);
+    if (!remoteIdx.empty())
+        runRemote();
+    for (auto& th : pool)
+        th.join();
     return results_;
 }
 

@@ -22,6 +22,8 @@
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -30,6 +32,50 @@
 #include "workloads/prog_cache.h"
 
 namespace ch {
+
+struct JobSpec;
+struct JobMetrics;
+struct JobResult;
+
+/**
+ * Persistent result cache consulted by simJob(): a deterministic
+ * JobMetrics record keyed by (program content, spec content), so a
+ * repeated sweep is a pure cache read (docs/SERVICE.md). Implemented by
+ * service::PersistentStore; declared here so ch_runner stays free of
+ * the service layer.
+ */
+class JobResultStore
+{
+  public:
+    virtual ~JobResultStore() = default;
+
+    /** Fill @p out from the store; false when the key is absent. */
+    virtual bool load(const JobSpec& spec, const Program& prog,
+                      JobMetrics* out) = 0;
+
+    /** Persist a freshly computed record (atomic write-then-rename). */
+    virtual void save(const JobSpec& spec, const Program& prog,
+                      const JobMetrics& m) = 0;
+};
+
+/**
+ * Remote execution backend for addSim() jobs: ships specs to an
+ * external service and delivers one JobResult per spec, in any order.
+ * Implemented by service::FarmSweepExecutor (`--farm`, docs/SERVICE.md).
+ */
+class SimJobExecutor
+{
+  public:
+    virtual ~SimJobExecutor() = default;
+
+    /**
+     * Run every spec and invoke @p done(index, result) exactly once per
+     * spec, from the calling thread. Throws on transport failure.
+     */
+    virtual void
+    execute(const std::vector<JobSpec>& specs,
+            const std::function<void(size_t, JobResult)>& done) = 0;
+};
 
 /** Sweep-wide knobs; see benchInit() for the env/CLI plumbing. */
 struct RunnerOptions {
@@ -86,6 +132,31 @@ struct RunnerOptions {
      * metrics files stay byte-identical to earlier binaries.
      */
     bool verifyStats = false;
+
+    /**
+     * Remote execution backend (`--farm <socket>`, docs/SERVICE.md).
+     * When set, every addSim() job runs on the farm instead of the
+     * local thread pool; custom-body add() jobs still run locally. The
+     * deterministic metrics are byte-identical either way.
+     */
+    std::shared_ptr<SimJobExecutor> executor;
+
+    /**
+     * Persistent result cache (`--store`, docs/SERVICE.md). When set,
+     * simJob() serves repeated (program, spec) points from disk without
+     * simulating and persists fresh results. Byte-identical metrics
+     * either way; never consulted for pipe-tracing jobs (a cache hit
+     * would skip the trace side effect).
+     */
+    std::shared_ptr<JobResultStore> resultStore;
+
+    /**
+     * Persistent committed-trace backing (docs/SERVICE.md). When set,
+     * the runner uses a private TraceCache wired to it: streams load
+     * mmap-style from disk across runs and the memory budget degrades
+     * to LRU eviction instead of re-emulation.
+     */
+    std::shared_ptr<TracePersistence> tracePersistence;
 };
 
 /** One simulation/analysis job of a sweep. */
@@ -101,6 +172,23 @@ struct JobSpec {
      * SweepRunner::add() when left 0.
      */
     uint64_t seed = 0;
+
+    /**
+     * Per-job fidelity-ladder rung pin (docs/FIDELITY.md). Unset by
+     * default: the job follows cfg.coreModel, which a non-detailed
+     * RunnerOptions::coreModel may override. Setting it pins the job's
+     * rung — including pinning Detailed under a non-detailed run-wide
+     * default — so one sweep (or one farm grid) can mix rungs while
+     * detailed rows stay byte-identical to an all-detailed run.
+     */
+    std::optional<CoreModelKind> coreModel;
+
+    /**
+     * Scheduling priority on the farm (higher dispatches first within a
+     * worker queue); ignored by the local thread pool and excluded from
+     * the result-store key, since it never changes any metric.
+     */
+    int priority = 0;
 };
 
 /** Structured result record of one job. */
@@ -120,6 +208,13 @@ struct JobMetrics {
     // deterministic metrics output unless host metrics are requested.
     double wallMs = 0;
     int64_t peakRssKiB = 0;
+
+    /**
+     * Host-side cache-effectiveness counters (trace_cache.{hits,misses,
+     * evictions}, ...): snapshots taken at job completion, emitted only
+     * with host metrics because they depend on scheduling order.
+     */
+    std::map<std::string, uint64_t> hostCounters;
 
     double
     ipc() const
@@ -141,6 +236,12 @@ struct JobContext {
 
     /** Committed-trace cache for capture/replay; null when disabled. */
     TraceCache* traces = nullptr;
+
+    /** Persistent result cache; null when disabled (docs/SERVICE.md). */
+    JobResultStore* store = nullptr;
+
+    /** Set by simJob() when the store served the job (no simulation). */
+    mutable bool storeHit = false;
 };
 
 using JobFn = std::function<JobMetrics(const JobContext&)>;
@@ -190,6 +291,7 @@ class SweepRunner
 
     RunnerOptions opt_;
     CompiledProgramCache* cache_;
+    std::unique_ptr<TraceCache> ownedTraces_;  ///< store-backed cache
     TraceCache* traces_;
     std::vector<JobSpec> specs_;
     std::vector<JobFn> fns_;

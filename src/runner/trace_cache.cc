@@ -14,6 +14,26 @@ namespace {
 /** Emulate in chunks so an over-budget capture aborts early. */
 constexpr uint64_t kCaptureChunk = 1u << 16;
 
+/** Run @p prog for @p maxInsts into a fresh TraceBuffer. */
+std::unique_ptr<TraceBuffer>
+captureTrace(const Program& prog, uint64_t maxInsts, size_t byteLimit)
+{
+    auto trace = std::make_unique<TraceBuffer>();
+    if (byteLimit)
+        trace->setByteLimit(byteLimit);
+    Emulator emu(prog);
+    uint64_t left = maxInsts;
+    RunResult res;
+    while (!emu.done() && left > 0 && !trace->overLimit()) {
+        const uint64_t chunk = std::min(left, kCaptureChunk);
+        const uint64_t before = emu.instCount();
+        res = emu.run(chunk, trace.get());
+        left -= emu.instCount() - before;
+    }
+    trace->setRunOutcome(res.exited, res.exitCode);
+    return trace;
+}
+
 } // namespace
 
 size_t
@@ -35,61 +55,120 @@ TraceCache::defaultBudgetBytes()
     return static_cast<size_t>(mb) << 20;
 }
 
-TraceCache::TraceCache(size_t budgetBytes) : budget_(budgetBytes)
+TraceCache::TraceCache(size_t budgetBytes, TracePersistence* persist)
+    : budget_(budgetBytes), persist_(persist)
 {
 }
 
-const TraceBuffer*
+void
+TraceCache::evictToFit(size_t need)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    while (budget_ && bytes_.load(std::memory_order_relaxed) + need >
+                          budget_) {
+        auto victim = entries_.end();
+        uint64_t oldest = ~0ull;
+        for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+            Entry& e = *it->second;
+            if (!e.ready.load(std::memory_order_acquire) || !e.trace)
+                continue;
+            const uint64_t use = e.lastUse.load(std::memory_order_relaxed);
+            if (use < oldest) {
+                oldest = use;
+                victim = it;
+            }
+        }
+        if (victim == entries_.end())
+            break;  // nothing evictable: accept a soft overrun
+        bytes_.fetch_sub(victim->second->trace->byteSize(),
+                         std::memory_order_relaxed);
+        entries_.erase(victim);  // in-flight handles stay alive
+        evictions_.fetch_add(1, std::memory_order_relaxed);
+    }
+}
+
+std::shared_ptr<const TraceBuffer>
 TraceCache::get(const std::string& workload, Isa isa, uint64_t maxInsts,
                 const Program& prog)
 {
     lookups_.fetch_add(1, std::memory_order_relaxed);
-    Entry* entry;
+    std::shared_ptr<Entry> entry;
     {
         std::lock_guard<std::mutex> lock(mutex_);
         auto& slot =
             entries_[{workload, static_cast<int>(isa), maxInsts}];
         if (!slot)
-            slot = std::make_unique<Entry>();
-        entry = slot.get();
+            slot = std::make_shared<Entry>();
+        entry = slot;
     }
     std::call_once(entry->once, [&] {
-        auto trace = std::make_unique<TraceBuffer>();
+        // 1. Persistent backing: a warm store serves the stream as an
+        //    mmap'd file — no emulation, memory is page-cache backed.
+        if (persist_) {
+            if (auto loaded = persist_->load(prog, maxInsts)) {
+                evictToFit(loaded->byteSize());
+                bytes_.fetch_add(loaded->byteSize(),
+                                 std::memory_order_relaxed);
+                entry->trace = std::move(loaded);
+                entry->ready.store(true, std::memory_order_release);
+                return;
+            }
+        }
+
+        // 2. Capture by emulation. Without eviction the stream must fit
+        //    the *remaining* budget; with a persistent backing it only
+        //    needs to fit the whole budget, since LRU entries can go.
         const size_t used = bytes_.load(std::memory_order_relaxed);
+        size_t limit = 0;
         if (budget_) {
-            if (used >= budget_) {
+            if (!persist_ && used >= budget_) {
                 warn("trace cache: budget of ", budget_ >> 20,
                      " MiB exhausted; ", workload, "/", isaName(isa),
                      " falls back to re-emulation "
                      "(raise CH_TRACE_CACHE_MB)");
+                entry->ready.store(true, std::memory_order_release);
                 return;
             }
-            trace->setByteLimit(budget_ - used);
+            limit = persist_ ? budget_ : budget_ - used;
         }
-
-        Emulator emu(prog);
-        uint64_t left = maxInsts;
-        RunResult res;
-        while (!emu.done() && left > 0 && !trace->overLimit()) {
-            const uint64_t chunk = std::min(left, kCaptureChunk);
-            const uint64_t before = emu.instCount();
-            res = emu.run(chunk, trace.get());
-            left -= emu.instCount() - before;
-        }
+        auto trace = captureTrace(prog, maxInsts, limit);
+        entry->fromCapture.store(true, std::memory_order_relaxed);
         if (trace->overLimit()) {
             warn("trace cache: ", workload, "/", isaName(isa),
-                 " does not fit the remaining ",
-                 (budget_ - used) >> 20, " MiB of the ", budget_ >> 20,
+                 " does not fit the remaining ", limit >> 20,
+                 " MiB of the ", budget_ >> 20,
                  " MiB budget; falls back to re-emulation "
                  "(raise CH_TRACE_CACHE_MB)");
+            entry->ready.store(true, std::memory_order_release);
             return;
         }
-        trace->setRunOutcome(res.exited, res.exitCode);
-        bytes_.fetch_add(trace->byteSize(), std::memory_order_relaxed);
         captures_.fetch_add(1, std::memory_order_relaxed);
-        entry->trace = std::move(trace);
+        std::shared_ptr<const TraceBuffer> result = std::move(trace);
+        if (persist_) {
+            persist_->save(prog, maxInsts, *result);
+            // Prefer the store's mmap-backed copy: its pages are file
+            // backed, so the OS can reclaim them under memory pressure.
+            if (auto reloaded = persist_->load(prog, maxInsts))
+                result = std::move(reloaded);
+            evictToFit(result->byteSize());
+        }
+        bytes_.fetch_add(result->byteSize(), std::memory_order_relaxed);
+        entry->trace = std::move(result);
+        entry->ready.store(true, std::memory_order_release);
     });
-    return entry->trace.get();
+    // Attribute the entry's creation outcome exactly once: the call
+    // that sees `counted` unset books a miss when emulation ran (or the
+    // over-budget fallback hit); every other call is a hit.
+    if (!entry->counted.exchange(true, std::memory_order_relaxed) &&
+        (entry->fromCapture.load(std::memory_order_relaxed) ||
+         !entry->trace)) {
+        misses_.fetch_add(1, std::memory_order_relaxed);
+    } else {
+        hits_.fetch_add(1, std::memory_order_relaxed);
+    }
+    entry->lastUse.store(tick_.fetch_add(1, std::memory_order_relaxed) + 1,
+                         std::memory_order_relaxed);
+    return entry->trace;
 }
 
 TraceCache&

@@ -15,10 +15,18 @@
  * captured block until it is ready.
  *
  * Memory budget: the sum of all cached encodings is capped (default
- * 1024 MiB, override with CH_TRACE_CACHE_MB). A capture that would
- * exceed the cap is abandoned, a warn() note goes to stderr exactly
- * once per key, and get() returns nullptr — callers fall back to direct
- * re-emulation, so truncation is never silent and never changes results.
+ * 1024 MiB, override with CH_TRACE_CACHE_MB). Without a persistent
+ * backing, a capture that would exceed the cap is abandoned, a warn()
+ * note goes to stderr exactly once per key, and get() returns nullptr —
+ * callers fall back to direct re-emulation, so truncation is never
+ * silent and never changes results.
+ *
+ * With a TracePersistence backing attached (the persistent store of
+ * docs/SERVICE.md), the cache instead evicts least-recently-used
+ * entries to make room: evicted streams survive on disk and reload via
+ * mmap, so over-budget grids degrade to cheap page-cache reads instead
+ * of full re-emulation. get() hands out shared_ptr handles, so a
+ * replay in flight keeps its trace alive across a concurrent eviction.
  */
 
 #include <atomic>
@@ -35,31 +43,66 @@
 
 namespace ch {
 
+/**
+ * On-disk backing for committed traces, keyed by program content
+ * (docs/SERVICE.md). Implemented by service::PersistentStore; declared
+ * here so ch_runner does not depend on the service layer.
+ */
+class TracePersistence
+{
+  public:
+    virtual ~TracePersistence() = default;
+
+    /** The stored stream of (prog, maxInsts), or null when absent. */
+    virtual std::shared_ptr<const TraceBuffer>
+    load(const Program& prog, uint64_t maxInsts) = 0;
+
+    /** Persist a fully captured stream (atomic write-then-rename). */
+    virtual void save(const Program& prog, uint64_t maxInsts,
+                      const TraceBuffer& trace) = 0;
+};
+
 /** Execute-once, replay-many committed-trace cache; see file docs. */
 class TraceCache
 {
   public:
-    /** @p budgetBytes caps the total encoded size; 0 = unlimited. */
-    explicit TraceCache(size_t budgetBytes = defaultBudgetBytes());
+    /**
+     * @p budgetBytes caps the total encoded size; 0 = unlimited.
+     * @p persist enables the on-disk backing and LRU eviction.
+     */
+    explicit TraceCache(size_t budgetBytes = defaultBudgetBytes(),
+                        TracePersistence* persist = nullptr);
 
     /**
      * The committed trace of running @p prog (the compiled image of
      * @p workload for @p isa) for up to @p maxInsts instructions,
-     * capturing it on first request. Returns nullptr when caching the
-     * stream would exceed the byte budget; the caller then re-emulates.
-     * Safe to call from any thread.
+     * capturing (or store-loading) it on first request. Returns null
+     * when caching the stream would exceed the byte budget and no
+     * persistent backing is attached; the caller then re-emulates.
+     * Safe to call from any thread; the handle stays valid across a
+     * concurrent eviction.
      */
-    const TraceBuffer* get(const std::string& workload, Isa isa,
-                           uint64_t maxInsts, const Program& prog);
+    std::shared_ptr<const TraceBuffer> get(const std::string& workload,
+                                           Isa isa, uint64_t maxInsts,
+                                           const Program& prog);
 
     /** Total encoded bytes currently held. */
     size_t bytesUsed() const { return bytes_.load(); }
 
-    /** Captures actually performed (not lookups). */
+    /** Captures actually performed by emulation (not lookups). */
     uint64_t captureCount() const { return captures_.load(); }
 
     /** get() calls served. */
     uint64_t lookupCount() const { return lookups_.load(); }
+
+    /** get() calls served without a new emulation capture. */
+    uint64_t hitCount() const { return hits_.load(); }
+
+    /** get() calls that had to emulate (or fell back over budget). */
+    uint64_t missCount() const { return misses_.load(); }
+
+    /** Entries dropped by LRU eviction (persistent backing only). */
+    uint64_t evictionCount() const { return evictions_.load(); }
 
     /** CH_TRACE_CACHE_MB in bytes; 1024 MiB when unset or invalid. */
     static size_t defaultBudgetBytes();
@@ -67,17 +110,29 @@ class TraceCache
   private:
     struct Entry {
         std::once_flag once;
-        std::unique_ptr<TraceBuffer> trace;  ///< null when over budget
+        std::shared_ptr<const TraceBuffer> trace;  ///< null: over budget
+        std::atomic<bool> ready{false};      ///< trace assignment done
+        std::atomic<bool> fromCapture{false};///< emulated, not store-read
+        std::atomic<bool> counted{false};    ///< hit/miss attributed
+        std::atomic<uint64_t> lastUse{0};    ///< LRU tick
     };
 
     using Key = std::tuple<std::string, int, uint64_t>;
 
+    /** Evict ready LRU entries until @p need more bytes fit. */
+    void evictToFit(size_t need);
+
     const size_t budget_;
+    TracePersistence* const persist_;
     std::mutex mutex_;
-    std::map<Key, std::unique_ptr<Entry>> entries_;
+    std::map<Key, std::shared_ptr<Entry>> entries_;
     std::atomic<size_t> bytes_{0};
+    std::atomic<uint64_t> tick_{0};
     std::atomic<uint64_t> captures_{0};
     std::atomic<uint64_t> lookups_{0};
+    std::atomic<uint64_t> hits_{0};
+    std::atomic<uint64_t> misses_{0};
+    std::atomic<uint64_t> evictions_{0};
 };
 
 /** The process-wide cache shared by all sweep runners. */

@@ -1,0 +1,284 @@
+/**
+ * chfarm -- client CLI for the simulation farm (docs/SERVICE.md).
+ *
+ *   chfarm ping     --socket ADDR
+ *   chfarm stats    --socket ADDR          # "key value" lines
+ *   chfarm shutdown --socket ADDR
+ *   chfarm submit   --socket ADDR --spec FILE [--bench NAME]
+ *                   [--metrics-dir DIR] [--host-metrics] [--progress]
+ *
+ * The submit spec file (JSON; FILE may be "-" for stdin) either names a
+ * grid to expand or lists explicit jobs:
+ *
+ *   {
+ *     "workloads": ["coremark", "mcf"],
+ *     "isas": ["riscv", "clockhands"],
+ *     "fetch_widths": [4, 8],
+ *     "max_insts": 200000,
+ *     "core_model": "fast",          // optional run-wide rung
+ *     "priority": 0,                 // optional
+ *     "jobs": [ { ...full JobSpec json... } ]   // optional extras
+ *   }
+ *
+ * Result rows stream to stdout as CSV the moment each job finishes
+ * (completion order); the final ch-sweep-metrics-v1 .json/.csv files
+ * are written in submission order, byte-identical to a local run of
+ * the same grid.
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "runner/metrics.h"
+#include "service/codec.h"
+#include "service/farm.h"
+#include "service/json.h"
+
+using namespace ch;
+using service::JsonValue;
+
+namespace {
+
+[[noreturn]] void
+usage(int code)
+{
+    std::fprintf(
+        stderr,
+        "usage: chfarm <ping|stats|shutdown|submit> --socket ADDR\n"
+        "              [--spec FILE] [--bench NAME] [--metrics-dir D]\n"
+        "              [--host-metrics] [--progress]\n");
+    std::exit(code);
+}
+
+std::string
+readSpecFile(const std::string& path)
+{
+    if (path == "-") {
+        std::ostringstream buf;
+        buf << std::cin.rdbuf();
+        return buf.str();
+    }
+    std::ifstream in(path);
+    if (!in) {
+        std::fprintf(stderr, "chfarm: cannot read spec file '%s'\n",
+                     path.c_str());
+        std::exit(2);
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    return buf.str();
+}
+
+/** Expand the spec-file grid (see file docs) into JobSpecs. */
+std::vector<JobSpec>
+expandGrid(const JsonValue& v)
+{
+    std::vector<JobSpec> specs;
+    const uint64_t maxInsts = v.getU64("max_insts", ~0ull);
+    const int priority =
+        static_cast<int>(v.getI64("priority", 0));
+    CoreModelKind runModel = CoreModelKind::Detailed;
+    bool haveRunModel = false;
+    if (const JsonValue* m = v.find("core_model")) {
+        if (!parseCoreModel(m->asString(), &runModel))
+            fatal("spec file: unknown core_model '", m->asString(),
+                  "'");
+        haveRunModel = true;
+    }
+    std::vector<int> widths;
+    if (const JsonValue* fw = v.find("fetch_widths")) {
+        for (const JsonValue& w : fw->items)
+            widths.push_back(static_cast<int>(w.asI64()));
+    } else {
+        widths.push_back(8);
+    }
+    if (const JsonValue* wls = v.find("workloads")) {
+        const JsonValue* isas = v.find("isas");
+        if (!isas || isas->items.empty())
+            fatal("spec file: \"workloads\" needs \"isas\"");
+        for (const JsonValue& wl : wls->items) {
+            for (const JsonValue& isa : isas->items) {
+                for (int fw : widths) {
+                    JobSpec spec;
+                    spec.workload = wl.asString();
+                    spec.isa = service::isaFromTag(isa.asString());
+                    spec.cfg = MachineConfig::preset(fw);
+                    spec.maxInsts = maxInsts;
+                    spec.priority = priority;
+                    if (haveRunModel)
+                        spec.cfg.coreModel = runModel;
+                    const char* tag =
+                        spec.isa == Isa::Riscv
+                            ? "R"
+                            : spec.isa == Isa::Straight ? "S" : "C";
+                    spec.id = spec.workload + "/" + tag + "/" +
+                              std::to_string(fw) + "f";
+                    spec.seed = jobSeed(spec);
+                    specs.push_back(std::move(spec));
+                }
+            }
+        }
+    }
+    if (const JsonValue* jobs = v.find("jobs")) {
+        for (const JsonValue& j : jobs->items) {
+            JobSpec spec = service::jobSpecFromJson(j);
+            if (spec.seed == 0)
+                spec.seed = jobSeed(spec);
+            specs.push_back(std::move(spec));
+        }
+    }
+    if (specs.empty())
+        fatal("spec file: no jobs (need \"workloads\" or \"jobs\")");
+    return specs;
+}
+
+int
+cmdSubmit(const std::string& socket, const std::string& specPath,
+          const std::string& bench, const std::string& metricsDir,
+          bool hostMetrics, bool progress)
+{
+    JsonValue spec;
+    std::string err;
+    if (!service::jsonTryParse(readSpecFile(specPath), &spec, &err) ||
+        !spec.isObject()) {
+        std::fprintf(stderr, "chfarm: malformed spec file: %s\n",
+                     err.c_str());
+        return 2;
+    }
+    const std::vector<JobSpec> specs = expandGrid(spec);
+
+    std::vector<JobResult> results(specs.size());
+    size_t finished = 0;
+    service::FarmClient client(socket);
+    // Stream one CSV row per result as it lands; the schema matches the
+    // core rows of the final metrics CSV.
+    std::printf("bench,id,workload,isa,ok,kind,metric,value\n");
+    client.runJobs(specs, {}, [&](size_t i, JobResult r) {
+        ++finished;
+        if (progress) {
+            std::fprintf(stderr, "[chfarm %3zu/%zu] %s%s%s\n", finished,
+                         specs.size(), r.spec.id.c_str(),
+                         r.ok ? "" : " FAILED: ",
+                         r.ok ? "" : r.error.c_str());
+        }
+        std::printf("%s,%s,%s,%s,%d,core,cycles,%llu\n", bench.c_str(),
+                    r.spec.id.c_str(), r.spec.workload.c_str(),
+                    service::isaTagName(r.spec.isa), r.ok ? 1 : 0,
+                    static_cast<unsigned long long>(r.metrics.cycles));
+        std::fflush(stdout);
+        results[i] = std::move(r);
+    });
+
+    MetricsOptions opt;
+    opt.bench = bench;
+    opt.hostMetrics = hostMetrics;
+    const std::string path =
+        writeMetricsFiles(metricsDir, opt, results);
+    std::fprintf(stderr, "chfarm: metrics: %s (+ .csv)\n",
+                 path.c_str());
+    for (const JobResult& r : results) {
+        if (!r.ok) {
+            std::fprintf(stderr, "chfarm: job %s failed: %s\n",
+                         r.spec.id.c_str(), r.error.c_str());
+            return 1;
+        }
+    }
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    if (argc < 2)
+        usage(2);
+    const std::string cmd = argv[1];
+    std::string socket, specPath, bench = "chfarm", metricsDir = ".";
+    bool hostMetrics = false, progress = false;
+    for (int i = 2; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&]() -> const char* {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "chfarm: %s needs an argument\n",
+                             arg.c_str());
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (arg == "--socket")
+            socket = next();
+        else if (arg == "--spec")
+            specPath = next();
+        else if (arg == "--bench")
+            bench = next();
+        else if (arg == "--metrics-dir")
+            metricsDir = next();
+        else if (arg == "--host-metrics")
+            hostMetrics = true;
+        else if (arg == "--progress")
+            progress = true;
+        else if (arg == "--help" || arg == "-h")
+            usage(0);
+        else {
+            std::fprintf(stderr, "chfarm: unknown argument '%s'\n",
+                         arg.c_str());
+            usage(2);
+        }
+    }
+    if (socket.empty()) {
+        std::fprintf(stderr, "chfarm: --socket is required\n");
+        usage(2);
+    }
+
+    try {
+        if (cmd == "ping") {
+            service::FarmClient client(socket);
+            const JsonValue v = service::jsonParse(
+                client.request("{\"type\":\"ping\"}"));
+            if (v.getString("type", "") != "pong") {
+                std::fprintf(stderr, "chfarm: unexpected reply\n");
+                return 1;
+            }
+            std::printf("pong\n");
+            return 0;
+        }
+        if (cmd == "stats") {
+            service::FarmClient client(socket);
+            const JsonValue v = service::jsonParse(
+                client.request("{\"type\":\"stats\"}"));
+            for (const auto& [key, value] : v.members) {
+                if (key == "type")
+                    continue;
+                std::printf("%s %s\n", key.c_str(),
+                            value.text.c_str());
+            }
+            return 0;
+        }
+        if (cmd == "shutdown") {
+            service::FarmClient client(socket);
+            client.request("{\"type\":\"shutdown\"}");
+            std::printf("shutdown requested\n");
+            return 0;
+        }
+        if (cmd == "submit") {
+            if (specPath.empty()) {
+                std::fprintf(stderr,
+                             "chfarm: submit needs --spec FILE\n");
+                return 2;
+            }
+            return cmdSubmit(socket, specPath, bench, metricsDir,
+                             hostMetrics, progress);
+        }
+    } catch (const std::exception& e) {
+        std::fprintf(stderr, "chfarm: %s\n", e.what());
+        return 1;
+    }
+    std::fprintf(stderr, "chfarm: unknown command '%s'\n", cmd.c_str());
+    usage(2);
+}

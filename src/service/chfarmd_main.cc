@@ -1,0 +1,123 @@
+/**
+ * chfarmd -- the simulation-farm daemon (docs/SERVICE.md).
+ *
+ * Accepts JobSpec grids over a Unix or TCP socket and shards them
+ * across forked worker processes; see src/service/farm.h for the
+ * process model and wire protocol.
+ *
+ *   chfarmd --socket /tmp/chfarm.sock [--workers N] [--store]
+ *           [--store-dir DIR] [--queue-bound N] [--verbose]
+ */
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "service/farm.h"
+#include "service/store.h"
+
+namespace {
+
+ch::service::FarmServer* g_server = nullptr;
+
+void
+onSignal(int)
+{
+    if (g_server)
+        g_server->requestStop();
+}
+
+[[noreturn]] void
+usage(int code)
+{
+    std::fprintf(
+        stderr,
+        "usage: chfarmd --socket ADDR [--workers N] [--store]\n"
+        "               [--store-dir DIR] [--queue-bound N] "
+        "[--verbose]\n"
+        "\n"
+        "  ADDR is a Unix socket path (or unix:PATH) or host:port.\n"
+        "  --store        persist results/traces under the default\n"
+        "                 store directory (CH_STORE_DIR or\n"
+        "                 ~/.cache/clockhands)\n"
+        "  --store-dir D  persist under D instead\n");
+    std::exit(code);
+}
+
+int
+parseCount(const char* what, const char* s, int lo, int hi)
+{
+    char* end = nullptr;
+    const long v = std::strtol(s, &end, 10);
+    if (end == s || *end != '\0' || v < lo || v > hi) {
+        std::fprintf(stderr, "chfarmd: %s expects %d..%d, got '%s'\n",
+                     what, lo, hi, s);
+        std::exit(2);
+    }
+    return static_cast<int>(v);
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    ch::service::FarmOptions opt;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&]() -> const char* {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "chfarmd: %s needs an argument\n",
+                             arg.c_str());
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (arg == "--socket") {
+            opt.socket = next();
+        } else if (arg == "--workers") {
+            opt.workers = parseCount("--workers", next(), 1, 1024);
+        } else if (arg == "--store") {
+            opt.useStore = true;
+        } else if (arg == "--store-dir") {
+            opt.storeDir = next();
+            opt.useStore = true;
+        } else if (arg == "--queue-bound") {
+            opt.queueBound = static_cast<size_t>(
+                parseCount("--queue-bound", next(), 1, 1 << 20));
+        } else if (arg == "--verbose") {
+            opt.verbose = true;
+        } else if (arg == "--help" || arg == "-h") {
+            usage(0);
+        } else {
+            std::fprintf(stderr, "chfarmd: unknown argument '%s'\n",
+                         arg.c_str());
+            usage(2);
+        }
+    }
+    if (opt.socket.empty()) {
+        std::fprintf(stderr, "chfarmd: --socket is required\n");
+        usage(2);
+    }
+
+    try {
+        const std::string address = opt.socket;
+        ch::service::FarmServer server(std::move(opt));
+        server.start();
+        g_server = &server;
+        std::signal(SIGINT, onSignal);
+        std::signal(SIGTERM, onSignal);
+        // Scripts (CI's farm-smoke job) wait for this line before
+        // connecting.
+        std::printf("chfarmd: listening on %s (%d workers)\n",
+                    address.c_str(), server.workerCount());
+        std::fflush(stdout);
+        server.serve();
+        g_server = nullptr;
+    } catch (const std::exception& e) {
+        std::fprintf(stderr, "chfarmd: %s\n", e.what());
+        return 1;
+    }
+    return 0;
+}

@@ -1,0 +1,319 @@
+#include "service/codec.h"
+
+#include <cstdio>
+
+#include "common/logging.h"
+
+namespace ch {
+namespace service {
+
+uint64_t
+fnv1a(const void* data, size_t len, uint64_t h)
+{
+    const auto* p = static_cast<const uint8_t*>(data);
+    for (size_t i = 0; i < len; ++i) {
+        h ^= p[i];
+        h *= 0x100000001b3ull;
+    }
+    return h;
+}
+
+std::string
+hashHex(uint64_t h)
+{
+    char buf[20];
+    std::snprintf(buf, sizeof(buf), "%016llx",
+                  static_cast<unsigned long long>(h));
+    return buf;
+}
+
+uint64_t
+programHash(const Program& prog)
+{
+    uint64_t h = kFnvBasis;
+    const auto mix = [&h](const void* data, size_t len) {
+        h = fnv1a(data, len, h);
+    };
+    const int isa = static_cast<int>(prog.isa);
+    mix(&isa, sizeof(isa));
+    mix(&prog.textBase, sizeof(prog.textBase));
+    mix(&prog.entry, sizeof(prog.entry));
+    const uint64_t textWords = prog.text.size();
+    mix(&textWords, sizeof(textWords));
+    mix(prog.text.data(), prog.text.size() * sizeof(uint32_t));
+    const uint64_t segs = prog.data.size();
+    mix(&segs, sizeof(segs));
+    for (const Program::DataSeg& seg : prog.data) {
+        mix(&seg.base, sizeof(seg.base));
+        const uint64_t n = seg.bytes.size();
+        mix(&n, sizeof(n));
+        mix(seg.bytes.data(), seg.bytes.size());
+    }
+    return h;
+}
+
+const char*
+isaTagName(Isa isa)
+{
+    switch (isa) {
+      case Isa::Riscv: return "riscv";
+      case Isa::Straight: return "straight";
+      case Isa::Clockhands: return "clockhands";
+    }
+    return "unknown";
+}
+
+Isa
+isaFromTag(const std::string& tag)
+{
+    if (tag == "riscv")
+        return Isa::Riscv;
+    if (tag == "straight")
+        return Isa::Straight;
+    if (tag == "clockhands")
+        return Isa::Clockhands;
+    fatal("unknown isa tag: '", tag, "'");
+}
+
+// The MachineConfig field lists. Keep these in sync with
+// src/uarch/config.h: a field added there must appear here, or farm
+// workers would silently simulate the default value for it.
+#define CH_SERVICE_CFG_INT_FIELDS(X) \
+    X(fetchWidth) \
+    X(renameStagesOverride) \
+    X(issueWidth) \
+    X(issueLatency) \
+    X(commitWidth) \
+    X(robSize) \
+    X(schedSize) \
+    X(loadQueue) \
+    X(storeQueue) \
+    X(btbEntries) \
+    X(btbWays) \
+    X(rasEntries) \
+    X(l1iSizeKiB) \
+    X(l1iWays) \
+    X(l1iLatency) \
+    X(l1dSizeKiB) \
+    X(l1dWays) \
+    X(l1dLatency) \
+    X(l2SizeKiB) \
+    X(l2Ways) \
+    X(l2Latency) \
+    X(memLatency) \
+    X(lineBytes) \
+    X(prefetchDistance) \
+    X(prefetchDegree) \
+    X(ssitEntries) \
+    X(lfstEntries) \
+    X(latIntAlu) \
+    X(latMove) \
+    X(latBranch) \
+    X(latIntMul) \
+    X(latIntDiv) \
+    X(latFpAlu) \
+    X(latFpDiv) \
+    X(latStoreAgu) \
+    X(latForward) \
+    X(replayPenalty)
+
+#define CH_SERVICE_FU_FIELDS(X) \
+    X(intAlu) \
+    X(fp) \
+    X(load) \
+    X(store) \
+    X(iMul) \
+    X(iDiv) \
+    X(fDiv)
+
+JsonValue
+machineConfigToJson(const MachineConfig& cfg)
+{
+    JsonValue v = JsonValue::object();
+#define X(field) v.add(#field, JsonValue::number(cfg.field));
+    CH_SERVICE_CFG_INT_FIELDS(X)
+#undef X
+    JsonValue fu = JsonValue::object();
+#define X(field) fu.add(#field, JsonValue::number(cfg.fu.field));
+    CH_SERVICE_FU_FIELDS(X)
+#undef X
+    v.add("fu", std::move(fu));
+    v.add("equalHandQuota", JsonValue::boolean_(cfg.equalHandQuota));
+    v.add("coreModel", JsonValue::str(coreModelName(cfg.coreModel)));
+    JsonValue sc = JsonValue::object();
+    sc.add("intervalInsts", JsonValue::number(cfg.sampling.intervalInsts));
+    sc.add("sampleInsts", JsonValue::number(cfg.sampling.sampleInsts));
+    sc.add("warmupInsts", JsonValue::number(cfg.sampling.warmupInsts));
+    sc.add("seedOffset", JsonValue::number(cfg.sampling.seedOffset));
+    sc.add("functionalWarming",
+           JsonValue::boolean_(cfg.sampling.functionalWarming));
+    v.add("sampling", std::move(sc));
+    // The pipe-trace path is a host-side label: excluded from the store
+    // key (specKeyJson drops it) but carried on the wire so a local
+    // config round-trips losslessly.
+    if (!cfg.pipeTracePath.empty())
+        v.add("pipeTracePath", JsonValue::str(cfg.pipeTracePath));
+    return v;
+}
+
+MachineConfig
+machineConfigFromJson(const JsonValue& v)
+{
+    if (!v.isObject())
+        fatal("machine config: expected a JSON object");
+    MachineConfig cfg;
+#define X(field) \
+    cfg.field = static_cast<int>(v.getI64(#field, cfg.field));
+    CH_SERVICE_CFG_INT_FIELDS(X)
+#undef X
+    if (const JsonValue* fu = v.find("fu")) {
+#define X(field) \
+    cfg.fu.field = static_cast<int>(fu->getI64(#field, cfg.fu.field));
+        CH_SERVICE_FU_FIELDS(X)
+#undef X
+    }
+    cfg.equalHandQuota = v.getBool("equalHandQuota", cfg.equalHandQuota);
+    const std::string model = v.getString("coreModel", "detailed");
+    if (!parseCoreModel(model, &cfg.coreModel))
+        fatal("machine config: unknown coreModel '", model, "'");
+    if (const JsonValue* sc = v.find("sampling")) {
+        cfg.sampling.intervalInsts =
+            sc->getU64("intervalInsts", cfg.sampling.intervalInsts);
+        cfg.sampling.sampleInsts =
+            sc->getU64("sampleInsts", cfg.sampling.sampleInsts);
+        cfg.sampling.warmupInsts =
+            sc->getU64("warmupInsts", cfg.sampling.warmupInsts);
+        cfg.sampling.seedOffset =
+            sc->getU64("seedOffset", cfg.sampling.seedOffset);
+        cfg.sampling.functionalWarming = sc->getBool(
+            "functionalWarming", cfg.sampling.functionalWarming);
+    }
+    cfg.pipeTracePath = v.getString("pipeTracePath", "");
+    return cfg;
+}
+
+std::string
+specKeyJson(const JobSpec& spec)
+{
+    // Canonical form: fixed member order, the full config, no labels.
+    // Drop the pipe-trace path — the store is never consulted for
+    // tracing jobs (simJob), so it must not split the key space.
+    JobSpec keySpec = spec;
+    keySpec.cfg.pipeTracePath.clear();
+    // Fold an unresolved per-job rung pin into the config it will run
+    // as (SweepRunner::addSim does the same before simulating), so a
+    // pinned spec can never alias a differently-rung stored result.
+    if (keySpec.coreModel)
+        keySpec.cfg.coreModel = *keySpec.coreModel;
+    JsonValue v = JsonValue::object();
+    v.add("schema", JsonValue::str("ch-spec-key-v1"));
+    v.add("workload", JsonValue::str(keySpec.workload));
+    v.add("isa", JsonValue::str(isaTagName(keySpec.isa)));
+    v.add("maxInsts", JsonValue::number(keySpec.maxInsts));
+    v.add("cfg", machineConfigToJson(keySpec.cfg));
+    return v.dump();
+}
+
+uint64_t
+specHash(const JobSpec& spec)
+{
+    const std::string key = specKeyJson(spec);
+    return fnv1a(key.data(), key.size());
+}
+
+JsonValue
+jobSpecToJson(const JobSpec& spec)
+{
+    JsonValue v = JsonValue::object();
+    v.add("id", JsonValue::str(spec.id));
+    v.add("workload", JsonValue::str(spec.workload));
+    v.add("isa", JsonValue::str(isaTagName(spec.isa)));
+    v.add("maxInsts", JsonValue::number(spec.maxInsts));
+    v.add("seed", JsonValue::number(spec.seed));
+    v.add("priority", JsonValue::number(spec.priority));
+    if (spec.coreModel) {
+        v.add("coreModelPin",
+              JsonValue::str(coreModelName(*spec.coreModel)));
+    }
+    v.add("cfg", machineConfigToJson(spec.cfg));
+    return v;
+}
+
+JobSpec
+jobSpecFromJson(const JsonValue& v)
+{
+    if (!v.isObject())
+        fatal("job spec: expected a JSON object");
+    JobSpec spec;
+    spec.id = v.getString("id", "");
+    spec.workload = v.getString("workload", "");
+    spec.isa = isaFromTag(v.getString("isa", "riscv"));
+    spec.maxInsts = v.getU64("maxInsts", ~0ull);
+    spec.seed = v.getU64("seed", 0);
+    spec.priority = static_cast<int>(v.getI64("priority", 0));
+    if (const JsonValue* pin = v.find("coreModelPin")) {
+        CoreModelKind kind;
+        if (!parseCoreModel(pin->asString(), &kind))
+            fatal("job spec: unknown coreModelPin '", pin->asString(),
+                  "'");
+        spec.coreModel = kind;
+    }
+    if (const JsonValue* cfg = v.find("cfg"))
+        spec.cfg = machineConfigFromJson(*cfg);
+    return spec;
+}
+
+JsonValue
+jobMetricsToJson(const JobMetrics& m)
+{
+    JsonValue v = JsonValue::object();
+    v.add("exited", JsonValue::boolean_(m.exited));
+    v.add("exitCode", JsonValue::number(m.exitCode));
+    v.add("cycles", JsonValue::number(m.cycles));
+    v.add("insts", JsonValue::number(m.insts));
+    JsonValue counters = JsonValue::object();
+    for (const auto& [name, value] : m.counters)
+        counters.add(name, JsonValue::number(value));
+    v.add("counters", std::move(counters));
+    JsonValue values = JsonValue::object();
+    for (const auto& [name, value] : m.values)
+        values.add(name, JsonValue::number(value));
+    v.add("values", std::move(values));
+    v.add("wallMs", JsonValue::number(m.wallMs));
+    v.add("peakRssKiB", JsonValue::number(m.peakRssKiB));
+    JsonValue host = JsonValue::object();
+    for (const auto& [name, value] : m.hostCounters)
+        host.add(name, JsonValue::number(value));
+    v.add("hostCounters", std::move(host));
+    return v;
+}
+
+JobMetrics
+jobMetricsFromJson(const JsonValue& v)
+{
+    if (!v.isObject())
+        fatal("job metrics: expected a JSON object");
+    JobMetrics m;
+    m.exited = v.getBool("exited", false);
+    m.exitCode = v.getI64("exitCode", 0);
+    m.cycles = v.getU64("cycles", 0);
+    m.insts = v.getU64("insts", 0);
+    if (const JsonValue* counters = v.find("counters")) {
+        for (const auto& [name, value] : counters->members)
+            m.counters[name] = value.asU64();
+    }
+    if (const JsonValue* values = v.find("values")) {
+        for (const auto& [name, value] : values->members)
+            m.values[name] = value.asDouble();
+    }
+    m.wallMs = v.getDouble("wallMs", 0);
+    m.peakRssKiB = v.getI64("peakRssKiB", 0);
+    if (const JsonValue* host = v.find("hostCounters")) {
+        for (const auto& [name, value] : host->members)
+            m.hostCounters[name] = value.asU64();
+    }
+    return m;
+}
+
+} // namespace service
+} // namespace ch

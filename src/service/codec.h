@@ -1,0 +1,66 @@
+#ifndef CH_SERVICE_CODEC_H
+#define CH_SERVICE_CODEC_H
+
+/**
+ * @file
+ * JobSpec/JobMetrics <-> JSON conversions plus the content-addressed
+ * keys of the persistent store (docs/SERVICE.md).
+ *
+ * Two key invariants:
+ *
+ *  - Exactness: every field round-trips bit-for-bit (uint64 counters as
+ *    raw integer tokens, doubles via %.17g), so a farm or store round
+ *    trip re-emits byte-identical ch-sweep-metrics-v1 files.
+ *
+ *  - Content addressing: programHash() digests what the emulator
+ *    actually executes (ISA, layout, text, data); specKeyJson() is a
+ *    canonical serialization of the simulation-relevant spec fields.
+ *    Labels that cannot change any metric — id, seed, priority, the
+ *    pipe-trace path — are excluded, so relabeled grids still hit.
+ */
+
+#include <cstdint>
+#include <string>
+
+#include "runner/runner.h"
+#include "service/json.h"
+
+namespace ch {
+namespace service {
+
+/** Incremental FNV-1a64 (same constants as jobSeed()). */
+constexpr uint64_t kFnvBasis = 0xcbf29ce484222325ull;
+uint64_t fnv1a(const void* data, size_t len,
+               uint64_t h = kFnvBasis);
+
+/** 16-lowercase-hex-digit form of a hash. */
+std::string hashHex(uint64_t h);
+
+/** Digest of the executable content of @p prog; see file docs. */
+uint64_t programHash(const Program& prog);
+
+/** Canonical JSON of the simulation-relevant spec fields. */
+std::string specKeyJson(const JobSpec& spec);
+
+/** fnv1a over specKeyJson(). */
+uint64_t specHash(const JobSpec& spec);
+
+// -- wire/file conversions (all fields, labels included) --------------
+JsonValue machineConfigToJson(const MachineConfig& cfg);
+MachineConfig machineConfigFromJson(const JsonValue& v);
+
+JsonValue jobSpecToJson(const JobSpec& spec);
+JobSpec jobSpecFromJson(const JsonValue& v);
+
+JsonValue jobMetricsToJson(const JobMetrics& m);
+JobMetrics jobMetricsFromJson(const JsonValue& v);
+
+/** Canonical ISA tag ("riscv"/"straight"/"clockhands"). */
+const char* isaTagName(Isa isa);
+/** Parse an ISA tag; throws FatalError on anything else. */
+Isa isaFromTag(const std::string& tag);
+
+} // namespace service
+} // namespace ch
+
+#endif // CH_SERVICE_CODEC_H

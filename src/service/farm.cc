@@ -1,0 +1,1077 @@
+#include "service/farm.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netdb.h>
+#include <poll.h>
+#include <signal.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <deque>
+#include <map>
+#include <thread>
+
+#include "common/logging.h"
+#include "runner/trace_cache.h"
+#include "service/codec.h"
+#include "service/json.h"
+#include "service/store.h"
+#include "workloads/workloads.h"
+
+namespace ch {
+namespace service {
+
+namespace {
+
+// ---------------------------------------------------------------------
+// Socket plumbing.
+// ---------------------------------------------------------------------
+
+/** True when @p address names a Unix socket path (see FarmOptions). */
+bool
+isUnixAddress(const std::string& address, std::string* path)
+{
+    if (address.rfind("unix:", 0) == 0) {
+        *path = address.substr(5);
+        return true;
+    }
+    if (address.find('/') != std::string::npos) {
+        *path = address;
+        return true;
+    }
+    return false;
+}
+
+void
+splitHostPort(const std::string& address, std::string* host,
+              std::string* port)
+{
+    std::string rest = address;
+    if (rest.rfind("tcp:", 0) == 0)
+        rest = rest.substr(4);
+    const size_t colon = rest.rfind(':');
+    if (colon == std::string::npos || colon + 1 >= rest.size())
+        fatal("farm: '", address, "' is not host:port or a socket path");
+    *host = rest.substr(0, colon);
+    if (host->empty())
+        *host = "127.0.0.1";
+    *port = rest.substr(colon + 1);
+}
+
+int
+listenOn(const std::string& address, std::string* unixPath)
+{
+    std::string path;
+    if (isUnixAddress(address, &path)) {
+        if (path.empty())
+            fatal("farm: empty Unix socket path");
+        sockaddr_un sa = {};
+        sa.sun_family = AF_UNIX;
+        if (path.size() >= sizeof(sa.sun_path))
+            fatal("farm: socket path too long: '", path, "'");
+        std::memcpy(sa.sun_path, path.c_str(), path.size() + 1);
+        const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+        if (fd < 0)
+            fatal("farm: socket(): ", std::strerror(errno));
+        ::unlink(path.c_str());   // replace a stale socket file
+        if (::bind(fd, reinterpret_cast<sockaddr*>(&sa), sizeof(sa)) !=
+            0) {
+            const int err = errno;
+            ::close(fd);
+            fatal("farm: cannot bind '", path, "': ",
+                  std::strerror(err));
+        }
+        if (::listen(fd, 64) != 0) {
+            const int err = errno;
+            ::close(fd);
+            fatal("farm: listen on '", path, "': ", std::strerror(err));
+        }
+        *unixPath = path;
+        return fd;
+    }
+
+    std::string host, port;
+    splitHostPort(address, &host, &port);
+    addrinfo hints = {};
+    hints.ai_family = AF_UNSPEC;
+    hints.ai_socktype = SOCK_STREAM;
+    hints.ai_flags = AI_PASSIVE;
+    addrinfo* res = nullptr;
+    const int rc = ::getaddrinfo(host.c_str(), port.c_str(), &hints,
+                                 &res);
+    if (rc != 0)
+        fatal("farm: cannot resolve '", address, "': ",
+              gai_strerror(rc));
+    int fd = -1;
+    std::string err = "no addresses";
+    for (addrinfo* ai = res; ai; ai = ai->ai_next) {
+        fd = ::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol);
+        if (fd < 0) {
+            err = std::strerror(errno);
+            continue;
+        }
+        const int one = 1;
+        ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+        if (::bind(fd, ai->ai_addr, ai->ai_addrlen) == 0 &&
+            ::listen(fd, 64) == 0)
+            break;
+        err = std::strerror(errno);
+        ::close(fd);
+        fd = -1;
+    }
+    ::freeaddrinfo(res);
+    if (fd < 0)
+        fatal("farm: cannot listen on '", address, "': ", err);
+    unixPath->clear();
+    return fd;
+}
+
+int
+connectTo(const std::string& address)
+{
+    std::string path;
+    if (isUnixAddress(address, &path)) {
+        sockaddr_un sa = {};
+        sa.sun_family = AF_UNIX;
+        if (path.empty() || path.size() >= sizeof(sa.sun_path))
+            fatal("farm: bad Unix socket path: '", path, "'");
+        std::memcpy(sa.sun_path, path.c_str(), path.size() + 1);
+        const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+        if (fd < 0)
+            fatal("farm: socket(): ", std::strerror(errno));
+        if (::connect(fd, reinterpret_cast<sockaddr*>(&sa),
+                      sizeof(sa)) != 0) {
+            const int err = errno;
+            ::close(fd);
+            fatal("farm: cannot connect to '", path, "': ",
+                  std::strerror(err));
+        }
+        return fd;
+    }
+
+    std::string host, port;
+    splitHostPort(address, &host, &port);
+    addrinfo hints = {};
+    hints.ai_family = AF_UNSPEC;
+    hints.ai_socktype = SOCK_STREAM;
+    addrinfo* res = nullptr;
+    const int rc = ::getaddrinfo(host.c_str(), port.c_str(), &hints,
+                                 &res);
+    if (rc != 0)
+        fatal("farm: cannot resolve '", address, "': ",
+              gai_strerror(rc));
+    int fd = -1;
+    std::string err = "no addresses";
+    for (addrinfo* ai = res; ai; ai = ai->ai_next) {
+        fd = ::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol);
+        if (fd < 0) {
+            err = std::strerror(errno);
+            continue;
+        }
+        if (::connect(fd, ai->ai_addr, ai->ai_addrlen) == 0)
+            break;
+        err = std::strerror(errno);
+        ::close(fd);
+        fd = -1;
+    }
+    ::freeaddrinfo(res);
+    if (fd < 0)
+        fatal("farm: cannot connect to '", address, "': ", err);
+    return fd;
+}
+
+void
+setNonBlocking(int fd)
+{
+    const int flags = ::fcntl(fd, F_GETFL, 0);
+    ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+}
+
+/** Write all of @p data to @p fd, waiting out EAGAIN with poll(). */
+bool
+writeAll(int fd, const std::string& data)
+{
+    size_t off = 0;
+    while (off < data.size()) {
+        const ssize_t n =
+            ::write(fd, data.data() + off, data.size() - off);
+        if (n > 0) {
+            off += static_cast<size_t>(n);
+            continue;
+        }
+        if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+            pollfd pfd{fd, POLLOUT, 0};
+            ::poll(&pfd, 1, 1000);
+            continue;
+        }
+        if (n < 0 && errno == EINTR)
+            continue;
+        return false;
+    }
+    return true;
+}
+
+/** Blocking line read into @p inBuf; false on EOF/error. */
+bool
+readLineBlocking(int fd, std::string& inBuf, std::string* line)
+{
+    for (;;) {
+        const size_t nl = inBuf.find('\n');
+        if (nl != std::string::npos) {
+            *line = inBuf.substr(0, nl);
+            inBuf.erase(0, nl + 1);
+            return true;
+        }
+        char buf[65536];
+        const ssize_t n = ::read(fd, buf, sizeof(buf));
+        if (n > 0) {
+            inBuf.append(buf, static_cast<size_t>(n));
+            continue;
+        }
+        if (n < 0 && errno == EINTR)
+            continue;
+        return false;
+    }
+}
+
+// ---------------------------------------------------------------------
+// Worker process.
+// ---------------------------------------------------------------------
+
+/**
+ * The forked worker's main loop: read job lines, simulate, write done
+ * lines; EOF on the master pipe is the shutdown signal. Never returns.
+ */
+[[noreturn]] void
+workerMain(int fd, const FarmOptions& opt)
+{
+    ::signal(SIGPIPE, SIG_IGN);
+    std::shared_ptr<PersistentStore> store;
+    std::unique_ptr<TraceCache> ownedTraces;
+    TraceCache* traces = &traceCache();
+    try {
+        if (opt.useStore) {
+            store = std::make_shared<PersistentStore>(opt.storeDir);
+            ownedTraces = std::make_unique<TraceCache>(
+                TraceCache::defaultBudgetBytes(), store.get());
+            traces = ownedTraces.get();
+        }
+    } catch (const std::exception& e) {
+        std::fprintf(stderr, "chfarmd worker: store setup failed: %s\n",
+                     e.what());
+        ::_exit(1);
+    }
+
+    std::string inBuf, line;
+    while (readLineBlocking(fd, inBuf, &line)) {
+        JsonValue msg;
+        std::string err;
+        if (!jsonTryParse(line, &msg, &err) ||
+            msg.getString("type", "") != "job") {
+            std::fprintf(stderr, "chfarmd worker: bad job line: %s\n",
+                         err.c_str());
+            continue;
+        }
+        const uint64_t tag = msg.getU64("tag", 0);
+        if (msg.getBool("fault_inject", false)) {
+            // Crash-containment hook (tests/service_test.cc): die the
+            // way a simulator bug would, mid-job.
+            std::fprintf(stderr,
+                         "chfarmd worker: fault injection, aborting\n");
+            std::abort();
+        }
+        JsonValue reply = JsonValue::object();
+        reply.add("type", JsonValue::str("done"));
+        reply.add("tag", JsonValue::number(tag));
+        bool storeHit = false;
+        const auto t0 = std::chrono::steady_clock::now();
+        try {
+            JobSpec spec = jobSpecFromJson(*msg.find("spec"));
+            if (spec.workload.empty())
+                fatal("farm job without a workload");
+            // Resolve a per-job rung pin into the config, exactly as
+            // SweepRunner::addSim does locally: a pinned spec submitted
+            // straight over the wire (chfarm submit) must simulate at
+            // its pinned rung, not the config default.
+            if (spec.coreModel)
+                spec.cfg.coreModel = *spec.coreModel;
+            const Program& prog =
+                compiledWorkload(spec.workload, spec.isa);
+            JobContext ctx{spec, &prog, programCache(), traces,
+                           store.get()};
+            JobMetrics m = simJob(ctx);
+            storeHit = ctx.storeHit;
+            const auto t1 = std::chrono::steady_clock::now();
+            m.wallMs =
+                std::chrono::duration<double, std::milli>(t1 - t0)
+                    .count();
+            m.peakRssKiB = currentPeakRssKiB();
+            if (traces) {
+                m.hostCounters["trace_cache.hits"] = traces->hitCount();
+                m.hostCounters["trace_cache.misses"] =
+                    traces->missCount();
+                m.hostCounters["trace_cache.evictions"] =
+                    traces->evictionCount();
+            }
+            reply.add("ok", JsonValue::boolean_(true));
+            reply.add("store_hit", JsonValue::boolean_(storeHit));
+            reply.add("metrics", jobMetricsToJson(m));
+        } catch (const std::exception& e) {
+            reply.add("ok", JsonValue::boolean_(false));
+            reply.add("error", JsonValue::str(e.what()));
+            reply.add("store_hit", JsonValue::boolean_(false));
+            reply.add("metrics", jobMetricsToJson(JobMetrics{}));
+        }
+        if (!writeAll(fd, reply.dump() + "\n"))
+            break;
+    }
+    ::_exit(0);
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------
+// FarmServer.
+// ---------------------------------------------------------------------
+
+struct FarmServer::Impl {
+    struct PendingJob {
+        uint64_t tag = 0;
+        int clientFd = -1;       ///< -1: owner disconnected, drop result
+        uint64_t clientId = 0;
+        int priority = 0;
+        std::string wireLine;    ///< prebuilt master->worker job line
+        std::string label;       ///< spec id, for verbose logs
+    };
+
+    struct WorkerSlot {
+        pid_t pid = -1;
+        int fd = -1;
+        std::string inBuf;
+        std::deque<PendingJob> queue;
+        bool busy = false;
+        PendingJob current;
+    };
+
+    struct ClientConn {
+        std::string inBuf;
+        std::string outBuf;
+    };
+
+    FarmOptions opt;
+    FarmServer* self = nullptr;
+    int listenFd = -1;
+    std::string unixPath;
+    std::vector<WorkerSlot> workers;
+    std::map<int, ClientConn> clients;
+    uint64_t nextTag = 1;
+    size_t queuedJobs = 0;
+
+    // Lifetime counters, reported by the stats message.
+    uint64_t jobsDone = 0;
+    uint64_t jobsFailed = 0;
+    uint64_t crashes = 0;
+    uint64_t simulated = 0;    ///< results that actually ran a simulation
+    uint64_t storeHits = 0;    ///< results served from the store
+    uint64_t busyReplies = 0;
+
+    int
+    resolvedWorkers() const
+    {
+        int n = opt.workers;
+        if (n <= 0)
+            n = static_cast<int>(std::thread::hardware_concurrency());
+        return n > 0 ? n : 1;
+    }
+
+    void
+    spawnWorker(WorkerSlot& w)
+    {
+        int sp[2];
+        if (::socketpair(AF_UNIX, SOCK_STREAM, 0, sp) != 0)
+            fatal("farm: socketpair(): ", std::strerror(errno));
+        const pid_t pid = ::fork();
+        if (pid < 0)
+            fatal("farm: fork(): ", std::strerror(errno));
+        if (pid == 0) {
+            // Child: drop every master-side fd, then serve jobs.
+            ::close(sp[0]);
+            if (listenFd >= 0)
+                ::close(listenFd);
+            for (const auto& [fd, conn] : clients) {
+                (void)conn;
+                ::close(fd);
+            }
+            for (const WorkerSlot& other : workers) {
+                if (other.fd >= 0)
+                    ::close(other.fd);
+            }
+            workerMain(sp[1], opt);
+        }
+        ::close(sp[1]);
+        setNonBlocking(sp[0]);
+        w.pid = pid;
+        w.fd = sp[0];
+        w.inBuf.clear();
+        w.busy = false;
+    }
+
+    void
+    start()
+    {
+        ::signal(SIGPIPE, SIG_IGN);
+        listenFd = listenOn(opt.socket, &unixPath);
+        setNonBlocking(listenFd);
+        workers.resize(static_cast<size_t>(resolvedWorkers()));
+        for (WorkerSlot& w : workers)
+            spawnWorker(w);
+    }
+
+    size_t
+    affinity(const JobSpec& spec) const
+    {
+        uint64_t h = fnv1a(spec.workload.data(), spec.workload.size());
+        const int isa = static_cast<int>(spec.isa);
+        h = fnv1a(&isa, sizeof(isa), h);
+        return static_cast<size_t>(h % workers.size());
+    }
+
+    void
+    enqueue(PendingJob job)
+    {
+        WorkerSlot& w = workers[affinity(jobOf(job))];
+        // Priority order, stable within a priority level: insert after
+        // the last entry with priority >= ours.
+        auto it = w.queue.begin();
+        while (it != w.queue.end() && it->priority >= job.priority)
+            ++it;
+        w.queue.insert(it, std::move(job));
+        ++queuedJobs;
+    }
+
+    /** The job's spec — only the scheduling fields are needed, so the
+     *  wire line is re-parsed lazily exactly once per enqueue. */
+    JobSpec
+    jobOf(const PendingJob& job) const
+    {
+        const JsonValue v = jsonParse(job.wireLine);
+        return jobSpecFromJson(*v.find("spec"));
+    }
+
+    void
+    sendToClient(int fd, const std::string& line)
+    {
+        auto it = clients.find(fd);
+        if (it == clients.end())
+            return;
+        it->second.outBuf += line;
+        it->second.outBuf += '\n';
+        flushClient(fd);
+    }
+
+    void
+    flushClient(int fd)
+    {
+        auto it = clients.find(fd);
+        if (it == clients.end())
+            return;
+        std::string& out = it->second.outBuf;
+        while (!out.empty()) {
+            const ssize_t n = ::write(fd, out.data(), out.size());
+            if (n > 0) {
+                out.erase(0, static_cast<size_t>(n));
+                continue;
+            }
+            if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK ||
+                          errno == EINTR))
+                return;   // POLLOUT will resume
+            dropClient(fd);
+            return;
+        }
+    }
+
+    void
+    dropClient(int fd)
+    {
+        auto it = clients.find(fd);
+        if (it == clients.end())
+            return;
+        ::close(fd);
+        clients.erase(it);
+        // Orphan this client's work: queued jobs go away, the running
+        // one finishes but its result is dropped.
+        for (WorkerSlot& w : workers) {
+            for (auto jit = w.queue.begin(); jit != w.queue.end();) {
+                if (jit->clientFd == fd) {
+                    jit = w.queue.erase(jit);
+                    --queuedJobs;
+                } else {
+                    ++jit;
+                }
+            }
+            if (w.busy && w.current.clientFd == fd)
+                w.current.clientFd = -1;
+        }
+    }
+
+    void
+    dispatch()
+    {
+        for (WorkerSlot& w : workers) {
+            if (w.busy || w.fd < 0)
+                continue;
+            PendingJob job;
+            if (!w.queue.empty()) {
+                job = std::move(w.queue.front());
+                w.queue.pop_front();
+            } else {
+                // Work stealing: raid the longest queue from its tail,
+                // the lowest-priority end, so the victim keeps its most
+                // urgent work close to its warm caches.
+                WorkerSlot* victim = nullptr;
+                for (WorkerSlot& other : workers) {
+                    if (!other.queue.empty() &&
+                        (!victim ||
+                         other.queue.size() > victim->queue.size()))
+                        victim = &other;
+                }
+                if (!victim)
+                    continue;
+                job = std::move(victim->queue.back());
+                victim->queue.pop_back();
+            }
+            --queuedJobs;
+            if (opt.verbose) {
+                std::fprintf(stderr, "chfarmd: worker %d <- %s\n",
+                             static_cast<int>(w.pid),
+                             job.label.c_str());
+            }
+            if (!writeAll(w.fd, job.wireLine)) {
+                // The worker died between jobs; the poll loop will reap
+                // and respawn it. Requeue at the front.
+                w.queue.push_front(std::move(job));
+                ++queuedJobs;
+                continue;
+            }
+            w.current = std::move(job);
+            w.busy = true;
+        }
+    }
+
+    void
+    handleClientLine(int fd, const std::string& line)
+    {
+        JsonValue msg;
+        std::string err;
+        if (!jsonTryParse(line, &msg, &err) || !msg.isObject()) {
+            JsonValue r = JsonValue::object();
+            r.add("type", JsonValue::str("error"));
+            r.add("error", JsonValue::str("malformed request: " + err));
+            sendToClient(fd, r.dump());
+            return;
+        }
+        const std::string type = msg.getString("type", "");
+        if (type == "ping") {
+            sendToClient(fd, "{\"type\":\"pong\"}");
+            return;
+        }
+        if (type == "stats") {
+            size_t running = 0;
+            for (const WorkerSlot& w : workers)
+                running += w.busy ? 1 : 0;
+            JsonValue r = JsonValue::object();
+            r.add("type", JsonValue::str("stats"));
+            r.add("workers",
+                  JsonValue::number(static_cast<uint64_t>(
+                      workers.size())));
+            r.add("queue_depth",
+                  JsonValue::number(static_cast<uint64_t>(queuedJobs)));
+            r.add("running",
+                  JsonValue::number(static_cast<uint64_t>(running)));
+            r.add("jobs_done", JsonValue::number(jobsDone));
+            r.add("jobs_failed", JsonValue::number(jobsFailed));
+            r.add("worker_crashes", JsonValue::number(crashes));
+            r.add("simulated", JsonValue::number(simulated));
+            r.add("store_hits", JsonValue::number(storeHits));
+            r.add("busy_replies", JsonValue::number(busyReplies));
+            sendToClient(fd, r.dump());
+            return;
+        }
+        if (type == "shutdown") {
+            sendToClient(fd, "{\"type\":\"bye\"}");
+            self->requestStop();
+            return;
+        }
+        if (type == "submit") {
+            const uint64_t id = msg.getU64("id", 0);
+            if (queuedJobs >= opt.queueBound) {
+                ++busyReplies;
+                JsonValue r = JsonValue::object();
+                r.add("type", JsonValue::str("busy"));
+                r.add("id", JsonValue::number(id));
+                sendToClient(fd, r.dump());
+                return;
+            }
+            const JsonValue* spec = msg.find("spec");
+            if (!spec) {
+                JsonValue r = JsonValue::object();
+                r.add("type", JsonValue::str("error"));
+                r.add("error", JsonValue::str("submit without a spec"));
+                sendToClient(fd, r.dump());
+                return;
+            }
+            PendingJob job;
+            job.tag = nextTag++;
+            job.clientFd = fd;
+            job.clientId = id;
+            try {
+                const JobSpec parsed = jobSpecFromJson(*spec);
+                job.priority = parsed.priority;
+                job.label = parsed.id;
+            } catch (const std::exception& e) {
+                // Accept anyway: the worker re-parses and reports the
+                // error as a structured result row for this id.
+                job.label = "unparsed";
+            }
+            JsonValue wire = JsonValue::object();
+            wire.add("type", JsonValue::str("job"));
+            wire.add("tag", JsonValue::number(job.tag));
+            if (msg.getBool("fault_inject", false))
+                wire.add("fault_inject", JsonValue::boolean_(true));
+            wire.add("spec", *spec);
+            job.wireLine = wire.dump() + "\n";
+            enqueue(std::move(job));
+            JsonValue r = JsonValue::object();
+            r.add("type", JsonValue::str("accepted"));
+            r.add("id", JsonValue::number(id));
+            sendToClient(fd, r.dump());
+            dispatch();
+            return;
+        }
+        JsonValue r = JsonValue::object();
+        r.add("type", JsonValue::str("error"));
+        r.add("error", JsonValue::str("unknown request type '" + type +
+                                      "'"));
+        sendToClient(fd, r.dump());
+    }
+
+    void
+    finishJob(const PendingJob& job, bool ok, const std::string& error,
+              bool storeHit, const JsonValue* metrics)
+    {
+        ++jobsDone;
+        if (!ok)
+            ++jobsFailed;
+        else if (storeHit)
+            ++storeHits;
+        if (ok && !storeHit)
+            ++simulated;
+        if (job.clientFd < 0)
+            return;   // owner disconnected
+        JsonValue r = JsonValue::object();
+        r.add("type", JsonValue::str("result"));
+        r.add("id", JsonValue::number(job.clientId));
+        r.add("ok", JsonValue::boolean_(ok));
+        if (!ok)
+            r.add("error", JsonValue::str(error));
+        r.add("store_hit", JsonValue::boolean_(storeHit));
+        r.add("metrics",
+              metrics ? *metrics : jobMetricsToJson(JobMetrics{}));
+        sendToClient(job.clientFd, r.dump());
+    }
+
+    void
+    handleWorkerLine(WorkerSlot& w, const std::string& line)
+    {
+        JsonValue msg;
+        std::string err;
+        if (!jsonTryParse(line, &msg, &err) ||
+            msg.getString("type", "") != "done") {
+            warn("chfarmd: dropping malformed worker line: ", err);
+            return;
+        }
+        if (!w.busy || msg.getU64("tag", 0) != w.current.tag) {
+            warn("chfarmd: worker result for an unexpected tag");
+            return;
+        }
+        const PendingJob job = std::move(w.current);
+        w.busy = false;
+        finishJob(job, msg.getBool("ok", false),
+                  msg.getString("error", "simulation failed"),
+                  msg.getBool("store_hit", false), msg.find("metrics"));
+        dispatch();
+    }
+
+    /** A worker fd hit EOF: reap, fail its in-flight job, respawn. */
+    void
+    workerDied(WorkerSlot& w)
+    {
+        int status = 0;
+        ::waitpid(w.pid, &status, 0);
+        std::string detail = "exited";
+        if (WIFSIGNALED(status)) {
+            detail = "killed by signal " +
+                     std::to_string(WTERMSIG(status));
+        } else if (WIFEXITED(status)) {
+            detail = "exit status " +
+                     std::to_string(WEXITSTATUS(status));
+        }
+        ::close(w.fd);
+        w.fd = -1;
+        ++crashes;
+        if (opt.verbose || w.busy) {
+            std::fprintf(stderr,
+                         "chfarmd: worker %d crashed (%s)%s%s; "
+                         "respawning\n",
+                         static_cast<int>(w.pid), detail.c_str(),
+                         w.busy ? " during " : "",
+                         w.busy ? w.current.label.c_str() : "");
+        }
+        if (w.busy) {
+            const PendingJob job = std::move(w.current);
+            w.busy = false;
+            finishJob(job, false,
+                      "farm worker crashed (" + detail +
+                          "); job isolated, worker respawned",
+                      false, nullptr);
+        }
+        spawnWorker(w);
+        dispatch();
+    }
+
+    void
+    serve()
+    {
+        while (!self->stop_.load(std::memory_order_relaxed)) {
+            std::vector<pollfd> fds;
+            fds.push_back({listenFd, POLLIN, 0});
+            const size_t workerBase = fds.size();
+            for (const WorkerSlot& w : workers)
+                fds.push_back({w.fd, POLLIN, 0});
+            const size_t clientBase = fds.size();
+            std::vector<int> clientFds;
+            for (const auto& [fd, conn] : clients) {
+                short events = POLLIN;
+                if (!conn.outBuf.empty())
+                    events |= POLLOUT;
+                fds.push_back({fd, events, 0});
+                clientFds.push_back(fd);
+            }
+
+            const int n = ::poll(fds.data(),
+                                 static_cast<nfds_t>(fds.size()), 200);
+            if (n < 0) {
+                if (errno == EINTR)
+                    continue;
+                fatal("farm: poll(): ", std::strerror(errno));
+            }
+            if (n == 0)
+                continue;
+
+            if (fds[0].revents & POLLIN) {
+                for (;;) {
+                    const int cfd = ::accept(listenFd, nullptr, nullptr);
+                    if (cfd < 0)
+                        break;
+                    setNonBlocking(cfd);
+                    clients[cfd];
+                }
+            }
+
+            for (size_t i = 0; i < workers.size(); ++i) {
+                const short re = fds[workerBase + i].revents;
+                if (!(re & (POLLIN | POLLHUP | POLLERR)))
+                    continue;
+                WorkerSlot& w = workers[i];
+                bool died = false;
+                for (;;) {
+                    char buf[65536];
+                    const ssize_t r = ::read(w.fd, buf, sizeof(buf));
+                    if (r > 0) {
+                        w.inBuf.append(buf, static_cast<size_t>(r));
+                        continue;
+                    }
+                    if (r < 0 && (errno == EAGAIN ||
+                                  errno == EWOULDBLOCK))
+                        break;
+                    if (r < 0 && errno == EINTR)
+                        continue;
+                    died = true;   // EOF or hard error
+                    break;
+                }
+                size_t nl;
+                while ((nl = w.inBuf.find('\n')) != std::string::npos) {
+                    const std::string line = w.inBuf.substr(0, nl);
+                    w.inBuf.erase(0, nl + 1);
+                    handleWorkerLine(w, line);
+                }
+                if (died)
+                    workerDied(w);
+            }
+
+            for (size_t i = 0; i < clientFds.size(); ++i) {
+                const int cfd = clientFds[i];
+                const short re = fds[clientBase + i].revents;
+                if (re & POLLOUT)
+                    flushClient(cfd);
+                if (!clients.count(cfd))
+                    continue;
+                if (!(re & (POLLIN | POLLHUP | POLLERR)))
+                    continue;
+                bool gone = false;
+                auto& conn = clients[cfd];
+                for (;;) {
+                    char buf[65536];
+                    const ssize_t r = ::read(cfd, buf, sizeof(buf));
+                    if (r > 0) {
+                        conn.inBuf.append(buf,
+                                          static_cast<size_t>(r));
+                        continue;
+                    }
+                    if (r < 0 && (errno == EAGAIN ||
+                                  errno == EWOULDBLOCK))
+                        break;
+                    if (r < 0 && errno == EINTR)
+                        continue;
+                    gone = true;
+                    break;
+                }
+                size_t nl;
+                while (clients.count(cfd) &&
+                       (nl = conn.inBuf.find('\n')) !=
+                           std::string::npos) {
+                    const std::string line = conn.inBuf.substr(0, nl);
+                    conn.inBuf.erase(0, nl + 1);
+                    handleClientLine(cfd, line);
+                }
+                if (gone)
+                    dropClient(cfd);
+            }
+        }
+        cleanup();
+    }
+
+    void
+    cleanup()
+    {
+        // Best-effort flush of final replies (the shutdown "bye").
+        for (auto& [fd, conn] : clients) {
+            if (!conn.outBuf.empty())
+                writeAll(fd, conn.outBuf);
+            ::close(fd);
+        }
+        clients.clear();
+        for (WorkerSlot& w : workers) {
+            if (w.fd >= 0) {
+                ::close(w.fd);   // EOF: worker _exit(0)s
+                w.fd = -1;
+            }
+            if (w.pid > 0) {
+                ::waitpid(w.pid, nullptr, 0);
+                w.pid = -1;
+            }
+        }
+        if (listenFd >= 0) {
+            ::close(listenFd);
+            listenFd = -1;
+        }
+        if (!unixPath.empty()) {
+            ::unlink(unixPath.c_str());
+            unixPath.clear();
+        }
+    }
+};
+
+FarmServer::FarmServer(FarmOptions opt) : impl_(new Impl)
+{
+    impl_->opt = std::move(opt);
+    impl_->self = this;
+}
+
+FarmServer::~FarmServer()
+{
+    impl_->cleanup();
+}
+
+void
+FarmServer::start()
+{
+    impl_->start();
+}
+
+void
+FarmServer::serve()
+{
+    impl_->serve();
+}
+
+int
+FarmServer::workerCount() const
+{
+    return impl_->resolvedWorkers();
+}
+
+// ---------------------------------------------------------------------
+// FarmClient.
+// ---------------------------------------------------------------------
+
+FarmClient::FarmClient(const std::string& address)
+{
+    ::signal(SIGPIPE, SIG_IGN);
+    fd_ = connectTo(address);
+}
+
+FarmClient::~FarmClient()
+{
+    if (fd_ >= 0)
+        ::close(fd_);
+}
+
+void
+FarmClient::sendLine(const std::string& line)
+{
+    if (!writeAll(fd_, line + "\n"))
+        fatal("farm: connection lost while sending");
+}
+
+std::string
+FarmClient::readLine()
+{
+    std::string line;
+    if (!readLineBlocking(fd_, inBuf_, &line))
+        fatal("farm: connection closed by the daemon");
+    return line;
+}
+
+std::string
+FarmClient::request(const std::string& line)
+{
+    sendLine(line);
+    return readLine();
+}
+
+void
+FarmClient::runJobs(const std::vector<JobSpec>& specs,
+                    const std::vector<char>& faultInject,
+                    const std::function<void(size_t, JobResult)>& done,
+                    const std::function<void(size_t)>& onAccepted)
+{
+    size_t next = 0;
+    size_t inFlight = 0;
+    size_t finished = 0;
+
+    const auto submit = [&](size_t i) {
+        JsonValue msg = JsonValue::object();
+        msg.add("type", JsonValue::str("submit"));
+        msg.add("id", JsonValue::number(static_cast<uint64_t>(i)));
+        if (i < faultInject.size() && faultInject[i])
+            msg.add("fault_inject", JsonValue::boolean_(true));
+        msg.add("spec", jobSpecToJson(specs[i]));
+        sendLine(msg.dump());
+    };
+
+    const auto handleResult = [&](const JsonValue& v) {
+        const uint64_t id = v.getU64("id", ~0ull);
+        if (id >= specs.size())
+            fatal("farm: result for unknown job id ", id);
+        JobResult r;
+        r.spec = specs[id];
+        r.ok = v.getBool("ok", false);
+        if (!r.ok)
+            r.error = v.getString("error", "farm job failed");
+        if (const JsonValue* m = v.find("metrics"))
+            r.metrics = jobMetricsFromJson(*m);
+        --inFlight;
+        ++finished;
+        done(static_cast<size_t>(id), std::move(r));
+    };
+
+    while (finished < specs.size()) {
+        if (next < specs.size()) {
+            submit(next);
+            // Read until this submit is decided; results interleave.
+            for (bool decided = false; !decided;) {
+                const JsonValue v = jsonParse(readLine());
+                const std::string type = v.getString("type", "");
+                if (type == "accepted") {
+                    if (onAccepted)
+                        onAccepted(next);
+                    ++inFlight;
+                    ++next;
+                    decided = true;
+                } else if (type == "busy") {
+                    // Backpressure: drain one result (or back off when
+                    // nothing of ours is queued) and resubmit.
+                    if (inFlight == 0) {
+                        std::this_thread::sleep_for(
+                            std::chrono::milliseconds(20));
+                    } else {
+                        for (;;) {
+                            const JsonValue r = jsonParse(readLine());
+                            if (r.getString("type", "") == "result") {
+                                handleResult(r);
+                                break;
+                            }
+                        }
+                    }
+                    decided = true;   // outer loop resubmits `next`
+                } else if (type == "result") {
+                    handleResult(v);
+                } else if (type == "error") {
+                    fatal("farm: ", v.getString("error", "unknown"));
+                } else {
+                    fatal("farm: unexpected reply '", type, "'");
+                }
+            }
+        } else {
+            const JsonValue v = jsonParse(readLine());
+            const std::string type = v.getString("type", "");
+            if (type == "result")
+                handleResult(v);
+            else if (type == "error")
+                fatal("farm: ", v.getString("error", "unknown"));
+            else
+                fatal("farm: unexpected reply '", type, "'");
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// FarmSweepExecutor.
+// ---------------------------------------------------------------------
+
+FarmSweepExecutor::FarmSweepExecutor(std::string address)
+    : address_(std::move(address))
+{
+    // Fail fast with a clear error while options are being parsed, not
+    // after the sweep has been built.
+    FarmClient probe(address_);
+    const JsonValue v = jsonParse(probe.request("{\"type\":\"ping\"}"));
+    if (v.getString("type", "") != "pong")
+        fatal("farm: '", address_, "' did not answer the ping");
+}
+
+void
+FarmSweepExecutor::execute(
+    const std::vector<JobSpec>& specs,
+    const std::function<void(size_t, JobResult)>& done)
+{
+    FarmClient client(address_);
+    client.runJobs(specs, {}, done);
+}
+
+void
+attachFarm(RunnerOptions& opt, const std::string& address)
+{
+    opt.executor = std::make_shared<FarmSweepExecutor>(address);
+}
+
+} // namespace service
+} // namespace ch

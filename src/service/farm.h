@@ -1,0 +1,170 @@
+#ifndef CH_SERVICE_FARM_H
+#define CH_SERVICE_FARM_H
+
+/**
+ * @file
+ * The simulation farm (docs/SERVICE.md): `chfarmd` accepts JobSpec
+ * grids as newline-delimited JSON over a Unix or TCP socket and shards
+ * them across forked worker processes.
+ *
+ * Process model: the master forks each worker up front and talks to it
+ * over a socketpair, one in-flight job per worker. Fork isolation is
+ * the crash-containment boundary — a SIGSEGV/abort in a simulation
+ * kills only that worker's current job (reported to the client as a
+ * structured error row) and the master forks a replacement; the daemon
+ * and every other queued job keep running.
+ *
+ * Scheduling: each job lands on its affinity worker — hash(workload,
+ * isa) % workers — so one worker's in-process compile/trace caches
+ * serve all configs of a (workload, ISA) pair. Queues are
+ * priority-ordered deques; an idle worker with an empty queue steals
+ * from the tail (lowest-priority end) of the longest queue. A bounded
+ * global backlog turns extra submissions into `busy` replies, which
+ * clients absorb by waiting for a result before retrying.
+ *
+ * Wire protocol (one JSON object per line, both directions):
+ *
+ *   client -> server: {"type":"submit","id":N,"spec":{...}}
+ *                     {"type":"ping"|"stats"|"shutdown"}
+ *   server -> client: {"type":"accepted"|"busy","id":N}
+ *                     {"type":"result","id":N,"ok":B,"error":S,
+ *                      "store_hit":B,"metrics":{...}}
+ *                     {"type":"pong"} {"type":"stats",...} {"type":"bye"}
+ *
+ * A submit may carry "fault_inject":true, which makes the worker
+ * abort() mid-job — the hook the crash-containment test uses.
+ */
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "runner/runner.h"
+
+namespace ch {
+namespace service {
+
+/** chfarmd configuration. */
+struct FarmOptions {
+    /**
+     * Listen address: a path (or "unix:path") binds a Unix socket, a
+     * "host:port" pair binds TCP.
+     */
+    std::string socket;
+
+    /** Worker processes; 0 selects the hardware concurrency. */
+    int workers = 0;
+
+    /**
+     * Persistent-store root shared by all workers (empty disables; "-"
+     * selects the default directory). Workers then serve repeated
+     * (program, spec) points from disk and back their trace caches with
+     * it.
+     */
+    std::string storeDir;
+    bool useStore = false;
+
+    /** Max queued (not yet running) jobs before `busy` replies. */
+    size_t queueBound = 1024;
+
+    /** Per-job log lines on stderr. */
+    bool verbose = false;
+};
+
+/** The chfarmd daemon core; single-threaded poll loop over all fds. */
+class FarmServer
+{
+  public:
+    explicit FarmServer(FarmOptions opt);
+    ~FarmServer();
+
+    FarmServer(const FarmServer&) = delete;
+    FarmServer& operator=(const FarmServer&) = delete;
+
+    /**
+     * Bind the socket and fork the workers; throws FatalError on any
+     * setup failure. After start() returns the address is connectable.
+     */
+    void start();
+
+    /** Serve until requestStop() or a client shutdown message. */
+    void serve();
+
+    /** Ask serve() to return (signal-handler and cross-thread safe). */
+    void requestStop() { stop_.store(true); }
+
+    int workerCount() const;
+
+  private:
+    struct Impl;
+    std::unique_ptr<Impl> impl_;
+    std::atomic<bool> stop_{false};
+    friend struct Impl;
+};
+
+/** Client side of the wire protocol; blocking, one connection. */
+class FarmClient
+{
+  public:
+    /** Connect to @p address; throws FatalError when unreachable. */
+    explicit FarmClient(const std::string& address);
+    ~FarmClient();
+
+    FarmClient(const FarmClient&) = delete;
+    FarmClient& operator=(const FarmClient&) = delete;
+
+    /** One request/reply round trip returning the reply's JSON text. */
+    std::string request(const std::string& line);
+
+    /**
+     * Submit every spec and invoke @p done(index, result) as results
+     * stream back (any order). `busy` replies are absorbed by waiting
+     * for an outstanding result before retrying. @p faultInject marks
+     * specs that should crash their worker (tests); pass {} for none.
+     * @p onAccepted, when set, fires as each submission is accepted —
+     * the submit timestamp hook of bench/loadgen_farm.cc.
+     */
+    void runJobs(const std::vector<JobSpec>& specs,
+                 const std::vector<char>& faultInject,
+                 const std::function<void(size_t, JobResult)>& done,
+                 const std::function<void(size_t)>& onAccepted = {});
+
+  private:
+    void sendLine(const std::string& line);
+    std::string readLine();
+
+    int fd_ = -1;
+    std::string inBuf_;
+};
+
+/** RunnerOptions::executor backed by a farm connection (`--farm`). */
+class FarmSweepExecutor : public SimJobExecutor
+{
+  public:
+    /**
+     * Validate @p address by a ping round trip; throws FatalError when
+     * the daemon is unreachable (callers turn that into exit 2 at
+     * option-parse time).
+     */
+    explicit FarmSweepExecutor(std::string address);
+
+    void
+    execute(const std::vector<JobSpec>& specs,
+            const std::function<void(size_t, JobResult)>& done) override;
+
+    const std::string& address() const { return address_; }
+
+  private:
+    std::string address_;
+};
+
+/** attachStore()'s sibling for `--farm`; throws when unreachable. */
+void attachFarm(RunnerOptions& opt, const std::string& address);
+
+} // namespace service
+} // namespace ch
+
+#endif // CH_SERVICE_FARM_H

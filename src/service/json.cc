@@ -1,0 +1,522 @@
+#include "service/json.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "common/logging.h"
+
+namespace ch {
+namespace service {
+
+JsonValue
+JsonValue::boolean_(bool b)
+{
+    JsonValue v;
+    v.kind = Kind::Bool;
+    v.boolean = b;
+    return v;
+}
+
+JsonValue
+JsonValue::number(uint64_t value)
+{
+    JsonValue v;
+    v.kind = Kind::Number;
+    char buf[24];
+    std::snprintf(buf, sizeof(buf), "%llu",
+                  static_cast<unsigned long long>(value));
+    v.text = buf;
+    return v;
+}
+
+JsonValue
+JsonValue::number(int64_t value)
+{
+    JsonValue v;
+    v.kind = Kind::Number;
+    char buf[24];
+    std::snprintf(buf, sizeof(buf), "%lld",
+                  static_cast<long long>(value));
+    v.text = buf;
+    return v;
+}
+
+JsonValue
+JsonValue::number(double value)
+{
+    JsonValue v;
+    v.kind = Kind::Number;
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.17g", value);
+    // JSON has no inf/nan literals; the metrics pipeline never produces
+    // them, so map any stray one to null-ish zero rather than emit
+    // unparsable output.
+    if (std::strchr(buf, 'n') || std::strchr(buf, 'i'))
+        std::snprintf(buf, sizeof(buf), "0");
+    v.text = buf;
+    return v;
+}
+
+JsonValue
+JsonValue::str(std::string s)
+{
+    JsonValue v;
+    v.kind = Kind::String;
+    v.text = std::move(s);
+    return v;
+}
+
+JsonValue
+JsonValue::array()
+{
+    JsonValue v;
+    v.kind = Kind::Array;
+    return v;
+}
+
+JsonValue
+JsonValue::object()
+{
+    JsonValue v;
+    v.kind = Kind::Object;
+    return v;
+}
+
+const JsonValue*
+JsonValue::find(const std::string& key) const
+{
+    if (kind != Kind::Object)
+        return nullptr;
+    for (const auto& [k, v] : members) {
+        if (k == key)
+            return &v;
+    }
+    return nullptr;
+}
+
+bool
+JsonValue::asBool() const
+{
+    if (kind != Kind::Bool)
+        fatal("json: expected a boolean");
+    return boolean;
+}
+
+uint64_t
+JsonValue::asU64() const
+{
+    if (kind != Kind::Number)
+        fatal("json: expected a number");
+    errno = 0;
+    char* end = nullptr;
+    const unsigned long long v = std::strtoull(text.c_str(), &end, 10);
+    if (end == text.c_str() || *end != '\0' || errno == ERANGE ||
+        text[0] == '-')
+        fatal("json: '", text, "' is not a uint64");
+    return v;
+}
+
+int64_t
+JsonValue::asI64() const
+{
+    if (kind != Kind::Number)
+        fatal("json: expected a number");
+    errno = 0;
+    char* end = nullptr;
+    const long long v = std::strtoll(text.c_str(), &end, 10);
+    if (end == text.c_str() || *end != '\0' || errno == ERANGE)
+        fatal("json: '", text, "' is not an int64");
+    return v;
+}
+
+double
+JsonValue::asDouble() const
+{
+    if (kind != Kind::Number)
+        fatal("json: expected a number");
+    errno = 0;
+    char* end = nullptr;
+    const double v = std::strtod(text.c_str(), &end);
+    if (end == text.c_str() || *end != '\0')
+        fatal("json: '", text, "' is not a double");
+    return v;
+}
+
+const std::string&
+JsonValue::asString() const
+{
+    if (kind != Kind::String)
+        fatal("json: expected a string");
+    return text;
+}
+
+uint64_t
+JsonValue::getU64(const std::string& key, uint64_t dflt) const
+{
+    const JsonValue* v = find(key);
+    return v ? v->asU64() : dflt;
+}
+
+int64_t
+JsonValue::getI64(const std::string& key, int64_t dflt) const
+{
+    const JsonValue* v = find(key);
+    return v ? v->asI64() : dflt;
+}
+
+double
+JsonValue::getDouble(const std::string& key, double dflt) const
+{
+    const JsonValue* v = find(key);
+    return v ? v->asDouble() : dflt;
+}
+
+bool
+JsonValue::getBool(const std::string& key, bool dflt) const
+{
+    const JsonValue* v = find(key);
+    return v ? v->asBool() : dflt;
+}
+
+std::string
+JsonValue::getString(const std::string& key,
+                     const std::string& dflt) const
+{
+    const JsonValue* v = find(key);
+    return v ? v->asString() : dflt;
+}
+
+JsonValue&
+JsonValue::add(std::string key, JsonValue v)
+{
+    CH_ASSERT(kind == Kind::Object, "add() on a non-object");
+    members.emplace_back(std::move(key), std::move(v));
+    return *this;
+}
+
+JsonValue&
+JsonValue::push(JsonValue v)
+{
+    CH_ASSERT(kind == Kind::Array, "push() on a non-array");
+    items.push_back(std::move(v));
+    return *this;
+}
+
+namespace {
+
+void
+escapeTo(std::string& out, const std::string& s)
+{
+    out += '"';
+    for (char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          case '\r': out += "\\r"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    out += '"';
+}
+
+void
+dumpTo(std::string& out, const JsonValue& v)
+{
+    switch (v.kind) {
+      case JsonValue::Kind::Null:
+        out += "null";
+        break;
+      case JsonValue::Kind::Bool:
+        out += v.boolean ? "true" : "false";
+        break;
+      case JsonValue::Kind::Number:
+        out += v.text;
+        break;
+      case JsonValue::Kind::String:
+        escapeTo(out, v.text);
+        break;
+      case JsonValue::Kind::Array:
+        out += '[';
+        for (size_t i = 0; i < v.items.size(); ++i) {
+            if (i)
+                out += ',';
+            dumpTo(out, v.items[i]);
+        }
+        out += ']';
+        break;
+      case JsonValue::Kind::Object:
+        out += '{';
+        for (size_t i = 0; i < v.members.size(); ++i) {
+            if (i)
+                out += ',';
+            escapeTo(out, v.members[i].first);
+            out += ':';
+            dumpTo(out, v.members[i].second);
+        }
+        out += '}';
+        break;
+    }
+}
+
+/** Recursive-descent parser; depth-capped against hostile nesting. */
+class Parser
+{
+  public:
+    explicit Parser(const std::string& text) : s_(text) {}
+
+    JsonValue
+    parse()
+    {
+        JsonValue v = value(0);
+        skipWs();
+        if (pos_ != s_.size())
+            fail("trailing characters");
+        return v;
+    }
+
+  private:
+    static constexpr int kMaxDepth = 64;
+
+    [[noreturn]] void
+    fail(const char* what)
+    {
+        fatal("json parse error at byte ", pos_, ": ", what);
+    }
+
+    void
+    skipWs()
+    {
+        while (pos_ < s_.size() &&
+               (s_[pos_] == ' ' || s_[pos_] == '\t' || s_[pos_] == '\n' ||
+                s_[pos_] == '\r'))
+            ++pos_;
+    }
+
+    char
+    peek()
+    {
+        if (pos_ >= s_.size())
+            fail("unexpected end of input");
+        return s_[pos_];
+    }
+
+    void
+    expect(char c)
+    {
+        if (pos_ >= s_.size() || s_[pos_] != c)
+            fail("unexpected character");
+        ++pos_;
+    }
+
+    bool
+    consume(char c)
+    {
+        if (pos_ < s_.size() && s_[pos_] == c) {
+            ++pos_;
+            return true;
+        }
+        return false;
+    }
+
+    void
+    literal(const char* word)
+    {
+        const size_t n = std::strlen(word);
+        if (s_.compare(pos_, n, word) != 0)
+            fail("invalid literal");
+        pos_ += n;
+    }
+
+    std::string
+    string()
+    {
+        expect('"');
+        std::string out;
+        for (;;) {
+            if (pos_ >= s_.size())
+                fail("unterminated string");
+            const char c = s_[pos_++];
+            if (c == '"')
+                return out;
+            if (c != '\\') {
+                out += c;
+                continue;
+            }
+            if (pos_ >= s_.size())
+                fail("unterminated escape");
+            const char e = s_[pos_++];
+            switch (e) {
+              case '"': out += '"'; break;
+              case '\\': out += '\\'; break;
+              case '/': out += '/'; break;
+              case 'b': out += '\b'; break;
+              case 'f': out += '\f'; break;
+              case 'n': out += '\n'; break;
+              case 'r': out += '\r'; break;
+              case 't': out += '\t'; break;
+              case 'u': {
+                if (pos_ + 4 > s_.size())
+                    fail("truncated \\u escape");
+                unsigned code = 0;
+                for (int i = 0; i < 4; ++i) {
+                    const char h = s_[pos_++];
+                    code <<= 4;
+                    if (h >= '0' && h <= '9')
+                        code |= static_cast<unsigned>(h - '0');
+                    else if (h >= 'a' && h <= 'f')
+                        code |= static_cast<unsigned>(h - 'a' + 10);
+                    else if (h >= 'A' && h <= 'F')
+                        code |= static_cast<unsigned>(h - 'A' + 10);
+                    else
+                        fail("bad \\u escape digit");
+                }
+                // The protocol only escapes control characters; encode
+                // the BMP code point as UTF-8 for completeness.
+                if (code < 0x80) {
+                    out += static_cast<char>(code);
+                } else if (code < 0x800) {
+                    out += static_cast<char>(0xc0 | (code >> 6));
+                    out += static_cast<char>(0x80 | (code & 0x3f));
+                } else {
+                    out += static_cast<char>(0xe0 | (code >> 12));
+                    out += static_cast<char>(0x80 | ((code >> 6) & 0x3f));
+                    out += static_cast<char>(0x80 | (code & 0x3f));
+                }
+                break;
+              }
+              default:
+                fail("unknown escape");
+            }
+        }
+    }
+
+    JsonValue
+    number()
+    {
+        const size_t start = pos_;
+        if (consume('-')) {
+        }
+        while (pos_ < s_.size() &&
+               ((s_[pos_] >= '0' && s_[pos_] <= '9') || s_[pos_] == '.' ||
+                s_[pos_] == 'e' || s_[pos_] == 'E' || s_[pos_] == '+' ||
+                s_[pos_] == '-'))
+            ++pos_;
+        if (pos_ == start)
+            fail("invalid number");
+        JsonValue v;
+        v.kind = JsonValue::Kind::Number;
+        v.text = s_.substr(start, pos_ - start);
+        // Validate eagerly so dump() never re-emits garbage.
+        errno = 0;
+        char* end = nullptr;
+        std::strtod(v.text.c_str(), &end);
+        if (end != v.text.c_str() + v.text.size())
+            fail("invalid number");
+        return v;
+    }
+
+    JsonValue
+    value(int depth)
+    {
+        if (depth > kMaxDepth)
+            fail("nesting too deep");
+        skipWs();
+        const char c = peek();
+        if (c == '{') {
+            ++pos_;
+            JsonValue v = JsonValue::object();
+            skipWs();
+            if (consume('}'))
+                return v;
+            for (;;) {
+                skipWs();
+                std::string key = string();
+                skipWs();
+                expect(':');
+                v.members.emplace_back(std::move(key),
+                                       value(depth + 1));
+                skipWs();
+                if (consume(','))
+                    continue;
+                expect('}');
+                return v;
+            }
+        }
+        if (c == '[') {
+            ++pos_;
+            JsonValue v = JsonValue::array();
+            skipWs();
+            if (consume(']'))
+                return v;
+            for (;;) {
+                v.items.push_back(value(depth + 1));
+                skipWs();
+                if (consume(','))
+                    continue;
+                expect(']');
+                return v;
+            }
+        }
+        if (c == '"')
+            return JsonValue::str(string());
+        if (c == 't') {
+            literal("true");
+            return JsonValue::boolean_(true);
+        }
+        if (c == 'f') {
+            literal("false");
+            return JsonValue::boolean_(false);
+        }
+        if (c == 'n') {
+            literal("null");
+            return JsonValue::null();
+        }
+        return number();
+    }
+
+    const std::string& s_;
+    size_t pos_ = 0;
+};
+
+} // namespace
+
+std::string
+JsonValue::dump() const
+{
+    std::string out;
+    dumpTo(out, *this);
+    return out;
+}
+
+JsonValue
+jsonParse(const std::string& text)
+{
+    return Parser(text).parse();
+}
+
+bool
+jsonTryParse(const std::string& text, JsonValue* out, std::string* err)
+{
+    try {
+        *out = jsonParse(text);
+        return true;
+    } catch (const std::exception& e) {
+        if (err)
+            *err = e.what();
+        return false;
+    }
+}
+
+} // namespace service
+} // namespace ch

@@ -1,0 +1,94 @@
+#ifndef CH_SERVICE_JSON_H
+#define CH_SERVICE_JSON_H
+
+/**
+ * @file
+ * Minimal JSON model shared by the farm wire protocol and the
+ * persistent store (docs/SERVICE.md). Numbers are kept as their raw
+ * source token: a uint64_t or a %.17g double round-trips through
+ * parse -> dump without any binary->decimal->binary loss, which the
+ * byte-identical-metrics contract depends on.
+ *
+ * Objects preserve insertion order, so a canonical writer (the spec
+ * hasher) controls the exact byte sequence it hashes.
+ */
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace ch {
+namespace service {
+
+/** One JSON value; see file docs for the number representation. */
+struct JsonValue {
+    enum class Kind { Null, Bool, Number, String, Array, Object };
+
+    Kind kind = Kind::Null;
+    bool boolean = false;
+
+    /** String: decoded text. Number: the raw numeric token. */
+    std::string text;
+
+    std::vector<JsonValue> items;                           ///< Array
+    std::vector<std::pair<std::string, JsonValue>> members; ///< Object
+
+    // -- constructors -------------------------------------------------
+    static JsonValue null() { return JsonValue{}; }
+    static JsonValue boolean_(bool b);
+    static JsonValue number(uint64_t v);
+    static JsonValue number(int64_t v);
+    static JsonValue number(int v) { return number(static_cast<int64_t>(v)); }
+    static JsonValue number(double v);     ///< %.17g raw token
+    static JsonValue str(std::string s);
+    static JsonValue array();
+    static JsonValue object();
+
+    // -- accessors ----------------------------------------------------
+    bool isNull() const { return kind == Kind::Null; }
+    bool isObject() const { return kind == Kind::Object; }
+    bool isArray() const { return kind == Kind::Array; }
+    bool isString() const { return kind == Kind::String; }
+    bool isNumber() const { return kind == Kind::Number; }
+    bool isBool() const { return kind == Kind::Bool; }
+
+    /** Object member by key, or null when absent / not an object. */
+    const JsonValue* find(const std::string& key) const;
+
+    /** Typed reads; throw FatalError on a kind/format mismatch. */
+    bool asBool() const;
+    uint64_t asU64() const;
+    int64_t asI64() const;
+    double asDouble() const;
+    const std::string& asString() const;
+
+    /** Object member with a typed default when absent. */
+    uint64_t getU64(const std::string& key, uint64_t dflt) const;
+    int64_t getI64(const std::string& key, int64_t dflt) const;
+    double getDouble(const std::string& key, double dflt) const;
+    bool getBool(const std::string& key, bool dflt) const;
+    std::string getString(const std::string& key,
+                          const std::string& dflt) const;
+
+    // -- builders -----------------------------------------------------
+    /** Append an object member (no duplicate check; writer-controlled). */
+    JsonValue& add(std::string key, JsonValue v);
+    /** Append an array element. */
+    JsonValue& push(JsonValue v);
+
+    /** Compact single-line serialization (ndjson-safe: no newlines). */
+    std::string dump() const;
+};
+
+/** Parse @p text; throws FatalError with a position on malformed input. */
+JsonValue jsonParse(const std::string& text);
+
+/** Parse without throwing; false + @p err on malformed input. */
+bool jsonTryParse(const std::string& text, JsonValue* out,
+                  std::string* err);
+
+} // namespace service
+} // namespace ch
+
+#endif // CH_SERVICE_JSON_H

@@ -1,0 +1,274 @@
+#include "service/store.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "common/logging.h"
+#include "service/codec.h"
+#include "service/json.h"
+
+namespace ch {
+namespace service {
+
+namespace {
+
+/** mkdir -p for the two-level store paths; EEXIST is success. */
+void
+makeDirs(const std::string& path)
+{
+    std::string partial;
+    for (size_t i = 0; i <= path.size(); ++i) {
+        if (i < path.size() && path[i] != '/')
+            continue;
+        partial = path.substr(0, i);
+        if (partial.empty() || partial == ".")
+            continue;
+        if (::mkdir(partial.c_str(), 0777) != 0 && errno != EEXIST)
+            fatal("store: cannot create '", partial, "': ",
+                  std::strerror(errno));
+    }
+}
+
+/** Write @p data to @p path atomically (tmp file + rename). */
+void
+atomicWrite(const std::string& path, const void* data, size_t size)
+{
+    char tmp[32];
+    std::snprintf(tmp, sizeof(tmp), ".tmp.%d",
+                  static_cast<int>(::getpid()));
+    const std::string tmpPath = path + tmp;
+    const int fd =
+        ::open(tmpPath.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0666);
+    if (fd < 0)
+        fatal("store: cannot write '", tmpPath, "': ",
+              std::strerror(errno));
+    const auto* p = static_cast<const uint8_t*>(data);
+    size_t off = 0;
+    while (off < size) {
+        const ssize_t n = ::write(fd, p + off, size - off);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            const int err = errno;
+            ::close(fd);
+            ::unlink(tmpPath.c_str());
+            fatal("store: write to '", tmpPath, "' failed: ",
+                  std::strerror(err));
+        }
+        off += static_cast<size_t>(n);
+    }
+    ::close(fd);
+    if (::rename(tmpPath.c_str(), path.c_str()) != 0) {
+        const int err = errno;
+        ::unlink(tmpPath.c_str());
+        fatal("store: rename to '", path, "' failed: ",
+              std::strerror(err));
+    }
+}
+
+/** Fixed-size header of a .chtrace file (all fields little-endian). */
+struct TraceFileHeader {
+    char magic[8];        // "CHTRACE1"
+    uint64_t instCount;
+    uint64_t firstSeq;
+    int64_t exitCode;
+    uint64_t encodedBytes;
+    uint8_t exited;
+    uint8_t pad[7];
+};
+static_assert(sizeof(TraceFileHeader) == 48, "stable on-disk layout");
+
+constexpr char kTraceMagic[8] = {'C', 'H', 'T', 'R', 'A', 'C', 'E', '1'};
+
+/** An mmap'd file region; unmapped when the last trace handle drops. */
+struct Mapping {
+    void* base = nullptr;
+    size_t size = 0;
+
+    ~Mapping()
+    {
+        if (base)
+            ::munmap(base, size);
+    }
+};
+
+} // namespace
+
+std::string
+PersistentStore::defaultDir()
+{
+    if (const char* env = std::getenv("CH_STORE_DIR"); env && *env)
+        return env;
+    if (const char* home = std::getenv("HOME"); home && *home)
+        return std::string(home) + "/.cache/clockhands";
+    return "/tmp/clockhands-store";
+}
+
+PersistentStore::PersistentStore(std::string rootDir)
+    : root_(rootDir.empty() ? defaultDir() : std::move(rootDir))
+{
+    makeDirs(root_ + "/v1/results");
+    makeDirs(root_ + "/v1/traces");
+    if (::access(root_.c_str(), W_OK) != 0)
+        fatal("store: '", root_, "' is not writable");
+}
+
+std::string
+PersistentStore::resultPath(const JobSpec& spec,
+                            const Program& prog) const
+{
+    const std::string bin = hashHex(programHash(prog));
+    const std::string key = hashHex(specHash(spec));
+    return root_ + "/v1/results/" + bin.substr(0, 2) + "/" + bin + "-" +
+           key + ".json";
+}
+
+std::string
+PersistentStore::tracePath(const Program& prog, uint64_t maxInsts) const
+{
+    const std::string bin = hashHex(programHash(prog));
+    char cap[24];
+    std::snprintf(cap, sizeof(cap), "%llu",
+                  static_cast<unsigned long long>(maxInsts));
+    return root_ + "/v1/traces/" + bin.substr(0, 2) + "/" + bin + "-" +
+           cap + ".chtrace";
+}
+
+bool
+PersistentStore::load(const JobSpec& spec, const Program& prog,
+                      JobMetrics* out)
+{
+    const std::string path = resultPath(spec, prog);
+    std::ifstream in(path);
+    if (!in) {
+        resultMisses_.fetch_add(1, std::memory_order_relaxed);
+        return false;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    JsonValue v;
+    std::string err;
+    if (!jsonTryParse(buf.str(), &v, &err) || !v.isObject() ||
+        v.getString("schema", "") != "ch-store-result-v1") {
+        warn("store: ignoring malformed record '", path, "'");
+        resultMisses_.fetch_add(1, std::memory_order_relaxed);
+        return false;
+    }
+    try {
+        *out = jobMetricsFromJson(*v.find("metrics"));
+    } catch (const std::exception& e) {
+        warn("store: ignoring unreadable record '", path, "': ",
+             e.what());
+        resultMisses_.fetch_add(1, std::memory_order_relaxed);
+        return false;
+    }
+    resultHits_.fetch_add(1, std::memory_order_relaxed);
+    return true;
+}
+
+void
+PersistentStore::save(const JobSpec& spec, const Program& prog,
+                      const JobMetrics& m)
+{
+    const std::string path = resultPath(spec, prog);
+    makeDirs(path.substr(0, path.rfind('/')));
+    JsonValue v = JsonValue::object();
+    v.add("schema", JsonValue::str("ch-store-result-v1"));
+    // The spec key is stored verbatim for debuggability (`python3 -m
+    // json.tool` on a record shows what produced it); load() trusts the
+    // content-addressed file name alone.
+    v.add("key", jsonParse(specKeyJson(spec)));
+    v.add("metrics", jobMetricsToJson(m));
+    const std::string text = v.dump();
+    atomicWrite(path, text.data(), text.size());
+}
+
+std::shared_ptr<const TraceBuffer>
+PersistentStore::load(const Program& prog, uint64_t maxInsts)
+{
+    const std::string path = tracePath(prog, maxInsts);
+    const int fd = ::open(path.c_str(), O_RDONLY);
+    if (fd < 0) {
+        traceMisses_.fetch_add(1, std::memory_order_relaxed);
+        return nullptr;
+    }
+    struct stat st;
+    if (::fstat(fd, &st) != 0 ||
+        static_cast<size_t>(st.st_size) < sizeof(TraceFileHeader)) {
+        ::close(fd);
+        warn("store: ignoring truncated trace '", path, "'");
+        traceMisses_.fetch_add(1, std::memory_order_relaxed);
+        return nullptr;
+    }
+    const size_t fileSize = static_cast<size_t>(st.st_size);
+    void* base = ::mmap(nullptr, fileSize, PROT_READ, MAP_PRIVATE, fd, 0);
+    ::close(fd);
+    if (base == MAP_FAILED) {
+        warn("store: mmap of '", path, "' failed: ",
+             std::strerror(errno));
+        traceMisses_.fetch_add(1, std::memory_order_relaxed);
+        return nullptr;
+    }
+    auto mapping = std::make_shared<Mapping>();
+    mapping->base = base;
+    mapping->size = fileSize;
+
+    TraceFileHeader hdr;
+    std::memcpy(&hdr, base, sizeof(hdr));
+    if (std::memcmp(hdr.magic, kTraceMagic, sizeof(kTraceMagic)) != 0 ||
+        hdr.encodedBytes != fileSize - sizeof(TraceFileHeader)) {
+        warn("store: ignoring malformed trace '", path, "'");
+        traceMisses_.fetch_add(1, std::memory_order_relaxed);
+        return nullptr;
+    }
+    auto trace = std::make_shared<TraceBuffer>();
+    trace->setExternal(
+        mapping,
+        static_cast<const uint8_t*>(base) + sizeof(TraceFileHeader),
+        static_cast<size_t>(hdr.encodedBytes), hdr.instCount,
+        hdr.firstSeq, hdr.exited != 0, hdr.exitCode);
+    traceHits_.fetch_add(1, std::memory_order_relaxed);
+    return trace;
+}
+
+void
+PersistentStore::save(const Program& prog, uint64_t maxInsts,
+                      const TraceBuffer& trace)
+{
+    CH_ASSERT(!trace.overLimit(), "persisting a truncated trace");
+    const std::string path = tracePath(prog, maxInsts);
+    makeDirs(path.substr(0, path.rfind('/')));
+    TraceFileHeader hdr = {};
+    std::memcpy(hdr.magic, kTraceMagic, sizeof(kTraceMagic));
+    hdr.instCount = trace.instCount();
+    hdr.firstSeq = trace.firstSeq();
+    hdr.exitCode = trace.exitCode();
+    hdr.encodedBytes = trace.byteSize();
+    hdr.exited = trace.exited() ? 1 : 0;
+    std::string blob(sizeof(hdr) + trace.byteSize(), '\0');
+    std::memcpy(blob.data(), &hdr, sizeof(hdr));
+    std::memcpy(blob.data() + sizeof(hdr), trace.data(),
+                trace.byteSize());
+    atomicWrite(path, blob.data(), blob.size());
+}
+
+void
+attachStore(RunnerOptions& opt, const std::string& dir)
+{
+    auto store = std::make_shared<PersistentStore>(dir);
+    opt.resultStore = store;
+    opt.tracePersistence = store;
+}
+
+} // namespace service
+} // namespace ch

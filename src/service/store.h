@@ -1,0 +1,95 @@
+#ifndef CH_SERVICE_STORE_H
+#define CH_SERVICE_STORE_H
+
+/**
+ * @file
+ * Persistent content-addressed store for simulation results and
+ * committed traces (docs/SERVICE.md).
+ *
+ * Layout under the root (CH_STORE_DIR, default ~/.cache/clockhands):
+ *
+ *   v1/results/<hh>/<binhash>-<spechash>.json   one JobMetrics record
+ *   v1/traces/<hh>/<binhash>-<maxinsts>.chtrace encoded TraceBuffer
+ *
+ * where <binhash> digests the executable program content and
+ * <spechash> the canonical simulation-relevant spec (service/codec.h);
+ * <hh> is a 256-way fan-out on the first result-name byte. Any source
+ * change that alters the compiled program or the spec changes the key,
+ * so a stale entry can never be served — invalidation is structural,
+ * not TTL-based.
+ *
+ * Writes are tmp-file + rename(2), so concurrent farm workers and
+ * direct runs can share one root without locking: readers see either
+ * nothing or a complete record. Trace files are mmap(2)-loaded and
+ * handed to TraceBuffer::setExternal(), so a warm run replays straight
+ * from the page cache with no decode or copy.
+ */
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "runner/runner.h"
+#include "runner/trace_cache.h"
+
+namespace ch {
+namespace service {
+
+/** Disk-backed JobResultStore + TracePersistence; see file docs. */
+class PersistentStore : public JobResultStore, public TracePersistence
+{
+  public:
+    /**
+     * Open (creating directories as needed) the store at @p rootDir;
+     * empty selects defaultDir(). Throws FatalError when the root
+     * cannot be created or written.
+     */
+    explicit PersistentStore(std::string rootDir = "");
+
+    /** CH_STORE_DIR, else ~/.cache/clockhands (HOME), else a /tmp dir. */
+    static std::string defaultDir();
+
+    const std::string& root() const { return root_; }
+
+    // -- JobResultStore -----------------------------------------------
+    bool load(const JobSpec& spec, const Program& prog,
+              JobMetrics* out) override;
+    void save(const JobSpec& spec, const Program& prog,
+              const JobMetrics& m) override;
+
+    // -- TracePersistence ---------------------------------------------
+    std::shared_ptr<const TraceBuffer> load(const Program& prog,
+                                            uint64_t maxInsts) override;
+    void save(const Program& prog, uint64_t maxInsts,
+              const TraceBuffer& trace) override;
+
+    // -- effectiveness counters (tests, chfarmd stats) ----------------
+    uint64_t resultHits() const { return resultHits_.load(); }
+    uint64_t resultMisses() const { return resultMisses_.load(); }
+    uint64_t traceHits() const { return traceHits_.load(); }
+    uint64_t traceMisses() const { return traceMisses_.load(); }
+
+  private:
+    std::string resultPath(const JobSpec& spec,
+                           const Program& prog) const;
+    std::string tracePath(const Program& prog, uint64_t maxInsts) const;
+
+    std::string root_;
+    std::atomic<uint64_t> resultHits_{0};
+    std::atomic<uint64_t> resultMisses_{0};
+    std::atomic<uint64_t> traceHits_{0};
+    std::atomic<uint64_t> traceMisses_{0};
+};
+
+/**
+ * Attach a PersistentStore to @p opt (`--store`, docs/SERVICE.md): the
+ * one instance serves as both the result store and the trace backing.
+ * Throws FatalError when the directory cannot be opened.
+ */
+void attachStore(RunnerOptions& opt, const std::string& dir = "");
+
+} // namespace service
+} // namespace ch
+
+#endif // CH_SERVICE_STORE_H

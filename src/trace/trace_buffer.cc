@@ -33,6 +33,7 @@ putVarint(std::vector<uint8_t>& out, uint64_t v)
 void
 TraceBuffer::append(const DynInst& di)
 {
+    CH_ASSERT(!ext_, "append to a store-backed (read-only) trace");
     if (overLimit_)
         return;
     CH_ASSERT(di.src1Hand < 4 && di.src2Hand < 4,

@@ -23,6 +23,7 @@
  */
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "common/logging.h"
@@ -89,7 +90,37 @@ class TraceBuffer : public TraceSink
     uint64_t instCount() const { return count_; }
 
     /** Bytes of encoded trace (the cache budget accounting unit). */
-    size_t byteSize() const { return bytes_.size(); }
+    size_t byteSize() const { return ext_ ? extSize_ : bytes_.size(); }
+
+    /** The raw encoding (serialization hook for the persistent store). */
+    const uint8_t* data() const { return ext_ ? ext_ : bytes_.data(); }
+
+    /** Dynamic seq of the first recorded instruction. */
+    uint64_t firstSeq() const { return firstSeq_; }
+
+    /**
+     * Back this buffer with an externally owned copy of the encoding —
+     * typically an mmap'd file from the persistent trace store, so a
+     * warm run replays straight out of the page cache without decoding
+     * or copying (docs/SERVICE.md). @p owner keeps the bytes alive
+     * (e.g. a shared_ptr whose deleter munmaps); the buffer becomes
+     * read-only: append() on an external buffer is a logic error.
+     */
+    void
+    setExternal(std::shared_ptr<const void> owner, const uint8_t* data,
+                size_t size, uint64_t count, uint64_t firstSeq,
+                bool exited, int64_t exitCode)
+    {
+        CH_ASSERT(count_ == 0 && bytes_.empty(),
+                  "setExternal on a non-empty trace buffer");
+        extOwner_ = std::move(owner);
+        ext_ = data;
+        extSize_ = size;
+        count_ = count;
+        firstSeq_ = firstSeq;
+        exited_ = exited;
+        exitCode_ = exitCode;
+    }
 
     /**
      * Stop storing once the encoding exceeds @p maxBytes; further
@@ -121,6 +152,11 @@ class TraceBuffer : public TraceSink
     size_t byteLimit_ = 0;
     bool overLimit_ = false;
 
+    // External (store-backed) encoding; bytes_ stays empty when set.
+    std::shared_ptr<const void> extOwner_;
+    const uint8_t* ext_ = nullptr;
+    size_t extSize_ = 0;
+
     // Encoder prediction state (decoder mirrors it in replay()).
     uint64_t predPc_ = 0;
     uint64_t lastMemAddr_ = 0;
@@ -135,7 +171,7 @@ TraceBuffer::replayTo(Sink& sink) const
 {
     using namespace tracedetail;
     CH_ASSERT(!overLimit_, "replaying a truncated trace");
-    const uint8_t* p = bytes_.data();
+    const uint8_t* p = data();
     uint64_t predPc = 0;
     uint64_t lastMemAddr = 0;
     for (uint64_t i = 0; i < count_; ++i) {
@@ -174,7 +210,7 @@ TraceBuffer::replayTo(Sink& sink) const
         predPc = di.nextPc;
         sink.onInst(di);
     }
-    CH_ASSERT(p == bytes_.data() + bytes_.size(),
+    CH_ASSERT(p == data() + byteSize(),
               "trace decode did not consume the full buffer");
 }
 

@@ -47,7 +47,7 @@ constexpr uint64_t kCorpusCap = 1'000'000;
 const TraceBuffer&
 corpusTrace(const std::string& name, Isa isa, uint64_t cap = kCorpusCap)
 {
-    const TraceBuffer* t =
+    const auto t =
         traceCache().get(name, isa, cap, compiledWorkload(name, isa));
     CH_ASSERT(t, "trace capture failed for ", name);
     return *t;

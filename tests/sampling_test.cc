@@ -59,7 +59,7 @@ testConfig(uint64_t cap)
 const TraceBuffer&
 corpusTrace(const std::string& name, Isa isa, uint64_t cap = kCorpusCap)
 {
-    const TraceBuffer* t =
+    const auto t =
         traceCache().get(name, isa, cap, compiledWorkload(name, isa));
     CH_ASSERT(t, "trace capture failed for ", name);
     return *t;

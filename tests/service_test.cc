@@ -1,0 +1,529 @@
+/**
+ * @file
+ * Simulation-farm and persistent-store suite: `ctest -L service`
+ * (docs/SERVICE.md). Covers the wire codec's bit-exact round trips, the
+ * content-addressed key's label blindness, store result/trace round
+ * trips (including the mmap replay path), TraceCache LRU eviction with
+ * a persistent backing, farm-vs-direct byte-identical metrics (plain
+ * and with per-job core-model pins), worker crash containment,
+ * bounded-queue backpressure, warm-store reruns that simulate nothing,
+ * and the parse-time exit-2 validation of --farm/--store in
+ * bench_util.h.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <ftw.h>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "emu/emulator.h"
+#include "runner/metrics.h"
+#include "runner/runner.h"
+#include "runner/trace_cache.h"
+#include "service/codec.h"
+#include "service/farm.h"
+#include "service/json.h"
+#include "service/store.h"
+#include "uarch/sim.h"
+#include "workloads/workloads.h"
+
+namespace ch {
+namespace {
+
+constexpr uint64_t kCap = 20'000;
+
+int
+rmCallback(const char* path, const struct stat*, int, struct FTW*)
+{
+    return ::remove(path);
+}
+
+/** Self-cleaning temp directory for stores and sockets. */
+struct TempDir {
+    std::string path;
+
+    TempDir()
+    {
+        char tmpl[] = "/tmp/ch-service-test-XXXXXX";
+        if (!::mkdtemp(tmpl))
+            throw std::runtime_error("mkdtemp failed");
+        path = tmpl;
+    }
+
+    ~TempDir() { ::nftw(path.c_str(), rmCallback, 16, FTW_DEPTH | FTW_PHYS); }
+};
+
+/** FarmServer on a temp Unix socket, served from a second thread. */
+class LocalFarm
+{
+  public:
+    explicit LocalFarm(service::FarmOptions opt)
+    {
+        address_ = opt.socket;
+        server_ = std::make_unique<service::FarmServer>(std::move(opt));
+        server_->start();
+        thread_ = std::thread([this] { server_->serve(); });
+    }
+
+    ~LocalFarm()
+    {
+        server_->requestStop();
+        thread_.join();
+    }
+
+    const std::string& address() const { return address_; }
+
+  private:
+    std::string address_;
+    std::unique_ptr<service::FarmServer> server_;
+    std::thread thread_;
+};
+
+JobSpec
+makeSpec(const std::string& wl, Isa isa, int width,
+         uint64_t cap = kCap)
+{
+    JobSpec spec;
+    spec.workload = wl;
+    spec.isa = isa;
+    spec.cfg = MachineConfig::preset(width);
+    spec.maxInsts = cap;
+    spec.id = wl + "/" + std::string(isaName(isa)) + "/" +
+              std::to_string(width) + "f";
+    spec.seed = jobSeed(spec);
+    return spec;
+}
+
+std::vector<JobSpec>
+smallGrid()
+{
+    std::vector<JobSpec> specs;
+    for (Isa isa : {Isa::Riscv, Isa::Straight, Isa::Clockhands})
+        for (int width : {4, 8})
+            specs.push_back(makeSpec("coremark", isa, width));
+    return specs;
+}
+
+std::string
+sweepJson(const std::vector<JobSpec>& specs, RunnerOptions opt)
+{
+    SweepRunner runner(std::move(opt));
+    for (const JobSpec& spec : specs)
+        runner.addSim(spec);
+    const auto& results = runner.run();
+    MetricsOptions mo;
+    mo.bench = "service_test";
+    return metricsJsonString(mo, results);
+}
+
+// -- codec ------------------------------------------------------------
+
+TEST(ServiceCodec, JobSpecRoundTripsEveryField)
+{
+    JobSpec spec = makeSpec("mcf", Isa::Clockhands, 6);
+    spec.priority = 7;
+    spec.coreModel = CoreModelKind::Fast;
+    spec.cfg.sampling.intervalInsts = 5000;
+    spec.cfg.sampling.sampleInsts = 500;
+    spec.cfg.sampling.warmupInsts = 250;
+    spec.cfg.sampling.functionalWarming = false;
+    spec.cfg.equalHandQuota = true;
+
+    const JobSpec back = service::jobSpecFromJson(
+        service::jsonParse(service::jobSpecToJson(spec).dump()));
+    EXPECT_EQ(back.id, spec.id);
+    EXPECT_EQ(back.workload, spec.workload);
+    EXPECT_EQ(back.isa, spec.isa);
+    EXPECT_EQ(back.maxInsts, spec.maxInsts);
+    EXPECT_EQ(back.seed, spec.seed);
+    EXPECT_EQ(back.priority, spec.priority);
+    ASSERT_TRUE(back.coreModel.has_value());
+    EXPECT_EQ(*back.coreModel, CoreModelKind::Fast);
+    EXPECT_EQ(back.cfg.fetchWidth, spec.cfg.fetchWidth);
+    EXPECT_EQ(back.cfg.robSize, spec.cfg.robSize);
+    EXPECT_EQ(back.cfg.equalHandQuota, spec.cfg.equalHandQuota);
+    EXPECT_EQ(back.cfg.sampling.intervalInsts, 5000u);
+    EXPECT_EQ(back.cfg.sampling.sampleInsts, 500u);
+    EXPECT_EQ(back.cfg.sampling.warmupInsts, 250u);
+    EXPECT_FALSE(back.cfg.sampling.functionalWarming);
+    // The canonical serialization must be a fixed point too.
+    EXPECT_EQ(service::jobSpecToJson(back).dump(),
+              service::jobSpecToJson(spec).dump());
+}
+
+TEST(ServiceCodec, JobMetricsRoundTripsBitExactly)
+{
+    JobMetrics m;
+    m.exited = true;
+    m.exitCode = -3;
+    m.cycles = ~0ull;            // u64 max survives as a raw token
+    m.insts = 123456789012345ull;
+    m.counters["stall.rob"] = 17;
+    m.counters["commit.total"] = ~0ull - 1;
+    m.values["ipc"] = 0.1;       // not exactly representable
+    m.values["tiny"] = 5e-324;   // denormal min
+    m.values["neg"] = -1234.5678901234567;
+    m.hostCounters["trace_cache.hits"] = 3;
+
+    const JobMetrics back = service::jobMetricsFromJson(
+        service::jsonParse(service::jobMetricsToJson(m).dump()));
+    EXPECT_EQ(back.exited, m.exited);
+    EXPECT_EQ(back.exitCode, m.exitCode);
+    EXPECT_EQ(back.cycles, m.cycles);
+    EXPECT_EQ(back.insts, m.insts);
+    EXPECT_EQ(back.counters, m.counters);
+    ASSERT_EQ(back.values.size(), m.values.size());
+    for (const auto& [key, value] : m.values) {
+        ASSERT_TRUE(back.values.count(key)) << key;
+        // Bit equality, not approximate: %.17g must round-trip doubles.
+        EXPECT_EQ(back.values.at(key), value) << key;
+    }
+    EXPECT_EQ(back.hostCounters, m.hostCounters);
+}
+
+TEST(ServiceCodec, SpecKeyIgnoresLabelsButSeesPhysics)
+{
+    const JobSpec base = makeSpec("coremark", Isa::Riscv, 8);
+    const uint64_t h = service::specHash(base);
+
+    // Pure labels: renaming, reseeding or reprioritizing a grid point
+    // cannot change any metric, so it must still hit the store.
+    JobSpec relabeled = base;
+    relabeled.id = "something/else";
+    relabeled.seed = 42;
+    relabeled.priority = 9;
+    relabeled.cfg.pipeTracePath = "/tmp/ignored.kanata";
+    EXPECT_EQ(service::specHash(relabeled), h);
+
+    // Simulation-relevant fields must each change the key.
+    JobSpec widened = base;
+    widened.cfg = MachineConfig::preset(4);
+    EXPECT_NE(service::specHash(widened), h);
+    JobSpec shorter = base;
+    shorter.maxInsts = kCap / 2;
+    EXPECT_NE(service::specHash(shorter), h);
+    JobSpec rung = base;
+    rung.coreModel = CoreModelKind::Fast;
+    EXPECT_NE(service::specHash(rung), h);
+}
+
+TEST(ServiceCodec, ProgramHashSeesContent)
+{
+    const Program& a = compiledWorkload("coremark", Isa::Riscv);
+    const Program& b = compiledWorkload("coremark", Isa::Clockhands);
+    const Program& c = compiledWorkload("mcf", Isa::Riscv);
+    EXPECT_NE(service::programHash(a), service::programHash(b));
+    EXPECT_NE(service::programHash(a), service::programHash(c));
+    EXPECT_EQ(service::programHash(a), service::programHash(a));
+}
+
+// -- persistent store -------------------------------------------------
+
+TEST(PersistentStore, ResultRoundTripAndStructuralMiss)
+{
+    TempDir dir;
+    service::PersistentStore store(dir.path);
+    const JobSpec spec = makeSpec("coremark", Isa::Riscv, 8);
+    const Program& prog = compiledWorkload("coremark", Isa::Riscv);
+
+    JobMetrics out;
+    EXPECT_FALSE(store.load(spec, prog, &out));
+    EXPECT_EQ(store.resultMisses(), 1u);
+
+    JobMetrics m;
+    m.exited = true;
+    m.cycles = 987654321;
+    m.insts = kCap;
+    m.counters["stall.rob"] = 11;
+    m.values["ipc"] = 1.234567890123;
+    store.save(spec, prog, m);
+
+    ASSERT_TRUE(store.load(spec, prog, &out));
+    EXPECT_EQ(store.resultHits(), 1u);
+    EXPECT_EQ(out.cycles, m.cycles);
+    EXPECT_EQ(out.counters, m.counters);
+    EXPECT_EQ(out.values.at("ipc"), m.values.at("ipc"));
+
+    // A different machine config is a different key: structural miss.
+    const JobSpec other = makeSpec("coremark", Isa::Riscv, 4);
+    EXPECT_FALSE(store.load(other, prog, &out));
+}
+
+TEST(PersistentStore, TraceRoundTripReplaysIdentically)
+{
+    TempDir dir;
+    service::PersistentStore store(dir.path);
+    const Program& prog = compiledWorkload("coremark", Isa::Riscv);
+
+    EXPECT_EQ(store.load(prog, kCap), nullptr);
+
+    TraceBuffer captured;
+    const RunResult run = runProgram(prog, kCap, &captured);
+    captured.setRunOutcome(run.exited, run.exitCode);
+    store.save(prog, kCap, captured);
+
+    const std::shared_ptr<const TraceBuffer> loaded =
+        store.load(prog, kCap);
+    ASSERT_NE(loaded, nullptr);
+    EXPECT_EQ(loaded->instCount(), captured.instCount());
+
+    // The mmap-backed copy must time exactly like the in-memory one.
+    const MachineConfig cfg = MachineConfig::preset(8);
+    const SimResult direct = simulateReplay(captured, Isa::Riscv, cfg);
+    const SimResult mapped = simulateReplay(*loaded, Isa::Riscv, cfg);
+    EXPECT_EQ(mapped.cycles, direct.cycles);
+    EXPECT_EQ(mapped.insts, direct.insts);
+}
+
+TEST(TraceCacheLru, EvictsToStoreAndReloads)
+{
+    TempDir dir;
+    service::PersistentStore store(dir.path);
+    const Program& progA = compiledWorkload("coremark", Isa::Riscv);
+    const Program& progB = compiledWorkload("mcf", Isa::Riscv);
+
+    // Measure both streams with an unlimited probe cache first.
+    TraceCache probe(0);
+    const auto trA = probe.get("coremark", Isa::Riscv, kCap, progA);
+    ASSERT_NE(trA, nullptr);
+    const size_t sizeA = trA->byteSize();
+    const auto trB = probe.get("mcf", Isa::Riscv, kCap, progB);
+    ASSERT_NE(trB, nullptr);
+    const size_t sizeB = trB->byteSize();
+
+    // Budget fits either stream alone but never both.
+    TraceCache cache(std::max(sizeA, sizeB) + 16, &store);
+    const auto a1 = cache.get("coremark", Isa::Riscv, kCap, progA);
+    ASSERT_NE(a1, nullptr);
+    EXPECT_EQ(cache.evictionCount(), 0u);
+
+    const auto b1 = cache.get("mcf", Isa::Riscv, kCap, progB);
+    ASSERT_NE(b1, nullptr);
+    EXPECT_EQ(cache.evictionCount(), 1u);  // A was evicted for B
+    EXPECT_EQ(b1->instCount(), trB->instCount());
+    // The in-flight handle keeps the evicted stream alive and intact.
+    EXPECT_EQ(a1->instCount(), trA->instCount());
+
+    // Re-getting A reloads from disk (no re-emulation) and evicts B.
+    const uint64_t capturesBefore = cache.captureCount();
+    const auto a2 = cache.get("coremark", Isa::Riscv, kCap, progA);
+    ASSERT_NE(a2, nullptr);
+    EXPECT_EQ(cache.captureCount(), capturesBefore);
+    EXPECT_GE(store.traceHits(), 1u);
+    EXPECT_EQ(cache.evictionCount(), 2u);
+    EXPECT_EQ(a2->instCount(), trA->instCount());
+}
+
+// -- farm -------------------------------------------------------------
+
+TEST(Farm, MatchesDirectRunByteForByte)
+{
+    TempDir dir;
+    service::FarmOptions fo;
+    fo.socket = dir.path + "/farm.sock";
+    fo.workers = 2;
+    LocalFarm farm(fo);
+
+    const std::vector<JobSpec> specs = smallGrid();
+    const std::string direct = sweepJson(specs, RunnerOptions{});
+
+    RunnerOptions opt;
+    service::attachFarm(opt, farm.address());
+    const std::string farmed = sweepJson(specs, opt);
+
+    EXPECT_FALSE(direct.empty());
+    EXPECT_EQ(direct, farmed);
+}
+
+TEST(Farm, MixedCoreModelPinsMatchDirect)
+{
+    TempDir dir;
+    service::FarmOptions fo;
+    fo.socket = dir.path + "/farm.sock";
+    fo.workers = 2;
+    LocalFarm farm(fo);
+
+    // One grid mixing fidelity rungs per job: detailed, fast, analytic.
+    std::vector<JobSpec> specs = smallGrid();
+    specs[1].coreModel = CoreModelKind::Fast;
+    specs[3].coreModel = CoreModelKind::Analytic;
+    specs[4].coreModel = CoreModelKind::Detailed;
+
+    const std::string direct = sweepJson(specs, RunnerOptions{});
+    RunnerOptions opt;
+    service::attachFarm(opt, farm.address());
+    EXPECT_EQ(direct, sweepJson(specs, opt));
+}
+
+TEST(Farm, CrashIsContainedToOneJob)
+{
+    TempDir dir;
+    service::FarmOptions fo;
+    fo.socket = dir.path + "/farm.sock";
+    fo.workers = 1;  // the crashing job and its successors share a worker
+    LocalFarm farm(fo);
+
+    std::vector<JobSpec> specs;
+    specs.push_back(makeSpec("coremark", Isa::Riscv, 4));
+    specs.push_back(makeSpec("coremark", Isa::Riscv, 8));
+    specs.push_back(makeSpec("coremark", Isa::Clockhands, 8));
+    std::vector<char> fault(specs.size(), 0);
+    fault[1] = 1;
+
+    std::vector<JobResult> results(specs.size());
+    service::FarmClient client(farm.address());
+    client.runJobs(specs, fault, [&](size_t i, JobResult r) {
+        results[i] = std::move(r);
+    });
+
+    EXPECT_TRUE(results[0].ok) << results[0].error;
+    EXPECT_FALSE(results[1].ok);
+    EXPECT_NE(results[1].error.find("worker crashed"),
+              std::string::npos)
+        << results[1].error;
+    // The job after the crash runs on the respawned worker.
+    EXPECT_TRUE(results[2].ok) << results[2].error;
+
+    // The daemon itself survived: a fresh clean run still works.
+    std::vector<JobResult> rerun(specs.size());
+    service::FarmClient again(farm.address());
+    again.runJobs(specs, {}, [&](size_t i, JobResult r) {
+        rerun[i] = std::move(r);
+    });
+    for (const JobResult& r : rerun)
+        EXPECT_TRUE(r.ok) << r.spec.id << ": " << r.error;
+    EXPECT_GT(rerun[1].metrics.cycles, 0u);
+}
+
+TEST(Farm, BoundedQueueBackpressureStillCompletes)
+{
+    TempDir dir;
+    service::FarmOptions fo;
+    fo.socket = dir.path + "/farm.sock";
+    fo.workers = 1;
+    fo.queueBound = 1;  // force busy replies on any burst
+    LocalFarm farm(fo);
+
+    const std::vector<JobSpec> specs = smallGrid();
+    std::vector<JobResult> results(specs.size());
+    service::FarmClient client(farm.address());
+    client.runJobs(specs, {}, [&](size_t i, JobResult r) {
+        results[i] = std::move(r);
+    });
+    for (const JobResult& r : results)
+        EXPECT_TRUE(r.ok) << r.spec.id << ": " << r.error;
+}
+
+TEST(Farm, WarmStoreRerunSimulatesNothing)
+{
+    TempDir dir;
+    service::FarmOptions fo;
+    fo.socket = dir.path + "/farm.sock";
+    fo.workers = 2;
+    fo.useStore = true;
+    fo.storeDir = dir.path + "/store";
+    LocalFarm farm(fo);
+
+    const std::vector<JobSpec> specs = smallGrid();
+    const auto runOnce = [&] {
+        std::vector<JobResult> results(specs.size());
+        service::FarmClient client(farm.address());
+        client.runJobs(specs, {}, [&](size_t i, JobResult r) {
+            results[i] = std::move(r);
+        });
+        return results;
+    };
+    const auto statSimulated = [&] {
+        service::FarmClient client(farm.address());
+        const service::JsonValue v = service::jsonParse(
+            client.request("{\"type\":\"stats\"}"));
+        return v.getU64("simulated", ~0ull);
+    };
+
+    const std::vector<JobResult> cold = runOnce();
+    const uint64_t simulatedCold = statSimulated();
+    EXPECT_EQ(simulatedCold, specs.size());
+
+    const std::vector<JobResult> warm = runOnce();
+    // Zero new simulations: every warm job was a store hit...
+    EXPECT_EQ(statSimulated(), simulatedCold);
+    // ...and the simulated metrics are identical to the cold run's.
+    // Host-side observations (wall time, RSS, cache counters) are
+    // outside the determinism contract, so normalize them away.
+    const auto simOnly = [](JobMetrics m) {
+        m.wallMs = 0;
+        m.peakRssKiB = 0;
+        m.hostCounters.clear();
+        return service::jobMetricsToJson(m).dump();
+    };
+    for (size_t i = 0; i < specs.size(); ++i) {
+        ASSERT_TRUE(warm[i].ok) << warm[i].error;
+        EXPECT_EQ(simOnly(warm[i].metrics), simOnly(cold[i].metrics))
+            << specs[i].id;
+    }
+}
+
+// -- bench_util parse-time validation ---------------------------------
+
+int
+benchInitExitCode(std::vector<std::string> args)
+{
+    std::vector<char*> argv;
+    static char name[] = "service_test_bench";
+    argv.push_back(name);
+    for (std::string& a : args)
+        argv.push_back(a.data());
+    benchInit(static_cast<int>(argv.size()), argv.data(),
+              "service_test_bench");
+    return 0;  // unreachable for the cases under test
+}
+
+TEST(BenchFlagsDeathTest, UnreachableFarmExitsTwoAtParseTime)
+{
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+    EXPECT_EXIT(benchInitExitCode({"--farm", "/nonexistent/farm.sock"}),
+                ::testing::ExitedWithCode(2), "--farm");
+}
+
+TEST(BenchFlagsDeathTest, EmptyFarmAddressExitsTwo)
+{
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+    EXPECT_EXIT(benchInitExitCode({"--farm", ""}),
+                ::testing::ExitedWithCode(2),
+                "expects a socket address");
+}
+
+TEST(BenchFlagsDeathTest, FarmConflictsWithPipeTrace)
+{
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+    TempDir dir;
+    EXPECT_EXIT(benchInitExitCode({"--pipe-trace", dir.path, "--farm",
+                                   "/nonexistent/farm.sock"}),
+                ::testing::ExitedWithCode(2),
+                "cannot be combined with --pipe-trace");
+}
+
+TEST(BenchFlagsDeathTest, FarmConflictsWithVerifyStats)
+{
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+    EXPECT_EXIT(benchInitExitCode({"--verify-stats", "--farm",
+                                   "/nonexistent/farm.sock"}),
+                ::testing::ExitedWithCode(2),
+                "cannot be combined with --verify-stats");
+}
+
+TEST(BenchFlagsDeathTest, UnwritableStoreDirExitsTwo)
+{
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+    EXPECT_EXIT(
+        benchInitExitCode({"--store-dir", "/proc/no-such-store"}),
+        ::testing::ExitedWithCode(2), "--store");
+}
+
+} // namespace
+} // namespace ch

@@ -118,9 +118,9 @@ TEST(TraceCacheTest, CapturesOncePerKeyAndDistinguishesMaxInsts)
     const Program& prog = compiledWorkload("coremark", Isa::Clockhands);
     TraceCache cache(64u << 20);
 
-    const TraceBuffer* a = cache.get("coremark", Isa::Clockhands, kCap,
+    const auto a = cache.get("coremark", Isa::Clockhands, kCap,
                                      prog);
-    const TraceBuffer* b = cache.get("coremark", Isa::Clockhands, kCap,
+    const auto b = cache.get("coremark", Isa::Clockhands, kCap,
                                      prog);
     ASSERT_NE(a, nullptr);
     EXPECT_EQ(a, b);
@@ -130,7 +130,7 @@ TEST(TraceCacheTest, CapturesOncePerKeyAndDistinguishesMaxInsts)
     EXPECT_EQ(a->instCount(), kCap);
 
     // A different instruction cap is a different committed stream.
-    const TraceBuffer* c = cache.get("coremark", Isa::Clockhands,
+    const auto c = cache.get("coremark", Isa::Clockhands,
                                      kCap / 2, prog);
     ASSERT_NE(c, nullptr);
     EXPECT_NE(a, c);
