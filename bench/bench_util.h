@@ -42,6 +42,20 @@
  *   --warmup N                      detailed warmup before each measured
  *                                   window (default: the sample length,
  *                                   clamped to fit the interval)
+ *   --sample-shards K / CH_SAMPLE_SHARDS   partition the sampled
+ *                                   intervals into K parallel shards
+ *                                   (docs/PERFORMANCE.md, "Shard-
+ *                                   parallel sampling"); K=1 (default)
+ *                                   is byte-identical to earlier
+ *                                   binaries, K>1 is deterministic for
+ *                                   fixed K. The flag requires
+ *                                   --sample-interval; the environment
+ *                                   variable is ignored when sampling
+ *                                   is off (it is a CI matrix knob)
+ *   --shard-warmup N                per-shard functional re-warming
+ *                                   before its first interval (default:
+ *                                   one full interval); requires
+ *                                   --sample-interval
  *   --farm ADDR / CH_FARM           run every sim job on a chfarmd
  *                                   daemon at ADDR (Unix path or
  *                                   host:port, docs/SERVICE.md) instead
@@ -159,6 +173,26 @@ parseInstCount(const char* what, const char* s)
     return v;
 }
 
+/**
+ * Strict --sample-shards / CH_SAMPLE_SHARDS parsing: a shard count must
+ * land in [1, 64] (more shards than any supported host has threads
+ * would only shrink each shard's interval run below usefulness), and a
+ * garbage value aborts at parse time like every other knob.
+ */
+inline int
+parseShardCount(const char* what, const char* s)
+{
+    errno = 0;
+    char* end = nullptr;
+    const long v = std::strtol(s, &end, 10);
+    if (end == s || *end != '\0' || errno == ERANGE || v < 1 || v > 64) {
+        std::fprintf(stderr, "error: %s expects a shard count in "
+                             "[1, 64], got '%s'\n", what, s);
+        std::exit(2);
+    }
+    return static_cast<int>(v);
+}
+
 inline bool
 envFlag(const char* name)
 {
@@ -258,8 +292,18 @@ benchInit(int argc, char** argv, const char* name)
         farmAddr = env;
     useStore = benchdetail::envFlag("CH_STORE");
 
+    // CH_SAMPLE_SHARDS is validated eagerly (a typo must not silently
+    // run unsharded) but applied only when sampling is enabled: it is a
+    // CI matrix knob set process-wide, including for benches that never
+    // sample.
+    int envShards = 0;
+    if (const char* env = std::getenv("CH_SAMPLE_SHARDS"); env && *env)
+        envShards = benchdetail::parseShardCount("CH_SAMPLE_SHARDS", env);
+
     bool sampleLenSet = false;
     bool warmupSet = false;
+    bool shardsSet = false;
+    bool shardWarmupSet = false;
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
         auto next = [&]() -> const char* {
@@ -301,6 +345,14 @@ benchInit(int argc, char** argv, const char* name)
             ctx.runner.sampling.warmupInsts =
                 benchdetail::parseInstCount("--warmup", next());
             warmupSet = true;
+        } else if (arg == "--sample-shards") {
+            ctx.runner.sampling.shards =
+                benchdetail::parseShardCount("--sample-shards", next());
+            shardsSet = true;
+        } else if (arg == "--shard-warmup") {
+            ctx.runner.sampling.shardWarmupInsts =
+                benchdetail::parseInstCount("--shard-warmup", next());
+            shardWarmupSet = true;
         } else if (arg == "--farm") {
             farmAddr = next();
             if (farmAddr.empty()) {
@@ -327,7 +379,8 @@ benchInit(int argc, char** argv, const char* name)
                         "[--core-model detailed|fast|analytic] "
                         "[--farm ADDR] [--store] [--store-dir DIR] "
                         "[--sample-interval N [--sample-len N] "
-                        "[--warmup N]]\n", name);
+                        "[--warmup N] [--sample-shards K] "
+                        "[--shard-warmup N]]\n", name);
             std::exit(0);
         } else {
             std::fprintf(stderr, "error: unknown argument '%s' "
@@ -341,12 +394,15 @@ benchInit(int argc, char** argv, const char* name)
     // an assertion after the sweep started.
     SamplingConfig& sc = ctx.runner.sampling;
     if (sc.intervalInsts == 0) {
-        if (sampleLenSet || warmupSet) {
-            std::fprintf(stderr, "error: --sample-len/--warmup require "
-                                 "--sample-interval\n");
+        if (sampleLenSet || warmupSet || shardsSet || shardWarmupSet) {
+            std::fprintf(stderr, "error: --sample-len/--warmup/"
+                                 "--sample-shards/--shard-warmup "
+                                 "require --sample-interval\n");
             std::exit(2);
         }
     } else {
+        if (!shardsSet && envShards > 0)
+            sc.shards = envShards;
         if (!sampleLenSet)
             sc.sampleInsts = std::max<uint64_t>(1, sc.intervalInsts / 10);
         if (sc.sampleInsts > sc.intervalInsts) {

@@ -10,16 +10,29 @@
  * (host-side) the wall-clock speedup of sampling and of the pure warming
  * pass.
  *
+ * The primary configuration is additionally re-run shard-parallel at
+ * K=2 and K=4 (docs/PERFORMANCE.md, "Shard-parallel sampling"),
+ * reporting per-K the IPC delta vs the K=1 schedule, the error vs the
+ * reference, and (host-side) the wall-clock speedup over the K=1
+ * sampled run.
+ *
  * All error/coverage numbers are deterministic and always land in the
  * ch-sweep-metrics-v1 files; wall-clock speedups are host observations
  * and appear there only under --host-metrics (they always print in the
  * table). `--max-relerr P` makes the bench exit 1 when the corpus mean
  * relative IPC error of the primary configuration exceeds P percent —
- * CI runs it with --max-relerr 5.
+ * CI runs it with --max-relerr 5. `--min-shard-speedup X` exits 1 when
+ * the K=4 geomean speedup over K=1 falls below X; like loadgen_farm's
+ * scaling gate it only applies in full on hosts with >= 4 cores (below
+ * that the four shard threads time-slice one core and the bound relaxes
+ * to "not catastrophically slower", 0.5x). Run it with --jobs 1 when
+ * gating: concurrent sweep jobs would contend with the shard threads
+ * and turn the speedup measurement into scheduler noise.
  */
 
 #include <chrono>
 #include <cmath>
+#include <thread>
 
 #include "bench_util.h"
 #include "trace/trace_buffer.h"
@@ -46,6 +59,13 @@ constexpr SampleVariant kVariants[] = {
 constexpr size_t kNumVariants = sizeof(kVariants) / sizeof(kVariants[0]);
 constexpr size_t kPrimary = 0;
 constexpr size_t kNoWarm = 3;
+
+/** Shard counts the primary configuration is re-run at (K=1 is the
+ *  primary variant itself). */
+constexpr int kShardCounts[] = {2, 4};
+constexpr size_t kNumShardCounts =
+    sizeof(kShardCounts) / sizeof(kShardCounts[0]);
+constexpr size_t kShard4 = 1;
 
 SamplingConfig
 variantConfig(const SampleVariant& v, uint64_t cap)
@@ -83,12 +103,20 @@ struct VariantResult {
     double wallS = 0;      ///< host
 };
 
+struct ShardResult {
+    double ipc = 0;
+    double relErr = 0;   ///< |sampled - ref| / ref
+    double deltaK1 = 0;  ///< |sampled - K=1 sampled| / K=1 sampled
+    double wallS = 0;    ///< host
+};
+
 struct Row {
     std::string workload;
     Isa isa = Isa::Riscv;
     uint64_t insts = 0;
     double refIpc = 0;
     VariantResult variant[kNumVariants];
+    ShardResult shard[kNumShardCounts];
     double refWallS = 0;   ///< host: full detailed replay
     double warmWallS = 0;  ///< host: pure warming pass over the stream
 };
@@ -153,6 +181,29 @@ measure(const JobContext& job, uint64_t cap)
         out.relErr = row.refIpc > 0 ? diff / row.refIpc : 0;
         out.covered = diff <= out.ci95;
     }
+
+    // Shard sweep: the primary configuration again at K=2 and K=4. The
+    // schedule changes with K (each shard draws its own window
+    // placements), so the IPC moves; the delta vs the K=1 run of the
+    // same configuration is the cost of that re-draw.
+    const VariantResult& k1 = row.variant[kPrimary];
+    for (size_t k = 0; k < kNumShardCounts; ++k) {
+        MachineConfig scfg = cfg;
+        scfg.sampling = variantConfig(kVariants[kPrimary], cap);
+        scfg.sampling.shards = kShardCounts[k];
+        t0 = std::chrono::steady_clock::now();
+        const SimResult s =
+            simulateSampled(*trace, row.isa, scfg, scfg.sampling);
+        ShardResult& out = row.shard[k];
+        out.wallS = secondsSince(t0);
+        out.ipc = s.ipc();
+        out.relErr = row.refIpc > 0
+                         ? std::fabs(out.ipc - row.refIpc) / row.refIpc
+                         : 0;
+        out.deltaK1 = k1.ipc > 0
+                          ? std::fabs(out.ipc - k1.ipc) / k1.ipc
+                          : 0;
+    }
     return row;
 }
 
@@ -161,11 +212,27 @@ measure(const JobContext& job, uint64_t cap)
 int
 main(int argc, char** argv)
 {
-    // --max-relerr is bench-specific; strip it before the shared parse.
+    // --max-relerr / --min-shard-speedup are bench-specific; strip them
+    // before the shared parse.
     double maxRelErrPct = 0;
     bool haveThreshold = false;
+    double minShardSpeedup = 0;
+    bool haveShardGate = false;
     std::vector<char*> passArgv;
     passArgv.push_back(argv[0]);
+    const auto parsePositive = [](const char* flag, const char* s,
+                                  double* out) {
+        errno = 0;
+        char* end = nullptr;
+        *out = std::strtod(s, &end);
+        if (end == s || *end != '\0' || errno == ERANGE || !(*out > 0)) {
+            std::fprintf(stderr,
+                         "error: %s expects a positive number, got "
+                         "'%s'\n", flag, s);
+            return false;
+        }
+        return true;
+    };
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--max-relerr") == 0) {
             if (i + 1 >= argc) {
@@ -173,18 +240,19 @@ main(int argc, char** argv)
                              "error: --max-relerr needs an argument\n");
                 return 2;
             }
-            const char* s = argv[++i];
-            errno = 0;
-            char* end = nullptr;
-            maxRelErrPct = std::strtod(s, &end);
-            if (end == s || *end != '\0' || errno == ERANGE ||
-                !(maxRelErrPct > 0)) {
-                std::fprintf(stderr,
-                             "error: --max-relerr expects a positive "
-                             "percentage, got '%s'\n", s);
+            if (!parsePositive("--max-relerr", argv[++i], &maxRelErrPct))
+                return 2;
+            haveThreshold = true;
+        } else if (std::strcmp(argv[i], "--min-shard-speedup") == 0) {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "error: --min-shard-speedup needs "
+                                     "an argument\n");
                 return 2;
             }
-            haveThreshold = true;
+            if (!parsePositive("--min-shard-speedup", argv[++i],
+                               &minShardSpeedup))
+                return 2;
+            haveShardGate = true;
         } else {
             passArgv.push_back(argv[i]);
         }
@@ -219,6 +287,14 @@ main(int argc, char** argv)
                 m.values["sample.covered"] = p.covered ? 1 : 0;
                 m.values["sample.nowarm.relerr"] =
                     out->variant[kNoWarm].relErr;
+                for (size_t k = 0; k < kNumShardCounts; ++k) {
+                    const ShardResult& sh = out->shard[k];
+                    const std::string key =
+                        "sample.shard" + std::to_string(kShardCounts[k]);
+                    m.values[key + ".ipc"] = sh.ipc;
+                    m.values[key + ".relerr"] = sh.relErr;
+                    m.values[key + ".delta"] = sh.deltaK1;
+                }
                 if (ctx.hostMetrics) {
                     m.values["sample.speedup"] =
                         p.wallS > 0 ? out->refWallS / p.wallS : 0;
@@ -226,6 +302,13 @@ main(int argc, char** argv)
                         out->warmWallS > 0
                             ? out->refWallS / out->warmWallS
                             : 0;
+                    for (size_t k = 0; k < kNumShardCounts; ++k) {
+                        const ShardResult& sh = out->shard[k];
+                        m.values["sample.shard" +
+                                 std::to_string(kShardCounts[k]) +
+                                 ".speedup"] =
+                            sh.wallS > 0 ? p.wallS / sh.wallS : 0;
+                    }
                 }
                 return m;
             });
@@ -236,7 +319,8 @@ main(int argc, char** argv)
 
     TextTable t;
     t.header({"benchmark", "isa", "ref IPC", "smp IPC", "err%", "ci95%",
-              "cover", "nowarm err%", "smp speedup", "warm speedup"});
+              "cover", "nowarm err%", "s4 err%", "s4 spdup",
+              "smp speedup", "warm speedup"});
     double errSum = 0, noWarmErrSum = 0;
     double speedupLogSum = 0, warmLogSum = 0;
     int covered = 0;
@@ -245,6 +329,8 @@ main(int argc, char** argv)
         const double speedup = p.wallS > 0 ? r.refWallS / p.wallS : 0;
         const double warmSpeedup =
             r.warmWallS > 0 ? r.refWallS / r.warmWallS : 0;
+        const ShardResult& s4 = r.shard[kShard4];
+        const double s4Speedup = s4.wallS > 0 ? p.wallS / s4.wallS : 0;
         errSum += p.relErr;
         noWarmErrSum += r.variant[kNoWarm].relErr;
         covered += p.covered ? 1 : 0;
@@ -257,6 +343,7 @@ main(int argc, char** argv)
                fmtDouble(r.refIpc > 0 ? 100 * p.ci95 / r.refIpc : 0, 2),
                p.covered ? "yes" : "NO",
                fmtDouble(100 * r.variant[kNoWarm].relErr, 2),
+               fmtDouble(100 * s4.relErr, 2), fmtDouble(s4Speedup, 2),
                fmtDouble(speedup, 2), fmtDouble(warmSpeedup, 1)});
     }
     t.print();
@@ -281,6 +368,27 @@ main(int argc, char** argv)
                     std::exp(logSum / n));
     }
 
+    std::printf("\nshard scaling (primary config, speedup vs the K=1 "
+                "sampled run):\n");
+    double shardGeomean[kNumShardCounts] = {};
+    for (size_t k = 0; k < kNumShardCounts; ++k) {
+        double err = 0, delta = 0, logSum = 0;
+        for (const Row& r : rows) {
+            const ShardResult& sh = r.shard[k];
+            err += sh.relErr;
+            delta += sh.deltaK1;
+            const double sp =
+                sh.wallS > 0 ? r.variant[kPrimary].wallS / sh.wallS : 0;
+            if (sp > 0)
+                logSum += std::log(sp);
+        }
+        shardGeomean[k] = std::exp(logSum / n);
+        std::printf("  K=%d    mean |IPC err| %5.2f%%, mean |delta vs "
+                    "K=1| %5.2f%%, geomean speedup %.2fx\n",
+                    kShardCounts[k], 100 * err / n, 100 * delta / n,
+                    shardGeomean[k]);
+    }
+
     const double meanErrPct = 100 * errSum / n;
     std::printf("\nprimary config (interval=cap/40, 5%% measured): "
                 "mean |IPC err| %.2f%%, CI covers reference on %d/%zu "
@@ -298,6 +406,23 @@ main(int argc, char** argv)
                      "error: mean sampled IPC error %.2f%% exceeds "
                      "--max-relerr %.2f%%\n", meanErrPct, maxRelErrPct);
         return 1;
+    }
+    if (haveShardGate) {
+        // Like loadgen_farm's scaling gate: the full bound only applies
+        // where the four shard threads can actually run in parallel. On
+        // smaller hosts they time-slice, so only require that sharding
+        // is not catastrophically slower than the serial schedule.
+        const unsigned cores = std::thread::hardware_concurrency();
+        const double bound = cores >= 4 ? minShardSpeedup : 0.5;
+        if (shardGeomean[kShard4] < bound) {
+            std::fprintf(stderr,
+                         "error: K=4 shard geomean speedup %.2fx is "
+                         "below --min-shard-speedup %.2fx (%u cores, "
+                         "effective bound %.2fx)\n",
+                         shardGeomean[kShard4], minShardSpeedup, cores,
+                         bound);
+            return 1;
+        }
     }
     return 0;
 }

@@ -99,6 +99,15 @@ writeMetricsJson(std::ostream& os, const MetricsOptions& opt,
             os << "        \"sample_insts\": " << sc.sampleInsts << ",\n";
             os << "        \"warmup_insts\": " << sc.warmupInsts << ",\n";
             os << "        \"seed_offset\": " << sc.seedOffset << ",\n";
+            // Shard fields appear only on K>1 runs, so K=1 output stays
+            // byte-identical to pre-shard binaries (cmp-verified in CI).
+            if (sc.shards > 1) {
+                os << "        \"shards\": " << sc.shards << ",\n";
+                os << "        \"shard_warmup_insts\": "
+                   << (sc.shardWarmupInsts ? sc.shardWarmupInsts
+                                           : sc.intervalInsts)
+                   << ",\n";
+            }
             os << "        \"functional_warming\": "
                << (sc.functionalWarming ? "true" : "false") << "\n";
             os << "      },\n";
@@ -196,6 +205,13 @@ writeMetricsCsv(std::ostream& os, const MetricsOptions& opt,
                 std::to_string(sc.warmupInsts));
             row("sampling", "seed_offset",
                 std::to_string(sc.seedOffset));
+            if (sc.shards > 1) {
+                row("sampling", "shards", std::to_string(sc.shards));
+                row("sampling", "shard_warmup_insts",
+                    std::to_string(sc.shardWarmupInsts
+                                       ? sc.shardWarmupInsts
+                                       : sc.intervalInsts));
+            }
             row("sampling", "functional_warming",
                 sc.functionalWarming ? "1" : "0");
         }

@@ -2,11 +2,14 @@
 
 #include <sys/resource.h>
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <exception>
 #include <mutex>
+#include <string>
 #include <thread>
 
 #include "analyze/analytic_model.h"
@@ -93,6 +96,15 @@ simJob(const JobContext& ctx)
         m.values["sample.ipc.stderr"] = r.sample.ipcStderr;
         m.values["sample.ipc.ci95"] = r.sample.ipcCi95;
         m.values["sample.relerr"] = r.sample.relErr();
+        // Per-shard wall times are scheduling-dependent, so they ride
+        // as host counters (emitted only under --host-metrics) and only
+        // on sharded runs, keeping K=1 output byte-identical.
+        for (size_t k = 0; k < r.sample.shardWallMs.size(); ++k) {
+            m.hostCounters["sample.shard" + std::to_string(k) +
+                           ".wall_us"] =
+                static_cast<uint64_t>(
+                    std::llround(r.sample.shardWallMs[k] * 1000.0));
+        }
     }
     if (storable)
         ctx.store->save(ctx.spec, *ctx.program, m);
@@ -422,8 +434,21 @@ SweepRunner::run()
     };
 
     const size_t localCount = specs_.size() - remoteIdx.size();
+    // Intra-job sampling shards and job-level workers share one host
+    // thread budget: a K-shard sampled job occupies K threads while it
+    // runs, so the pool shrinks to threadCount()/K workers instead of
+    // oversubscribing the host by jobs x shards.
+    int maxShards = 1;
+    for (size_t i = 0; i < specs_.size(); ++i) {
+        if (!isSim_[i] || isRemote[i])
+            continue;
+        const SamplingConfig& ssc = specs_[i].cfg.sampling;
+        if (ssc.enabled())
+            maxShards = std::max(maxShards, std::max(1, ssc.shards));
+    }
     const int threads = std::max(
-        1, std::min<int>(threadCount(), static_cast<int>(localCount)));
+        1, std::min<int>(threadCount() / maxShards,
+                         static_cast<int>(localCount)));
     if (localCount == 0) {
         if (!remoteIdx.empty())
             runRemote();

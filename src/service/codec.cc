@@ -145,6 +145,15 @@ machineConfigToJson(const MachineConfig& cfg)
     sc.add("sampleInsts", JsonValue::number(cfg.sampling.sampleInsts));
     sc.add("warmupInsts", JsonValue::number(cfg.sampling.warmupInsts));
     sc.add("seedOffset", JsonValue::number(cfg.sampling.seedOffset));
+    // Shard knobs are emitted only off their defaults: the wire form
+    // doubles as the store key (specKeyJson), and a K=1 run must hash —
+    // and therefore dedupe — identically to a pre-shard record.
+    if (cfg.sampling.shards != 1)
+        sc.add("shards", JsonValue::number(cfg.sampling.shards));
+    if (cfg.sampling.shardWarmupInsts != 0) {
+        sc.add("shardWarmupInsts",
+               JsonValue::number(cfg.sampling.shardWarmupInsts));
+    }
     sc.add("functionalWarming",
            JsonValue::boolean_(cfg.sampling.functionalWarming));
     v.add("sampling", std::move(sc));
@@ -185,6 +194,10 @@ machineConfigFromJson(const JsonValue& v)
             sc->getU64("warmupInsts", cfg.sampling.warmupInsts);
         cfg.sampling.seedOffset =
             sc->getU64("seedOffset", cfg.sampling.seedOffset);
+        cfg.sampling.shards = static_cast<int>(
+            sc->getI64("shards", cfg.sampling.shards));
+        cfg.sampling.shardWarmupInsts =
+            sc->getU64("shardWarmupInsts", cfg.sampling.shardWarmupInsts);
         cfg.sampling.functionalWarming = sc->getBool(
             "functionalWarming", cfg.sampling.functionalWarming);
     }

@@ -12,6 +12,7 @@
 #include <cstring>
 #include <fstream>
 #include <sstream>
+#include <type_traits>
 
 #include "common/logging.h"
 #include "service/codec.h"
@@ -76,8 +77,13 @@ atomicWrite(const std::string& path, const void* data, size_t size)
     }
 }
 
-/** Fixed-size header of a .chtrace file (all fields little-endian). */
-struct TraceFileHeader {
+/**
+ * Fixed-size header of a version-1 .chtrace file (all fields
+ * little-endian). Still accepted by load(): v1 files carry no keyframe
+ * index, so a replayRange() on them falls back to skip-decoding from
+ * the start of the stream (src/trace/trace_buffer.h).
+ */
+struct TraceFileHeaderV1 {
     char magic[8];        // "CHTRACE1"
     uint64_t instCount;
     uint64_t firstSeq;
@@ -86,9 +92,31 @@ struct TraceFileHeader {
     uint8_t exited;
     uint8_t pad[7];
 };
-static_assert(sizeof(TraceFileHeader) == 48, "stable on-disk layout");
+static_assert(sizeof(TraceFileHeaderV1) == 48, "stable on-disk layout");
 
-constexpr char kTraceMagic[8] = {'C', 'H', 'T', 'R', 'A', 'C', 'E', '1'};
+/**
+ * Version-2 header: adds the keyframe-index length. File layout is
+ * header, then encodedBytes of trace payload, then keyframeCount raw
+ * TraceKeyframe records (32 bytes each) — the index trails the payload
+ * so the mmap'd payload keeps the same alignment as v1.
+ */
+struct TraceFileHeader {
+    char magic[8];        // "CHTRACE2"
+    uint64_t instCount;
+    uint64_t firstSeq;
+    int64_t exitCode;
+    uint64_t encodedBytes;
+    uint64_t keyframeCount;
+    uint8_t exited;
+    uint8_t pad[7];
+};
+static_assert(sizeof(TraceFileHeader) == 56, "stable on-disk layout");
+static_assert(sizeof(TraceKeyframe) == 32 &&
+                  std::is_trivially_copyable<TraceKeyframe>::value,
+              "keyframes serialize as raw 32-byte records");
+
+constexpr char kTraceMagicV1[8] = {'C', 'H', 'T', 'R', 'A', 'C', 'E', '1'};
+constexpr char kTraceMagic[8] = {'C', 'H', 'T', 'R', 'A', 'C', 'E', '2'};
 
 /** An mmap'd file region; unmapped when the last trace handle drops. */
 struct Mapping {
@@ -204,7 +232,7 @@ PersistentStore::load(const Program& prog, uint64_t maxInsts)
     }
     struct stat st;
     if (::fstat(fd, &st) != 0 ||
-        static_cast<size_t>(st.st_size) < sizeof(TraceFileHeader)) {
+        static_cast<size_t>(st.st_size) < sizeof(TraceFileHeaderV1)) {
         ::close(fd);
         warn("store: ignoring truncated trace '", path, "'");
         traceMisses_.fetch_add(1, std::memory_order_relaxed);
@@ -222,21 +250,69 @@ PersistentStore::load(const Program& prog, uint64_t maxInsts)
     auto mapping = std::make_shared<Mapping>();
     mapping->base = base;
     mapping->size = fileSize;
+    const auto* bytes = static_cast<const uint8_t*>(base);
 
-    TraceFileHeader hdr;
-    std::memcpy(&hdr, base, sizeof(hdr));
-    if (std::memcmp(hdr.magic, kTraceMagic, sizeof(kTraceMagic)) != 0 ||
-        hdr.encodedBytes != fileSize - sizeof(TraceFileHeader)) {
+    // Both format versions load: v1 (no keyframe index) decodes from
+    // offset zero on a mid-stream seek, v2 carries the index inline.
+    TraceFileHeader hdr = {};
+    size_t payloadOff = 0;
+    std::vector<TraceKeyframe> keyframes;
+    if (std::memcmp(bytes, kTraceMagicV1, sizeof(kTraceMagicV1)) == 0) {
+        TraceFileHeaderV1 v1;
+        std::memcpy(&v1, bytes, sizeof(v1));
+        if (v1.encodedBytes != fileSize - sizeof(v1)) {
+            warn("store: ignoring malformed trace '", path, "'");
+            traceMisses_.fetch_add(1, std::memory_order_relaxed);
+            return nullptr;
+        }
+        hdr.instCount = v1.instCount;
+        hdr.firstSeq = v1.firstSeq;
+        hdr.exitCode = v1.exitCode;
+        hdr.encodedBytes = v1.encodedBytes;
+        hdr.exited = v1.exited;
+        payloadOff = sizeof(v1);
+    } else if (std::memcmp(bytes, kTraceMagic, sizeof(kTraceMagic)) == 0 &&
+               fileSize >= sizeof(TraceFileHeader)) {
+        std::memcpy(&hdr, bytes, sizeof(hdr));
+        payloadOff = sizeof(hdr);
+        if (hdr.keyframeCount >
+                (fileSize - payloadOff) / sizeof(TraceKeyframe) ||
+            fileSize != payloadOff + hdr.encodedBytes +
+                            hdr.keyframeCount * sizeof(TraceKeyframe)) {
+            warn("store: ignoring malformed trace '", path, "'");
+            traceMisses_.fetch_add(1, std::memory_order_relaxed);
+            return nullptr;
+        }
+        keyframes.resize(hdr.keyframeCount);
+        std::memcpy(keyframes.data(), bytes + payloadOff + hdr.encodedBytes,
+                    hdr.keyframeCount * sizeof(TraceKeyframe));
+        // A corrupt index would make replayRange() decode garbage from
+        // mid-record offsets, so reject loudly instead of trusting it:
+        // offsets and indices must be in-range and strictly increasing.
+        uint64_t prevInst = 0;
+        uint64_t prevOff = 0;
+        for (const TraceKeyframe& k : keyframes) {
+            if (k.instIndex == 0 || k.instIndex >= hdr.instCount ||
+                k.byteOffset == 0 || k.byteOffset >= hdr.encodedBytes ||
+                k.instIndex <= prevInst || k.byteOffset <= prevOff) {
+                warn("store: ignoring trace with corrupt keyframe "
+                     "index '", path, "'");
+                traceMisses_.fetch_add(1, std::memory_order_relaxed);
+                return nullptr;
+            }
+            prevInst = k.instIndex;
+            prevOff = k.byteOffset;
+        }
+    } else {
         warn("store: ignoring malformed trace '", path, "'");
         traceMisses_.fetch_add(1, std::memory_order_relaxed);
         return nullptr;
     }
     auto trace = std::make_shared<TraceBuffer>();
-    trace->setExternal(
-        mapping,
-        static_cast<const uint8_t*>(base) + sizeof(TraceFileHeader),
-        static_cast<size_t>(hdr.encodedBytes), hdr.instCount,
-        hdr.firstSeq, hdr.exited != 0, hdr.exitCode);
+    trace->setExternal(mapping, bytes + payloadOff,
+                       static_cast<size_t>(hdr.encodedBytes),
+                       hdr.instCount, hdr.firstSeq, hdr.exited != 0,
+                       hdr.exitCode, std::move(keyframes));
     traceHits_.fetch_add(1, std::memory_order_relaxed);
     return trace;
 }
@@ -248,17 +324,24 @@ PersistentStore::save(const Program& prog, uint64_t maxInsts,
     CH_ASSERT(!trace.overLimit(), "persisting a truncated trace");
     const std::string path = tracePath(prog, maxInsts);
     makeDirs(path.substr(0, path.rfind('/')));
+    const std::vector<TraceKeyframe>& kfs = trace.keyframes();
     TraceFileHeader hdr = {};
     std::memcpy(hdr.magic, kTraceMagic, sizeof(kTraceMagic));
     hdr.instCount = trace.instCount();
     hdr.firstSeq = trace.firstSeq();
     hdr.exitCode = trace.exitCode();
     hdr.encodedBytes = trace.byteSize();
+    hdr.keyframeCount = kfs.size();
     hdr.exited = trace.exited() ? 1 : 0;
-    std::string blob(sizeof(hdr) + trace.byteSize(), '\0');
+    const size_t indexBytes = kfs.size() * sizeof(TraceKeyframe);
+    std::string blob(sizeof(hdr) + trace.byteSize() + indexBytes, '\0');
     std::memcpy(blob.data(), &hdr, sizeof(hdr));
     std::memcpy(blob.data() + sizeof(hdr), trace.data(),
                 trace.byteSize());
+    if (indexBytes) {
+        std::memcpy(blob.data() + sizeof(hdr) + trace.byteSize(),
+                    kfs.data(), indexBytes);
+    }
     atomicWrite(path, blob.data(), blob.size());
 }
 

@@ -44,6 +44,12 @@ TraceBuffer::append(const DynInst& di)
         CH_ASSERT(di.seq == firstSeq_ + count_,
                   "trace seq not contiguous: ", di.seq);
 
+    // Decoder sync point: captured *before* encoding this record, so a
+    // replayRange() seek resumes exactly where this record starts.
+    if (count_ > 0 && count_ % keyframeInterval_ == 0)
+        keyframes_.push_back({count_, bytes_.size(), predPc_,
+                              lastMemAddr_});
+
     uint8_t flags = 0;
     if (di.taken)
         flags |= kFlagTaken;

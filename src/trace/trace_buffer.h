@@ -20,8 +20,17 @@
  * addresses as zigzag deltas from the previous access. The dynamic seq
  * itself is implicit: the emulator numbers commits contiguously, which
  * append() asserts.
+ *
+ * Because each record is delta-encoded against decoder state, random
+ * access needs a sync point: append() records a keyframe (byte offset,
+ * record index, and the two delta predictors) every ~1M instructions,
+ * so replayRange() can start mid-stream after skip-decoding at most one
+ * keyframe interval instead of the whole prefix. The index rides along
+ * through the persistent store (docs/SERVICE.md); traces captured or
+ * stored without one fall back to skip-decoding from offset zero.
  */
 
+#include <algorithm>
 #include <cstdint>
 #include <memory>
 #include <vector>
@@ -30,6 +39,19 @@
 #include "trace/dyninst.h"
 
 namespace ch {
+
+/**
+ * One decoder sync point: everything needed to resume decoding the
+ * stream at record instIndex without touching the preceding bytes.
+ * Trivially copyable by design — the persistent store serializes the
+ * index as raw records (src/service/store.cc).
+ */
+struct TraceKeyframe {
+    uint64_t instIndex;    ///< records encoded before this point
+    uint64_t byteOffset;   ///< offset of record instIndex in data()
+    uint64_t predPc;       ///< decoder pc-prediction state here
+    uint64_t lastMemAddr;  ///< decoder memory-delta state here
+};
 
 namespace tracedetail {
 
@@ -63,6 +85,53 @@ getVarint(const uint8_t*& p)
     }
 }
 
+/**
+ * Decode the record at @p p (advancing it past the record), mirroring
+ * append()'s encoding exactly. The single decode routine is shared by
+ * replayTo() and replayRange() so the full-stream and mid-stream paths
+ * cannot drift; it is small enough to inline into both loops, keeping
+ * the devirtualized `final`-sink replay as tight as before.
+ */
+inline DynInst
+decodeRecord(const uint8_t*& p, uint64_t seq, uint64_t& predPc,
+             uint64_t& lastMemAddr)
+{
+    const uint8_t flags = *p++;
+    DynInst di;
+    di.seq = seq;
+    di.op = static_cast<Op>(*p++);
+    di.pc = predPc;
+    if (flags & kFlagPc)
+        di.pc += static_cast<uint64_t>(unzigzag(getVarint(p)));
+    if (flags & kFlagOps) {
+        const auto ops = static_cast<uint32_t>(getVarint(p));
+        di.dst = static_cast<uint8_t>(ops);
+        di.src1 = static_cast<uint8_t>(ops >> 8);
+        di.src2 = static_cast<uint8_t>(ops >> 16);
+        di.src1Hand = static_cast<uint8_t>((ops >> 24) & 3);
+        di.src2Hand = static_cast<uint8_t>((ops >> 26) & 3);
+    }
+    if (flags & kFlagImm)
+        di.imm = unzigzag(getVarint(p));
+    if (flags & kFlagProd1)
+        di.prod1 = di.seq - getVarint(p);
+    if (flags & kFlagProd2)
+        di.prod2 = di.seq - getVarint(p);
+    if (flags & kFlagMem) {
+        di.memAddr = lastMemAddr +
+                     static_cast<uint64_t>(unzigzag(getVarint(p)));
+        di.memValue = getVarint(p);
+        lastMemAddr = di.memAddr;
+    }
+    di.nextPc = di.pc + 4;
+    if (flags & kFlagNextPc)
+        di.nextPc += static_cast<uint64_t>(unzigzag(getVarint(p)));
+    di.taken = (flags & kFlagTaken) != 0;
+
+    predPc = di.nextPc;
+    return di;
+}
+
 } // namespace tracedetail
 
 /** Append-once, replay-many committed-trace recording; see file docs. */
@@ -86,6 +155,18 @@ class TraceBuffer : public TraceSink
      */
     template <class Sink> void replayTo(Sink& sink) const;
 
+    /**
+     * Feed records [firstInst, firstInst + n) to @p sink, identical in
+     * every DynInst field to the same records from a full replayTo().
+     * Seeks via the keyframe index: O(log #keyframes) to find the last
+     * sync point at or before firstInst, then skip-decodes at most one
+     * keyframe interval. A buffer with no keyframes (old store-format
+     * files) skip-decodes from the beginning instead — correct, just
+     * not O(1).
+     */
+    template <class Sink>
+    void replayRange(Sink& sink, uint64_t firstInst, uint64_t n) const;
+
     /** Recorded instructions. */
     uint64_t instCount() const { return count_; }
 
@@ -98,6 +179,27 @@ class TraceBuffer : public TraceSink
     /** Dynamic seq of the first recorded instruction. */
     uint64_t firstSeq() const { return firstSeq_; }
 
+    /** Default spacing of the decoder sync points recorded by append(). */
+    static constexpr uint64_t kDefaultKeyframeInterval = 1ull << 20;
+
+    /**
+     * Override the keyframe spacing (test hook for exercising seeks on
+     * small traces). Must be set before the first append().
+     */
+    void
+    setKeyframeInterval(uint64_t insts)
+    {
+        CH_ASSERT(count_ == 0 && insts > 0,
+                  "keyframe interval must be set on an empty buffer");
+        keyframeInterval_ = insts;
+    }
+
+    /** The decoder sync points, ascending by instIndex (may be empty). */
+    const std::vector<TraceKeyframe>& keyframes() const
+    {
+        return keyframes_;
+    }
+
     /**
      * Back this buffer with an externally owned copy of the encoding —
      * typically an mmap'd file from the persistent trace store, so a
@@ -105,11 +207,14 @@ class TraceBuffer : public TraceSink
      * or copying (docs/SERVICE.md). @p owner keeps the bytes alive
      * (e.g. a shared_ptr whose deleter munmaps); the buffer becomes
      * read-only: append() on an external buffer is a logic error.
+     * @p keyframes restores the serialized sync-point index; old-format
+     * files pass none and replayRange() falls back to a full skip-decode.
      */
     void
     setExternal(std::shared_ptr<const void> owner, const uint8_t* data,
                 size_t size, uint64_t count, uint64_t firstSeq,
-                bool exited, int64_t exitCode)
+                bool exited, int64_t exitCode,
+                std::vector<TraceKeyframe> keyframes = {})
     {
         CH_ASSERT(count_ == 0 && bytes_.empty(),
                   "setExternal on a non-empty trace buffer");
@@ -120,6 +225,7 @@ class TraceBuffer : public TraceSink
         firstSeq_ = firstSeq;
         exited_ = exited;
         exitCode_ = exitCode;
+        keyframes_ = std::move(keyframes);
     }
 
     /**
@@ -146,6 +252,23 @@ class TraceBuffer : public TraceSink
     int64_t exitCode() const { return exitCode_; }
 
   private:
+    /**
+     * Replaying a truncated recording would silently time a partial
+     * stream, so it is a hard structured error in every build type —
+     * not a debug-only assert. Callers that set a byte limit must check
+     * overLimit() and fall back to re-emulation (TraceCache does).
+     */
+    void
+    requireComplete() const
+    {
+        if (overLimit_) {
+            fatal("cannot replay a truncated trace: the byte budget "
+                  "stopped recording after ", count_,
+                  " instructions; re-capture without setByteLimit() or "
+                  "raise the budget");
+        }
+    }
+
     std::vector<uint8_t> bytes_;
     uint64_t count_ = 0;
     uint64_t firstSeq_ = 0;
@@ -161,6 +284,10 @@ class TraceBuffer : public TraceSink
     uint64_t predPc_ = 0;
     uint64_t lastMemAddr_ = 0;
 
+    // Decoder sync points, one per keyframeInterval_ records.
+    std::vector<TraceKeyframe> keyframes_;
+    uint64_t keyframeInterval_ = kDefaultKeyframeInterval;
+
     bool exited_ = false;
     int64_t exitCode_ = 0;
 };
@@ -170,48 +297,47 @@ void
 TraceBuffer::replayTo(Sink& sink) const
 {
     using namespace tracedetail;
-    CH_ASSERT(!overLimit_, "replaying a truncated trace");
+    requireComplete();
     const uint8_t* p = data();
     uint64_t predPc = 0;
     uint64_t lastMemAddr = 0;
-    for (uint64_t i = 0; i < count_; ++i) {
-        const uint8_t flags = *p++;
-        DynInst di;
-        di.seq = firstSeq_ + i;
-        di.op = static_cast<Op>(*p++);
-        di.pc = predPc;
-        if (flags & kFlagPc)
-            di.pc += static_cast<uint64_t>(unzigzag(getVarint(p)));
-        if (flags & kFlagOps) {
-            const auto ops = static_cast<uint32_t>(getVarint(p));
-            di.dst = static_cast<uint8_t>(ops);
-            di.src1 = static_cast<uint8_t>(ops >> 8);
-            di.src2 = static_cast<uint8_t>(ops >> 16);
-            di.src1Hand = static_cast<uint8_t>((ops >> 24) & 3);
-            di.src2Hand = static_cast<uint8_t>((ops >> 26) & 3);
-        }
-        if (flags & kFlagImm)
-            di.imm = unzigzag(getVarint(p));
-        if (flags & kFlagProd1)
-            di.prod1 = di.seq - getVarint(p);
-        if (flags & kFlagProd2)
-            di.prod2 = di.seq - getVarint(p);
-        if (flags & kFlagMem) {
-            di.memAddr = lastMemAddr +
-                         static_cast<uint64_t>(unzigzag(getVarint(p)));
-            di.memValue = getVarint(p);
-            lastMemAddr = di.memAddr;
-        }
-        di.nextPc = di.pc + 4;
-        if (flags & kFlagNextPc)
-            di.nextPc += static_cast<uint64_t>(unzigzag(getVarint(p)));
-        di.taken = (flags & kFlagTaken) != 0;
-
-        predPc = di.nextPc;
-        sink.onInst(di);
-    }
+    for (uint64_t i = 0; i < count_; ++i)
+        sink.onInst(decodeRecord(p, firstSeq_ + i, predPc, lastMemAddr));
     CH_ASSERT(p == data() + byteSize(),
               "trace decode did not consume the full buffer");
+}
+
+template <class Sink>
+void
+TraceBuffer::replayRange(Sink& sink, uint64_t firstInst, uint64_t n) const
+{
+    using namespace tracedetail;
+    requireComplete();
+    CH_ASSERT(firstInst <= count_ && n <= count_ - firstInst,
+              "replayRange past the end of the trace: ", firstInst, "+",
+              n, " > ", count_);
+    const uint8_t* p = data();
+    uint64_t predPc = 0;
+    uint64_t lastMemAddr = 0;
+    uint64_t i = 0;
+    const auto it = std::upper_bound(
+        keyframes_.begin(), keyframes_.end(), firstInst,
+        [](uint64_t pos, const TraceKeyframe& k) {
+            return pos < k.instIndex;
+        });
+    if (it != keyframes_.begin()) {
+        const TraceKeyframe& k = *std::prev(it);
+        p = data() + k.byteOffset;
+        predPc = k.predPc;
+        lastMemAddr = k.lastMemAddr;
+        i = k.instIndex;
+    }
+    for (; i < firstInst; ++i)
+        decodeRecord(p, firstSeq_ + i, predPc, lastMemAddr);
+    for (const uint64_t end = firstInst + n; i < end; ++i)
+        sink.onInst(decodeRecord(p, firstSeq_ + i, predPc, lastMemAddr));
+    CH_ASSERT(p <= data() + byteSize(),
+              "trace decode ran past the end of the buffer");
 }
 
 } // namespace ch

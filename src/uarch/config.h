@@ -41,6 +41,24 @@ struct SamplingConfig {
      */
     bool functionalWarming = true;
 
+    /**
+     * Parallel sampling shards (docs/PERFORMANCE.md, "Shard-parallel
+     * sampling"). 1 — the default — runs the original single-threaded
+     * interval schedule and stays byte-identical to earlier binaries.
+     * K>1 partitions the intervals into K contiguous runs, each timed by
+     * its own core-model instance on its own thread after a functional
+     * re-warming pass of shardWarmupInsts, then merges the per-window
+     * samples in shard order (deterministic for fixed K).
+     */
+    int shards = 1;
+
+    /**
+     * Functional-warming prefix replayed before each shard's first
+     * interval (shards > 1 only); 0 selects one full interval — the
+     * SMARTS-style stale-state compromise.
+     */
+    uint64_t shardWarmupInsts = 0;
+
     bool
     enabled() const
     {
@@ -52,7 +70,7 @@ struct SamplingConfig {
     wellFormed() const
     {
         return !enabled() ||
-               (sampleInsts <= intervalInsts &&
+               (shards >= 1 && sampleInsts <= intervalInsts &&
                 warmupInsts <= intervalInsts - sampleInsts);
     }
 };

@@ -24,6 +24,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <vector>
 
 #include "common/stats.h"
 #include "trace/trace_buffer.h"
@@ -45,9 +46,18 @@ struct SampleSummary {
     uint64_t measuredInsts = 0;  ///< instructions timed and measured
     uint64_t warmupInsts = 0;    ///< instructions timed but unmeasured
     uint64_t warmedInsts = 0;    ///< instructions functionally warmed
+    uint64_t shards = 1;         ///< parallel shards merged (1 = serial)
+    uint64_t shardWarmInsts = 0; ///< resolved per-shard warming prefix
     double ipcMean = 0.0;
     double ipcStderr = 0.0;
     double ipcCi95 = 0.0;
+
+    /**
+     * Host-side per-shard wall times in milliseconds, populated only
+     * when shards > 1. Scheduling-dependent, so it surfaces only as
+     * host counters (--host-metrics), never in deterministic output.
+     */
+    std::vector<double> shardWallMs;
 
     /** Half-width of the 95% CI relative to the mean (0 when n < 2). */
     double

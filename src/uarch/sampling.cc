@@ -1,6 +1,13 @@
 #include "uarch/sampling.h"
 
+#include <algorithm>
+#include <chrono>
 #include <cmath>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <thread>
+#include <vector>
 
 #include "common/logging.h"
 
@@ -8,12 +15,58 @@ namespace ch {
 
 namespace {
 
+/// Seed basis for the window-placement LCG; XORed with seedOffset so a
+/// given config always draws the same windows.
+constexpr uint64_t kSampleSeedBasis = 0x9e3779b97f4a7c15ull;
+
+/// Per-shard seed mix (the splitmix64 multiplier): shard s draws from
+/// base ^ (kShardSeedMix * s), so shard 0 keeps the serial stream and
+/// the streams are spec-derived — identical across runs and hosts.
+constexpr uint64_t kShardSeedMix = 0xbf58476d1ce4e5b9ull;
+
+/**
+ * Build the CLT estimate over @p n closed intervals. Statistics are
+ * computed in CPI space: the measured windows all hold sampleInsts
+ * instructions, so the aggregate CPI over them is exactly the
+ * arithmetic mean of the per-window CPIs (a mean of per-window IPCs
+ * — rates — would overestimate). The CPI mean and stderr are then
+ * mapped to IPC via the delta method (d(1/x) = -dx/x^2). Shared by the
+ * serial path and the shard merge: merging is just summing each shard's
+ * (n, sum, sumSq) — the estimate cannot drift between the two paths.
+ */
+SampleSummary
+makeEstimate(uint64_t n, double sum, double sumSq, uint64_t measuredInsts,
+             uint64_t warmupInsts, uint64_t warmedInsts)
+{
+    SampleSummary s;
+    s.intervals = n;
+    s.measuredInsts = measuredInsts;
+    s.warmupInsts = warmupInsts;
+    s.warmedInsts = warmedInsts;
+    if (n == 0)
+        return s;
+    const double dn = static_cast<double>(n);
+    const double cpiMean = sum / dn;
+    if (cpiMean <= 0.0)
+        return s;
+    s.ipcMean = 1.0 / cpiMean;
+    if (n >= 2) {
+        double var = (sumSq - dn * cpiMean * cpiMean) / (dn - 1.0);
+        if (var < 0.0)
+            var = 0.0;  // floating-point cancellation guard
+        const double cpiStderr = std::sqrt(var / dn);
+        s.ipcStderr = cpiStderr / (cpiMean * cpiMean);
+        s.ipcCi95 = 1.96 * s.ipcStderr;
+    }
+    return s;
+}
+
 /**
  * TraceSink that routes each replayed instruction into the warming or
  * detailed path according to its position in the interval schedule, and
  * accumulates the per-interval measured-window statistics.
  *
- * Interval layout (after the seedOffset warming prefix):
+ * Interval layout (after the warming-only prefix):
  *
  *     [ skip (warmed) | warmup (timed, unmeasured) | measure | skip ]
  *
@@ -35,15 +88,22 @@ namespace {
  * interface. The rung chooses its own warming strategy: CycleSim warms
  * state-only (warmInst), FastSim warms by fully timing the skipped
  * instructions — functional+timing warming at the same cost.
+ *
+ * One feeder covers one contiguous run of intervals: the serial path
+ * feeds the whole trace through a single feeder whose prefix is the
+ * seedOffset; the shard path feeds each shard's slice through its own
+ * feeder whose prefix is that shard's re-warming window.
  */
 class SampledFeeder : public TraceSink
 {
   public:
-    SampledFeeder(CoreModel& core, const SamplingConfig& sc)
+    SampledFeeder(CoreModel& core, const SamplingConfig& sc,
+                  uint64_t warmPrefixInsts, uint64_t rngSeed)
         : core_(core),
           sc_(sc),
+          prefix_(warmPrefixInsts),
           skipBudget_(sc.intervalInsts - sc.warmupInsts - sc.sampleInsts),
-          rng_(0x9e3779b97f4a7c15ull ^ sc.seedOffset)
+          rng_(rngSeed)
     {
         drawWindow();
     }
@@ -51,12 +111,12 @@ class SampledFeeder : public TraceSink
     void
     onInst(const DynInst& di) override
     {
-        if (pos_ < sc_.seedOffset) {
+        if (pos_ < prefix_) {
             ++pos_;
             warm(di);
             return;
         }
-        const uint64_t p = (pos_ - sc_.seedOffset) % sc_.intervalInsts;
+        const uint64_t p = (pos_ - prefix_) % sc_.intervalInsts;
         ++pos_;
         if (p < segStart_ || p >= segStart_ + segLen()) {
             warm(di);
@@ -83,42 +143,24 @@ class SampledFeeder : public TraceSink
         }
     }
 
-    /**
-     * Build the CLT estimate over the closed intervals. Statistics are
-     * computed in CPI space: the measured windows all hold sampleInsts
-     * instructions, so the aggregate CPI over them is exactly the
-     * arithmetic mean of the per-window CPIs (a mean of per-window IPCs
-     * — rates — would overestimate). The CPI mean and stderr are then
-     * mapped to IPC via the delta method (d(1/x) = -dx/x^2).
-     */
+    /** CLT estimate over this feeder's closed intervals (serial path). */
     SampleSummary
     summary() const
     {
-        SampleSummary s;
-        s.intervals = n_;
-        s.measuredInsts = measuredInsts_;
-        s.warmupInsts = detailedFed_ - measuredInsts_;
-        s.warmedInsts = warmedInsts_;
-        if (n_ == 0)
-            return s;
-        const double n = static_cast<double>(n_);
-        const double cpiMean = sum_ / n;
-        if (cpiMean <= 0.0)
-            return s;
-        s.ipcMean = 1.0 / cpiMean;
-        if (n_ >= 2) {
-            double var = (sumSq_ - n * cpiMean * cpiMean) / (n - 1.0);
-            if (var < 0.0)
-                var = 0.0;  // floating-point cancellation guard
-            const double cpiStderr = std::sqrt(var / n);
-            s.ipcStderr = cpiStderr / (cpiMean * cpiMean);
-            s.ipcCi95 = 1.96 * s.ipcStderr;
-        }
-        return s;
+        return makeEstimate(n_, sum_, sumSq_, measuredInsts_,
+                            warmupInsts(), warmedInsts_);
     }
 
+    // Raw accumulators, so the shard merge can recombine per-window
+    // samples from many feeders into one estimate.
+    uint64_t intervals() const { return n_; }
+    double cpiSum() const { return sum_; }
+    double cpiSumSq() const { return sumSq_; }
+    uint64_t measuredInsts() const { return measuredInsts_; }
+    uint64_t warmupInsts() const { return detailedFed_ - measuredInsts_; }
+    uint64_t warmedInsts() const { return warmedInsts_; }
     uint64_t measuredCycles() const { return measuredCycles_; }
-    uint64_t measuredStall(int cat) const { return measuredStalls_[cat]; }
+    const uint64_t* measuredStalls() const { return measuredStalls_; }
 
   private:
     void
@@ -135,7 +177,7 @@ class SampledFeeder : public TraceSink
     /**
      * Place the next interval's detailed segment: uniform over the
      * skip budget via a 64-bit LCG (Knuth's MMIX constants), seeded
-     * from seedOffset so a given config always draws the same windows.
+     * from the spec so a given config always draws the same windows.
      */
     void
     drawWindow()
@@ -193,6 +235,7 @@ class SampledFeeder : public TraceSink
 
     CoreModel& core_;
     const SamplingConfig sc_;
+    const uint64_t prefix_;      ///< warming-only instructions up front
     const uint64_t skipBudget_;  ///< interval minus the detailed segment
     uint64_t rng_;               ///< LCG state for window placement
     uint64_t segStart_ = 0;      ///< this interval's segment offset
@@ -223,6 +266,161 @@ toE6(double x)
     return x > 0.0 ? static_cast<uint64_t>(std::llround(x * 1e6)) : 0;
 }
 
+/**
+ * Shared result assembly for the serial and shard paths: rewrite the
+ * headline and stall counters to the measured-window view (the raw
+ * pipeline counters keep their warmup contributions — they describe
+ * everything the detailed model did) and surface the sample.* counters.
+ * The six stall.* counters sum exactly to the measured cycles.
+ */
+void
+applySampleView(SimResult& res, uint64_t totalInsts,
+                const SampleSummary& s, uint64_t measuredCycles,
+                const uint64_t* measuredStalls)
+{
+    res.sampled = true;
+    res.sample = s;
+    res.insts = totalInsts;
+    res.cycles =
+        s.ipcMean > 0.0
+            ? static_cast<uint64_t>(std::llround(
+                  static_cast<double>(totalInsts) / s.ipcMean))
+            : 0;
+    res.stats.counter("sim.cycles").set(res.cycles);
+    res.stats.counter("sim.insts").set(res.insts);
+    uint64_t stallSum = 0;
+    for (int c = 0; c < kNumStallCats; ++c) {
+        res.stats.counter(stallCatCounterName(c)).set(measuredStalls[c]);
+        stallSum += measuredStalls[c];
+    }
+    CH_ASSERT(stallSum == measuredCycles,
+              "stall categories must sum to measured cycles");
+
+    res.stats.counter("sample.intervals").set(s.intervals);
+    res.stats.counter("sample.insts.measured").set(s.measuredInsts);
+    res.stats.counter("sample.insts.warmup").set(s.warmupInsts);
+    res.stats.counter("sample.insts.warmed").set(s.warmedInsts);
+    res.stats.counter("sample.cycles.measured").set(measuredCycles);
+    res.stats.counter("sample.ipc.e6").set(toE6(s.ipcMean));
+    res.stats.counter("sample.ipc.stderr.e6").set(toE6(s.ipcStderr));
+    res.stats.counter("sample.ipc.ci95.e6").set(toE6(s.ipcCi95));
+    res.stats.counter("sample.relerr.e6").set(toE6(s.relErr()));
+    // Shard provenance counters exist only on sharded runs, so K=1
+    // output stays byte-identical to pre-shard binaries.
+    if (s.shards > 1) {
+        res.stats.counter("sample.shards").set(s.shards);
+        res.stats.counter("sample.shard.warmInsts").set(s.shardWarmInsts);
+    }
+}
+
+/**
+ * Shard-parallel sampling (docs/PERFORMANCE.md, "Shard-parallel
+ * sampling"): partition the interval sequence into @p shards contiguous
+ * runs, time each on its own core model and thread, and merge the
+ * per-window samples in shard order. Each shard functionally re-warms
+ * its long-lived state from shardWarmupInsts (default one interval)
+ * before its first interval via the keyframed replayRange() seek, so
+ * wall time scales with the largest shard instead of the whole stream.
+ * Deterministic for fixed K: the shard boundaries, per-shard LCG seeds
+ * and the merge order are all derived from the spec alone.
+ */
+SimResult
+simulateSharded(const TraceBuffer& trace, Isa isa,
+                const MachineConfig& cfg, const SamplingConfig& sc,
+                uint64_t totalIntervals, uint64_t shards)
+{
+    const uint64_t interval = sc.intervalInsts;
+    const uint64_t warmLen =
+        sc.shardWarmupInsts ? sc.shardWarmupInsts : interval;
+
+    struct Shard {
+        std::unique_ptr<CoreModel> core;
+        std::unique_ptr<SampledFeeder> feeder;
+        uint64_t replayStart = 0;  ///< first trace position replayed
+        uint64_t replayEnd = 0;    ///< one past the last position
+        double wallMs = 0.0;
+        std::exception_ptr error;
+    };
+    std::vector<Shard> work(shards);
+    for (uint64_t s = 0; s < shards; ++s) {
+        Shard& sh = work[s];
+        const uint64_t firstInterval = totalIntervals * s / shards;
+        const uint64_t lastInterval = totalIntervals * (s + 1) / shards;
+        const uint64_t startPos = sc.seedOffset + firstInterval * interval;
+        sh.replayStart = startPos > warmLen ? startPos - warmLen : 0;
+        sh.replayEnd = sc.seedOffset + lastInterval * interval;
+        sh.core = makeCoreModel(cfg, isa);
+        sh.feeder = std::make_unique<SampledFeeder>(
+            *sh.core, sc, startPos - sh.replayStart,
+            (kSampleSeedBasis ^ sc.seedOffset) ^ (kShardSeedMix * s));
+    }
+
+    auto runShard = [&trace](Shard& sh) {
+        try {
+            const auto t0 = std::chrono::steady_clock::now();
+            trace.replayRange(*sh.feeder, sh.replayStart,
+                              sh.replayEnd - sh.replayStart);
+            sh.core->finish();
+            sh.wallMs = std::chrono::duration<double, std::milli>(
+                            std::chrono::steady_clock::now() - t0)
+                            .count();
+        } catch (...) {
+            sh.error = std::current_exception();
+        }
+    };
+    std::vector<std::thread> pool;
+    pool.reserve(shards - 1);
+    for (uint64_t s = 1; s < shards; ++s)
+        pool.emplace_back(runShard, std::ref(work[s]));
+    runShard(work[0]);
+    for (std::thread& t : pool)
+        t.join();
+    for (Shard& sh : work) {
+        if (sh.error)
+            std::rethrow_exception(sh.error);
+    }
+
+    // Merge in shard order. The CLT accumulators are plain sums, the
+    // raw pipeline counters add up counter-by-counter, and the measured
+    // stall deltas keep their sum-to-measured-cycles invariant.
+    SimResult res;
+    res.exited = trace.exited();
+    res.exitCode = trace.exitCode();
+    uint64_t n = 0;
+    double sum = 0.0;
+    double sumSq = 0.0;
+    uint64_t measuredInsts = 0;
+    uint64_t warmupInsts = 0;
+    uint64_t warmedInsts = 0;
+    uint64_t measuredCycles = 0;
+    uint64_t measuredStalls[kNumStallCats] = {};
+    for (const Shard& sh : work) {
+        const SampledFeeder& f = *sh.feeder;
+        n += f.intervals();
+        sum += f.cpiSum();
+        sumSq += f.cpiSumSq();
+        measuredInsts += f.measuredInsts();
+        warmupInsts += f.warmupInsts();
+        warmedInsts += f.warmedInsts();
+        measuredCycles += f.measuredCycles();
+        for (int c = 0; c < kNumStallCats; ++c)
+            measuredStalls[c] += f.measuredStalls()[c];
+        for (const auto& [name, value] : sh.core->stats().dump())
+            res.stats.counter(name) += value;
+    }
+    SampleSummary s = makeEstimate(n, sum, sumSq, measuredInsts,
+                                   warmupInsts, warmedInsts);
+    s.shards = shards;
+    s.shardWarmInsts = warmLen;
+    s.shardWallMs.reserve(shards);
+    for (const Shard& sh : work)
+        s.shardWallMs.push_back(sh.wallMs);
+
+    applySampleView(res, trace.instCount(), s, measuredCycles,
+                    measuredStalls);
+    return res;
+}
+
 } // namespace
 
 SimResult
@@ -241,47 +439,26 @@ simulateSampled(const TraceBuffer& trace, Isa isa,
         return simulateReplay(trace, isa, cfg);
     }
 
+    // Clamp the shard count to the interval count: a shard with no
+    // intervals would contribute nothing but an idle core model.
+    const uint64_t totalIntervals =
+        (trace.instCount() - sc.seedOffset) / sc.intervalInsts;
+    const uint64_t shards = std::min<uint64_t>(
+        sc.shards < 1 ? 1 : static_cast<uint64_t>(sc.shards),
+        totalIntervals);
+    if (shards > 1)
+        return simulateSharded(trace, isa, cfg, sc, totalIntervals,
+                               shards);
+
     std::unique_ptr<CoreModel> core = makeCoreModel(cfg, isa);
-    SampledFeeder feeder(*core, sc);
+    SampledFeeder feeder(*core, sc, sc.seedOffset,
+                         kSampleSeedBasis ^ sc.seedOffset);
     trace.replay(feeder);
     core->finish();
 
-    const SampleSummary s = feeder.summary();
     SimResult res = core->packageResult(trace.exited(), trace.exitCode());
-    res.sampled = true;
-    res.sample = s;
-    res.insts = trace.instCount();
-    res.cycles =
-        s.ipcMean > 0.0
-            ? static_cast<uint64_t>(
-                  std::llround(static_cast<double>(res.insts) / s.ipcMean))
-            : 0;
-
-    // The raw pipeline counters keep their warmup contributions (they
-    // describe everything the detailed model did), but the headline and
-    // stall counters are rewritten to the measured-window view so the
-    // six stall.* counters sum exactly to the measured cycles.
-    res.stats.counter("sim.cycles").set(res.cycles);
-    res.stats.counter("sim.insts").set(res.insts);
-    uint64_t stallSum = 0;
-    for (int c = 0; c < kNumStallCats; ++c) {
-        res.stats.counter(stallCatCounterName(c))
-            .set(feeder.measuredStall(c));
-        stallSum += feeder.measuredStall(c);
-    }
-    CH_ASSERT(stallSum == feeder.measuredCycles(),
-              "stall categories must sum to measured cycles");
-
-    res.stats.counter("sample.intervals").set(s.intervals);
-    res.stats.counter("sample.insts.measured").set(s.measuredInsts);
-    res.stats.counter("sample.insts.warmup").set(s.warmupInsts);
-    res.stats.counter("sample.insts.warmed").set(s.warmedInsts);
-    res.stats.counter("sample.cycles.measured")
-        .set(feeder.measuredCycles());
-    res.stats.counter("sample.ipc.e6").set(toE6(s.ipcMean));
-    res.stats.counter("sample.ipc.stderr.e6").set(toE6(s.ipcStderr));
-    res.stats.counter("sample.ipc.ci95.e6").set(toE6(s.ipcCi95));
-    res.stats.counter("sample.relerr.e6").set(toE6(s.relErr()));
+    applySampleView(res, trace.instCount(), feeder.summary(),
+                    feeder.measuredCycles(), feeder.measuredStalls());
     return res;
 }
 

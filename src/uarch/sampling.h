@@ -33,6 +33,15 @@
  * a 95% confidence interval (1.96 * stderr), surfaced in
  * SimResult::sample and as sample.* counters in the StatGroup.
  *
+ * With SamplingConfig::shards > 1 the interval sequence is partitioned
+ * into K contiguous runs timed concurrently, one core model and thread
+ * each; every shard seeks to its start via the keyframed trace index,
+ * functionally re-warms for shardWarmupInsts (default one interval),
+ * and the per-window samples merge in shard order into the same CLT
+ * estimate — deterministic for fixed K, ~Kx lower wall time at a small
+ * warming-truncation accuracy cost (docs/PERFORMANCE.md). K=1 runs the
+ * original serial schedule and stays byte-identical to it.
+ *
  * With sampling disabled (SamplingConfig::enabled() false) callers take
  * the ordinary full-detail path and every metric stays byte-identical.
  */

@@ -11,8 +11,13 @@
  *  - with sampling disabled nothing changes: no sampling schema fields,
  *    no sample.* counters, byte-identical metrics output,
  *  - the six stall.* counters sum exactly to the measured cycles in
- *    sampled mode (the measured-window stall invariant), and
- *  - a trace too short for one interval falls back to the exact replay.
+ *    sampled mode (the measured-window stall invariant),
+ *  - a trace too short for one interval falls back to the exact replay,
+ *    and
+ *  - shard-parallel sampling (sc.shards > 1) tracks the reference and
+ *    keeps the stall invariant, is deterministic across --jobs, clamps
+ *    K to the interval count, honors the shard warm-up override, and at
+ *    K=1 emits byte-identical output with no shard fields anywhere.
  */
 
 #include <gtest/gtest.h>
@@ -202,6 +207,113 @@ TEST(SampledSim, ShortTraceFallsBackToExactReplay)
     EXPECT_EQ(s.insts, ref.insts);
     EXPECT_EQ(s.stats.dump(), ref.stats.dump());
     EXPECT_EQ(s.stats.value("sample.intervals"), 0u);
+}
+
+TEST(SampledSim, ShardedEstimateTracksReferenceAndKeepsStallInvariant)
+{
+    const MachineConfig cfg = MachineConfig::preset(8);
+    double errSum = 0;
+    int points = 0;
+    for (const auto& w : workloads()) {
+        for (Isa isa : {Isa::Riscv, Isa::Straight, Isa::Clockhands}) {
+            SCOPED_TRACE(w.name + "/" + std::string(isaName(isa)));
+            const TraceBuffer& trace = corpusTrace(w.name, isa);
+            const SimResult ref = simulateReplay(trace, isa, cfg);
+
+            SamplingConfig sc = testConfig(kCorpusCap);
+            sc.shards = 4;
+            const SimResult s = simulateSampled(trace, isa, cfg, sc);
+
+            ASSERT_TRUE(s.sampled);
+            EXPECT_EQ(s.insts, ref.insts);
+            EXPECT_EQ(s.stats.value("sample.shards"), 4u);
+            EXPECT_EQ(s.stats.value("sample.shard.warmInsts"),
+                      sc.intervalInsts);
+            ASSERT_GT(s.sample.ipcMean, 0.0);
+
+            uint64_t stallSum = 0;
+            for (int c = 0; c < kNumStallCats; ++c)
+                stallSum += s.stats.value(stallCatCounterName(c));
+            EXPECT_EQ(stallSum, s.stats.value("sample.cycles.measured"));
+            EXPECT_GT(stallSum, 0u);
+
+            errSum += std::fabs(s.ipc() - ref.ipc()) / ref.ipc();
+            ++points;
+        }
+    }
+    EXPECT_LT(errSum / points, 0.05);
+}
+
+TEST(SampledSim, ShardedRunIsDeterministic)
+{
+    const MachineConfig cfg = MachineConfig::preset(8);
+    const TraceBuffer& trace = corpusTrace("coremark", Isa::Clockhands);
+    SamplingConfig sc = testConfig(kCorpusCap);
+    sc.shards = 4;
+    const SimResult a = simulateSampled(trace, Isa::Clockhands, cfg, sc);
+    const SimResult b = simulateSampled(trace, Isa::Clockhands, cfg, sc);
+    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_EQ(a.stats.dump(), b.stats.dump());
+}
+
+TEST(SampledSim, ShardedSweepIsDeterministicAcrossJobCounts)
+{
+    SamplingConfig sc = testConfig(kCap);
+    sc.shards = 4;
+    const std::string j1 = sweepJson(1, sc);
+    const std::string j4 = sweepJson(4, sc);
+    EXPECT_EQ(j1, j4);
+    // K>1 runs are distinguishable in the schema.
+    EXPECT_NE(j1.find("\"shards\": 4"), std::string::npos);
+    EXPECT_NE(j1.find("\"shard_warmup_insts\""), std::string::npos);
+}
+
+TEST(SampledSim, SingleShardIsByteIdenticalWithNoShardFields)
+{
+    // An explicit --sample-shards 1 must be indistinguishable from a
+    // binary that predates sharding: same metrics bytes, no shard keys.
+    SamplingConfig explicit1 = testConfig(kCap);
+    explicit1.shards = 1;
+    const std::string jDefault = sweepJson(1, testConfig(kCap));
+    const std::string jExplicit = sweepJson(1, explicit1);
+    EXPECT_EQ(jDefault, jExplicit);
+    EXPECT_EQ(jDefault.find("shards"), std::string::npos);
+    EXPECT_EQ(jDefault.find("sample.shard"), std::string::npos);
+
+    const MachineConfig cfg = MachineConfig::preset(8);
+    const TraceBuffer& trace = corpusTrace("coremark", Isa::Riscv);
+    const SimResult s =
+        simulateSampled(trace, Isa::Riscv, cfg, explicit1);
+    ASSERT_TRUE(s.sampled);
+    EXPECT_EQ(s.stats.value("sample.shards"), 0u);
+    EXPECT_TRUE(s.sample.shardWallMs.empty());
+}
+
+TEST(SampledSim, ShardCountClampsToIntervalCount)
+{
+    const MachineConfig cfg = MachineConfig::preset(8);
+    const TraceBuffer& trace = corpusTrace("coremark", Isa::Riscv, kCap);
+
+    SamplingConfig sc = testConfig(kCap);  // 40 intervals at kCap
+    sc.shards = 64;                        // more shards than intervals
+    const SimResult s = simulateSampled(trace, Isa::Riscv, cfg, sc);
+    ASSERT_TRUE(s.sampled);
+    EXPECT_EQ(s.stats.value("sample.shards"), s.sample.intervals);
+    EXPECT_EQ(s.sample.shardWallMs.size(), s.sample.intervals);
+}
+
+TEST(SampledSim, ShardWarmupOverrideIsHonored)
+{
+    const MachineConfig cfg = MachineConfig::preset(8);
+    const TraceBuffer& trace = corpusTrace("coremark", Isa::Straight);
+
+    SamplingConfig sc = testConfig(kCorpusCap);
+    sc.shards = 2;
+    sc.shardWarmupInsts = 5000;
+    const SimResult s = simulateSampled(trace, Isa::Straight, cfg, sc);
+    ASSERT_TRUE(s.sampled);
+    EXPECT_EQ(s.stats.value("sample.shard.warmInsts"), 5000u);
+    EXPECT_EQ(s.sample.shardWarmInsts, 5000u);
 }
 
 TEST(SampledSim, MalformedConfigIsRejected)

@@ -3,8 +3,9 @@
  * Simulation-farm and persistent-store suite: `ctest -L service`
  * (docs/SERVICE.md). Covers the wire codec's bit-exact round trips, the
  * content-addressed key's label blindness, store result/trace round
- * trips (including the mmap replay path), TraceCache LRU eviction with
- * a persistent backing, farm-vs-direct byte-identical metrics (plain
+ * trips (including the mmap replay path, the keyframe-index round trip,
+ * the version-1 format fallback, and loud rejection of a corrupt
+ * index), TraceCache LRU eviction with a persistent backing, farm-vs-direct byte-identical metrics (plain
  * and with per-job core-model pins), worker crash containment,
  * bounded-queue backpressure, warm-store reruns that simulate nothing,
  * and the parse-time exit-2 validation of --farm/--store in
@@ -14,10 +15,14 @@
 #include <gtest/gtest.h>
 
 #include <cstdlib>
+#include <cstring>
+#include <fstream>
 #include <ftw.h>
 #include <memory>
 #include <string>
+#include <sys/stat.h>
 #include <thread>
+#include <unistd.h>
 #include <vector>
 
 #include "bench_util.h"
@@ -278,6 +283,166 @@ TEST(PersistentStore, TraceRoundTripReplaysIdentically)
     const SimResult mapped = simulateReplay(*loaded, Isa::Riscv, cfg);
     EXPECT_EQ(mapped.cycles, direct.cycles);
     EXPECT_EQ(mapped.insts, direct.insts);
+}
+
+/** Store-side path of the trace file (mirrors tracePath() layout). */
+std::string
+traceFilePath(const std::string& root, const Program& prog, uint64_t cap)
+{
+    const std::string bin =
+        service::hashHex(service::programHash(prog));
+    return root + "/v1/traces/" + bin.substr(0, 2) + "/" + bin + "-" +
+           std::to_string(cap) + ".chtrace";
+}
+
+/** Collects the replayed stream for slice comparison. */
+class CollectSink : public TraceSink
+{
+  public:
+    void onInst(const DynInst& di) override { insts_.push_back(di); }
+    const std::vector<DynInst>& insts() const { return insts_; }
+
+  private:
+    std::vector<DynInst> insts_;
+};
+
+TEST(PersistentStore, TraceRoundTripPreservesKeyframeIndex)
+{
+    TempDir dir;
+    service::PersistentStore store(dir.path);
+    const Program& prog = compiledWorkload("coremark", Isa::Riscv);
+
+    TraceBuffer captured;
+    captured.setKeyframeInterval(1'000);
+    const RunResult run = runProgram(prog, kCap, &captured);
+    captured.setRunOutcome(run.exited, run.exitCode);
+    ASSERT_FALSE(captured.keyframes().empty());
+    store.save(prog, kCap, captured);
+
+    const std::shared_ptr<const TraceBuffer> loaded =
+        store.load(prog, kCap);
+    ASSERT_NE(loaded, nullptr);
+    ASSERT_EQ(loaded->keyframes().size(), captured.keyframes().size());
+    for (size_t i = 0; i < captured.keyframes().size(); ++i) {
+        const TraceKeyframe& a = captured.keyframes()[i];
+        const TraceKeyframe& b = loaded->keyframes()[i];
+        EXPECT_EQ(a.instIndex, b.instIndex);
+        EXPECT_EQ(a.byteOffset, b.byteOffset);
+        EXPECT_EQ(a.predPc, b.predPc);
+        EXPECT_EQ(a.lastMemAddr, b.lastMemAddr);
+    }
+
+    // A mid-stream slice decoded off the mmap'd index matches the
+    // in-memory capture bit for bit.
+    CollectSink fromMemory, fromMmap;
+    captured.replayRange(fromMemory, 4'321, 2'000);
+    loaded->replayRange(fromMmap, 4'321, 2'000);
+    ASSERT_EQ(fromMemory.insts().size(), fromMmap.insts().size());
+    for (size_t i = 0; i < fromMemory.insts().size(); ++i) {
+        const DynInst& a = fromMemory.insts()[i];
+        const DynInst& b = fromMmap.insts()[i];
+        ASSERT_EQ(a.seq, b.seq) << "record " << i;
+        ASSERT_EQ(a.pc, b.pc) << "record " << i;
+        ASSERT_EQ(a.op, b.op) << "record " << i;
+        ASSERT_EQ(a.memAddr, b.memAddr) << "record " << i;
+        ASSERT_EQ(a.nextPc, b.nextPc) << "record " << i;
+    }
+}
+
+TEST(PersistentStore, OldFormatTraceLoadsWithEmptyKeyframeIndex)
+{
+    TempDir dir;
+    service::PersistentStore store(dir.path);
+    const Program& prog = compiledWorkload("coremark", Isa::Straight);
+
+    TraceBuffer captured;
+    const RunResult run = runProgram(prog, kCap, &captured);
+    captured.setRunOutcome(run.exited, run.exitCode);
+    store.save(prog, kCap, captured);  // creates the <hh> subdirectory
+
+    // Overwrite with a hand-built version-1 file: 48-byte header, then
+    // the payload, no keyframe index.
+    const std::string path = traceFilePath(dir.path, prog, kCap);
+    {
+        std::ofstream out(path, std::ios::binary | std::ios::trunc);
+        ASSERT_TRUE(out);
+        struct {
+            char magic[8];
+            uint64_t instCount;
+            uint64_t firstSeq;
+            int64_t exitCode;
+            uint64_t encodedBytes;
+            uint8_t exited;
+            uint8_t pad[7];
+        } hdr = {};
+        std::memcpy(hdr.magic, "CHTRACE1", 8);
+        hdr.instCount = captured.instCount();
+        hdr.firstSeq = captured.firstSeq();
+        hdr.exitCode = captured.exitCode();
+        hdr.encodedBytes = captured.byteSize();
+        hdr.exited = captured.exited() ? 1 : 0;
+        out.write(reinterpret_cast<const char*>(&hdr), sizeof(hdr));
+        out.write(reinterpret_cast<const char*>(captured.data()),
+                  static_cast<std::streamsize>(captured.byteSize()));
+    }
+
+    const std::shared_ptr<const TraceBuffer> loaded =
+        store.load(prog, kCap);
+    ASSERT_NE(loaded, nullptr);
+    EXPECT_TRUE(loaded->keyframes().empty());
+    EXPECT_EQ(loaded->instCount(), captured.instCount());
+
+    const MachineConfig cfg = MachineConfig::preset(8);
+    const SimResult direct = simulateReplay(captured, Isa::Straight, cfg);
+    const SimResult mapped = simulateReplay(*loaded, Isa::Straight, cfg);
+    EXPECT_EQ(mapped.cycles, direct.cycles);
+    EXPECT_EQ(mapped.stats.dump(), direct.stats.dump());
+}
+
+TEST(PersistentStore, CorruptKeyframeIndexIsRejectedLoudly)
+{
+    TempDir dir;
+    service::PersistentStore store(dir.path);
+    const Program& prog = compiledWorkload("coremark", Isa::Clockhands);
+
+    TraceBuffer captured;
+    captured.setKeyframeInterval(1'000);
+    const RunResult run = runProgram(prog, kCap, &captured);
+    captured.setRunOutcome(run.exited, run.exitCode);
+    ASSERT_FALSE(captured.keyframes().empty());
+    store.save(prog, kCap, captured);
+    const std::string path = traceFilePath(dir.path, prog, kCap);
+
+    // Point the first keyframe's byteOffset past the payload: the index
+    // is untrustworthy and the whole file must be treated as a miss.
+    {
+        std::fstream f(path,
+                       std::ios::binary | std::ios::in | std::ios::out);
+        ASSERT_TRUE(f);
+        const std::streamoff firstKeyframeByteOffset =
+            56 + static_cast<std::streamoff>(captured.byteSize()) + 8;
+        f.seekp(firstKeyframeByteOffset);
+        const uint64_t bogus = ~0ull;
+        f.write(reinterpret_cast<const char*>(&bogus), sizeof(bogus));
+    }
+    uint64_t missesBefore = store.traceMisses();
+    EXPECT_EQ(store.load(prog, kCap), nullptr);
+    EXPECT_EQ(store.traceMisses(), missesBefore + 1);
+
+    // A file chopped mid-index no longer adds up either.
+    store.save(prog, kCap, captured);
+    {
+        struct stat st;
+        ASSERT_EQ(::stat(path.c_str(), &st), 0);
+        ASSERT_EQ(::truncate(path.c_str(), st.st_size - 16), 0);
+    }
+    missesBefore = store.traceMisses();
+    EXPECT_EQ(store.load(prog, kCap), nullptr);
+    EXPECT_EQ(store.traceMisses(), missesBefore + 1);
+
+    // An intact re-save recovers: the store never caches the rejection.
+    store.save(prog, kCap, captured);
+    EXPECT_NE(store.load(prog, kCap), nullptr);
 }
 
 TEST(TraceCacheLru, EvictsToStoreAndReloads)

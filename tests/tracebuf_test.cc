@@ -11,13 +11,19 @@
  *    byte budget triggers the re-emulation fallback without changing any
  *    metric,
  *  - the Memory hot-page cache is architecturally invisible: the same
- *    program produces the same RunResult with the cache disabled.
+ *    program produces the same RunResult with the cache disabled,
+ *  - the keyframe index records decoder sync points on interval
+ *    boundaries and replayRange() reproduces any slice of the stream
+ *    bit-for-bit, with or without keyframes to seek from, and
+ *  - replaying a budget-truncated capture raises a structured error in
+ *    every build flavor.
  */
 
 #include <gtest/gtest.h>
 
 #include <vector>
 
+#include "common/logging.h"
 #include "common/prng.h"
 #include "emu/emulator.h"
 #include "runner/runner.h"
@@ -111,6 +117,86 @@ TEST(TraceBuffer, ReplaySimMatchesDirectSimOnLockstepCorpus)
             EXPECT_EQ(direct.stats.dump(), replay.stats.dump());
         }
     }
+}
+
+TEST(TraceBuffer, KeyframesMarkIntervalBoundaries)
+{
+    const Program& prog = compiledWorkload("coremark", Isa::Clockhands);
+    TraceBuffer buf;
+    buf.setKeyframeInterval(10'000);
+    runProgram(prog, kCap, &buf);
+
+    // One keyframe per full interval past the first record; none at
+    // instruction 0 (replay from the start needs no seek).
+    ASSERT_EQ(buf.keyframes().size(), kCap / 10'000 - 1);
+    uint64_t expect = 10'000;
+    uint64_t prevOffset = 0;
+    for (const TraceKeyframe& kf : buf.keyframes()) {
+        EXPECT_EQ(kf.instIndex, expect);
+        EXPECT_GT(kf.byteOffset, prevOffset);
+        EXPECT_LT(kf.byteOffset, buf.byteSize());
+        prevOffset = kf.byteOffset;
+        expect += 10'000;
+    }
+}
+
+TEST(TraceBuffer, ReplayRangeMatchesFullReplayOnEverySlice)
+{
+    for (Isa isa : {Isa::Riscv, Isa::Straight, Isa::Clockhands}) {
+        SCOPED_TRACE(isaName(isa));
+        const Program& prog = compiledWorkload("coremark", isa);
+
+        TraceBuffer keyframed;
+        keyframed.setKeyframeInterval(7'001);  // off-interval boundaries
+        TraceBuffer plain;                     // default 1M: no keyframes
+        RecordSink full;
+        TeeSink tee;
+        tee.add(&keyframed);
+        tee.add(&plain);
+        tee.add(&full);
+        runProgram(prog, kCap, &tee);
+        ASSERT_FALSE(keyframed.keyframes().empty());
+        ASSERT_TRUE(plain.keyframes().empty());
+
+        // Slices straddling keyframes, landing on one exactly, before
+        // the first, and running to the end of the stream.
+        const struct { uint64_t first, n; } slices[] = {
+            {0, 100},          {6'999, 10},     {7'001, 3},
+            {20'000, 15'000},  {kCap - 5, 5},   {123'456, 1},
+        };
+        for (const auto& s : slices) {
+            SCOPED_TRACE("slice " + std::to_string(s.first));
+            RecordSink viaKeyframes, viaSkip;
+            keyframed.replayRange(viaKeyframes, s.first, s.n);
+            plain.replayRange(viaSkip, s.first, s.n);
+            ASSERT_EQ(viaKeyframes.insts().size(), s.n);
+            ASSERT_EQ(viaSkip.insts().size(), s.n);
+            for (uint64_t i = 0; i < s.n; ++i) {
+                expectSameInst(full.insts()[s.first + i],
+                               viaKeyframes.insts()[i], i);
+                expectSameInst(full.insts()[s.first + i],
+                               viaSkip.insts()[i], i);
+            }
+        }
+    }
+}
+
+TEST(TraceBuffer, TruncatedCaptureRefusesReplayLoudly)
+{
+    const Program& prog = compiledWorkload("coremark", Isa::Riscv);
+    TraceBuffer buf;
+    buf.setByteLimit(1024);  // stops recording long before kCap
+    runProgram(prog, kCap, &buf);
+    ASSERT_TRUE(buf.overLimit());
+    ASSERT_GT(buf.instCount(), 0u);
+
+    // A truncated capture is a user-level configuration error, not an
+    // internal invariant: it must throw the structured FatalError in
+    // release builds too, from every replay entry point.
+    RecordSink sink;
+    EXPECT_THROW(buf.replay(sink), FatalError);
+    EXPECT_THROW(buf.replayTo(sink), FatalError);
+    EXPECT_THROW(buf.replayRange(sink, 0, 1), FatalError);
 }
 
 TEST(TraceCacheTest, CapturesOncePerKeyAndDistinguishesMaxInsts)
